@@ -1,0 +1,29 @@
+//! Criterion bench: end-to-end analyzers — the trigger-based Drishti
+//! baseline vs the full ION pipeline (extraction, nine parallel model runs
+//! with code-interpreter execution, summarization). This quantifies the
+//! cost of ION's richer diagnosis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ion::pipeline::IonPipeline;
+use workloads::ior::ior_easy_2kb_shared;
+use workloads::Workload;
+
+fn bench_analyzers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyzers");
+    group.sample_size(10);
+    for scale in [0.05, 0.25] {
+        let log = ior_easy_2kb_shared(scale).generate();
+        let ops: usize = log.dxt.iter().map(darshan::dxt::DxtRecord::len).sum();
+        group.bench_with_input(BenchmarkId::new("drishti", ops), &log, |b, log| {
+            b.iter(|| drishti::analyze(log));
+        });
+        group.bench_with_input(BenchmarkId::new("ion_full", ops), &log, |b, log| {
+            let pipeline = IonPipeline::new();
+            b.iter(|| pipeline.run(log));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyzers);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench: binary log codec throughput (encode/decode) as the
+//! trace grows — the storage-engineering cost of the Darshan substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use darshan::log::{LogReader, LogWriter};
+use workloads::ior::ior_easy_2kb_shared;
+use workloads::Workload;
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("log_codec");
+    for scale in [0.02, 0.1, 0.5] {
+        let log = ior_easy_2kb_shared(scale).generate();
+        let bytes = LogWriter::from_log(log.clone()).finish().unwrap();
+        let ops: usize = log.dxt.iter().map(darshan::dxt::DxtRecord::len).sum();
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", ops), &log, |b, log| {
+            b.iter(|| LogWriter::from_log(log.clone()).finish().unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("decode", ops), &bytes, |b, bytes| {
+            b.iter(|| LogReader::read(bytes).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench: the ION Extractor (log → CSV tables) and the CSV
+//! codec round trip.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use extractor::csv::{from_csv, to_csv};
+use extractor::extract_tables;
+use workloads::ior::ior_easy_2kb_shared;
+use workloads::Workload;
+
+fn bench_extract(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extractor");
+    for scale in [0.05, 0.25] {
+        let log = ior_easy_2kb_shared(scale).generate();
+        let ops: usize = log.dxt.iter().map(darshan::dxt::DxtRecord::len).sum();
+        group.bench_with_input(BenchmarkId::new("extract_tables", ops), &log, |b, log| {
+            b.iter(|| extract_tables(log));
+        });
+        let tables = extract_tables(&log);
+        let dxt = tables.get("DXT").unwrap();
+        group.bench_with_input(BenchmarkId::new("to_csv", ops), dxt, |b, t| {
+            b.iter(|| to_csv(t));
+        });
+        let csv = to_csv(dxt);
+        group.bench_with_input(BenchmarkId::new("from_csv", ops), &csv, |b, s| {
+            b.iter(|| from_csv("DXT", s).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extract);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench: the IQL language — parse and evaluate the kind of
+//! analysis programs the expert model generates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use extractor::extract_tables;
+use ion_llm::iql::{parse_program, Interpreter};
+use workloads::ior::ior_easy_2kb_shared;
+use workloads::Workload;
+
+const PROGRAM: &str = "
+LOAD DXT
+FILTER module == 'X_POSIX'
+DERIVE small = length < 4_194_304
+AGG total_ops = count(), small_ops = sum(small), mean_size = mean(length), p95 = pct(length, 95)
+LET small_pct = 100 * small_ops / max(total_ops, 1)
+EMIT total_ops, small_ops, small_pct, mean_size, p95
+";
+
+const GROUP_PROGRAM: &str = "
+LOAD DXT
+DERIVE stripe = floor(offset / 1_048_576)
+GROUP file_name, stripe AGG ranks_in_stripe = distinct(rank), ops = count()
+DERIVE conflict_ops = if(ranks_in_stripe > 1, ops, 0)
+AGG conflicted = sum(conflict_ops), all_ops = sum(ops)
+LET pct = 100 * conflicted / max(all_ops, 1)
+EMIT conflicted, all_ops, pct
+";
+
+fn bench_iql(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iql");
+    group.bench_function("parse", |b| {
+        b.iter(|| parse_program(PROGRAM).unwrap());
+    });
+    for scale in [0.05, 0.25] {
+        let log = ior_easy_2kb_shared(scale).generate();
+        let tables = extract_tables(&log);
+        let rows = tables.get("DXT").unwrap().len();
+        let program = parse_program(PROGRAM).unwrap();
+        group.bench_with_input(BenchmarkId::new("eval_agg", rows), &tables, |b, t| {
+            let interp = Interpreter::new(t);
+            b.iter(|| interp.run(&program).unwrap());
+        });
+        let gprogram = parse_program(GROUP_PROGRAM).unwrap();
+        group.bench_with_input(BenchmarkId::new("eval_group_by", rows), &tables, |b, t| {
+            let interp = Interpreter::new(t);
+            b.iter(|| interp.run(&gprogram).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_iql);
+criterion_main!(benches);

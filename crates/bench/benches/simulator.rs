@@ -1,0 +1,54 @@
+//! Criterion bench: simulator substrate throughput — POSIX op rate,
+//! collective planning, and full workload generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use iosim::mpiio::{CollectivePlan, CollectiveRequest};
+use iosim::{SimConfig, Simulation};
+use workloads::ior::ior_hard;
+use workloads::Workload;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+
+    let ops = 10_000u64;
+    group.throughput(Throughput::Elements(ops));
+    group.bench_function("posix_write_ops", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(SimConfig::default().with_ranks(4));
+            let f = sim.posix_open_all("/bench").unwrap();
+            for i in 0..ops {
+                let rank = (i % 4) as u32;
+                sim.posix_write(rank, f, i * 4096, 4096).unwrap();
+            }
+            sim.finish()
+        });
+    });
+
+    for nranks in [16u32, 256] {
+        let reqs: Vec<CollectiveRequest> = (0..nranks)
+            .map(|rank| CollectiveRequest {
+                rank,
+                offset: u64::from(rank) * (1 << 20),
+                length: 1 << 20,
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("collective_plan", nranks),
+            &reqs,
+            |b, reqs| {
+                b.iter(|| CollectivePlan::plan(reqs, 8, 1 << 20));
+            },
+        );
+    }
+
+    group.sample_size(10);
+    group.bench_function("generate_ior_hard", |b| {
+        let w = ior_hard(0.002);
+        b.iter(|| w.generate());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,169 @@
+//! Experiment: regenerate **Figure 3** — ION vs Drishti on the two real
+//! applications (OpenPMD and E2E), each in baseline and optimized form.
+//!
+//! ```sh
+//! cargo run --release -p ion-bench --bin exp_fig3
+//! IONREPRO_SCALE=1.0 cargo run --release -p ion-bench --bin exp_fig3   # paper-scale ranks
+//! ```
+//!
+//! For each trace the binary prints both tools' outputs side by side and
+//! then checks the paper's comparison claims (both tools catch the
+//! headline issues; ION adds aggregatability, per-rank attribution, and
+//! low-volume contextualization).
+
+use ion::pipeline::IonPipeline;
+use ion_bench::experiment_scale;
+use workloads::e2e::{E2e, E2eVariant};
+use workloads::openpmd::{OpenPmd, OpenPmdVariant};
+use workloads::Workload;
+
+struct Claim {
+    text: &'static str,
+    holds: bool,
+}
+
+fn check_trace(w: &dyn Workload, claims: impl Fn(&ion::IonReport, &drishti::Report) -> Vec<Claim>) {
+    let t0 = std::time::Instant::now();
+    let log = w.generate();
+    let ops: usize = log.dxt.iter().map(darshan::dxt::DxtRecord::len).sum();
+    println!(
+        "┌─ {} ({} ranks, {} traced ops, generated in {:.2?})",
+        w.name(),
+        log.job.nprocs,
+        ops,
+        t0.elapsed()
+    );
+
+    let drishti_report = drishti::analyze(&log);
+    println!("│ DRISHTI OUTPUT:");
+    for i in &drishti_report.insights {
+        if i.level >= drishti::Level::Warn {
+            println!("│   [{}] {}", i.level, i.message);
+        }
+    }
+
+    let ion_report = IonPipeline::new().run(&log);
+    println!("│ ION OUTPUT:");
+    for d in ion_report.detected() {
+        for f in &d.findings {
+            println!("│   [{}] {}", f.severity, f.text);
+        }
+        for m in &d.mitigations {
+            println!("│   [mitigation] {m}");
+        }
+        for n in &d.notes {
+            println!("│   [note] {n}");
+        }
+    }
+
+    println!("│ PAPER CLAIMS:");
+    let mut ok = 0;
+    let cs = claims(&ion_report, &drishti_report);
+    let total = cs.len();
+    for c in cs {
+        println!("│   {} {}", if c.holds { "✓" } else { "✗" }, c.text);
+        ok += usize::from(c.holds);
+    }
+    println!("└─ {ok}/{total} claims hold\n");
+}
+
+fn main() {
+    let scale = experiment_scale();
+    println!("═══ Figure 3: ION vs Drishti on real applications (scale {scale}) ═══\n");
+
+    check_trace(&OpenPmd::scaled(OpenPmdVariant::Baseline, scale), |ion, dr| {
+        let small = ion.diagnosis("small-io");
+        let coll = ion.diagnosis("collective-io");
+        vec![
+            Claim {
+                text: "Drishti flags small reads, small writes and misalignment",
+                holds: dr.fired("small-reads") && dr.fired("small-writes") && dr.fired("misaligned-file"),
+            },
+            Claim {
+                text: "Drishti attributes small writes to the dominant shared file",
+                holds: dr.fired("small-writes-shared-file"),
+            },
+            Claim {
+                text: "ION detects the small+misaligned I/O too",
+                holds: small.is_some_and(ion::Diagnosis::is_detected)
+                    && ion.diagnosis("misaligned-io").is_some_and(ion::Diagnosis::is_detected),
+            },
+            Claim {
+                text: "ION adds that the small ops are consecutive → aggregatable",
+                holds: small.is_some_and(|d| d.raw.contains("consecutive")),
+            },
+            Claim {
+                text: "ION surfaces the collective-decomposition (HDF5 bug) signature",
+                holds: coll.is_some_and(|d| d.is_detected() && d.raw.contains("independent")),
+            },
+        ]
+    });
+
+    check_trace(&OpenPmd::scaled(OpenPmdVariant::Optimized, scale), |ion, dr| {
+        let rnd = ion.diagnosis("random-access");
+        vec![
+            Claim {
+                text: "Drishti flags the random read operations",
+                holds: dr.fired("random-reads"),
+            },
+            Claim {
+                text: "ION detects the random accesses as well",
+                holds: rnd.is_some_and(ion::Diagnosis::is_detected),
+            },
+            Claim {
+                text: "ION contextualizes them: low per-rank count and volume → not a concern",
+                holds: rnd.is_some_and(|d| {
+                    d.detection == Some(ion::Detection::Mitigated) && d.raw.contains("per rank")
+                }),
+            },
+            Claim {
+                text: "small I/O is no longer a hard detection",
+                holds: ion
+                    .diagnosis("small-io")
+                    .is_none_or(|d| d.detection != Some(ion::Detection::Yes)),
+            },
+        ]
+    });
+
+    check_trace(&E2e::scaled(E2eVariant::Baseline, scale), |ion, dr| {
+        let imb = ion.diagnosis("load-imbalance");
+        vec![
+            Claim {
+                text: "Drishti flags misalignment and load imbalance on the .nc4 file",
+                holds: dr.fired("misaligned-file")
+                    && dr
+                        .insight("load-imbalance")
+                        .is_some_and(|i| i.message.contains(".nc4")),
+            },
+            Claim {
+                text: "ION detects misalignment (file and memory) and imbalance",
+                holds: ion.diagnosis("misaligned-io").is_some_and(|d| {
+                    d.is_detected() && d.raw.contains("memory")
+                }) && imb.is_some_and(ion::Diagnosis::is_detected),
+            },
+            Claim {
+                text: "ION attributes the imbalance to rank 0 doing much more work",
+                holds: imb.is_some_and(|d| d.raw.contains("rank 0")),
+            },
+        ]
+    });
+
+    check_trace(&E2e::scaled(E2eVariant::Optimized, scale), |ion, dr| {
+        let imb = ion.diagnosis("load-imbalance");
+        vec![
+            Claim {
+                text: "both tools still see pervasive misalignment",
+                holds: dr.fired("misaligned-file")
+                    && ion.diagnosis("misaligned-io").is_some_and(ion::Diagnosis::is_detected),
+            },
+            Claim {
+                text: "ION recognizes the writer-subset pattern (not a rank-0 alarm)",
+                holds: imb.is_some_and(|d| d.raw.contains("subset")),
+            },
+            Claim {
+                text: "ION suggests the skew may be intentional/algorithmic",
+                holds: imb.is_some_and(|d| d.raw.contains("intentional")),
+            },
+        ]
+    });
+}

@@ -1,0 +1,160 @@
+//! `ion-cli` — command-line front end for the ION reproduction.
+//!
+//! ```text
+//! ion-cli generate <workload> <out.darshan>   create a synthetic trace
+//! ion-cli parse <log.darshan>                 darshan-parser text output
+//! ion-cli dxt <log.darshan>                   darshan-dxt-parser output
+//! ion-cli extract <log.darshan> <out-dir>     write the per-module CSVs
+//! ion-cli analyze <log.darshan>               full ION diagnosis
+//! ion-cli drishti <log.darshan>               Drishti baseline report
+//! ion-cli compare <base> <optimized>          diff two diagnoses (resolved/introduced)
+//! ion-cli qa <log.darshan> "<question>" ...   diagnose then answer questions
+//! ```
+//!
+//! Workloads: `ior-easy-2k`, `ior-easy-1m`, `ior-easy-fpp`, `ior-hard`,
+//! `ior-rnd4k`, `mdworkbench`, `openpmd`, `openpmd-opt`, `e2e`, `e2e-opt`.
+//! Scale via `IONREPRO_SCALE` (default 0.1).
+
+use darshan::log::{LogReader, LogWriter};
+use ion::pipeline::IonPipeline;
+use ion_bench::experiment_scale;
+use std::fs;
+use std::io::Write as _;
+use std::process::ExitCode;
+
+/// Print to stdout, ignoring broken pipes (`ion-cli parse log | head`).
+fn emit(text: &str) {
+    let _ = std::io::stdout().write_all(text.as_bytes());
+}
+use workloads::e2e::{E2e, E2eVariant};
+use workloads::ior::{
+    ior_easy_1mb_fpp, ior_easy_1mb_shared, ior_easy_2kb_shared, ior_hard, ior_rnd4k,
+};
+use workloads::mdworkbench::MdWorkbench;
+use workloads::openpmd::{OpenPmd, OpenPmdVariant};
+use workloads::Workload;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ion-cli <generate|parse|dxt|extract|analyze|drishti|qa> <args...>\n\
+         see `cargo doc` or the README for details"
+    );
+    ExitCode::FAILURE
+}
+
+fn workload_by_name(name: &str, scale: f64) -> Option<Box<dyn Workload>> {
+    Some(match name {
+        "ior-easy-2k" => Box::new(ior_easy_2kb_shared(scale)),
+        "ior-easy-1m" => Box::new(ior_easy_1mb_shared(scale)),
+        "ior-easy-fpp" => Box::new(ior_easy_1mb_fpp(scale)),
+        "ior-hard" => Box::new(ior_hard(scale / 10.0)),
+        "ior-rnd4k" => Box::new(ior_rnd4k(scale / 2.0)),
+        "mdworkbench" => Box::new(MdWorkbench::scaled(scale * 5.0)),
+        "openpmd" => Box::new(OpenPmd::scaled(OpenPmdVariant::Baseline, scale)),
+        "openpmd-opt" => Box::new(OpenPmd::scaled(OpenPmdVariant::Optimized, scale)),
+        "e2e" => Box::new(E2e::scaled(E2eVariant::Baseline, scale)),
+        "e2e-opt" => Box::new(E2e::scaled(E2eVariant::Optimized, scale)),
+        _ => return None,
+    })
+}
+
+fn load(path: &str) -> Result<darshan::log::Log, String> {
+    let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    LogReader::read(&bytes).map_err(|e| format!("cannot decode {path}: {e}"))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return Err("missing command".into());
+    };
+    match cmd.as_str() {
+        "generate" => {
+            let (name, out) = match (args.get(1), args.get(2)) {
+                (Some(n), Some(o)) => (n, o),
+                _ => return Err("generate needs <workload> <out.darshan>".into()),
+            };
+            let scale = experiment_scale();
+            let w = workload_by_name(name, scale)
+                .ok_or_else(|| format!("unknown workload {name}"))?;
+            let log = w.generate();
+            let bytes = LogWriter::from_log(log)
+                .finish()
+                .map_err(|e| e.to_string())?;
+            fs::write(out, &bytes).map_err(|e| e.to_string())?;
+            println!("wrote {} ({} bytes, scale {scale})", out, bytes.len());
+        }
+        "parse" => {
+            let path = args.get(1).ok_or("parse needs <log.darshan>")?;
+            emit(&darshan::parser::render_text(&load(path)?));
+        }
+        "dxt" => {
+            let path = args.get(1).ok_or("dxt needs <log.darshan>")?;
+            emit(&darshan::parser::render_dxt_text(&load(path)?));
+        }
+        "extract" => {
+            let (path, dir) = match (args.get(1), args.get(2)) {
+                (Some(p), Some(d)) => (p, d),
+                _ => return Err("extract needs <log.darshan> <out-dir>".into()),
+            };
+            let log = load(path)?;
+            let tables = extractor::extract_tables(&log);
+            fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+            for (name, table) in tables.iter() {
+                let file = format!("{dir}/{name}.csv");
+                fs::write(&file, extractor::csv::to_csv(table)).map_err(|e| e.to_string())?;
+                println!("wrote {file} ({} rows)", table.len());
+            }
+        }
+        "analyze" => {
+            let path = args.get(1).ok_or("analyze needs <log.darshan>")?;
+            let report = IonPipeline::new().run(&load(path)?);
+            emit(&report.render_text());
+            let problems = report.consistency();
+            if problems.is_empty() {
+                println!("(consistency check: clean)");
+            } else {
+                println!("(consistency check: {} problems)", problems.len());
+                for p in problems {
+                    println!("  {:?}: {}", p.level, p.message);
+                }
+            }
+        }
+        "drishti" => {
+            let path = args.get(1).ok_or("drishti needs <log.darshan>")?;
+            emit(&drishti::analyze(&load(path)?).render_text());
+        }
+        "compare" => {
+            let (base, opt) = match (args.get(1), args.get(2)) {
+                (Some(b), Some(o)) => (b, o),
+                _ => return Err("compare needs <baseline.darshan> <optimized.darshan>".into()),
+            };
+            let pipeline = IonPipeline::new();
+            let before = pipeline.run(&load(base)?);
+            let after = pipeline.run(&load(opt)?);
+            emit(&ion::compare::compare(&before, &after).render_text());
+        }
+        "qa" => {
+            let path = args.get(1).ok_or("qa needs <log.darshan> [questions...]")?;
+            let report = IonPipeline::new().run(&load(path)?);
+            emit(&format!("{}\n", report.summary));
+            let mut session = report.session();
+            for q in &args[2..] {
+                println!("\nQ: {q}");
+                println!("A: {}", session.ask(q));
+            }
+        }
+        other => return Err(format!("unknown command {other}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage()
+        }
+    }
+}

@@ -1,0 +1,505 @@
+//! Counter vocabularies of the Darshan instrumentation modules.
+//!
+//! Each Darshan module records a fixed array of integer counters and a fixed
+//! array of floating-point counters per `(file, rank)` pair. The counter
+//! names here follow the upstream Darshan definitions so that downstream
+//! tooling (the ION extractor, Drishti triggers, issue contexts) can refer
+//! to the exact identifiers that appear in real `darshan-parser` output.
+
+use std::fmt;
+
+/// Identifies a Darshan instrumentation module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ModuleId {
+    /// POSIX interface instrumentation (`read`, `write`, `open`, …).
+    Posix,
+    /// MPI-IO interface instrumentation (independent + collective ops).
+    MpiIo,
+    /// Standard C buffered I/O (`fread`, `fwrite`, …).
+    Stdio,
+    /// Lustre striping metadata captured at file open.
+    Lustre,
+    /// Darshan eXtended Tracing: per-operation segments.
+    Dxt,
+    /// Temporal heatmap: per-rank I/O volume binned over time.
+    Heatmap,
+}
+
+impl ModuleId {
+    /// All module ids, in log-serialization order.
+    pub const ALL: [ModuleId; 6] = [
+        ModuleId::Posix,
+        ModuleId::MpiIo,
+        ModuleId::Stdio,
+        ModuleId::Lustre,
+        ModuleId::Dxt,
+        ModuleId::Heatmap,
+    ];
+
+    /// Stable numeric id used in the binary log format.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            ModuleId::Posix => 1,
+            ModuleId::MpiIo => 2,
+            ModuleId::Stdio => 3,
+            ModuleId::Lustre => 4,
+            ModuleId::Dxt => 5,
+            ModuleId::Heatmap => 6,
+        }
+    }
+
+    /// Inverse of [`ModuleId::code`].
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<ModuleId> {
+        match code {
+            1 => Some(ModuleId::Posix),
+            2 => Some(ModuleId::MpiIo),
+            3 => Some(ModuleId::Stdio),
+            4 => Some(ModuleId::Lustre),
+            5 => Some(ModuleId::Dxt),
+            6 => Some(ModuleId::Heatmap),
+            _ => None,
+        }
+    }
+
+    /// Module name as it appears in `darshan-parser` output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ModuleId::Posix => "POSIX",
+            ModuleId::MpiIo => "MPI-IO",
+            ModuleId::Stdio => "STDIO",
+            ModuleId::Lustre => "LUSTRE",
+            ModuleId::Dxt => "DXT",
+            ModuleId::Heatmap => "HEATMAP",
+        }
+    }
+}
+
+impl fmt::Display for ModuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+macro_rules! define_counters {
+    (
+        $(#[$meta:meta])*
+        $vis:vis enum $name:ident {
+            $($(#[$vmeta:meta])* $variant:ident),+ $(,)?
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        #[allow(missing_docs)]
+        // Variants deliberately mirror Darshan's SCREAMING_SNAKE counter names
+        // so `stringify!` yields the exact identifiers of darshan-parser output.
+        #[allow(non_camel_case_types)]
+        #[repr(usize)]
+        $vis enum $name {
+            $($(#[$vmeta])* $variant),+
+        }
+
+        impl $name {
+            /// Number of counters in this module.
+            $vis const COUNT: usize = [$($name::$variant),+].len();
+
+            /// All counters, in record order.
+            $vis const ALL: [$name; $name::COUNT] = [$($name::$variant),+];
+
+            /// The Darshan counter name (e.g. `POSIX_READS`).
+            #[must_use]
+            $vis fn name(self) -> &'static str {
+                match self {
+                    $($name::$variant => stringify!($variant)),+
+                }
+            }
+
+            /// Position of this counter within the record array.
+            #[must_use]
+            $vis fn index(self) -> usize {
+                self as usize
+            }
+
+            /// Counter at a given record-array position.
+            #[must_use]
+            $vis fn from_index(index: usize) -> Option<$name> {
+                $name::ALL.get(index).copied()
+            }
+
+            /// Look a counter up by its Darshan name.
+            #[must_use]
+            $vis fn from_name(name: &str) -> Option<$name> {
+                match name {
+                    $(stringify!($variant) => Some($name::$variant),)+
+                    _ => None,
+                }
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(self.name())
+            }
+        }
+    };
+}
+
+define_counters! {
+    /// Integer counters of the POSIX module.
+    pub enum PosixCounter {
+        POSIX_OPENS,
+        POSIX_FILENOS,
+        POSIX_DUPS,
+        POSIX_READS,
+        POSIX_WRITES,
+        POSIX_SEEKS,
+        POSIX_STATS,
+        POSIX_MMAPS,
+        POSIX_FSYNCS,
+        POSIX_FDSYNCS,
+        POSIX_RENAME_SOURCES,
+        POSIX_RENAME_TARGETS,
+        POSIX_MODE,
+        POSIX_BYTES_READ,
+        POSIX_BYTES_WRITTEN,
+        POSIX_MAX_BYTE_READ,
+        POSIX_MAX_BYTE_WRITTEN,
+        POSIX_CONSEC_READS,
+        POSIX_CONSEC_WRITES,
+        POSIX_SEQ_READS,
+        POSIX_SEQ_WRITES,
+        POSIX_RW_SWITCHES,
+        POSIX_MEM_NOT_ALIGNED,
+        POSIX_MEM_ALIGNMENT,
+        POSIX_FILE_NOT_ALIGNED,
+        POSIX_FILE_ALIGNMENT,
+        POSIX_MAX_READ_TIME_SIZE,
+        POSIX_MAX_WRITE_TIME_SIZE,
+        POSIX_SIZE_READ_0_100,
+        POSIX_SIZE_READ_100_1K,
+        POSIX_SIZE_READ_1K_10K,
+        POSIX_SIZE_READ_10K_100K,
+        POSIX_SIZE_READ_100K_1M,
+        POSIX_SIZE_READ_1M_4M,
+        POSIX_SIZE_READ_4M_10M,
+        POSIX_SIZE_READ_10M_100M,
+        POSIX_SIZE_READ_100M_1G,
+        POSIX_SIZE_READ_1G_PLUS,
+        POSIX_SIZE_WRITE_0_100,
+        POSIX_SIZE_WRITE_100_1K,
+        POSIX_SIZE_WRITE_1K_10K,
+        POSIX_SIZE_WRITE_10K_100K,
+        POSIX_SIZE_WRITE_100K_1M,
+        POSIX_SIZE_WRITE_1M_4M,
+        POSIX_SIZE_WRITE_4M_10M,
+        POSIX_SIZE_WRITE_10M_100M,
+        POSIX_SIZE_WRITE_100M_1G,
+        POSIX_SIZE_WRITE_1G_PLUS,
+        POSIX_STRIDE1_STRIDE,
+        POSIX_STRIDE2_STRIDE,
+        POSIX_STRIDE3_STRIDE,
+        POSIX_STRIDE4_STRIDE,
+        POSIX_STRIDE1_COUNT,
+        POSIX_STRIDE2_COUNT,
+        POSIX_STRIDE3_COUNT,
+        POSIX_STRIDE4_COUNT,
+        POSIX_ACCESS1_ACCESS,
+        POSIX_ACCESS2_ACCESS,
+        POSIX_ACCESS3_ACCESS,
+        POSIX_ACCESS4_ACCESS,
+        POSIX_ACCESS1_COUNT,
+        POSIX_ACCESS2_COUNT,
+        POSIX_ACCESS3_COUNT,
+        POSIX_ACCESS4_COUNT,
+        POSIX_FASTEST_RANK,
+        POSIX_FASTEST_RANK_BYTES,
+        POSIX_SLOWEST_RANK,
+        POSIX_SLOWEST_RANK_BYTES,
+    }
+}
+
+define_counters! {
+    /// Floating-point counters of the POSIX module.
+    pub enum PosixFCounter {
+        POSIX_F_OPEN_START_TIMESTAMP,
+        POSIX_F_READ_START_TIMESTAMP,
+        POSIX_F_WRITE_START_TIMESTAMP,
+        POSIX_F_CLOSE_START_TIMESTAMP,
+        POSIX_F_OPEN_END_TIMESTAMP,
+        POSIX_F_READ_END_TIMESTAMP,
+        POSIX_F_WRITE_END_TIMESTAMP,
+        POSIX_F_CLOSE_END_TIMESTAMP,
+        POSIX_F_READ_TIME,
+        POSIX_F_WRITE_TIME,
+        POSIX_F_META_TIME,
+        POSIX_F_MAX_READ_TIME,
+        POSIX_F_MAX_WRITE_TIME,
+        POSIX_F_FASTEST_RANK_TIME,
+        POSIX_F_SLOWEST_RANK_TIME,
+        POSIX_F_VARIANCE_RANK_TIME,
+        POSIX_F_VARIANCE_RANK_BYTES,
+    }
+}
+
+define_counters! {
+    /// Integer counters of the MPI-IO module.
+    pub enum MpiioCounter {
+        MPIIO_INDEP_OPENS,
+        MPIIO_COLL_OPENS,
+        MPIIO_INDEP_READS,
+        MPIIO_INDEP_WRITES,
+        MPIIO_COLL_READS,
+        MPIIO_COLL_WRITES,
+        MPIIO_SPLIT_READS,
+        MPIIO_SPLIT_WRITES,
+        MPIIO_NB_READS,
+        MPIIO_NB_WRITES,
+        MPIIO_SYNCS,
+        MPIIO_HINTS,
+        MPIIO_VIEWS,
+        MPIIO_MODE,
+        MPIIO_BYTES_READ,
+        MPIIO_BYTES_WRITTEN,
+        MPIIO_RW_SWITCHES,
+        MPIIO_MAX_READ_TIME_SIZE,
+        MPIIO_MAX_WRITE_TIME_SIZE,
+        MPIIO_SIZE_READ_AGG_0_100,
+        MPIIO_SIZE_READ_AGG_100_1K,
+        MPIIO_SIZE_READ_AGG_1K_10K,
+        MPIIO_SIZE_READ_AGG_10K_100K,
+        MPIIO_SIZE_READ_AGG_100K_1M,
+        MPIIO_SIZE_READ_AGG_1M_4M,
+        MPIIO_SIZE_READ_AGG_4M_10M,
+        MPIIO_SIZE_READ_AGG_10M_100M,
+        MPIIO_SIZE_READ_AGG_100M_1G,
+        MPIIO_SIZE_READ_AGG_1G_PLUS,
+        MPIIO_SIZE_WRITE_AGG_0_100,
+        MPIIO_SIZE_WRITE_AGG_100_1K,
+        MPIIO_SIZE_WRITE_AGG_1K_10K,
+        MPIIO_SIZE_WRITE_AGG_10K_100K,
+        MPIIO_SIZE_WRITE_AGG_100K_1M,
+        MPIIO_SIZE_WRITE_AGG_1M_4M,
+        MPIIO_SIZE_WRITE_AGG_4M_10M,
+        MPIIO_SIZE_WRITE_AGG_10M_100M,
+        MPIIO_SIZE_WRITE_AGG_100M_1G,
+        MPIIO_SIZE_WRITE_AGG_1G_PLUS,
+        MPIIO_ACCESS1_ACCESS,
+        MPIIO_ACCESS2_ACCESS,
+        MPIIO_ACCESS3_ACCESS,
+        MPIIO_ACCESS4_ACCESS,
+        MPIIO_ACCESS1_COUNT,
+        MPIIO_ACCESS2_COUNT,
+        MPIIO_ACCESS3_COUNT,
+        MPIIO_ACCESS4_COUNT,
+        MPIIO_FASTEST_RANK,
+        MPIIO_FASTEST_RANK_BYTES,
+        MPIIO_SLOWEST_RANK,
+        MPIIO_SLOWEST_RANK_BYTES,
+    }
+}
+
+define_counters! {
+    /// Floating-point counters of the MPI-IO module.
+    pub enum MpiioFCounter {
+        MPIIO_F_OPEN_START_TIMESTAMP,
+        MPIIO_F_READ_START_TIMESTAMP,
+        MPIIO_F_WRITE_START_TIMESTAMP,
+        MPIIO_F_CLOSE_START_TIMESTAMP,
+        MPIIO_F_OPEN_END_TIMESTAMP,
+        MPIIO_F_READ_END_TIMESTAMP,
+        MPIIO_F_WRITE_END_TIMESTAMP,
+        MPIIO_F_CLOSE_END_TIMESTAMP,
+        MPIIO_F_READ_TIME,
+        MPIIO_F_WRITE_TIME,
+        MPIIO_F_META_TIME,
+        MPIIO_F_MAX_READ_TIME,
+        MPIIO_F_MAX_WRITE_TIME,
+        MPIIO_F_FASTEST_RANK_TIME,
+        MPIIO_F_SLOWEST_RANK_TIME,
+        MPIIO_F_VARIANCE_RANK_TIME,
+        MPIIO_F_VARIANCE_RANK_BYTES,
+    }
+}
+
+define_counters! {
+    /// Integer counters of the STDIO module.
+    pub enum StdioCounter {
+        STDIO_OPENS,
+        STDIO_FDOPENS,
+        STDIO_READS,
+        STDIO_WRITES,
+        STDIO_SEEKS,
+        STDIO_FLUSHES,
+        STDIO_BYTES_WRITTEN,
+        STDIO_BYTES_READ,
+        STDIO_MAX_BYTE_READ,
+        STDIO_MAX_BYTE_WRITTEN,
+        STDIO_FASTEST_RANK,
+        STDIO_FASTEST_RANK_BYTES,
+        STDIO_SLOWEST_RANK,
+        STDIO_SLOWEST_RANK_BYTES,
+    }
+}
+
+define_counters! {
+    /// Floating-point counters of the STDIO module.
+    pub enum StdioFCounter {
+        STDIO_F_META_TIME,
+        STDIO_F_WRITE_TIME,
+        STDIO_F_READ_TIME,
+        STDIO_F_OPEN_START_TIMESTAMP,
+        STDIO_F_CLOSE_START_TIMESTAMP,
+        STDIO_F_WRITE_START_TIMESTAMP,
+        STDIO_F_READ_START_TIMESTAMP,
+        STDIO_F_OPEN_END_TIMESTAMP,
+        STDIO_F_CLOSE_END_TIMESTAMP,
+        STDIO_F_WRITE_END_TIMESTAMP,
+        STDIO_F_READ_END_TIMESTAMP,
+        STDIO_F_FASTEST_RANK_TIME,
+        STDIO_F_SLOWEST_RANK_TIME,
+        STDIO_F_VARIANCE_RANK_TIME,
+        STDIO_F_VARIANCE_RANK_BYTES,
+    }
+}
+
+define_counters! {
+    /// Integer counters of the Lustre module (striping metadata).
+    pub enum LustreCounter {
+        LUSTRE_OSTS,
+        LUSTRE_MDTS,
+        LUSTRE_STRIPE_OFFSET,
+        LUSTRE_STRIPE_SIZE,
+        LUSTRE_STRIPE_WIDTH,
+    }
+}
+
+/// Size-histogram bin boundaries shared by the POSIX and MPI-IO modules.
+///
+/// Bin `i` counts operations whose size `s` satisfies
+/// `SIZE_BIN_BOUNDS[i] <= s < SIZE_BIN_BOUNDS[i + 1]` (the last bin is
+/// unbounded above).
+pub const SIZE_BIN_BOUNDS: [u64; 10] = [
+    0,
+    100,
+    1_024,
+    10_240,
+    102_400,
+    1_048_576,
+    4_194_304,
+    10_485_760,
+    104_857_600,
+    1_073_741_824,
+];
+
+/// Index of the size-histogram bin a transfer of `size` bytes falls in.
+///
+/// ```
+/// use darshan::counters::size_bin;
+/// assert_eq!(size_bin(0), 0);
+/// assert_eq!(size_bin(99), 0);
+/// assert_eq!(size_bin(100), 1);
+/// assert_eq!(size_bin(1 << 30), 9);
+/// ```
+#[must_use]
+pub fn size_bin(size: u64) -> usize {
+    match SIZE_BIN_BOUNDS.binary_search(&size) {
+        Ok(i) => i,
+        Err(i) => i - 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_code_round_trips() {
+        for m in ModuleId::ALL {
+            assert_eq!(ModuleId::from_code(m.code()), Some(m));
+        }
+        assert_eq!(ModuleId::from_code(0), None);
+        assert_eq!(ModuleId::from_code(99), None);
+    }
+
+    #[test]
+    fn posix_counter_names_match_variants() {
+        assert_eq!(PosixCounter::POSIX_READS.name(), "POSIX_READS");
+        assert_eq!(
+            PosixCounter::from_name("POSIX_FILE_NOT_ALIGNED"),
+            Some(PosixCounter::POSIX_FILE_NOT_ALIGNED)
+        );
+        assert_eq!(PosixCounter::from_name("NOPE"), None);
+    }
+
+    #[test]
+    fn counter_indices_are_dense_and_round_trip() {
+        for (i, c) in PosixCounter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(PosixCounter::from_index(i), Some(*c));
+        }
+        assert_eq!(PosixCounter::from_index(PosixCounter::COUNT), None);
+    }
+
+    #[test]
+    fn counter_counts() {
+        assert_eq!(PosixCounter::COUNT, 68);
+        assert_eq!(PosixFCounter::COUNT, 17);
+        assert_eq!(MpiioCounter::COUNT, 51);
+        assert_eq!(MpiioFCounter::COUNT, 17);
+        assert_eq!(StdioCounter::COUNT, 14);
+        assert_eq!(StdioFCounter::COUNT, 15);
+        assert_eq!(LustreCounter::COUNT, 5);
+    }
+
+    #[test]
+    fn size_bins_cover_all_boundaries() {
+        assert_eq!(size_bin(0), 0);
+        assert_eq!(size_bin(100), 1);
+        assert_eq!(size_bin(1023), 1);
+        assert_eq!(size_bin(1024), 2);
+        assert_eq!(size_bin(10_240), 3);
+        assert_eq!(size_bin(102_400), 4);
+        assert_eq!(size_bin(1_048_576), 5);
+        assert_eq!(size_bin(4_194_303), 5);
+        assert_eq!(size_bin(4_194_304), 6);
+        assert_eq!(size_bin(10_485_760), 7);
+        assert_eq!(size_bin(104_857_600), 8);
+        assert_eq!(size_bin(1_073_741_824), 9);
+        assert_eq!(size_bin(u64::MAX), 9);
+    }
+
+    #[test]
+    fn size_bin_counts_match_histogram_counters() {
+        // The POSIX module dedicates exactly 10 bins to reads and 10 to writes.
+        let read_bins = PosixCounter::ALL
+            .iter()
+            .filter(|c| c.name().starts_with("POSIX_SIZE_READ_"))
+            .count();
+        let write_bins = PosixCounter::ALL
+            .iter()
+            .filter(|c| c.name().starts_with("POSIX_SIZE_WRITE_"))
+            .count();
+        assert_eq!(read_bins, SIZE_BIN_BOUNDS.len());
+        assert_eq!(write_bins, SIZE_BIN_BOUNDS.len());
+    }
+
+    #[test]
+    fn histogram_counters_are_contiguous() {
+        // accum relies on bin index arithmetic from the first histogram bin.
+        let first = PosixCounter::POSIX_SIZE_READ_0_100.index();
+        for i in 0..10 {
+            let c = PosixCounter::from_index(first + i).unwrap();
+            assert!(c.name().starts_with("POSIX_SIZE_READ_"), "{c}");
+        }
+        let first_w = PosixCounter::POSIX_SIZE_WRITE_0_100.index();
+        assert_eq!(first_w, first + 10);
+    }
+
+    #[test]
+    fn module_display_matches_parser_names() {
+        assert_eq!(ModuleId::MpiIo.to_string(), "MPI-IO");
+        assert_eq!(ModuleId::Posix.to_string(), "POSIX");
+    }
+}

@@ -1,0 +1,216 @@
+//! Darshan eXtended Tracing (DXT) records.
+//!
+//! DXT extends Darshan's statistical counters with a per-operation trace:
+//! every POSIX or MPI-IO read/write is recorded with its file, rank, offset,
+//! length and start/end timestamps. These fine-grained traces are what let
+//! ION reason about consecutiveness, overlap and stripe conflicts.
+
+use serde::{Deserialize, Serialize};
+
+/// Which interface layer an operation was issued through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DxtLayer {
+    /// Operation captured at the POSIX layer.
+    Posix,
+    /// Operation captured at the MPI-IO layer.
+    MpiIo,
+}
+
+impl DxtLayer {
+    /// Name used in `darshan-dxt-parser` output (`X_POSIX` / `X_MPIIO`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DxtLayer::Posix => "X_POSIX",
+            DxtLayer::MpiIo => "X_MPIIO",
+        }
+    }
+}
+
+/// Operation direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// A read operation.
+    Read,
+    /// A write operation.
+    Write,
+}
+
+impl OpKind {
+    /// Lower-case name used in DXT text output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Read => "read",
+            OpKind::Write => "write",
+        }
+    }
+}
+
+/// One traced I/O operation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DxtSegment {
+    /// Byte offset of the access within the file.
+    pub offset: u64,
+    /// Transfer length in bytes.
+    pub length: u64,
+    /// Start time, seconds relative to job start.
+    pub start_time: f64,
+    /// End time, seconds relative to job start.
+    pub end_time: f64,
+}
+
+impl DxtSegment {
+    /// Duration of the operation in seconds.
+    #[must_use]
+    pub fn duration(&self) -> f64 {
+        (self.end_time - self.start_time).max(0.0)
+    }
+
+    /// Exclusive end offset of the byte range touched.
+    #[must_use]
+    pub fn end_offset(&self) -> u64 {
+        self.offset.saturating_add(self.length)
+    }
+
+    /// Whether two segments touch overlapping byte ranges.
+    ///
+    /// Zero-length segments touch no bytes and never overlap anything.
+    #[must_use]
+    pub fn overlaps(&self, other: &DxtSegment) -> bool {
+        self.length > 0
+            && other.length > 0
+            && self.offset < other.end_offset()
+            && other.offset < self.end_offset()
+    }
+
+    /// Whether two segments overlap in time.
+    #[must_use]
+    pub fn overlaps_in_time(&self, other: &DxtSegment) -> bool {
+        self.start_time < other.end_time && other.start_time < self.end_time
+    }
+}
+
+/// DXT trace for one `(file, rank, layer)` triple.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DxtRecord {
+    /// Hashed record id of the file.
+    pub file_id: u64,
+    /// MPI rank that issued the operations.
+    pub rank: i32,
+    /// Interface layer the trace was captured at.
+    pub layer: DxtLayer,
+    /// Hostname of the node the rank ran on.
+    pub hostname: String,
+    /// Traced write operations, in issue order.
+    pub writes: Vec<DxtSegment>,
+    /// Traced read operations, in issue order.
+    pub reads: Vec<DxtSegment>,
+}
+
+impl DxtRecord {
+    /// Create an empty trace record.
+    #[must_use]
+    pub fn new(file_id: u64, rank: i32, layer: DxtLayer, hostname: &str) -> Self {
+        DxtRecord {
+            file_id,
+            rank,
+            layer,
+            hostname: hostname.to_owned(),
+            writes: Vec::new(),
+            reads: Vec::new(),
+        }
+    }
+
+    /// Append a traced operation.
+    pub fn push(&mut self, kind: OpKind, segment: DxtSegment) {
+        match kind {
+            OpKind::Read => self.reads.push(segment),
+            OpKind::Write => self.writes.push(segment),
+        }
+    }
+
+    /// Total number of traced operations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.reads.len() + self.writes.len()
+    }
+
+    /// Whether the record contains no operations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty() && self.writes.is_empty()
+    }
+
+    /// Iterate over all segments with their op kind, writes first (the
+    /// order `darshan-dxt-parser` prints them).
+    pub fn iter(&self) -> impl Iterator<Item = (OpKind, &DxtSegment)> {
+        self.writes
+            .iter()
+            .map(|s| (OpKind::Write, s))
+            .chain(self.reads.iter().map(|s| (OpKind::Read, s)))
+    }
+
+    /// Total bytes moved by this record.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.iter().map(|(_, s)| s.length).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(offset: u64, length: u64, start: f64, end: f64) -> DxtSegment {
+        DxtSegment {
+            offset,
+            length,
+            start_time: start,
+            end_time: end,
+        }
+    }
+
+    #[test]
+    fn segment_overlap_detection() {
+        let a = seg(0, 100, 0.0, 1.0);
+        let b = seg(99, 10, 2.0, 3.0);
+        let c = seg(100, 10, 0.5, 1.5);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(!a.overlaps_in_time(&b));
+        assert!(a.overlaps_in_time(&c));
+    }
+
+    #[test]
+    fn zero_length_segment_never_overlaps() {
+        let a = seg(10, 0, 0.0, 0.0);
+        let b = seg(0, 100, 0.0, 1.0);
+        assert!(!a.overlaps(&b));
+    }
+
+    #[test]
+    fn duration_clamped_non_negative() {
+        assert_eq!(seg(0, 1, 5.0, 4.0).duration(), 0.0);
+        assert!((seg(0, 1, 1.0, 3.5).duration() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_push_and_iter_order() {
+        let mut r = DxtRecord::new(1, 0, DxtLayer::Posix, "n0");
+        r.push(OpKind::Read, seg(0, 10, 0.0, 0.1));
+        r.push(OpKind::Write, seg(10, 20, 0.1, 0.2));
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        // Writes are iterated first.
+        let kinds: Vec<OpKind> = r.iter().map(|(k, _)| k).collect();
+        assert_eq!(kinds, vec![OpKind::Write, OpKind::Read]);
+        assert_eq!(r.total_bytes(), 30);
+    }
+
+    #[test]
+    fn end_offset_saturates() {
+        let s = seg(u64::MAX - 1, 10, 0.0, 0.0);
+        assert_eq!(s.end_offset(), u64::MAX);
+    }
+}

@@ -1,0 +1,112 @@
+//! Darshan-compatible I/O characterization data model and log codec.
+//!
+//! [Darshan](https://www.mcs.anl.gov/research/projects/darshan/) is the de
+//! facto HPC I/O profiling tool: it records, per application run, a compact
+//! statistical record for every file accessed through each I/O interface
+//! (POSIX, MPI-IO, STDIO), plus Lustre striping metadata, and — with
+//! Darshan eXtended Tracing (DXT) — a fine-grained record of every read and
+//! write operation.
+//!
+//! This crate reimplements the parts of Darshan that the ION pipeline
+//! depends on, from scratch:
+//!
+//! * [`counters`] — the counter vocabularies of the POSIX, MPI-IO, STDIO and
+//!   Lustre modules, using Darshan's own counter names
+//!   (`POSIX_SIZE_READ_0_100`, `POSIX_FILE_NOT_ALIGNED`, …).
+//! * [`records`] — per-file-per-rank counter records, the job record, and
+//!   the name-record table mapping hashed record ids to file paths.
+//! * [`dxt`] — DXT trace segments (offset, length, start/end timestamps).
+//! * [`accum`] — the *instrumentation accumulators* that turn a stream of
+//!   I/O operations into counter records exactly the way the Darshan
+//!   runtime library does (sequential/consecutive classification, size
+//!   histograms, alignment counters, common access sizes, strides…).
+//! * [`log`] — a compact binary log format (varint + delta encoding,
+//!   CRC-32-checksummed regions) with a writer and a reader.
+//! * [`parser`] — text renderers equivalent to `darshan-parser` and
+//!   `darshan-dxt-parser`.
+//!
+//! # Example
+//!
+//! ```
+//! use darshan::accum::PosixAccumulator;
+//! use darshan::records::JobRecord;
+//! use darshan::log::{LogWriter, LogReader};
+//!
+//! # fn main() -> Result<(), darshan::DarshanError> {
+//! // Record two writes to one file on rank 0, as instrumentation would.
+//! let mut acc = PosixAccumulator::new(7001, 0);
+//! acc.open(0.0, 0.001);
+//! acc.write(0, 4096, 0.0015, 0.002, true);
+//! acc.write(4096, 4096, 0.002, 0.0025, true);
+//! acc.close(0.003, 0.0031);
+//!
+//! let mut writer = LogWriter::new(JobRecord::new(1000, 42, 1));
+//! writer.register_name(7001, "/scratch/out.dat");
+//! writer.add_posix_record(acc.finish());
+//! let bytes = writer.finish()?;
+//!
+//! let log = LogReader::read(&bytes)?;
+//! assert_eq!(log.posix.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accum;
+pub mod counters;
+pub mod dxt;
+pub mod heatmap;
+pub mod log;
+pub mod parser;
+pub mod records;
+
+mod error;
+
+pub use error::DarshanError;
+
+/// Hash a file path into a Darshan record id.
+///
+/// Darshan identifies files by a 64-bit hash of the path so that records
+/// from different ranks can be reduced without exchanging strings. We use
+/// FNV-1a, which is stable, dependency-free and collision-resistant enough
+/// for the small file populations of a single job.
+///
+/// ```
+/// let id = darshan::record_id("/scratch/data.h5");
+/// assert_eq!(id, darshan::record_id("/scratch/data.h5"));
+/// assert_ne!(id, darshan::record_id("/scratch/data2.h5"));
+/// ```
+#[must_use]
+pub fn record_id(path: &str) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for b in path.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_id_is_deterministic() {
+        assert_eq!(record_id("a"), record_id("a"));
+    }
+
+    #[test]
+    fn record_id_distinguishes_paths() {
+        assert_ne!(record_id("/a/b"), record_id("/a/c"));
+        assert_ne!(record_id(""), record_id("/"));
+    }
+
+    #[test]
+    fn record_id_empty_is_fnv_offset() {
+        assert_eq!(record_id(""), 0xcbf2_9ce4_8422_2325);
+    }
+}

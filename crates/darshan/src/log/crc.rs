@@ -1,0 +1,92 @@
+//! CRC-32 (IEEE 802.3 polynomial) used to checksum log regions.
+
+/// Streaming CRC-32 hasher.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+const POLY: u32 = 0xedb8_8320;
+
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            }
+            *entry = crc;
+        }
+        t
+    })
+}
+
+impl Crc32 {
+    /// Start a new hash.
+    #[must_use]
+    pub fn new() -> Self {
+        Crc32 { state: 0xffff_ffff }
+    }
+
+    /// Feed bytes into the hash.
+    pub fn update(&mut self, data: &[u8]) {
+        let t = table();
+        for &b in data {
+            let idx = ((self.state ^ u32::from(b)) & 0xff) as usize;
+            self.state = (self.state >> 8) ^ t[idx];
+        }
+    }
+
+    /// Finish and return the checksum.
+    #[must_use]
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xffff_ffff
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_test_vectors() {
+        // Standard CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xe8b7_be43);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut c = Crc32::new();
+        c.update(&data[..10]);
+        c.update(&data[10..]);
+        assert_eq!(c.finalize(), crc32(data));
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = vec![0u8; 64];
+        let before = crc32(&data);
+        data[17] ^= 0x04;
+        assert_ne!(before, crc32(&data));
+    }
+}

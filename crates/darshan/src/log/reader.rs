@@ -1,0 +1,321 @@
+//! Log deserialization with checksum verification.
+
+use super::varint::{get_f64, get_ivarint, get_string, get_uvarint};
+use super::{crc32, Log, MAGIC, TAG_END, TAG_JOB, TAG_NAMES, VERSION};
+use crate::counters::{
+    LustreCounter, ModuleId, MpiioCounter, MpiioFCounter, PosixCounter, PosixFCounter,
+    StdioCounter, StdioFCounter,
+};
+use crate::dxt::{DxtLayer, DxtRecord, DxtSegment};
+use crate::heatmap::HeatmapRecord;
+use crate::records::{JobRecord, LustreRecord, MpiioRecord, NameRecord, PosixRecord, StdioRecord};
+use crate::DarshanError;
+
+/// Decodes binary logs produced by [`super::LogWriter`].
+#[derive(Debug)]
+pub struct LogReader;
+
+impl LogReader {
+    /// Decode a complete log from bytes, verifying every region checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DarshanError`] describing the first structural problem:
+    /// bad magic, unsupported version, CRC mismatch, truncation, or a
+    /// malformed record.
+    pub fn read(bytes: &[u8]) -> Result<Log, DarshanError> {
+        let mut buf = bytes;
+        if buf.len() < 8 {
+            return Err(DarshanError::UnexpectedEof { decoding: "header" });
+        }
+        let magic = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+        if magic != MAGIC {
+            return Err(DarshanError::BadMagic { found: magic });
+        }
+        let version = u16::from_le_bytes([buf[4], buf[5]]);
+        if version != VERSION {
+            return Err(DarshanError::UnsupportedVersion { found: version });
+        }
+        buf = &buf[8..];
+
+        let mut log = Log::new(JobRecord::new(0, 0, 0));
+        let mut saw_job = false;
+        loop {
+            if buf.is_empty() {
+                return Err(DarshanError::UnexpectedEof { decoding: "region tag" });
+            }
+            let tag = buf[0];
+            buf = &buf[1..];
+            if tag == TAG_END {
+                break;
+            }
+            let len = get_uvarint(&mut buf)? as usize;
+            if buf.len() < len + 4 {
+                return Err(DarshanError::UnexpectedEof { decoding: "region payload" });
+            }
+            let payload = &buf[..len];
+            let stored_crc = u32::from_le_bytes([
+                buf[len],
+                buf[len + 1],
+                buf[len + 2],
+                buf[len + 3],
+            ]);
+            buf = &buf[len + 4..];
+            let actual = crc32(payload);
+            if actual != stored_crc {
+                return Err(DarshanError::ChecksumMismatch {
+                    region: region_name(tag),
+                    expected: stored_crc,
+                    actual,
+                });
+            }
+            let mut p = payload;
+            match tag {
+                TAG_JOB => {
+                    log.job = decode_job(&mut p)?;
+                    saw_job = true;
+                }
+                TAG_NAMES => {
+                    let n = get_uvarint(&mut p)? as usize;
+                    for _ in 0..n {
+                        let id = get_uvarint(&mut p)?;
+                        let path = get_string(&mut p)?;
+                        log.names.push(NameRecord { id, path });
+                    }
+                }
+                t => match ModuleId::from_code(t) {
+                    Some(ModuleId::Posix) => {
+                        let n = get_uvarint(&mut p)? as usize;
+                        for _ in 0..n {
+                            log.posix.push(decode_posix(&mut p)?);
+                        }
+                    }
+                    Some(ModuleId::MpiIo) => {
+                        let n = get_uvarint(&mut p)? as usize;
+                        for _ in 0..n {
+                            log.mpiio.push(decode_mpiio(&mut p)?);
+                        }
+                    }
+                    Some(ModuleId::Stdio) => {
+                        let n = get_uvarint(&mut p)? as usize;
+                        for _ in 0..n {
+                            log.stdio.push(decode_stdio(&mut p)?);
+                        }
+                    }
+                    Some(ModuleId::Lustre) => {
+                        let n = get_uvarint(&mut p)? as usize;
+                        for _ in 0..n {
+                            log.lustre.push(decode_lustre(&mut p)?);
+                        }
+                    }
+                    Some(ModuleId::Dxt) => {
+                        let n = get_uvarint(&mut p)? as usize;
+                        for _ in 0..n {
+                            log.dxt.push(decode_dxt(&mut p)?);
+                        }
+                    }
+                    Some(ModuleId::Heatmap) => {
+                        let n = get_uvarint(&mut p)? as usize;
+                        for _ in 0..n {
+                            log.heatmap.push(decode_heatmap(&mut p)?);
+                        }
+                    }
+                    None => return Err(DarshanError::UnknownModule { id: t }),
+                },
+            }
+        }
+        if !saw_job {
+            return Err(DarshanError::UnexpectedEof { decoding: "job region" });
+        }
+        Ok(log)
+    }
+}
+
+fn region_name(tag: u8) -> &'static str {
+    match tag {
+        TAG_JOB => "job",
+        TAG_NAMES => "names",
+        t => ModuleId::from_code(t).map_or("unknown", ModuleId::name),
+    }
+}
+
+fn decode_job(p: &mut &[u8]) -> Result<JobRecord, DarshanError> {
+    let uid = get_uvarint(p)? as u32;
+    let job_id = get_uvarint(p)?;
+    let nprocs = get_uvarint(p)? as u32;
+    let mut job = JobRecord::new(uid, job_id, nprocs);
+    job.start_time = get_f64(p)?;
+    job.end_time = get_f64(p)?;
+    job.exe = get_string(p)?;
+    let n = get_uvarint(p)? as usize;
+    for _ in 0..n {
+        let k = get_string(p)?;
+        let v = get_string(p)?;
+        job.metadata.push((k, v));
+    }
+    Ok(job)
+}
+
+fn decode_counter_arrays(
+    p: &mut &[u8],
+    module: &'static str,
+    ccount: usize,
+    fcount: usize,
+) -> Result<(u64, i32, Vec<i64>, Vec<f64>), DarshanError> {
+    let file_id = get_uvarint(p)?;
+    let rank = get_ivarint(p)? as i32;
+    let nc = get_uvarint(p)? as usize;
+    if nc != ccount {
+        return Err(DarshanError::CounterCountMismatch {
+            module,
+            expected: ccount,
+            found: nc,
+        });
+    }
+    let mut counters = Vec::with_capacity(nc);
+    for _ in 0..nc {
+        counters.push(get_ivarint(p)?);
+    }
+    let nf = get_uvarint(p)? as usize;
+    if nf != fcount {
+        return Err(DarshanError::CounterCountMismatch {
+            module,
+            expected: fcount,
+            found: nf,
+        });
+    }
+    let mut fcounters = Vec::with_capacity(nf);
+    for _ in 0..nf {
+        fcounters.push(get_f64(p)?);
+    }
+    Ok((file_id, rank, counters, fcounters))
+}
+
+fn decode_posix(p: &mut &[u8]) -> Result<PosixRecord, DarshanError> {
+    let (file_id, rank, counters, fcounters) =
+        decode_counter_arrays(p, "POSIX", PosixCounter::COUNT, PosixFCounter::COUNT)?;
+    Ok(PosixRecord {
+        file_id,
+        rank,
+        counters,
+        fcounters,
+    })
+}
+
+fn decode_mpiio(p: &mut &[u8]) -> Result<MpiioRecord, DarshanError> {
+    let (file_id, rank, counters, fcounters) =
+        decode_counter_arrays(p, "MPI-IO", MpiioCounter::COUNT, MpiioFCounter::COUNT)?;
+    Ok(MpiioRecord {
+        file_id,
+        rank,
+        counters,
+        fcounters,
+    })
+}
+
+fn decode_stdio(p: &mut &[u8]) -> Result<StdioRecord, DarshanError> {
+    let (file_id, rank, counters, fcounters) =
+        decode_counter_arrays(p, "STDIO", StdioCounter::COUNT, StdioFCounter::COUNT)?;
+    Ok(StdioRecord {
+        file_id,
+        rank,
+        counters,
+        fcounters,
+    })
+}
+
+fn decode_lustre(p: &mut &[u8]) -> Result<LustreRecord, DarshanError> {
+    let file_id = get_uvarint(p)?;
+    let rank = get_ivarint(p)? as i32;
+    let nc = get_uvarint(p)? as usize;
+    if nc != LustreCounter::COUNT {
+        return Err(DarshanError::CounterCountMismatch {
+            module: "LUSTRE",
+            expected: LustreCounter::COUNT,
+            found: nc,
+        });
+    }
+    let mut counters = Vec::with_capacity(nc);
+    for _ in 0..nc {
+        counters.push(get_ivarint(p)?);
+    }
+    let no = get_uvarint(p)? as usize;
+    if no > p.len() {
+        return Err(DarshanError::UnexpectedEof { decoding: "lustre ost ids" });
+    }
+    let mut ost_ids = Vec::with_capacity(no);
+    for _ in 0..no {
+        ost_ids.push(get_ivarint(p)?);
+    }
+    Ok(LustreRecord {
+        file_id,
+        rank,
+        counters,
+        ost_ids,
+    })
+}
+
+fn decode_heatmap(p: &mut &[u8]) -> Result<HeatmapRecord, DarshanError> {
+    let rank = get_ivarint(p)? as i32;
+    let bin_width = get_f64(p)?;
+    let nbins = get_uvarint(p)? as usize;
+    // A bin costs at least one byte each for reads and writes.
+    if nbins > p.len() / 2 + 1 {
+        return Err(DarshanError::UnexpectedEof { decoding: "heatmap bins" });
+    }
+    let mut read_bytes = Vec::with_capacity(nbins);
+    for _ in 0..nbins {
+        read_bytes.push(get_uvarint(p)?);
+    }
+    let mut write_bytes = Vec::with_capacity(nbins);
+    for _ in 0..nbins {
+        write_bytes.push(get_uvarint(p)?);
+    }
+    Ok(HeatmapRecord {
+        rank,
+        bin_width,
+        read_bytes,
+        write_bytes,
+    })
+}
+
+fn decode_dxt(p: &mut &[u8]) -> Result<DxtRecord, DarshanError> {
+    let file_id = get_uvarint(p)?;
+    let rank = get_ivarint(p)? as i32;
+    if p.is_empty() {
+        return Err(DarshanError::UnexpectedEof { decoding: "dxt layer" });
+    }
+    let layer = match p[0] {
+        0 => DxtLayer::Posix,
+        1 => DxtLayer::MpiIo,
+        other => return Err(DarshanError::UnknownModule { id: other }),
+    };
+    *p = &p[1..];
+    let hostname = get_string(p)?;
+    let mut record = DxtRecord::new(file_id, rank, layer, &hostname);
+    for dest in [&mut record.writes, &mut record.reads] {
+        let n = get_uvarint(p)? as usize;
+        // A segment costs at least 18 bytes on the wire; reject counts that
+        // cannot possibly fit so corrupt lengths fail fast instead of OOMing.
+        if n > p.len() / 18 + 1 {
+            return Err(DarshanError::UnexpectedEof { decoding: "dxt segments" });
+        }
+        dest.reserve(n);
+        let mut prev_offset: i64 = 0;
+        for _ in 0..n {
+            let delta = get_ivarint(p)?;
+            let offset = prev_offset + delta;
+            prev_offset = offset;
+            let length = get_uvarint(p)?;
+            let start_time = get_f64(p)?;
+            let end_time = get_f64(p)?;
+            dest.push(DxtSegment {
+                offset: offset as u64,
+                length,
+                start_time,
+                end_time,
+            });
+        }
+    }
+    Ok(record)
+}

@@ -1,0 +1,207 @@
+//! LEB128 varint and zigzag encoding used by the binary log format.
+
+use crate::DarshanError;
+use bytes::{Buf, BufMut};
+
+/// Encode an unsigned integer as LEB128.
+pub fn put_uvarint(buf: &mut impl BufMut, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Decode a LEB128 unsigned integer.
+///
+/// # Errors
+///
+/// Returns [`DarshanError::UnexpectedEof`] when the buffer runs out mid-value
+/// and [`DarshanError::VarintOverflow`] when the encoding exceeds 64 bits.
+pub fn get_uvarint(buf: &mut impl Buf) -> Result<u64, DarshanError> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(DarshanError::UnexpectedEof { decoding: "varint" });
+        }
+        let byte = buf.get_u8();
+        if shift == 63 && byte > 1 {
+            return Err(DarshanError::VarintOverflow);
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(DarshanError::VarintOverflow);
+        }
+    }
+}
+
+/// Zigzag-map a signed integer so small magnitudes encode small.
+#[must_use]
+pub fn zigzag(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[must_use]
+pub fn unzigzag(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+/// Encode a signed integer (zigzag + LEB128).
+pub fn put_ivarint(buf: &mut impl BufMut, value: i64) {
+    put_uvarint(buf, zigzag(value));
+}
+
+/// Decode a signed integer (zigzag + LEB128).
+///
+/// # Errors
+///
+/// Same conditions as [`get_uvarint`].
+pub fn get_ivarint(buf: &mut impl Buf) -> Result<i64, DarshanError> {
+    Ok(unzigzag(get_uvarint(buf)?))
+}
+
+/// Encode an `f64` as its little-endian bit pattern.
+pub fn put_f64(buf: &mut impl BufMut, value: f64) {
+    buf.put_u64_le(value.to_bits());
+}
+
+/// Decode an `f64` from its little-endian bit pattern.
+///
+/// # Errors
+///
+/// Returns [`DarshanError::UnexpectedEof`] on a short buffer.
+pub fn get_f64(buf: &mut impl Buf) -> Result<f64, DarshanError> {
+    if buf.remaining() < 8 {
+        return Err(DarshanError::UnexpectedEof { decoding: "f64" });
+    }
+    Ok(f64::from_bits(buf.get_u64_le()))
+}
+
+/// Encode a length-prefixed UTF-8 string.
+///
+/// # Errors
+///
+/// Returns [`DarshanError::StringTooLong`] for strings over 64 KiB.
+pub fn put_string(buf: &mut impl BufMut, s: &str) -> Result<(), DarshanError> {
+    const MAX: usize = 65_536;
+    if s.len() > MAX {
+        return Err(DarshanError::StringTooLong { len: s.len(), max: MAX });
+    }
+    put_uvarint(buf, s.len() as u64);
+    buf.put_slice(s.as_bytes());
+    Ok(())
+}
+
+/// Decode a length-prefixed UTF-8 string.
+///
+/// # Errors
+///
+/// Returns [`DarshanError::UnexpectedEof`] on truncation and
+/// [`DarshanError::InvalidName`] on invalid UTF-8.
+pub fn get_string(buf: &mut impl Buf) -> Result<String, DarshanError> {
+    let len = get_uvarint(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(DarshanError::UnexpectedEof { decoding: "string" });
+    }
+    let mut bytes = vec![0u8; len];
+    buf.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|_| DarshanError::InvalidName)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uvarint_round_trip_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX / 2, u64::MAX] {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            let mut slice = &buf[..];
+            assert_eq!(get_uvarint(&mut slice).unwrap(), v);
+            assert!(slice.is_empty());
+        }
+    }
+
+    #[test]
+    fn ivarint_round_trip_signs() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            let mut buf = Vec::new();
+            put_ivarint(&mut buf, v);
+            assert_eq!(get_ivarint(&mut &buf[..]).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_small_magnitudes_encode_small() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        assert_eq!(unzigzag(zigzag(i64::MIN)), i64::MIN);
+    }
+
+    #[test]
+    fn truncated_varint_is_eof() {
+        let buf = [0x80u8, 0x80];
+        assert!(matches!(
+            get_uvarint(&mut &buf[..]),
+            Err(DarshanError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn overlong_varint_is_overflow() {
+        let buf = [0xffu8; 11];
+        assert!(matches!(
+            get_uvarint(&mut &buf[..]),
+            Err(DarshanError::VarintOverflow)
+        ));
+    }
+
+    #[test]
+    fn f64_round_trip_specials() {
+        for v in [0.0f64, -0.0, 1.5, f64::MAX, f64::MIN_POSITIVE, f64::INFINITY] {
+            let mut buf = Vec::new();
+            put_f64(&mut buf, v);
+            assert_eq!(get_f64(&mut &buf[..]).unwrap().to_bits(), v.to_bits());
+        }
+        let mut buf = Vec::new();
+        put_f64(&mut buf, f64::NAN);
+        assert!(get_f64(&mut &buf[..]).unwrap().is_nan());
+    }
+
+    #[test]
+    fn string_round_trip_and_limits() {
+        let mut buf = Vec::new();
+        put_string(&mut buf, "héllo/wörld").unwrap();
+        assert_eq!(get_string(&mut &buf[..]).unwrap(), "héllo/wörld");
+
+        let long = "x".repeat(70_000);
+        assert!(matches!(
+            put_string(&mut Vec::new(), &long),
+            Err(DarshanError::StringTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_string_rejected() {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, 2);
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        assert!(matches!(
+            get_string(&mut &buf[..]),
+            Err(DarshanError::InvalidName)
+        ));
+    }
+}

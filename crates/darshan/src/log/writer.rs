@@ -1,0 +1,250 @@
+//! Log serialization.
+
+use super::varint::{put_f64, put_ivarint, put_string, put_uvarint};
+use super::{crc32, Log, MAGIC, TAG_END, TAG_JOB, TAG_NAMES, VERSION};
+use crate::counters::ModuleId;
+use crate::dxt::{DxtLayer, DxtRecord};
+use crate::heatmap::HeatmapRecord;
+use crate::records::{JobRecord, LustreRecord, MpiioRecord, PosixRecord, StdioRecord};
+use crate::DarshanError;
+
+/// Accumulates records and serializes them into the binary log format.
+///
+/// The writer mirrors how `darshan-core` assembles a log at MPI finalize
+/// time: records are appended per module and the container is framed in one
+/// pass by [`LogWriter::finish`].
+#[derive(Debug, Clone)]
+pub struct LogWriter {
+    log: Log,
+}
+
+impl LogWriter {
+    /// Start a log for the given job.
+    #[must_use]
+    pub fn new(job: JobRecord) -> Self {
+        LogWriter { log: Log::new(job) }
+    }
+
+    /// Wrap an existing in-memory log for serialization.
+    #[must_use]
+    pub fn from_log(log: Log) -> Self {
+        LogWriter { log }
+    }
+
+    /// Register a record id → path mapping.
+    pub fn register_name(&mut self, id: u64, path: &str) {
+        if !self.log.names.iter().any(|n| n.id == id) {
+            self.log.names.push(crate::records::NameRecord {
+                id,
+                path: path.to_owned(),
+            });
+        }
+    }
+
+    /// Append a POSIX record.
+    pub fn add_posix_record(&mut self, record: PosixRecord) {
+        self.log.posix.push(record);
+    }
+
+    /// Append an MPI-IO record.
+    pub fn add_mpiio_record(&mut self, record: MpiioRecord) {
+        self.log.mpiio.push(record);
+    }
+
+    /// Append a STDIO record.
+    pub fn add_stdio_record(&mut self, record: StdioRecord) {
+        self.log.stdio.push(record);
+    }
+
+    /// Append a Lustre record.
+    pub fn add_lustre_record(&mut self, record: LustreRecord) {
+        self.log.lustre.push(record);
+    }
+
+    /// Append a DXT record.
+    pub fn add_dxt_record(&mut self, record: DxtRecord) {
+        self.log.dxt.push(record);
+    }
+
+    /// Append a heatmap record.
+    pub fn add_heatmap_record(&mut self, record: HeatmapRecord) {
+        self.log.heatmap.push(record);
+    }
+
+    /// Access the job record for mutation (e.g. to set end time).
+    pub fn job_mut(&mut self) -> &mut JobRecord {
+        &mut self.log.job
+    }
+
+    /// Consume the writer and return the in-memory log without serializing.
+    #[must_use]
+    pub fn into_log(self) -> Log {
+        self.log
+    }
+
+    /// Borrow the in-memory log.
+    #[must_use]
+    pub fn log(&self) -> &Log {
+        &self.log
+    }
+
+    /// Serialize the log into bytes.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if a string field (path, hostname, exe) exceeds the
+    /// format's 64 KiB string limit.
+    pub fn finish(&mut self) -> Result<Vec<u8>, DarshanError> {
+        let mut out = Vec::with_capacity(4096);
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes()); // flags
+
+        let mut payload = Vec::new();
+        encode_job(&mut payload, &self.log.job)?;
+        region(&mut out, TAG_JOB, &payload);
+
+        payload.clear();
+        put_uvarint(&mut payload, self.log.names.len() as u64);
+        for n in &self.log.names {
+            put_uvarint(&mut payload, n.id);
+            put_string(&mut payload, &n.path)?;
+        }
+        region(&mut out, TAG_NAMES, &payload);
+
+        if !self.log.posix.is_empty() {
+            payload.clear();
+            put_uvarint(&mut payload, self.log.posix.len() as u64);
+            for r in &self.log.posix {
+                encode_counter_record(&mut payload, r.file_id, r.rank, &r.counters, &r.fcounters);
+            }
+            region(&mut out, ModuleId::Posix.code(), &payload);
+        }
+        if !self.log.mpiio.is_empty() {
+            payload.clear();
+            put_uvarint(&mut payload, self.log.mpiio.len() as u64);
+            for r in &self.log.mpiio {
+                encode_counter_record(&mut payload, r.file_id, r.rank, &r.counters, &r.fcounters);
+            }
+            region(&mut out, ModuleId::MpiIo.code(), &payload);
+        }
+        if !self.log.stdio.is_empty() {
+            payload.clear();
+            put_uvarint(&mut payload, self.log.stdio.len() as u64);
+            for r in &self.log.stdio {
+                encode_counter_record(&mut payload, r.file_id, r.rank, &r.counters, &r.fcounters);
+            }
+            region(&mut out, ModuleId::Stdio.code(), &payload);
+        }
+        if !self.log.lustre.is_empty() {
+            payload.clear();
+            put_uvarint(&mut payload, self.log.lustre.len() as u64);
+            for r in &self.log.lustre {
+                put_uvarint(&mut payload, r.file_id);
+                put_ivarint(&mut payload, i64::from(r.rank));
+                put_uvarint(&mut payload, r.counters.len() as u64);
+                for &c in &r.counters {
+                    put_ivarint(&mut payload, c);
+                }
+                put_uvarint(&mut payload, r.ost_ids.len() as u64);
+                for &o in &r.ost_ids {
+                    put_ivarint(&mut payload, o);
+                }
+            }
+            region(&mut out, ModuleId::Lustre.code(), &payload);
+        }
+        if !self.log.dxt.is_empty() {
+            payload.clear();
+            put_uvarint(&mut payload, self.log.dxt.len() as u64);
+            for r in &self.log.dxt {
+                encode_dxt_record(&mut payload, r)?;
+            }
+            region(&mut out, ModuleId::Dxt.code(), &payload);
+        }
+
+        if !self.log.heatmap.is_empty() {
+            payload.clear();
+            put_uvarint(&mut payload, self.log.heatmap.len() as u64);
+            for r in &self.log.heatmap {
+                put_ivarint(&mut payload, i64::from(r.rank));
+                put_f64(&mut payload, r.bin_width);
+                put_uvarint(&mut payload, r.read_bytes.len() as u64);
+                for &b in &r.read_bytes {
+                    put_uvarint(&mut payload, b);
+                }
+                for &b in &r.write_bytes {
+                    put_uvarint(&mut payload, b);
+                }
+            }
+            region(&mut out, ModuleId::Heatmap.code(), &payload);
+        }
+
+        out.push(TAG_END);
+        Ok(out)
+    }
+}
+
+fn region(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
+    out.push(tag);
+    put_uvarint(out, payload.len() as u64);
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+}
+
+fn encode_job(buf: &mut Vec<u8>, job: &JobRecord) -> Result<(), DarshanError> {
+    put_uvarint(buf, u64::from(job.uid));
+    put_uvarint(buf, job.job_id);
+    put_uvarint(buf, u64::from(job.nprocs));
+    put_f64(buf, job.start_time);
+    put_f64(buf, job.end_time);
+    put_string(buf, &job.exe)?;
+    put_uvarint(buf, job.metadata.len() as u64);
+    for (k, v) in &job.metadata {
+        put_string(buf, k)?;
+        put_string(buf, v)?;
+    }
+    Ok(())
+}
+
+fn encode_counter_record(
+    buf: &mut Vec<u8>,
+    file_id: u64,
+    rank: i32,
+    counters: &[i64],
+    fcounters: &[f64],
+) {
+    put_uvarint(buf, file_id);
+    put_ivarint(buf, i64::from(rank));
+    put_uvarint(buf, counters.len() as u64);
+    for &c in counters {
+        put_ivarint(buf, c);
+    }
+    put_uvarint(buf, fcounters.len() as u64);
+    for &f in fcounters {
+        put_f64(buf, f);
+    }
+}
+
+fn encode_dxt_record(buf: &mut Vec<u8>, r: &DxtRecord) -> Result<(), DarshanError> {
+    put_uvarint(buf, r.file_id);
+    put_ivarint(buf, i64::from(r.rank));
+    buf.push(match r.layer {
+        DxtLayer::Posix => 0,
+        DxtLayer::MpiIo => 1,
+    });
+    put_string(buf, &r.hostname)?;
+    for segs in [&r.writes, &r.reads] {
+        put_uvarint(buf, segs.len() as u64);
+        let mut prev_offset: i64 = 0;
+        for s in segs {
+            // Offsets delta-encode well for sequential workloads and cost
+            // at most two extra bytes for random ones.
+            put_ivarint(buf, s.offset as i64 - prev_offset);
+            prev_offset = s.offset as i64;
+            put_uvarint(buf, s.length);
+            put_f64(buf, s.start_time);
+            put_f64(buf, s.end_time);
+        }
+    }
+    Ok(())
+}

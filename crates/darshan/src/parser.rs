@@ -1,0 +1,266 @@
+//! Text renderers equivalent to `darshan-parser` and `darshan-dxt-parser`.
+//!
+//! `darshan-parser` prints one line per counter:
+//!
+//! ```text
+//! <module> <rank> <record id> <counter> <value> <file name>
+//! ```
+//!
+//! `darshan-dxt-parser` prints one line per traced operation. The ION
+//! extractor consumes the in-memory [`Log`] directly, but these renderers
+//! exist so traces can be inspected and diffed the way HPC users do.
+
+use crate::counters::{
+    LustreCounter, MpiioCounter, MpiioFCounter, PosixCounter, PosixFCounter, StdioCounter,
+    StdioFCounter,
+};
+use crate::log::Log;
+use std::fmt::Write as _;
+
+/// Render the statistical modules of a log in `darshan-parser` format.
+#[must_use]
+pub fn render_text(log: &Log) -> String {
+    let names = log.name_map();
+    let lookup = |id: u64| names.get(&id).copied().unwrap_or("<unknown>");
+    let mut out = String::new();
+    let _ = writeln!(out, "# darshan log version: ion-repro {}", crate::log::VERSION);
+    let _ = writeln!(out, "# exe: {}", log.job.exe);
+    let _ = writeln!(out, "# uid: {}", log.job.uid);
+    let _ = writeln!(out, "# jobid: {}", log.job.job_id);
+    let _ = writeln!(out, "# nprocs: {}", log.job.nprocs);
+    let _ = writeln!(out, "# start_time: {}", log.job.start_time);
+    let _ = writeln!(out, "# end_time: {}", log.job.end_time);
+    let _ = writeln!(out, "# run time: {:.4}", log.job.run_time());
+    for (k, v) in &log.job.metadata {
+        let _ = writeln!(out, "# metadata: {k} = {v}");
+    }
+    out.push('\n');
+
+    for r in &log.posix {
+        let path = lookup(r.file_id);
+        for c in PosixCounter::ALL {
+            let _ = writeln!(
+                out,
+                "POSIX\t{}\t{}\t{}\t{}\t{}",
+                r.rank,
+                r.file_id,
+                c.name(),
+                r.get(c),
+                path
+            );
+        }
+        for c in PosixFCounter::ALL {
+            let _ = writeln!(
+                out,
+                "POSIX\t{}\t{}\t{}\t{:.6}\t{}",
+                r.rank,
+                r.file_id,
+                c.name(),
+                r.fget(c),
+                path
+            );
+        }
+    }
+    for r in &log.mpiio {
+        let path = lookup(r.file_id);
+        for c in MpiioCounter::ALL {
+            let _ = writeln!(
+                out,
+                "MPI-IO\t{}\t{}\t{}\t{}\t{}",
+                r.rank,
+                r.file_id,
+                c.name(),
+                r.get(c),
+                path
+            );
+        }
+        for c in MpiioFCounter::ALL {
+            let _ = writeln!(
+                out,
+                "MPI-IO\t{}\t{}\t{}\t{:.6}\t{}",
+                r.rank,
+                r.file_id,
+                c.name(),
+                r.fget(c),
+                path
+            );
+        }
+    }
+    for r in &log.stdio {
+        let path = lookup(r.file_id);
+        for c in StdioCounter::ALL {
+            let _ = writeln!(
+                out,
+                "STDIO\t{}\t{}\t{}\t{}\t{}",
+                r.rank,
+                r.file_id,
+                c.name(),
+                r.get(c),
+                path
+            );
+        }
+        for c in StdioFCounter::ALL {
+            let _ = writeln!(
+                out,
+                "STDIO\t{}\t{}\t{}\t{:.6}\t{}",
+                r.rank,
+                r.file_id,
+                c.name(),
+                r.fget(c),
+                path
+            );
+        }
+    }
+    for r in &log.heatmap {
+        let _ = writeln!(
+            out,
+            "HEATMAP\t{}\tHEATMAP_BIN_WIDTH_SECONDS\t{:.6}",
+            r.rank, r.bin_width
+        );
+        for (bin, (rd, wr)) in r.read_bytes.iter().zip(&r.write_bytes).enumerate() {
+            if *rd > 0 || *wr > 0 {
+                let _ = writeln!(
+                    out,
+                    "HEATMAP\t{}\tHEATMAP_BIN_{}\tread={}\twrite={}",
+                    r.rank, bin, rd, wr
+                );
+            }
+        }
+    }
+    for r in &log.lustre {
+        let path = lookup(r.file_id);
+        for c in LustreCounter::ALL {
+            let _ = writeln!(
+                out,
+                "LUSTRE\t{}\t{}\t{}\t{}\t{}",
+                r.rank,
+                r.file_id,
+                c.name(),
+                r.get(c),
+                path
+            );
+        }
+        for (i, ost) in r.ost_ids.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "LUSTRE\t{}\t{}\tLUSTRE_OST_ID_{}\t{}\t{}",
+                r.rank, r.file_id, i, ost, path
+            );
+        }
+    }
+    out
+}
+
+/// Render the DXT module of a log in `darshan-dxt-parser` format.
+#[must_use]
+pub fn render_dxt_text(log: &Log) -> String {
+    let names = log.name_map();
+    let lookup = |id: u64| names.get(&id).copied().unwrap_or("<unknown>");
+    let mut out = String::new();
+    for r in &log.dxt {
+        let _ = writeln!(
+            out,
+            "# DXT, file_id: {}, file_name: {}",
+            r.file_id,
+            lookup(r.file_id)
+        );
+        let _ = writeln!(out, "# DXT, rank: {}, hostname: {}", r.rank, r.hostname);
+        let _ = writeln!(
+            out,
+            "# DXT, write_count: {}, read_count: {}",
+            r.writes.len(),
+            r.reads.len()
+        );
+        let _ = writeln!(
+            out,
+            "# Module    Rank  Wt/Rd  Segment          Offset       Length    Start(s)      End(s)"
+        );
+        for (seg_no, (kind, s)) in r.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                " {:<9} {:>5} {:>6} {:>8} {:>15} {:>12} {:>11.4} {:>11.4}",
+                r.layer.name(),
+                r.rank,
+                kind.name(),
+                seg_no,
+                s.offset,
+                s.length,
+                s.start_time,
+                s.end_time
+            );
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accum::PosixAccumulator;
+    use crate::dxt::{DxtLayer, DxtRecord, DxtSegment, OpKind};
+    use crate::log::LogWriter;
+    use crate::record_id;
+    use crate::records::JobRecord;
+
+    fn small_log() -> Log {
+        let mut job = JobRecord::new(1, 2, 1);
+        job.exe = "app".into();
+        let mut w = LogWriter::new(job);
+        let fid = record_id("/x");
+        w.register_name(fid, "/x");
+        let mut acc = PosixAccumulator::new(fid, 0);
+        acc.open(0.0, 0.1);
+        acc.write(0, 10, 0.1, 0.2, true);
+        acc.close(0.2, 0.3);
+        w.add_posix_record(acc.finish());
+        let mut d = DxtRecord::new(fid, 0, DxtLayer::Posix, "h0");
+        d.push(
+            OpKind::Write,
+            DxtSegment {
+                offset: 0,
+                length: 10,
+                start_time: 0.1,
+                end_time: 0.2,
+            },
+        );
+        w.add_dxt_record(d);
+        w.into_log()
+    }
+
+    #[test]
+    fn text_output_contains_counter_lines() {
+        let text = render_text(&small_log());
+        assert!(text.contains("# nprocs: 1"));
+        assert!(text.contains("POSIX_WRITES\t1\t/x"));
+        assert!(text.contains("POSIX_BYTES_WRITTEN\t10\t/x"));
+        assert!(text.contains("POSIX_F_META_TIME"));
+    }
+
+    #[test]
+    fn text_output_one_line_per_counter() {
+        let log = small_log();
+        let text = render_text(&log);
+        let posix_lines = text.lines().filter(|l| l.starts_with("POSIX\t")).count();
+        assert_eq!(
+            posix_lines,
+            crate::counters::PosixCounter::COUNT + crate::counters::PosixFCounter::COUNT
+        );
+    }
+
+    #[test]
+    fn dxt_output_has_header_and_segment() {
+        let text = render_dxt_text(&small_log());
+        assert!(text.contains("# DXT, rank: 0, hostname: h0"));
+        assert!(text.contains("write_count: 1, read_count: 0"));
+        assert!(text.contains("X_POSIX"));
+    }
+
+    #[test]
+    fn unknown_file_id_rendered_gracefully() {
+        let mut log = small_log();
+        log.names.clear();
+        let text = render_text(&log);
+        assert!(text.contains("<unknown>"));
+    }
+}

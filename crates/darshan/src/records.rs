@@ -1,0 +1,265 @@
+//! Per-file counter records and the job record.
+//!
+//! Darshan keeps one record per `(file, rank)` pair for each module. When a
+//! file is accessed by every rank with identical behaviour, the runtime
+//! *reduces* those records into a single shared record with `rank == -1`;
+//! this crate exposes the same convention ([`SHARED_RANK`]).
+
+use crate::counters::{
+    LustreCounter, MpiioCounter, MpiioFCounter, PosixCounter, PosixFCounter, StdioCounter,
+    StdioFCounter,
+};
+use serde::{Deserialize, Serialize};
+
+/// Rank value denoting a record shared by (reduced across) all ranks.
+pub const SHARED_RANK: i32 = -1;
+
+macro_rules! counter_record {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $cty:ident, $fty:ident
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+        pub struct $name {
+            /// Hashed record id of the file (see [`crate::record_id`]).
+            pub file_id: u64,
+            /// MPI rank the record belongs to, or [`SHARED_RANK`].
+            pub rank: i32,
+            /// Integer counters, indexed by the module's counter enum.
+            pub counters: Vec<i64>,
+            /// Floating-point counters, indexed by the module's f-counter enum.
+            pub fcounters: Vec<f64>,
+        }
+
+        impl $name {
+            /// Create a zeroed record for `file_id` on `rank`.
+            #[must_use]
+            pub fn new(file_id: u64, rank: i32) -> Self {
+                $name {
+                    file_id,
+                    rank,
+                    counters: vec![0; $cty::COUNT],
+                    fcounters: vec![0.0; $fty::COUNT],
+                }
+            }
+
+            /// Read an integer counter.
+            #[must_use]
+            pub fn get(&self, c: $cty) -> i64 {
+                self.counters[c.index()]
+            }
+
+            /// Set an integer counter.
+            pub fn set(&mut self, c: $cty, v: i64) {
+                self.counters[c.index()] = v;
+            }
+
+            /// Add to an integer counter.
+            pub fn add(&mut self, c: $cty, v: i64) {
+                self.counters[c.index()] += v;
+            }
+
+            /// Read a floating-point counter.
+            #[must_use]
+            pub fn fget(&self, c: $fty) -> f64 {
+                self.fcounters[c.index()]
+            }
+
+            /// Set a floating-point counter.
+            pub fn fset(&mut self, c: $fty, v: f64) {
+                self.fcounters[c.index()] = v;
+            }
+
+            /// Add to a floating-point counter.
+            pub fn fadd(&mut self, c: $fty, v: f64) {
+                self.fcounters[c.index()] += v;
+            }
+
+            /// Whether the record carries the schema-mandated counter counts.
+            #[must_use]
+            pub fn is_well_formed(&self) -> bool {
+                self.counters.len() == $cty::COUNT && self.fcounters.len() == $fty::COUNT
+            }
+        }
+    };
+}
+
+counter_record! {
+    /// POSIX module record for one `(file, rank)` pair.
+    PosixRecord, PosixCounter, PosixFCounter
+}
+
+counter_record! {
+    /// MPI-IO module record for one `(file, rank)` pair.
+    MpiioRecord, MpiioCounter, MpiioFCounter
+}
+
+counter_record! {
+    /// STDIO module record for one `(file, rank)` pair.
+    StdioRecord, StdioCounter, StdioFCounter
+}
+
+/// Lustre striping metadata for one file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LustreRecord {
+    /// Hashed record id of the file.
+    pub file_id: u64,
+    /// Rank that captured the layout (usually the first opener).
+    pub rank: i32,
+    /// Integer counters, indexed by [`LustreCounter`].
+    pub counters: Vec<i64>,
+    /// OST indices over which the file is striped (`LUSTRE_OST_ID_*`).
+    pub ost_ids: Vec<i64>,
+}
+
+impl LustreRecord {
+    /// Create a record describing a file striped over `ost_ids` with the
+    /// given stripe size.
+    #[must_use]
+    pub fn new(file_id: u64, rank: i32, stripe_size: i64, ost_ids: Vec<i64>) -> Self {
+        let mut counters = vec![0; LustreCounter::COUNT];
+        counters[LustreCounter::LUSTRE_STRIPE_SIZE.index()] = stripe_size;
+        counters[LustreCounter::LUSTRE_STRIPE_WIDTH.index()] = ost_ids.len() as i64;
+        counters[LustreCounter::LUSTRE_OSTS.index()] = ost_ids.len() as i64;
+        counters[LustreCounter::LUSTRE_MDTS.index()] = 1;
+        LustreRecord {
+            file_id,
+            rank,
+            counters,
+            ost_ids,
+        }
+    }
+
+    /// Read an integer counter.
+    #[must_use]
+    pub fn get(&self, c: LustreCounter) -> i64 {
+        self.counters[c.index()]
+    }
+
+    /// Stripe size in bytes.
+    #[must_use]
+    pub fn stripe_size(&self) -> i64 {
+        self.get(LustreCounter::LUSTRE_STRIPE_SIZE)
+    }
+
+    /// Stripe width (number of OSTs the file is striped over).
+    #[must_use]
+    pub fn stripe_width(&self) -> i64 {
+        self.get(LustreCounter::LUSTRE_STRIPE_WIDTH)
+    }
+}
+
+/// Job-level header record: who ran, how wide, and when.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Numeric user id.
+    pub uid: u32,
+    /// Scheduler job id.
+    pub job_id: u64,
+    /// Number of MPI processes.
+    pub nprocs: u32,
+    /// Job start, seconds since the epoch.
+    pub start_time: f64,
+    /// Job end, seconds since the epoch.
+    pub end_time: f64,
+    /// Free-form metadata (`key = value` lines in `darshan-parser` output).
+    pub metadata: Vec<(String, String)>,
+    /// Executable name and arguments.
+    pub exe: String,
+}
+
+impl JobRecord {
+    /// Create a job record with zero duration and no metadata.
+    #[must_use]
+    pub fn new(uid: u32, job_id: u64, nprocs: u32) -> Self {
+        JobRecord {
+            uid,
+            job_id,
+            nprocs,
+            start_time: 0.0,
+            end_time: 0.0,
+            metadata: Vec::new(),
+            exe: String::new(),
+        }
+    }
+
+    /// Wall-clock duration of the job in seconds.
+    #[must_use]
+    pub fn run_time(&self) -> f64 {
+        (self.end_time - self.start_time).max(0.0)
+    }
+
+    /// Attach a metadata key/value pair, returning `self` for chaining.
+    #[must_use]
+    pub fn with_metadata(mut self, key: &str, value: &str) -> Self {
+        self.metadata.push((key.to_owned(), value.to_owned()));
+        self
+    }
+}
+
+/// A name record maps a hashed record id back to the file path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NameRecord {
+    /// Hashed record id.
+    pub id: u64,
+    /// File path as seen by the application.
+    pub path: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_record_is_zeroed_and_well_formed() {
+        let r = PosixRecord::new(1, 0);
+        assert!(r.is_well_formed());
+        assert!(r.counters.iter().all(|&c| c == 0));
+        assert!(r.fcounters.iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn get_set_add_round_trip() {
+        let mut r = PosixRecord::new(1, 0);
+        r.set(PosixCounter::POSIX_READS, 5);
+        r.add(PosixCounter::POSIX_READS, 3);
+        assert_eq!(r.get(PosixCounter::POSIX_READS), 8);
+        r.fset(PosixFCounter::POSIX_F_READ_TIME, 1.5);
+        r.fadd(PosixFCounter::POSIX_F_READ_TIME, 0.5);
+        assert!((r.fget(PosixFCounter::POSIX_F_READ_TIME) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lustre_record_derives_width_from_osts() {
+        let r = LustreRecord::new(9, 0, 1 << 20, vec![0, 3, 5, 7]);
+        assert_eq!(r.stripe_width(), 4);
+        assert_eq!(r.stripe_size(), 1 << 20);
+        assert_eq!(r.get(LustreCounter::LUSTRE_MDTS), 1);
+    }
+
+    #[test]
+    fn job_run_time_never_negative() {
+        let mut j = JobRecord::new(0, 1, 4);
+        j.start_time = 10.0;
+        j.end_time = 4.0;
+        assert_eq!(j.run_time(), 0.0);
+        j.end_time = 14.0;
+        assert_eq!(j.run_time(), 4.0);
+    }
+
+    #[test]
+    fn job_metadata_builder_chains() {
+        let j = JobRecord::new(0, 1, 4)
+            .with_metadata("lib_ver", "3.4.4")
+            .with_metadata("h", "x");
+        assert_eq!(j.metadata.len(), 2);
+        assert_eq!(j.metadata[0].0, "lib_ver");
+    }
+
+    #[test]
+    fn mpiio_and_stdio_records_well_formed() {
+        assert!(MpiioRecord::new(2, 1).is_well_formed());
+        assert!(StdioRecord::new(3, SHARED_RANK).is_well_formed());
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based tests for the instrumentation accumulators: the
+//! invariants Darshan counters must satisfy for any operation stream.
+
+use darshan::accum::{reduce_posix, AlignmentSpec, PosixAccumulator};
+use darshan::counters::PosixCounter as C;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Op {
+    write: bool,
+    offset: u64,
+    size: u64,
+    mem_aligned: bool,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (any::<bool>(), 0u64..1 << 30, 0u64..1 << 22, any::<bool>()).prop_map(
+            |(write, offset, size, mem_aligned)| Op {
+                write,
+                offset,
+                size,
+                mem_aligned,
+            },
+        ),
+        0..64,
+    )
+}
+
+fn run(ops: &[Op], alignment: AlignmentSpec) -> darshan::records::PosixRecord {
+    let mut acc = PosixAccumulator::with_alignment(1, 0, alignment);
+    acc.open(0.0, 0.001);
+    let mut t = 0.001;
+    for op in ops {
+        let end = t + 0.001;
+        if op.write {
+            acc.write(op.offset, op.size, t, end, op.mem_aligned);
+        } else {
+            acc.read(op.offset, op.size, t, end, op.mem_aligned);
+        }
+        t = end;
+    }
+    acc.close(t, t + 0.001);
+    acc.finish()
+}
+
+proptest! {
+    #[test]
+    fn counter_invariants_hold_for_any_stream(ops in arb_ops()) {
+        let rec = run(&ops, AlignmentSpec::default());
+        let reads = rec.get(C::POSIX_READS);
+        let writes = rec.get(C::POSIX_WRITES);
+        let n_reads = ops.iter().filter(|o| !o.write).count() as i64;
+        let n_writes = ops.iter().filter(|o| o.write).count() as i64;
+        prop_assert_eq!(reads, n_reads);
+        prop_assert_eq!(writes, n_writes);
+
+        // Bytes match the stream.
+        let rbytes: u64 = ops.iter().filter(|o| !o.write).map(|o| o.size).sum();
+        let wbytes: u64 = ops.iter().filter(|o| o.write).map(|o| o.size).sum();
+        prop_assert_eq!(rec.get(C::POSIX_BYTES_READ), rbytes as i64);
+        prop_assert_eq!(rec.get(C::POSIX_BYTES_WRITTEN), wbytes as i64);
+
+        // Consecutive ⊆ sequential ⊆ (ops - 1) per direction.
+        prop_assert!(rec.get(C::POSIX_CONSEC_READS) <= rec.get(C::POSIX_SEQ_READS));
+        prop_assert!(rec.get(C::POSIX_CONSEC_WRITES) <= rec.get(C::POSIX_SEQ_WRITES));
+        prop_assert!(rec.get(C::POSIX_SEQ_READS) <= (reads - 1).max(0));
+        prop_assert!(rec.get(C::POSIX_SEQ_WRITES) <= (writes - 1).max(0));
+
+        // Histograms partition the operations.
+        let read_hist: i64 = (0..10)
+            .map(|i| rec.counters[C::POSIX_SIZE_READ_0_100.index() + i])
+            .sum();
+        let write_hist: i64 = (0..10)
+            .map(|i| rec.counters[C::POSIX_SIZE_WRITE_0_100.index() + i])
+            .sum();
+        prop_assert_eq!(read_hist, reads);
+        prop_assert_eq!(write_hist, writes);
+
+        // Alignment counters bounded by op count.
+        prop_assert!(rec.get(C::POSIX_FILE_NOT_ALIGNED) <= reads + writes);
+        prop_assert!(rec.get(C::POSIX_MEM_NOT_ALIGNED) <= reads + writes);
+
+        // RW switches bounded by ops - 1.
+        prop_assert!(rec.get(C::POSIX_RW_SWITCHES) <= (reads + writes - 1).max(0));
+
+        // Top-4 access counts sum to at most the op count and are sorted.
+        let a: Vec<i64> = [
+            C::POSIX_ACCESS1_COUNT,
+            C::POSIX_ACCESS2_COUNT,
+            C::POSIX_ACCESS3_COUNT,
+            C::POSIX_ACCESS4_COUNT,
+        ]
+        .iter()
+        .map(|&c| rec.get(c))
+        .collect();
+        prop_assert!(a[0] >= a[1] && a[1] >= a[2] && a[2] >= a[3]);
+        prop_assert!(a.iter().sum::<i64>() <= reads + writes);
+
+        // Max byte counters reflect the stream.
+        let max_w = ops
+            .iter()
+            .filter(|o| o.write && o.size > 0)
+            .map(|o| o.offset + o.size - 1)
+            .max()
+            .map_or(0, |m| m as i64);
+        prop_assert_eq!(rec.get(C::POSIX_MAX_BYTE_WRITTEN), max_w);
+
+        // Time counters are non-negative and bounded by wall time.
+        let ftime = rec.fget(darshan::counters::PosixFCounter::POSIX_F_READ_TIME)
+            + rec.fget(darshan::counters::PosixFCounter::POSIX_F_WRITE_TIME);
+        prop_assert!(ftime >= 0.0);
+        prop_assert!(ftime <= 0.001 * ops.len() as f64 + 1e-9);
+    }
+
+    #[test]
+    fn alignment_counter_matches_direct_computation(
+        ops in arb_ops(),
+        alignment_pow in 10u32..22,
+    ) {
+        let alignment = AlignmentSpec {
+            file_alignment: 1 << alignment_pow,
+            mem_alignment: 8,
+        };
+        let rec = run(&ops, alignment);
+        let expected = ops
+            .iter()
+            .filter(|o| o.offset % (1 << alignment_pow) != 0)
+            .count() as i64;
+        prop_assert_eq!(rec.get(C::POSIX_FILE_NOT_ALIGNED), expected);
+    }
+
+    #[test]
+    fn reduction_is_sum_preserving(
+        streams in proptest::collection::vec(arb_ops(), 1..6),
+    ) {
+        let records: Vec<_> = streams
+            .iter()
+            .enumerate()
+            .map(|(rank, ops)| {
+                let mut acc = PosixAccumulator::new(1, rank as i32);
+                let mut t = 0.0;
+                for op in ops {
+                    let end = t + 0.001;
+                    if op.write {
+                        acc.write(op.offset, op.size, t, end, op.mem_aligned);
+                    } else {
+                        acc.read(op.offset, op.size, t, end, op.mem_aligned);
+                    }
+                    t = end;
+                }
+                acc.finish()
+            })
+            .collect();
+        let shared = reduce_posix(&records).unwrap();
+        let total_ops: i64 = records
+            .iter()
+            .map(|r| r.get(C::POSIX_READS) + r.get(C::POSIX_WRITES))
+            .sum();
+        prop_assert_eq!(
+            shared.get(C::POSIX_READS) + shared.get(C::POSIX_WRITES),
+            total_ops
+        );
+        let total_bytes: i64 = records
+            .iter()
+            .map(|r| r.get(C::POSIX_BYTES_READ) + r.get(C::POSIX_BYTES_WRITTEN))
+            .sum();
+        prop_assert_eq!(
+            shared.get(C::POSIX_BYTES_READ) + shared.get(C::POSIX_BYTES_WRITTEN),
+            total_bytes
+        );
+        // Fastest/slowest are members of the rank set.
+        let fastest = shared.get(C::POSIX_FASTEST_RANK);
+        let slowest = shared.get(C::POSIX_SLOWEST_RANK);
+        prop_assert!((0..records.len() as i64).contains(&fastest));
+        prop_assert!((0..records.len() as i64).contains(&slowest));
+        // Variance is non-negative.
+        prop_assert!(
+            shared.fget(darshan::counters::PosixFCounter::POSIX_F_VARIANCE_RANK_BYTES) >= 0.0
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests for the binary log codec.
+
+use darshan::accum::{AlignmentSpec, PosixAccumulator};
+use darshan::dxt::{DxtLayer, DxtRecord, DxtSegment, OpKind};
+use darshan::log::{
+    get_ivarint, get_string, get_uvarint, put_ivarint, put_string, put_uvarint, LogReader,
+    LogWriter,
+};
+use darshan::records::{JobRecord, LustreRecord, MpiioRecord, PosixRecord, StdioRecord};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn uvarint_round_trips(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, v);
+        prop_assert_eq!(get_uvarint(&mut &buf[..]).unwrap(), v);
+        // LEB128 of a u64 is at most 10 bytes.
+        prop_assert!(buf.len() <= 10);
+    }
+
+    #[test]
+    fn ivarint_round_trips(v in any::<i64>()) {
+        let mut buf = Vec::new();
+        put_ivarint(&mut buf, v);
+        prop_assert_eq!(get_ivarint(&mut &buf[..]).unwrap(), v);
+    }
+
+    #[test]
+    fn small_magnitudes_encode_short(v in -63i64..=63) {
+        let mut buf = Vec::new();
+        put_ivarint(&mut buf, v);
+        prop_assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn string_round_trips(s in "\\PC{0,200}") {
+        let mut buf = Vec::new();
+        put_string(&mut buf, &s).unwrap();
+        prop_assert_eq!(get_string(&mut &buf[..]).unwrap(), s);
+    }
+
+    #[test]
+    fn varint_decoding_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..16)) {
+        let _ = get_uvarint(&mut &bytes[..]);
+        let _ = get_ivarint(&mut &bytes[..]);
+        let _ = get_string(&mut &bytes[..]);
+    }
+}
+
+fn arb_segment() -> impl Strategy<Value = DxtSegment> {
+    (
+        0u64..1 << 44,
+        0u64..1 << 30,
+        0.0f64..1e6,
+        0.0f64..1e6,
+    )
+        .prop_map(|(offset, length, a, b)| DxtSegment {
+            offset,
+            length,
+            start_time: a.min(b),
+            end_time: a.max(b),
+        })
+}
+
+fn arb_dxt_record() -> impl Strategy<Value = DxtRecord> {
+    (
+        any::<u64>(),
+        0i32..4096,
+        prop_oneof![Just(DxtLayer::Posix), Just(DxtLayer::MpiIo)],
+        "[a-z0-9]{1,12}",
+        proptest::collection::vec(arb_segment(), 0..24),
+        proptest::collection::vec(arb_segment(), 0..24),
+    )
+        .prop_map(|(file_id, rank, layer, host, writes, reads)| {
+            let mut r = DxtRecord::new(file_id, rank, layer, &host);
+            for s in writes {
+                r.push(OpKind::Write, s);
+            }
+            for s in reads {
+                r.push(OpKind::Read, s);
+            }
+            r
+        })
+}
+
+fn arb_posix_record() -> impl Strategy<Value = PosixRecord> {
+    (
+        any::<u64>(),
+        -1i32..4096,
+        proptest::collection::vec(any::<i64>(), darshan::counters::PosixCounter::COUNT),
+        proptest::collection::vec(-1e12f64..1e12, darshan::counters::PosixFCounter::COUNT),
+    )
+        .prop_map(|(file_id, rank, counters, fcounters)| PosixRecord {
+            file_id,
+            rank,
+            counters,
+            fcounters,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_logs_round_trip(
+        uid in any::<u32>(),
+        job_id in any::<u64>(),
+        nprocs in 1u32..4096,
+        start in 0.0f64..2e9,
+        dur in 0.0f64..1e5,
+        exe in "[ -~]{0,80}",
+        posix in proptest::collection::vec(arb_posix_record(), 0..8),
+        dxt in proptest::collection::vec(arb_dxt_record(), 0..6),
+        names in proptest::collection::vec((any::<u64>(), "[ -~]{1,60}"), 0..8),
+        osts in proptest::collection::vec(0i64..512, 0..8),
+    ) {
+        let mut job = JobRecord::new(uid, job_id, nprocs);
+        job.start_time = start;
+        job.end_time = start + dur;
+        job.exe = exe;
+        let mut w = LogWriter::new(job);
+        for (id, path) in names {
+            w.register_name(id, &path);
+        }
+        for r in posix {
+            w.add_posix_record(r);
+        }
+        for r in dxt {
+            w.add_dxt_record(r);
+        }
+        w.add_mpiio_record(MpiioRecord::new(7, 0));
+        w.add_stdio_record(StdioRecord::new(8, 1));
+        w.add_lustre_record(LustreRecord::new(9, 0, 1 << 20, osts));
+        let original = w.log().clone();
+        let bytes = w.finish().unwrap();
+        let decoded = LogReader::read(&bytes).unwrap();
+        prop_assert_eq!(decoded, original);
+    }
+
+    #[test]
+    fn truncation_never_panics_and_always_errors(
+        cut in 0usize..200,
+    ) {
+        let mut w = LogWriter::new(JobRecord::new(1, 2, 3));
+        w.register_name(5, "/a/b");
+        let mut acc = PosixAccumulator::new(5, 0);
+        acc.write(0, 100, 0.0, 0.1, true);
+        w.add_posix_record(acc.finish());
+        let bytes = w.finish().unwrap();
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        // Any strict prefix must fail to decode, never panic.
+        prop_assert!(LogReader::read(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn single_byte_corruption_is_detected_or_changes_content(
+        pos_seed in any::<usize>(),
+        flip in 1u8..=255,
+    ) {
+        let mut w = LogWriter::new(JobRecord::new(1, 2, 3));
+        w.register_name(5, "/a/b");
+        let mut acc = PosixAccumulator::with_alignment(5, 0, AlignmentSpec::default());
+        acc.write(0, 100, 0.0, 0.1, true);
+        w.add_posix_record(acc.finish());
+        let original = w.log().clone();
+        let mut bytes = w.finish().unwrap();
+        // Corrupt one byte past the 8-byte header.
+        let pos = 8 + pos_seed % (bytes.len() - 8);
+        bytes[pos] ^= flip;
+        match LogReader::read(&bytes) {
+            // Either the corruption is caught...
+            Err(_) => {}
+            // ...or it must not silently decode back to the original
+            // (flipping a length byte can shift framing, but CRC guards
+            // payload content).
+            Ok(decoded) => prop_assert_ne!(decoded, original),
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Drishti — the heuristic trigger-based I/O analyzer ION is compared
+//! against.
+//!
+//! Reimplementation of Drishti (Bez et al., PDSW 2022): a set of ~30
+//! heuristic triggers with fixed thresholds that scan a Darshan log and
+//! report insights at four levels (`HIGH`, `WARN`, `OK`, `INFO`), each with
+//! an actionable recommendation. This is the baseline for Figure 3 of the
+//! ION paper, and it exhibits exactly the properties the paper critiques:
+//! thresholds are compiled in ([`thresholds`]), messages are templated, and
+//! there is no interactive interface.
+//!
+//! # Example
+//!
+//! ```
+//! use drishti::analyze;
+//! # use iosim::{Simulation, SimConfig};
+//! # let mut sim = Simulation::new(SimConfig::default().with_ranks(2));
+//! # let f = sim.posix_open_all("/f").unwrap();
+//! # for r in 0..2 { sim.posix_write(r, f, r as u64 * 100, 100).unwrap(); }
+//! # sim.posix_close_all(f);
+//! # let log = sim.finish();
+//! let report = analyze(&log);
+//! println!("{}", report.render_text());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod thresholds;
+pub mod triggers;
+
+pub use report::{Insight, Level, Report};
+pub use triggers::analyze;

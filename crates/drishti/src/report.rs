@@ -1,0 +1,147 @@
+//! Drishti report model and console rendering.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Insight level, as in Drishti's colored console output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Level {
+    /// Informational.
+    Info,
+    /// Behaviour that is fine.
+    Ok,
+    /// Possible problem.
+    Warn,
+    /// Critical problem.
+    High,
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Level::High => "HIGH",
+            Level::Warn => "WARN",
+            Level::Ok => "OK",
+            Level::Info => "INFO",
+        })
+    }
+}
+
+/// One triggered insight.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Insight {
+    /// Stable trigger identifier (e.g. `small-writes`).
+    pub id: String,
+    /// Level.
+    pub level: Level,
+    /// Message with numbers interpolated.
+    pub message: String,
+    /// Actionable recommendation.
+    pub recommendation: Option<String>,
+    /// File the insight refers to, when file-specific.
+    pub file: Option<String>,
+}
+
+/// A full Drishti report for one log.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Report {
+    /// Triggered insights, in trigger order.
+    pub insights: Vec<Insight>,
+    /// Number of triggers evaluated (fired or not).
+    pub triggers_evaluated: usize,
+}
+
+impl Report {
+    /// Insights at a given level.
+    #[must_use]
+    pub fn at_level(&self, level: Level) -> Vec<&Insight> {
+        self.insights.iter().filter(|i| i.level == level).collect()
+    }
+
+    /// Whether a given trigger fired.
+    #[must_use]
+    pub fn fired(&self, id: &str) -> bool {
+        self.insights.iter().any(|i| i.id == id)
+    }
+
+    /// Look up the first insight for a trigger id.
+    #[must_use]
+    pub fn insight(&self, id: &str) -> Option<&Insight> {
+        self.insights.iter().find(|i| i.id == id)
+    }
+
+    /// Render the report the way Drishti prints it.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("DRISHTI v.repro — I/O insights\n");
+        out.push_str(&format!(
+            "{} triggers evaluated, {} insights\n\n",
+            self.triggers_evaluated,
+            self.insights.len()
+        ));
+        for i in &self.insights {
+            out.push_str(&format!("[{}] {}\n", i.level, i.message));
+            if let Some(f) = &i.file {
+                out.push_str(&format!("        file: {f}\n"));
+            }
+            if let Some(r) = &i.recommendation {
+                out.push_str(&format!("        recommendation: {r}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            insights: vec![
+                Insight {
+                    id: "small-writes".into(),
+                    level: Level::High,
+                    message: "Application issues a high number (42) of small write requests".into(),
+                    recommendation: Some("consider buffering writes".into()),
+                    file: Some("/scratch/x".into()),
+                },
+                Insight {
+                    id: "sequential-reads".into(),
+                    level: Level::Ok,
+                    message: "Application mostly uses consecutive reads".into(),
+                    recommendation: None,
+                    file: None,
+                },
+            ],
+            triggers_evaluated: 30,
+        }
+    }
+
+    #[test]
+    fn level_ordering() {
+        assert!(Level::High > Level::Warn);
+        assert!(Level::Warn > Level::Ok);
+        assert!(Level::Ok > Level::Info);
+    }
+
+    #[test]
+    fn queries() {
+        let r = sample();
+        assert!(r.fired("small-writes"));
+        assert!(!r.fired("nope"));
+        assert_eq!(r.at_level(Level::High).len(), 1);
+        assert!(r.insight("sequential-reads").is_some());
+    }
+
+    #[test]
+    fn render_contains_levels_and_recommendations() {
+        let text = sample().render_text();
+        assert!(text.contains("[HIGH]"));
+        assert!(text.contains("[OK]"));
+        assert!(text.contains("recommendation: consider buffering writes"));
+        assert!(text.contains("file: /scratch/x"));
+        assert!(text.contains("30 triggers evaluated"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Drishti's fixed trigger thresholds.
+//!
+//! These constants mirror the upstream defaults. The ION paper's critique
+//! is aimed precisely at this table: "setting correct threshold values for
+//! these triggers is not a simple task — they may vary significantly among
+//! different systems and across distinct workloads".
+
+/// A request smaller than this many bytes is a "small" request (1 MiB).
+pub const SMALL_REQUEST_BYTES: u64 = 1 << 20;
+
+/// Fraction of small requests above which the small-I/O insight fires.
+pub const SMALL_REQUESTS_RATIO: f64 = 0.10;
+
+/// Absolute small-request count that also must be exceeded.
+pub const SMALL_REQUESTS_ABSOLUTE: i64 = 1000;
+
+/// Fraction of misaligned requests above which misalignment fires.
+pub const MISALIGNED_REQUESTS_RATIO: f64 = 0.10;
+
+/// Fraction of random operations above which the random-access insight
+/// fires.
+pub const RANDOM_OPERATIONS_RATIO: f64 = 0.20;
+
+/// Absolute random-operation count that also must be exceeded.
+///
+/// Figure 3 of the ION paper shows Drishti reporting 565 random reads on
+/// the optimized OpenPMD trace, so the effective threshold upstream is
+/// below that count.
+pub const RANDOM_OPERATIONS_ABSOLUTE: i64 = 100;
+
+/// Metadata time (seconds, per rank) above which the metadata insight
+/// fires.
+pub const METADATA_TIME_RANK_SECONDS: f64 = 30.0;
+
+/// Fraction of time in metadata above which the metadata-ratio insight
+/// fires.
+pub const METADATA_TIME_RATIO: f64 = 0.30;
+
+/// Load-imbalance fraction `(max - mean) / max` above which imbalance
+/// fires.
+pub const IMBALANCE_RATIO: f64 = 0.30;
+
+/// Straggler fraction `(slowest - fastest) / slowest` above which the
+/// straggler insight fires.
+pub const STRAGGLER_RATIO: f64 = 0.15;
+
+/// Fraction of I/O through STDIO above which the interface insight fires.
+pub const INTERFACE_STDIO_RATIO: f64 = 0.10;
+
+/// Fraction of collective operations below which collective usage is
+/// flagged (when the absolute op count is meaningful).
+pub const COLLECTIVE_OPERATIONS_RATIO: f64 = 0.50;
+
+/// Absolute MPI-IO operation count below which collective checks stay
+/// silent.
+pub const COLLECTIVE_OPERATIONS_ABSOLUTE: i64 = 100;
+
+/// Opens per file above which the repeated-open insight fires.
+pub const OPENS_PER_FILE: f64 = 10.0;
+
+/// fsync count above which the sync-heavy insight fires.
+pub const FSYNC_ABSOLUTE: i64 = 100;
+
+/// Read/write switch fraction above which the switch insight fires.
+pub const RW_SWITCH_RATIO: f64 = 0.10;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_match_upstream_defaults() {
+        // The two values the ION paper quotes explicitly.
+        assert_eq!(SMALL_REQUEST_BYTES, 1024 * 1024);
+        assert!((SMALL_REQUESTS_RATIO - 0.10).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn ratios_are_fractions() {
+        for r in [
+            SMALL_REQUESTS_RATIO,
+            MISALIGNED_REQUESTS_RATIO,
+            RANDOM_OPERATIONS_RATIO,
+            METADATA_TIME_RATIO,
+            IMBALANCE_RATIO,
+            STRAGGLER_RATIO,
+            INTERFACE_STDIO_RATIO,
+            COLLECTIVE_OPERATIONS_RATIO,
+            RW_SWITCH_RATIO,
+        ] {
+            assert!(r > 0.0 && r < 1.0);
+        }
+    }
+}

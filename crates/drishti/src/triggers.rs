@@ -1,0 +1,884 @@
+//! The Drishti trigger set.
+//!
+//! Thirty heuristic checks over a Darshan log, grouped the way the
+//! original tool groups them: interface usage, POSIX operation profile,
+//! alignment, access pattern, load balance, metadata, MPI-IO usage, and
+//! Lustre layout. Each trigger compares counters against the fixed
+//! thresholds in [`crate::thresholds`] and, when it fires, emits a
+//! templated [`Insight`] with a canned recommendation.
+
+use crate::report::{Insight, Level, Report};
+use crate::thresholds as th;
+use darshan::counters::{MpiioCounter, PosixCounter, PosixFCounter, StdioCounter};
+use darshan::log::Log;
+use darshan::records::PosixRecord;
+use std::collections::{HashMap, HashSet};
+
+/// Sum an integer counter over all POSIX records.
+fn psum(log: &Log, c: PosixCounter) -> i64 {
+    log.posix.iter().map(|r| r.get(c)).sum()
+}
+
+/// Sum a float counter over all POSIX records.
+fn pfsum(log: &Log, c: PosixFCounter) -> f64 {
+    log.posix.iter().map(|r| r.fget(c)).sum()
+}
+
+fn msum(log: &Log, c: MpiioCounter) -> i64 {
+    log.mpiio.iter().map(|r| r.get(c)).sum()
+}
+
+fn ssum(log: &Log, c: StdioCounter) -> i64 {
+    log.stdio.iter().map(|r| r.get(c)).sum()
+}
+
+/// Small-request count from the POSIX size histograms (< 1 MiB bins).
+fn small_ops(records: &[&PosixRecord], write: bool) -> i64 {
+    use PosixCounter::*;
+    let bins: [PosixCounter; 5] = if write {
+        [
+            POSIX_SIZE_WRITE_0_100,
+            POSIX_SIZE_WRITE_100_1K,
+            POSIX_SIZE_WRITE_1K_10K,
+            POSIX_SIZE_WRITE_10K_100K,
+            POSIX_SIZE_WRITE_100K_1M,
+        ]
+    } else {
+        [
+            POSIX_SIZE_READ_0_100,
+            POSIX_SIZE_READ_100_1K,
+            POSIX_SIZE_READ_1K_10K,
+            POSIX_SIZE_READ_10K_100K,
+            POSIX_SIZE_READ_100K_1M,
+        ]
+    };
+    records
+        .iter()
+        .map(|r| bins.iter().map(|&b| r.get(b)).sum::<i64>())
+        .sum()
+}
+
+/// Files accessed by more than one rank.
+fn shared_files(log: &Log) -> HashSet<u64> {
+    let mut ranks_per_file: HashMap<u64, HashSet<i32>> = HashMap::new();
+    for r in &log.posix {
+        ranks_per_file.entry(r.file_id).or_default().insert(r.rank);
+    }
+    ranks_per_file
+        .into_iter()
+        .filter(|(_, ranks)| ranks.len() > 1 || ranks.contains(&-1))
+        .map(|(f, _)| f)
+        .collect()
+}
+
+struct Ctx<'a> {
+    log: &'a Log,
+    insights: Vec<Insight>,
+    evaluated: usize,
+}
+
+impl Ctx<'_> {
+    fn emit(
+        &mut self,
+        id: &'static str,
+        level: Level,
+        message: String,
+        recommendation: Option<&str>,
+        file: Option<String>,
+    ) {
+        self.insights.push(Insight {
+            id: id.to_owned(),
+            level,
+            message,
+            recommendation: recommendation.map(ToOwned::to_owned),
+            file,
+        });
+    }
+
+    fn check(&mut self, fired: bool) -> bool {
+        self.evaluated += 1;
+        fired
+    }
+}
+
+/// Run the full trigger set against a log.
+#[must_use]
+pub fn analyze(log: &Log) -> Report {
+    let mut ctx = Ctx {
+        log,
+        insights: Vec::new(),
+        evaluated: 0,
+    };
+    interface_triggers(&mut ctx);
+    posix_operation_triggers(&mut ctx);
+    alignment_triggers(&mut ctx);
+    access_pattern_triggers(&mut ctx);
+    balance_triggers(&mut ctx);
+    metadata_triggers(&mut ctx);
+    mpiio_triggers(&mut ctx);
+    lustre_triggers(&mut ctx);
+    Report {
+        insights: ctx.insights,
+        triggers_evaluated: ctx.evaluated,
+    }
+}
+
+fn interface_triggers(ctx: &mut Ctx<'_>) {
+    let log = ctx.log;
+    let posix_ops = psum(log, PosixCounter::POSIX_READS) + psum(log, PosixCounter::POSIX_WRITES);
+    let stdio_ops = ssum(log, StdioCounter::STDIO_READS) + ssum(log, StdioCounter::STDIO_WRITES);
+    let total = posix_ops + stdio_ops;
+
+    // 1. Heavy STDIO usage.
+    if ctx.check(total > 0 && stdio_ops as f64 / total as f64 > th::INTERFACE_STDIO_RATIO) {
+        ctx.emit(
+            "interface-stdio",
+            Level::Warn,
+            format!(
+                "Application is using STDIO, a low-performance interface, for {:.2}% of its data transfers ({stdio_ops} ops)",
+                100.0 * stdio_ops as f64 / total as f64
+            ),
+            Some("consider switching to POSIX or MPI-IO for better performance"),
+            None,
+        );
+    }
+
+    // 2. Multi-rank job without MPI-IO.
+    if ctx.check(log.job.nprocs > 1 && log.mpiio.is_empty() && posix_ops > 0) {
+        ctx.emit(
+            "interface-no-mpiio",
+            Level::Warn,
+            format!(
+                "Application with {} ranks uses only POSIX I/O and does not use MPI-IO",
+                log.job.nprocs
+            ),
+            Some("consider using MPI-IO to benefit from collective buffering and hints"),
+            None,
+        );
+    }
+}
+
+fn posix_operation_triggers(ctx: &mut Ctx<'_>) {
+    let log = ctx.log;
+    let reads = psum(log, PosixCounter::POSIX_READS);
+    let writes = psum(log, PosixCounter::POSIX_WRITES);
+    let records: Vec<&PosixRecord> = log.posix.iter().collect();
+    let small_reads = small_ops(&records, false);
+    let small_writes = small_ops(&records, true);
+    let shared = shared_files(log);
+
+    // 3. Small reads.
+    if ctx.check(
+        reads > 0
+            && small_reads > th::SMALL_REQUESTS_ABSOLUTE
+            && small_reads as f64 / reads as f64 > th::SMALL_REQUESTS_RATIO,
+    ) {
+        ctx.emit(
+            "small-reads",
+            Level::High,
+            format!(
+                "Application issues a high number ({small_reads}) of small read requests (i.e., < 1MB) which represents {:.2}% of all read requests",
+                100.0 * small_reads as f64 / reads as f64
+            ),
+            Some("consider buffering read operations into larger, more contiguous ones"),
+            None,
+        );
+    }
+
+    // 4. Small writes.
+    if ctx.check(
+        writes > 0
+            && small_writes > th::SMALL_REQUESTS_ABSOLUTE
+            && small_writes as f64 / writes as f64 > th::SMALL_REQUESTS_RATIO,
+    ) {
+        ctx.emit(
+            "small-writes",
+            Level::High,
+            format!(
+                "Application issues a high number ({small_writes}) of small write requests (i.e., < 1MB) which represents {:.2}% of all write requests",
+                100.0 * small_writes as f64 / writes as f64
+            ),
+            Some("consider buffering write operations into larger, more contiguous ones"),
+            None,
+        );
+    }
+
+    // 5/6. Small requests concentrated on a shared file.
+    let mut dominant_shared: Option<(u64, i64, bool)> = None;
+    for &write in &[false, true] {
+        let mut best: Option<(u64, i64)> = None;
+        for f in &shared {
+            let recs: Vec<&PosixRecord> =
+                log.posix.iter().filter(|r| r.file_id == *f).collect();
+            let s = small_ops(&recs, write);
+            if best.is_none() || s > best.unwrap().1 {
+                best = Some((*f, s));
+            }
+        }
+        let total_small = if write { small_writes } else { small_reads };
+        if let Some((f, s)) = best {
+            if ctx.check(
+                total_small > th::SMALL_REQUESTS_ABSOLUTE
+                    && s as f64 / total_small.max(1) as f64 > th::SMALL_REQUESTS_RATIO,
+            ) {
+                dominant_shared = Some((f, s, write));
+                let path = log.path_for(f).unwrap_or("<unknown>").to_owned();
+                let kind = if write { "write" } else { "read" };
+                ctx.emit(
+                    if write {
+                        "small-writes-shared-file"
+                    } else {
+                        "small-reads-shared-file"
+                    },
+                    Level::High,
+                    format!(
+                        "({:.2}%) small {kind} requests are to \"{path}\"",
+                        100.0 * s as f64 / total_small.max(1) as f64
+                    ),
+                    Some("consider using collective I/O or aggregating requests to the shared file"),
+                    Some(path),
+                );
+            }
+        } else {
+            ctx.check(false);
+        }
+    }
+    let _ = dominant_shared;
+
+    // 7. Read/write switches.
+    let switches = psum(log, PosixCounter::POSIX_RW_SWITCHES);
+    let ops = reads + writes;
+    if ctx.check(ops > 0 && switches as f64 / ops as f64 > th::RW_SWITCH_RATIO) {
+        ctx.emit(
+            "rw-switches",
+            Level::Warn,
+            format!(
+                "Application alternates between read and write operations ({switches} switches over {ops} operations)",
+            ),
+            Some("separate read and write phases to improve prefetching and caching"),
+            None,
+        );
+    }
+
+    // 8. fsync-heavy.
+    let fsyncs = psum(log, PosixCounter::POSIX_FSYNCS);
+    if ctx.check(fsyncs > th::FSYNC_ABSOLUTE) {
+        ctx.emit(
+            "fsync-heavy",
+            Level::Warn,
+            format!("Application issues {fsyncs} fsync operations, forcing synchronous flushes"),
+            Some("reduce explicit synchronization if durability allows"),
+            None,
+        );
+    }
+}
+
+fn alignment_triggers(ctx: &mut Ctx<'_>) {
+    let log = ctx.log;
+    let ops = psum(log, PosixCounter::POSIX_READS) + psum(log, PosixCounter::POSIX_WRITES);
+    let file_unaligned = psum(log, PosixCounter::POSIX_FILE_NOT_ALIGNED);
+    let mem_unaligned = psum(log, PosixCounter::POSIX_MEM_NOT_ALIGNED);
+
+    // 9. Misaligned file requests.
+    if ctx.check(ops > 0 && file_unaligned as f64 / ops as f64 > th::MISALIGNED_REQUESTS_RATIO) {
+        ctx.emit(
+            "misaligned-file",
+            Level::High,
+            format!(
+                "Application issues a high number ({:.2}%) of misaligned file requests",
+                100.0 * file_unaligned as f64 / ops as f64
+            ),
+            Some("consider aligning requests to the Lustre stripe boundaries"),
+            None,
+        );
+    }
+
+    // 10. Misaligned memory requests.
+    if ctx.check(ops > 0 && mem_unaligned as f64 / ops as f64 > th::MISALIGNED_REQUESTS_RATIO) {
+        ctx.emit(
+            "misaligned-memory",
+            Level::Warn,
+            format!(
+                "Application issues a high number ({:.2}%) of misaligned memory requests",
+                100.0 * mem_unaligned as f64 / ops as f64
+            ),
+            Some("allocate I/O buffers on page boundaries (posix_memalign)"),
+            None,
+        );
+    }
+}
+
+fn access_pattern_triggers(ctx: &mut Ctx<'_>) {
+    let log = ctx.log;
+    let reads = psum(log, PosixCounter::POSIX_READS);
+    let writes = psum(log, PosixCounter::POSIX_WRITES);
+    let seq_reads = psum(log, PosixCounter::POSIX_SEQ_READS);
+    let seq_writes = psum(log, PosixCounter::POSIX_SEQ_WRITES);
+    let consec_reads = psum(log, PosixCounter::POSIX_CONSEC_READS);
+    let consec_writes = psum(log, PosixCounter::POSIX_CONSEC_WRITES);
+    let random_reads = (reads - seq_reads).max(0);
+    let random_writes = (writes - seq_writes).max(0);
+
+    // 11. Random reads.
+    if ctx.check(
+        reads > 0
+            && random_reads > th::RANDOM_OPERATIONS_ABSOLUTE
+            && random_reads as f64 / reads as f64 > th::RANDOM_OPERATIONS_RATIO,
+    ) {
+        ctx.emit(
+            "random-reads",
+            Level::High,
+            format!(
+                "Application is issuing a high number ({random_reads}) of random read operations ({:.2}%)",
+                100.0 * random_reads as f64 / reads as f64
+            ),
+            Some("consider reordering reads or using collective read operations"),
+            None,
+        );
+    } else if ctx.check(reads > 0 && consec_reads as f64 / reads.max(1) as f64 > 0.5) {
+        // 12. Mostly consecutive reads (positive insight).
+        ctx.emit(
+            "sequential-reads",
+            Level::Ok,
+            format!(
+                "Application mostly uses consecutive/sequential reads ({:.2}% consecutive)",
+                100.0 * consec_reads as f64 / reads as f64
+            ),
+            None,
+            None,
+        );
+    }
+
+    // 13. Random writes.
+    if ctx.check(
+        writes > 0
+            && random_writes > th::RANDOM_OPERATIONS_ABSOLUTE
+            && random_writes as f64 / writes as f64 > th::RANDOM_OPERATIONS_RATIO,
+    ) {
+        ctx.emit(
+            "random-writes",
+            Level::High,
+            format!(
+                "Application is issuing a high number ({random_writes}) of random write operations ({:.2}%)",
+                100.0 * random_writes as f64 / writes as f64
+            ),
+            Some("consider reordering writes or using collective write operations"),
+            None,
+        );
+    } else if ctx.check(writes > 0 && consec_writes as f64 / writes.max(1) as f64 > 0.5) {
+        // 14. Mostly consecutive writes (positive insight).
+        ctx.emit(
+            "sequential-writes",
+            Level::Ok,
+            format!(
+                "Application mostly uses consecutive/sequential writes ({:.2}% consecutive)",
+                100.0 * consec_writes as f64 / writes as f64
+            ),
+            None,
+            None,
+        );
+    }
+}
+
+fn balance_triggers(ctx: &mut Ctx<'_>) {
+    let log = ctx.log;
+    // Per-rank byte totals (rank >= 0 only).
+    let mut bytes_per_rank: HashMap<i32, i64> = HashMap::new();
+    let mut time_per_rank: HashMap<i32, f64> = HashMap::new();
+    for r in log.posix.iter().filter(|r| r.rank >= 0) {
+        *bytes_per_rank.entry(r.rank).or_insert(0) += r.get(PosixCounter::POSIX_BYTES_READ)
+            + r.get(PosixCounter::POSIX_BYTES_WRITTEN);
+        *time_per_rank.entry(r.rank).or_insert(0.0) += r.fget(PosixFCounter::POSIX_F_READ_TIME)
+            + r.fget(PosixFCounter::POSIX_F_WRITE_TIME)
+            + r.fget(PosixFCounter::POSIX_F_META_TIME);
+    }
+
+    // 15. Byte imbalance across ranks (reported against the heaviest file).
+    if bytes_per_rank.len() > 1 {
+        let max = bytes_per_rank.values().copied().max().unwrap_or(0);
+        let mean =
+            bytes_per_rank.values().copied().sum::<i64>() as f64 / bytes_per_rank.len() as f64;
+        let imbalance = if max > 0 {
+            (max as f64 - mean) / max as f64
+        } else {
+            0.0
+        };
+        if ctx.check(imbalance > th::IMBALANCE_RATIO) {
+            // Attribute to the file with the largest per-rank spread.
+            let mut per_file: HashMap<u64, (i64, i64)> = HashMap::new();
+            for r in log.posix.iter().filter(|r| r.rank >= 0) {
+                let b = r.get(PosixCounter::POSIX_BYTES_READ)
+                    + r.get(PosixCounter::POSIX_BYTES_WRITTEN);
+                let e = per_file.entry(r.file_id).or_insert((i64::MAX, 0));
+                e.0 = e.0.min(b);
+                e.1 = e.1.max(b);
+            }
+            let file = per_file
+                .into_iter()
+                .max_by_key(|&(_, (lo, hi))| hi - lo)
+                .map(|(f, _)| f);
+            let path = file
+                .and_then(|f| log.path_for(f))
+                .unwrap_or("<unknown>")
+                .to_owned();
+            ctx.emit(
+                "load-imbalance",
+                Level::High,
+                format!(
+                    "Load imbalance of {:.2}% detected while accessing \"{path}\"",
+                    100.0 * imbalance
+                ),
+                Some("distribute I/O volume evenly, e.g. avoid funnelling output through one rank"),
+                Some(path),
+            );
+        }
+    } else {
+        ctx.check(false);
+    }
+
+    // 16. Rank 0 dominance.
+    let total_bytes: i64 = bytes_per_rank.values().sum();
+    let rank0 = bytes_per_rank.get(&0).copied().unwrap_or(0);
+    if ctx.check(
+        bytes_per_rank.len() > 1 && total_bytes > 0 && rank0 as f64 / total_bytes as f64 > 0.5,
+    ) {
+        ctx.emit(
+            "rank0-dominant",
+            Level::Warn,
+            format!(
+                "Rank 0 performs {:.2}% of all I/O volume",
+                100.0 * rank0 as f64 / total_bytes as f64
+            ),
+            Some("check for fill values or funneled output written by rank 0 only"),
+            None,
+        );
+    }
+
+    // 17. Stragglers in time.
+    if time_per_rank.len() > 1 {
+        let slowest = time_per_rank.values().copied().fold(0.0f64, f64::max);
+        let fastest = time_per_rank
+            .values()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let ratio = if slowest > 0.0 {
+            (slowest - fastest) / slowest
+        } else {
+            0.0
+        };
+        if ctx.check(ratio > th::STRAGGLER_RATIO && slowest > 0.001) {
+            ctx.emit(
+                "stragglers",
+                Level::Warn,
+                format!(
+                    "Detected stragglers: slowest rank spends {slowest:.3}s in I/O vs fastest {fastest:.3}s ({:.2}% spread)",
+                    100.0 * ratio
+                ),
+                Some("investigate OST contention or uneven data placement"),
+                None,
+            );
+        }
+    } else {
+        ctx.check(false);
+    }
+}
+
+fn metadata_triggers(ctx: &mut Ctx<'_>) {
+    let log = ctx.log;
+    let meta_time = pfsum(log, PosixFCounter::POSIX_F_META_TIME);
+    let rw_time = pfsum(log, PosixFCounter::POSIX_F_READ_TIME)
+        + pfsum(log, PosixFCounter::POSIX_F_WRITE_TIME);
+    let opens = psum(log, PosixCounter::POSIX_OPENS);
+    let stats = psum(log, PosixCounter::POSIX_STATS);
+    let seeks = psum(log, PosixCounter::POSIX_SEEKS);
+
+    // 18. Metadata time per rank exceeding the absolute threshold.
+    let mut meta_per_rank: HashMap<i32, f64> = HashMap::new();
+    for r in &log.posix {
+        *meta_per_rank.entry(r.rank).or_insert(0.0) += r.fget(PosixFCounter::POSIX_F_META_TIME);
+    }
+    let worst = meta_per_rank
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal));
+    if let Some((rank, &t)) = worst {
+        if ctx.check(t > th::METADATA_TIME_RANK_SECONDS) {
+            ctx.emit(
+                "metadata-time-rank",
+                Level::High,
+                format!("Rank {rank} spends {t:.1}s in metadata operations"),
+                Some("reduce open/close/stat frequency; cache file handles"),
+                None,
+            );
+        }
+    } else {
+        ctx.check(false);
+    }
+
+    // 19. Metadata time ratio.
+    let total_time = meta_time + rw_time;
+    if ctx.check(total_time > 0.0 && meta_time / total_time > th::METADATA_TIME_RATIO) {
+        ctx.emit(
+            "metadata-ratio",
+            Level::High,
+            format!(
+                "Application spends {:.2}% of its I/O time in metadata operations ({opens} opens, {stats} stats, {seeks} seeks)",
+                100.0 * meta_time / total_time
+            ),
+            Some("coalesce metadata operations; avoid opening files repeatedly"),
+            None,
+        );
+    }
+
+    // 20. Repeated opens per file.
+    let files: HashSet<u64> = log.posix.iter().map(|r| r.file_id).collect();
+    let opens_per_file = opens as f64 / files.len().max(1) as f64;
+    if ctx.check(!files.is_empty() && opens_per_file > th::OPENS_PER_FILE) {
+        ctx.emit(
+            "repeated-opens",
+            Level::Warn,
+            format!(
+                "Application re-opens files repeatedly ({opens_per_file:.1} opens per file across {} files)",
+                files.len()
+            ),
+            Some("keep files open across phases instead of reopening"),
+            None,
+        );
+    }
+
+    // 21. Stat storm.
+    if ctx.check(stats > 1000) {
+        ctx.emit(
+            "stat-storm",
+            Level::Warn,
+            format!("Application issues {stats} stat operations"),
+            Some("cache attribute information instead of re-stating files"),
+            None,
+        );
+    }
+}
+
+fn mpiio_triggers(ctx: &mut Ctx<'_>) {
+    let log = ctx.log;
+    if log.mpiio.is_empty() {
+        // Evaluate-but-never-fire placeholders keep the trigger count
+        // stable across traces.
+        for _ in 0..6 {
+            ctx.check(false);
+        }
+        return;
+    }
+    let coll_reads = msum(log, MpiioCounter::MPIIO_COLL_READS);
+    let coll_writes = msum(log, MpiioCounter::MPIIO_COLL_WRITES);
+    let indep_reads = msum(log, MpiioCounter::MPIIO_INDEP_READS);
+    let indep_writes = msum(log, MpiioCounter::MPIIO_INDEP_WRITES);
+    let nb = msum(log, MpiioCounter::MPIIO_NB_READS) + msum(log, MpiioCounter::MPIIO_NB_WRITES);
+    let reads = coll_reads + indep_reads;
+    let writes = coll_writes + indep_writes;
+
+    // 22. No collective reads.
+    if ctx.check(reads > th::COLLECTIVE_OPERATIONS_ABSOLUTE && coll_reads == 0) {
+        ctx.emit(
+            "mpiio-no-collective-reads",
+            Level::High,
+            format!(
+                "Application uses MPI-IO but does not use collective reads ({indep_reads} independent reads)"
+            ),
+            Some("use MPI_File_read_all / _at_all to enable collective buffering"),
+            None,
+        );
+    }
+
+    // 23. No collective writes.
+    if ctx.check(writes > th::COLLECTIVE_OPERATIONS_ABSOLUTE && coll_writes == 0) {
+        ctx.emit(
+            "mpiio-no-collective-writes",
+            Level::High,
+            format!(
+                "Application uses MPI-IO but does not use collective writes ({indep_writes} independent writes)"
+            ),
+            Some("use MPI_File_write_all / _at_all to enable collective buffering"),
+            None,
+        );
+    }
+
+    // 24. Low collective ratio (when some collectives exist).
+    let coll = coll_reads + coll_writes;
+    let total = reads + writes;
+    if ctx.check(
+        total > th::COLLECTIVE_OPERATIONS_ABSOLUTE
+            && coll > 0
+            && (coll as f64 / total as f64) < th::COLLECTIVE_OPERATIONS_RATIO,
+    ) {
+        ctx.emit(
+            "mpiio-low-collective-ratio",
+            Level::Warn,
+            format!(
+                "Only {:.2}% of MPI-IO operations are collective",
+                100.0 * coll as f64 / total as f64
+            ),
+            Some("convert independent operations to collectives where possible"),
+            None,
+        );
+    }
+
+    // 25. No non-blocking operations.
+    if ctx.check(total > th::COLLECTIVE_OPERATIONS_ABSOLUTE && nb == 0) {
+        ctx.emit(
+            "mpiio-no-nonblocking",
+            Level::Info,
+            "Application does not use non-blocking (asynchronous) MPI-IO operations".to_owned(),
+            Some("overlap I/O with computation using MPI_File_i* operations"),
+            None,
+        );
+    }
+
+    // 26. Small MPI-IO accesses.
+    use MpiioCounter::*;
+    let small: i64 = log
+        .mpiio
+        .iter()
+        .map(|r| {
+            r.get(MPIIO_SIZE_WRITE_AGG_0_100)
+                + r.get(MPIIO_SIZE_WRITE_AGG_100_1K)
+                + r.get(MPIIO_SIZE_WRITE_AGG_1K_10K)
+                + r.get(MPIIO_SIZE_WRITE_AGG_10K_100K)
+                + r.get(MPIIO_SIZE_WRITE_AGG_100K_1M)
+                + r.get(MPIIO_SIZE_READ_AGG_0_100)
+                + r.get(MPIIO_SIZE_READ_AGG_100_1K)
+                + r.get(MPIIO_SIZE_READ_AGG_1K_10K)
+                + r.get(MPIIO_SIZE_READ_AGG_10K_100K)
+                + r.get(MPIIO_SIZE_READ_AGG_100K_1M)
+        })
+        .sum();
+    if ctx.check(
+        total > 0
+            && small > th::SMALL_REQUESTS_ABSOLUTE
+            && small as f64 / total as f64 > th::SMALL_REQUESTS_RATIO,
+    ) {
+        ctx.emit(
+            "mpiio-small-accesses",
+            Level::Warn,
+            format!("Application issues {small} small MPI-IO accesses (< 1MB)"),
+            Some("increase per-call transfer sizes or rely on collective buffering"),
+            None,
+        );
+    }
+
+    // 27. Independent opens only.
+    let coll_opens = msum(log, MpiioCounter::MPIIO_COLL_OPENS);
+    let indep_opens = msum(log, MpiioCounter::MPIIO_INDEP_OPENS);
+    if ctx.check(indep_opens > 0 && coll_opens == 0) {
+        ctx.emit(
+            "mpiio-independent-opens",
+            Level::Info,
+            format!("Application opens files independently ({indep_opens} opens) rather than collectively"),
+            Some("use MPI_File_open on the communicator to enable shared file handles"),
+            None,
+        );
+    }
+}
+
+fn lustre_triggers(ctx: &mut Ctx<'_>) {
+    let log = ctx.log;
+    if log.lustre.is_empty() {
+        for _ in 0..3 {
+            ctx.check(false);
+        }
+        return;
+    }
+    let shared = shared_files(log);
+
+    // 28. Unstriped shared file.
+    let narrow = log
+        .lustre
+        .iter()
+        .find(|l| shared.contains(&l.file_id) && l.stripe_width() == 1);
+    if let Some(l) = narrow {
+        ctx.check(true);
+        let path = log.path_for(l.file_id).unwrap_or("<unknown>").to_owned();
+        ctx.emit(
+            "lustre-unstriped-shared",
+            Level::High,
+            format!("Shared file \"{path}\" is striped over a single OST"),
+            Some("increase the stripe count (lfs setstripe -c) for shared files"),
+            Some(path),
+        );
+    } else {
+        ctx.check(false);
+    }
+
+    // 29. Stripe width far below rank count for shared files.
+    if ctx.check(log.job.nprocs >= 8 && log.lustre.iter().any(|l| {
+        shared.contains(&l.file_id) && (l.stripe_width() as u32) * 4 < log.job.nprocs
+    })) {
+        ctx.emit(
+            "lustre-narrow-stripe",
+            Level::Warn,
+            format!(
+                "Files shared by {} ranks are striped over few OSTs, limiting parallelism",
+                log.job.nprocs
+            ),
+            Some("widen striping so concurrent ranks hit distinct OSTs"),
+            None,
+        );
+    }
+
+    // 30. Requests far smaller than the stripe size.
+    let stripe = log
+        .lustre
+        .first()
+        .map_or(1 << 20, |l| l.stripe_size().max(1)) as f64;
+    let reads = psum(log, PosixCounter::POSIX_READS);
+    let writes = psum(log, PosixCounter::POSIX_WRITES);
+    let bytes = psum(log, PosixCounter::POSIX_BYTES_READ)
+        + psum(log, PosixCounter::POSIX_BYTES_WRITTEN);
+    let ops = reads + writes;
+    let mean = if ops > 0 { bytes as f64 / ops as f64 } else { 0.0 };
+    if ctx.check(ops > 0 && mean > 0.0 && mean * 16.0 < stripe) {
+        ctx.emit(
+            "lustre-stripe-vs-request",
+            Level::Info,
+            format!(
+                "Mean request size ({mean:.0} B) is far below the stripe size ({stripe:.0} B)",
+            ),
+            Some("a smaller stripe size may reduce per-request overhead for this pattern"),
+            None,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iosim::{SimConfig, Simulation};
+
+    fn small_write_log(per_rank_ops: u64) -> Log {
+        let mut sim = Simulation::new(SimConfig::default().with_ranks(4));
+        let f = sim.posix_open_all("/scratch/shared.dat").unwrap();
+        for i in 0..per_rank_ops {
+            for rank in 0..4u32 {
+                let base = u64::from(rank) * (64 << 20);
+                sim.posix_write(rank, f, base + i * 2048, 2048).unwrap();
+            }
+        }
+        sim.posix_close_all(f);
+        sim.finish()
+    }
+
+    #[test]
+    fn small_writes_trigger_fires_above_thresholds() {
+        let log = small_write_log(300); // 1200 small writes > 1000 absolute
+        let report = analyze(&log);
+        assert!(report.fired("small-writes"), "{}", report.render_text());
+        let msg = &report.insight("small-writes").unwrap().message;
+        assert!(msg.contains("1200"), "{msg}");
+        assert!(msg.contains("100.00%"), "{msg}");
+    }
+
+    #[test]
+    fn small_writes_trigger_respects_absolute_threshold() {
+        // 10% ratio satisfied but < 1000 ops: Drishti stays silent. This is
+        // the brittleness the ION paper criticizes.
+        let log = small_write_log(100); // 400 small writes
+        let report = analyze(&log);
+        assert!(!report.fired("small-writes"));
+    }
+
+    #[test]
+    fn misaligned_trigger() {
+        let mut sim = Simulation::new(SimConfig::default().with_ranks(2));
+        let f = sim.posix_open_all("/x").unwrap();
+        for i in 0..50u64 {
+            for r in 0..2u32 {
+                sim.posix_write(r, f, u64::from(r) * (32 << 20) + i * 4096 + 13, 4096)
+                    .unwrap();
+            }
+        }
+        let log = sim.finish();
+        let report = analyze(&log);
+        assert!(report.fired("misaligned-file"), "{}", report.render_text());
+        assert!(report
+            .insight("misaligned-file")
+            .unwrap()
+            .message
+            .contains("misaligned file requests"));
+    }
+
+    #[test]
+    fn sequential_positive_insight_when_consecutive() {
+        let log = small_write_log(100);
+        let report = analyze(&log);
+        assert!(report.fired("sequential-writes"));
+        assert_eq!(
+            report.insight("sequential-writes").unwrap().level,
+            Level::Ok
+        );
+    }
+
+    #[test]
+    fn no_mpiio_interface_trigger() {
+        let log = small_write_log(10);
+        let report = analyze(&log);
+        assert!(report.fired("interface-no-mpiio"));
+    }
+
+    #[test]
+    fn load_imbalance_trigger() {
+        let mut sim = Simulation::new(SimConfig::default().with_ranks(4));
+        let f = sim.posix_open_all("/data.nc4").unwrap();
+        // Rank 0 writes 100x the volume of the others.
+        for i in 0..100u64 {
+            sim.posix_write(0, f, i * (1 << 20), 1 << 20).unwrap();
+        }
+        for rank in 1..4u32 {
+            sim.posix_write(rank, f, (200 + u64::from(rank)) * (1 << 20), 1 << 20)
+                .unwrap();
+        }
+        let log = sim.finish();
+        let report = analyze(&log);
+        assert!(report.fired("load-imbalance"), "{}", report.render_text());
+        assert!(report.fired("rank0-dominant"));
+        let msg = &report.insight("load-imbalance").unwrap().message;
+        assert!(msg.contains("data.nc4"), "{msg}");
+    }
+
+    #[test]
+    fn collective_triggers_on_mpiio_logs() {
+        let mut sim = Simulation::new(SimConfig::default().with_ranks(4));
+        let f = sim.mpi_file_open("/m").unwrap();
+        for i in 0..50u64 {
+            for r in 0..4u32 {
+                sim.mpi_write_independent(r, f, (i * 4 + u64::from(r)) * 4096, 4096)
+                    .unwrap();
+            }
+        }
+        sim.mpi_file_close(f).unwrap();
+        let log = sim.finish();
+        let report = analyze(&log);
+        assert!(
+            report.fired("mpiio-no-collective-writes"),
+            "{}",
+            report.render_text()
+        );
+        assert!(report.fired("mpiio-no-nonblocking"));
+    }
+
+    #[test]
+    fn trigger_count_is_stable() {
+        let a = analyze(&small_write_log(5));
+        let mut sim = Simulation::new(SimConfig::default().with_ranks(2));
+        let f = sim.mpi_file_open("/m").unwrap();
+        sim.mpi_write_independent(0, f, 0, 100).unwrap();
+        sim.mpi_file_close(f).unwrap();
+        let b = analyze(&sim.finish());
+        assert_eq!(a.triggers_evaluated, b.triggers_evaluated);
+        assert!(a.triggers_evaluated >= 25, "{}", a.triggers_evaluated);
+    }
+
+    #[test]
+    fn empty_log_produces_no_insights() {
+        let log = Log::new(darshan::records::JobRecord::new(0, 1, 1));
+        let report = analyze(&log);
+        assert!(report.insights.is_empty());
+    }
+}

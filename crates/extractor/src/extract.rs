@@ -1,0 +1,315 @@
+//! The extractor: Darshan [`Log`] → per-module [`Table`]s.
+
+use crate::table::{Table, Value};
+use darshan::counters::{
+    LustreCounter, MpiioCounter, MpiioFCounter, PosixCounter, PosixFCounter, StdioCounter,
+    StdioFCounter,
+};
+use darshan::log::Log;
+use std::collections::HashMap;
+
+/// The set of tables the extractor produces for one log.
+#[derive(Debug, Clone, Default)]
+pub struct TableSet {
+    tables: HashMap<String, Table>,
+}
+
+impl TableSet {
+    /// Fetch a table by module name (`POSIX`, `MPIIO`, `STDIO`, `LUSTRE`,
+    /// `DXT`).
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Insert a table under its name.
+    pub fn insert(&mut self, table: Table) {
+        self.tables.insert(table.name.clone(), table);
+    }
+
+    /// Names of tables present (sorted for determinism).
+    #[must_use]
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of tables.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Iterate `(name, table)` pairs in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Table)> {
+        let mut v: Vec<(&str, &Table)> = self
+            .tables
+            .iter()
+            .map(|(k, t)| (k.as_str(), t))
+            .collect();
+        v.sort_by_key(|(k, _)| *k);
+        v.into_iter()
+    }
+}
+
+/// Column names common to every counter table.
+const ID_COLUMNS: [&str; 3] = ["file_id", "file_name", "rank"];
+
+fn id_cells(log: &Log, file_id: u64, rank: i32) -> Vec<Value> {
+    vec![
+        Value::Int(file_id as i64),
+        Value::Str(log.path_for(file_id).unwrap_or("<unknown>").into()),
+        Value::Int(i64::from(rank)),
+    ]
+}
+
+/// Extract every module of `log` into CSV-shaped tables.
+///
+/// Only modules that actually collected records appear in the result —
+/// ION's module mapping later uses absence (e.g. no `MPIIO` table) as a
+/// signal in itself.
+#[must_use]
+pub fn extract_tables(log: &Log) -> TableSet {
+    let mut set = TableSet::default();
+
+    if !log.posix.is_empty() {
+        let mut cols: Vec<&str> = ID_COLUMNS.to_vec();
+        cols.extend(PosixCounter::ALL.iter().map(|c| c.name()));
+        cols.extend(PosixFCounter::ALL.iter().map(|c| c.name()));
+        let mut t = Table::new("POSIX", &cols);
+        for r in &log.posix {
+            let mut row = id_cells(log, r.file_id, r.rank);
+            row.extend(r.counters.iter().map(|&c| Value::Int(c)));
+            row.extend(r.fcounters.iter().map(|&f| Value::Float(f)));
+            t.push_row(row);
+        }
+        set.insert(t);
+    }
+
+    if !log.mpiio.is_empty() {
+        let mut cols: Vec<&str> = ID_COLUMNS.to_vec();
+        cols.extend(MpiioCounter::ALL.iter().map(|c| c.name()));
+        cols.extend(MpiioFCounter::ALL.iter().map(|c| c.name()));
+        let mut t = Table::new("MPIIO", &cols);
+        for r in &log.mpiio {
+            let mut row = id_cells(log, r.file_id, r.rank);
+            row.extend(r.counters.iter().map(|&c| Value::Int(c)));
+            row.extend(r.fcounters.iter().map(|&f| Value::Float(f)));
+            t.push_row(row);
+        }
+        set.insert(t);
+    }
+
+    if !log.stdio.is_empty() {
+        let mut cols: Vec<&str> = ID_COLUMNS.to_vec();
+        cols.extend(StdioCounter::ALL.iter().map(|c| c.name()));
+        cols.extend(StdioFCounter::ALL.iter().map(|c| c.name()));
+        let mut t = Table::new("STDIO", &cols);
+        for r in &log.stdio {
+            let mut row = id_cells(log, r.file_id, r.rank);
+            row.extend(r.counters.iter().map(|&c| Value::Int(c)));
+            row.extend(r.fcounters.iter().map(|&f| Value::Float(f)));
+            t.push_row(row);
+        }
+        set.insert(t);
+    }
+
+    if !log.lustre.is_empty() {
+        let mut cols: Vec<&str> = ID_COLUMNS.to_vec();
+        cols.extend(LustreCounter::ALL.iter().map(|c| c.name()));
+        cols.push("LUSTRE_OST_IDS");
+        let mut t = Table::new("LUSTRE", &cols);
+        for r in &log.lustre {
+            let mut row = id_cells(log, r.file_id, r.rank);
+            row.extend(r.counters.iter().map(|&c| Value::Int(c)));
+            let ids: Vec<String> = r.ost_ids.iter().map(ToString::to_string).collect();
+            row.push(Value::Str(ids.join(" ").into()));
+            t.push_row(row);
+        }
+        set.insert(t);
+    }
+
+    if !log.heatmap.is_empty() {
+        let cols = [
+            "rank",
+            "bin",
+            "bin_start",
+            "bin_end",
+            "read_bytes",
+            "write_bytes",
+        ];
+        let mut t = Table::new("HEATMAP", &cols);
+        for r in &log.heatmap {
+            for (bin, (rd, wr)) in r.read_bytes.iter().zip(&r.write_bytes).enumerate() {
+                t.push_row(vec![
+                    Value::Int(i64::from(r.rank)),
+                    Value::Int(bin as i64),
+                    Value::Float(bin as f64 * r.bin_width),
+                    Value::Float((bin + 1) as f64 * r.bin_width),
+                    Value::Int(*rd as i64),
+                    Value::Int(*wr as i64),
+                ]);
+            }
+        }
+        set.insert(t);
+    }
+
+    if !log.dxt.is_empty() {
+        let cols = [
+            "file_id",
+            "file_name",
+            "rank",
+            "module",
+            "op",
+            "segment",
+            "offset",
+            "length",
+            "start_time",
+            "end_time",
+        ];
+        let mut t = Table::new("DXT", &cols);
+        for r in &log.dxt {
+            for (seg_no, (kind, s)) in r.iter().enumerate() {
+                t.push_row(vec![
+                    Value::Int(r.file_id as i64),
+                    Value::Str(log.path_for(r.file_id).unwrap_or("<unknown>").into()),
+                    Value::Int(i64::from(r.rank)),
+                    Value::Str(r.layer.name().into()),
+                    Value::Str(kind.name().into()),
+                    Value::Int(seg_no as i64),
+                    Value::Int(s.offset as i64),
+                    Value::Int(s.length as i64),
+                    Value::Float(s.start_time),
+                    Value::Float(s.end_time),
+                ]);
+            }
+        }
+        set.insert(t);
+    }
+
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darshan::accum::PosixAccumulator;
+    use darshan::dxt::{DxtLayer, DxtRecord, DxtSegment, OpKind};
+    use darshan::log::LogWriter;
+    use darshan::record_id;
+    use darshan::records::{JobRecord, LustreRecord};
+
+    fn sample_log() -> Log {
+        let mut w = LogWriter::new(JobRecord::new(0, 1, 2));
+        let id = record_id("/scratch/x.h5");
+        w.register_name(id, "/scratch/x.h5");
+        for rank in 0..2 {
+            let mut acc = PosixAccumulator::new(id, rank);
+            acc.open(0.0, 0.01);
+            acc.write(0, 1024, 0.01, 0.02, true);
+            acc.write(1024, 1024, 0.02, 0.03, true);
+            acc.close(0.03, 0.04);
+            w.add_posix_record(acc.finish());
+        }
+        w.add_lustre_record(LustreRecord::new(id, 0, 1 << 20, vec![2, 4]));
+        let mut d = DxtRecord::new(id, 0, DxtLayer::Posix, "nid0");
+        d.push(
+            OpKind::Write,
+            DxtSegment {
+                offset: 0,
+                length: 1024,
+                start_time: 0.01,
+                end_time: 0.02,
+            },
+        );
+        d.push(
+            OpKind::Read,
+            DxtSegment {
+                offset: 0,
+                length: 512,
+                start_time: 0.05,
+                end_time: 0.06,
+            },
+        );
+        w.add_dxt_record(d);
+        w.into_log()
+    }
+
+    #[test]
+    fn extracts_only_present_modules() {
+        let set = extract_tables(&sample_log());
+        assert_eq!(set.names(), vec!["DXT", "LUSTRE", "POSIX"]);
+        assert!(set.get("MPIIO").is_none());
+    }
+
+    #[test]
+    fn posix_table_shape_and_values() {
+        let set = extract_tables(&sample_log());
+        let t = set.get("POSIX").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(
+            t.columns.len(),
+            3 + darshan::counters::PosixCounter::COUNT + darshan::counters::PosixFCounter::COUNT
+        );
+        assert_eq!(t.cell(0, "POSIX_WRITES"), Some(&Value::Int(2)));
+        assert_eq!(t.cell(0, "POSIX_BYTES_WRITTEN"), Some(&Value::Int(2048)));
+        assert_eq!(
+            t.cell(0, "file_name"),
+            Some(&Value::Str("/scratch/x.h5".into()))
+        );
+    }
+
+    #[test]
+    fn dxt_table_one_row_per_operation() {
+        let set = extract_tables(&sample_log());
+        let t = set.get("DXT").unwrap();
+        assert_eq!(t.len(), 2);
+        // Writes come first (parser order).
+        assert_eq!(t.cell(0, "op"), Some(&Value::Str("write".into())));
+        assert_eq!(t.cell(1, "op"), Some(&Value::Str("read".into())));
+        assert_eq!(t.cell(0, "length"), Some(&Value::Int(1024)));
+        assert_eq!(t.cell(0, "module"), Some(&Value::Str("X_POSIX".into())));
+    }
+
+    #[test]
+    fn lustre_table_carries_ost_list() {
+        let set = extract_tables(&sample_log());
+        let t = set.get("LUSTRE").unwrap();
+        assert_eq!(t.cell(0, "LUSTRE_OST_IDS"), Some(&Value::Str("2 4".into())));
+        assert_eq!(t.cell(0, "LUSTRE_STRIPE_SIZE"), Some(&Value::Int(1 << 20)));
+    }
+
+    #[test]
+    fn counter_sums_match_log() {
+        // CSV totals must equal counter totals in the log — the extractor
+        // must not lose or duplicate information.
+        let log = sample_log();
+        let set = extract_tables(&log);
+        let t = set.get("POSIX").unwrap();
+        let csv_total: i64 = t
+            .column_values("POSIX_BYTES_WRITTEN")
+            .unwrap()
+            .filter_map(Value::as_i64)
+            .sum();
+        let log_total: i64 = log
+            .posix
+            .iter()
+            .map(|r| r.get(darshan::counters::PosixCounter::POSIX_BYTES_WRITTEN))
+            .sum();
+        assert_eq!(csv_total, log_total);
+    }
+
+    #[test]
+    fn empty_log_yields_empty_set() {
+        let log = Log::new(JobRecord::new(0, 1, 1));
+        let set = extract_tables(&log);
+        assert!(set.is_empty());
+    }
+}

@@ -1,0 +1,296 @@
+//! Column documentation used verbatim in ION prompts.
+//!
+//! Each ION prompt includes "a description of the columns in the associated
+//! CSV files" (paper §3). This module is that knowledge: prose for the
+//! identification columns and the counters the issue contexts consult, and
+//! derived descriptions for regular counter families (histogram bins,
+//! access/stride slots).
+
+use crate::table::Table;
+use std::fmt::Write as _;
+
+/// Human description of one column, or `None` if the column is unknown.
+#[must_use]
+pub fn column_description(column: &str) -> Option<String> {
+    let fixed = match column {
+        "file_id" => "64-bit Darshan record id of the file",
+        "file_name" => "path of the file as seen by the application",
+        "rank" => "MPI rank the row belongs to; -1 denotes a record shared by all ranks",
+        "module" => "interface layer the operation was captured at (X_POSIX or X_MPIIO)",
+        "op" => "operation direction: read or write",
+        "segment" => "per-record operation sequence number",
+        "offset" => "byte offset of the access within the file",
+        "bin" => "temporal bin index within the job's runtime",
+        "bin_start" => "bin start time, seconds relative to job start",
+        "bin_end" => "bin end time, seconds relative to job start",
+        "read_bytes" => "bytes read during this bin by this rank",
+        "write_bytes" => "bytes written during this bin by this rank",
+        "length" => "transfer size of the access in bytes",
+        "start_time" => "operation start time in seconds relative to job start",
+        "end_time" => "operation end time in seconds relative to job start",
+        "POSIX_OPENS" => "number of POSIX open calls",
+        "POSIX_FILENOS" => "number of fileno calls",
+        "POSIX_DUPS" => "number of dup calls",
+        "POSIX_MMAPS" => "number of mmap calls",
+        "POSIX_FDSYNCS" => "number of fdatasync calls",
+        "POSIX_RENAME_SOURCES" => "times this file was the source of a rename",
+        "POSIX_RENAME_TARGETS" => "times this file was the target of a rename",
+        "POSIX_MODE" => "mode bits the file was created with",
+        "POSIX_READS" => "number of POSIX read calls",
+        "POSIX_WRITES" => "number of POSIX write calls",
+        "POSIX_SEEKS" => "number of POSIX seek calls",
+        "POSIX_STATS" => "number of POSIX stat-family calls",
+        "POSIX_FSYNCS" => "number of fsync calls",
+        "POSIX_BYTES_READ" => "total bytes read through POSIX",
+        "POSIX_BYTES_WRITTEN" => "total bytes written through POSIX",
+        "POSIX_MAX_BYTE_READ" => "highest byte offset read",
+        "POSIX_MAX_BYTE_WRITTEN" => "highest byte offset written",
+        "POSIX_CONSEC_READS" => {
+            "reads starting exactly where the previous read ended (immediately adjacent)"
+        }
+        "POSIX_CONSEC_WRITES" => {
+            "writes starting exactly where the previous write ended (immediately adjacent)"
+        }
+        "POSIX_SEQ_READS" => "reads at an offset at or past where the previous read ended",
+        "POSIX_SEQ_WRITES" => "writes at an offset at or past where the previous write ended",
+        "POSIX_RW_SWITCHES" => "times the access pattern alternated between read and write",
+        "POSIX_MEM_NOT_ALIGNED" => "accesses from client buffers not meeting memory alignment",
+        "POSIX_MEM_ALIGNMENT" => "memory alignment requirement in bytes",
+        "POSIX_FILE_NOT_ALIGNED" => "accesses whose file offset was not aligned to the file alignment",
+        "POSIX_FILE_ALIGNMENT" => {
+            "file alignment in bytes (the Lustre stripe size on Lustre systems)"
+        }
+        "POSIX_FASTEST_RANK" => "rank that spent the least I/O time on this shared file",
+        "POSIX_SLOWEST_RANK" => "rank that spent the most I/O time on this shared file",
+        "POSIX_FASTEST_RANK_BYTES" => "bytes moved by the fastest rank",
+        "POSIX_SLOWEST_RANK_BYTES" => "bytes moved by the slowest rank",
+        "POSIX_F_READ_TIME" => "cumulative seconds spent in reads",
+        "POSIX_F_WRITE_TIME" => "cumulative seconds spent in writes",
+        "POSIX_F_META_TIME" => "cumulative seconds spent in metadata operations (open/close/seek/stat/sync)",
+        "POSIX_F_MAX_READ_TIME" => "duration of the single slowest read",
+        "POSIX_F_MAX_WRITE_TIME" => "duration of the single slowest write",
+        "POSIX_F_VARIANCE_RANK_TIME" => "variance of total I/O time across ranks (shared records)",
+        "POSIX_F_VARIANCE_RANK_BYTES" => "variance of bytes moved across ranks (shared records)",
+        "MPIIO_INDEP_OPENS" => "independent MPI-IO opens",
+        "MPIIO_COLL_OPENS" => "collective MPI-IO opens",
+        "MPIIO_INDEP_READS" => "independent MPI-IO reads",
+        "MPIIO_INDEP_WRITES" => "independent MPI-IO writes",
+        "MPIIO_COLL_READS" => "collective MPI-IO reads",
+        "MPIIO_COLL_WRITES" => "collective MPI-IO writes",
+        "MPIIO_NB_READS" => "non-blocking MPI-IO reads",
+        "MPIIO_NB_WRITES" => "non-blocking MPI-IO writes",
+        "MPIIO_SPLIT_READS" => "split-collective MPI-IO reads",
+        "MPIIO_SPLIT_WRITES" => "split-collective MPI-IO writes",
+        "MPIIO_SYNCS" => "MPI_File_sync calls",
+        "MPIIO_MODE" => "access mode flags the file was opened with",
+        "MPIIO_RW_SWITCHES" => "times the access pattern alternated between read and write",
+        "MPIIO_HINTS" => "MPI-IO hints applied at open",
+        "MPIIO_VIEWS" => "MPI_File_set_view calls",
+        "MPIIO_BYTES_READ" => "total bytes read through MPI-IO",
+        "MPIIO_BYTES_WRITTEN" => "total bytes written through MPI-IO",
+        "STDIO_OPENS" => "stdio fopen calls",
+        "STDIO_FDOPENS" => "stdio fdopen calls",
+        "STDIO_SEEKS" => "stdio fseek calls",
+        "STDIO_FLUSHES" => "stdio fflush calls",
+        "STDIO_MAX_BYTE_READ" => "highest byte offset read through stdio",
+        "STDIO_MAX_BYTE_WRITTEN" => "highest byte offset written through stdio",
+        "STDIO_READS" => "stdio fread calls",
+        "STDIO_WRITES" => "stdio fwrite calls",
+        "STDIO_BYTES_READ" => "total bytes read through stdio",
+        "STDIO_BYTES_WRITTEN" => "total bytes written through stdio",
+        "LUSTRE_OSTS" => "number of object storage targets holding file data",
+        "LUSTRE_MDTS" => "number of metadata targets",
+        "LUSTRE_STRIPE_OFFSET" => "index of the first OST in the stripe pattern",
+        "LUSTRE_STRIPE_SIZE" => "stripe size in bytes",
+        "LUSTRE_STRIPE_WIDTH" => "number of OSTs the file is striped across",
+        "LUSTRE_OST_IDS" => "space-separated list of OST indices the file is striped over",
+        _ => "",
+    };
+    if !fixed.is_empty() {
+        return Some(fixed.to_owned());
+    }
+    derived_description(column)
+}
+
+fn derived_description(column: &str) -> Option<String> {
+    // Size histogram bins: {POSIX|MPIIO}_SIZE_{READ|WRITE}[_AGG]_<LO>_<HI>.
+    if let Some(rest) = column
+        .strip_prefix("POSIX_SIZE_")
+        .or_else(|| column.strip_prefix("MPIIO_SIZE_"))
+    {
+        let rest = rest
+            .trim_start_matches("READ_")
+            .trim_start_matches("WRITE_")
+            .trim_start_matches("AGG_");
+        let dir = if column.contains("READ") { "read" } else { "write" };
+        if let Some((lo, hi)) = rest.split_once('_') {
+            if hi == "PLUS" {
+                return Some(format!("number of {dir} operations of size {lo} bytes or larger"));
+            }
+            return Some(format!(
+                "number of {dir} operations with size in [{lo}, {hi}) bytes"
+            ));
+        }
+    }
+    if column.contains("ACCESS") && column.ends_with("_ACCESS") {
+        return Some("one of the four most common access sizes, bytes".to_owned());
+    }
+    if column.contains("ACCESS") && column.ends_with("_COUNT") {
+        return Some("occurrences of the corresponding common access size".to_owned());
+    }
+    if column.contains("STRIDE") && column.ends_with("_STRIDE") {
+        return Some("one of the four most common strides between accesses, bytes".to_owned());
+    }
+    if column.contains("STRIDE") && column.ends_with("_COUNT") {
+        return Some("occurrences of the corresponding common stride".to_owned());
+    }
+    if column.ends_with("FASTEST_RANK") {
+        return Some("rank that spent the least I/O time on this shared file".to_owned());
+    }
+    if column.ends_with("SLOWEST_RANK") {
+        return Some("rank that spent the most I/O time on this shared file".to_owned());
+    }
+    if column.ends_with("FASTEST_RANK_BYTES") || column.ends_with("SLOWEST_RANK_BYTES") {
+        return Some("bytes moved by that rank".to_owned());
+    }
+    if column.ends_with("FASTEST_RANK_TIME") || column.ends_with("SLOWEST_RANK_TIME") {
+        return Some("seconds of I/O time spent by that rank".to_owned());
+    }
+    if column.ends_with("VARIANCE_RANK_TIME") {
+        return Some("variance of total I/O time across ranks (shared records)".to_owned());
+    }
+    if column.ends_with("VARIANCE_RANK_BYTES") {
+        return Some("variance of bytes moved across ranks (shared records)".to_owned());
+    }
+    if column.ends_with("_TIMESTAMP") {
+        return Some("timestamp in seconds relative to job start".to_owned());
+    }
+    if column.ends_with("_TIME") && column.contains("_F_") {
+        return Some("cumulative seconds".to_owned());
+    }
+    if column.ends_with("_TIME_SIZE") {
+        return Some("size in bytes of the slowest operation".to_owned());
+    }
+    None
+}
+
+/// Short description of a module table.
+#[must_use]
+pub fn table_description(table: &str) -> &'static str {
+    match table {
+        "POSIX" => {
+            "one row per (file, rank) pair with POSIX-level statistical counters for that file"
+        }
+        "MPIIO" => {
+            "one row per (file, rank) pair with MPI-IO-level counters, distinguishing independent and collective operations"
+        }
+        "STDIO" => "one row per (file, rank) pair with buffered standard-I/O counters",
+        "LUSTRE" => "one row per file with its Lustre striping layout",
+        "DXT" => {
+            "one row per traced read/write operation with its file, rank, offset, length and wall-clock interval"
+        }
+        "HEATMAP" => {
+            "one row per (rank, time bin) with the bytes that rank read and wrote during the bin"
+        }
+        _ => "auxiliary table",
+    }
+}
+
+/// Render the prompt-ready description block for a table: the table
+/// description followed by one line per column.
+#[must_use]
+pub fn describe_table(table: &Table) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "File {name}.csv: {desc}. Columns:",
+        name = table.name,
+        desc = table_description(&table.name)
+    );
+    for c in &table.columns {
+        let desc = column_description(&c.name).unwrap_or_else(|| "module counter".to_owned());
+        let _ = writeln!(out, "  - {}: {desc}", c.name);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darshan::counters::{MpiioCounter, MpiioFCounter, PosixCounter, PosixFCounter};
+
+    #[test]
+    fn key_columns_have_descriptions() {
+        for c in [
+            "file_id",
+            "rank",
+            "POSIX_FILE_NOT_ALIGNED",
+            "POSIX_CONSEC_WRITES",
+            "LUSTRE_STRIPE_SIZE",
+            "MPIIO_COLL_WRITES",
+        ] {
+            assert!(column_description(c).is_some(), "{c} lacks description");
+        }
+    }
+
+    #[test]
+    fn histogram_bins_derive_descriptions() {
+        let d = column_description("POSIX_SIZE_READ_100_1K").unwrap();
+        assert!(d.contains("read"), "{d}");
+        assert!(d.contains("[100, 1K)"), "{d}");
+        let d = column_description("POSIX_SIZE_WRITE_1G_PLUS").unwrap();
+        assert!(d.contains("1G bytes or larger"), "{d}");
+        let d = column_description("MPIIO_SIZE_WRITE_AGG_0_100").unwrap();
+        assert!(d.contains("write"), "{d}");
+    }
+
+    #[test]
+    fn every_posix_counter_is_describable() {
+        for c in PosixCounter::ALL {
+            assert!(
+                column_description(c.name()).is_some(),
+                "{} lacks description",
+                c.name()
+            );
+        }
+        for c in PosixFCounter::ALL {
+            assert!(
+                column_description(c.name()).is_some(),
+                "{} lacks description",
+                c.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_mpiio_counter_is_describable() {
+        for c in MpiioCounter::ALL {
+            assert!(
+                column_description(c.name()).is_some(),
+                "{} lacks description",
+                c.name()
+            );
+        }
+        for c in MpiioFCounter::ALL {
+            assert!(
+                column_description(c.name()).is_some(),
+                "{} lacks description",
+                c.name()
+            );
+        }
+    }
+
+    #[test]
+    fn describe_table_mentions_every_column() {
+        let t = Table::new("DXT", &["file_id", "op", "offset"]);
+        let text = describe_table(&t);
+        assert!(text.contains("DXT.csv"));
+        assert!(text.contains("- op:"));
+        assert!(text.contains("- offset:"));
+    }
+
+    #[test]
+    fn unknown_column_falls_back_to_none() {
+        assert!(column_description("TOTALLY_UNKNOWN").is_none());
+    }
+}

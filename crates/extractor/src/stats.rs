@@ -1,0 +1,170 @@
+//! Descriptive statistics over table columns.
+//!
+//! Shared by the IQL evaluator's aggregate functions and by tests that
+//! assert statistical properties of extracted traces.
+
+use crate::table::{Table, Value};
+use std::collections::BTreeMap;
+
+/// Summary statistics of a numeric column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of non-null numeric values.
+    pub count: usize,
+    /// Sum of values.
+    pub sum: f64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Population standard deviation (0 when empty).
+    pub std: f64,
+    /// Minimum (0 when empty).
+    pub min: f64,
+    /// Maximum (0 when empty).
+    pub max: f64,
+}
+
+/// Summarize an iterator of numbers.
+#[must_use]
+pub fn summarize(values: impl IntoIterator<Item = f64>) -> Summary {
+    let vals: Vec<f64> = values.into_iter().collect();
+    if vals.is_empty() {
+        return Summary {
+            count: 0,
+            sum: 0.0,
+            mean: 0.0,
+            std: 0.0,
+            min: 0.0,
+            max: 0.0,
+        };
+    }
+    let count = vals.len();
+    let sum: f64 = vals.iter().sum();
+    let mean = sum / count as f64;
+    let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
+    let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    Summary {
+        count,
+        sum,
+        mean,
+        std: var.sqrt(),
+        min,
+        max,
+    }
+}
+
+/// Summarize a named column of a table (non-numeric cells are skipped).
+#[must_use]
+pub fn column_summary(table: &Table, column: &str) -> Option<Summary> {
+    let values = table.column_values(column)?;
+    Some(summarize(values.filter_map(Value::as_f64)))
+}
+
+/// Percentile (0–100, nearest-rank) of a numeric column.
+#[must_use]
+pub fn column_percentile(table: &Table, column: &str, pct: f64) -> Option<f64> {
+    let mut vals: Vec<f64> = table
+        .column_values(column)?
+        .filter_map(Value::as_f64)
+        .collect();
+    if vals.is_empty() {
+        return None;
+    }
+    vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((pct / 100.0) * vals.len() as f64).ceil().max(1.0) as usize;
+    Some(vals[rank.min(vals.len()) - 1])
+}
+
+/// Sum `value_column` grouped by the string rendering of `key_column`.
+///
+/// Returns a sorted map so output is deterministic.
+#[must_use]
+pub fn group_sum(table: &Table, key_column: &str, value_column: &str) -> Option<BTreeMap<String, f64>> {
+    let ki = table.column_index(key_column)?;
+    let vi = table.column_index(value_column)?;
+    let mut out = BTreeMap::new();
+    for row in table.rows() {
+        let key = row[ki].to_string();
+        let v = row[vi].as_f64().unwrap_or(0.0);
+        *out.entry(key).or_insert(0.0) += v;
+    }
+    Some(out)
+}
+
+/// Count rows grouped by the string rendering of `key_column`.
+#[must_use]
+pub fn group_count(table: &Table, key_column: &str) -> Option<BTreeMap<String, usize>> {
+    let ki = table.column_index(key_column)?;
+    let mut out = BTreeMap::new();
+    for row in table.rows() {
+        *out.entry(row[ki].to_string()).or_insert(0) += 1;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Table {
+        let mut t = Table::new("T", &["rank", "bytes"]);
+        for (rank, bytes) in [(0, 100.0), (0, 200.0), (1, 50.0), (2, 50.0)] {
+            t.push_row(vec![Value::Int(rank), Value::Float(bytes)]);
+        }
+        t
+    }
+
+    #[test]
+    fn summary_of_known_values() {
+        let s = summarize([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 10.0);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.std - 1.1180339887).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = summarize(std::iter::empty());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    fn column_summary_skips_non_numeric() {
+        let mut t = Table::new("T", &["x"]);
+        t.push_row(vec![Value::Int(1)]);
+        t.push_row(vec![Value::Str("oops".into())]);
+        t.push_row(vec![Value::Int(3)]);
+        let s = column_summary(&t, "x").unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum, 4.0);
+        assert!(column_summary(&t, "nope").is_none());
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut t = Table::new("T", &["x"]);
+        for i in 1..=100 {
+            t.push_row(vec![Value::Int(i)]);
+        }
+        assert_eq!(column_percentile(&t, "x", 50.0), Some(50.0));
+        assert_eq!(column_percentile(&t, "x", 99.0), Some(99.0));
+        assert_eq!(column_percentile(&t, "x", 100.0), Some(100.0));
+        assert_eq!(column_percentile(&t, "x", 0.0), Some(1.0));
+    }
+
+    #[test]
+    fn group_sum_and_count() {
+        let table = t();
+        let sums = group_sum(&table, "rank", "bytes").unwrap();
+        assert_eq!(sums["0"], 300.0);
+        assert_eq!(sums["1"], 50.0);
+        let counts = group_count(&table, "rank").unwrap();
+        assert_eq!(counts["0"], 2);
+        assert_eq!(counts["2"], 1);
+    }
+}

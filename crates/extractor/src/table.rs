@@ -1,0 +1,319 @@
+//! Typed, column-oriented table model shared by the CSV codec and IQL.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// A single cell value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string (cheaply clonable: tables copy rows constantly during
+    /// query evaluation, so strings are shared, not reallocated).
+    Str(Arc<str>),
+    /// Missing value.
+    Null,
+}
+
+impl Value {
+    /// Numeric view of the value (`Int` and `Float` coerce; `Str`/`Null`
+    /// do not).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view of the value.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// String view of the value (only for `Str`).
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `Null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Parse a CSV field into the most specific type: empty → `Null`,
+    /// integer, float, then string.
+    #[must_use]
+    pub fn parse(field: &str) -> Value {
+        if field.is_empty() {
+            return Value::Null;
+        }
+        if let Ok(i) = field.parse::<i64>() {
+            return Value::Int(i);
+        }
+        if let Ok(f) = field.parse::<f64>() {
+            return Value::Float(f);
+        }
+        Value::Str(Arc::from(field))
+    }
+
+    /// Truthiness used by IQL predicates: non-zero numbers and non-empty
+    /// strings are true.
+    #[must_use]
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::Null => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Value::Str(s) => f.write_str(s),
+            Value::Null => Ok(()),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(Arc::from(v))
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v))
+    }
+}
+
+/// A named column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name (header row in CSV).
+    pub name: String,
+}
+
+/// An in-memory table: header plus rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table name (e.g. `POSIX`); becomes the CSV file stem.
+    pub name: String,
+    /// Columns, in order.
+    pub columns: Vec<Column>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Create an empty table with the given column names.
+    ///
+    /// # Panics
+    ///
+    /// Panics when column names are not unique — a table with duplicate
+    /// headers is unusable downstream.
+    #[must_use]
+    pub fn new(name: &str, columns: &[&str]) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        for c in columns {
+            assert!(seen.insert(*c), "duplicate column name {c}");
+        }
+        Table {
+            name: name.to_owned(),
+            columns: columns
+                .iter()
+                .map(|c| Column {
+                    name: (*c).to_owned(),
+                })
+                .collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row width does not match the column count.
+    pub fn push_row(&mut self, row: Vec<Value>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width {} != column count {} in table {}",
+            row.len(),
+            self.columns.len(),
+            self.name
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of a column by name.
+    #[must_use]
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Borrow all rows.
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Cell at `(row, column name)`.
+    #[must_use]
+    pub fn cell(&self, row: usize, column: &str) -> Option<&Value> {
+        let idx = self.column_index(column)?;
+        self.rows.get(row).and_then(|r| r.get(idx))
+    }
+
+    /// Iterate one column's values.
+    pub fn column_values<'a>(&'a self, name: &str) -> Option<impl Iterator<Item = &'a Value>> {
+        let idx = self.column_index(name)?;
+        Some(self.rows.iter().map(move |r| &r[idx]))
+    }
+
+    /// Column names as a `Vec<&str>`.
+    #[must_use]
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Keep only rows satisfying the predicate (used by tests and IQL).
+    pub fn retain_rows<F: FnMut(&[Value]) -> bool>(&mut self, mut f: F) {
+        self.rows.retain(|r| f(r));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_parse_infers_types() {
+        assert_eq!(Value::parse("42"), Value::Int(42));
+        assert_eq!(Value::parse("-7"), Value::Int(-7));
+        assert_eq!(Value::parse("3.5"), Value::Float(3.5));
+        assert_eq!(Value::parse("abc"), Value::Str("abc".into()));
+        assert_eq!(Value::parse(""), Value::Null);
+        // Leading zeros / whitespace are not integers in Rust's parser,
+        // and fall through consistently.
+        assert_eq!(Value::parse("1e3"), Value::Float(1000.0));
+    }
+
+    #[test]
+    fn value_display_round_trips_through_parse() {
+        for v in [
+            Value::Int(5),
+            Value::Float(2.25),
+            Value::Str("x,y".into()),
+            Value::Null,
+        ] {
+            let shown = v.to_string();
+            match &v {
+                Value::Float(_) => assert!(Value::parse(&shown).as_f64().is_some()),
+                Value::Null => assert_eq!(Value::parse(&shown), Value::Null),
+                other => assert_eq!(&Value::parse(&shown), other),
+            }
+        }
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Int(1).truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(!Value::Null.truthy());
+        assert!(Value::Str("x".into()).truthy());
+        assert!(!Value::Str(Arc::from("")).truthy());
+    }
+
+    #[test]
+    fn table_basic_accessors() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.push_row(vec![Value::Int(1), Value::Str("x".into())]);
+        t.push_row(vec![Value::Int(2), Value::Str("y".into())]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.column_index("b"), Some(1));
+        assert_eq!(t.cell(0, "a"), Some(&Value::Int(1)));
+        assert_eq!(t.cell(1, "b"), Some(&Value::Str("y".into())));
+        assert_eq!(t.cell(5, "a"), None);
+        assert_eq!(t.cell(0, "nope"), None);
+        let col: Vec<i64> = t
+            .column_values("a")
+            .unwrap()
+            .filter_map(Value::as_i64)
+            .collect();
+        assert_eq!(col, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.push_row(vec![Value::Int(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_columns_panic() {
+        let _ = Table::new("T", &["a", "a"]);
+    }
+
+    #[test]
+    fn retain_rows_filters() {
+        let mut t = Table::new("T", &["a"]);
+        for i in 0..10 {
+            t.push_row(vec![Value::Int(i)]);
+        }
+        t.retain_rows(|r| r[0].as_i64().unwrap() % 2 == 0);
+        assert_eq!(t.len(), 5);
+    }
+}

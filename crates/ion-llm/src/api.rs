@@ -1,0 +1,412 @@
+//! Assistants-style runtime: threads, messages, runs and tool calls.
+//!
+//! The OpenAI Assistants API that ION uses has one essential contract: a
+//! *run* over a message thread repeatedly asks the model for its next
+//! action — either a **tool call** (here: the IQL code interpreter) whose
+//! output is appended to the thread, or the **final message**. This module
+//! reproduces that loop with a pluggable [`LanguageModel`].
+
+use crate::iql::{parse_program, Interpreter, IqlError};
+use extractor::TableSet;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Who authored a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Role {
+    /// System/context message.
+    System,
+    /// End-user (or pipeline) message.
+    User,
+    /// Model output.
+    Assistant,
+    /// Tool result fed back to the model.
+    Tool,
+}
+
+/// One message in a thread.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Message {
+    /// Author role.
+    pub role: Role,
+    /// Text content.
+    pub content: String,
+}
+
+impl Message {
+    /// Construct a system message.
+    #[must_use]
+    pub fn system(content: impl Into<String>) -> Self {
+        Message {
+            role: Role::System,
+            content: content.into(),
+        }
+    }
+
+    /// Construct a user message.
+    #[must_use]
+    pub fn user(content: impl Into<String>) -> Self {
+        Message {
+            role: Role::User,
+            content: content.into(),
+        }
+    }
+
+    /// Construct an assistant message.
+    #[must_use]
+    pub fn assistant(content: impl Into<String>) -> Self {
+        Message {
+            role: Role::Assistant,
+            content: content.into(),
+        }
+    }
+}
+
+/// A conversation thread with attached tables (the Assistants API's file
+/// attachments).
+#[derive(Debug, Clone, Default)]
+pub struct Thread {
+    /// Messages in order.
+    pub messages: Vec<Message>,
+}
+
+impl Thread {
+    /// Create an empty thread.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a message, returning `self` for chaining.
+    #[must_use]
+    pub fn with(mut self, message: Message) -> Self {
+        self.messages.push(message);
+        self
+    }
+
+    /// Append a message in place.
+    pub fn push(&mut self, message: Message) {
+        self.messages.push(message);
+    }
+}
+
+/// A tool invocation requested by the model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ToolCall {
+    /// Tool name (currently only `code_interpreter`).
+    pub tool: String,
+    /// Tool input — for the code interpreter, IQL source.
+    pub input: String,
+}
+
+/// A tool result returned to the model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ToolOutput {
+    /// The call this answers.
+    pub call: ToolCall,
+    /// Rendered output (emitted scalars or error text).
+    pub output: String,
+    /// Whether the tool failed.
+    pub is_error: bool,
+}
+
+/// The model's next step in a run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelAction {
+    /// Invoke a tool and resume with its output.
+    Call(ToolCall),
+    /// Finish the run with this assistant message.
+    Final(String),
+}
+
+/// A language model that can drive a run.
+///
+/// Implementations must be deterministic functions of the thread content
+/// for the reproduction's experiments to be repeatable; the trait itself
+/// does not require it.
+pub trait LanguageModel: Send + Sync {
+    /// Decide the next action given the thread so far (tool outputs appear
+    /// as [`Role::Tool`] messages).
+    fn step(&self, thread: &Thread) -> ModelAction;
+
+    /// Model identifier recorded in completions (e.g. a model name).
+    fn model_id(&self) -> &str {
+        "deterministic-expert-v1"
+    }
+}
+
+/// The outcome of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// Final assistant text.
+    pub text: String,
+    /// Every tool call made during the run, with outputs, in order.
+    pub tool_outputs: Vec<ToolOutput>,
+    /// Model identifier that produced the completion.
+    pub model_id: String,
+    /// Number of model steps taken (tool calls + final).
+    pub steps: usize,
+}
+
+/// Errors from the runtime itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The model exceeded the tool-call budget without finishing.
+    Budget {
+        /// The configured budget.
+        max_steps: usize,
+    },
+    /// The model requested a tool this runtime does not provide.
+    UnknownTool {
+        /// Requested tool name.
+        tool: String,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Budget { max_steps } => {
+                write!(f, "model did not finish within {max_steps} steps")
+            }
+            RuntimeError::UnknownTool { tool } => write!(f, "unknown tool {tool}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Executes runs: loops model actions, dispatching code-interpreter calls
+/// against the attached tables.
+pub struct Runtime<'a> {
+    model: &'a dyn LanguageModel,
+    tables: &'a TableSet,
+    max_steps: usize,
+}
+
+impl fmt::Debug for Runtime<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Runtime")
+            .field("model", &self.model.model_id())
+            .field("max_steps", &self.max_steps)
+            .finish()
+    }
+}
+
+impl<'a> Runtime<'a> {
+    /// Create a runtime over a model and attached tables.
+    #[must_use]
+    pub fn new(model: &'a dyn LanguageModel, tables: &'a TableSet) -> Self {
+        Runtime {
+            model,
+            tables,
+            max_steps: 64,
+        }
+    }
+
+    /// Override the tool-call budget.
+    #[must_use]
+    pub fn with_max_steps(mut self, max_steps: usize) -> Self {
+        self.max_steps = max_steps.max(1);
+        self
+    }
+
+    /// Execute a run to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Budget`] if the model never produces a final
+    /// message, or [`RuntimeError::UnknownTool`] on an unsupported tool.
+    pub fn run(&self, mut thread: Thread) -> Result<Completion, RuntimeError> {
+        let mut tool_outputs = Vec::new();
+        for step in 0..self.max_steps {
+            match self.model.step(&thread) {
+                ModelAction::Final(text) => {
+                    return Ok(Completion {
+                        text,
+                        tool_outputs,
+                        model_id: self.model.model_id().to_owned(),
+                        steps: step + 1,
+                    });
+                }
+                ModelAction::Call(call) => {
+                    if call.tool != "code_interpreter" {
+                        return Err(RuntimeError::UnknownTool { tool: call.tool });
+                    }
+                    let output = execute_code(&call.input, self.tables);
+                    let (text, is_error) = match output {
+                        Ok(t) => (t, false),
+                        Err(e) => (format!("ERROR: {e}"), true),
+                    };
+                    thread.push(Message {
+                        role: Role::Tool,
+                        content: text.clone(),
+                    });
+                    tool_outputs.push(ToolOutput {
+                        call,
+                        output: text,
+                        is_error,
+                    });
+                }
+            }
+        }
+        Err(RuntimeError::Budget {
+            max_steps: self.max_steps,
+        })
+    }
+}
+
+/// Execute one IQL program against the tables, rendering emitted scalars
+/// as `name = value` lines (what the model "sees" from the interpreter).
+fn execute_code(src: &str, tables: &TableSet) -> Result<String, IqlError> {
+    let program = parse_program(src)?;
+    let interp = Interpreter::new(tables);
+    let out = interp.run(&program)?;
+    let mut text = String::new();
+    for (name, value) in &out.emitted {
+        text.push_str(name);
+        text.push_str(" = ");
+        text.push_str(&value.to_string());
+        text.push('\n');
+    }
+    if let Some(t) = &out.table {
+        if out.emitted.is_empty() {
+            // No scalars: show the (truncated) result table instead.
+            text.push_str(&render_table_preview(t, 10));
+        }
+    }
+    if text.is_empty() {
+        text.push_str("(no output)\n");
+    }
+    Ok(text)
+}
+
+fn render_table_preview(t: &extractor::Table, max_rows: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&t.column_names().join(","));
+    out.push('\n');
+    for row in t.rows().iter().take(max_rows) {
+        let cells: Vec<String> = row.iter().map(ToString::to_string).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    if t.len() > max_rows {
+        out.push_str(&format!("... ({} more rows)\n", t.len() - max_rows));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extractor::{Table, Value};
+
+    struct ScriptedModel {
+        program: String,
+    }
+
+    impl LanguageModel for ScriptedModel {
+        fn step(&self, thread: &Thread) -> ModelAction {
+            // Call the interpreter once, then summarize its output.
+            let has_tool_result = thread.messages.iter().any(|m| m.role == Role::Tool);
+            if has_tool_result {
+                let result = thread
+                    .messages
+                    .iter()
+                    .rev()
+                    .find(|m| m.role == Role::Tool)
+                    .unwrap();
+                ModelAction::Final(format!("analysis complete: {}", result.content.trim()))
+            } else {
+                ModelAction::Call(ToolCall {
+                    tool: "code_interpreter".into(),
+                    input: self.program.clone(),
+                })
+            }
+        }
+    }
+
+    fn tables() -> TableSet {
+        let mut t = Table::new("DXT", &["rank", "length"]);
+        t.push_row(vec![Value::Int(0), Value::Int(100)]);
+        t.push_row(vec![Value::Int(1), Value::Int(300)]);
+        let mut s = TableSet::default();
+        s.insert(t);
+        s
+    }
+
+    #[test]
+    fn run_loops_tool_then_final() {
+        let model = ScriptedModel {
+            program: "LOAD DXT\nAGG total = sum(length)\nEMIT total\n".into(),
+        };
+        let tables = tables();
+        let completion = Runtime::new(&model, &tables).run(Thread::new()).unwrap();
+        assert_eq!(completion.steps, 2);
+        assert_eq!(completion.tool_outputs.len(), 1);
+        assert!(!completion.tool_outputs[0].is_error);
+        assert!(completion.text.contains("total = 400"));
+    }
+
+    #[test]
+    fn interpreter_errors_surface_as_tool_errors() {
+        let model = ScriptedModel {
+            program: "LOAD NOPE\n".into(),
+        };
+        let tables = tables();
+        let completion = Runtime::new(&model, &tables).run(Thread::new()).unwrap();
+        assert!(completion.tool_outputs[0].is_error);
+        assert!(completion.tool_outputs[0].output.contains("no attached table"));
+    }
+
+    #[test]
+    fn budget_exceeded_is_error() {
+        struct LoopForever;
+        impl LanguageModel for LoopForever {
+            fn step(&self, _thread: &Thread) -> ModelAction {
+                ModelAction::Call(ToolCall {
+                    tool: "code_interpreter".into(),
+                    input: "LOAD DXT\n".into(),
+                })
+            }
+        }
+        let tables = tables();
+        let err = Runtime::new(&LoopForever, &tables)
+            .with_max_steps(3)
+            .run(Thread::new())
+            .unwrap_err();
+        assert_eq!(err, RuntimeError::Budget { max_steps: 3 });
+    }
+
+    #[test]
+    fn unknown_tool_rejected() {
+        struct BadTool;
+        impl LanguageModel for BadTool {
+            fn step(&self, _thread: &Thread) -> ModelAction {
+                ModelAction::Call(ToolCall {
+                    tool: "web_search".into(),
+                    input: String::new(),
+                })
+            }
+        }
+        let tables = tables();
+        let err = Runtime::new(&BadTool, &tables).run(Thread::new()).unwrap_err();
+        assert!(matches!(err, RuntimeError::UnknownTool { .. }));
+    }
+
+    #[test]
+    fn table_preview_rendered_when_no_scalars() {
+        let out = execute_code("LOAD DXT\nSORT length DESC\n", &tables()).unwrap();
+        assert!(out.starts_with("rank,length"));
+        assert!(out.contains("1,300"));
+    }
+
+    #[test]
+    fn thread_builders() {
+        let t = Thread::new()
+            .with(Message::system("ctx"))
+            .with(Message::user("question"));
+        assert_eq!(t.messages.len(), 2);
+        assert_eq!(t.messages[0].role, Role::System);
+    }
+}

@@ -1,0 +1,569 @@
+//! The deterministic in-context-learning expert model.
+//!
+//! [`DeterministicExpert`] implements [`LanguageModel`] with **no built-in
+//! knowledge of any I/O issue**. Everything it does is derived from the
+//! prompt at run time:
+//!
+//! 1. It extracts the issue context between `BEGIN ISSUE CONTEXT` /
+//!    `END ISSUE CONTEXT` markers and parses the knowledge directives
+//!    ([`crate::knowledge::parse_context`]).
+//! 2. It executes the context's `COMPUTE` programs one per tool call,
+//!    threading previously computed metrics and `PARAM` hyper-parameters
+//!    into each program as `LET` preambles — the same way a code-running
+//!    assistant carries results across cells.
+//! 3. With all metrics in hand it evaluates the context's `CONCLUDE` /
+//!    `MITIGATE` / `NOTE` rules, renders their templates with the actual
+//!    numbers, and emits a structured chain-of-thought completion.
+//!
+//! Editing the context text therefore changes the diagnosis without
+//! touching this file — the in-context-learning property the paper relies
+//! on. A second mode (`MODE: summarize`) combines previously produced
+//! per-issue conclusions into a global summary, mirroring ION's
+//! summarization prompt.
+
+use crate::api::{LanguageModel, Message, ModelAction, Role, Thread, ToolCall};
+use crate::knowledge::{
+    parse_context, render_template, ConcludeRule, IssueContextSpec, RuleKind,
+};
+use crate::iql::{eval_with_scalars, parse_expression};
+use extractor::Value;
+use std::collections::BTreeMap;
+
+/// Marker opening the issue-context section of a prompt.
+pub const CONTEXT_BEGIN: &str = "BEGIN ISSUE CONTEXT";
+/// Marker closing the issue-context section of a prompt.
+pub const CONTEXT_END: &str = "END ISSUE CONTEXT";
+/// Marker selecting summarization mode.
+pub const MODE_SUMMARIZE: &str = "MODE: summarize";
+
+/// The deterministic expert model.
+#[derive(Debug, Clone, Default)]
+pub struct DeterministicExpert;
+
+impl DeterministicExpert {
+    /// Create the expert.
+    #[must_use]
+    pub fn new() -> Self {
+        DeterministicExpert
+    }
+}
+
+fn prompt_text(thread: &Thread) -> String {
+    thread
+        .messages
+        .iter()
+        .filter(|m| matches!(m.role, Role::System | Role::User))
+        .map(|m| m.content.as_str())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn context_slice(prompt: &str) -> &str {
+    match (prompt.find(CONTEXT_BEGIN), prompt.find(CONTEXT_END)) {
+        (Some(b), Some(e)) if e > b => &prompt[b + CONTEXT_BEGIN.len()..e],
+        _ => prompt,
+    }
+}
+
+/// Parse `name = value` lines from interpreter output.
+fn parse_metrics(output: &str) -> Vec<(String, Value)> {
+    let mut out = Vec::new();
+    for line in output.lines() {
+        if let Some((name, value)) = line.split_once(" = ") {
+            let name = name.trim();
+            if name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_')
+                && !name.is_empty()
+            {
+                out.push((name.to_owned(), Value::parse(value.trim())));
+            }
+        }
+    }
+    out
+}
+
+fn preamble(spec: &IssueContextSpec, metrics: &BTreeMap<String, Value>) -> String {
+    let mut out = String::new();
+    for (name, value) in &spec.params {
+        out.push_str(&format!("LET {name} = {value}\n"));
+    }
+    for (name, value) in metrics {
+        match value {
+            Value::Int(i) => out.push_str(&format!("LET {name} = {i}\n")),
+            Value::Float(f) if f.is_finite() => out.push_str(&format!("LET {name} = {f}\n")),
+            Value::Str(s) if !s.contains('\'') && !s.contains('\n') => {
+                out.push_str(&format!("LET {name} = '{s}'\n"));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn severity_rank(s: &str) -> u8 {
+    match s {
+        "high" => 3,
+        "medium" => 2,
+        "low" => 1,
+        _ => 0,
+    }
+}
+
+fn rule_fires(rule: &ConcludeRule, metrics: &BTreeMap<String, Value>) -> Option<bool> {
+    let expr = parse_expression(&rule.condition).ok()?;
+    let v = eval_with_scalars(&expr, metrics).ok()?;
+    Some(v.truthy())
+}
+
+/// Structured state the expert derives from a thread.
+struct RunState {
+    spec: IssueContextSpec,
+    metrics: BTreeMap<String, Value>,
+    completed_computes: usize,
+    failed_computes: Vec<(String, String)>,
+}
+
+fn derive_state(thread: &Thread) -> RunState {
+    let prompt = prompt_text(thread);
+    let spec = parse_context(context_slice(&prompt)).unwrap_or_default();
+    let mut metrics = BTreeMap::new();
+    let mut completed = 0usize;
+    let mut failed = Vec::new();
+    for m in thread.messages.iter().filter(|m| m.role == Role::Tool) {
+        let compute_name = spec
+            .computes
+            .get(completed)
+            .map_or_else(|| format!("analysis_{completed}"), |c| c.name.clone());
+        if m.content.starts_with("ERROR:") {
+            failed.push((compute_name, m.content.clone()));
+        } else {
+            for (name, value) in parse_metrics(&m.content) {
+                metrics.insert(name, value);
+            }
+        }
+        completed += 1;
+    }
+    RunState {
+        spec,
+        metrics,
+        completed_computes: completed,
+        failed_computes: failed,
+    }
+}
+
+fn render_final(state: &RunState) -> String {
+    let RunState {
+        spec,
+        metrics,
+        failed_computes,
+        ..
+    } = state;
+    // Rule conditions and templates may reference computed metrics or
+    // context PARAMs; metrics shadow params, and later PARAM lines override
+    // earlier ones (so overrides appended by the prompt builder win).
+    let mut env: BTreeMap<String, Value> = spec
+        .params
+        .iter()
+        .map(|(n, v)| (n.clone(), Value::Float(*v)))
+        .collect();
+    env.extend(metrics.iter().map(|(n, v)| (n.clone(), v.clone())));
+    let env = &env;
+    let lookup = |name: &str| env.get(name).cloned();
+
+    let mut findings: Vec<(String, String)> = Vec::new();
+    let mut mitigations: Vec<String> = Vec::new();
+    let mut notes: Vec<String> = Vec::new();
+    for rule in &spec.rules {
+        let fired = rule_fires(rule, env).unwrap_or(false);
+        if !fired {
+            continue;
+        }
+        let text = render_template(&rule.template, lookup);
+        match &rule.kind {
+            RuleKind::Conclude { severity } => findings.push((severity.clone(), text)),
+            RuleKind::Mitigate => mitigations.push(text),
+            RuleKind::Note => notes.push(text),
+        }
+    }
+    // A MITIGATE rule only fires when the underlying pattern exists, so a
+    // mitigation without (or alongside) findings means "present but
+    // defused" — the paper's IOR-Easy shared-file rows.
+    let detected = !findings.is_empty() || !mitigations.is_empty();
+    let severity = findings
+        .iter()
+        .max_by_key(|(s, _)| severity_rank(s))
+        .map(|(s, _)| s.as_str())
+        .unwrap_or(if mitigations.is_empty() { "none" } else { "low" })
+        .to_owned();
+
+    let mut out = String::new();
+    out.push_str(&format!("ISSUE: {}\n", spec.issue));
+    out.push_str(&format!("TITLE: {}\n", spec.title));
+    out.push_str(&format!(
+        "DETECTED: {}\n",
+        if detected {
+            if mitigations.is_empty() {
+                "yes"
+            } else {
+                "mitigated"
+            }
+        } else {
+            "no"
+        }
+    ));
+    out.push_str(&format!("SEVERITY: {severity}\n"));
+
+    out.push_str("STEPS:\n");
+    let mut step = 1;
+    for k in &spec.knowledge {
+        out.push_str(&format!("{step}. Considered: {}\n", k.text));
+        step += 1;
+    }
+    for c in &spec.computes {
+        if let Some((_, err)) = failed_computes.iter().find(|(n, _)| n == &c.name) {
+            out.push_str(&format!(
+                "{step}. Ran analysis `{}` — it failed ({}); continued without it.\n",
+                c.name,
+                err.trim()
+            ));
+        } else {
+            let emitted: Vec<String> = c
+                .source
+                .lines()
+                .filter_map(|l| l.trim().strip_prefix("EMIT "))
+                .flat_map(|names| names.split(','))
+                .map(|n| n.trim().to_owned())
+                .filter_map(|n| metrics.get(&n).map(|v| format!("{n} = {v}")))
+                .collect();
+            out.push_str(&format!(
+                "{step}. Ran analysis `{}`; observed {}.\n",
+                c.name,
+                if emitted.is_empty() {
+                    "no metrics".to_owned()
+                } else {
+                    emitted.join(", ")
+                }
+            ));
+        }
+        step += 1;
+    }
+    for rule in &spec.rules {
+        let fired = rule_fires(rule, env).unwrap_or(false);
+        out.push_str(&format!(
+            "{step}. Checked `{}` → {}\n",
+            rule.condition,
+            if fired { "holds" } else { "does not hold" }
+        ));
+        step += 1;
+    }
+
+    out.push_str("CODE:\n");
+    for c in &spec.computes {
+        out.push_str(&format!("# {}\n{}\n", c.name, c.source.trim()));
+    }
+
+    out.push_str("FINDINGS:\n");
+    if findings.is_empty() {
+        out.push_str("- none\n");
+    }
+    for (sev, text) in &findings {
+        out.push_str(&format!("- [{sev}] {text}\n"));
+    }
+    if !mitigations.is_empty() {
+        out.push_str("MITIGATIONS:\n");
+        for m in &mitigations {
+            out.push_str(&format!("- {m}\n"));
+        }
+    }
+    if !notes.is_empty() {
+        out.push_str("NOTES:\n");
+        for n in &notes {
+            out.push_str(&format!("- {n}\n"));
+        }
+    }
+
+    out.push_str("CONCLUSION: ");
+    if findings.is_empty() && notes.is_empty() && mitigations.is_empty() {
+        out.push_str(&format!(
+            "No evidence of the '{}' issue was found in this trace.",
+            if spec.title.is_empty() {
+                &spec.issue
+            } else {
+                &spec.title
+            }
+        ));
+    } else {
+        let mut sentences: Vec<String> = findings.iter().map(|(_, t)| t.clone()).collect();
+        sentences.extend(mitigations.iter().cloned());
+        sentences.extend(notes.iter().cloned());
+        out.push_str(&sentences.join(" "));
+    }
+    out.push('\n');
+    out
+}
+
+fn render_summary(prompt: &str) -> String {
+    // Collect per-issue conclusion lines and finding bullets from the
+    // diagnoses embedded in the prompt.
+    let mut high = Vec::new();
+    let mut medium = Vec::new();
+    let mut low = Vec::new();
+    let mut mitigated = Vec::new();
+    for line in prompt.lines() {
+        let l = line.trim();
+        if let Some(rest) = l.strip_prefix("- [high] ") {
+            high.push(rest.to_owned());
+        } else if let Some(rest) = l.strip_prefix("- [medium] ") {
+            medium.push(rest.to_owned());
+        } else if let Some(rest) = l.strip_prefix("- [low] ") {
+            low.push(rest.to_owned());
+        } else if l.starts_with("MITIGATIONS:") {
+            // handled via the bullet below
+        } else if let Some(rest) = l.strip_prefix("* mitigation: ") {
+            mitigated.push(rest.to_owned());
+        }
+    }
+    let mut out = String::new();
+    out.push_str("GLOBAL DIAGNOSIS SUMMARY\n");
+    if high.is_empty() && medium.is_empty() && low.is_empty() {
+        out.push_str(
+            "No significant I/O performance issues were detected in this trace.\n",
+        );
+    }
+    if !high.is_empty() {
+        out.push_str("Critical issues:\n");
+        for h in &high {
+            out.push_str(&format!("- {h}\n"));
+        }
+    }
+    if !medium.is_empty() {
+        out.push_str("Moderate issues:\n");
+        for m in &medium {
+            out.push_str(&format!("- {m}\n"));
+        }
+    }
+    if !low.is_empty() {
+        out.push_str("Minor observations:\n");
+        for l in &low {
+            out.push_str(&format!("- {l}\n"));
+        }
+    }
+    if !mitigated.is_empty() {
+        out.push_str("Mitigating factors:\n");
+        for m in &mitigated {
+            out.push_str(&format!("- {m}\n"));
+        }
+    }
+    out
+}
+
+impl LanguageModel for DeterministicExpert {
+    fn step(&self, thread: &Thread) -> ModelAction {
+        let prompt = prompt_text(thread);
+        if prompt.contains(MODE_SUMMARIZE) {
+            return ModelAction::Final(render_summary(&prompt));
+        }
+        let state = derive_state(thread);
+        if state.completed_computes < state.spec.computes.len() {
+            let compute = &state.spec.computes[state.completed_computes];
+            let program = format!("{}{}", preamble(&state.spec, &state.metrics), compute.source);
+            return ModelAction::Call(ToolCall {
+                tool: "code_interpreter".into(),
+                input: program,
+            });
+        }
+        ModelAction::Final(render_final(&state))
+    }
+
+    fn model_id(&self) -> &str {
+        "ion-deterministic-expert-v1"
+    }
+}
+
+/// Convenience: run the expert on a prompt against tables, returning the
+/// completion.
+///
+/// # Errors
+///
+/// Propagates runtime errors (budget exhaustion, unknown tools).
+pub fn run_expert(
+    prompt: &str,
+    tables: &extractor::TableSet,
+) -> Result<crate::api::Completion, crate::api::RuntimeError> {
+    let model = DeterministicExpert::new();
+    let runtime = crate::api::Runtime::new(&model, tables);
+    runtime.run(Thread::new().with(Message::user(prompt)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extractor::{Table, TableSet};
+
+    fn tables() -> TableSet {
+        let mut t = Table::new("DXT", &["rank", "op", "length", "offset"]);
+        for i in 0..20i64 {
+            t.push_row(vec![
+                Value::Int(i % 4),
+                Value::Str(if i % 2 == 0 { "write" } else { "read" }.into()),
+                Value::Int(if i < 18 { 4096 } else { 8 << 20 }),
+                Value::Int(i * 4096),
+            ]);
+        }
+        let mut s = TableSet::default();
+        s.insert(t);
+        s
+    }
+
+    fn prompt(context: &str) -> String {
+        format!(
+            "You are an HPC I/O expert.\n{CONTEXT_BEGIN}\n{context}\n{CONTEXT_END}\nRespond in the structured format."
+        )
+    }
+
+    const SMALL_IO: &str = r#"
+ISSUE: small-io
+TITLE: Small I/O operations
+MODULES: DXT
+
+Requests smaller than the RPC size underutilize round trips.
+
+PARAM rpc_size = 4194304
+
+COMPUTE op_stats:
+  LOAD DXT
+  DERIVE small = length < rpc_size
+  AGG total_ops = count(), small_ops = sum(small)
+  LET small_pct = 100 * small_ops / max(total_ops, 1)
+  EMIT total_ops, small_ops, small_pct
+END
+
+CONCLUDE IF small_pct > 50 SEVERITY high: "{small_pct:.1}% of {total_ops:int} operations are smaller than the 4 MiB RPC size"
+NOTE IF total_ops == 0: "no operations traced"
+"#;
+
+    #[test]
+    fn expert_detects_small_io_from_context_alone() {
+        let tables = tables();
+        let completion = run_expert(&prompt(SMALL_IO), &tables).unwrap();
+        assert!(completion.text.contains("ISSUE: small-io"));
+        assert!(completion.text.contains("DETECTED: yes"));
+        assert!(completion.text.contains("SEVERITY: high"));
+        assert!(completion.text.contains("90.0% of 20 operations"));
+        assert_eq!(completion.tool_outputs.len(), 1);
+        assert!(completion.text.contains("STEPS:"));
+        assert!(completion.text.contains("CODE:"));
+    }
+
+    #[test]
+    fn editing_context_threshold_changes_diagnosis() {
+        // The same trace, but the context now defines "small" against a
+        // 1 KiB RPC size: nothing is small any more. No code changed.
+        let edited = SMALL_IO.replace("PARAM rpc_size = 4194304", "PARAM rpc_size = 1024");
+        let tables = tables();
+        let completion = run_expert(&prompt(&edited), &tables).unwrap();
+        assert!(completion.text.contains("DETECTED: no"));
+        assert!(completion.text.contains("SEVERITY: none"));
+    }
+
+    #[test]
+    fn mitigation_flips_detected_to_mitigated() {
+        let ctx = format!(
+            "{SMALL_IO}\nMITIGATE IF small_pct > 50: \"operations are aggregatable\"\n"
+        );
+        let tables = tables();
+        let completion = run_expert(&prompt(&ctx), &tables).unwrap();
+        assert!(completion.text.contains("DETECTED: mitigated"));
+        assert!(completion.text.contains("MITIGATIONS:"));
+        assert!(completion.text.contains("aggregatable"));
+    }
+
+    #[test]
+    fn metrics_thread_across_computes() {
+        let ctx = r#"
+ISSUE: two-stage
+TITLE: Two stage analysis
+COMPUTE stage1:
+  LOAD DXT
+  AGG n = count()
+  EMIT n
+END
+COMPUTE stage2:
+  LOAD DXT
+  FILTER length > 0
+  AGG m = count()
+  LET ratio = m / max(n, 1)
+  EMIT ratio
+END
+CONCLUDE IF ratio >= 1 SEVERITY low: "ratio is {ratio}"
+"#;
+        let tables = tables();
+        let completion = run_expert(&prompt(ctx), &tables).unwrap();
+        assert_eq!(completion.tool_outputs.len(), 2);
+        assert!(completion.text.contains("DETECTED: yes"), "{}", completion.text);
+        assert!(completion.text.contains("ratio is 1"));
+    }
+
+    #[test]
+    fn failed_compute_is_reported_and_run_continues() {
+        let ctx = r#"
+ISSUE: resilient
+TITLE: Resilient run
+COMPUTE broken:
+  LOAD NO_SUCH_TABLE
+END
+COMPUTE works:
+  LOAD DXT
+  AGG n = count()
+  EMIT n
+END
+CONCLUDE IF n > 0 SEVERITY low: "saw {n:int} ops"
+"#;
+        let tables = tables();
+        let completion = run_expert(&prompt(ctx), &tables).unwrap();
+        assert!(completion.text.contains("it failed"));
+        assert!(completion.text.contains("saw 20 ops"));
+    }
+
+    #[test]
+    fn no_detection_renders_clean_conclusion() {
+        let ctx = r#"
+ISSUE: ghost
+TITLE: Ghost issue
+COMPUTE c:
+  LOAD DXT
+  AGG n = count()
+  EMIT n
+END
+CONCLUDE IF n > 1000000 SEVERITY high: "impossible"
+"#;
+        let tables = tables();
+        let completion = run_expert(&prompt(ctx), &tables).unwrap();
+        assert!(completion.text.contains("DETECTED: no"));
+        assert!(completion.text.contains("No evidence of the 'Ghost issue' issue"));
+    }
+
+    #[test]
+    fn summarize_mode_groups_by_severity() {
+        let prompt = format!(
+            "{MODE_SUMMARIZE}\nDiagnoses:\n- [high] pervasive misalignment\n- [low] some random reads\n* mitigation: ops are aggregatable\n"
+        );
+        let tables = TableSet::default();
+        let completion = run_expert(&prompt, &tables).unwrap();
+        assert!(completion.text.contains("Critical issues:"));
+        assert!(completion.text.contains("pervasive misalignment"));
+        assert!(completion.text.contains("Minor observations:"));
+        assert!(completion.text.contains("Mitigating factors:"));
+    }
+
+    #[test]
+    fn steps_enumerate_knowledge_and_rules() {
+        let tables = tables();
+        let completion = run_expert(&prompt(SMALL_IO), &tables).unwrap();
+        assert!(completion
+            .text
+            .contains("Considered: Requests smaller than the RPC size"));
+        assert!(completion.text.contains("Checked `small_pct > 50` → holds"));
+    }
+}

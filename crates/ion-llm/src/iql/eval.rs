@@ -1,0 +1,862 @@
+//! IQL evaluator: executes programs against extracted tables.
+
+use super::ast::{BinaryOp, Expr, Program, Stmt, UnaryOp};
+use super::IqlError;
+use extractor::{Table, TableSet, Value};
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+
+/// Result of running one IQL program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunOutput {
+    /// Scalars declared by `EMIT`, in declaration order.
+    pub emitted: Vec<(String, Value)>,
+    /// The working table at the end of the program, if any.
+    pub table: Option<Table>,
+    /// Total rows scanned (evaluation effort metric for benches).
+    pub rows_scanned: usize,
+}
+
+impl RunOutput {
+    /// Look up an emitted scalar by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.emitted
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Numeric view of an emitted scalar.
+    #[must_use]
+    pub fn get_f64(&self, name: &str) -> Option<f64> {
+        self.get(name).and_then(Value::as_f64)
+    }
+
+    /// Emitted scalars as a map.
+    #[must_use]
+    pub fn emitted_map(&self) -> BTreeMap<String, Value> {
+        self.emitted.iter().cloned().collect()
+    }
+}
+
+const AGG_FNS: [&str; 8] = [
+    "sum", "count", "mean", "min", "max", "std", "distinct", "pct",
+];
+
+/// The IQL interpreter. Holds the attached tables; [`Interpreter::run`]
+/// executes one program.
+#[derive(Debug)]
+pub struct Interpreter<'a> {
+    tables: &'a TableSet,
+}
+
+#[derive(Debug, Default)]
+struct Env {
+    scalars: BTreeMap<String, Value>,
+}
+
+impl<'a> Interpreter<'a> {
+    /// Create an interpreter over an attached table set.
+    #[must_use]
+    pub fn new(tables: &'a TableSet) -> Self {
+        Interpreter { tables }
+    }
+
+    /// Execute a program.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`IqlError`] for unknown tables/columns/variables, bad
+    /// function calls, or statements used before `LOAD`.
+    pub fn run(&self, program: &Program) -> Result<RunOutput, IqlError> {
+        // The working table starts as a borrow of the attached table;
+        // transforming statements materialize an owned table. This keeps
+        // `LOAD big_table` + aggregate-only programs zero-copy.
+        let mut table: Option<Cow<'_, Table>> = None;
+        let mut env = Env::default();
+        let mut out = RunOutput::default();
+        for stmt in &program.statements {
+            match stmt {
+                Stmt::Load(name) => {
+                    let t = self
+                        .tables
+                        .get(name)
+                        .ok_or_else(|| IqlError::NoSuchTable { table: name.clone() })?;
+                    out.rows_scanned += t.len();
+                    table = Some(Cow::Borrowed(t));
+                }
+                Stmt::Filter(expr) => {
+                    let nt = {
+                        let t: &Table = table.as_deref().ok_or(IqlError::NoTableLoaded)?;
+                        out.rows_scanned += t.len();
+                        let cols = t.column_names_owned();
+                        let name_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+                        let mut nt = Table::new(&t.name, &name_refs);
+                        for row in t.rows() {
+                            if eval_row_expr(expr, &cols, row, &env)?.truthy() {
+                                nt.push_row(row.clone());
+                            }
+                        }
+                        nt
+                    };
+                    table = Some(Cow::Owned(nt));
+                }
+                Stmt::Derive(name, expr) => {
+                    let nt = {
+                        let t: &Table = table.as_deref().ok_or(IqlError::NoTableLoaded)?;
+                        out.rows_scanned += t.len();
+                        let cols = t.column_names_owned();
+                        let mut names: Vec<&str> = cols.iter().map(String::as_str).collect();
+                        names.push(name);
+                        let mut nt = Table::new(&t.name, &names);
+                        for row in t.rows() {
+                            let v = eval_row_expr(expr, &cols, row, &env)?;
+                            let mut nr = row.clone();
+                            nr.push(v);
+                            nt.push_row(nr);
+                        }
+                        nt
+                    };
+                    table = Some(Cow::Owned(nt));
+                }
+                Stmt::Select(names) => {
+                    let nt = {
+                        let t: &Table = table.as_deref().ok_or(IqlError::NoTableLoaded)?;
+                        let idxs: Vec<usize> = names
+                            .iter()
+                            .map(|n| {
+                                t.column_index(n)
+                                    .ok_or_else(|| IqlError::NoSuchColumn { column: n.clone() })
+                            })
+                            .collect::<Result<_, _>>()?;
+                        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                        let mut nt = Table::new(&t.name, &name_refs);
+                        for row in t.rows() {
+                            nt.push_row(idxs.iter().map(|&i| row[i].clone()).collect());
+                        }
+                        nt
+                    };
+                    table = Some(Cow::Owned(nt));
+                }
+                Stmt::Sort { column, descending } => {
+                    let nt = {
+                        let t: &Table = table.as_deref().ok_or(IqlError::NoTableLoaded)?;
+                        let idx = t
+                            .column_index(column)
+                            .ok_or_else(|| IqlError::NoSuchColumn { column: column.clone() })?;
+                        let names = t.column_names_owned();
+                        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                        let mut rows: Vec<Vec<Value>> = t.rows().to_vec();
+                        rows.sort_by(|a, b| compare_values(&a[idx], &b[idx]));
+                        if *descending {
+                            rows.reverse();
+                        }
+                        let mut nt = Table::new(&t.name, &name_refs);
+                        for r in rows {
+                            nt.push_row(r);
+                        }
+                        nt
+                    };
+                    table = Some(Cow::Owned(nt));
+                }
+                Stmt::Limit(n) => {
+                    let nt = {
+                        let t: &Table = table.as_deref().ok_or(IqlError::NoTableLoaded)?;
+                        let names = t.column_names_owned();
+                        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                        let mut nt = Table::new(&t.name, &name_refs);
+                        for r in t.rows().iter().take(*n) {
+                            nt.push_row(r.clone());
+                        }
+                        nt
+                    };
+                    table = Some(Cow::Owned(nt));
+                }
+                Stmt::Join { table: right_name, on } => {
+                    let nt = {
+                        let left: &Table = table.as_deref().ok_or(IqlError::NoTableLoaded)?;
+                        let right = self
+                            .tables
+                            .get(right_name)
+                            .ok_or_else(|| IqlError::NoSuchTable {
+                                table: right_name.clone(),
+                            })?;
+                        out.rows_scanned += left.len() + right.len();
+                        let li = left
+                            .column_index(on)
+                            .ok_or_else(|| IqlError::NoSuchColumn { column: on.clone() })?;
+                        let ri = right
+                            .column_index(on)
+                            .ok_or_else(|| IqlError::NoSuchColumn { column: on.clone() })?;
+                        // Right-side columns that collide with left names are
+                        // dropped (left wins), including the join column itself.
+                        let left_names = left.column_names_owned();
+                        let kept_right: Vec<usize> = right
+                            .columns
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, c)| *i != ri && !left_names.contains(&c.name))
+                            .map(|(i, _)| i)
+                            .collect();
+                        let mut names: Vec<&str> =
+                            left_names.iter().map(String::as_str).collect();
+                        for &i in &kept_right {
+                            names.push(&right.columns[i].name);
+                        }
+                        let mut nt = Table::new(&left.name, &names);
+                        // Hash join on the stringified key.
+                        let mut index: BTreeMap<String, Vec<&Vec<Value>>> = BTreeMap::new();
+                        for row in right.rows() {
+                            index.entry(row[ri].to_string()).or_default().push(row);
+                        }
+                        for lrow in left.rows() {
+                            if let Some(matches) = index.get(&lrow[li].to_string()) {
+                                for rrow in matches {
+                                    let mut row = lrow.clone();
+                                    for &i in &kept_right {
+                                        row.push(rrow[i].clone());
+                                    }
+                                    nt.push_row(row);
+                                }
+                            }
+                        }
+                        nt
+                    };
+                    table = Some(Cow::Owned(nt));
+                }
+                Stmt::Group { keys, aggs } => {
+                    let nt = {
+                        let t: &Table = table.as_deref().ok_or(IqlError::NoTableLoaded)?;
+                        out.rows_scanned += t.len();
+                        let key_idxs: Vec<usize> = keys
+                            .iter()
+                            .map(|k| {
+                                t.column_index(k)
+                                    .ok_or_else(|| IqlError::NoSuchColumn { column: k.clone() })
+                            })
+                            .collect::<Result<_, _>>()?;
+                        let cols = t.column_names_owned();
+                        // Group rows by rendered key tuple; BTreeMap over the
+                        // tuple keeps output order deterministic.
+                        let mut groups: BTreeMap<Vec<String>, Vec<&Vec<Value>>> = BTreeMap::new();
+                        for row in t.rows() {
+                            let key: Vec<String> =
+                                key_idxs.iter().map(|&i| row[i].to_string()).collect();
+                            groups.entry(key).or_default().push(row);
+                        }
+                        let mut names: Vec<&str> = keys.iter().map(String::as_str).collect();
+                        for a in aggs {
+                            names.push(&a.name);
+                        }
+                        let mut nt = Table::new(&t.name, &names);
+                        for rows in groups.values() {
+                            let mut new_row: Vec<Value> =
+                                key_idxs.iter().map(|&i| rows[0][i].clone()).collect();
+                            for a in aggs {
+                                new_row.push(eval_agg_expr(&a.expr, &cols, rows, &env)?);
+                            }
+                            nt.push_row(new_row);
+                        }
+                        nt
+                    };
+                    table = Some(Cow::Owned(nt));
+                }
+                Stmt::Agg(aggs) => {
+                    let t: &Table = table.as_deref().ok_or(IqlError::NoTableLoaded)?;
+                    out.rows_scanned += t.len();
+                    let cols = t.column_names_owned();
+                    let rows: Vec<&Vec<Value>> = t.rows().iter().collect();
+                    for a in aggs {
+                        let v = eval_agg_expr(&a.expr, &cols, &rows, &env)?;
+                        env.scalars.insert(a.name.clone(), v);
+                    }
+                }
+                Stmt::Let(name, expr) => {
+                    let v = eval_scalar_expr(expr, &env)?;
+                    env.scalars.insert(name.clone(), v);
+                }
+                Stmt::Emit(names) => {
+                    for n in names {
+                        let v = env
+                            .scalars
+                            .get(n)
+                            .cloned()
+                            .ok_or_else(|| IqlError::NoSuchVariable { name: n.clone() })?;
+                        out.emitted.push((n.clone(), v));
+                    }
+                }
+            }
+        }
+        // Materialize the final table only when the program produced one it
+        // transformed; a bare borrowed table is returned by clone (rare and
+        // only for preview-style programs).
+        out.table = table.map(Cow::into_owned);
+        Ok(out)
+    }
+}
+
+/// Evaluate a standalone expression against a scalar environment (used by
+/// the expert model for rule conditions).
+///
+/// # Errors
+///
+/// Returns [`IqlError::NoSuchVariable`] for unknown names or a type error.
+pub fn eval_with_scalars(
+    expr: &Expr,
+    scalars: &BTreeMap<String, Value>,
+) -> Result<Value, IqlError> {
+    let env = Env {
+        scalars: scalars.clone(),
+    };
+    eval_scalar_expr(expr, &env)
+}
+
+trait ColumnNamesOwned {
+    fn column_names_owned(&self) -> Vec<String>;
+}
+
+impl ColumnNamesOwned for Table {
+    fn column_names_owned(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.name.clone()).collect()
+    }
+}
+
+fn compare_values(a: &Value, b: &Value) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
+        _ => a.to_string().cmp(&b.to_string()),
+    }
+}
+
+fn num(v: &Value, what: &str) -> Result<f64, IqlError> {
+    v.as_f64().ok_or_else(|| IqlError::Type {
+        message: format!("{what} is not numeric (got {v:?})"),
+    })
+}
+
+fn binary(op: BinaryOp, l: Value, r: Value) -> Result<Value, IqlError> {
+    use BinaryOp::*;
+    Ok(match op {
+        And => Value::Int(i64::from(l.truthy() && r.truthy())),
+        Or => Value::Int(i64::from(l.truthy() || r.truthy())),
+        Eq | Ne => {
+            let equal = match (&l, &r) {
+                (Value::Str(a), Value::Str(b)) => a == b,
+                _ => match (l.as_f64(), r.as_f64()) {
+                    (Some(a), Some(b)) => a == b,
+                    _ => l.to_string() == r.to_string(),
+                },
+            };
+            Value::Int(i64::from(if op == Eq { equal } else { !equal }))
+        }
+        Lt | Le | Gt | Ge => {
+            let ord = compare_values(&l, &r);
+            let res = match op {
+                Lt => ord == std::cmp::Ordering::Less,
+                Le => ord != std::cmp::Ordering::Greater,
+                Gt => ord == std::cmp::Ordering::Greater,
+                Ge => ord != std::cmp::Ordering::Less,
+                _ => unreachable!(),
+            };
+            Value::Int(i64::from(res))
+        }
+        Add | Sub | Mul | Div | Rem => {
+            let a = num(&l, "left operand")?;
+            let b = num(&r, "right operand")?;
+            let v = match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                // Division by zero yields 0 rather than NaN: diagnosis
+                // ratios over empty populations should read as "0%", not
+                // poison every downstream conclusion.
+                Div => {
+                    if b == 0.0 {
+                        0.0
+                    } else {
+                        a / b
+                    }
+                }
+                Rem => {
+                    if b == 0.0 {
+                        0.0
+                    } else {
+                        a % b
+                    }
+                }
+                _ => unreachable!(),
+            };
+            if v.fract() == 0.0 && v.abs() < 9e15 && matches!((l, r), (Value::Int(_), Value::Int(_))) {
+                Value::Int(v as i64)
+            } else {
+                Value::Float(v)
+            }
+        }
+    })
+}
+
+fn scalar_call(name: &str, args: &[Value]) -> Result<Value, IqlError> {
+    let bad = |message: &str| IqlError::BadCall {
+        name: name.to_owned(),
+        message: message.to_owned(),
+    };
+    match (name, args.len()) {
+        ("abs", 1) => Ok(Value::Float(num(&args[0], "abs arg")?.abs())),
+        ("sqrt", 1) => Ok(Value::Float(num(&args[0], "sqrt arg")?.max(0.0).sqrt())),
+        ("floor", 1) => Ok(Value::Float(num(&args[0], "floor arg")?.floor())),
+        ("ceil", 1) => Ok(Value::Float(num(&args[0], "ceil arg")?.ceil())),
+        ("round", 1) => Ok(Value::Float(num(&args[0], "round arg")?.round())),
+        ("min", 2) => Ok(Value::Float(
+            num(&args[0], "min arg")?.min(num(&args[1], "min arg")?),
+        )),
+        ("max", 2) => Ok(Value::Float(
+            num(&args[0], "max arg")?.max(num(&args[1], "max arg")?),
+        )),
+        ("if", 3) => Ok(if args[0].truthy() {
+            args[1].clone()
+        } else {
+            args[2].clone()
+        }),
+        ("contains", 2) => match (&args[0], &args[1]) {
+            (Value::Str(h), Value::Str(n)) => Ok(Value::Int(i64::from(h.contains(&**n)))),
+            _ => Err(bad("contains expects two strings")),
+        },
+        ("min" | "max", n) => Err(bad(&format!("expected 2 args, got {n}"))),
+        _ => Err(bad("unknown function in this context")),
+    }
+}
+
+fn eval_row_expr(
+    expr: &Expr,
+    cols: &[String],
+    row: &[Value],
+    env: &Env,
+) -> Result<Value, IqlError> {
+    match expr {
+        Expr::Number(n) => Ok(Value::Float(*n)),
+        Expr::Str(s) => Ok(Value::Str(s.as_str().into())),
+        Expr::Ident(name) => {
+            if let Some(i) = cols.iter().position(|c| c == name) {
+                Ok(row[i].clone())
+            } else if let Some(v) = env.scalars.get(name) {
+                Ok(v.clone())
+            } else {
+                Err(IqlError::NoSuchColumn {
+                    column: name.clone(),
+                })
+            }
+        }
+        Expr::Unary(op, inner) => {
+            let v = eval_row_expr(inner, cols, row, env)?;
+            match op {
+                UnaryOp::Neg => Ok(Value::Float(-num(&v, "negation operand")?)),
+                UnaryOp::Not => Ok(Value::Int(i64::from(!v.truthy()))),
+            }
+        }
+        Expr::Binary(l, op, r) => {
+            let lv = eval_row_expr(l, cols, row, env)?;
+            let rv = eval_row_expr(r, cols, row, env)?;
+            binary(*op, lv, rv)
+        }
+        Expr::Call(name, args) => {
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval_row_expr(a, cols, row, env))
+                .collect::<Result<_, _>>()?;
+            scalar_call(name, &vals)
+        }
+    }
+}
+
+fn eval_scalar_expr(expr: &Expr, env: &Env) -> Result<Value, IqlError> {
+    match expr {
+        Expr::Number(n) => Ok(Value::Float(*n)),
+        Expr::Str(s) => Ok(Value::Str(s.as_str().into())),
+        Expr::Ident(name) => env
+            .scalars
+            .get(name)
+            .cloned()
+            .ok_or_else(|| IqlError::NoSuchVariable { name: name.clone() }),
+        Expr::Unary(op, inner) => {
+            let v = eval_scalar_expr(inner, env)?;
+            match op {
+                UnaryOp::Neg => Ok(Value::Float(-num(&v, "negation operand")?)),
+                UnaryOp::Not => Ok(Value::Int(i64::from(!v.truthy()))),
+            }
+        }
+        Expr::Binary(l, op, r) => {
+            let lv = eval_scalar_expr(l, env)?;
+            let rv = eval_scalar_expr(r, env)?;
+            binary(*op, lv, rv)
+        }
+        Expr::Call(name, args) => {
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval_scalar_expr(a, env))
+                .collect::<Result<_, _>>()?;
+            scalar_call(name, &vals)
+        }
+    }
+}
+
+/// Evaluate an aggregate-context expression over a set of rows.
+///
+/// Aggregate function calls (`sum(expr)`, `count()`, …) reduce the rows;
+/// everything around them is scalar arithmetic. `max`/`min` with one
+/// argument aggregate; with two they are scalar.
+fn eval_agg_expr(
+    expr: &Expr,
+    cols: &[String],
+    rows: &[&Vec<Value>],
+    env: &Env,
+) -> Result<Value, IqlError> {
+    match expr {
+        Expr::Number(n) => Ok(Value::Float(*n)),
+        Expr::Str(s) => Ok(Value::Str(s.as_str().into())),
+        Expr::Ident(name) => {
+            // In aggregate context a bare identifier means "this scalar",
+            // or the column value of the first row (useful after GROUP for
+            // key columns).
+            if let Some(v) = env.scalars.get(name) {
+                return Ok(v.clone());
+            }
+            if let Some(i) = cols.iter().position(|c| c == name) {
+                return Ok(rows.first().map_or(Value::Null, |r| r[i].clone()));
+            }
+            Err(IqlError::NoSuchVariable { name: name.clone() })
+        }
+        Expr::Unary(op, inner) => {
+            let v = eval_agg_expr(inner, cols, rows, env)?;
+            match op {
+                UnaryOp::Neg => Ok(Value::Float(-num(&v, "negation operand")?)),
+                UnaryOp::Not => Ok(Value::Int(i64::from(!v.truthy()))),
+            }
+        }
+        Expr::Binary(l, op, r) => {
+            let lv = eval_agg_expr(l, cols, rows, env)?;
+            let rv = eval_agg_expr(r, cols, rows, env)?;
+            binary(*op, lv, rv)
+        }
+        Expr::Call(name, args) => {
+            let is_agg = AGG_FNS.contains(&name.as_str())
+                && matches!(
+                    (name.as_str(), args.len()),
+                    ("count", 0)
+                        | ("sum" | "mean" | "min" | "max" | "std" | "distinct", 1)
+                        | ("pct", 2)
+                );
+            if !is_agg {
+                let vals: Vec<Value> = args
+                    .iter()
+                    .map(|a| eval_agg_expr(a, cols, rows, env))
+                    .collect::<Result<_, _>>()?;
+                return scalar_call(name, &vals);
+            }
+            match name.as_str() {
+                "count" => Ok(Value::Int(rows.len() as i64)),
+                "distinct" => {
+                    let mut seen = std::collections::BTreeSet::new();
+                    for row in rows {
+                        let v = eval_row_expr(&args[0], cols, row, env)?;
+                        seen.insert(v.to_string());
+                    }
+                    Ok(Value::Int(seen.len() as i64))
+                }
+                "pct" => {
+                    let p = eval_scalar_or_number(&args[1], env)?;
+                    let mut vals = collect_numeric(&args[0], cols, rows, env)?;
+                    if vals.is_empty() {
+                        return Ok(Value::Float(0.0));
+                    }
+                    vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                    let rank = ((p / 100.0) * vals.len() as f64).ceil().max(1.0) as usize;
+                    Ok(Value::Float(vals[rank.min(vals.len()) - 1]))
+                }
+                _ => {
+                    let vals = collect_numeric(&args[0], cols, rows, env)?;
+                    let n = vals.len();
+                    let v = match name.as_str() {
+                        "sum" => vals.iter().sum::<f64>(),
+                        "mean" => {
+                            if n == 0 {
+                                0.0
+                            } else {
+                                vals.iter().sum::<f64>() / n as f64
+                            }
+                        }
+                        "min" => vals.iter().copied().fold(f64::INFINITY, f64::min),
+                        "max" => vals.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                        "std" => {
+                            if n == 0 {
+                                0.0
+                            } else {
+                                let m = vals.iter().sum::<f64>() / n as f64;
+                                (vals.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / n as f64)
+                                    .sqrt()
+                            }
+                        }
+                        _ => unreachable!(),
+                    };
+                    let v = if n == 0 && (name == "min" || name == "max") {
+                        0.0
+                    } else {
+                        v
+                    };
+                    Ok(Value::Float(v))
+                }
+            }
+        }
+    }
+}
+
+fn eval_scalar_or_number(expr: &Expr, env: &Env) -> Result<f64, IqlError> {
+    num(&eval_scalar_expr(expr, env)?, "percentile rank")
+}
+
+fn collect_numeric(
+    expr: &Expr,
+    cols: &[String],
+    rows: &[&Vec<Value>],
+    env: &Env,
+) -> Result<Vec<f64>, IqlError> {
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        let v = eval_row_expr(expr, cols, row, env)?;
+        if let Some(f) = v.as_f64() {
+            out.push(f);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parser::parse_program;
+    use super::*;
+
+    fn dxt_tables() -> TableSet {
+        let mut t = Table::new(
+            "DXT",
+            &["rank", "op", "offset", "length"],
+        );
+        // rank 0: two small sequential writes; rank 1: one large read.
+        for (rank, op, offset, length) in [
+            (0, "write", 0, 100),
+            (0, "write", 100, 100),
+            (1, "read", 0, 1_000_000),
+            (1, "write", 4096, 50),
+        ] {
+            t.push_row(vec![
+                Value::Int(rank),
+                Value::Str(op.into()),
+                Value::Int(offset),
+                Value::Int(length),
+            ]);
+        }
+        let mut set = TableSet::default();
+        set.insert(t);
+        set
+    }
+
+    fn run(src: &str) -> RunOutput {
+        let tables = dxt_tables();
+        let program = parse_program(src).unwrap();
+        Interpreter::new(&tables).run(&program).unwrap()
+    }
+
+    #[test]
+    fn load_agg_emit() {
+        let out = run("LOAD DXT\nAGG n = count(), total = sum(length)\nEMIT n, total\n");
+        assert_eq!(out.get_f64("n"), Some(4.0));
+        assert_eq!(out.get_f64("total"), Some(1_000_250.0));
+    }
+
+    #[test]
+    fn filter_with_string_predicate() {
+        let out = run("LOAD DXT\nFILTER op == 'write'\nAGG n = count()\nEMIT n\n");
+        assert_eq!(out.get_f64("n"), Some(3.0));
+    }
+
+    #[test]
+    fn derive_and_aggregate_derived_column() {
+        let out = run(
+            "LOAD DXT\nDERIVE small = length < 1024\nAGG smalls = sum(small), n = count()\nLET pct = 100 * smalls / n\nEMIT pct\n",
+        );
+        assert_eq!(out.get_f64("pct"), Some(75.0));
+    }
+
+    #[test]
+    fn group_by_produces_table() {
+        let out = run("LOAD DXT\nGROUP rank AGG n = count(), bytes = sum(length)\n");
+        let t = out.table.unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.cell(0, "n"), Some(&Value::Int(2)));
+        assert_eq!(t.cell(1, "bytes"), Some(&Value::Float(1_000_050.0)));
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let out = run("LOAD DXT\nSORT length DESC\nLIMIT 1\nSELECT length\n");
+        let t = out.table.unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.cell(0, "length"), Some(&Value::Int(1_000_000)));
+    }
+
+    #[test]
+    fn scalar_functions_in_let() {
+        let out = run("LOAD DXT\nAGG total = sum(length)\nLET r = max(total, 2_000_000) / 1000\nEMIT r\n");
+        assert_eq!(out.get_f64("r"), Some(2000.0));
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero() {
+        let out = run("LOAD DXT\nFILTER length > 99999999\nAGG n = count(), s = sum(length)\nLET pct = 100 * s / n\nEMIT pct, n\n");
+        assert_eq!(out.get_f64("n"), Some(0.0));
+        assert_eq!(out.get_f64("pct"), Some(0.0));
+    }
+
+    #[test]
+    fn percentile_and_std() {
+        let out = run("LOAD DXT\nAGG p50 = pct(length, 50), sd = std(length)\nEMIT p50, sd\n");
+        assert_eq!(out.get_f64("p50"), Some(100.0));
+        assert!(out.get_f64("sd").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn distinct_counts_unique_values() {
+        let out = run("LOAD DXT\nAGG ranks = distinct(rank), ops = distinct(op)\nEMIT ranks, ops\n");
+        assert_eq!(out.get_f64("ranks"), Some(2.0));
+        assert_eq!(out.get_f64("ops"), Some(2.0));
+    }
+
+    #[test]
+    fn missing_table_is_error() {
+        let tables = dxt_tables();
+        let program = parse_program("LOAD POSIX\n").unwrap();
+        assert!(matches!(
+            Interpreter::new(&tables).run(&program),
+            Err(IqlError::NoSuchTable { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_column_is_error() {
+        let tables = dxt_tables();
+        let program = parse_program("LOAD DXT\nFILTER nope > 1\n").unwrap();
+        assert!(matches!(
+            Interpreter::new(&tables).run(&program),
+            Err(IqlError::NoSuchColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn statement_before_load_is_error() {
+        let tables = dxt_tables();
+        let program = parse_program("FILTER rank == 0\n").unwrap();
+        assert!(matches!(
+            Interpreter::new(&tables).run(&program),
+            Err(IqlError::NoTableLoaded)
+        ));
+    }
+
+    #[test]
+    fn emit_unknown_variable_is_error() {
+        let tables = dxt_tables();
+        let program = parse_program("LOAD DXT\nEMIT nope\n").unwrap();
+        assert!(matches!(
+            Interpreter::new(&tables).run(&program),
+            Err(IqlError::NoSuchVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn agg_over_group_table_second_stage() {
+        // Aggregate the grouped table again: max per-rank op count.
+        let out = run(
+            "LOAD DXT\nGROUP rank AGG n = count()\nAGG max_ops = max(n), ranks = count()\nEMIT max_ops, ranks\n",
+        );
+        assert_eq!(out.get_f64("max_ops"), Some(2.0));
+        assert_eq!(out.get_f64("ranks"), Some(2.0));
+    }
+
+    fn two_table_set() -> TableSet {
+        let mut ops = Table::new("OPS", &["file", "rank", "bytes"]);
+        for (f, r, b) in [("a", 0, 100), ("a", 1, 200), ("b", 0, 50), ("c", 0, 10)] {
+            ops.push_row(vec![Value::Str(f.into()), Value::Int(r), Value::Int(b)]);
+        }
+        let mut layout = Table::new("LAYOUT", &["file", "stripe_width", "bytes"]);
+        for (f, w, b) in [("a", 4, -1), ("b", 1, -1)] {
+            layout.push_row(vec![Value::Str(f.into()), Value::Int(w), Value::Int(b)]);
+        }
+        let mut set = TableSet::default();
+        set.insert(ops);
+        set.insert(layout);
+        set
+    }
+
+    #[test]
+    fn join_combines_matching_rows() {
+        let tables = two_table_set();
+        let program = parse_program(
+            "LOAD OPS\nJOIN LAYOUT ON file\nAGG n = count(), widths = sum(stripe_width)\nEMIT n, widths\n",
+        )
+        .unwrap();
+        let out = Interpreter::new(&tables).run(&program).unwrap();
+        // File c has no layout row: inner join drops it.
+        assert_eq!(out.get_f64("n"), Some(3.0));
+        assert_eq!(out.get_f64("widths"), Some(4.0 + 4.0 + 1.0));
+    }
+
+    #[test]
+    fn join_left_wins_on_column_collision() {
+        let tables = two_table_set();
+        let program = parse_program(
+            "LOAD OPS\nJOIN LAYOUT ON file\nFILTER file == 'a'\nAGG b = sum(bytes)\nEMIT b\n",
+        )
+        .unwrap();
+        let out = Interpreter::new(&tables).run(&program).unwrap();
+        // `bytes` stays the OPS column (100 + 200), not LAYOUT's -1.
+        assert_eq!(out.get_f64("b"), Some(300.0));
+    }
+
+    #[test]
+    fn join_then_group_supports_layout_analyses() {
+        let tables = two_table_set();
+        let program = parse_program(
+            "LOAD OPS\nJOIN LAYOUT ON file\nGROUP file AGG ranks = distinct(rank), width = max(stripe_width)\nDERIVE crowded = ranks > width\nAGG crowded_files = sum(crowded)\nEMIT crowded_files\n",
+        )
+        .unwrap();
+        let out = Interpreter::new(&tables).run(&program).unwrap();
+        // File b: 1 rank on width 1 → not crowded; file a: 2 ranks, width 4.
+        assert_eq!(out.get_f64("crowded_files"), Some(0.0));
+    }
+
+    #[test]
+    fn join_missing_table_or_column_errors() {
+        let tables = two_table_set();
+        let p = parse_program("LOAD OPS\nJOIN NOPE ON file\n").unwrap();
+        assert!(matches!(
+            Interpreter::new(&tables).run(&p),
+            Err(IqlError::NoSuchTable { .. })
+        ));
+        let p = parse_program("LOAD OPS\nJOIN LAYOUT ON zzz\n").unwrap();
+        assert!(matches!(
+            Interpreter::new(&tables).run(&p),
+            Err(IqlError::NoSuchColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn rows_scanned_accumulates() {
+        let out = run("LOAD DXT\nFILTER rank == 0\nAGG n = count()\nEMIT n\n");
+        assert!(out.rows_scanned >= 8);
+    }
+
+    #[test]
+    fn contains_function_on_strings() {
+        let out = run("LOAD DXT\nFILTER contains(op, 'rit')\nAGG n = count()\nEMIT n\n");
+        assert_eq!(out.get_f64("n"), Some(3.0));
+    }
+}

@@ -1,0 +1,114 @@
+//! IQL — the I/O Query Language the simulated model writes analysis in.
+//!
+//! IQL is a small, line-oriented query language over the extractor's CSV
+//! tables. A program is a pipeline of statements:
+//!
+//! ```text
+//! LOAD POSIX
+//! FILTER rank >= 0 && POSIX_WRITES > 0
+//! DERIVE small = POSIX_SIZE_WRITE_0_100 + POSIX_SIZE_WRITE_100_1K
+//! AGG total_writes = sum(POSIX_WRITES), small_writes = sum(small)
+//! LET small_pct = 100 * small_writes / max(total_writes, 1)
+//! EMIT small_pct
+//! ```
+//!
+//! * `LOAD <table>` — start from one of the attached tables.
+//! * `FILTER <expr>` — keep rows whose expression is truthy.
+//! * `DERIVE <name> = <expr>` — append a computed column.
+//! * `JOIN <table> ON <col>` — inner hash join with another attached
+//!   table (left columns win on name collision).
+//! * `GROUP <col>[, <col>…] AGG <name> = <agg>(…)` — group-by aggregate.
+//! * `AGG <name> = <agg>(…)` — whole-table aggregates into scalars.
+//! * `SORT <col> [ASC|DESC]`, `LIMIT <n>`, `SELECT <col>, …` — shaping.
+//! * `LET <name> = <expr>` — scalar computation over previous scalars.
+//! * `EMIT <name>[, <name>…]` — declare program outputs.
+//!
+//! Aggregate functions: `sum`, `count`, `mean`, `min`, `max`, `std`,
+//! `distinct`, `pct(col, p)` (percentile). Scalar functions: `abs`, `min`,
+//! `max`, `sqrt`, `if(cond, a, b)`.
+
+mod ast;
+mod eval;
+mod lexer;
+mod parser;
+
+pub use ast::{AggCall, BinaryOp, Expr, Program, Stmt, UnaryOp};
+pub use eval::{eval_with_scalars, Interpreter, RunOutput};
+pub use lexer::{tokenize, Token};
+pub use parser::{parse_expression, parse_program};
+
+use std::fmt;
+
+/// Errors from parsing or evaluating IQL.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum IqlError {
+    /// Lexical error: unexpected character.
+    BadChar {
+        /// Offending character.
+        ch: char,
+        /// Line (1-based).
+        line: usize,
+    },
+    /// Unterminated string literal.
+    UnterminatedString {
+        /// Line (1-based).
+        line: usize,
+    },
+    /// Parse error with context.
+    Parse {
+        /// Human-readable message.
+        message: String,
+        /// Line (1-based).
+        line: usize,
+    },
+    /// A statement referenced a table that is not attached.
+    NoSuchTable {
+        /// Requested table name.
+        table: String,
+    },
+    /// An expression referenced an unknown column.
+    NoSuchColumn {
+        /// Requested column name.
+        column: String,
+    },
+    /// An expression referenced an unknown scalar variable.
+    NoSuchVariable {
+        /// Requested variable name.
+        name: String,
+    },
+    /// A function was called that does not exist or got the wrong arity.
+    BadCall {
+        /// Function name.
+        name: String,
+        /// Explanation.
+        message: String,
+    },
+    /// A statement needed a working table but none was loaded.
+    NoTableLoaded,
+    /// Type error during evaluation.
+    Type {
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for IqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IqlError::BadChar { ch, line } => write!(f, "unexpected character {ch:?} on line {line}"),
+            IqlError::UnterminatedString { line } => {
+                write!(f, "unterminated string literal on line {line}")
+            }
+            IqlError::Parse { message, line } => write!(f, "parse error on line {line}: {message}"),
+            IqlError::NoSuchTable { table } => write!(f, "no attached table named {table}"),
+            IqlError::NoSuchColumn { column } => write!(f, "no column named {column}"),
+            IqlError::NoSuchVariable { name } => write!(f, "no variable named {name}"),
+            IqlError::BadCall { name, message } => write!(f, "bad call to {name}: {message}"),
+            IqlError::NoTableLoaded => write!(f, "no table loaded; start the program with LOAD"),
+            IqlError::Type { message } => write!(f, "type error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IqlError {}

@@ -1,0 +1,433 @@
+//! The machine-readable layer of ION's *I/O performance issue contexts*.
+//!
+//! Each issue context is prose plus embedded directives. The prose teaches
+//! a (real) LLM; the directives are the same teaching in a form the
+//! deterministic expert can follow exactly:
+//!
+//! ```text
+//! ISSUE: small-io
+//! TITLE: Small I/O operations
+//! MODULES: POSIX, DXT
+//!
+//! Requests much smaller than the file system RPC size underutilize ...
+//!
+//! PARAM rpc_size = 4194304
+//!
+//! COMPUTE op_stats:
+//!   LOAD DXT
+//!   DERIVE small = length < rpc_size
+//!   AGG total_ops = count(), small_ops = sum(small)
+//!   LET small_pct = 100 * small_ops / max(total_ops, 1)
+//!   EMIT total_ops, small_ops, small_pct
+//! END
+//!
+//! CONCLUDE IF small_pct > 50 SEVERITY high: "... {small_pct:.2}% ..."
+//! MITIGATE IF consec_pct > 80: "... largely consecutive, aggregatable ..."
+//! NOTE IF total_ops == 0: "no traced operations"
+//! ```
+//!
+//! Crucially, the expert model derives *all* analytical behaviour from
+//! these statements at prompt time: editing the context text changes the
+//! diagnosis without touching any code, which is ION's claimed advantage
+//! over trigger-based tools.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A prose knowledge statement (teaches the model; also rendered in
+/// reasoning steps).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KnowledgeStatement {
+    /// The statement text.
+    pub text: String,
+}
+
+/// The kind of a rule directive.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RuleKind {
+    /// `CONCLUDE` — a finding, with a severity label.
+    Conclude {
+        /// Severity label (`high`, `medium`, `low`).
+        severity: String,
+    },
+    /// `MITIGATE` — a factor reducing an issue's impact.
+    Mitigate,
+    /// `NOTE` — a neutral observation.
+    Note,
+}
+
+/// One `CONCLUDE`/`MITIGATE`/`NOTE` rule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConcludeRule {
+    /// Rule kind.
+    pub kind: RuleKind,
+    /// Condition, IQL expression source over computed metrics.
+    pub condition: String,
+    /// Message template; `{name}` and `{name:.N}` interpolate metrics.
+    pub template: String,
+}
+
+/// A named analysis program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComputeBlock {
+    /// Block name (appears in reasoning steps).
+    pub name: String,
+    /// IQL source.
+    pub source: String,
+}
+
+/// Fully parsed issue context.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct IssueContextSpec {
+    /// Issue identifier (`small-io`, `misaligned-io`, …).
+    pub issue: String,
+    /// Human title.
+    pub title: String,
+    /// Darshan modules this issue's analysis needs.
+    pub modules: Vec<String>,
+    /// Prose knowledge statements.
+    pub knowledge: Vec<KnowledgeStatement>,
+    /// System hyper-parameters (`PARAM name = value`).
+    pub params: Vec<(String, f64)>,
+    /// Analysis programs, in order.
+    pub computes: Vec<ComputeBlock>,
+    /// Conclusion/mitigation/note rules, in order.
+    pub rules: Vec<ConcludeRule>,
+}
+
+/// Error from parsing a context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContextParseError {
+    /// Explanation.
+    pub message: String,
+    /// Line number (1-based).
+    pub line: usize,
+}
+
+impl fmt::Display for ContextParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "context parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ContextParseError {}
+
+/// Parse rule directives of the form
+/// `KEYWORD IF <expr> [SEVERITY <level>]: "template"`.
+fn parse_rule(line: &str, lineno: usize) -> Result<ConcludeRule, ContextParseError> {
+    let err = |m: &str| ContextParseError {
+        message: m.to_owned(),
+        line: lineno,
+    };
+    let (keyword, rest) = line
+        .split_once(' ')
+        .ok_or_else(|| err("rule missing body"))?;
+    let rest = rest.trim();
+    let rest = rest
+        .strip_prefix("IF ")
+        .ok_or_else(|| err("rule must start with IF"))?;
+    // Split at the first ':' that is followed by a quote (the template).
+    let colon = rest
+        .find(": \"")
+        .or_else(|| rest.find(":\""))
+        .ok_or_else(|| err("rule missing ': \"template\"'"))?;
+    let head = rest[..colon].trim();
+    let template = rest[colon..]
+        .trim_start_matches(':')
+        .trim()
+        .trim_matches('"')
+        .to_owned();
+    let (condition, severity) = if let Some(pos) = head.rfind(" SEVERITY ") {
+        let sev = head[pos + " SEVERITY ".len()..].trim().to_owned();
+        (head[..pos].trim().to_owned(), Some(sev))
+    } else {
+        (head.to_owned(), None)
+    };
+    if condition.is_empty() {
+        return Err(err("rule has empty condition"));
+    }
+    let kind = match keyword {
+        "CONCLUDE" => RuleKind::Conclude {
+            severity: severity.unwrap_or_else(|| "medium".to_owned()),
+        },
+        "MITIGATE" => RuleKind::Mitigate,
+        "NOTE" => RuleKind::Note,
+        other => return Err(err(&format!("unknown rule keyword {other}"))),
+    };
+    Ok(ConcludeRule {
+        kind,
+        condition,
+        template,
+    })
+}
+
+/// Parse an issue context (prose + directives) into its specification.
+///
+/// Lines that are not directives are collected as prose knowledge.
+///
+/// # Errors
+///
+/// Returns a [`ContextParseError`] for malformed directives (an unclosed
+/// `COMPUTE` block, a rule without a template, a bad `PARAM`).
+pub fn parse_context(text: &str) -> Result<IssueContextSpec, ContextParseError> {
+    let mut spec = IssueContextSpec::default();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((i, raw)) = lines.next() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(v) = line.strip_prefix("ISSUE:") {
+            spec.issue = v.trim().to_owned();
+        } else if let Some(v) = line.strip_prefix("TITLE:") {
+            spec.title = v.trim().to_owned();
+        } else if let Some(v) = line.strip_prefix("MODULES:") {
+            spec.modules = v
+                .split(',')
+                .map(|m| m.trim().to_owned())
+                .filter(|m| !m.is_empty())
+                .collect();
+        } else if let Some(v) = line.strip_prefix("PARAM ") {
+            let (name, value) = v.split_once('=').ok_or(ContextParseError {
+                message: "PARAM requires name = value".into(),
+                line: lineno,
+            })?;
+            let value: f64 = value.trim().replace('_', "").parse().map_err(|_| {
+                ContextParseError {
+                    message: format!("bad PARAM value {}", value.trim()),
+                    line: lineno,
+                }
+            })?;
+            spec.params.push((name.trim().to_owned(), value));
+        } else if let Some(v) = line.strip_prefix("COMPUTE ") {
+            let name = v.trim().trim_end_matches(':').to_owned();
+            let mut source = String::new();
+            let mut closed = false;
+            for (_, body) in lines.by_ref() {
+                if body.trim() == "END" {
+                    closed = true;
+                    break;
+                }
+                source.push_str(body.trim());
+                source.push('\n');
+            }
+            if !closed {
+                return Err(ContextParseError {
+                    message: format!("COMPUTE {name} missing END"),
+                    line: lineno,
+                });
+            }
+            spec.computes.push(ComputeBlock { name, source });
+        } else if line.starts_with("CONCLUDE ") || line.starts_with("MITIGATE ") || line.starts_with("NOTE ")
+        {
+            spec.rules.push(parse_rule(line, lineno)?);
+        } else {
+            spec.knowledge.push(KnowledgeStatement {
+                text: line.to_owned(),
+            });
+        }
+    }
+    Ok(spec)
+}
+
+/// Render a template, interpolating `{name}` and `{name:.N}` placeholders
+/// from a metric lookup function. Unknown names render as `{name?}` so
+/// mistakes are visible rather than silent.
+pub fn render_template<F>(template: &str, lookup: F) -> String
+where
+    F: Fn(&str) -> Option<extractor::Value>,
+{
+    let mut out = String::new();
+    let mut chars = template.chars().peekable();
+    while let Some(ch) = chars.next() {
+        if ch != '{' {
+            out.push(ch);
+            continue;
+        }
+        if chars.peek() == Some(&'{') {
+            chars.next();
+            out.push('{');
+            continue;
+        }
+        let mut inner = String::new();
+        for c in chars.by_ref() {
+            if c == '}' {
+                break;
+            }
+            inner.push(c);
+        }
+        let (name, fmtspec) = match inner.split_once(':') {
+            Some((n, f)) => (n.trim(), Some(f.trim())),
+            None => (inner.trim(), None),
+        };
+        match lookup(name) {
+            Some(v) => match fmtspec {
+                Some(spec) if spec.starts_with('.') => {
+                    let digits: usize = spec[1..].parse().unwrap_or(2);
+                    match v.as_f64() {
+                        Some(f) => out.push_str(&format!("{f:.digits$}")),
+                        None => out.push_str(&v.to_string()),
+                    }
+                }
+                Some("human") => match v.as_f64() {
+                    Some(f) => out.push_str(&human_bytes(f)),
+                    None => out.push_str(&v.to_string()),
+                },
+                Some("int") => match v.as_f64() {
+                    Some(f) => out.push_str(&format!("{}", f.round() as i64)),
+                    None => out.push_str(&v.to_string()),
+                },
+                _ => out.push_str(&v.to_string()),
+            },
+            None => {
+                out.push('{');
+                out.push_str(name);
+                out.push_str("?}");
+            }
+        }
+    }
+    out
+}
+
+/// Human-readable byte quantity (`4.0 MiB`).
+#[must_use]
+pub fn human_bytes(bytes: f64) -> String {
+    const UNITS: [&str; 6] = ["B", "KiB", "MiB", "GiB", "TiB", "PiB"];
+    let mut v = bytes.abs();
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    let sign = if bytes < 0.0 { "-" } else { "" };
+    if unit == 0 {
+        format!("{sign}{v:.0} {}", UNITS[unit])
+    } else {
+        format!("{sign}{v:.1} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extractor::Value;
+
+    const SAMPLE: &str = r#"
+ISSUE: small-io
+TITLE: Small I/O operations
+MODULES: POSIX, DXT
+
+Requests much smaller than the RPC size underutilize each round trip.
+Sequential small requests can be aggregated client-side.
+
+PARAM rpc_size = 4_194_304
+
+COMPUTE op_stats:
+  LOAD DXT
+  DERIVE small = length < rpc_size
+  AGG total_ops = count(), small_ops = sum(small)
+  LET small_pct = 100 * small_ops / max(total_ops, 1)
+  EMIT total_ops, small_ops, small_pct
+END
+
+CONCLUDE IF small_pct > 50 SEVERITY high: "{small_pct:.2}% of operations are smaller than the RPC size"
+MITIGATE IF small_pct > 50 && total_ops > 10: "many are consecutive and aggregatable"
+NOTE IF total_ops == 0: "no traced operations found"
+"#;
+
+    #[test]
+    fn parses_headers_and_knowledge() {
+        let spec = parse_context(SAMPLE).unwrap();
+        assert_eq!(spec.issue, "small-io");
+        assert_eq!(spec.title, "Small I/O operations");
+        assert_eq!(spec.modules, vec!["POSIX", "DXT"]);
+        assert_eq!(spec.knowledge.len(), 2);
+        assert!(spec.knowledge[0].text.contains("underutilize"));
+    }
+
+    #[test]
+    fn parses_params_with_separators() {
+        let spec = parse_context(SAMPLE).unwrap();
+        assert_eq!(spec.params, vec![("rpc_size".to_owned(), 4_194_304.0)]);
+    }
+
+    #[test]
+    fn parses_compute_block() {
+        let spec = parse_context(SAMPLE).unwrap();
+        assert_eq!(spec.computes.len(), 1);
+        assert_eq!(spec.computes[0].name, "op_stats");
+        assert!(spec.computes[0].source.contains("LOAD DXT"));
+        assert!(!spec.computes[0].source.contains("END"));
+    }
+
+    #[test]
+    fn parses_rules_in_order() {
+        let spec = parse_context(SAMPLE).unwrap();
+        assert_eq!(spec.rules.len(), 3);
+        assert_eq!(
+            spec.rules[0].kind,
+            RuleKind::Conclude {
+                severity: "high".into()
+            }
+        );
+        assert_eq!(spec.rules[0].condition, "small_pct > 50");
+        assert_eq!(spec.rules[1].kind, RuleKind::Mitigate);
+        assert_eq!(spec.rules[1].condition, "small_pct > 50 && total_ops > 10");
+        assert_eq!(spec.rules[2].kind, RuleKind::Note);
+    }
+
+    #[test]
+    fn unclosed_compute_rejected() {
+        let err = parse_context("COMPUTE x:\nLOAD DXT\n").unwrap_err();
+        assert!(err.message.contains("missing END"));
+    }
+
+    #[test]
+    fn bad_param_rejected() {
+        assert!(parse_context("PARAM x = banana\n").is_err());
+        assert!(parse_context("PARAM x\n").is_err());
+    }
+
+    #[test]
+    fn rule_without_template_rejected() {
+        assert!(parse_context("CONCLUDE IF x > 1 SEVERITY high\n").is_err());
+    }
+
+    #[test]
+    fn conclude_defaults_to_medium_severity() {
+        let spec = parse_context("CONCLUDE IF x > 1: \"found\"\n").unwrap();
+        assert_eq!(
+            spec.rules[0].kind,
+            RuleKind::Conclude {
+                severity: "medium".into()
+            }
+        );
+    }
+
+    #[test]
+    fn template_rendering() {
+        let lookup = |name: &str| match name {
+            "pct" => Some(Value::Float(99.805)),
+            "n" => Some(Value::Int(8192)),
+            "bytes" => Some(Value::Float(4.0 * 1024.0 * 1024.0)),
+            _ => None,
+        };
+        assert_eq!(
+            render_template("{pct:.2}% of {n} ops", lookup),
+            "99.81% of 8192 ops"
+        );
+        assert_eq!(render_template("{bytes:human}", lookup), "4.0 MiB");
+        assert_eq!(render_template("{n:int}", lookup), "8192");
+        assert_eq!(render_template("missing {zzz}", lookup), "missing {zzz?}");
+        assert_eq!(render_template("{{literal}}", lookup), "{literal}}");
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512.0), "512 B");
+        assert_eq!(human_bytes(2048.0), "2.0 KiB");
+        assert_eq!(human_bytes(4.0 * 1048576.0), "4.0 MiB");
+        assert_eq!(human_bytes(-1048576.0), "-1.0 MiB");
+    }
+}

@@ -1,0 +1,43 @@
+//! Simulated LLM runtime for ION: Assistants-style API, IQL code
+//! interpreter, and a deterministic in-context-learning expert model.
+//!
+//! The paper sends each per-issue prompt to GPT-4 through the OpenAI
+//! Assistants API, whose built-in code interpreter lets the model write and
+//! run analysis code against the attached CSV files, then reason over the
+//! results — all within one completion. This crate reproduces that runtime
+//! contract in Rust:
+//!
+//! * [`api`] — threads, messages, runs and tool calls, with the same
+//!   model-action loop the Assistants API implements: the model either
+//!   requests a tool invocation or produces the final message.
+//! * [`iql`] — the **I/O Query Language**, a small SQL-like language
+//!   (lexer → parser → evaluator) in which the simulated model writes its
+//!   analysis programs. Programs run against the extractor's tables, so
+//!   "generated code" is genuinely executed, inspectable and replayable.
+//! * [`knowledge`] — the machine-readable layer of ION's *I/O performance
+//!   issue contexts*: `KNOWLEDGE`, `COMPUTE`, `CONCLUDE`, `MITIGATE`
+//!   statements embedded in the context prose.
+//! * [`expert`] — [`expert::DeterministicExpert`], a [`api::LanguageModel`]
+//!   whose *entire* analytical behaviour is derived from the knowledge
+//!   statements in the prompt: it has no built-in notion of any I/O issue.
+//!   Editing the context text changes the diagnosis — the property the
+//!   paper contrasts with Drishti's hard-coded triggers.
+//! * [`qa`] — the interactive follow-up interface, answering questions from
+//!   the recorded analysis artifacts of previous runs.
+//!
+//! The [`api::LanguageModel`] trait keeps the backend pluggable: a real
+//! LLM endpoint could be dropped in without touching the ION pipeline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod expert;
+pub mod iql;
+pub mod knowledge;
+pub mod qa;
+
+pub use api::{Completion, LanguageModel, Message, ModelAction, Role, Runtime, Thread, ToolCall, ToolOutput};
+pub use expert::DeterministicExpert;
+pub use iql::{Program, RunOutput};
+pub use knowledge::{ConcludeRule, IssueContextSpec, KnowledgeStatement};

@@ -1,0 +1,296 @@
+//! Interactive follow-up interface over recorded analysis artifacts.
+//!
+//! After ION produces its diagnoses, the paper exposes a message window
+//! where the user asks questions about any analysis, reasoning or result.
+//! This module answers such questions deterministically by retrieval over
+//! the artifacts each run recorded: computed metrics, reasoning steps,
+//! generated code and conclusions.
+
+use extractor::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Everything recorded about one per-issue analysis run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct AnalysisRecord {
+    /// Issue identifier (`small-io`, …).
+    pub issue: String,
+    /// Human title.
+    pub title: String,
+    /// Metrics computed during the run.
+    pub metrics: BTreeMap<String, Value>,
+    /// Chain-of-thought steps.
+    pub steps: Vec<String>,
+    /// Generated analysis code (IQL source blocks).
+    pub code: Vec<String>,
+    /// Findings (severity, text).
+    pub findings: Vec<(String, String)>,
+    /// Mitigation notes.
+    pub mitigations: Vec<String>,
+    /// Final conclusion paragraph.
+    pub conclusion: String,
+}
+
+/// A question-answering session over a set of analysis records.
+#[derive(Debug, Clone, Default)]
+pub struct QaSession {
+    records: Vec<AnalysisRecord>,
+    summary: String,
+    history: Vec<(String, String)>,
+    /// Index of the record the conversation last focused on, so follow-ups
+    /// like "why is that a problem?" resolve against it.
+    focus: Option<usize>,
+}
+
+fn tokens(text: &str) -> Vec<String> {
+    text.to_ascii_lowercase()
+        .split(|c: char| !c.is_ascii_alphanumeric() && c != '_' && c != '-')
+        .filter(|t| t.len() > 2)
+        .map(ToOwned::to_owned)
+        .collect()
+}
+
+impl QaSession {
+    /// Create a session over records and a global summary.
+    #[must_use]
+    pub fn new(records: Vec<AnalysisRecord>, summary: String) -> Self {
+        QaSession {
+            records,
+            summary,
+            history: Vec::new(),
+            focus: None,
+        }
+    }
+
+    /// The Q&A exchanges so far.
+    #[must_use]
+    pub fn history(&self) -> &[(String, String)] {
+        &self.history
+    }
+
+    fn score(record: &AnalysisRecord, question_tokens: &[String]) -> usize {
+        let mut haystack = tokens(&record.issue);
+        haystack.extend(tokens(&record.title));
+        haystack.extend(tokens(&record.conclusion));
+        for (_, f) in &record.findings {
+            haystack.extend(tokens(f));
+        }
+        for m in record.metrics.keys() {
+            haystack.extend(tokens(m));
+        }
+        question_tokens
+            .iter()
+            .filter(|t| haystack.iter().any(|h| h == *t))
+            .count()
+    }
+
+    /// Whether a question reads like a follow-up on the previous topic
+    /// rather than a fresh one.
+    fn is_followup(q: &str) -> bool {
+        ["it", "that", "this", "why", "how", "more", "elaborate", "detail"]
+            .iter()
+            .any(|w| {
+                q.split(|c: char| !c.is_ascii_alphanumeric())
+                    .any(|t| t == *w)
+            })
+    }
+
+    /// Answer a question about the analyses. Never fails: follow-up
+    /// questions ("why is that a problem?") resolve against the analysis
+    /// the conversation last focused on, and anything unmatched falls back
+    /// to the global summary.
+    pub fn ask(&mut self, question: &str) -> String {
+        let q = question.to_ascii_lowercase();
+        let qtok = tokens(&q);
+        let best = self
+            .records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (Self::score(r, &qtok), i))
+            .max_by_key(|(s, _)| *s);
+        let answer = match best {
+            Some((score, idx)) if score > 0 => {
+                self.focus = Some(idx);
+                self.answer_about(&self.records[idx], &q, &qtok)
+            }
+            _ => match self.focus.filter(|_| Self::is_followup(&q)) {
+                // Carry-over: unmatched follow-up stays on the last topic.
+                Some(idx) => self.answer_about(&self.records[idx], &q, &qtok),
+                None => {
+                    if q.contains("summary") || q.contains("overall") {
+                        self.summary.clone()
+                    } else {
+                        format!(
+                            "I could not match your question to a specific analysis. Here is the overall summary:\n{}",
+                            self.summary
+                        )
+                    }
+                }
+            },
+        };
+        self.history.push((question.to_owned(), answer.clone()));
+        answer
+    }
+
+    fn answer_about(&self, record: &AnalysisRecord, q: &str, qtok: &[String]) -> String {
+        // Asking for the generated code?
+        if q.contains("code") || q.contains("program") || q.contains("query") {
+            return format!(
+                "For the '{}' analysis I ran the following code:\n{}",
+                record.title,
+                record.code.join("\n---\n")
+            );
+        }
+        // Asking how/why — return the reasoning steps.
+        if q.contains("how") || q.contains("why") || q.contains("steps") || q.contains("reason") {
+            let steps = record
+                .steps
+                .iter()
+                .enumerate()
+                .map(|(i, s)| format!("{}. {}", i + 1, s))
+                .collect::<Vec<_>>()
+                .join("\n");
+            return format!(
+                "Here is the reasoning behind the '{}' diagnosis:\n{steps}\nConclusion: {}",
+                record.title, record.conclusion
+            );
+        }
+        // Asking about a specific metric?
+        let mentioned: Vec<(&String, &Value)> = record
+            .metrics
+            .iter()
+            .filter(|(name, _)| {
+                let ntok = tokens(name);
+                ntok.iter().any(|t| qtok.contains(t)) || q.contains(&name.to_ascii_lowercase())
+            })
+            .collect();
+        if !mentioned.is_empty() {
+            let vals = mentioned
+                .iter()
+                .map(|(n, v)| format!("{n} = {v}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            return format!(
+                "In the '{}' analysis I measured {vals}. {}",
+                record.title, record.conclusion
+            );
+        }
+        // Default: conclusion plus findings.
+        let mut out = format!("Regarding '{}': {}", record.title, record.conclusion);
+        if !record.mitigations.is_empty() {
+            out.push_str(&format!(
+                " Mitigating factors: {}.",
+                record.mitigations.join("; ")
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session() -> QaSession {
+        let mut metrics = BTreeMap::new();
+        metrics.insert("small_pct".to_owned(), Value::Float(98.78));
+        metrics.insert("total_ops".to_owned(), Value::Int(703_226));
+        let small = AnalysisRecord {
+            issue: "small-io".into(),
+            title: "Small I/O operations".into(),
+            metrics,
+            steps: vec![
+                "Considered: small requests underutilize RPCs".into(),
+                "Ran analysis `op_stats`; observed small_pct = 98.78".into(),
+            ],
+            code: vec!["LOAD DXT\nAGG n = count()\nEMIT n".into()],
+            findings: vec![("high".into(), "98.78% of operations are small".into())],
+            mitigations: vec!["most small operations are consecutive".into()],
+            conclusion: "The application issues mostly small operations.".into(),
+        };
+        let align = AnalysisRecord {
+            issue: "misaligned-io".into(),
+            title: "Misaligned file access".into(),
+            metrics: BTreeMap::new(),
+            steps: vec!["Checked alignment counters".into()],
+            code: vec![],
+            findings: vec![("high".into(), "100% of requests misaligned".into())],
+            mitigations: vec![],
+            conclusion: "File accesses are pervasively misaligned.".into(),
+        };
+        QaSession::new(vec![small, align], "SUMMARY: two issues found".into())
+    }
+
+    #[test]
+    fn question_about_issue_returns_its_conclusion() {
+        let mut s = session();
+        let a = s.ask("what did you find about misaligned access?");
+        assert!(a.contains("pervasively misaligned"));
+    }
+
+    #[test]
+    fn question_about_metric_returns_value() {
+        let mut s = session();
+        let a = s.ask("what was the small_pct you measured?");
+        assert!(a.contains("small_pct = 98.78"));
+    }
+
+    #[test]
+    fn how_question_returns_steps() {
+        let mut s = session();
+        let a = s.ask("how did you conclude the small I/O issue?");
+        assert!(a.contains("1. Considered"));
+        assert!(a.contains("Conclusion:"));
+    }
+
+    #[test]
+    fn code_question_returns_code() {
+        let mut s = session();
+        let a = s.ask("show me the code for the small io analysis");
+        assert!(a.contains("LOAD DXT"));
+    }
+
+    #[test]
+    fn unmatched_question_falls_back_to_summary() {
+        let mut s = session();
+        let a = s.ask("zzz qqq xyzzy?");
+        assert!(a.contains("SUMMARY: two issues found"));
+    }
+
+    #[test]
+    fn mitigations_mentioned_in_default_answer() {
+        let mut s = session();
+        let a = s.ask("tell me about the small operations issue");
+        assert!(a.contains("consecutive"), "{a}");
+    }
+
+    #[test]
+    fn followup_carries_over_last_topic() {
+        let mut s = session();
+        let first = s.ask("tell me about the misaligned access issue");
+        assert!(first.contains("pervasively misaligned"));
+        // No issue keywords at all — only deictic reference.
+        let second = s.ask("and why is that happening?");
+        assert!(
+            second.contains("alignment counters") || second.contains("pervasively misaligned"),
+            "{second}"
+        );
+    }
+
+    #[test]
+    fn non_followup_unmatched_still_falls_back() {
+        let mut s = session();
+        s.ask("tell me about the misaligned access issue");
+        let a = s.ask("qqq zzz xyzzy");
+        assert!(a.contains("SUMMARY"), "{a}");
+    }
+
+    #[test]
+    fn history_records_exchanges() {
+        let mut s = session();
+        s.ask("anything?");
+        s.ask("more?");
+        assert_eq!(s.history().len(), 2);
+        assert_eq!(s.history()[0].0, "anything?");
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the IQL language: parser robustness and
+//! evaluator algebraic invariants.
+
+use extractor::{Table, TableSet, Value};
+use ion_llm::iql::{parse_expression, parse_program, Interpreter};
+use proptest::prelude::*;
+
+fn table_with(rows: &[(i64, i64)]) -> TableSet {
+    let mut t = Table::new("T", &["a", "b"]);
+    for &(a, b) in rows {
+        t.push_row(vec![Value::Int(a), Value::Int(b)]);
+    }
+    let mut set = TableSet::default();
+    set.insert(t);
+    set
+}
+
+proptest! {
+    #[test]
+    fn parser_never_panics(src in "\\PC{0,300}") {
+        let _ = parse_program(&src);
+        let _ = parse_expression(&src);
+    }
+
+    #[test]
+    fn filter_shrinks_count(
+        rows in proptest::collection::vec((any::<i64>(), any::<i64>()), 0..40),
+        threshold in any::<i64>(),
+    ) {
+        let tables = table_with(&rows);
+        let interp = Interpreter::new(&tables);
+        let all = interp
+            .run(&parse_program("LOAD T\nAGG n = count()\nEMIT n\n").unwrap())
+            .unwrap();
+        let src = format!("LOAD T\nFILTER a > {threshold}\nAGG n = count()\nEMIT n\n");
+        let filtered = interp.run(&parse_program(&src).unwrap()).unwrap();
+        let expected = rows.iter().filter(|(a, _)| *a > threshold).count() as f64;
+        prop_assert_eq!(filtered.get_f64("n").unwrap(), expected);
+        prop_assert!(filtered.get_f64("n").unwrap() <= all.get_f64("n").unwrap());
+    }
+
+    #[test]
+    fn sum_decomposes_over_partition(
+        rows in proptest::collection::vec((-1000i64..1000, -1000i64..1000), 0..40),
+        pivot in -1000i64..1000,
+    ) {
+        // sum(b) == sum(b | a < pivot) + sum(b | a >= pivot)
+        let tables = table_with(&rows);
+        let interp = Interpreter::new(&tables);
+        let total = interp
+            .run(&parse_program("LOAD T\nAGG s = sum(b)\nEMIT s\n").unwrap())
+            .unwrap()
+            .get_f64("s")
+            .unwrap();
+        let low = interp
+            .run(&parse_program(&format!("LOAD T\nFILTER a < {pivot}\nAGG s = sum(b)\nEMIT s\n")).unwrap())
+            .unwrap()
+            .get_f64("s")
+            .unwrap();
+        let high = interp
+            .run(&parse_program(&format!("LOAD T\nFILTER a >= {pivot}\nAGG s = sum(b)\nEMIT s\n")).unwrap())
+            .unwrap()
+            .get_f64("s")
+            .unwrap();
+        prop_assert!((total - (low + high)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn group_counts_sum_to_total(
+        rows in proptest::collection::vec((0i64..8, any::<i64>()), 0..60),
+    ) {
+        let tables = table_with(&rows);
+        let interp = Interpreter::new(&tables);
+        let out = interp
+            .run(&parse_program("LOAD T\nGROUP a AGG n = count()\nAGG total = sum(n), groups = count()\nEMIT total, groups\n").unwrap())
+            .unwrap();
+        prop_assert_eq!(out.get_f64("total").unwrap(), rows.len() as f64);
+        let distinct: std::collections::HashSet<i64> = rows.iter().map(|(a, _)| *a).collect();
+        prop_assert_eq!(out.get_f64("groups").unwrap(), distinct.len() as f64);
+    }
+
+    #[test]
+    fn sort_limit_selects_extremum(
+        rows in proptest::collection::vec((any::<i64>(), -10_000i64..10_000), 1..40),
+    ) {
+        let tables = table_with(&rows);
+        let interp = Interpreter::new(&tables);
+        let out = interp
+            .run(&parse_program("LOAD T\nSORT b DESC\nLIMIT 1\nAGG top = max(b)\nEMIT top\n").unwrap())
+            .unwrap();
+        let expected = rows.iter().map(|(_, b)| *b).max().unwrap() as f64;
+        prop_assert_eq!(out.get_f64("top").unwrap(), expected);
+    }
+
+    #[test]
+    fn mean_between_min_and_max(
+        rows in proptest::collection::vec((any::<i64>(), -100_000i64..100_000), 1..60),
+    ) {
+        let tables = table_with(&rows);
+        let interp = Interpreter::new(&tables);
+        let out = interp
+            .run(&parse_program("LOAD T\nAGG lo = min(b), hi = max(b), m = mean(b), sd = std(b)\nEMIT lo, hi, m, sd\n").unwrap())
+            .unwrap();
+        let (lo, hi, m, sd) = (
+            out.get_f64("lo").unwrap(),
+            out.get_f64("hi").unwrap(),
+            out.get_f64("m").unwrap(),
+            out.get_f64("sd").unwrap(),
+        );
+        prop_assert!(lo <= m + 1e-9 && m <= hi + 1e-9);
+        prop_assert!(sd >= 0.0);
+        // Population std is bounded by the half-range.
+        prop_assert!(sd <= (hi - lo) / 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn derive_then_sum_equals_expression_over_rows(
+        rows in proptest::collection::vec((-1000i64..1000, -1000i64..1000), 0..40),
+    ) {
+        let tables = table_with(&rows);
+        let interp = Interpreter::new(&tables);
+        let out = interp
+            .run(&parse_program("LOAD T\nDERIVE c = a * 2 + b\nAGG s = sum(c)\nEMIT s\n").unwrap())
+            .unwrap();
+        let expected: i64 = rows.iter().map(|(a, b)| a * 2 + b).sum();
+        prop_assert_eq!(out.get_f64("s").unwrap(), expected as f64);
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_rank(
+        rows in proptest::collection::vec((any::<i64>(), -10_000i64..10_000), 1..50),
+        p1 in 0.0f64..100.0,
+        p2 in 0.0f64..100.0,
+    ) {
+        let (lo_p, hi_p) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let tables = table_with(&rows);
+        let interp = Interpreter::new(&tables);
+        let src = format!("LOAD T\nAGG lo = pct(b, {lo_p}), hi = pct(b, {hi_p})\nEMIT lo, hi\n");
+        let out = interp.run(&parse_program(&src).unwrap()).unwrap();
+        prop_assert!(out.get_f64("lo").unwrap() <= out.get_f64("hi").unwrap());
+    }
+}

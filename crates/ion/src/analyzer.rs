@@ -1,0 +1,331 @@
+//! The ION Analyzer: parallel per-issue model runs plus summarization.
+
+use crate::context::{builtin_contexts, IssueContext};
+use crate::prompt::{build_issue_prompt, build_summary_prompt};
+use crate::report::Diagnosis;
+use extractor::TableSet;
+use ion_llm::api::{Message, Runtime, Thread};
+use ion_llm::{DeterministicExpert, LanguageModel};
+use serde::{Deserialize, Serialize};
+
+/// Per-trace system hyper-parameters (paper §3: "these metrics are specific
+/// system settings such as lustre stripe size … currently implemented as
+/// input hyper-parameters").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemParams {
+    /// Lustre RPC size in bytes.
+    pub rpc_size: u64,
+    /// Lustre stripe size in bytes.
+    pub stripe_size: u64,
+    /// Number of MPI processes in the job.
+    pub nprocs: u32,
+    /// Job wall-clock runtime in seconds (bounds temporal analyses); a
+    /// very large default means "unknown".
+    pub runtime_seconds: f64,
+}
+
+impl Default for SystemParams {
+    fn default() -> Self {
+        SystemParams {
+            rpc_size: 4 << 20,
+            stripe_size: 1 << 20,
+            nprocs: 1,
+            runtime_seconds: 1e18,
+        }
+    }
+}
+
+impl SystemParams {
+    /// Derive parameters from a Darshan log's job metadata, falling back to
+    /// defaults for anything missing.
+    #[must_use]
+    pub fn from_log(log: &darshan::log::Log) -> Self {
+        let mut p = SystemParams {
+            nprocs: log.job.nprocs,
+            ..SystemParams::default()
+        };
+        if log.job.run_time() > 0.0 {
+            p.runtime_seconds = log.job.run_time();
+        }
+        for (k, v) in &log.job.metadata {
+            match k.as_str() {
+                "lustre_rpc_size" => {
+                    if let Ok(n) = v.parse() {
+                        p.rpc_size = n;
+                    }
+                }
+                "lustre_stripe_size" => {
+                    if let Ok(n) = v.parse() {
+                        p.stripe_size = n;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Prefer the actual striping captured by the Lustre module.
+        if let Some(rec) = log.lustre.first() {
+            if rec.stripe_size() > 0 {
+                p.stripe_size = rec.stripe_size() as u64;
+            }
+        }
+        p
+    }
+}
+
+/// The result of analyzing one trace.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AnalysisResult {
+    /// Per-issue diagnoses, in context order.
+    pub diagnoses: Vec<Diagnosis>,
+    /// Global summary text.
+    pub summary: String,
+    /// Issues that were skipped because none of their modules were present.
+    pub skipped: Vec<String>,
+}
+
+/// The Analyzer: holds the contexts and the model backend.
+pub struct Analyzer<'m> {
+    contexts: Vec<IssueContext>,
+    model: &'m dyn LanguageModel,
+    parallel: bool,
+}
+
+impl std::fmt::Debug for Analyzer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Analyzer")
+            .field("contexts", &self.contexts.len())
+            .field("model", &self.model.model_id())
+            .field("parallel", &self.parallel)
+            .finish()
+    }
+}
+
+static DEFAULT_MODEL: DeterministicExpert = DeterministicExpert;
+
+impl Default for Analyzer<'static> {
+    fn default() -> Self {
+        Analyzer::new()
+    }
+}
+
+impl Analyzer<'static> {
+    /// Analyzer with the built-in contexts and the deterministic expert.
+    #[must_use]
+    pub fn new() -> Self {
+        Analyzer {
+            contexts: builtin_contexts(),
+            model: &DEFAULT_MODEL,
+            parallel: true,
+        }
+    }
+}
+
+impl<'m> Analyzer<'m> {
+    /// Analyzer with a custom model backend.
+    #[must_use]
+    pub fn with_model(model: &'m dyn LanguageModel) -> Self {
+        Analyzer {
+            contexts: builtin_contexts(),
+            model,
+            parallel: true,
+        }
+    }
+
+    /// Replace the issue contexts (e.g. to add a site-specific issue).
+    #[must_use]
+    pub fn with_contexts(mut self, contexts: Vec<IssueContext>) -> Self {
+        self.contexts = contexts;
+        self
+    }
+
+    /// Disable parallel dispatch (useful for deterministic profiling).
+    #[must_use]
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// The configured contexts.
+    #[must_use]
+    pub fn contexts(&self) -> &[IssueContext] {
+        &self.contexts
+    }
+
+    fn run_one(&self, context: &IssueContext, tables: &TableSet, params: &SystemParams) -> Diagnosis {
+        let prompt = build_issue_prompt(context, tables, params);
+        let runtime = Runtime::new(self.model, tables);
+        match runtime.run(Thread::new().with(Message::user(prompt))) {
+            Ok(completion) => {
+                let mut d = Diagnosis::parse(&completion.text);
+                // Fold the metrics observed in tool outputs into the
+                // diagnosis so Q&A can answer "what did you measure".
+                for out in &completion.tool_outputs {
+                    if out.is_error {
+                        continue;
+                    }
+                    for line in out.output.lines() {
+                        if let Some((name, value)) = line.split_once(" = ") {
+                            d.metrics.insert(
+                                name.trim().to_owned(),
+                                extractor::Value::parse(value.trim()),
+                            );
+                        }
+                    }
+                }
+                if d.issue.is_empty() {
+                    d.issue = context.id.to_owned();
+                }
+                d
+            }
+            Err(e) => Diagnosis {
+                issue: context.id.to_owned(),
+                conclusion: format!("analysis failed: {e}"),
+                ..Diagnosis::default()
+            },
+        }
+    }
+
+    /// Analyze a set of extracted tables.
+    ///
+    /// Prompts for all applicable issues are dispatched in parallel (the
+    /// paper sends them "in parallel, to GPT-4 via the Assistants API");
+    /// issues none of whose modules were recorded are skipped and listed in
+    /// [`AnalysisResult::skipped`].
+    #[must_use]
+    pub fn analyze(&self, tables: &TableSet, params: &SystemParams) -> AnalysisResult {
+        let mut applicable: Vec<&IssueContext> = Vec::new();
+        let mut skipped = Vec::new();
+        for c in &self.contexts {
+            if c.modules().iter().any(|m| tables.get(m).is_some()) {
+                applicable.push(c);
+            } else {
+                skipped.push(c.id.to_owned());
+            }
+        }
+
+        // Dispatch width follows the hardware: per-issue analyses clone and
+        // transform large DXT tables, so oversubscribing cores only adds
+        // memory pressure.
+        let width = std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get);
+        let diagnoses: Vec<Diagnosis> = if self.parallel && width > 1 {
+            let mut slots: Vec<Option<Diagnosis>> = Vec::new();
+            slots.resize_with(applicable.len(), || None);
+            for (chunk_start, chunk) in applicable.chunks(width).enumerate().map(|(ci, c)| (ci * width, c)) {
+                crossbeam::thread::scope(|scope| {
+                    let mut handles = Vec::new();
+                    for (i, context) in chunk.iter().enumerate() {
+                        handles.push((
+                            chunk_start + i,
+                            scope.spawn(move |_| self.run_one(context, tables, params)),
+                        ));
+                    }
+                    for (i, h) in handles {
+                        slots[i] = Some(h.join().expect("analysis thread panicked"));
+                    }
+                })
+                .expect("analysis scope panicked");
+            }
+            slots.into_iter().flatten().collect()
+        } else {
+            applicable
+                .iter()
+                .map(|c| self.run_one(c, tables, params))
+                .collect()
+        };
+
+        // Summarization pass over the per-issue completions.
+        let texts: Vec<String> = diagnoses.iter().map(|d| d.raw.clone()).collect();
+        let summary_prompt = build_summary_prompt(&texts);
+        let runtime = Runtime::new(self.model, tables);
+        let summary = runtime
+            .run(Thread::new().with(Message::user(summary_prompt)))
+            .map(|c| c.text)
+            .unwrap_or_else(|e| format!("summarization failed: {e}"));
+
+        AnalysisResult {
+            diagnoses,
+            summary,
+            skipped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extractor::extract_tables;
+    use iosim::{SimConfig, Simulation};
+
+    fn small_io_log() -> darshan::log::Log {
+        let mut sim = Simulation::new(SimConfig::default().with_ranks(4).with_exe("ior"));
+        let f = sim.posix_open_all("/scratch/shared.dat").unwrap();
+        for i in 0..32u64 {
+            for rank in 0..4u32 {
+                let base = u64::from(rank) * (1 << 20);
+                sim.posix_write(rank, f, base + i * 2048, 2048).unwrap();
+            }
+        }
+        sim.posix_close_all(f);
+        sim.finish()
+    }
+
+    #[test]
+    fn analyze_detects_small_io_and_interface_usage() {
+        let log = small_io_log();
+        let tables = extract_tables(&log);
+        let params = SystemParams::from_log(&log);
+        let result = Analyzer::new().analyze(&tables, &params);
+        let small = result
+            .diagnoses
+            .iter()
+            .find(|d| d.issue == "small-io")
+            .expect("small-io analyzed");
+        assert!(small.is_detected(), "{}", small.raw);
+        // All writes are consecutive per rank → mitigation should fire.
+        assert!(!small.mitigations.is_empty(), "{}", small.raw);
+        let iface = result
+            .diagnoses
+            .iter()
+            .find(|d| d.issue == "interface-usage")
+            .expect("interface-usage analyzed");
+        assert!(iface.is_detected(), "{}", iface.raw);
+        assert!(iface.raw.contains("not employing MPI-IO") || iface.raw.contains("only using POSIX"));
+    }
+
+    #[test]
+    fn collective_issue_skipped_without_mpiio() {
+        let log = small_io_log();
+        let tables = extract_tables(&log);
+        let result = Analyzer::new().analyze(&tables, &SystemParams::from_log(&log));
+        assert!(result.skipped.contains(&"collective-io".to_owned()));
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let log = small_io_log();
+        let tables = extract_tables(&log);
+        let params = SystemParams::from_log(&log);
+        let par = Analyzer::new().analyze(&tables, &params);
+        let seq = Analyzer::new().sequential().analyze(&tables, &params);
+        assert_eq!(par.diagnoses, seq.diagnoses);
+        assert_eq!(par.summary, seq.summary);
+    }
+
+    #[test]
+    fn params_derived_from_log_metadata() {
+        let log = small_io_log();
+        let p = SystemParams::from_log(&log);
+        assert_eq!(p.nprocs, 4);
+        assert_eq!(p.rpc_size, 4 << 20);
+        assert_eq!(p.stripe_size, 1 << 20);
+    }
+
+    #[test]
+    fn summary_mentions_detected_issues() {
+        let log = small_io_log();
+        let tables = extract_tables(&log);
+        let result = Analyzer::new().analyze(&tables, &SystemParams::from_log(&log));
+        assert!(result.summary.contains("GLOBAL DIAGNOSIS SUMMARY"));
+        assert!(!result.summary.is_empty());
+    }
+}

@@ -1,0 +1,275 @@
+//! Baseline-vs-optimized trace comparison.
+//!
+//! The paper's evaluation workflow is exactly this loop: users run an
+//! application, diagnose it, apply a fix, and trace again (OpenPMD and E2E
+//! each appear as a baseline/optimized pair). This module diffs two ION
+//! reports and classifies every issue as *resolved*, *introduced*,
+//! *improved*, *regressed* or *unchanged*, so the user sees at a glance
+//! what the fix bought and what it cost.
+
+use crate::report::{Detection, Diagnosis};
+use crate::IonReport;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How one issue moved between the two traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IssueChange {
+    /// Detected before, clean after.
+    Resolved,
+    /// Clean before, detected after.
+    Introduced,
+    /// Hard detection downgraded to mitigated.
+    Improved,
+    /// Mitigated detection escalated to hard.
+    Regressed,
+    /// Same outcome in both traces.
+    Unchanged,
+}
+
+impl fmt::Display for IssueChange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IssueChange::Resolved => "resolved",
+            IssueChange::Introduced => "introduced",
+            IssueChange::Improved => "improved",
+            IssueChange::Regressed => "regressed",
+            IssueChange::Unchanged => "unchanged",
+        })
+    }
+}
+
+/// Comparison entry for one issue.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IssueDelta {
+    /// Issue id.
+    pub issue: String,
+    /// Detection in the baseline trace.
+    pub before: Option<Detection>,
+    /// Detection in the optimized trace.
+    pub after: Option<Detection>,
+    /// Classification of the movement.
+    pub change: IssueChange,
+    /// Key metrics that moved, `(name, before, after)`.
+    pub metric_deltas: Vec<(String, f64, f64)>,
+}
+
+/// Full comparison of two reports.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Comparison {
+    /// Per-issue deltas, in baseline context order.
+    pub deltas: Vec<IssueDelta>,
+}
+
+fn rank(d: Option<Detection>) -> u8 {
+    match d {
+        Some(Detection::Yes) => 2,
+        Some(Detection::Mitigated) => 1,
+        Some(Detection::No) | None => 0,
+    }
+}
+
+fn classify(before: Option<Detection>, after: Option<Detection>) -> IssueChange {
+    match (rank(before), rank(after)) {
+        (b, a) if b == a => IssueChange::Unchanged,
+        (b, 0) if b > 0 => IssueChange::Resolved,
+        (0, a) if a > 0 => IssueChange::Introduced,
+        (2, 1) => IssueChange::Improved,
+        (1, 2) => IssueChange::Regressed,
+        _ => IssueChange::Unchanged,
+    }
+}
+
+fn metric_deltas(before: Option<&Diagnosis>, after: Option<&Diagnosis>) -> Vec<(String, f64, f64)> {
+    let (Some(b), Some(a)) = (before, after) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for (name, bv) in &b.metrics {
+        // Percent-style metrics are the comparable ones across traces of
+        // different sizes.
+        if !name.ends_with("_pct") {
+            continue;
+        }
+        let (Some(bf), Some(af)) = (
+            bv.as_f64(),
+            a.metrics.get(name).and_then(extractor::Value::as_f64),
+        ) else {
+            continue;
+        };
+        if (bf - af).abs() > 1.0 {
+            out.push((name.clone(), bf, af));
+        }
+    }
+    out.sort_by(|x, y| {
+        (y.1 - y.2)
+            .abs()
+            .partial_cmp(&(x.1 - x.2).abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    out
+}
+
+/// Compare two ION reports (baseline vs optimized run of the same
+/// application).
+#[must_use]
+pub fn compare(baseline: &IonReport, optimized: &IonReport) -> Comparison {
+    let mut deltas = Vec::new();
+    let mut seen: Vec<&str> = Vec::new();
+    for b in &baseline.diagnoses {
+        seen.push(&b.issue);
+        let a = optimized.diagnosis(&b.issue);
+        deltas.push(IssueDelta {
+            issue: b.issue.clone(),
+            before: b.detection,
+            after: a.and_then(|d| d.detection),
+            change: classify(b.detection, a.and_then(|d| d.detection)),
+            metric_deltas: metric_deltas(Some(b), a),
+        });
+    }
+    for a in &optimized.diagnoses {
+        if !seen.contains(&a.issue.as_str()) {
+            deltas.push(IssueDelta {
+                issue: a.issue.clone(),
+                before: None,
+                after: a.detection,
+                change: classify(None, a.detection),
+                metric_deltas: Vec::new(),
+            });
+        }
+    }
+    Comparison { deltas }
+}
+
+impl Comparison {
+    /// Deltas with a given change kind.
+    #[must_use]
+    pub fn with_change(&self, change: IssueChange) -> Vec<&IssueDelta> {
+        self.deltas.iter().filter(|d| d.change == change).collect()
+    }
+
+    /// Delta for one issue.
+    #[must_use]
+    pub fn delta(&self, issue: &str) -> Option<&IssueDelta> {
+        self.deltas.iter().find(|d| d.issue == issue)
+    }
+
+    /// Render a human-readable comparison report.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("BASELINE → OPTIMIZED COMPARISON\n");
+        for kind in [
+            IssueChange::Resolved,
+            IssueChange::Improved,
+            IssueChange::Introduced,
+            IssueChange::Regressed,
+            IssueChange::Unchanged,
+        ] {
+            let rows = self.with_change(kind);
+            if rows.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("{kind}:\n"));
+            for d in rows {
+                let b = d.before.map_or("—".to_owned(), |x| x.to_string());
+                let a = d.after.map_or("—".to_owned(), |x| x.to_string());
+                out.push_str(&format!("  {:<26} {b} → {a}\n", d.issue));
+                for (name, bv, av) in d.metric_deltas.iter().take(2) {
+                    out.push_str(&format!("      {name}: {bv:.2} → {av:.2}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(issue: &str, detection: Detection, pct: f64) -> Diagnosis {
+        let mut d = Diagnosis {
+            issue: issue.to_owned(),
+            detection: Some(detection),
+            ..Diagnosis::default()
+        };
+        d.metrics
+            .insert("x_pct".into(), extractor::Value::Float(pct));
+        d
+    }
+
+    fn report(diagnoses: Vec<Diagnosis>) -> IonReport {
+        IonReport {
+            diagnoses,
+            ..IonReport::default()
+        }
+    }
+
+    #[test]
+    fn classifications() {
+        assert_eq!(
+            classify(Some(Detection::Yes), Some(Detection::No)),
+            IssueChange::Resolved
+        );
+        assert_eq!(classify(None, Some(Detection::Yes)), IssueChange::Introduced);
+        assert_eq!(
+            classify(Some(Detection::Yes), Some(Detection::Mitigated)),
+            IssueChange::Improved
+        );
+        assert_eq!(
+            classify(Some(Detection::Mitigated), Some(Detection::Yes)),
+            IssueChange::Regressed
+        );
+        assert_eq!(
+            classify(Some(Detection::No), None),
+            IssueChange::Unchanged
+        );
+    }
+
+    #[test]
+    fn compare_tracks_all_issue_movements() {
+        let before = report(vec![
+            diag("small-io", Detection::Yes, 98.0),
+            diag("misaligned-io", Detection::Yes, 100.0),
+        ]);
+        let after = report(vec![
+            diag("small-io", Detection::No, 3.0),
+            diag("misaligned-io", Detection::Yes, 99.0),
+            diag("random-access", Detection::Mitigated, 35.0),
+        ]);
+        let c = compare(&before, &after);
+        assert_eq!(c.delta("small-io").unwrap().change, IssueChange::Resolved);
+        assert_eq!(
+            c.delta("misaligned-io").unwrap().change,
+            IssueChange::Unchanged
+        );
+        assert_eq!(
+            c.delta("random-access").unwrap().change,
+            IssueChange::Introduced
+        );
+        // Metric movement captured for the resolved issue.
+        let small = c.delta("small-io").unwrap();
+        assert_eq!(small.metric_deltas[0].0, "x_pct");
+        assert_eq!(small.metric_deltas[0].1, 98.0);
+        assert_eq!(small.metric_deltas[0].2, 3.0);
+    }
+
+    #[test]
+    fn render_groups_by_change() {
+        let before = report(vec![diag("small-io", Detection::Yes, 98.0)]);
+        let after = report(vec![diag("small-io", Detection::No, 2.0)]);
+        let text = compare(&before, &after).render_text();
+        assert!(text.contains("resolved:"));
+        assert!(text.contains("small-io"));
+        assert!(text.contains("x_pct: 98.00 → 2.00"));
+    }
+
+    #[test]
+    fn stable_metrics_not_reported() {
+        let before = report(vec![diag("a", Detection::Yes, 50.0)]);
+        let after = report(vec![diag("a", Detection::Yes, 50.5)]);
+        let c = compare(&before, &after);
+        assert!(c.delta("a").unwrap().metric_deltas.is_empty());
+    }
+}

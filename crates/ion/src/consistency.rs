@@ -1,0 +1,293 @@
+//! Cross-diagnosis consistency checking.
+//!
+//! The paper lists "optimize the prompts to enable consistency checking of
+//! the diagnosis results" as planned work. This module implements that
+//! check over a finished report: individual per-issue runs are independent
+//! (divide-and-conquer), so nothing in the pipeline forces their claims to
+//! agree. The checker validates structural invariants of each diagnosis
+//! and cross-issue relationships between the metrics different runs
+//! computed from the same tables.
+
+use crate::report::{Detection, Diagnosis};
+use serde::{Deserialize, Serialize};
+
+/// Severity of a consistency problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConsistencyLevel {
+    /// The report is contradictory and should not be trusted as-is.
+    Contradiction,
+    /// The report is suspicious and worth a second look.
+    Suspicious,
+}
+
+/// One detected inconsistency.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConsistencyIssue {
+    /// Severity.
+    pub level: ConsistencyLevel,
+    /// Issues involved.
+    pub issues: Vec<String>,
+    /// Explanation.
+    pub message: String,
+}
+
+fn metric(d: &Diagnosis, name: &str) -> Option<f64> {
+    d.metrics.get(name).and_then(extractor::Value::as_f64)
+}
+
+fn find<'a>(diagnoses: &'a [Diagnosis], issue: &str) -> Option<&'a Diagnosis> {
+    diagnoses.iter().find(|d| d.issue == issue)
+}
+
+/// Check a set of per-issue diagnoses for internal and mutual consistency.
+#[must_use]
+pub fn check(diagnoses: &[Diagnosis]) -> Vec<ConsistencyIssue> {
+    let mut out = Vec::new();
+
+    // Structural invariants of each diagnosis.
+    for d in diagnoses {
+        match d.detection {
+            Some(Detection::Yes) if d.findings.is_empty() => out.push(ConsistencyIssue {
+                level: ConsistencyLevel::Contradiction,
+                issues: vec![d.issue.clone()],
+                message: format!("'{}' claims detection but lists no findings", d.issue),
+            }),
+            Some(Detection::Mitigated) if d.mitigations.is_empty() => {
+                out.push(ConsistencyIssue {
+                    level: ConsistencyLevel::Contradiction,
+                    issues: vec![d.issue.clone()],
+                    message: format!(
+                        "'{}' claims mitigation but lists no mitigating factors",
+                        d.issue
+                    ),
+                });
+            }
+            Some(Detection::No) if !d.findings.is_empty() => out.push(ConsistencyIssue {
+                level: ConsistencyLevel::Contradiction,
+                issues: vec![d.issue.clone()],
+                message: format!("'{}' lists findings but claims no detection", d.issue),
+            }),
+            _ => {}
+        }
+        if d.detection == Some(Detection::Yes) && d.severity == crate::report::Severity::None {
+            out.push(ConsistencyIssue {
+                level: ConsistencyLevel::Suspicious,
+                issues: vec![d.issue.clone()],
+                message: format!("'{}' is detected but carries no severity", d.issue),
+            });
+        }
+        if !d.is_detected() && d.conclusion.is_empty() {
+            out.push(ConsistencyIssue {
+                level: ConsistencyLevel::Suspicious,
+                issues: vec![d.issue.clone()],
+                message: format!("'{}' has an empty conclusion", d.issue),
+            });
+        }
+    }
+
+    // Cross-issue: "aggregatable because consecutive" contradicts a hard
+    // random-access detection — random streams cannot be consecutive.
+    if let (Some(small), Some(random)) = (find(diagnoses, "small-io"), find(diagnoses, "random-access")) {
+        let aggregation_claim = small
+            .mitigations
+            .iter()
+            .any(|m| m.contains("consecutive"));
+        if aggregation_claim && random.detection == Some(Detection::Yes) {
+            if let (Some(consec), Some(rand_pct)) =
+                (metric(small, "consec_pct"), metric(random, "random_pct"))
+            {
+                if consec + rand_pct > 110.0 {
+                    out.push(ConsistencyIssue {
+                        level: ConsistencyLevel::Contradiction,
+                        issues: vec!["small-io".into(), "random-access".into()],
+                        message: format!(
+                            "small-io claims {consec:.1}% consecutive while random-access claims {rand_pct:.1}% random — these cannot both hold"
+                        ),
+                    });
+                }
+            } else {
+                out.push(ConsistencyIssue {
+                    level: ConsistencyLevel::Suspicious,
+                    issues: vec!["small-io".into(), "random-access".into()],
+                    message: "small ops are claimed aggregatable (consecutive) while access is \
+                              diagnosed as random"
+                        .into(),
+                });
+            }
+        }
+    }
+
+    // Cross-issue: operation counts computed from the same POSIX table must
+    // agree between runs.
+    let op_metrics = [
+        ("misaligned-io", "ops"),
+        ("random-access", "ops"),
+        ("small-io", "rw_ops"),
+    ];
+    let mut counts: Vec<(&str, f64)> = Vec::new();
+    for (issue, name) in op_metrics {
+        if let Some(d) = find(diagnoses, issue) {
+            if let Some(v) = metric(d, name) {
+                counts.push((issue, v));
+            }
+        }
+    }
+    for pair in counts.windows(2) {
+        let (ia, va) = pair[0];
+        let (ib, vb) = pair[1];
+        if (va - vb).abs() > 0.5 {
+            out.push(ConsistencyIssue {
+                level: ConsistencyLevel::Contradiction,
+                issues: vec![ia.to_owned(), ib.to_owned()],
+                message: format!(
+                    "operation counts disagree between analyses: {ia} saw {va}, {ib} saw {vb}"
+                ),
+            });
+        }
+    }
+
+    // Cross-issue: rank counts must agree.
+    if let (Some(imb), Some(strag)) = (
+        find(diagnoses, "load-imbalance"),
+        find(diagnoses, "stragglers"),
+    ) {
+        if let (Some(a), Some(b)) = (metric(imb, "nranks"), metric(strag, "nranks_t")) {
+            if (a - b).abs() > 0.5 {
+                out.push(ConsistencyIssue {
+                    level: ConsistencyLevel::Contradiction,
+                    issues: vec!["load-imbalance".into(), "stragglers".into()],
+                    message: format!("rank counts disagree: {a} vs {b}"),
+                });
+            }
+        }
+    }
+
+    // Cross-issue: a conflict-free shared file contradicts a straggler
+    // blamed on lock convoying only if contention was *also* reported.
+    if let Some(shared) = find(diagnoses, "shared-file-contention") {
+        if shared.detection == Some(Detection::Yes)
+            && shared.mitigations.iter().any(|m| m.contains("no stripe conflicts"))
+        {
+            out.push(ConsistencyIssue {
+                level: ConsistencyLevel::Contradiction,
+                issues: vec!["shared-file-contention".into()],
+                message: "shared-file analysis both asserts and excludes stripe conflicts".into(),
+            });
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{Finding, Severity};
+    use extractor::Value;
+
+    fn base(issue: &str) -> Diagnosis {
+        Diagnosis {
+            issue: issue.to_owned(),
+            title: issue.to_owned(),
+            detection: Some(Detection::No),
+            conclusion: "clean".into(),
+            ..Diagnosis::default()
+        }
+    }
+
+    #[test]
+    fn clean_report_has_no_issues() {
+        let ds = vec![base("small-io"), base("random-access")];
+        assert!(check(&ds).is_empty());
+    }
+
+    #[test]
+    fn detection_without_findings_is_contradiction() {
+        let mut d = base("small-io");
+        d.detection = Some(Detection::Yes);
+        let issues = check(&[d]);
+        let contradictions: Vec<_> = issues
+            .iter()
+            .filter(|i| i.level == ConsistencyLevel::Contradiction)
+            .collect();
+        assert_eq!(contradictions.len(), 1);
+        assert!(contradictions[0].message.contains("no findings"));
+        // The missing severity is separately flagged as suspicious.
+        assert!(issues
+            .iter()
+            .any(|i| i.level == ConsistencyLevel::Suspicious));
+    }
+
+    #[test]
+    fn mitigated_without_mitigations_is_contradiction() {
+        let mut d = base("small-io");
+        d.detection = Some(Detection::Mitigated);
+        d.findings.push(Finding {
+            severity: Severity::High,
+            text: "x".into(),
+        });
+        let issues = check(&[d]);
+        assert!(issues
+            .iter()
+            .any(|i| i.message.contains("no mitigating factors")));
+    }
+
+    #[test]
+    fn aggregation_vs_random_contradiction_with_metrics() {
+        let mut small = base("small-io");
+        small.detection = Some(Detection::Mitigated);
+        small
+            .mitigations
+            .push("99% of operations are consecutive".into());
+        small.metrics.insert("consec_pct".into(), Value::Float(99.0));
+        let mut random = base("random-access");
+        random.detection = Some(Detection::Yes);
+        random.findings.push(Finding {
+            severity: Severity::Medium,
+            text: "random".into(),
+        });
+        random.metrics.insert("random_pct".into(), Value::Float(95.0));
+        let issues = check(&[small, random]);
+        assert!(issues
+            .iter()
+            .any(|i| i.level == ConsistencyLevel::Contradiction
+                && i.issues.contains(&"random-access".to_owned())));
+    }
+
+    #[test]
+    fn aggregation_vs_random_consistent_when_percentages_fit() {
+        // 40% consecutive + 50% random can coexist.
+        let mut small = base("small-io");
+        small.detection = Some(Detection::Mitigated);
+        small.mitigations.push("some consecutive".into());
+        small.metrics.insert("consec_pct".into(), Value::Float(40.0));
+        let mut random = base("random-access");
+        random.detection = Some(Detection::Yes);
+        random.severity = Severity::Medium;
+        random.findings.push(Finding {
+            severity: Severity::Medium,
+            text: "random".into(),
+        });
+        random.metrics.insert("random_pct".into(), Value::Float(50.0));
+        assert!(check(&[small, random]).is_empty());
+    }
+
+    #[test]
+    fn disagreeing_op_counts_flagged() {
+        let mut a = base("misaligned-io");
+        a.metrics.insert("ops".into(), Value::Int(100));
+        let mut b = base("random-access");
+        b.metrics.insert("ops".into(), Value::Int(90));
+        let issues = check(&[a, b]);
+        assert!(issues.iter().any(|i| i.message.contains("disagree")));
+    }
+
+    #[test]
+    fn agreeing_op_counts_pass() {
+        let mut a = base("misaligned-io");
+        a.metrics.insert("ops".into(), Value::Int(100));
+        let mut b = base("random-access");
+        b.metrics.insert("ops".into(), Value::Int(100));
+        assert!(check(&[a, b]).is_empty());
+    }
+}

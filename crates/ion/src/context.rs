@@ -1,0 +1,580 @@
+//! The *I/O performance issue contexts* — ION's knowledge base.
+//!
+//! Following the paper's divide-and-conquer design, each context focuses on
+//! one I/O issue type and is used to build one prompt. A context is prose
+//! an LLM can learn from in-context, with the analysis procedure embedded
+//! as machine-readable directives (see [`ion_llm::knowledge`]). The
+//! `MODULES:` header is the *predefined mapping of necessary modules*: the
+//! prompt builder only attaches (and describes) the CSV files an issue
+//! actually needs.
+//!
+//! Thresholds deliberately live *here*, in editable text, not in code —
+//! and the few system parameters they reference (`rpc_size`,
+//! `stripe_size`, `nprocs`) are input hyper-parameters supplied per trace,
+//! exactly as the paper describes.
+
+use ion_llm::knowledge::{parse_context, IssueContextSpec};
+
+/// One issue context: identifier plus the full context text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IssueContext {
+    /// Stable identifier (`small-io`, `misaligned-io`, …).
+    pub id: &'static str,
+    /// Full context text (prose + directives).
+    pub text: String,
+}
+
+impl IssueContext {
+    /// Parse the machine-readable layer of this context.
+    #[must_use]
+    pub fn spec(&self) -> IssueContextSpec {
+        parse_context(&self.text).unwrap_or_default()
+    }
+
+    /// Modules this context needs attached, from its `MODULES:` header.
+    #[must_use]
+    pub fn modules(&self) -> Vec<String> {
+        self.spec().modules
+    }
+}
+
+const SMALL_IO: &str = r#"
+ISSUE: small-io
+TITLE: Small I/O operations
+MODULES: DXT, POSIX
+
+Parallel file systems move data between clients and servers in RPCs with a
+fixed maximum payload (the rpc_size parameter, 4 MiB on the evaluated
+Lustre system). Requests much smaller than the RPC size pay the full
+per-RPC latency for a fraction of the payload, so many small requests
+underutilize every round trip and are a classic cause of poor throughput.
+Whether small requests actually hurt depends on their spatial pattern:
+client-side aggregation (by the file system client, by MPI-IO collective
+buffering, or by simple application-level buffering) can merge requests
+that are consecutive — each starting exactly where the previous one ended —
+into RPC-sized transfers, largely hiding the inefficiency. Small requests
+scattered at random offsets cannot be merged and their cost is fully
+realized. Therefore: measure how many operations are smaller than the RPC
+size, then qualify the finding by how consecutive/sequential they are.
+
+COMPUTE dxt_sizes:
+  LOAD DXT
+  FILTER module == 'X_POSIX'
+  DERIVE small = length < rpc_size
+  AGG total_ops = count(), small_ops = sum(small), mean_size = mean(length), total_bytes = sum(length)
+  LET small_pct = 100 * small_ops / max(total_ops, 1)
+  EMIT total_ops, small_ops, small_pct, mean_size, total_bytes
+END
+
+COMPUTE posix_pattern:
+  LOAD POSIX
+  AGG reads = sum(POSIX_READS), writes = sum(POSIX_WRITES), consec = sum(POSIX_CONSEC_READS + POSIX_CONSEC_WRITES), seq = sum(POSIX_SEQ_READS + POSIX_SEQ_WRITES)
+  LET rw_ops = reads + writes
+  LET consec_pct = 100 * consec / max(rw_ops, 1)
+  LET seq_pct = 100 * seq / max(rw_ops, 1)
+  EMIT rw_ops, consec_pct, seq_pct
+END
+
+COMPUTE dxt_small_volume:
+  LOAD DXT
+  FILTER module == 'X_POSIX'
+  DERIVE small_len = if(length < rpc_size, length, 0)
+  AGG small_bytes = sum(small_len), all_bytes_dxt = sum(length)
+  LET small_vol_pct = 100 * small_bytes / max(all_bytes_dxt, 1)
+  EMIT small_bytes, small_vol_pct
+END
+
+CONCLUDE IF small_pct > 50 && total_ops > 0 SEVERITY high: "{small_ops:int} of {total_ops:int} I/O operations ({small_pct:.2}%, mean size {mean_size:human}) are smaller than the configured RPC size of {rpc_size:human}, underutilizing each client-server round trip"
+MITIGATE IF small_pct > 50 && consec_pct >= 50: "however, {consec_pct:.2}% of operations are consecutive (each starting where the previous ended), so high aggregation into RPC-sized transfers is possible and the small requests need not cause inefficiency"
+MITIGATE IF small_pct > 50 && consec_pct < 50 && small_vol_pct < 5: "however, these small operations move only {small_vol_pct:.2}% of the total data volume, so their impact on the application's overall I/O performance is limited"
+NOTE IF small_pct > 50 && consec_pct < 50 && seq_pct < 50: "the small operations are largely non-sequential, so they cannot be aggregated and their latency cost is fully realized by the application"
+NOTE IF small_pct <= 50 && total_ops > 0: "transfer sizes are healthy: only {small_pct:.2}% of {total_ops:int} operations fall below the RPC size"
+"#;
+
+const MISALIGNED_IO: &str = r#"
+ISSUE: misaligned-io
+TITLE: Misaligned I/O
+MODULES: POSIX, LUSTRE
+
+On striped file systems every access that does not start on a stripe
+boundary (the stripe_size parameter) can touch two object storage targets
+or force the server to perform a read-modify-write within a stripe, adding
+latency and, for shared files, widening the window for lock contention.
+Darshan counts such accesses in POSIX_FILE_NOT_ALIGNED (the file alignment
+recorded in POSIX_FILE_ALIGNMENT equals the stripe size on Lustre).
+Memory misalignment of the client buffer (POSIX_MEM_NOT_ALIGNED) adds a
+smaller client-side copy cost. A high fraction of misaligned accesses is
+one of the strongest indicators of addressable inefficiency, because it
+can usually be fixed by padding records or adjusting the access layout.
+
+COMPUTE alignment:
+  LOAD POSIX
+  AGG ops = sum(POSIX_READS + POSIX_WRITES), unaligned = sum(POSIX_FILE_NOT_ALIGNED), mem_unaligned = sum(POSIX_MEM_NOT_ALIGNED)
+  LET file_misaligned_pct = 100 * unaligned / max(ops, 1)
+  LET mem_misaligned_pct = 100 * mem_unaligned / max(ops, 1)
+  EMIT ops, unaligned, file_misaligned_pct, mem_unaligned, mem_misaligned_pct
+END
+
+CONCLUDE IF file_misaligned_pct > 10 SEVERITY high: "significant file misalignment detected: {unaligned:int} operations ({file_misaligned_pct:.2}% of {ops:int}) do not start on the {stripe_size:human} stripe boundary, which may contribute to performance degradation through extra server-side work and increased contention"
+CONCLUDE IF mem_misaligned_pct > 10 SEVERITY medium: "{mem_unaligned:int} operations ({mem_misaligned_pct:.2}%) use misaligned memory buffers, adding client-side copy overhead"
+NOTE IF file_misaligned_pct <= 10 && ops > 0: "{file_misaligned_pct:.2}% misalignment rate for a total of {ops:int} I/O operations — file alignment is not a concern"
+"#;
+
+const SHARED_FILE: &str = r#"
+ISSUE: shared-file-contention
+TITLE: Shared file access and stripe contention
+MODULES: POSIX, DXT, LUSTRE
+
+When multiple ranks access one shared file, the risk is not sharing per se
+but *overlap within stripes*: Lustre serializes conflicting access to a
+stripe through its extent lock manager, so two ranks working in the same
+stripe ping-pong the lock (revoke + re-grant round trips) while ranks that
+stay in disjoint stripes proceed without any conflict. The correct
+analysis is therefore two-stage: first establish whether files are shared
+by several ranks at all, then check whether traced operations from
+different ranks actually land in the same stripe (offset divided by
+stripe_size). A shared file without stripe overlap is benign; interleaved
+small records on a shared file are the worst case.
+
+COMPUTE sharing:
+  LOAD POSIX
+  FILTER rank >= 0
+  GROUP file_name AGG nranks = distinct(rank), file_ops = sum(POSIX_READS + POSIX_WRITES)
+  DERIVE shared = nranks > 1
+  AGG shared_files = sum(shared), total_files = count(), max_ranks_per_file = max(nranks)
+  EMIT shared_files, total_files, max_ranks_per_file
+END
+
+COMPUTE stripe_overlap:
+  LOAD DXT
+  DERIVE stripe = floor(offset / stripe_size)
+  GROUP file_name, stripe AGG ranks_in_stripe = distinct(rank), stripe_ops = count()
+  DERIVE conflict_ops = if(ranks_in_stripe > 1, stripe_ops, 0)
+  AGG conflicted_ops = sum(conflict_ops), all_ops = sum(stripe_ops)
+  LET same_stripe_pct = 100 * conflicted_ops / max(all_ops, 1)
+  EMIT conflicted_ops, all_ops, same_stripe_pct
+END
+
+COMPUTE layout_crowding:
+  LOAD POSIX
+  FILTER rank >= 0
+  GROUP file_id AGG franks = distinct(rank)
+  JOIN LUSTRE ON file_id
+  DERIVE crowded = franks > LUSTRE_STRIPE_WIDTH
+  AGG crowded_files = sum(crowded), max_crowding = max(franks / max(LUSTRE_STRIPE_WIDTH, 1))
+  EMIT crowded_files, max_crowding
+END
+
+CONCLUDE IF shared_files > 0 && same_stripe_pct > 20 SEVERITY high: "a shared file is accessed by up to {max_ranks_per_file:int} ranks and {same_stripe_pct:.2}% of traced operations fall within stripes touched by multiple ranks — there is evidence of overlap indicating stripe conflicts and extent-lock contention at the OSTs"
+MITIGATE IF shared_files > 0 && same_stripe_pct <= 20: "a shared file is accessed by up to {max_ranks_per_file:int} ranks, but analysis found essentially no overlapping operations within the same stripe ({same_stripe_pct:.2}%), hence shared access should not lead to stripe conflicts or excessive lock overhead at the OSTs"
+NOTE IF shared_files == 0 && total_files > 0: "each of the {total_files:int} files is accessed exclusively by a single rank (file-per-process pattern), so no shared-file contention is possible"
+NOTE IF crowded_files > 0 && max_crowding > 2: "{crowded_files:int} file(s) are accessed by {max_crowding:.0}x more ranks than they have stripes, so several ranks necessarily target the same OSTs even when their extents do not conflict — widening the stripe layout would increase server-side parallelism"
+"#;
+
+const RANDOM_ACCESS: &str = r#"
+ISSUE: random-access
+TITLE: Random access patterns
+MODULES: POSIX, DXT
+
+Sequential access lets the file system prefetch, merge and stream;
+random access defeats all three. Darshan's POSIX_SEQ_READS/WRITES count
+operations at an offset at or past the previous operation's end, so
+operations beyond that count are random (back-seeking or scattered).
+Random access is only a problem in proportion to its share of operations
+and of moved data: a handful of random reads per rank against a large
+sequential workload is noise and should not be escalated — contextualize
+the count against the number of ranks performing I/O and the volume of
+data these operations carry.
+
+COMPUTE pattern:
+  LOAD POSIX
+  FILTER rank >= 0
+  AGG reads = sum(POSIX_READS), writes = sum(POSIX_WRITES), seq_r = sum(POSIX_SEQ_READS), seq_w = sum(POSIX_SEQ_WRITES), bytes = sum(POSIX_BYTES_READ + POSIX_BYTES_WRITTEN), nranks = distinct(rank)
+  LET ops = reads + writes
+  LET rand_ops = ops - seq_r - seq_w
+  LET random_pct = 100 * rand_ops / max(ops, 1)
+  LET rand_reads = reads - seq_r
+  LET rand_read_pct = 100 * rand_reads / max(reads, 1)
+  LET seq_only_pct = 100 - random_pct
+  LET rand_per_rank = rand_ops / max(nranks, 1)
+  EMIT ops, rand_ops, random_pct, rand_reads, rand_read_pct, seq_only_pct, rand_per_rank, nranks, bytes
+END
+
+COMPUTE rand_volume:
+  LOAD DXT
+  FILTER module == 'X_POSIX' && op == 'read'
+  AGG mean_read_len = mean(length), read_ops_dxt = count()
+  LET rand_bytes_est = rand_reads * mean_read_len
+  LET rand_volume_pct = 100 * rand_bytes_est / max(bytes, 1)
+  EMIT mean_read_len, rand_bytes_est, rand_volume_pct
+END
+
+CONCLUDE IF (random_pct > 30 || rand_read_pct > 30) && ops >= 20 SEVERITY medium: "{rand_ops:int} operations ({random_pct:.2}% overall; {rand_read_pct:.2}% of reads) exhibit random (non-sequential) access patterns, which prevent prefetching and request aggregation — there could be a performance concern related to random access"
+MITIGATE IF (random_pct > 30 || rand_read_pct > 30) && ops >= 20 && rand_per_rank < 50 && rand_volume_pct < 20: "however, the random-access operation count per rank ({rand_per_rank:.1}) and the total volume of data transferred through these patterns ({rand_volume_pct:.2}% of bytes) are low, so they should not affect the entire application's I/O performance"
+NOTE IF random_pct <= 30 && ops > 0: "access is predominantly sequential ({seq_only_pct:.2}% of operations at or past the previous offset)"
+"#;
+
+const LOAD_IMBALANCE: &str = r#"
+ISSUE: load-imbalance
+TITLE: Load imbalance across ranks
+MODULES: POSIX
+
+In a parallel job the slowest rank gates every synchronization point, so
+skew in I/O volume or operation count across ranks wastes the rest of the
+machine. Classic causes include rank 0 funnelling all output, fill values
+written by a single rank, and decomposition remainders. Compare the
+heaviest rank against the mean; also look for a *subset* of ranks more
+than one standard deviation above the mean doing the bulk of the work —
+such a subset may be intentional (e.g. designated aggregators in the
+application's algorithm) and deserves investigation rather than an alarm.
+
+COMPUTE per_rank:
+  LOAD POSIX
+  FILTER rank >= 0
+  GROUP rank AGG rbytes = sum(POSIX_BYTES_READ + POSIX_BYTES_WRITTEN), rops = sum(POSIX_READS + POSIX_WRITES)
+  AGG nranks = count(), max_bytes = max(rbytes), mean_bytes = mean(rbytes), std_bytes = std(rbytes), total_bytes = sum(rbytes), max_ops = max(rops), mean_ops = mean(rops)
+  LET imbalance_pct = 100 * (max_bytes - mean_bytes) / max(max_bytes, 1)
+  EMIT nranks, max_bytes, mean_bytes, std_bytes, total_bytes, imbalance_pct, max_ops, mean_ops
+END
+
+COMPUTE heaviest:
+  LOAD POSIX
+  FILTER rank >= 0
+  GROUP rank AGG rbytes = sum(POSIX_BYTES_READ + POSIX_BYTES_WRITTEN)
+  SORT rbytes DESC
+  LIMIT 1
+  AGG heaviest_rank = rank, heaviest_bytes = max(rbytes)
+  EMIT heaviest_rank, heaviest_bytes
+END
+
+COMPUTE hot_subset:
+  LOAD POSIX
+  FILTER rank >= 0
+  GROUP rank AGG rbytes = sum(POSIX_BYTES_READ + POSIX_BYTES_WRITTEN)
+  DERIVE hot = rbytes > mean_bytes + std_bytes
+  DERIVE hot_vol = if(hot, rbytes, 0)
+  AGG hot_ranks = sum(hot), hot_total = sum(hot_vol)
+  LET hot_share_pct = 100 * hot_total / max(total_bytes, 1)
+  EMIT hot_ranks, hot_total, hot_share_pct
+END
+
+CONCLUDE IF imbalance_pct > 30 && nranks > 1 && !(hot_ranks >= 2 && hot_ranks * 4 < nranks && hot_share_pct > 90) SEVERITY high: "load imbalance of {imbalance_pct:.2}% detected: rank {heaviest_rank:int} transfers {heaviest_bytes:human} versus a mean of {mean_bytes:human} per rank, so it is doing much more work than the rest of the job"
+MITIGATE IF imbalance_pct > 30 && nranks > 8 && hot_ranks >= 2 && hot_ranks * 4 < nranks && hot_share_pct > 50: "a subset of {hot_ranks:int} out of {nranks:int} ranks performs {hot_share_pct:.2}% of the I/O volume, more than one standard deviation above the mean; rather than a defect, it is worth investigating whether this behavior is intentional (e.g. aggregator ranks in the application's algorithm) or can be optimized for better load distribution"
+NOTE IF imbalance_pct <= 30 && nranks > 1: "I/O volume is well balanced across the {nranks:int} ranks ({imbalance_pct:.2}% deviation of the heaviest rank from the mean)"
+"#;
+
+const METADATA_LOAD: &str = r#"
+ISSUE: metadata-load
+TITLE: Metadata load
+MODULES: POSIX, STDIO
+
+Every open, stat, seek and sync is a round trip to the metadata server,
+which is a single shared service: storms of metadata operations from many
+ranks queue there and slow the whole machine, not just the offending job.
+Workloads that repeatedly open, read a few bytes, and close many small
+files (or re-open the same files over and over) are metadata-bound even
+though they move little data. Compare metadata time against data time and
+look at opens per file to detect this profile.
+
+COMPUTE meta:
+  LOAD POSIX
+  AGG opens = sum(POSIX_OPENS), stats = sum(POSIX_STATS), seeks = sum(POSIX_SEEKS), fsyncs = sum(POSIX_FSYNCS), rw = sum(POSIX_READS + POSIX_WRITES), meta_time = sum(POSIX_F_META_TIME), rw_time = sum(POSIX_F_READ_TIME + POSIX_F_WRITE_TIME), files = distinct(file_name)
+  LET meta_ops = opens + stats + seeks + fsyncs
+  LET meta_time_pct = 100 * meta_time / max(meta_time + rw_time, 0.000001)
+  LET opens_per_file = opens / max(files, 1)
+  LET meta_ops_ratio = meta_ops / max(rw, 1)
+  EMIT opens, stats, seeks, fsyncs, rw, meta_ops, meta_time_pct, files, opens_per_file, meta_ops_ratio
+END
+
+CONCLUDE IF meta_time_pct > 30 && meta_ops > 50 SEVERITY high: "the application exhibits high metadata I/O behaviour: {meta_ops:int} metadata operations consume {meta_time_pct:.2}% of its I/O time, which could place unnecessary load on the metadata servers and potentially create a bottleneck in the system"
+CONCLUDE IF opens_per_file > 8 SEVERITY medium: "files are re-opened repeatedly ({opens_per_file:.1} opens per file on average across {files:int} files), multiplying metadata traffic that caching or keeping files open would avoid"
+NOTE IF files > 64: "the job touches {files:int} distinct files"
+NOTE IF meta_time_pct <= 30 && rw > 0: "metadata time is modest ({meta_time_pct:.2}% of I/O time)"
+"#;
+
+const INTERFACE_USAGE: &str = r#"
+ISSUE: interface-usage
+TITLE: I/O interface usage
+MODULES: POSIX
+
+HPC applications running with many ranks should normally reach the file
+system through a parallel I/O library: MPI-IO (or HDF5/PnetCDF above it)
+can coordinate ranks, aggregate small requests through collective
+buffering, and apply hints — none of which raw POSIX calls provide. A
+multi-rank job whose trace shows only POSIX activity (the has_mpiio
+parameter reports whether the MPI-IO module recorded anything) is leaving
+these optimizations on the table even when its current pattern performs
+acceptably.
+
+COMPUTE usage:
+  LOAD POSIX
+  FILTER rank >= 0
+  AGG posix_ranks = distinct(rank), posix_ops = sum(POSIX_READS + POSIX_WRITES)
+  EMIT posix_ranks, posix_ops
+END
+
+CONCLUDE IF has_mpiio == 0 && nprocs > 1 && posix_ops > 0 SEVERITY medium: "the application is only using POSIX I/O calls and is not employing MPI-IO, despite the presence of multiple ranks ({nprocs:int}) performing I/O; adopting MPI-IO's collective and non-blocking operations could aggregate requests and coordinate file access"
+NOTE IF has_mpiio == 1: "the application uses the MPI-IO interface in addition to POSIX"
+NOTE IF nprocs <= 1: "single-process job: parallel I/O libraries would not help"
+"#;
+
+const COLLECTIVE_IO: &str = r#"
+ISSUE: collective-io
+TITLE: Collective I/O usage
+MODULES: MPIIO
+
+MPI-IO's collective operations (MPI_File_write_at_all and friends) run
+two-phase I/O: ranks exchange data so a few aggregators issue large,
+stripe-aligned accesses. An application that opens files collectively but
+then issues only *independent* MPI-IO operations forfeits this
+aggregation — a pattern famously produced by an HDF5 defect in which
+nominally collective dataset writes decomposed into independent small
+operations. Check the ratio of collective to independent operations.
+
+COMPUTE coll:
+  LOAD MPIIO
+  AGG coll_ops = sum(MPIIO_COLL_READS + MPIIO_COLL_WRITES), indep_ops = sum(MPIIO_INDEP_READS + MPIIO_INDEP_WRITES), coll_opens = sum(MPIIO_COLL_OPENS)
+  LET indep_pct = 100 * indep_ops / max(coll_ops + indep_ops, 1)
+  EMIT coll_ops, indep_ops, indep_pct, coll_opens
+END
+
+CONCLUDE IF indep_ops > 0 && coll_ops == 0 && coll_opens > 0 SEVERITY high: "the application opens files collectively but issues only independent MPI-IO operations ({indep_ops:int}, 100% independent); collective buffering is not engaged, so requests reach the file system unaggregated — this matches the signature of collective calls decomposing into independent operations (e.g. the known HDF5 collective-write defect)"
+CONCLUDE IF indep_pct > 80 && coll_ops > 0 SEVERITY medium: "{indep_pct:.2}% of MPI-IO data operations are independent; collective I/O is barely used"
+NOTE IF coll_ops > 0 && indep_pct <= 80: "{coll_ops:int} collective operations benefit from two-phase aggregation"
+"#;
+
+const STRAGGLERS: &str = r#"
+ISSUE: stragglers
+TITLE: Straggling ranks
+MODULES: POSIX
+
+Even with balanced volume, one rank can spend far longer in I/O than its
+peers — an overloaded OST, lock convoying or an unlucky placement will do
+it. Because bulk-synchronous applications wait at barriers, the slowest
+rank's I/O time is the job's I/O time. Flag ranks whose total I/O time is
+far above the mean; report who they are so the user can correlate with
+placement.
+
+COMPUTE rank_times:
+  LOAD POSIX
+  FILTER rank >= 0
+  GROUP rank AGG rtime = sum(POSIX_F_READ_TIME + POSIX_F_WRITE_TIME + POSIX_F_META_TIME)
+  AGG nranks_t = count(), max_time = max(rtime), mean_time = mean(rtime), std_time = std(rtime)
+  EMIT nranks_t, max_time, mean_time, std_time
+END
+
+COMPUTE slowest:
+  LOAD POSIX
+  FILTER rank >= 0
+  GROUP rank AGG rtime = sum(POSIX_F_READ_TIME + POSIX_F_WRITE_TIME + POSIX_F_META_TIME)
+  SORT rtime DESC
+  LIMIT 1
+  AGG slow_rank = rank
+  EMIT slow_rank
+END
+
+CONCLUDE IF nranks_t > 1 && max_time > mean_time * 1.5 && max_time > 0.001 SEVERITY medium: "rank {slow_rank:int} spends {max_time:.3}s in I/O versus a mean of {mean_time:.3}s across {nranks_t:int} ranks — a straggler that will delay every synchronization point"
+NOTE IF nranks_t > 1 && max_time <= mean_time * 1.5: "per-rank I/O times are uniform (max {max_time:.3}s vs mean {mean_time:.3}s)"
+"#;
+
+const BURSTY_IO: &str = r#"
+ISSUE: bursty-io
+TITLE: Bursty I/O phases
+MODULES: HEATMAP
+
+Bulk-synchronous applications alternate compute phases with I/O bursts:
+checkpoints, analysis dumps, restart reads. The file system then sees long
+idle stretches punctuated by stampedes in which every rank hits the
+servers at once — exactly when contention is worst. The temporal heatmap
+(bytes per time bin per rank) reveals this profile: a small fraction of
+bins carrying most of the volume means bursty I/O, which burst-buffer
+staging or asynchronous (non-blocking) I/O can smooth; volume spread
+evenly over the runtime means the application already overlaps I/O with
+computation.
+
+COMPUTE temporal:
+  LOAD HEATMAP
+  FILTER bin_start < runtime
+  DERIVE bin_bytes_rw = read_bytes + write_bytes
+  GROUP bin AGG bin_total = sum(bin_bytes_rw)
+  AGG nbins_hm = count(), total_hm = sum(bin_total), peak_bin = max(bin_total)
+  EMIT nbins_hm, total_hm, peak_bin
+END
+
+COMPUTE activity:
+  LOAD HEATMAP
+  FILTER bin_start < runtime
+  DERIVE bin_bytes_rw = read_bytes + write_bytes
+  GROUP bin AGG bin_total = sum(bin_bytes_rw)
+  DERIVE active = bin_total > 0
+  AGG active_bins = sum(active)
+  LET active_pct = 100 * active_bins / max(nbins_hm, 1)
+  LET peak_share = 100 * peak_bin / max(total_hm, 1)
+  EMIT active_bins, active_pct, peak_share
+END
+
+CONCLUDE IF active_pct < 20 && nbins_hm >= 8 && total_hm > 0 SEVERITY low: "I/O is highly bursty: only {active_pct:.1}% of the runtime has any I/O at all, and the peak time bin alone carries {peak_share:.1}% of all bytes — burst staging or asynchronous I/O could smooth the load on the file system"
+NOTE IF active_pct >= 20 && total_hm > 0: "I/O volume is spread over time ({active_pct:.1}% of bins active; the peak bin carries {peak_share:.1}% of bytes)"
+"#;
+
+/// The built-in issue contexts, in analysis order.
+#[must_use]
+pub fn builtin_contexts() -> Vec<IssueContext> {
+    vec![
+        IssueContext {
+            id: "small-io",
+            text: SMALL_IO.to_owned(),
+        },
+        IssueContext {
+            id: "misaligned-io",
+            text: MISALIGNED_IO.to_owned(),
+        },
+        IssueContext {
+            id: "shared-file-contention",
+            text: SHARED_FILE.to_owned(),
+        },
+        IssueContext {
+            id: "random-access",
+            text: RANDOM_ACCESS.to_owned(),
+        },
+        IssueContext {
+            id: "load-imbalance",
+            text: LOAD_IMBALANCE.to_owned(),
+        },
+        IssueContext {
+            id: "metadata-load",
+            text: METADATA_LOAD.to_owned(),
+        },
+        IssueContext {
+            id: "interface-usage",
+            text: INTERFACE_USAGE.to_owned(),
+        },
+        IssueContext {
+            id: "collective-io",
+            text: COLLECTIVE_IO.to_owned(),
+        },
+        IssueContext {
+            id: "stragglers",
+            text: STRAGGLERS.to_owned(),
+        },
+        IssueContext {
+            id: "bursty-io",
+            text: BURSTY_IO.to_owned(),
+        },
+    ]
+}
+
+/// Look a built-in context up by id.
+#[must_use]
+pub fn builtin_context(id: &str) -> Option<IssueContext> {
+    builtin_contexts().into_iter().find(|c| c.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ion_llm::iql::parse_program;
+
+    #[test]
+    fn ten_contexts_registered() {
+        assert_eq!(builtin_contexts().len(), 10);
+    }
+
+    #[test]
+    fn ids_match_issue_headers() {
+        for c in builtin_contexts() {
+            let spec = c.spec();
+            assert_eq!(spec.issue, c.id, "ISSUE header mismatch in {}", c.id);
+            assert!(!spec.title.is_empty(), "{} missing TITLE", c.id);
+            assert!(!spec.modules.is_empty(), "{} missing MODULES", c.id);
+            assert!(!spec.knowledge.is_empty(), "{} has no prose knowledge", c.id);
+        }
+    }
+
+    #[test]
+    fn every_compute_block_parses_as_iql() {
+        for c in builtin_contexts() {
+            let spec = c.spec();
+            assert!(!spec.computes.is_empty(), "{} has no computes", c.id);
+            for comp in &spec.computes {
+                parse_program(&comp.source).unwrap_or_else(|e| {
+                    panic!("{}::{} fails to parse: {e}", c.id, comp.name)
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn every_rule_condition_parses() {
+        for c in builtin_contexts() {
+            for rule in c.spec().rules {
+                ion_llm::iql::parse_expression(&rule.condition).unwrap_or_else(|e| {
+                    panic!("{} rule `{}` fails to parse: {e}", c.id, rule.condition)
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn every_context_has_conclude_rule() {
+        for c in builtin_contexts() {
+            let has_conclude = c.spec().rules.iter().any(|r| {
+                matches!(
+                    r.kind,
+                    ion_llm::knowledge::RuleKind::Conclude { .. }
+                )
+            });
+            assert!(has_conclude, "{} has no CONCLUDE rule", c.id);
+        }
+    }
+
+    #[test]
+    fn module_mapping_covers_expected_tables() {
+        let ctx = builtin_context("small-io").unwrap();
+        assert_eq!(ctx.modules(), vec!["DXT", "POSIX"]);
+        let ctx = builtin_context("collective-io").unwrap();
+        assert_eq!(ctx.modules(), vec!["MPIIO"]);
+    }
+
+    #[test]
+    fn lookup_unknown_id_is_none() {
+        assert!(builtin_context("nope").is_none());
+    }
+
+    #[test]
+    fn templates_reference_only_emitted_or_param_names() {
+        // Every {placeholder} must be an emitted metric or a known param.
+        let known_params = ["rpc_size", "stripe_size", "nprocs", "has_mpiio"];
+        for c in builtin_contexts() {
+            let spec = c.spec();
+            let mut names: Vec<String> = spec
+                .computes
+                .iter()
+                .flat_map(|comp| {
+                    comp.source
+                        .lines()
+                        .filter_map(|l| l.trim().strip_prefix("EMIT "))
+                        .flat_map(|names| names.split(','))
+                        .map(|n| n.trim().to_owned())
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            names.extend(known_params.iter().map(|s| (*s).to_owned()));
+            for rule in &spec.rules {
+                let mut rest = rule.template.as_str();
+                while let Some(start) = rest.find('{') {
+                    let after = &rest[start + 1..];
+                    let end = after.find('}').expect("unclosed placeholder");
+                    let inner = &after[..end];
+                    let name = inner.split(':').next().unwrap().trim();
+                    assert!(
+                        names.iter().any(|n| n == name),
+                        "{}: template references unknown metric {{{name}}}",
+                        c.id
+                    );
+                    rest = &after[end..];
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Ensemble analysis: diagnosis confidence under system-parameter
+//! uncertainty.
+//!
+//! ION's issue contexts reference system settings — RPC size, stripe size —
+//! supplied as per-trace hyper-parameters. On a real machine these are not
+//! always known exactly (different OST pools, changed defaults, hearsay
+//! from the ops team). Following the self-consistency idea the paper cites
+//! for chain-of-thought prompting, this module re-runs the analysis over a
+//! small ensemble of perturbed parameter sets and reports, per issue, how
+//! stable the detection is: a finding that flips when the stripe size
+//! moves 25% is threshold-riding and deserves less trust than one that
+//! holds across the whole ensemble.
+
+use crate::analyzer::{Analyzer, SystemParams};
+use crate::report::Detection;
+use extractor::TableSet;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-issue stability across the ensemble.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IssueVote {
+    /// Issue id.
+    pub issue: String,
+    /// Detection under the nominal parameters.
+    pub nominal: Option<Detection>,
+    /// Votes per outcome (`yes`/`mitigated`/`no`), over all ensemble runs.
+    pub votes: BTreeMap<String, usize>,
+    /// Fraction of runs agreeing with the nominal outcome (0–1).
+    pub confidence: f64,
+}
+
+/// The full ensemble result.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EnsembleResult {
+    /// Stability per issue, in context order.
+    pub votes: Vec<IssueVote>,
+    /// Number of parameter sets analyzed (nominal included).
+    pub runs: usize,
+}
+
+impl EnsembleResult {
+    /// Vote record for one issue.
+    #[must_use]
+    pub fn vote(&self, issue: &str) -> Option<&IssueVote> {
+        self.votes.iter().find(|v| v.issue == issue)
+    }
+
+    /// Issues whose outcome changed under perturbation.
+    #[must_use]
+    pub fn unstable(&self) -> Vec<&IssueVote> {
+        self.votes.iter().filter(|v| v.confidence < 1.0).collect()
+    }
+}
+
+/// The perturbed parameter sets for one nominal configuration: the nominal
+/// itself plus stripe/RPC sizes scaled by the given factors.
+#[must_use]
+pub fn perturbations(nominal: &SystemParams, factors: &[f64]) -> Vec<SystemParams> {
+    let mut out = vec![*nominal];
+    for &f in factors {
+        if (f - 1.0).abs() < f64::EPSILON {
+            continue;
+        }
+        out.push(SystemParams {
+            rpc_size: ((nominal.rpc_size as f64) * f).max(1.0) as u64,
+            stripe_size: ((nominal.stripe_size as f64) * f).max(1.0) as u64,
+            ..*nominal
+        });
+    }
+    out
+}
+
+fn detection_label(d: Option<Detection>) -> String {
+    d.map_or_else(|| "skipped".to_owned(), |d| d.to_string())
+}
+
+/// Run the analyzer over the nominal parameters and perturbed variants,
+/// reporting per-issue detection stability.
+///
+/// `factors` scale the RPC and stripe sizes (e.g. `[0.75, 1.25]` for ±25%
+/// uncertainty). Runs are sequential per parameter set; each set uses the
+/// analyzer's own per-issue parallelism.
+#[must_use]
+pub fn ensemble_analyze(
+    analyzer: &Analyzer<'_>,
+    tables: &TableSet,
+    nominal: &SystemParams,
+    factors: &[f64],
+) -> EnsembleResult {
+    let sets = perturbations(nominal, factors);
+    let results: Vec<_> = sets.iter().map(|p| analyzer.analyze(tables, p)).collect();
+    let nominal_result = &results[0];
+    let mut votes = Vec::new();
+    for d in &nominal_result.diagnoses {
+        let mut tally: BTreeMap<String, usize> = BTreeMap::new();
+        let mut agree = 0usize;
+        for r in &results {
+            let outcome = r
+                .diagnoses
+                .iter()
+                .find(|other| other.issue == d.issue)
+                .and_then(|other| other.detection);
+            *tally.entry(detection_label(outcome)).or_insert(0) += 1;
+            if outcome == d.detection {
+                agree += 1;
+            }
+        }
+        votes.push(IssueVote {
+            issue: d.issue.clone(),
+            nominal: d.detection,
+            votes: tally,
+            confidence: agree as f64 / results.len() as f64,
+        });
+    }
+    EnsembleResult {
+        votes,
+        runs: results.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extractor::extract_tables;
+    use iosim::{SimConfig, Simulation};
+
+    fn trace_with_sizes(op_size: u64) -> (TableSet, SystemParams) {
+        let mut sim = Simulation::new(SimConfig::default().with_ranks(2));
+        let f = sim.posix_open_all("/e").unwrap();
+        for i in 0..64u64 {
+            for r in 0..2u32 {
+                sim.posix_write(r, f, u64::from(r) * (256 << 20) + i * op_size, op_size)
+                    .unwrap();
+            }
+        }
+        let log = sim.finish();
+        let params = SystemParams::from_log(&log);
+        (extract_tables(&log), params)
+    }
+
+    #[test]
+    fn perturbations_include_nominal_first() {
+        let n = SystemParams::default();
+        let sets = perturbations(&n, &[0.5, 1.0, 2.0]);
+        assert_eq!(sets.len(), 3); // nominal + 0.5 + 2.0 (1.0 skipped)
+        assert_eq!(sets[0], n);
+        assert_eq!(sets[1].rpc_size, n.rpc_size / 2);
+        assert_eq!(sets[2].stripe_size, n.stripe_size * 2);
+    }
+
+    #[test]
+    fn deep_small_io_is_stable_under_perturbation() {
+        // 2 KiB ops are small against 3 MiB or 5 MiB RPCs alike.
+        let (tables, params) = trace_with_sizes(2048);
+        let analyzer = Analyzer::new();
+        let result = ensemble_analyze(&analyzer, &tables, &params, &[0.75, 1.25]);
+        assert_eq!(result.runs, 3);
+        let v = result.vote("small-io").unwrap();
+        assert_eq!(v.confidence, 1.0, "{v:?}");
+    }
+
+    #[test]
+    fn threshold_riding_detection_reported_unstable() {
+        // 3 MiB ops: small against a 4 MiB RPC, not against a 3 MiB one.
+        let (tables, params) = trace_with_sizes(3 << 20);
+        let analyzer = Analyzer::new();
+        let result = ensemble_analyze(&analyzer, &tables, &params, &[0.7, 1.3]);
+        let v = result.vote("small-io").unwrap();
+        assert!(v.confidence < 1.0, "{v:?}");
+        assert!(result.unstable().iter().any(|u| u.issue == "small-io"));
+        assert!(v.votes.len() >= 2, "{v:?}");
+    }
+
+    #[test]
+    fn votes_sum_to_runs() {
+        let (tables, params) = trace_with_sizes(4096);
+        let analyzer = Analyzer::new();
+        let result = ensemble_analyze(&analyzer, &tables, &params, &[0.5, 2.0]);
+        for v in &result.votes {
+            let total: usize = v.votes.values().sum();
+            assert_eq!(total, result.runs);
+        }
+    }
+}

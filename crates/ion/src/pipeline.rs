@@ -1,0 +1,219 @@
+//! End-to-end pipeline: Darshan log bytes → diagnoses + summary + Q&A.
+
+use crate::analyzer::{AnalysisResult, Analyzer, SystemParams};
+use crate::report::Diagnosis;
+use crate::session::InteractiveSession;
+use darshan::log::{Log, LogReader};
+use darshan::DarshanError;
+use extractor::{extract_tables, TableSet};
+
+/// The full ION report for one trace.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IonReport {
+    /// Per-issue diagnoses.
+    pub diagnoses: Vec<Diagnosis>,
+    /// Global summary.
+    pub summary: String,
+    /// Issues skipped for lack of module data.
+    pub skipped: Vec<String>,
+    /// System parameters used during analysis.
+    pub params: Option<SystemParams>,
+}
+
+impl IonReport {
+    /// Diagnosis for one issue, if analyzed.
+    #[must_use]
+    pub fn diagnosis(&self, issue: &str) -> Option<&Diagnosis> {
+        self.diagnoses.iter().find(|d| d.issue == issue)
+    }
+
+    /// Issues that were detected (including mitigated), most severe first.
+    #[must_use]
+    pub fn detected(&self) -> Vec<&Diagnosis> {
+        let mut v: Vec<&Diagnosis> = self.diagnoses.iter().filter(|d| d.is_detected()).collect();
+        v.sort_by_key(|d| std::cmp::Reverse(d.severity));
+        v
+    }
+
+    /// Start an interactive Q&A session over this report.
+    #[must_use]
+    pub fn session(&self) -> InteractiveSession {
+        InteractiveSession::new(&self.diagnoses, &self.summary)
+    }
+
+    /// Run the cross-diagnosis consistency checker over this report.
+    #[must_use]
+    pub fn consistency(&self) -> Vec<crate::consistency::ConsistencyIssue> {
+        crate::consistency::check(&self.diagnoses)
+    }
+
+    /// Render the report as human-readable text (the paper's front-end
+    /// modals, flattened).
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.summary);
+        out.push('\n');
+        for d in &self.diagnoses {
+            out.push_str("════════════════════════════════════════\n");
+            out.push_str(&d.raw);
+        }
+        if !self.skipped.is_empty() {
+            out.push_str(&format!(
+                "(skipped for lack of module data: {})\n",
+                self.skipped.join(", ")
+            ));
+        }
+        out
+    }
+}
+
+/// The end-to-end ION pipeline (Figure 1): Extractor then Analyzer.
+#[derive(Debug, Default)]
+pub struct IonPipeline {
+    params_override: Option<SystemParams>,
+    retrieval_k: Option<usize>,
+}
+
+impl IonPipeline {
+    /// Pipeline with parameters derived from each log.
+    #[must_use]
+    pub fn new() -> Self {
+        IonPipeline {
+            params_override: None,
+            retrieval_k: None,
+        }
+    }
+
+    /// Force specific system parameters instead of deriving them.
+    #[must_use]
+    pub fn with_params(mut self, params: SystemParams) -> Self {
+        self.params_override = Some(params);
+        self
+    }
+
+    /// Enable retrieval-based context selection: analyze only the `k`
+    /// contexts most relevant to the trace (the paper's RAG direction).
+    #[must_use]
+    pub fn with_retrieval(mut self, k: usize) -> Self {
+        self.retrieval_k = Some(k.max(1));
+        self
+    }
+
+    /// Run on an in-memory log.
+    #[must_use]
+    pub fn run(&self, log: &Log) -> IonReport {
+        let tables = extract_tables(log);
+        let params = self
+            .params_override
+            .unwrap_or_else(|| SystemParams::from_log(log));
+        self.run_tables(&tables, &params)
+    }
+
+    /// Run on serialized log bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the decoding error if the bytes are not a valid log.
+    pub fn run_bytes(&self, bytes: &[u8]) -> Result<IonReport, DarshanError> {
+        let log = LogReader::read(bytes)?;
+        Ok(self.run(&log))
+    }
+
+    /// Run on already-extracted tables.
+    #[must_use]
+    pub fn run_tables(&self, tables: &TableSet, params: &SystemParams) -> IonReport {
+        let mut analyzer = Analyzer::new();
+        if let Some(k) = self.retrieval_k {
+            let contexts = crate::retrieval::select_contexts(
+                crate::context::builtin_contexts(),
+                tables,
+                k,
+            );
+            analyzer = analyzer.with_contexts(contexts);
+        }
+        let AnalysisResult {
+            diagnoses,
+            summary,
+            skipped,
+        } = analyzer.analyze(tables, params);
+        IonReport {
+            diagnoses,
+            summary,
+            skipped,
+            params: Some(*params),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iosim::{SimConfig, Simulation};
+
+    fn misaligned_log() -> Log {
+        let mut sim = Simulation::new(SimConfig::default().with_ranks(2).with_exe("e2e"));
+        let f = sim.posix_open_all("/scratch/out.nc4").unwrap();
+        for i in 0..64u64 {
+            for rank in 0..2u32 {
+                // Offsets deliberately not stripe-aligned.
+                let base = u64::from(rank) * (32 << 20);
+                sim.posix_write(rank, f, base + i * 4096 + 17, 4096).unwrap();
+            }
+        }
+        sim.posix_close_all(f);
+        sim.finish()
+    }
+
+    #[test]
+    fn end_to_end_from_log() {
+        let log = misaligned_log();
+        let report = IonPipeline::new().run(&log);
+        assert!(!report.diagnoses.is_empty());
+        let mis = report.diagnosis("misaligned-io").unwrap();
+        assert!(mis.is_detected(), "{}", mis.raw);
+        assert!(report.summary.contains("GLOBAL DIAGNOSIS SUMMARY"));
+    }
+
+    #[test]
+    fn end_to_end_from_bytes() {
+        let log = misaligned_log();
+        let mut w = darshan::log::LogWriter::from_log(log);
+        let bytes = w.finish().unwrap();
+        let report = IonPipeline::new().run_bytes(&bytes).unwrap();
+        assert!(report.diagnosis("misaligned-io").unwrap().is_detected());
+    }
+
+    #[test]
+    fn bad_bytes_surface_decode_error() {
+        assert!(IonPipeline::new().run_bytes(&[0u8; 32]).is_err());
+    }
+
+    #[test]
+    fn detected_sorted_by_severity() {
+        let log = misaligned_log();
+        let report = IonPipeline::new().run(&log);
+        let det = report.detected();
+        for w in det.windows(2) {
+            assert!(w[0].severity >= w[1].severity);
+        }
+    }
+
+    #[test]
+    fn session_built_from_report() {
+        let log = misaligned_log();
+        let report = IonPipeline::new().run(&log);
+        let mut session = report.session();
+        let answer = session.ask("why did you flag misaligned io?");
+        assert!(!answer.is_empty());
+    }
+
+    #[test]
+    fn render_text_contains_summary_and_diagnoses() {
+        let log = misaligned_log();
+        let report = IonPipeline::new().run(&log);
+        let text = report.render_text();
+        assert!(text.contains("GLOBAL DIAGNOSIS SUMMARY"));
+        assert!(text.contains("ISSUE: misaligned-io"));
+    }
+}

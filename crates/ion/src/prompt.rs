@@ -1,0 +1,182 @@
+//! Prompt construction: issue context + data description + task.
+//!
+//! Each per-issue prompt contains (paper §3): the issue context, a
+//! description of the columns in the associated CSV files — filtered by the
+//! issue's module mapping — the system hyper-parameters, a chain-of-thought
+//! instruction and the output format description.
+
+use crate::analyzer::SystemParams;
+use crate::context::IssueContext;
+use extractor::schema::describe_table;
+use extractor::TableSet;
+use ion_llm::expert::{CONTEXT_BEGIN, CONTEXT_END, MODE_SUMMARIZE};
+use std::fmt::Write as _;
+
+/// The fixed system preamble of every diagnosis prompt.
+pub const SYSTEM_PREAMBLE: &str = "You are ION, an expert in HPC I/O performance analysis. \
+You diagnose I/O performance issues from Darshan traces that have been \
+extracted into CSV tables. Ground every conclusion in numbers you compute \
+from the attached data using the code interpreter; think step by step and \
+show your reasoning.";
+
+/// The output format instruction appended to every diagnosis prompt.
+pub const OUTPUT_FORMAT: &str = "Respond in exactly this structure:\n\
+ISSUE: <issue id>\nTITLE: <title>\nDETECTED: yes|no|mitigated\n\
+SEVERITY: high|medium|low|none\nSTEPS:\n<numbered reasoning steps>\n\
+CODE:\n<the analysis programs you ran>\nFINDINGS:\n<- [severity] finding>\n\
+MITIGATIONS:\n<- mitigation, if any>\nNOTES:\n<- note, if any>\n\
+CONCLUSION: <one paragraph>";
+
+/// Build the per-issue diagnosis prompt.
+///
+/// The issue's `MODULES:` mapping filters which table descriptions are
+/// included; `params` appends the per-trace hyper-parameter overrides
+/// *inside* the context region so they override the context defaults.
+#[must_use]
+pub fn build_issue_prompt(
+    context: &IssueContext,
+    tables: &TableSet,
+    params: &SystemParams,
+) -> String {
+    let mut out = String::new();
+    out.push_str(SYSTEM_PREAMBLE);
+    out.push_str("\n\n");
+    out.push_str(CONTEXT_BEGIN);
+    out.push('\n');
+    out.push_str(context.text.trim());
+    out.push('\n');
+    // Per-trace hyper-parameters override the context's defaults.
+    let _ = writeln!(out, "PARAM rpc_size = {}", params.rpc_size);
+    let _ = writeln!(out, "PARAM stripe_size = {}", params.stripe_size);
+    let _ = writeln!(out, "PARAM nprocs = {}", params.nprocs);
+    let _ = writeln!(out, "PARAM runtime = {}", params.runtime_seconds);
+    let _ = writeln!(
+        out,
+        "PARAM has_mpiio = {}",
+        i32::from(tables.get("MPIIO").is_some())
+    );
+    out.push_str(CONTEXT_END);
+    out.push_str("\n\n## Attached data\n");
+    let mapped = context.modules();
+    let mut attached = 0;
+    for module in &mapped {
+        if let Some(table) = tables.get(module) {
+            out.push_str(&describe_table(table));
+            let _ = writeln!(out, "  ({} rows)", table.len());
+            attached += 1;
+        }
+    }
+    if attached == 0 {
+        out.push_str("(none of the modules this issue needs were recorded)\n");
+    }
+    out.push_str("\n## Task\n");
+    out.push_str(
+        "Analyze the attached trace data for this issue. Use the code \
+interpreter to compute the metrics the context describes before concluding. ",
+    );
+    out.push_str(OUTPUT_FORMAT);
+    out.push('\n');
+    out
+}
+
+/// Build the summarization prompt from the per-issue completions.
+#[must_use]
+pub fn build_summary_prompt(diagnosis_texts: &[String]) -> String {
+    let mut out = String::new();
+    out.push_str(SYSTEM_PREAMBLE);
+    out.push('\n');
+    out.push_str(MODE_SUMMARIZE);
+    out.push_str("\n\nCombine the following per-issue diagnoses into a single global summary for the user, ordered by severity:\n\n");
+    for (i, d) in diagnosis_texts.iter().enumerate() {
+        let _ = writeln!(out, "--- diagnosis {} ---", i + 1);
+        out.push_str(d);
+        out.push('\n');
+        // Surface mitigations to the summarizer with an explicit bullet
+        // prefix it groups on.
+        let mut in_mitigations = false;
+        for line in d.lines() {
+            if line.starts_with("MITIGATIONS:") {
+                in_mitigations = true;
+                continue;
+            }
+            if in_mitigations {
+                if let Some(rest) = line.strip_prefix("- ") {
+                    let _ = writeln!(out, "* mitigation: {rest}");
+                } else {
+                    in_mitigations = false;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::builtin_context;
+    use extractor::Table;
+
+    fn tables_with(names: &[&str]) -> TableSet {
+        let mut set = TableSet::default();
+        for n in names {
+            let mut t = Table::new(n, &["file_id", "rank"]);
+            t.push_row(vec![extractor::Value::Int(1), extractor::Value::Int(0)]);
+            set.insert(t);
+        }
+        set
+    }
+
+    #[test]
+    fn prompt_contains_context_markers_and_overrides() {
+        let ctx = builtin_context("small-io").unwrap();
+        let p = build_issue_prompt(
+            &ctx,
+            &tables_with(&["POSIX", "DXT"]),
+            &SystemParams {
+                rpc_size: 8 << 20,
+                stripe_size: 2 << 20,
+                nprocs: 16,
+                ..SystemParams::default()
+            },
+        );
+        assert!(p.contains(CONTEXT_BEGIN));
+        assert!(p.contains(CONTEXT_END));
+        assert!(p.contains("PARAM rpc_size = 8388608"));
+        assert!(p.contains("PARAM nprocs = 16"));
+        assert!(p.contains("PARAM has_mpiio = 0"));
+        // Overrides come after the context body so they win.
+        let default_pos = p.find("ISSUE: small-io").unwrap();
+        let override_pos = p.find("PARAM rpc_size = 8388608").unwrap();
+        assert!(override_pos > default_pos);
+    }
+
+    #[test]
+    fn module_mapping_filters_attached_descriptions() {
+        let ctx = builtin_context("collective-io").unwrap(); // needs MPIIO only
+        let p = build_issue_prompt(
+            &ctx,
+            &tables_with(&["POSIX", "MPIIO"]),
+            &SystemParams::default(),
+        );
+        assert!(p.contains("MPIIO.csv"));
+        assert!(!p.contains("POSIX.csv"));
+        assert!(p.contains("PARAM has_mpiio = 1"));
+    }
+
+    #[test]
+    fn missing_modules_noted() {
+        let ctx = builtin_context("collective-io").unwrap();
+        let p = build_issue_prompt(&ctx, &tables_with(&["POSIX"]), &SystemParams::default());
+        assert!(p.contains("none of the modules"));
+    }
+
+    #[test]
+    fn summary_prompt_carries_mitigation_bullets() {
+        let d = "ISSUE: x\nFINDINGS:\n- [high] bad thing\nMITIGATIONS:\n- but it aggregates\nCONCLUSION: ...".to_owned();
+        let p = build_summary_prompt(&[d]);
+        assert!(p.contains(MODE_SUMMARIZE));
+        assert!(p.contains("* mitigation: but it aggregates"));
+        assert!(p.contains("- [high] bad thing"));
+    }
+}

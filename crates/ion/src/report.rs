@@ -1,0 +1,343 @@
+//! Structured diagnosis reports parsed back from model completions.
+
+use extractor::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Whether an issue was found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Detection {
+    /// The issue is present.
+    Yes,
+    /// The issue is present but mitigating factors reduce its impact.
+    Mitigated,
+    /// The issue is not present.
+    No,
+}
+
+impl fmt::Display for Detection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Detection::Yes => "yes",
+            Detection::Mitigated => "mitigated",
+            Detection::No => "no",
+        })
+    }
+}
+
+/// Severity of a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub enum Severity {
+    /// No finding.
+    #[default]
+    None,
+    /// Informational.
+    Low,
+    /// Worth addressing.
+    Medium,
+    /// Likely dominating I/O performance.
+    High,
+}
+
+impl Severity {
+    /// Parse a severity label.
+    #[must_use]
+    pub fn parse(s: &str) -> Severity {
+        match s.trim() {
+            "high" => Severity::High,
+            "medium" => Severity::Medium,
+            "low" => Severity::Low,
+            _ => Severity::None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::High => "high",
+            Severity::Medium => "medium",
+            Severity::Low => "low",
+            Severity::None => "none",
+        })
+    }
+}
+
+/// One finding inside a diagnosis.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Finding {
+    /// Severity of this finding.
+    pub severity: Severity,
+    /// Finding text (numbers already interpolated).
+    pub text: String,
+}
+
+/// A parsed per-issue diagnosis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Diagnosis {
+    /// Issue identifier.
+    pub issue: String,
+    /// Issue title.
+    pub title: String,
+    /// Detection outcome.
+    pub detection: Option<Detection>,
+    /// Overall severity (max of findings).
+    pub severity: Severity,
+    /// Chain-of-thought steps.
+    pub steps: Vec<String>,
+    /// Generated analysis code.
+    pub code: Vec<String>,
+    /// Findings.
+    pub findings: Vec<Finding>,
+    /// Mitigating factors.
+    pub mitigations: Vec<String>,
+    /// Neutral notes.
+    pub notes: Vec<String>,
+    /// Final conclusion paragraph.
+    pub conclusion: String,
+    /// Metrics computed during the run (from code-interpreter outputs).
+    pub metrics: BTreeMap<String, Value>,
+    /// The raw completion text.
+    pub raw: String,
+}
+
+impl Diagnosis {
+    /// Whether the issue was detected (including mitigated detections).
+    #[must_use]
+    pub fn is_detected(&self) -> bool {
+        matches!(self.detection, Some(Detection::Yes | Detection::Mitigated))
+    }
+
+    /// Parse a completion in the ION output format.
+    #[must_use]
+    pub fn parse(text: &str) -> Diagnosis {
+        #[derive(PartialEq, Clone, Copy)]
+        enum Section {
+            Preamble,
+            Steps,
+            Code,
+            Findings,
+            Mitigations,
+            Notes,
+        }
+        let mut d = Diagnosis {
+            raw: text.to_owned(),
+            ..Diagnosis::default()
+        };
+        let mut section = Section::Preamble;
+        let mut code_block = String::new();
+        for line in text.lines() {
+            let trimmed = line.trim();
+            if let Some(v) = trimmed.strip_prefix("ISSUE:") {
+                d.issue = v.trim().to_owned();
+                continue;
+            }
+            if let Some(v) = trimmed.strip_prefix("TITLE:") {
+                d.title = v.trim().to_owned();
+                continue;
+            }
+            if let Some(v) = trimmed.strip_prefix("DETECTED:") {
+                d.detection = match v.trim() {
+                    "yes" => Some(Detection::Yes),
+                    "mitigated" => Some(Detection::Mitigated),
+                    "no" => Some(Detection::No),
+                    _ => None,
+                };
+                continue;
+            }
+            if let Some(v) = trimmed.strip_prefix("SEVERITY:") {
+                d.severity = Severity::parse(v);
+                continue;
+            }
+            if trimmed == "STEPS:" {
+                section = Section::Steps;
+                continue;
+            }
+            if trimmed == "CODE:" {
+                section = Section::Code;
+                continue;
+            }
+            if trimmed == "FINDINGS:" {
+                if !code_block.trim().is_empty() {
+                    d.code.push(code_block.trim().to_owned());
+                    code_block.clear();
+                }
+                section = Section::Findings;
+                continue;
+            }
+            if trimmed == "MITIGATIONS:" {
+                section = Section::Mitigations;
+                continue;
+            }
+            if trimmed == "NOTES:" {
+                section = Section::Notes;
+                continue;
+            }
+            if let Some(v) = trimmed.strip_prefix("CONCLUSION:") {
+                d.conclusion = v.trim().to_owned();
+                section = Section::Preamble;
+                continue;
+            }
+            match section {
+                Section::Steps => {
+                    // Strip "N. " prefixes.
+                    let step = trimmed
+                        .split_once(". ")
+                        .filter(|(n, _)| n.chars().all(|c| c.is_ascii_digit()))
+                        .map_or(trimmed, |(_, rest)| rest);
+                    if !step.is_empty() {
+                        d.steps.push(step.to_owned());
+                    }
+                }
+                Section::Code => {
+                    if trimmed.starts_with("# ") && !code_block.trim().is_empty() {
+                        d.code.push(code_block.trim().to_owned());
+                        code_block.clear();
+                    }
+                    code_block.push_str(line);
+                    code_block.push('\n');
+                }
+                Section::Findings => {
+                    if let Some(rest) = trimmed.strip_prefix("- ") {
+                        if rest == "none" {
+                            continue;
+                        }
+                        let (sev, text) = if let Some(r) = rest.strip_prefix('[') {
+                            match r.split_once("] ") {
+                                Some((s, t)) => (Severity::parse(s), t.to_owned()),
+                                None => (Severity::Medium, rest.to_owned()),
+                            }
+                        } else {
+                            (Severity::Medium, rest.to_owned())
+                        };
+                        d.findings.push(Finding {
+                            severity: sev,
+                            text,
+                        });
+                    }
+                }
+                Section::Mitigations => {
+                    if let Some(rest) = trimmed.strip_prefix("- ") {
+                        d.mitigations.push(rest.to_owned());
+                    }
+                }
+                Section::Notes => {
+                    if let Some(rest) = trimmed.strip_prefix("- ") {
+                        d.notes.push(rest.to_owned());
+                    }
+                }
+                Section::Preamble => {}
+            }
+        }
+        if !code_block.trim().is_empty() {
+            d.code.push(code_block.trim().to_owned());
+        }
+        d
+    }
+
+    /// One-line rendering for tables and experiment output.
+    #[must_use]
+    pub fn one_line(&self) -> String {
+        let det = self
+            .detection
+            .map_or_else(|| "?".to_owned(), |d| d.to_string());
+        format!(
+            "{:<24} detected={:<9} severity={:<6} findings={}",
+            self.issue,
+            det,
+            self.severity.to_string(),
+            self.findings.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+ISSUE: small-io
+TITLE: Small I/O operations
+DETECTED: mitigated
+SEVERITY: high
+STEPS:
+1. Considered: small requests underutilize RPCs
+2. Ran analysis `op_stats`; observed small_pct = 98.78.
+3. Checked `small_pct > 50` → holds
+CODE:
+# op_stats
+LOAD DXT
+AGG n = count()
+EMIT n
+FINDINGS:
+- [high] 98.78% of operations are small
+MITIGATIONS:
+- most are consecutive and aggregatable
+NOTES:
+- trace covers 703226 operations
+CONCLUSION: Small operations dominate but aggregation mitigates them.
+";
+
+    #[test]
+    fn parses_all_sections() {
+        let d = Diagnosis::parse(SAMPLE);
+        assert_eq!(d.issue, "small-io");
+        assert_eq!(d.title, "Small I/O operations");
+        assert_eq!(d.detection, Some(Detection::Mitigated));
+        assert_eq!(d.severity, Severity::High);
+        assert_eq!(d.steps.len(), 3);
+        assert_eq!(d.steps[0], "Considered: small requests underutilize RPCs");
+        assert_eq!(d.code.len(), 1);
+        assert!(d.code[0].contains("LOAD DXT"));
+        assert_eq!(d.findings.len(), 1);
+        assert_eq!(d.findings[0].severity, Severity::High);
+        assert_eq!(d.mitigations.len(), 1);
+        assert_eq!(d.notes.len(), 1);
+        assert!(d.conclusion.contains("aggregation mitigates"));
+        assert!(d.is_detected());
+    }
+
+    #[test]
+    fn parses_no_detection() {
+        let text = "ISSUE: x\nTITLE: X\nDETECTED: no\nSEVERITY: none\nFINDINGS:\n- none\nCONCLUSION: clean.\n";
+        let d = Diagnosis::parse(text);
+        assert_eq!(d.detection, Some(Detection::No));
+        assert!(!d.is_detected());
+        assert!(d.findings.is_empty());
+        assert_eq!(d.severity, Severity::None);
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::High > Severity::Medium);
+        assert!(Severity::Medium > Severity::Low);
+        assert!(Severity::Low > Severity::None);
+    }
+
+    #[test]
+    fn severity_parse_round_trip() {
+        for s in [Severity::High, Severity::Medium, Severity::Low, Severity::None] {
+            assert_eq!(Severity::parse(&s.to_string()), s);
+        }
+        assert_eq!(Severity::parse("bogus"), Severity::None);
+    }
+
+    #[test]
+    fn multiple_code_blocks_split_on_comment_headers() {
+        let text = "CODE:\n# first\nLOAD A\n# second\nLOAD B\nFINDINGS:\n- none\n";
+        let d = Diagnosis::parse(text);
+        assert_eq!(d.code.len(), 2);
+        assert!(d.code[0].contains("LOAD A"));
+        assert!(d.code[1].contains("LOAD B"));
+    }
+
+    #[test]
+    fn one_line_contains_key_fields() {
+        let d = Diagnosis::parse(SAMPLE);
+        let line = d.one_line();
+        assert!(line.contains("small-io"));
+        assert!(line.contains("mitigated"));
+        assert!(line.contains("high"));
+    }
+}

@@ -1,0 +1,276 @@
+//! Retrieval-based context selection (the paper's RAG direction).
+//!
+//! ION's divide-and-conquer analyzer runs one model query per issue
+//! context. The paper's planned alternative is retrieval-augmented
+//! generation: select only the contexts relevant to a given trace, cutting
+//! cost for interactive use. This module implements that selection as
+//! classic lexical retrieval: the trace is summarized into a cheap
+//! *profile document* (modules present, coarse op statistics rendered as
+//! descriptive terms), contexts are scored against it with a TF-IDF-style
+//! cosine overlap over their prose knowledge, and the analyzer keeps the
+//! top-k.
+
+use crate::context::IssueContext;
+use extractor::{TableSet, Value};
+use std::collections::{HashMap, HashSet};
+
+/// A scored context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedContext {
+    /// Context id.
+    pub id: &'static str,
+    /// Retrieval score (higher = more relevant).
+    pub score: f64,
+}
+
+fn tokenize(text: &str) -> Vec<String> {
+    text.to_ascii_lowercase()
+        .split(|c: char| !c.is_ascii_alphanumeric() && c != '-' && c != '_')
+        .filter(|t| t.len() > 2)
+        .map(ToOwned::to_owned)
+        .collect()
+}
+
+fn sum_col(tables: &TableSet, table: &str, col: &str) -> f64 {
+    tables
+        .get(table)
+        .and_then(|t| t.column_values(col))
+        .map(|vals| vals.filter_map(Value::as_f64).sum())
+        .unwrap_or(0.0)
+}
+
+/// Build the trace profile document: a textual description of what the
+/// trace *contains*, in the vocabulary I/O experts (and the contexts) use.
+#[must_use]
+pub fn trace_profile(tables: &TableSet) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for name in tables.names() {
+        parts.push(format!("module {name} recorded"));
+    }
+    let reads = sum_col(tables, "POSIX", "POSIX_READS");
+    let writes = sum_col(tables, "POSIX", "POSIX_WRITES");
+    let ops = reads + writes;
+    if ops > 0.0 {
+        parts.push(format!("{ops:.0} posix read write operations"));
+        let unaligned = sum_col(tables, "POSIX", "POSIX_FILE_NOT_ALIGNED");
+        if unaligned / ops > 0.1 {
+            parts.push("many misaligned file offsets stripe boundary alignment".into());
+        }
+        let seq = sum_col(tables, "POSIX", "POSIX_SEQ_READS")
+            + sum_col(tables, "POSIX", "POSIX_SEQ_WRITES");
+        if seq / ops > 0.7 {
+            parts.push("mostly sequential consecutive streaming access".into());
+        } else if ops >= 20.0 {
+            parts.push("random scattered non-sequential access offsets".into());
+        }
+        let small = ["0_100", "100_1K", "1K_10K", "10K_100K", "100K_1M"]
+            .iter()
+            .map(|bin| {
+                sum_col(tables, "POSIX", &format!("POSIX_SIZE_READ_{bin}"))
+                    + sum_col(tables, "POSIX", &format!("POSIX_SIZE_WRITE_{bin}"))
+            })
+            .sum::<f64>();
+        if small / ops > 0.5 {
+            parts.push("many small requests transfer sizes below megabyte rpc".into());
+        }
+        let opens = sum_col(tables, "POSIX", "POSIX_OPENS");
+        let stats = sum_col(tables, "POSIX", "POSIX_STATS");
+        if opens + stats > ops * 0.2 {
+            parts.push("heavy metadata open stat close traffic many files servers".into());
+        }
+        // Per-rank byte spread.
+        if let Some(t) = tables.get("POSIX") {
+            let mut per_rank: HashMap<i64, f64> = HashMap::new();
+            let (Some(ri), Some(bi), Some(wi)) = (
+                t.column_index("rank"),
+                t.column_index("POSIX_BYTES_READ"),
+                t.column_index("POSIX_BYTES_WRITTEN"),
+            ) else {
+                return parts.join(". ");
+            };
+            for row in t.rows() {
+                let rank = row[ri].as_i64().unwrap_or(-1);
+                if rank >= 0 {
+                    *per_rank.entry(rank).or_insert(0.0) +=
+                        row[bi].as_f64().unwrap_or(0.0) + row[wi].as_f64().unwrap_or(0.0);
+                }
+            }
+            if per_rank.len() > 1 {
+                parts.push("multiple ranks performing parallel io".into());
+                let max = per_rank.values().copied().fold(0.0f64, f64::max);
+                let mean = per_rank.values().sum::<f64>() / per_rank.len() as f64;
+                if max > 0.0 && (max - mean) / max > 0.3 {
+                    parts.push(
+                        "imbalance skew one rank doing much more work volume stragglers".into(),
+                    );
+                }
+            }
+        }
+    }
+    if tables.get("MPIIO").is_some() {
+        let coll = sum_col(tables, "MPIIO", "MPIIO_COLL_READS")
+            + sum_col(tables, "MPIIO", "MPIIO_COLL_WRITES");
+        let indep = sum_col(tables, "MPIIO", "MPIIO_INDEP_READS")
+            + sum_col(tables, "MPIIO", "MPIIO_INDEP_WRITES");
+        if indep > 0.0 && coll == 0.0 {
+            parts.push("mpi-io independent operations without collective buffering".into());
+        } else if coll > 0.0 {
+            parts.push("mpi-io collective operations two-phase aggregation".into());
+        }
+    } else if ops > 0.0 {
+        parts.push("posix only no mpi-io library interface usage".into());
+    }
+    if tables.get("DXT").is_some() {
+        parts.push("fine-grained dxt trace offsets lengths timestamps stripe overlap".into());
+    }
+    if tables.get("HEATMAP").is_some() {
+        parts.push("temporal heatmap time bins bursts phases checkpoint volume".into());
+    }
+    parts.join(". ")
+}
+
+/// Score contexts against a trace profile by TF-IDF-weighted term overlap.
+#[must_use]
+pub fn rank_contexts(contexts: &[IssueContext], tables: &TableSet) -> Vec<RankedContext> {
+    let profile_terms: HashSet<String> = tokenize(&trace_profile(tables)).into_iter().collect();
+    // Document frequency over the context corpus.
+    let docs: Vec<(usize, HashSet<String>)> = contexts
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let spec = c.spec();
+            let mut text = spec.title.clone();
+            for k in &spec.knowledge {
+                text.push(' ');
+                text.push_str(&k.text);
+            }
+            (i, tokenize(&text).into_iter().collect())
+        })
+        .collect();
+    let mut df: HashMap<&String, usize> = HashMap::new();
+    for (_, terms) in &docs {
+        for t in terms {
+            *df.entry(t).or_insert(0) += 1;
+        }
+    }
+    let n_docs = contexts.len().max(1) as f64;
+    let mut ranked: Vec<RankedContext> = docs
+        .iter()
+        .map(|(i, terms)| {
+            // Sum matched terms in sorted order: float addition is not
+            // associative and HashSet iteration order varies per process.
+            let mut matched: Vec<&String> =
+                terms.iter().filter(|t| profile_terms.contains(*t)).collect();
+            matched.sort();
+            let score: f64 = matched
+                .iter()
+                .map(|t| (n_docs / *df.get(*t).unwrap_or(&1) as f64).ln() + 1.0)
+                .sum();
+            RankedContext {
+                id: contexts[*i].id,
+                score,
+            }
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.id.cmp(b.id))
+    });
+    ranked
+}
+
+/// Keep the `k` most relevant contexts for this trace.
+#[must_use]
+pub fn select_contexts(contexts: Vec<IssueContext>, tables: &TableSet, k: usize) -> Vec<IssueContext> {
+    let ranking = rank_contexts(&contexts, tables);
+    let keep: HashSet<&str> = ranking.iter().take(k).map(|r| r.id).collect();
+    contexts.into_iter().filter(|c| keep.contains(c.id)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::builtin_contexts;
+    use extractor::extract_tables;
+    use iosim::{SimConfig, Simulation};
+
+    fn small_seq_trace() -> TableSet {
+        let mut sim = Simulation::new(SimConfig::default().with_ranks(4));
+        let f = sim.posix_open_all("/f").unwrap();
+        for i in 0..64u64 {
+            for r in 0..4u32 {
+                sim.posix_write(r, f, u64::from(r) * (1 << 20) + i * 2048, 2048)
+                    .unwrap();
+            }
+        }
+        extract_tables(&sim.finish())
+    }
+
+    fn metadata_trace() -> TableSet {
+        let mut sim = Simulation::new(SimConfig::default().with_ranks(2));
+        for i in 0..64u64 {
+            let path = format!("/meta/file{i}");
+            let h = sim.posix_open(0, &path).unwrap();
+            sim.posix_write(0, h, 0, 64).unwrap();
+            sim.posix_close(0, h).unwrap();
+            sim.posix_stat(1, &path).unwrap();
+        }
+        extract_tables(&sim.finish())
+    }
+
+    #[test]
+    fn profile_mentions_key_properties() {
+        let p = trace_profile(&small_seq_trace());
+        assert!(p.contains("small"), "{p}");
+        assert!(p.contains("sequential"), "{p}");
+        assert!(p.contains("no mpi-io"), "{p}");
+    }
+
+    #[test]
+    fn small_io_ranks_high_on_small_sequential_trace() {
+        let ranking = rank_contexts(&builtin_contexts(), &small_seq_trace());
+        let pos = ranking.iter().position(|r| r.id == "small-io").unwrap();
+        assert!(pos < 4, "small-io ranked {pos}: {ranking:?}");
+    }
+
+    #[test]
+    fn metadata_ranks_high_on_metadata_trace() {
+        let ranking = rank_contexts(&builtin_contexts(), &metadata_trace());
+        let pos = ranking.iter().position(|r| r.id == "metadata-load").unwrap();
+        let small_pos = ranking.iter().position(|r| r.id == "small-io").unwrap();
+        assert!(pos < 5, "metadata-load ranked {pos}: {ranking:?}");
+        // Both workloads have small ops, but the metadata trace should rank
+        // metadata-load better than the streaming trace does.
+        let streaming_ranking = rank_contexts(&builtin_contexts(), &small_seq_trace());
+        let streaming_pos = streaming_ranking
+            .iter()
+            .position(|r| r.id == "metadata-load")
+            .unwrap();
+        assert!(pos <= streaming_pos, "{pos} vs {streaming_pos}");
+        let _ = small_pos;
+    }
+
+    #[test]
+    fn select_keeps_top_k() {
+        let tables = small_seq_trace();
+        let selected = select_contexts(builtin_contexts(), &tables, 3);
+        assert_eq!(selected.len(), 3);
+        assert!(selected.iter().any(|c| c.id == "small-io"));
+    }
+
+    #[test]
+    fn empty_tables_rank_all_without_panicking() {
+        let ranking = rank_contexts(&builtin_contexts(), &TableSet::default());
+        assert_eq!(ranking.len(), builtin_contexts().len());
+    }
+
+    #[test]
+    fn scores_deterministic() {
+        let tables = small_seq_trace();
+        let a = rank_contexts(&builtin_contexts(), &tables);
+        let b = rank_contexts(&builtin_contexts(), &tables);
+        assert_eq!(a, b);
+    }
+}

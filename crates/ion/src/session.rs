@@ -1,0 +1,98 @@
+//! The interactive Q&A session exposed after analysis.
+
+use crate::report::Diagnosis;
+use ion_llm::qa::{AnalysisRecord, QaSession};
+
+/// Interactive follow-up interface over a finished analysis — the message
+/// window of the paper's front-end, where users "ask direct questions about
+/// any analysis, reasoning, or result".
+#[derive(Debug, Clone)]
+pub struct InteractiveSession {
+    inner: QaSession,
+}
+
+impl InteractiveSession {
+    /// Build a session from the per-issue diagnoses and global summary.
+    #[must_use]
+    pub fn new(diagnoses: &[Diagnosis], summary: &str) -> Self {
+        let records = diagnoses
+            .iter()
+            .map(|d| AnalysisRecord {
+                issue: d.issue.clone(),
+                title: d.title.clone(),
+                metrics: d.metrics.clone(),
+                steps: d.steps.clone(),
+                code: d.code.clone(),
+                findings: d
+                    .findings
+                    .iter()
+                    .map(|f| (f.severity.to_string(), f.text.clone()))
+                    .collect(),
+                mitigations: d.mitigations.clone(),
+                conclusion: d.conclusion.clone(),
+            })
+            .collect();
+        InteractiveSession {
+            inner: QaSession::new(records, summary.to_owned()),
+        }
+    }
+
+    /// Ask a question about the analysis.
+    pub fn ask(&mut self, question: &str) -> String {
+        self.inner.ask(question)
+    }
+
+    /// Conversation history so far.
+    #[must_use]
+    pub fn history(&self) -> &[(String, String)] {
+        self.inner.history()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{Detection, Finding, Severity};
+
+    fn diagnosis() -> Diagnosis {
+        let mut d = Diagnosis {
+            issue: "misaligned-io".into(),
+            title: "Misaligned I/O".into(),
+            detection: Some(Detection::Yes),
+            severity: Severity::High,
+            steps: vec!["Checked alignment counters".into()],
+            code: vec!["LOAD POSIX\nAGG u = sum(POSIX_FILE_NOT_ALIGNED)\nEMIT u".into()],
+            findings: vec![Finding {
+                severity: Severity::High,
+                text: "99.8% of operations misaligned".into(),
+            }],
+            conclusion: "Pervasive misalignment.".into(),
+            ..Diagnosis::default()
+        };
+        d.metrics
+            .insert("file_misaligned_pct".into(), extractor::Value::Float(99.8));
+        d
+    }
+
+    #[test]
+    fn session_answers_about_diagnosis() {
+        let mut s = InteractiveSession::new(&[diagnosis()], "summary text");
+        let a = s.ask("tell me about the misaligned io issue");
+        assert!(a.contains("Pervasive misalignment"));
+        assert_eq!(s.history().len(), 1);
+    }
+
+    #[test]
+    fn session_surfaces_metrics() {
+        let mut s = InteractiveSession::new(&[diagnosis()], "summary text");
+        let a = s.ask("what file_misaligned_pct did you compute?");
+        assert!(a.contains("99.8"));
+    }
+
+    #[test]
+    fn session_returns_code_on_request() {
+        let mut s = InteractiveSession::new(&[diagnosis()], "summary text");
+        let a = s.ask("show the code behind the misaligned analysis");
+        assert!(a.contains("LOAD POSIX"));
+    }
+}

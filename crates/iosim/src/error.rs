@@ -1,0 +1,87 @@
+//! Simulator error type.
+
+use std::fmt;
+
+/// Errors returned by simulator operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// An operation referenced a file handle that is not open.
+    BadHandle {
+        /// The offending handle value.
+        handle: u64,
+    },
+    /// An operation referenced a rank outside the job.
+    BadRank {
+        /// The offending rank.
+        rank: u32,
+        /// Number of ranks in the job.
+        nprocs: u32,
+    },
+    /// A path was opened that was never created and creation was not requested.
+    NoSuchFile {
+        /// The path requested.
+        path: String,
+    },
+    /// A read extended past the end of file.
+    ReadPastEof {
+        /// Requested offset.
+        offset: u64,
+        /// Requested length.
+        length: u64,
+        /// Current file size.
+        size: u64,
+    },
+    /// The rank attempted I/O on a file it has not opened.
+    NotOpenOnRank {
+        /// The rank that issued the operation.
+        rank: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BadHandle { handle } => write!(f, "file handle {handle} is not open"),
+            SimError::BadRank { rank, nprocs } => {
+                write!(f, "rank {rank} outside job of {nprocs} processes")
+            }
+            SimError::NoSuchFile { path } => write!(f, "no such file: {path}"),
+            SimError::ReadPastEof {
+                offset,
+                length,
+                size,
+            } => write!(
+                f,
+                "read of {length} bytes at offset {offset} past end of {size}-byte file"
+            ),
+            SimError::NotOpenOnRank { rank } => {
+                write!(f, "file not open on rank {rank}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            SimError::BadHandle { handle: 3 },
+            SimError::BadRank { rank: 9, nprocs: 4 },
+            SimError::NoSuchFile { path: "/x".into() },
+            SimError::ReadPastEof {
+                offset: 10,
+                length: 5,
+                size: 2,
+            },
+            SimError::NotOpenOnRank { rank: 2 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

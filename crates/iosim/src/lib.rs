@@ -1,0 +1,60 @@
+//! Discrete-event parallel I/O stack simulator with Darshan instrumentation.
+//!
+//! The ION paper evaluates on traces captured from real runs on a Lustre
+//! file system. This crate stands in for that testbed: it simulates a
+//! Lustre-like parallel file system (object storage targets, striping,
+//! RPC-sized transfers, an extent lock manager and a metadata server), the
+//! POSIX and MPI-IO client layers above it, and a cost model that assigns
+//! durations to every operation. A [`darshan`]-compatible instrumentation
+//! shim observes every call and produces logs indistinguishable in structure
+//! from real Darshan output.
+//!
+//! The simulator is *deterministic*: the same workload always yields the
+//! same trace, byte for byte — which is what makes the paper's experiments
+//! reproducible as tests.
+//!
+//! # Architecture
+//!
+//! ```text
+//! workload ──► MpiIoLayer ──► PosixLayer ──► FileSystem ──► Ost / Mds / locks
+//!                  │               │              │
+//!                  └───────────────┴──────────────┴──► DarshanShim ──► Log
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use iosim::{Simulation, SimConfig};
+//!
+//! # fn main() -> Result<(), iosim::SimError> {
+//! let mut sim = Simulation::new(SimConfig::default().with_ranks(4));
+//! let f = sim.posix_open_all("/scratch/out.dat")?;
+//! for rank in 0..4 {
+//!     sim.posix_write(rank, f, rank as u64 * 1024, 1024)?;
+//! }
+//! sim.posix_close_all(f);
+//! let log = sim.finish();
+//! assert_eq!(log.posix.len(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod engine;
+pub mod error;
+pub mod instrument;
+pub mod lock;
+pub mod mds;
+pub mod mpiio;
+pub mod ost;
+pub mod pfs;
+pub mod topology;
+
+pub use cost::CostModel;
+pub use engine::{SimConfig, Simulation};
+pub use error::SimError;
+pub use pfs::{FileHandle, FileSystem, StripeLayout};
+pub use topology::Topology;

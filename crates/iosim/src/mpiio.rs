@@ -1,0 +1,212 @@
+//! MPI-IO collective buffering (two-phase I/O) planning.
+//!
+//! ROMIO's collective write path works in two phases: ranks exchange their
+//! pieces over the network so that a small set of *aggregator* ranks each
+//! owns a large contiguous file region, and the aggregators then issue
+//! large, aligned writes. This module contains the pure planning logic —
+//! request merging and aggregator assignment — which the engine executes
+//! against the file system.
+
+use serde::{Deserialize, Serialize};
+
+/// One rank's contribution to a collective operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollectiveRequest {
+    /// Issuing rank.
+    pub rank: u32,
+    /// File offset.
+    pub offset: u64,
+    /// Length in bytes.
+    pub length: u64,
+}
+
+/// A contiguous file region assigned to one aggregator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AggregatorAssignment {
+    /// Rank acting as aggregator for this region.
+    pub aggregator: u32,
+    /// Region offset.
+    pub offset: u64,
+    /// Region length.
+    pub length: u64,
+}
+
+/// The plan for one collective operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollectivePlan {
+    /// Large contiguous accesses the aggregators will issue.
+    pub assignments: Vec<AggregatorAssignment>,
+    /// Bytes shuffled between ranks in the exchange phase.
+    pub exchange_bytes: u64,
+    /// Total bytes moved to/from the file system.
+    pub file_bytes: u64,
+}
+
+/// Merge overlapping/adjacent extents, returning disjoint sorted extents.
+fn merge_extents(mut extents: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    extents.sort_unstable();
+    let mut merged: Vec<(u64, u64)> = Vec::with_capacity(extents.len());
+    for (off, len) in extents {
+        if len == 0 {
+            continue;
+        }
+        match merged.last_mut() {
+            Some((moff, mlen)) if off <= *moff + *mlen => {
+                let end = (off + len).max(*moff + *mlen);
+                *mlen = end - *moff;
+            }
+            _ => merged.push((off, len)),
+        }
+    }
+    merged
+}
+
+impl CollectivePlan {
+    /// Build the two-phase plan for a set of per-rank requests.
+    ///
+    /// `cb_nodes` is the number of aggregators (ROMIO `cb_nodes` hint);
+    /// aggregators are the lowest-ranked participant of each stride.
+    /// `stripe_size` aligns aggregator file domains to stripe boundaries so
+    /// aggregated accesses are lock- and RPC-friendly.
+    #[must_use]
+    pub fn plan(requests: &[CollectiveRequest], cb_nodes: u32, stripe_size: u64) -> CollectivePlan {
+        let cb = cb_nodes.max(1);
+        let merged = merge_extents(requests.iter().map(|r| (r.offset, r.length)).collect());
+        let file_bytes: u64 = merged.iter().map(|(_, l)| l).sum();
+        // Exchange phase: every byte that ends up on an aggregator different
+        // from its producer crosses the network. With uniformly distributed
+        // data and `cb` aggregators out of `n` ranks, (n - cb)/n of bytes
+        // move; we charge all bytes conservatively, minus what the
+        // aggregators themselves produced.
+        let mut ranks: Vec<u32> = requests.iter().map(|r| r.rank).collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        let aggregators: Vec<u32> = ranks
+            .iter()
+            .copied()
+            .step_by((ranks.len() / cb as usize).max(1))
+            .take(cb as usize)
+            .collect();
+        let produced_by_aggregators: u64 = requests
+            .iter()
+            .filter(|r| aggregators.contains(&r.rank))
+            .map(|r| r.length)
+            .sum();
+        let total_produced: u64 = requests.iter().map(|r| r.length).sum();
+        let exchange_bytes = total_produced.saturating_sub(produced_by_aggregators);
+
+        // File phase: ROMIO divides each merged extent into `cb` contiguous
+        // file domains, snapped to stripe boundaries, one per aggregator —
+        // so each aggregator issues one large (multi-stripe) access.
+        let stripe = stripe_size.max(1);
+        let mut assignments = Vec::new();
+        let mut agg_cursor = 0usize;
+        for (off, len) in merged {
+            let end = off + len;
+            let domain = (len / u64::from(cb)).max(1).div_ceil(stripe) * stripe;
+            let mut cur = off;
+            while cur < end {
+                // Snap the domain end to the stripe grid so aggregated
+                // accesses stay lock- and RPC-friendly.
+                let snapped = ((cur + domain) / stripe) * stripe;
+                let chunk_end = if snapped > cur { snapped.min(end) } else { end };
+                assignments.push(AggregatorAssignment {
+                    aggregator: aggregators[agg_cursor % aggregators.len()],
+                    offset: cur,
+                    length: chunk_end - cur,
+                });
+                agg_cursor += 1;
+                cur = chunk_end;
+            }
+        }
+        CollectivePlan {
+            assignments,
+            exchange_bytes,
+            file_bytes,
+        }
+    }
+
+    /// Whether the plan degenerates to one access per request (no benefit).
+    #[must_use]
+    pub fn is_degenerate(&self, request_count: usize) -> bool {
+        self.assignments.len() >= request_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reqs(n: u32, size: u64) -> Vec<CollectiveRequest> {
+        (0..n)
+            .map(|rank| CollectiveRequest {
+                rank,
+                offset: u64::from(rank) * size,
+                length: size,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merge_extents_merges_adjacent_and_overlapping() {
+        assert_eq!(
+            merge_extents(vec![(0, 10), (10, 10), (30, 5)]),
+            vec![(0, 20), (30, 5)]
+        );
+        assert_eq!(merge_extents(vec![(5, 10), (0, 10)]), vec![(0, 15)]);
+        assert_eq!(merge_extents(vec![(0, 0), (1, 0)]), vec![]);
+    }
+
+    #[test]
+    fn contiguous_requests_collapse_to_few_large_accesses() {
+        // 16 ranks each writing 64 KiB contiguously = 1 MiB total.
+        let plan = CollectivePlan::plan(&reqs(16, 64 << 10), 2, 1 << 20);
+        assert_eq!(plan.file_bytes, 1 << 20);
+        // One merged extent of exactly one stripe → 1 access.
+        assert_eq!(plan.assignments.len(), 1);
+        assert!(!plan.is_degenerate(16));
+    }
+
+    #[test]
+    fn plan_covers_every_byte_exactly_once() {
+        let plan = CollectivePlan::plan(&reqs(8, 300_000), 3, 1 << 20);
+        let covered: u64 = plan.assignments.iter().map(|a| a.length).sum();
+        assert_eq!(covered, plan.file_bytes);
+        // Assignments are disjoint and sorted.
+        for w in plan.assignments.windows(2) {
+            assert!(w[0].offset + w[0].length <= w[1].offset);
+        }
+    }
+
+    #[test]
+    fn exchange_bytes_exclude_aggregator_local_data() {
+        let plan = CollectivePlan::plan(&reqs(4, 100), 4, 1 << 20);
+        // Every rank is an aggregator: nothing crosses the network.
+        assert_eq!(plan.exchange_bytes, 0);
+        let plan2 = CollectivePlan::plan(&reqs(4, 100), 1, 1 << 20);
+        // One aggregator: 3 of 4 ranks ship their data.
+        assert_eq!(plan2.exchange_bytes, 300);
+    }
+
+    #[test]
+    fn domains_align_to_stripe_boundaries() {
+        let stripe = 1 << 20;
+        let plan = CollectivePlan::plan(&reqs(8, 512 << 10), 2, stripe);
+        for a in &plan.assignments {
+            // Every domain except possibly the last ends on a stripe boundary.
+            let end = a.offset + a.length;
+            assert!(
+                end % stripe == 0 || end == plan.file_bytes,
+                "domain end {end} not stripe-aligned"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_request_set_yields_empty_plan() {
+        let plan = CollectivePlan::plan(&[], 4, 1 << 20);
+        assert!(plan.assignments.is_empty());
+        assert_eq!(plan.file_bytes, 0);
+        assert_eq!(plan.exchange_bytes, 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Object storage target: service queue and accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// One object storage target. Requests are serviced first-come-first-served
+/// on a single virtual channel; a request arriving while the target is busy
+/// queues behind it, which is how OST contention manifests as latency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ost {
+    /// Virtual time until which the target is busy.
+    busy_until: f64,
+    /// Latest arrival seen, for out-of-order detection.
+    last_arrival: f64,
+    /// Service-time multiplier (> 1.0 = degraded target, fault injection).
+    slowdown: f64,
+    /// Total bytes written to this target.
+    pub bytes_written: u64,
+    /// Total bytes read from this target.
+    pub bytes_read: u64,
+    /// Number of RPCs serviced.
+    pub rpcs: u64,
+    /// Accumulated queueing delay imposed on clients, seconds.
+    pub queue_delay: f64,
+}
+
+impl Default for Ost {
+    fn default() -> Self {
+        Ost {
+            busy_until: 0.0,
+            last_arrival: 0.0,
+            slowdown: 1.0,
+            bytes_written: 0,
+            bytes_read: 0,
+            rpcs: 0,
+            queue_delay: 0.0,
+        }
+    }
+}
+
+impl Ost {
+    /// Create an idle target.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Degrade (or restore) this target: service times are multiplied by
+    /// `factor`. Models a failing disk, a rebuilding RAID group, or an
+    /// overloaded server — the classic cause of stragglers.
+    pub fn set_slowdown(&mut self, factor: f64) {
+        self.slowdown = factor.max(0.01);
+    }
+
+    /// Current service-time multiplier.
+    #[must_use]
+    pub fn slowdown(&self) -> f64 {
+        self.slowdown
+    }
+
+    /// Service a request arriving at `arrival` with the given `service_time`.
+    ///
+    /// Returns the completion time. The request waits for the channel if the
+    /// target is busy (FCFS); degraded targets stretch the service time by
+    /// their slowdown factor.
+    ///
+    /// The engine drives ranks round-robin, so requests can reach the
+    /// server out of virtual-time order: a request that *precedes* (in
+    /// virtual time) everything the server has scheduled is served at its
+    /// own arrival — the server was provably idle then — rather than
+    /// queueing behind the future.
+    pub fn service(&mut self, arrival: f64, service_time: f64) -> f64 {
+        self.rpcs += 1;
+        if arrival < self.last_arrival {
+            return arrival + service_time * self.slowdown;
+        }
+        self.last_arrival = arrival;
+        let start = arrival.max(self.busy_until);
+        self.queue_delay += start - arrival;
+        let end = start + service_time * self.slowdown;
+        self.busy_until = end;
+        end
+    }
+
+    /// Account bytes moved by a serviced request.
+    pub fn account(&mut self, read_bytes: u64, written_bytes: u64) {
+        self.bytes_read += read_bytes;
+        self.bytes_written += written_bytes;
+    }
+
+    /// Virtual time at which the target becomes idle.
+    #[must_use]
+    pub fn busy_until(&self) -> f64 {
+        self.busy_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_target_services_immediately() {
+        let mut o = Ost::new();
+        let end = o.service(5.0, 1.0);
+        assert_eq!(end, 6.0);
+        assert_eq!(o.queue_delay, 0.0);
+    }
+
+    #[test]
+    fn busy_target_queues_requests() {
+        let mut o = Ost::new();
+        o.service(0.0, 2.0); // busy until 2.0
+        let end = o.service(1.0, 1.0); // arrives at 1.0, waits 1.0
+        assert_eq!(end, 3.0);
+        assert_eq!(o.queue_delay, 1.0);
+        assert_eq!(o.rpcs, 2);
+    }
+
+    #[test]
+    fn late_arrival_does_not_wait() {
+        let mut o = Ost::new();
+        o.service(0.0, 1.0);
+        let end = o.service(10.0, 0.5);
+        assert_eq!(end, 10.5);
+        assert_eq!(o.queue_delay, 0.0);
+    }
+
+    #[test]
+    fn slowdown_stretches_service_time() {
+        let mut o = Ost::new();
+        o.set_slowdown(4.0);
+        let end = o.service(0.0, 1.0);
+        assert_eq!(end, 4.0);
+        o.set_slowdown(1.0);
+        let end = o.service(10.0, 1.0);
+        assert_eq!(end, 11.0);
+    }
+
+    #[test]
+    fn slowdown_clamped_positive() {
+        let mut o = Ost::new();
+        o.set_slowdown(-5.0);
+        assert!(o.slowdown() > 0.0);
+    }
+
+    #[test]
+    fn accounting_accumulates() {
+        let mut o = Ost::new();
+        o.account(100, 0);
+        o.account(0, 50);
+        assert_eq!(o.bytes_read, 100);
+        assert_eq!(o.bytes_written, 50);
+    }
+}

@@ -1,0 +1,98 @@
+//! Cluster topology: ranks, nodes and storage targets.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of the simulated cluster.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Number of MPI ranks in the job.
+    pub nprocs: u32,
+    /// Ranks packed per compute node.
+    pub ranks_per_node: u32,
+    /// Number of object storage targets.
+    pub ost_count: u32,
+    /// Number of metadata servers (kept at 1; Lustre DNE is out of scope).
+    pub mds_count: u32,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology {
+            nprocs: 4,
+            ranks_per_node: 4,
+            ost_count: 8,
+            mds_count: 1,
+        }
+    }
+}
+
+impl Topology {
+    /// Compute node index hosting `rank`.
+    #[must_use]
+    pub fn node_of(&self, rank: u32) -> u32 {
+        rank / self.ranks_per_node.max(1)
+    }
+
+    /// Hostname of the node hosting `rank`, `nid00042`-style.
+    #[must_use]
+    pub fn hostname_of(&self, rank: u32) -> String {
+        format!("nid{:05}", self.node_of(rank))
+    }
+
+    /// Number of compute nodes in the job.
+    #[must_use]
+    pub fn node_count(&self) -> u32 {
+        self.nprocs.div_ceil(self.ranks_per_node.max(1))
+    }
+
+    /// Whether two ranks share a node (relevant for aggregation locality).
+    #[must_use]
+    pub fn colocated(&self, a: u32, b: u32) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_mapping_packs_ranks() {
+        let t = Topology {
+            nprocs: 10,
+            ranks_per_node: 4,
+            ost_count: 4,
+            mds_count: 1,
+        };
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(3), 0);
+        assert_eq!(t.node_of(4), 1);
+        assert_eq!(t.node_count(), 3);
+        assert!(t.colocated(0, 3));
+        assert!(!t.colocated(3, 4));
+    }
+
+    #[test]
+    fn hostnames_are_stable_and_distinct_per_node() {
+        let t = Topology::default();
+        assert_eq!(t.hostname_of(0), "nid00000");
+        assert_eq!(t.hostname_of(0), t.hostname_of(3));
+        let t2 = Topology {
+            ranks_per_node: 1,
+            ..Topology::default()
+        };
+        assert_ne!(t2.hostname_of(0), t2.hostname_of(1));
+    }
+
+    #[test]
+    fn zero_ranks_per_node_does_not_panic() {
+        let t = Topology {
+            nprocs: 4,
+            ranks_per_node: 0,
+            ost_count: 1,
+            mds_count: 1,
+        };
+        assert_eq!(t.node_of(3), 3);
+        assert_eq!(t.node_count(), 4);
+    }
+}

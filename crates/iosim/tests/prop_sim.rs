@@ -1,0 +1,162 @@
+//! Property-based tests for the simulator substrate: conservation,
+//! placement and collective-plan invariants.
+
+use iosim::mpiio::{CollectivePlan, CollectiveRequest};
+use iosim::pfs::StripeLayout;
+use iosim::{SimConfig, Simulation};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn split_extent_partitions_exactly(
+        stripe_pow in 16u32..22,
+        offset in 0u64..1 << 30,
+        len in 0u64..1 << 24,
+    ) {
+        let layout = StripeLayout {
+            stripe_size: 1 << stripe_pow,
+            stripe_width: 4,
+            ost_offset: 0,
+        };
+        let chunks = layout.split_extent(offset, len);
+        // Chunks are contiguous, cover [offset, offset+len), and never
+        // cross a stripe boundary.
+        let mut cur = offset;
+        for (stripe, chunk_off, chunk_len) in &chunks {
+            prop_assert_eq!(*chunk_off, cur);
+            prop_assert!(*chunk_len > 0);
+            prop_assert_eq!(*stripe, chunk_off / (1 << stripe_pow));
+            prop_assert_eq!((chunk_off + chunk_len - 1) / (1 << stripe_pow), *stripe);
+            cur = chunk_off + chunk_len;
+        }
+        prop_assert_eq!(cur, offset + len);
+    }
+
+    #[test]
+    fn ost_placement_within_bounds(
+        stripe_pow in 16u32..22,
+        width in 1u32..16,
+        ost_offset in 0u32..64,
+        ost_count in 1u32..64,
+        offset in 0u64..1 << 40,
+    ) {
+        let layout = StripeLayout {
+            stripe_size: 1 << stripe_pow,
+            stripe_width: width,
+            ost_offset,
+        };
+        let ost = layout.ost_for(offset, ost_count);
+        prop_assert!(ost < ost_count);
+    }
+
+    #[test]
+    fn bytes_are_conserved_through_the_stack(
+        writes in proptest::collection::vec(
+            (0u32..4, 0u64..1 << 22, 1u64..1 << 16),
+            1..40
+        ),
+    ) {
+        let mut sim = Simulation::new(SimConfig::default().with_ranks(4));
+        let f = sim.posix_open_all("/prop").unwrap();
+        let mut expected = 0u64;
+        for (rank, offset, len) in writes {
+            sim.posix_write(rank, f, offset, len).unwrap();
+            expected += len;
+        }
+        prop_assert_eq!(sim.fs().total_ost_bytes_written(), expected);
+        prop_assert_eq!(sim.fs().total_file_bytes_written(), expected);
+        let log = sim.finish();
+        let logged: i64 = log
+            .posix
+            .iter()
+            .map(|r| r.get(darshan::counters::PosixCounter::POSIX_BYTES_WRITTEN))
+            .sum();
+        prop_assert_eq!(logged as u64, expected);
+        // DXT traces exactly the same bytes.
+        let dxt_bytes: u64 = log.dxt.iter().map(darshan::dxt::DxtRecord::total_bytes).sum();
+        prop_assert_eq!(dxt_bytes, expected);
+    }
+
+    #[test]
+    fn clocks_are_monotone_under_any_op_sequence(
+        ops in proptest::collection::vec(
+            (0u32..4, 0u64..1 << 20, 0u64..1 << 14, any::<bool>()),
+            1..40
+        ),
+    ) {
+        let mut sim = Simulation::new(SimConfig::default().with_ranks(4));
+        let f = sim.posix_open_all("/prop").unwrap();
+        let mut last = [0.0f64; 4];
+        for r in 0..4u32 {
+            last[r as usize] = sim.time(r);
+        }
+        for (rank, offset, len, is_write) in ops {
+            let before = sim.time(rank);
+            if is_write {
+                sim.posix_write(rank, f, offset, len).unwrap();
+            } else {
+                // Reads may hit EOF; either way the clock must not go back.
+                let _ = sim.posix_read(rank, f, offset, len);
+            }
+            prop_assert!(sim.time(rank) >= before);
+        }
+    }
+
+    #[test]
+    fn collective_plan_covers_merged_bytes_exactly_once(
+        sizes in proptest::collection::vec(1u64..1 << 22, 1..32),
+        cb in 1u32..12,
+        stripe_pow in 18u32..22,
+    ) {
+        // Contiguous per-rank extents (the common collective shape).
+        let mut offset = 0u64;
+        let reqs: Vec<CollectiveRequest> = sizes
+            .iter()
+            .enumerate()
+            .map(|(rank, &length)| {
+                let r = CollectiveRequest {
+                    rank: rank as u32,
+                    offset,
+                    length,
+                };
+                offset += length;
+                r
+            })
+            .collect();
+        let plan = CollectivePlan::plan(&reqs, cb, 1 << stripe_pow);
+        let total: u64 = sizes.iter().sum();
+        prop_assert_eq!(plan.file_bytes, total);
+        let covered: u64 = plan.assignments.iter().map(|a| a.length).sum();
+        prop_assert_eq!(covered, total);
+        // Assignments are disjoint, sorted, contiguous.
+        let mut cur = 0u64;
+        for a in &plan.assignments {
+            prop_assert_eq!(a.offset, cur);
+            prop_assert!(a.length > 0);
+            cur = a.offset + a.length;
+        }
+        // No more aggregator accesses than we have aggregators... per
+        // stripe-snapped domain; at minimum the plan must not degenerate to
+        // more accesses than requests when extents merge fully.
+        prop_assert!(plan.assignments.len() <= reqs.len().max(cb as usize));
+        // Exchange never exceeds the total produced.
+        prop_assert!(plan.exchange_bytes <= total);
+    }
+
+    #[test]
+    fn overlapping_collective_requests_write_merged_extent(
+        base in 0u64..1 << 20,
+        len in 1u64..1 << 16,
+        overlap in 0u64..1 << 12,
+    ) {
+        // Two ranks whose extents overlap by `overlap` bytes.
+        let second_off = base + len - overlap.min(len - 1);
+        let reqs = vec![
+            CollectiveRequest { rank: 0, offset: base, length: len },
+            CollectiveRequest { rank: 1, offset: second_off, length: len },
+        ];
+        let plan = CollectivePlan::plan(&reqs, 2, 1 << 20);
+        let merged_len = (second_off + len) - base;
+        prop_assert_eq!(plan.file_bytes, merged_len);
+    }
+}

@@ -1,0 +1,240 @@
+//! E2E domain-decomposition I/O kernel emulation (Figure 3, second
+//! application).
+//!
+//! The baseline reproduces the defect the paper's users diagnosed: the
+//! netCDF layer wrote *fill values* for datasets that were subsequently
+//! overwritten, and the fill pass is performed by **rank 0 alone** — so
+//! rank 0 writes nearly the whole file once before anyone else writes a
+//! byte, an overwhelming load imbalance (~99.9%). Domain-decomposition
+//! record offsets are not stripe-aligned, so misalignment is pervasive in
+//! both variants (~99.8%).
+//!
+//! The optimized variant disables fill values (the 10× fix). What remains
+//! is the kernel's own two-stage output: a subset of writer ranks (64 of
+//! 1024 in the paper) collects its group's data and performs ~98% of the
+//! writes — behaviour inherent to the algorithm, not a defect.
+
+use crate::spec::{Expectation, GroundTruth};
+use crate::Workload;
+use darshan::log::Log;
+use iosim::{SimConfig, Simulation};
+
+/// Which variant of the E2E trace to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum E2eVariant {
+    /// With rank-0 fill values (load imbalance).
+    Baseline,
+    /// With fill values disabled (subset-writer pattern remains).
+    Optimized,
+}
+
+/// The output file of the kernel.
+pub const E2E_FILE: &str = "/scratch/e2e/3d_32_32_16_32_32_32.nc4";
+
+/// E2E workload configuration.
+#[derive(Debug, Clone)]
+pub struct E2e {
+    /// Variant.
+    pub variant: E2eVariant,
+    /// MPI ranks (paper: 1024).
+    pub nprocs: u32,
+    /// Ranks per writer group (paper: 16 → 64 writers at 1024 ranks).
+    pub group_size: u32,
+    /// Record size of one domain block (deliberately unaligned).
+    pub record_size: u64,
+}
+
+impl E2e {
+    /// Scaled instance: `scale = 1.0` ≈ the paper's 1024 ranks.
+    #[must_use]
+    pub fn scaled(variant: E2eVariant, scale: f64) -> Self {
+        let nprocs = ((1024.0 * scale) as u32).clamp(16, 1024);
+        E2e {
+            variant,
+            nprocs,
+            group_size: 16,
+            record_size: 93_216, // 3d decomposition block, not stripe aligned
+        }
+    }
+
+    fn generate_inner(&self) -> Log {
+        let exe = match self.variant {
+            E2eVariant::Baseline => "e2e-io-kernel (fill values enabled)",
+            E2eVariant::Optimized => "e2e-io-kernel (no_fill)",
+        };
+        let config = SimConfig::default().with_ranks(self.nprocs).with_exe(exe);
+        let mut sim = Simulation::new(config);
+        let f = sim.posix_open_all(E2E_FILE).expect("open");
+
+        let records_per_rank = 8u64;
+        let total_records = records_per_rank * u64::from(self.nprocs);
+
+        if self.variant == E2eVariant::Baseline {
+            // Fill pass: rank 0 writes a fill value for EVERY record that
+            // the decomposition will subsequently overwrite.
+            for rec in 0..total_records {
+                sim.posix_write_opts(0, f, rec * self.record_size, self.record_size, false)
+                    .expect("fill write");
+            }
+            sim.barrier();
+            // Decomposition pass: each rank overwrites its own records.
+            for rank in 0..self.nprocs {
+                for i in 0..records_per_rank {
+                    let rec = u64::from(rank) * records_per_rank + i;
+                    sim.posix_write_opts(rank, f, rec * self.record_size, self.record_size, false)
+                        .expect("write");
+                }
+            }
+        } else {
+            // no_fill: writer ranks gather their group's records and write
+            // them; non-writers contribute only a tiny header/attribute
+            // update of their corner block.
+            for rank in 0..self.nprocs {
+                if rank % self.group_size == 0 {
+                    let group_records = records_per_rank * u64::from(self.group_size);
+                    let base = u64::from(rank / self.group_size) * group_records;
+                    for i in 0..group_records {
+                        sim.posix_write_opts(
+                            rank,
+                            f,
+                            (base + i) * self.record_size,
+                            self.record_size,
+                            false,
+                        )
+                        .expect("writer write");
+                    }
+                } else {
+                    // Corner metadata only.
+                    let rec = u64::from(rank) * records_per_rank;
+                    sim.posix_write_opts(rank, f, rec * self.record_size, 256, false)
+                        .expect("corner write");
+                }
+            }
+        }
+        sim.posix_close_all(f);
+        sim.finish()
+    }
+}
+
+impl Workload for E2e {
+    fn name(&self) -> &str {
+        match self.variant {
+            E2eVariant::Baseline => "E2E (Baseline)",
+            E2eVariant::Optimized => "E2E (Optimized)",
+        }
+    }
+
+    fn generate(&self) -> Log {
+        self.generate_inner()
+    }
+
+    fn ground_truth(&self) -> GroundTruth {
+        match self.variant {
+            E2eVariant::Baseline => GroundTruth::new(
+                "Fill values for subsequently overwritten datasets are written by rank 0, causing overwhelming load imbalance; record offsets are misaligned; memory buffers unaligned",
+                &[
+                    ("load-imbalance", Expectation::Present),
+                    ("misaligned-io", Expectation::Present),
+                    ("interface-usage", Expectation::Present),
+                ],
+            ),
+            E2eVariant::Optimized => GroundTruth::new(
+                "Fill disabled; a subset of writer ranks performs ~98% of writes (inherent to the algorithm); misalignment persists",
+                &[
+                    ("misaligned-io", Expectation::Present),
+                    ("load-imbalance", Expectation::Mitigated),
+                    ("interface-usage", Expectation::Present),
+                ],
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darshan::counters::PosixCounter;
+
+    fn psum(log: &Log, c: PosixCounter) -> i64 {
+        log.posix.iter().map(|r| r.get(c)).sum()
+    }
+
+    fn bytes_by_rank(log: &Log) -> std::collections::HashMap<i32, i64> {
+        let mut m = std::collections::HashMap::new();
+        for r in &log.posix {
+            *m.entry(r.rank).or_insert(0) += r.get(PosixCounter::POSIX_BYTES_WRITTEN);
+        }
+        m
+    }
+
+    #[test]
+    fn baseline_rank0_dominates() {
+        let log = E2e::scaled(E2eVariant::Baseline, 0.03).generate(); // 30 ranks
+        let by_rank = bytes_by_rank(&log);
+        let rank0 = by_rank[&0];
+        let total: i64 = by_rank.values().sum();
+        // Rank 0 wrote all fill values plus its own records.
+        assert!(
+            rank0 as f64 / total as f64 > 0.5,
+            "rank0 share {}",
+            rank0 as f64 / total as f64
+        );
+        // Imbalance (max-mean)/max is extreme.
+        let max = *by_rank.values().max().unwrap() as f64;
+        let mean = total as f64 / by_rank.len() as f64;
+        assert!((max - mean) / max > 0.9);
+    }
+
+    #[test]
+    fn misalignment_pervasive_in_both_variants() {
+        for variant in [E2eVariant::Baseline, E2eVariant::Optimized] {
+            let log = E2e::scaled(variant, 0.03).generate();
+            let ops = psum(&log, PosixCounter::POSIX_WRITES);
+            let unaligned = psum(&log, PosixCounter::POSIX_FILE_NOT_ALIGNED);
+            let pct = 100.0 * unaligned as f64 / ops as f64;
+            assert!(pct > 99.0, "{variant:?}: misaligned {pct}%");
+        }
+    }
+
+    #[test]
+    fn baseline_memory_buffers_unaligned() {
+        let log = E2e::scaled(E2eVariant::Baseline, 0.03).generate();
+        let mem = psum(&log, PosixCounter::POSIX_MEM_NOT_ALIGNED);
+        let ops = psum(&log, PosixCounter::POSIX_WRITES);
+        assert_eq!(mem, ops);
+    }
+
+    #[test]
+    fn optimized_subset_of_writers_dominates() {
+        let w = E2e::scaled(E2eVariant::Optimized, 0.0625); // 64 ranks, 4 writers
+        let log = w.generate();
+        let by_rank = bytes_by_rank(&log);
+        let total: i64 = by_rank.values().sum();
+        let writers: i64 = by_rank
+            .iter()
+            .filter(|(r, _)| **r % 16 == 0)
+            .map(|(_, b)| *b)
+            .sum();
+        let share = writers as f64 / total as f64;
+        assert!(share > 0.95, "writer share {share}");
+        // Number of writers is nprocs / group_size.
+        let writer_count = by_rank.keys().filter(|r| **r % 16 == 0).count();
+        assert_eq!(writer_count, 4);
+    }
+
+    #[test]
+    fn optimized_no_rank0_outlier_versus_other_writers() {
+        let log = E2e::scaled(E2eVariant::Optimized, 0.0625).generate();
+        let by_rank = bytes_by_rank(&log);
+        let w0 = by_rank[&0];
+        let w16 = by_rank[&16];
+        assert_eq!(w0, w16, "writers share the load evenly");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = E2e::scaled(E2eVariant::Baseline, 0.02).generate();
+        let b = E2e::scaled(E2eVariant::Baseline, 0.02).generate();
+        assert_eq!(a, b);
+    }
+}

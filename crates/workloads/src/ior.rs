@@ -1,0 +1,510 @@
+//! IOR-style benchmark generator (the IO500 data phases).
+//!
+//! Reproduces the access patterns of the IO500 configurations the paper
+//! injects issues with:
+//!
+//! * **ior-easy** — each rank streams sequential, consecutive transfers of
+//!   a configurable size into its own region (shared file) or its own file
+//!   (file-per-process). Transfer size is the injection knob: 2 KiB makes
+//!   every transfer "small" and almost every offset misaligned, 1 MiB is
+//!   stripe-aligned.
+//! * **ior-hard** — all ranks interleave fixed 47008-byte records into one
+//!   shared file (`offset = (segment * nprocs + rank) * 47008`), producing
+//!   small, unaligned, stripe-shared accesses that cannot be aggregated.
+//! * **ior-rnd4k** — 4 KiB transfers at random 4 KiB-aligned offsets across
+//!   the whole shared file.
+
+use crate::spec::{Expectation, GroundTruth};
+use crate::Workload;
+use darshan::log::Log;
+use iosim::{SimConfig, Simulation};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Which interface the benchmark drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Api {
+    /// Raw POSIX calls from every rank.
+    Posix,
+    /// Independent MPI-IO operations.
+    MpiIoIndependent,
+    /// Collective MPI-IO operations.
+    MpiIoCollective,
+}
+
+/// Shared file vs file-per-process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileMode {
+    /// One file written by every rank (segmented regions).
+    Shared,
+    /// One file per rank.
+    FilePerProcess,
+}
+
+/// Spatial pattern of the offsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Each rank streams consecutively through its region.
+    Sequential,
+    /// Ranks interleave records round-robin (ior-hard).
+    Interleaved,
+    /// Random transfer-aligned offsets over the whole file.
+    Random,
+}
+
+/// Full IOR run configuration.
+#[derive(Debug, Clone)]
+pub struct IorConfig {
+    /// Workload display name.
+    pub name: String,
+    /// MPI ranks.
+    pub nprocs: u32,
+    /// Transfer size in bytes.
+    pub transfer_size: u64,
+    /// Write (and, with `read_back`, read) operations per rank.
+    pub ops_per_rank: u64,
+    /// Interface.
+    pub api: Api,
+    /// File layout.
+    pub file_mode: FileMode,
+    /// Offset pattern.
+    pub pattern: AccessPattern,
+    /// Whether a read phase follows the write phase.
+    pub read_back: bool,
+    /// RNG seed for random patterns.
+    pub seed: u64,
+}
+
+impl IorConfig {
+    fn file_path(&self, rank: u32) -> String {
+        match self.file_mode {
+            FileMode::Shared => "/io500/ior_file_easy".to_owned(),
+            FileMode::FilePerProcess => format!("/io500/ior_easy/testFile.{rank:08}"),
+        }
+    }
+
+    fn offset(&self, rank: u32, op: u64, rng: &mut SmallRng) -> u64 {
+        match self.pattern {
+            AccessPattern::Sequential => {
+                // Rank regions are stripe-aligned, as they are in real
+                // ior-easy runs where block sizes are GiB-scale; without
+                // this, scaled-down runs would artificially share boundary
+                // stripes between ranks.
+                const STRIPE: u64 = 1 << 20;
+                let region =
+                    (self.ops_per_rank * self.transfer_size).div_ceil(STRIPE) * STRIPE;
+                let base = match self.file_mode {
+                    FileMode::Shared => u64::from(rank) * region,
+                    FileMode::FilePerProcess => 0,
+                };
+                base + op * self.transfer_size
+            }
+            AccessPattern::Interleaved => {
+                (op * u64::from(self.nprocs) + u64::from(rank)) * self.transfer_size
+            }
+            AccessPattern::Random => {
+                let slots = self.ops_per_rank * u64::from(self.nprocs);
+                rng.gen_range(0..slots) * self.transfer_size
+            }
+        }
+    }
+
+    /// Run the benchmark through the simulator and return its Darshan log.
+    #[must_use]
+    pub fn run(&self) -> Log {
+        let config = SimConfig::default()
+            .with_ranks(self.nprocs)
+            .with_exe(&format!("ior {}", self.name));
+        let mut sim = Simulation::new(config);
+
+        let handles: Vec<_> = match self.file_mode {
+            FileMode::Shared => {
+                let h = match self.api {
+                    Api::Posix => sim.posix_open_all(&self.file_path(0)).expect("open"),
+                    _ => sim.mpi_file_open(&self.file_path(0)).expect("open"),
+                };
+                vec![h; self.nprocs as usize]
+            }
+            FileMode::FilePerProcess => (0..self.nprocs)
+                .map(|r| sim.posix_open(r, &self.file_path(r)).expect("open"))
+                .collect(),
+        };
+
+        // Write phase. Random patterns replay the same offset stream in the
+        // read phase (IOR's -z behaviour), so reads never cross EOF.
+        let mut write_rngs: Vec<SmallRng> = (0..self.nprocs)
+            .map(|r| SmallRng::seed_from_u64(self.seed ^ u64::from(r)))
+            .collect();
+        for op in 0..self.ops_per_rank {
+            match self.api {
+                Api::MpiIoCollective => {
+                    let reqs: Vec<(u32, u64, u64)> = (0..self.nprocs)
+                        .map(|r| {
+                            let off = self.offset(r, op, &mut write_rngs[r as usize]);
+                            (r, off, self.transfer_size)
+                        })
+                        .collect();
+                    sim.mpi_write_collective(handles[0], &reqs).expect("coll write");
+                }
+                _ => {
+                    for rank in 0..self.nprocs {
+                        let off = self.offset(rank, op, &mut write_rngs[rank as usize]);
+                        match self.api {
+                            Api::Posix => sim
+                                .posix_write(rank, handles[rank as usize], off, self.transfer_size)
+                                .expect("write"),
+                            Api::MpiIoIndependent => sim
+                                .mpi_write_independent(
+                                    rank,
+                                    handles[rank as usize],
+                                    off,
+                                    self.transfer_size,
+                                )
+                                .expect("write"),
+                            Api::MpiIoCollective => unreachable!(),
+                        }
+                    }
+                }
+            }
+        }
+        sim.barrier();
+
+        if self.read_back {
+            let mut read_rngs: Vec<SmallRng> = (0..self.nprocs)
+                .map(|r| SmallRng::seed_from_u64(self.seed ^ u64::from(r)))
+                .collect();
+            for op in 0..self.ops_per_rank {
+                match self.api {
+                    Api::MpiIoCollective => {
+                        let reqs: Vec<(u32, u64, u64)> = (0..self.nprocs)
+                            .map(|r| {
+                                let off = self.offset(r, op, &mut read_rngs[r as usize]);
+                                (r, off, self.transfer_size)
+                            })
+                            .collect();
+                        sim.mpi_read_collective(handles[0], &reqs).expect("coll read");
+                    }
+                    _ => {
+                        for rank in 0..self.nprocs {
+                            let off = self.offset(rank, op, &mut read_rngs[rank as usize]);
+                            match self.api {
+                                Api::Posix => sim
+                                    .posix_read(rank, handles[rank as usize], off, self.transfer_size)
+                                    .expect("read"),
+                                Api::MpiIoIndependent => sim
+                                    .mpi_read_independent(
+                                        rank,
+                                        handles[rank as usize],
+                                        off,
+                                        self.transfer_size,
+                                    )
+                                    .expect("read"),
+                                Api::MpiIoCollective => unreachable!(),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        match (self.api, self.file_mode) {
+            (Api::Posix, FileMode::Shared) => sim.posix_close_all(handles[0]),
+            (Api::Posix, FileMode::FilePerProcess) => {
+                for (r, h) in handles.iter().enumerate() {
+                    sim.posix_close(r as u32, *h).expect("close");
+                }
+            }
+            _ => sim.mpi_file_close(handles[0]).map(|_| ()).expect("close"),
+        }
+        sim.finish()
+    }
+}
+
+/// An IOR preset bundled with its ground truth.
+#[derive(Debug, Clone)]
+pub struct IorWorkload {
+    /// The configuration to run.
+    pub config: IorConfig,
+    truth: GroundTruth,
+}
+
+impl Workload for IorWorkload {
+    fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    fn generate(&self) -> Log {
+        self.config.run()
+    }
+
+    fn ground_truth(&self) -> GroundTruth {
+        self.truth.clone()
+    }
+}
+
+fn scaled(base: u64, scale: f64) -> u64 {
+    ((base as f64) * scale).max(8.0) as u64
+}
+
+/// IOR-Easy, 2 KiB transfers, shared file (Figure 2 row 1).
+#[must_use]
+pub fn ior_easy_2kb_shared(scale: f64) -> IorWorkload {
+    IorWorkload {
+        config: IorConfig {
+            name: "IOR-Easy-2KB-Shared-File".into(),
+            nprocs: 4,
+            transfer_size: 2048,
+            ops_per_rank: scaled(2048, scale),
+            api: Api::Posix,
+            file_mode: FileMode::Shared,
+            pattern: AccessPattern::Sequential,
+            read_back: true,
+            seed: 0x10500,
+        },
+        truth: GroundTruth::new(
+            "Small read and write requests, but Sequential and Consecutive; 4 ranks read/write a single shared file; POSIX API with multiple ranks",
+            &[
+                ("small-io", Expectation::Mitigated),
+                ("misaligned-io", Expectation::Present),
+                ("shared-file-contention", Expectation::Mitigated),
+                ("interface-usage", Expectation::Present),
+                ("random-access", Expectation::Absent),
+                ("load-imbalance", Expectation::Absent),
+                ("metadata-load", Expectation::Absent),
+            ],
+        ),
+    }
+}
+
+/// IOR-Easy, 1 MiB transfers, shared file (Figure 2 row 2).
+#[must_use]
+pub fn ior_easy_1mb_shared(scale: f64) -> IorWorkload {
+    IorWorkload {
+        config: IorConfig {
+            name: "IOR-Easy-1MB-Shared-File".into(),
+            nprocs: 4,
+            transfer_size: 1 << 20,
+            ops_per_rank: scaled(1024, scale),
+            api: Api::Posix,
+            file_mode: FileMode::Shared,
+            pattern: AccessPattern::Sequential,
+            read_back: true,
+            seed: 0x10501,
+        },
+        truth: GroundTruth::new(
+            "1 MiB requests (smaller than the 4 MiB RPC size) but Sequential and Consecutive; 4 ranks share one file; POSIX API",
+            &[
+                ("small-io", Expectation::Mitigated),
+                ("misaligned-io", Expectation::Absent),
+                ("shared-file-contention", Expectation::Mitigated),
+                ("interface-usage", Expectation::Present),
+                ("random-access", Expectation::Absent),
+                ("load-imbalance", Expectation::Absent),
+            ],
+        ),
+    }
+}
+
+/// IOR-Easy, 1 MiB transfers, file per process (Figure 2 row 3).
+#[must_use]
+pub fn ior_easy_1mb_fpp(scale: f64) -> IorWorkload {
+    IorWorkload {
+        config: IorConfig {
+            name: "IOR-Easy-1MB-File-per-process".into(),
+            nprocs: 4,
+            transfer_size: 1 << 20,
+            ops_per_rank: scaled(1024, scale),
+            api: Api::Posix,
+            file_mode: FileMode::FilePerProcess,
+            pattern: AccessPattern::Sequential,
+            read_back: true,
+            seed: 0x10502,
+        },
+        truth: GroundTruth::new(
+            "1 MiB sequential consecutive requests; 4 ranks write their own files; POSIX API",
+            &[
+                ("small-io", Expectation::Mitigated),
+                ("misaligned-io", Expectation::Absent),
+                ("shared-file-contention", Expectation::Absent),
+                ("interface-usage", Expectation::Present),
+                ("random-access", Expectation::Absent),
+            ],
+        ),
+    }
+}
+
+/// IOR-Hard: 47008-byte interleaved records on a shared file (Figure 2
+/// row 4).
+#[must_use]
+pub fn ior_hard(scale: f64) -> IorWorkload {
+    IorWorkload {
+        config: IorConfig {
+            name: "IOR-Hard".into(),
+            nprocs: 4,
+            transfer_size: 47_008,
+            ops_per_rank: scaled(100_000, scale),
+            api: Api::Posix,
+            file_mode: FileMode::Shared,
+            pattern: AccessPattern::Interleaved,
+            read_back: true,
+            seed: 0x10503,
+        },
+        truth: GroundTruth::new(
+            "Small interleaved requests that cannot be aggregated; 4 ranks share one file; POSIX API",
+            &[
+                ("small-io", Expectation::Present),
+                ("misaligned-io", Expectation::Present),
+                ("shared-file-contention", Expectation::Present),
+                ("interface-usage", Expectation::Present),
+            ],
+        ),
+    }
+}
+
+/// IOR-Random-4K: 4 KiB random accesses on a shared file (Figure 2 row 5).
+#[must_use]
+pub fn ior_rnd4k(scale: f64) -> IorWorkload {
+    IorWorkload {
+        config: IorConfig {
+            name: "IOR-Random-4K-Shared-File".into(),
+            nprocs: 4,
+            transfer_size: 4096,
+            ops_per_rank: scaled(36_000, scale),
+            api: Api::Posix,
+            file_mode: FileMode::Shared,
+            pattern: AccessPattern::Random,
+            read_back: true,
+            seed: 0x10504,
+        },
+        truth: GroundTruth::new(
+            "Small random reads/writes that cannot be aggregated; 4 ranks share one file; POSIX API",
+            &[
+                ("small-io", Expectation::Present),
+                ("misaligned-io", Expectation::Present),
+                ("random-access", Expectation::Present),
+                ("shared-file-contention", Expectation::Present),
+                ("interface-usage", Expectation::Present),
+            ],
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darshan::counters::PosixCounter;
+
+    fn psum(log: &Log, c: PosixCounter) -> i64 {
+        log.posix.iter().map(|r| r.get(c)).sum()
+    }
+
+    #[test]
+    fn easy_2kb_ops_and_misalignment_shape() {
+        let w = ior_easy_2kb_shared(0.25); // 512 ops/rank
+        let log = w.generate();
+        let ops = psum(&log, PosixCounter::POSIX_READS) + psum(&log, PosixCounter::POSIX_WRITES);
+        assert_eq!(ops, 4 * 512 * 2);
+        let unaligned = psum(&log, PosixCounter::POSIX_FILE_NOT_ALIGNED);
+        let pct = 100.0 * unaligned as f64 / ops as f64;
+        // 2 KiB offsets against a 1 MiB stripe: 511/512 misaligned.
+        assert!((pct - 99.8).abs() < 0.5, "misaligned {pct}%");
+        // Everything but each rank's first op per phase is consecutive.
+        let consec = psum(&log, PosixCounter::POSIX_CONSEC_READS)
+            + psum(&log, PosixCounter::POSIX_CONSEC_WRITES);
+        assert_eq!(consec, ops - 8);
+    }
+
+    #[test]
+    fn easy_1mb_shared_is_aligned() {
+        let w = ior_easy_1mb_shared(0.125); // 128 ops/rank
+        let log = w.generate();
+        assert_eq!(psum(&log, PosixCounter::POSIX_FILE_NOT_ALIGNED), 0);
+        // Exactly one shared file.
+        let files: std::collections::HashSet<u64> =
+            log.posix.iter().map(|r| r.file_id).collect();
+        assert_eq!(files.len(), 1);
+    }
+
+    #[test]
+    fn fpp_creates_one_file_per_rank() {
+        let w = ior_easy_1mb_fpp(0.05);
+        let log = w.generate();
+        let files: std::collections::HashSet<u64> =
+            log.posix.iter().map(|r| r.file_id).collect();
+        assert_eq!(files.len(), 4);
+        // Each file has exactly one rank's records.
+        for f in files {
+            let ranks: std::collections::HashSet<i32> = log
+                .posix
+                .iter()
+                .filter(|r| r.file_id == f)
+                .map(|r| r.rank)
+                .collect();
+            assert_eq!(ranks.len(), 1);
+        }
+    }
+
+    #[test]
+    fn hard_interleaving_is_unaligned_and_strided() {
+        let w = ior_hard(0.01); // 1000 ops/rank
+        let log = w.generate();
+        let ops = psum(&log, PosixCounter::POSIX_READS) + psum(&log, PosixCounter::POSIX_WRITES);
+        let unaligned = psum(&log, PosixCounter::POSIX_FILE_NOT_ALIGNED);
+        assert!(unaligned as f64 / ops as f64 > 0.999);
+        // Interleaved: strided, so sequential but never consecutive.
+        let consec = psum(&log, PosixCounter::POSIX_CONSEC_READS)
+            + psum(&log, PosixCounter::POSIX_CONSEC_WRITES);
+        assert_eq!(consec, 0);
+        let seq = psum(&log, PosixCounter::POSIX_SEQ_READS)
+            + psum(&log, PosixCounter::POSIX_SEQ_WRITES);
+        assert!(seq as f64 / ops as f64 > 0.99);
+    }
+
+    #[test]
+    fn rnd4k_misalignment_matches_paper_rate() {
+        let w = ior_rnd4k(0.1); // 3600 ops/rank
+        let log = w.generate();
+        let ops = psum(&log, PosixCounter::POSIX_READS) + psum(&log, PosixCounter::POSIX_WRITES);
+        let unaligned = psum(&log, PosixCounter::POSIX_FILE_NOT_ALIGNED);
+        let pct = 100.0 * unaligned as f64 / ops as f64;
+        // 4 KiB-aligned random offsets against 1 MiB stripes: ≈ 99.61%.
+        assert!((pct - 99.61).abs() < 0.4, "misaligned {pct}%");
+        // Random: most ops are not sequential.
+        let seq = psum(&log, PosixCounter::POSIX_SEQ_READS)
+            + psum(&log, PosixCounter::POSIX_SEQ_WRITES);
+        assert!((seq as f64 / ops as f64) < 0.6);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = ior_rnd4k(0.02).generate();
+        let b = ior_rnd4k(0.02).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dxt_traces_every_operation() {
+        let w = ior_easy_2kb_shared(0.05);
+        let log = w.generate();
+        let posix_ops =
+            psum(&log, PosixCounter::POSIX_READS) + psum(&log, PosixCounter::POSIX_WRITES);
+        let dxt_ops: usize = log.dxt.iter().map(darshan::dxt::DxtRecord::len).sum();
+        assert_eq!(dxt_ops as i64, posix_ops);
+    }
+
+    #[test]
+    fn ground_truths_cover_key_issues() {
+        for w in [
+            ior_easy_2kb_shared(0.01),
+            ior_easy_1mb_shared(0.01),
+            ior_easy_1mb_fpp(0.01),
+            ior_hard(0.001),
+            ior_rnd4k(0.01),
+        ] {
+            let gt = w.ground_truth();
+            assert!(!gt.description.is_empty());
+            assert!(gt.expectation("small-io").is_some());
+            assert!(gt.expectation("interface-usage").is_some());
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Workload generators: IO500-style benchmarks and real-application
+//! emulations, producing Darshan logs through the [`iosim`] simulator.
+//!
+//! The ION paper's evaluation uses two trace families:
+//!
+//! * **Figure 2** — controlled IO500 runs with known injected issues:
+//!   `ior-easy` variants (transfer size and shared-file vs
+//!   file-per-process), `ior-hard` (small interleaved shared-file),
+//!   `ior-rnd4k` (4 KiB random) and MD-Workbench (metadata-heavy). See
+//!   [`ior`] and [`mdworkbench`].
+//! * **Figure 3** — two real applications in baseline and optimized forms:
+//!   OpenPMD (with the HDF5 collective-write defect and with it fixed) and
+//!   the E2E domain-decomposition kernel (with rank-0 fill-value imbalance
+//!   and with it disabled). See [`openpmd`] and [`e2e`].
+//!
+//! Every generator is deterministic for a given seed and takes a `scale`
+//! knob so tests run in milliseconds while the experiment binaries can
+//! approach the paper's operation counts. Each also publishes its
+//! [`spec::GroundTruth`] — the issues the trace is known to contain — which
+//! is what Figure 2 scores ION against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod e2e;
+pub mod ior;
+pub mod mdworkbench;
+pub mod openpmd;
+pub mod spec;
+
+pub use spec::{Expectation, GroundTruth};
+
+/// A named workload producing a Darshan log plus its ground truth.
+pub trait Workload {
+    /// Short name used in experiment output (e.g. `IOR-Easy-2KB-Shared`).
+    fn name(&self) -> &str;
+    /// Generate the trace.
+    fn generate(&self) -> darshan::log::Log;
+    /// The issues the trace is constructed to contain.
+    fn ground_truth(&self) -> GroundTruth;
+}

@@ -1,0 +1,192 @@
+//! MD-Workbench-style metadata benchmark (Figure 2 row 6).
+//!
+//! MD-Workbench stresses the metadata path: each iteration a rank creates
+//! a small object, reads a previously created object, and deletes the
+//! oldest — touching many small files with open/stat/read-or-write/close
+//! cycles at the same offset. Ranks rotate over a shared pool of datasets,
+//! so over time several ranks touch the same (tiny, single-stripe) files,
+//! which is why roughly half of the data operations land in stripes that
+//! more than one rank has visited.
+
+use crate::spec::{Expectation, GroundTruth};
+use crate::Workload;
+use darshan::log::Log;
+use iosim::{SimConfig, Simulation};
+
+/// MD-Workbench configuration.
+#[derive(Debug, Clone)]
+pub struct MdWorkbenchConfig {
+    /// MPI ranks.
+    pub nprocs: u32,
+    /// Objects precreated per rank.
+    pub precreate_per_rank: u64,
+    /// Benchmark iterations per rank.
+    pub iterations_per_rank: u64,
+    /// Object size in bytes (small by design).
+    pub object_size: u64,
+}
+
+impl Default for MdWorkbenchConfig {
+    fn default() -> Self {
+        MdWorkbenchConfig {
+            nprocs: 4,
+            precreate_per_rank: 64,
+            iterations_per_rank: 256,
+            object_size: 3901, // MD-Workbench's default object size
+        }
+    }
+}
+
+/// The MD-Workbench workload.
+#[derive(Debug, Clone)]
+pub struct MdWorkbench {
+    /// Configuration.
+    pub config: MdWorkbenchConfig,
+}
+
+impl MdWorkbench {
+    /// Scaled instance (scale multiplies iteration and object counts).
+    #[must_use]
+    pub fn scaled(scale: f64) -> Self {
+        let d = MdWorkbenchConfig::default();
+        MdWorkbench {
+            config: MdWorkbenchConfig {
+                precreate_per_rank: ((d.precreate_per_rank as f64 * scale) as u64).max(4),
+                iterations_per_rank: ((d.iterations_per_rank as f64 * scale) as u64).max(8),
+                ..d
+            },
+        }
+    }
+
+    fn object_path(dataset: u64) -> String {
+        format!("/io500/mdw/dataset.{dataset:06}/obj")
+    }
+}
+
+impl Workload for MdWorkbench {
+    fn name(&self) -> &str {
+        "MD-Workbench"
+    }
+
+    fn generate(&self) -> Log {
+        let c = &self.config;
+        let sim_config = SimConfig::default()
+            .with_ranks(c.nprocs)
+            .with_exe("md-workbench");
+        let mut sim = Simulation::new(sim_config);
+        let datasets = c.precreate_per_rank * u64::from(c.nprocs);
+
+        // Precreate phase: rank r creates datasets [r*P, (r+1)*P).
+        for rank in 0..c.nprocs {
+            for i in 0..c.precreate_per_rank {
+                let ds = u64::from(rank) * c.precreate_per_rank + i;
+                let h = sim
+                    .posix_open(rank, &Self::object_path(ds))
+                    .expect("create");
+                sim.posix_write(rank, h, 0, c.object_size).expect("write");
+                sim.posix_close(rank, h).expect("close");
+            }
+        }
+        sim.barrier();
+
+        // Benchmark phase: each iteration rank r works on dataset
+        // ((iter + r) mod datasets): stat it, read the object, overwrite it.
+        // The rotation makes ranks revisit datasets other ranks created.
+        for iter in 0..c.iterations_per_rank {
+            for rank in 0..c.nprocs {
+                let ds = (iter * u64::from(c.nprocs) + u64::from(rank)) % datasets;
+                let path = Self::object_path(ds);
+                sim.posix_stat(rank, &path).expect("stat");
+                let h = sim.posix_open(rank, &path).expect("open");
+                sim.posix_read(rank, h, 0, c.object_size).expect("read");
+                sim.posix_write(rank, h, 0, c.object_size).expect("write");
+                sim.posix_close(rank, h).expect("close");
+            }
+        }
+        sim.finish()
+    }
+
+    fn ground_truth(&self) -> GroundTruth {
+        GroundTruth::new(
+            "Excessive metadata requests: repeated small reads and writes to many files at the same offset",
+            &[
+                ("metadata-load", Expectation::Present),
+                ("small-io", Expectation::Present),
+                ("interface-usage", Expectation::Present),
+                ("misaligned-io", Expectation::Absent),
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darshan::counters::{PosixCounter, PosixFCounter};
+
+    fn psum(log: &Log, c: PosixCounter) -> i64 {
+        log.posix.iter().map(|r| r.get(c)).sum()
+    }
+
+    #[test]
+    fn metadata_dominates() {
+        let log = MdWorkbench::scaled(0.25).generate();
+        let meta_time: f64 = log
+            .posix
+            .iter()
+            .map(|r| r.fget(PosixFCounter::POSIX_F_META_TIME))
+            .sum();
+        let rw_time: f64 = log
+            .posix
+            .iter()
+            .map(|r| {
+                r.fget(PosixFCounter::POSIX_F_READ_TIME)
+                    + r.fget(PosixFCounter::POSIX_F_WRITE_TIME)
+            })
+            .sum();
+        assert!(
+            meta_time > rw_time,
+            "meta {meta_time} vs rw {rw_time} — metadata must dominate"
+        );
+    }
+
+    #[test]
+    fn many_small_files_touched() {
+        let log = MdWorkbench::scaled(0.25).generate();
+        let files: std::collections::HashSet<u64> =
+            log.posix.iter().map(|r| r.file_id).collect();
+        assert!(files.len() >= 64, "{} files", files.len());
+        // Every data op is small (object_size bytes).
+        let small = psum(&log, PosixCounter::POSIX_SIZE_WRITE_1K_10K)
+            + psum(&log, PosixCounter::POSIX_SIZE_READ_1K_10K);
+        let ops = psum(&log, PosixCounter::POSIX_READS) + psum(&log, PosixCounter::POSIX_WRITES);
+        assert_eq!(small, ops);
+    }
+
+    #[test]
+    fn rotation_shares_datasets_across_ranks() {
+        let log = MdWorkbench::scaled(0.5).generate();
+        // At least one file must have records from more than one rank.
+        let mut ranks_per_file: std::collections::HashMap<u64, std::collections::HashSet<i32>> =
+            std::collections::HashMap::new();
+        for r in &log.posix {
+            ranks_per_file.entry(r.file_id).or_default().insert(r.rank);
+        }
+        assert!(ranks_per_file.values().any(|s| s.len() > 1));
+    }
+
+    #[test]
+    fn opens_exceed_files_meaningfully() {
+        let log = MdWorkbench::scaled(0.5).generate();
+        let opens = psum(&log, PosixCounter::POSIX_OPENS);
+        let files = log
+            .posix
+            .iter()
+            .map(|r| r.file_id)
+            .collect::<std::collections::HashSet<_>>()
+            .len() as i64;
+        assert!(opens > files, "opens {opens} files {files}");
+        let stats = psum(&log, PosixCounter::POSIX_STATS);
+        assert!(stats > 0);
+    }
+}

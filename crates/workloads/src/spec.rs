@@ -1,0 +1,66 @@
+//! Ground-truth specifications scored by the Figure 2 experiment.
+
+use serde::{Deserialize, Serialize};
+
+/// What the ground truth expects ION to say about one issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Expectation {
+    /// The issue is present and should be reported.
+    Present,
+    /// The issue is present but mitigated (e.g. small ops that aggregate);
+    /// ION should report it together with the mitigating factor.
+    Mitigated,
+    /// The issue is absent and must not be reported.
+    Absent,
+}
+
+/// The known issues a generated trace contains.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct GroundTruth {
+    /// Human description of the injected behaviour (the "Ground Truth"
+    /// column of Figure 2).
+    pub description: String,
+    /// Per-issue expectations, `(issue id, expectation)`.
+    pub expectations: Vec<(String, Expectation)>,
+}
+
+impl GroundTruth {
+    /// Build from a description and expectation pairs.
+    #[must_use]
+    pub fn new(description: &str, expectations: &[(&str, Expectation)]) -> Self {
+        GroundTruth {
+            description: description.to_owned(),
+            expectations: expectations
+                .iter()
+                .map(|(id, e)| ((*id).to_owned(), *e))
+                .collect(),
+        }
+    }
+
+    /// Expectation for one issue, if specified.
+    #[must_use]
+    pub fn expectation(&self, issue: &str) -> Option<Expectation> {
+        self.expectations
+            .iter()
+            .find(|(id, _)| id == issue)
+            .map(|(_, e)| *e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup() {
+        let gt = GroundTruth::new(
+            "small sequential writes",
+            &[
+                ("small-io", Expectation::Mitigated),
+                ("misaligned-io", Expectation::Present),
+            ],
+        );
+        assert_eq!(gt.expectation("small-io"), Some(Expectation::Mitigated));
+        assert_eq!(gt.expectation("nope"), None);
+    }
+}

@@ -1,0 +1,39 @@
+//! Interactive diagnosis session on the E2E baseline trace: run ION, then
+//! hold the kind of conversation the paper's front-end message window
+//! enables. Pass questions as CLI arguments, or run the scripted demo.
+//!
+//! ```sh
+//! cargo run --release --example interactive_qa
+//! cargo run --release --example interactive_qa -- "what code did you run for load imbalance?"
+//! ```
+
+use ion::pipeline::IonPipeline;
+use workloads::e2e::{E2e, E2eVariant};
+use workloads::Workload;
+
+fn main() {
+    let w = E2e::scaled(E2eVariant::Baseline, 0.05);
+    println!("generating {} trace and running ION...", w.name());
+    let log = w.generate();
+    let report = IonPipeline::new().run(&log);
+    println!("\n{}", report.summary);
+
+    let mut session = report.session();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let questions: Vec<String> = if args.is_empty() {
+        vec![
+            "why did you conclude there is load imbalance?".into(),
+            "what imbalance_pct did you measure?".into(),
+            "show me the code for the misaligned io analysis".into(),
+            "is the metadata load a problem?".into(),
+        ]
+    } else {
+        args
+    };
+
+    for q in questions {
+        println!("\nQ: {q}");
+        println!("A: {}", session.ask(&q));
+    }
+    println!("\n({} exchanges recorded)", session.history().len());
+}

@@ -1,0 +1,65 @@
+//! Run the six IO500-derived workloads of Figure 2 and print ION's
+//! diagnosis against each one's ground truth.
+//!
+//! ```sh
+//! cargo run --release --example io500_campaign
+//! ```
+
+use ion::pipeline::IonPipeline;
+use ion_repro::{accuracy, score_report};
+use workloads::ior::{
+    ior_easy_1mb_fpp, ior_easy_1mb_shared, ior_easy_2kb_shared, ior_hard, ior_rnd4k,
+};
+use workloads::mdworkbench::MdWorkbench;
+use workloads::Workload;
+
+fn main() {
+    let scale: f64 = std::env::var("IONREPRO_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
+    let workloads: Vec<Box<dyn Workload>> = vec![
+        Box::new(ior_easy_2kb_shared(scale)),
+        Box::new(ior_easy_1mb_shared(scale)),
+        Box::new(ior_easy_1mb_fpp(scale)),
+        Box::new(ior_hard(scale / 10.0)),
+        Box::new(ior_rnd4k(scale)),
+        Box::new(MdWorkbench::scaled(scale * 5.0)),
+    ];
+
+    let mut total_hits = 0usize;
+    let mut total_expectations = 0usize;
+    for w in &workloads {
+        let truth = w.ground_truth();
+        println!("━━━ {} ━━━", w.name());
+        println!("ground truth: {}", truth.description);
+        let log = w.generate();
+        let report = IonPipeline::new().run(&log);
+        let scores = score_report(&report, &truth);
+        for s in &scores {
+            println!(
+                "  {:<24} expected {:<10} got {:<10} {}",
+                s.issue,
+                format!("{:?}", s.expected),
+                s.got.map_or("skipped".into(), |d| d.to_string()),
+                if s.hit { "✓" } else { "✗" }
+            );
+        }
+        total_hits += scores.iter().filter(|s| s.hit).count();
+        total_expectations += scores.len();
+        println!("  accuracy: {:.0}%", 100.0 * accuracy(&scores));
+        // One headline ION sentence per detected issue.
+        for d in report.detected() {
+            if let Some(f) = d.findings.first() {
+                println!("  ION: {}", f.text);
+            } else if let Some(m) = d.mitigations.first() {
+                println!("  ION: {m}");
+            }
+        }
+        println!();
+    }
+    println!(
+        "overall: {total_hits}/{total_expectations} expectations satisfied ({:.0}%)",
+        100.0 * total_hits as f64 / total_expectations.max(1) as f64
+    );
+}

@@ -1,0 +1,55 @@
+//! Quickstart: trace an application in the simulator, diagnose it with ION,
+//! and ask a follow-up question.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use ion::pipeline::IonPipeline;
+use iosim::{SimConfig, Simulation};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Run a small "application" against the simulated Lustre system:
+    //    four ranks appending 2 KiB records to a shared file — a classic
+    //    small-I/O pattern.
+    let mut sim = Simulation::new(
+        SimConfig::default()
+            .with_ranks(4)
+            .with_exe("quickstart-app"),
+    );
+    let file = sim.posix_open_all("/scratch/quickstart/output.dat")?;
+    for step in 0..256u64 {
+        for rank in 0..4u32 {
+            let base = u64::from(rank) * (1 << 20);
+            sim.posix_write(rank, file, base + step * 2048, 2048)?;
+        }
+    }
+    sim.posix_close_all(file);
+
+    // 2. The simulator hands back a Darshan log, exactly as darshan-runtime
+    //    would have produced on a real system.
+    let log = sim.finish();
+    println!(
+        "trace: {} POSIX records, {} DXT records, job ran {:.4}s\n",
+        log.posix.len(),
+        log.dxt.len(),
+        log.job.run_time()
+    );
+
+    // 3. Diagnose it with ION: extract → per-issue prompts → LLM runs →
+    //    summary.
+    let report = IonPipeline::new().run(&log);
+    println!("{}", report.summary);
+    println!("per-issue results:");
+    for d in &report.diagnoses {
+        println!("  {}", d.one_line());
+    }
+
+    // 4. Ask the interactive interface a follow-up, like you would ask a
+    //    human I/O expert.
+    let mut session = report.session();
+    let question = "why are the small writes not a big problem here?";
+    println!("\nQ: {question}");
+    println!("A: {}", session.ask(question));
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Inspect a Darshan log the way an I/O expert would before diagnosis:
+//! serialize one, decode it back, render the `darshan-parser` and
+//! `darshan-dxt-parser` views, and extract the CSV tables that ION's
+//! prompts attach.
+//!
+//! ```sh
+//! cargo run --example trace_inspector
+//! ```
+
+use darshan::log::{LogReader, LogWriter};
+use darshan::parser::{render_dxt_text, render_text};
+use extractor::csv::to_csv;
+use extractor::extract_tables;
+use workloads::ior::ior_hard;
+use workloads::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A tiny ior-hard run: small interleaved records on a shared file.
+    let log = ior_hard(0.0001).generate();
+
+    // Round-trip through the binary log format, as a file on disk would.
+    let bytes = LogWriter::from_log(log).finish()?;
+    println!("binary log size: {} bytes", bytes.len());
+    let log = LogReader::read(&bytes)?;
+
+    // darshan-parser view (counters), truncated.
+    let text = render_text(&log);
+    println!("\n── darshan-parser (first 24 lines) ──");
+    for line in text.lines().take(24) {
+        println!("{line}");
+    }
+
+    // darshan-dxt-parser view (per-operation trace), truncated.
+    let dxt = render_dxt_text(&log);
+    println!("\n── darshan-dxt-parser (first 12 lines) ──");
+    for line in dxt.lines().take(12) {
+        println!("{line}");
+    }
+
+    // The extractor's CSV tables — what ION attaches to its prompts.
+    let tables = extract_tables(&log);
+    println!("\n── extracted tables ──");
+    for (name, table) in tables.iter() {
+        println!("{name}.csv: {} rows × {} columns", table.len(), table.columns.len());
+    }
+    if let Some(dxt_table) = tables.get("DXT") {
+        let csv = to_csv(dxt_table);
+        println!("\nDXT.csv preview:");
+        for line in csv.lines().take(6) {
+            println!("{line}");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Workspace-level integration crate for the ION reproduction.
+//!
+//! The library surface lives in the member crates (`darshan`, `iosim`,
+//! `workloads`, `extractor`, `ion-llm`, `ion`, `drishti`); this crate hosts
+//! the cross-crate integration tests under `tests/` and the runnable
+//! examples under `examples/`, plus the scoring helper the Figure 2
+//! experiment and tests share.
+
+use ion::{Detection, IonReport};
+use workloads::{Expectation, GroundTruth};
+
+/// Outcome of scoring one issue expectation against an ION report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IssueScore {
+    /// Issue id.
+    pub issue: String,
+    /// What the ground truth expected.
+    pub expected: Expectation,
+    /// What ION reported.
+    pub got: Option<Detection>,
+    /// Whether the expectation is satisfied.
+    pub hit: bool,
+}
+
+/// Score an ION report against a workload's ground truth.
+///
+/// * `Present` is satisfied by `DETECTED: yes` (a hard detection);
+/// * `Mitigated` is satisfied by `DETECTED: mitigated` (detected **with**
+///   mitigating factors reported), matching how the paper credits ION for
+///   qualifying small sequential I/O as aggregatable;
+/// * `Absent` is satisfied by `DETECTED: no` or by the issue being skipped.
+#[must_use]
+pub fn score_report(report: &IonReport, truth: &GroundTruth) -> Vec<IssueScore> {
+    truth
+        .expectations
+        .iter()
+        .map(|(issue, expected)| {
+            let got = report.diagnosis(issue).and_then(|d| d.detection);
+            let hit = match expected {
+                Expectation::Present => got == Some(Detection::Yes),
+                Expectation::Mitigated => got == Some(Detection::Mitigated),
+                Expectation::Absent => got.is_none() || got == Some(Detection::No),
+            };
+            IssueScore {
+                issue: issue.clone(),
+                expected: *expected,
+                got,
+                hit,
+            }
+        })
+        .collect()
+}
+
+/// Fraction of expectations satisfied (1.0 = perfect).
+#[must_use]
+pub fn accuracy(scores: &[IssueScore]) -> f64 {
+    if scores.is_empty() {
+        return 1.0;
+    }
+    scores.iter().filter(|s| s.hit).count() as f64 / scores.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_of_empty_is_perfect() {
+        assert_eq!(accuracy(&[]), 1.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Fault-injection integration tests: a degraded storage target must
+//! surface as a straggler diagnosis through the whole stack — simulator,
+//! Darshan counters, and both analyzers.
+
+use ion::pipeline::IonPipeline;
+use iosim::pfs::StripeLayout;
+use iosim::{SimConfig, Simulation};
+
+/// Four ranks, file-per-process on single-stripe files; rank 2's OST is
+/// degraded 20×.
+fn degraded_run() -> darshan::log::Log {
+    let config = SimConfig::default()
+        .with_ranks(4)
+        .with_exe("fpp-writer")
+        .with_layout(StripeLayout {
+            stripe_size: 1 << 20,
+            stripe_width: 1,
+            ost_offset: 0,
+        });
+    let mut sim = Simulation::new(config);
+    let handles: Vec<_> = (0..4u32)
+        .map(|r| sim.posix_open(r, &format!("/out/part.{r}")).unwrap())
+        .collect();
+    let victim = sim.fs().file(handles[2]).unwrap().layout.ost_offset as usize;
+    sim.inject_slow_ost(victim, 20.0);
+    for i in 0..64u64 {
+        for rank in 0..4u32 {
+            sim.posix_write(rank, handles[rank as usize], i * 65536, 65536)
+                .unwrap();
+        }
+    }
+    for (rank, h) in handles.iter().enumerate() {
+        sim.posix_close(rank as u32, *h).unwrap();
+    }
+    sim.finish()
+}
+
+#[test]
+fn ion_attributes_the_straggler_to_the_right_rank() {
+    let log = degraded_run();
+    let report = IonPipeline::new().run(&log);
+    let strag = report.diagnosis("stragglers").expect("stragglers analyzed");
+    assert!(strag.is_detected(), "{}", strag.raw);
+    assert!(
+        strag.raw.contains("rank 2"),
+        "must name the degraded rank: {}",
+        strag.raw
+    );
+    // Volume is balanced, so load-imbalance must NOT fire — the problem is
+    // time, not bytes.
+    let imb = report.diagnosis("load-imbalance").expect("analyzed");
+    assert!(!imb.is_detected(), "{}", imb.raw);
+}
+
+#[test]
+fn drishti_also_sees_the_straggler_spread() {
+    let log = degraded_run();
+    let report = drishti::analyze(&log);
+    assert!(report.fired("stragglers"), "{}", report.render_text());
+    let msg = &report.insight("stragglers").unwrap().message;
+    assert!(msg.contains("spread"), "{msg}");
+}
+
+#[test]
+fn healthy_run_has_no_straggler() {
+    let config = SimConfig::default().with_ranks(4).with_layout(StripeLayout {
+        stripe_size: 1 << 20,
+        stripe_width: 1,
+        ost_offset: 0,
+    });
+    let mut sim = Simulation::new(config);
+    let handles: Vec<_> = (0..4u32)
+        .map(|r| sim.posix_open(r, &format!("/out/part.{r}")).unwrap())
+        .collect();
+    for i in 0..64u64 {
+        for rank in 0..4u32 {
+            sim.posix_write(rank, handles[rank as usize], i * 65536, 65536)
+                .unwrap();
+        }
+    }
+    let report = IonPipeline::new().run(&sim.finish());
+    let strag = report.diagnosis("stragglers").expect("analyzed");
+    assert!(!strag.is_detected(), "{}", strag.raw);
+    assert!(strag.raw.contains("uniform"), "{}", strag.raw);
+}

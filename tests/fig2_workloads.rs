@@ -1,0 +1,151 @@
+//! Integration tests for the Figure 2 evaluation: ION against ground-truth
+//! IO500 workloads.
+//!
+//! Each test generates one controlled trace (scaled down from the paper's
+//! sizes), runs the full ION pipeline, and asserts the expectations that
+//! Figure 2 reports: every injected issue detected, with the mitigations
+//! ION is praised for (aggregatable small ops, conflict-free shared files)
+//! qualified correctly.
+
+use ion::pipeline::IonPipeline;
+use ion_repro::{accuracy, score_report};
+use workloads::ior::{
+    ior_easy_1mb_fpp, ior_easy_1mb_shared, ior_easy_2kb_shared, ior_hard, ior_rnd4k,
+};
+use workloads::mdworkbench::MdWorkbench;
+use workloads::Workload;
+
+fn check(workload: &dyn Workload) -> (ion::IonReport, f64) {
+    let log = workload.generate();
+    let report = IonPipeline::new().run(&log);
+    let scores = score_report(&report, &workload.ground_truth());
+    let acc = accuracy(&scores);
+    if acc < 1.0 {
+        for s in &scores {
+            if !s.hit {
+                let raw = report
+                    .diagnosis(&s.issue)
+                    .map_or("(skipped)", |d| d.raw.as_str());
+                eprintln!(
+                    "[{}] issue {} expected {:?} got {:?}\n{raw}",
+                    workload.name(),
+                    s.issue,
+                    s.expected,
+                    s.got
+                );
+            }
+        }
+    }
+    (report, acc)
+}
+
+#[test]
+fn ior_easy_2kb_shared_matches_ground_truth() {
+    let w = ior_easy_2kb_shared(0.25);
+    let (report, acc) = check(&w);
+    assert_eq!(acc, 1.0);
+    // Shape claims from Figure 2 row 1: small ops flagged but aggregatable,
+    // ~99.8% misalignment, POSIX-only noted.
+    let small = report.diagnosis("small-io").unwrap();
+    assert!(small.raw.contains("consecutive"), "{}", small.raw);
+    let mis = report.diagnosis("misaligned-io").unwrap();
+    let pct = mis.metrics.get("file_misaligned_pct").unwrap().as_f64().unwrap();
+    assert!((pct - 99.8).abs() < 0.5, "misaligned {pct}%");
+}
+
+#[test]
+fn ior_easy_1mb_shared_matches_ground_truth() {
+    let w = ior_easy_1mb_shared(0.25);
+    let (report, acc) = check(&w);
+    assert_eq!(acc, 1.0);
+    // "0.0% misalignment rate" and "no overlapping operations within the
+    // same stripe".
+    let mis = report.diagnosis("misaligned-io").unwrap();
+    assert_eq!(
+        mis.metrics.get("file_misaligned_pct").unwrap().as_f64(),
+        Some(0.0)
+    );
+    let shared = report.diagnosis("shared-file-contention").unwrap();
+    assert!(
+        shared.raw.contains("no stripe conflicts")
+            || shared.raw.contains("not lead")
+            || shared.raw.contains("lock overhead"),
+        "{}",
+        shared.raw
+    );
+}
+
+#[test]
+fn ior_easy_1mb_fpp_matches_ground_truth() {
+    let w = ior_easy_1mb_fpp(0.25);
+    let (report, acc) = check(&w);
+    assert_eq!(acc, 1.0);
+    // File-per-process noted: each file accessed by exactly one rank.
+    let shared = report.diagnosis("shared-file-contention").unwrap();
+    assert!(
+        shared.raw.contains("exclusively by a single rank"),
+        "{}",
+        shared.raw
+    );
+}
+
+#[test]
+fn ior_hard_matches_ground_truth() {
+    let w = ior_hard(0.01);
+    let (report, acc) = check(&w);
+    assert_eq!(acc, 1.0);
+    // Contention on the shared file must be a hard (unmitigated) detection.
+    let shared = report.diagnosis("shared-file-contention").unwrap();
+    assert_eq!(shared.detection, Some(ion::Detection::Yes));
+    assert!(shared.raw.contains("lock"), "{}", shared.raw);
+    // Small I/O must NOT be excused as aggregatable here.
+    let small = report.diagnosis("small-io").unwrap();
+    assert_eq!(small.detection, Some(ion::Detection::Yes));
+}
+
+#[test]
+fn ior_rnd4k_matches_ground_truth() {
+    let w = ior_rnd4k(0.05);
+    let (report, acc) = check(&w);
+    assert_eq!(acc, 1.0);
+    // ~99.6% misalignment, random access detected hard.
+    let mis = report.diagnosis("misaligned-io").unwrap();
+    let pct = mis.metrics.get("file_misaligned_pct").unwrap().as_f64().unwrap();
+    assert!((pct - 99.6).abs() < 0.6, "misaligned {pct}%");
+    let rnd = report.diagnosis("random-access").unwrap();
+    assert_eq!(rnd.detection, Some(ion::Detection::Yes));
+}
+
+#[test]
+fn md_workbench_matches_ground_truth() {
+    let w = MdWorkbench::scaled(0.5);
+    let (report, acc) = check(&w);
+    assert_eq!(acc, 1.0);
+    let meta = report.diagnosis("metadata-load").unwrap();
+    assert!(meta.is_detected(), "{}", meta.raw);
+    assert!(
+        meta.raw.contains("metadata servers"),
+        "{}",
+        meta.raw
+    );
+}
+
+#[test]
+fn every_fig2_workload_reports_interface_usage() {
+    // All six IO500 traces are POSIX-only multi-rank jobs; ION must note
+    // the absence of MPI-IO in each ("does not use the MPI-IO module").
+    let workloads: Vec<Box<dyn Workload>> = vec![
+        Box::new(ior_easy_2kb_shared(0.05)),
+        Box::new(ior_easy_1mb_shared(0.05)),
+        Box::new(ior_easy_1mb_fpp(0.05)),
+        Box::new(ior_hard(0.002)),
+        Box::new(ior_rnd4k(0.01)),
+        Box::new(MdWorkbench::scaled(0.2)),
+    ];
+    for w in workloads {
+        let log = w.generate();
+        let report = IonPipeline::new().run(&log);
+        let iface = report.diagnosis("interface-usage").unwrap();
+        assert!(iface.is_detected(), "[{}] {}", w.name(), iface.raw);
+    }
+}

@@ -1,0 +1,185 @@
+//! Integration tests for the Figure 3 evaluation: ION vs Drishti on the
+//! OpenPMD and E2E application traces (baseline and optimized).
+//!
+//! The paper's comparison claims, which these tests pin down:
+//!
+//! * both tools catch the headline issues (OpenPMD baseline: pervasive
+//!   small + misaligned I/O; E2E baseline: misalignment + load imbalance);
+//! * ION adds context Drishti cannot: aggregatability of the small
+//!   operations, per-rank attribution of the imbalance, and — in the
+//!   optimized traces — that residual random accesses are low-volume and
+//!   that the surviving skew is a writer-subset pattern worth reviewing
+//!   rather than an alarm.
+
+use ion::pipeline::IonPipeline;
+use workloads::e2e::{E2e, E2eVariant};
+use workloads::openpmd::{OpenPmd, OpenPmdVariant};
+use workloads::Workload;
+
+#[test]
+fn openpmd_baseline_both_tools_catch_small_and_misaligned() {
+    let log = OpenPmd::scaled(OpenPmdVariant::Baseline, 0.02).generate();
+    let drishti = drishti::analyze(&log);
+    assert!(drishti.fired("small-writes"), "{}", drishti.render_text());
+    assert!(drishti.fired("small-reads"));
+    assert!(drishti.fired("misaligned-file"));
+    assert!(drishti.fired("small-writes-shared-file"));
+
+    let report = IonPipeline::new().run(&log);
+    let small = report.diagnosis("small-io").unwrap();
+    assert!(small.is_detected(), "{}", small.raw);
+    let mis = report.diagnosis("misaligned-io").unwrap();
+    assert!(mis.is_detected());
+    // ION's extra context: the small ops are consecutive → aggregatable.
+    assert!(
+        small.raw.contains("consecutive") && small.raw.contains("aggregation"),
+        "{}",
+        small.raw
+    );
+    // And the HDF5-bug signature at the MPI-IO layer.
+    let coll = report.diagnosis("collective-io").unwrap();
+    assert!(coll.is_detected(), "{}", coll.raw);
+    assert!(coll.raw.contains("independent"), "{}", coll.raw);
+}
+
+#[test]
+fn openpmd_baseline_misalignment_near_total() {
+    let log = OpenPmd::scaled(OpenPmdVariant::Baseline, 0.02).generate();
+    let report = IonPipeline::new().run(&log);
+    let mis = report.diagnosis("misaligned-io").unwrap();
+    let pct = mis
+        .metrics
+        .get("file_misaligned_pct")
+        .and_then(extractor::Value::as_f64)
+        .unwrap();
+    assert!(pct > 99.9, "paper reports 100% misaligned; got {pct}%");
+}
+
+#[test]
+fn openpmd_optimized_ion_contextualizes_random_access() {
+    let log = OpenPmd::scaled(OpenPmdVariant::Optimized, 0.05).generate();
+    let report = IonPipeline::new().run(&log);
+    let rnd = report.diagnosis("random-access").unwrap();
+    // Detected but mitigated: count per rank and volume are low.
+    assert_eq!(
+        rnd.detection,
+        Some(ion::Detection::Mitigated),
+        "{}",
+        rnd.raw
+    );
+    assert!(
+        rnd.raw.contains("per rank"),
+        "ION must contextualize per-rank counts: {}",
+        rnd.raw
+    );
+    // The small-I/O issue must no longer be a hard detection.
+    let small = report.diagnosis("small-io").unwrap();
+    assert_ne!(small.detection, Some(ion::Detection::Yes), "{}", small.raw);
+}
+
+#[test]
+fn openpmd_optimized_drishti_still_flags_random_reads() {
+    // Drishti's fixed thresholds flag the random reads without the volume
+    // context — at full-er scale the absolute threshold is crossed.
+    let log = OpenPmd::scaled(OpenPmdVariant::Optimized, 0.7).generate();
+    let drishti = drishti::analyze(&log);
+    assert!(
+        drishti.fired("random-reads"),
+        "{}",
+        drishti.render_text()
+    );
+}
+
+#[test]
+fn e2e_baseline_both_tools_catch_misalignment_and_imbalance() {
+    let log = E2e::scaled(E2eVariant::Baseline, 0.03).generate();
+    let drishti = drishti::analyze(&log);
+    assert!(drishti.fired("misaligned-file"), "{}", drishti.render_text());
+    assert!(drishti.fired("load-imbalance"));
+    let insight = drishti.insight("load-imbalance").unwrap();
+    assert!(
+        insight.message.contains("3d_32_32_16_32_32_32.nc4"),
+        "{}",
+        insight.message
+    );
+
+    let report = IonPipeline::new().run(&log);
+    let mis = report.diagnosis("misaligned-io").unwrap();
+    assert!(mis.is_detected());
+    let imb = report.diagnosis("load-imbalance").unwrap();
+    assert_eq!(imb.detection, Some(ion::Detection::Yes), "{}", imb.raw);
+    // ION attributes the imbalance to rank 0 specifically.
+    assert!(imb.raw.contains("rank 0"), "{}", imb.raw);
+    // And reports misaligned memory buffers, which Drishti words generically.
+    assert!(mis.raw.contains("memory"), "{}", mis.raw);
+}
+
+#[test]
+fn e2e_optimized_ion_recognizes_writer_subset() {
+    let log = E2e::scaled(E2eVariant::Optimized, 0.25).generate(); // 256 ranks, 16 writers
+    let report = IonPipeline::new().run(&log);
+    // Misalignment persists (paper: 99.8% in both variants).
+    let mis = report.diagnosis("misaligned-io").unwrap();
+    assert!(mis.is_detected());
+    // The load-imbalance diagnosis must surface the subset-of-writers note
+    // rather than a plain rank-0 alarm.
+    let imb = report.diagnosis("load-imbalance").unwrap();
+    assert!(
+        imb.raw.contains("subset"),
+        "expected writer-subset note: {}",
+        imb.raw
+    );
+    assert!(
+        imb.raw.contains("intentional"),
+        "ION should suggest the skew may be algorithmic: {}",
+        imb.raw
+    );
+}
+
+#[test]
+fn e2e_optimized_writer_share_matches_paper_shape() {
+    let log = E2e::scaled(E2eVariant::Optimized, 0.25).generate();
+    let report = IonPipeline::new().run(&log);
+    let imb = report.diagnosis("load-imbalance").unwrap();
+    let share = imb
+        .metrics
+        .get("hot_share_pct")
+        .and_then(extractor::Value::as_f64)
+        .unwrap();
+    // Paper: 64 of 1024 ranks contribute ~98.23% of writes.
+    assert!(share > 90.0, "writer subset share {share}%");
+    let hot = imb
+        .metrics
+        .get("hot_ranks")
+        .and_then(extractor::Value::as_f64)
+        .unwrap();
+    let nranks = imb
+        .metrics
+        .get("nranks")
+        .and_then(extractor::Value::as_f64)
+        .unwrap();
+    assert_eq!(hot as u32, 16);
+    assert_eq!(nranks as u32, 256);
+}
+
+#[test]
+fn ion_summaries_order_issues_by_severity() {
+    let log = OpenPmd::scaled(OpenPmdVariant::Baseline, 0.02).generate();
+    let report = IonPipeline::new().run(&log);
+    assert!(report.summary.contains("Critical issues:"), "{}", report.summary);
+    let critical_pos = report.summary.find("Critical issues:").unwrap();
+    if let Some(minor_pos) = report.summary.find("Minor observations:") {
+        assert!(critical_pos < minor_pos);
+    }
+}
+
+#[test]
+fn interactive_session_answers_followups_on_fig3_traces() {
+    let log = E2e::scaled(E2eVariant::Baseline, 0.03).generate();
+    let report = IonPipeline::new().run(&log);
+    let mut session = report.session();
+    let a = session.ask("why did you conclude there is load imbalance?");
+    assert!(a.contains("reasoning") || a.contains("1."), "{a}");
+    let b = session.ask("what imbalance_pct did you measure?");
+    assert!(b.contains("imbalance_pct"), "{b}");
+}

@@ -1,0 +1,108 @@
+//! Integration tests for the HEATMAP module and the bursty-io context:
+//! a checkpointing application (long compute, short I/O stampedes) must be
+//! diagnosed as bursty; a streaming application must not.
+
+use darshan::log::LogWriter;
+use ion::pipeline::IonPipeline;
+use iosim::{SimConfig, Simulation};
+
+/// Classic bulk-synchronous checkpointing: 50 s of compute, then all ranks
+/// dump their state at once, repeated a few times.
+fn checkpoint_app() -> darshan::log::Log {
+    let mut sim = Simulation::new(SimConfig::default().with_ranks(4).with_exe("ckpt-app"));
+    let f = sim.posix_open_all("/scratch/checkpoint.dat").unwrap();
+    for epoch in 0..4u64 {
+        for rank in 0..4u32 {
+            sim.advance(rank, 50.0); // compute phase
+        }
+        sim.barrier();
+        for rank in 0..4u32 {
+            let base = (epoch * 4 + u64::from(rank)) * (8 << 20);
+            for i in 0..8u64 {
+                sim.posix_write(rank, f, base + i * (1 << 20), 1 << 20).unwrap();
+            }
+        }
+    }
+    sim.posix_close_all(f);
+    sim.finish()
+}
+
+/// Continuous streaming writer: the same volume, no compute gaps.
+fn streaming_app() -> darshan::log::Log {
+    let mut sim = Simulation::new(SimConfig::default().with_ranks(4).with_exe("stream-app"));
+    let f = sim.posix_open_all("/scratch/stream.dat").unwrap();
+    for i in 0..32u64 {
+        for rank in 0..4u32 {
+            let base = u64::from(rank) * (64 << 20);
+            sim.posix_write(rank, f, base + i * (1 << 20), 1 << 20).unwrap();
+            // Pace the writes so volume spreads across the run evenly.
+            sim.advance(rank, 0.5);
+        }
+    }
+    sim.posix_close_all(f);
+    sim.finish()
+}
+
+#[test]
+fn heatmap_records_present_and_conserve_bytes() {
+    let log = checkpoint_app();
+    assert_eq!(log.heatmap.len(), 4);
+    let hm_bytes: u64 = log.heatmap.iter().map(|h| h.total_bytes()).sum();
+    let counter_bytes: i64 = log
+        .posix
+        .iter()
+        .map(|r| {
+            r.get(darshan::counters::PosixCounter::POSIX_BYTES_READ)
+                + r.get(darshan::counters::PosixCounter::POSIX_BYTES_WRITTEN)
+        })
+        .sum();
+    assert_eq!(hm_bytes as i64, counter_bytes);
+    // Bin width grew to cover the ~200 s run.
+    let hm = &log.heatmap[0];
+    assert!(hm.bin_width * hm.nbins() as f64 >= 150.0);
+}
+
+#[test]
+fn heatmap_round_trips_through_binary_log() {
+    let log = checkpoint_app();
+    let bytes = LogWriter::from_log(log.clone()).finish().unwrap();
+    let decoded = darshan::log::LogReader::read(&bytes).unwrap();
+    assert_eq!(decoded.heatmap, log.heatmap);
+    assert!(decoded.modules_present().contains(&"HEATMAP"));
+}
+
+#[test]
+fn checkpoint_app_diagnosed_as_bursty() {
+    let report = IonPipeline::new().run(&checkpoint_app());
+    let bursty = report.diagnosis("bursty-io").expect("bursty-io analyzed");
+    assert!(bursty.is_detected(), "{}", bursty.raw);
+    assert!(bursty.raw.contains("bursty"), "{}", bursty.raw);
+    let active = bursty
+        .metrics
+        .get("active_pct")
+        .and_then(extractor::Value::as_f64)
+        .unwrap();
+    assert!(active < 50.0, "checkpointing app active {active}% of runtime");
+}
+
+#[test]
+fn streaming_app_not_bursty() {
+    let report = IonPipeline::new().run(&streaming_app());
+    let bursty = report.diagnosis("bursty-io").expect("bursty-io analyzed");
+    assert!(!bursty.is_detected(), "{}", bursty.raw);
+    assert!(bursty.raw.contains("spread over time"), "{}", bursty.raw);
+}
+
+#[test]
+fn heatmap_csv_table_extracted() {
+    let tables = extractor::extract_tables(&checkpoint_app());
+    let t = tables.get("HEATMAP").expect("HEATMAP table");
+    assert_eq!(t.len(), 4 * darshan::heatmap::HeatmapAccumulator::NBINS);
+    // Column sums equal the heatmap totals.
+    let total: i64 = t
+        .column_values("write_bytes")
+        .unwrap()
+        .filter_map(extractor::Value::as_i64)
+        .sum();
+    assert_eq!(total as u64, 4 * 4 * 8 * (1u64 << 20));
+}

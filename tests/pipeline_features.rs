@@ -1,0 +1,106 @@
+//! Integration tests for the pipeline's extension features: consistency
+//! checking, retrieval-based context selection, custom contexts, and the
+//! binary-log round trip through the full stack.
+
+use darshan::log::LogWriter;
+use extractor::extract_tables;
+use ion::analyzer::{Analyzer, SystemParams};
+use ion::pipeline::IonPipeline;
+use ion::IssueContext;
+use workloads::ior::{ior_easy_2kb_shared, ior_rnd4k};
+use workloads::mdworkbench::MdWorkbench;
+use workloads::Workload;
+
+#[test]
+fn reports_on_real_traces_are_internally_consistent() {
+    for w in [
+        Box::new(ior_easy_2kb_shared(0.1)) as Box<dyn Workload>,
+        Box::new(ior_rnd4k(0.02)),
+        Box::new(MdWorkbench::scaled(0.25)),
+    ] {
+        let report = IonPipeline::new().run(&w.generate());
+        let problems = report.consistency();
+        let contradictions: Vec<_> = problems
+            .iter()
+            .filter(|p| p.level == ion::ConsistencyLevel::Contradiction)
+            .collect();
+        assert!(
+            contradictions.is_empty(),
+            "[{}] contradictions: {contradictions:?}",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn retrieval_pipeline_still_detects_primary_issue() {
+    let w = ior_easy_2kb_shared(0.1);
+    let log = w.generate();
+    let full = IonPipeline::new().run(&log);
+    let rag = IonPipeline::new().with_retrieval(4).run(&log);
+    // Fewer analyses ran...
+    assert!(rag.diagnoses.len() < full.diagnoses.len());
+    assert!(rag.diagnoses.len() <= 4);
+    // ...but the dominant small-io finding survives selection.
+    let small = rag.diagnosis("small-io").expect("small-io retrieved");
+    assert!(small.is_detected());
+}
+
+#[test]
+fn retrieval_selects_metadata_context_for_metadata_trace() {
+    let log = MdWorkbench::scaled(0.25).generate();
+    let rag = IonPipeline::new().with_retrieval(4).run(&log);
+    let meta = rag.diagnosis("metadata-load").expect("metadata-load retrieved");
+    assert!(meta.is_detected(), "{}", meta.raw);
+}
+
+#[test]
+fn custom_context_participates_end_to_end() {
+    let custom = r#"
+ISSUE: tiny-job
+TITLE: Trivially small job
+MODULES: POSIX
+A job that moves almost no data may not be worth optimizing at all.
+COMPUTE volume:
+  LOAD POSIX
+  AGG bytes = sum(POSIX_BYTES_READ + POSIX_BYTES_WRITTEN)
+  EMIT bytes
+END
+CONCLUDE IF bytes < 1000000 SEVERITY low: "the job moved only {bytes:human} in total"
+"#;
+    let mut contexts = ion::builtin_contexts();
+    contexts.push(IssueContext {
+        id: "tiny-job",
+        text: custom.to_owned(),
+    });
+    let log = ior_easy_2kb_shared(0.01).generate(); // tiny volume
+    let tables = extract_tables(&log);
+    let analyzer = Analyzer::new().with_contexts(contexts);
+    let result = analyzer.analyze(&tables, &SystemParams::from_log(&log));
+    let d = result
+        .diagnoses
+        .iter()
+        .find(|d| d.issue == "tiny-job")
+        .expect("custom context analyzed");
+    assert!(d.is_detected(), "{}", d.raw);
+    assert!(d.raw.contains("KiB") || d.raw.contains("B"), "{}", d.raw);
+}
+
+#[test]
+fn full_stack_round_trip_through_binary_log() {
+    // generate → serialize → decode → extract → analyze must agree with
+    // the in-memory path bit-for-bit.
+    let log = ior_rnd4k(0.02).generate();
+    let in_memory = IonPipeline::new().run(&log);
+    let bytes = LogWriter::from_log(log).finish().unwrap();
+    let from_bytes = IonPipeline::new().run_bytes(&bytes).unwrap();
+    assert_eq!(in_memory, from_bytes);
+}
+
+#[test]
+fn skipped_issues_are_reported_not_silently_dropped() {
+    let log = ior_easy_2kb_shared(0.02).generate(); // POSIX only
+    let report = IonPipeline::new().run(&log);
+    assert!(report.skipped.contains(&"collective-io".to_owned()));
+    assert!(report.render_text().contains("skipped for lack of module data"));
+}

@@ -1,0 +1,116 @@
+//! Lock in the *what-if* property: applying ION's recommendations in the
+//! simulator improves runtime where ION promises it, and does nothing for
+//! the pattern where ION explicitly declines to promise aggregation.
+
+use iosim::{SimConfig, Simulation};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn sequential_run(transfer: u64, volume_per_rank: u64) -> f64 {
+    let mut sim = Simulation::new(SimConfig::default().with_ranks(4));
+    let f = sim.posix_open_all("/w/seq").unwrap();
+    for i in 0..volume_per_rank / transfer {
+        for rank in 0..4u32 {
+            let base = u64::from(rank) * volume_per_rank;
+            sim.posix_write(rank, f, base + i * transfer, transfer).unwrap();
+        }
+    }
+    sim.posix_close_all(f);
+    sim.finish().job.run_time()
+}
+
+#[test]
+fn aggregating_small_sequential_writes_wins_big() {
+    let volume = 8 << 20;
+    let small = sequential_run(2048, volume);
+    let aggregated = sequential_run(4 << 20, volume);
+    assert!(
+        small / aggregated > 20.0,
+        "expected large speedup, got {:.1}×",
+        small / aggregated
+    );
+}
+
+#[test]
+fn collective_writes_beat_interleaved_posix() {
+    let record = 47_008u64;
+    let waves = 64u64;
+    // POSIX, lockstep interleave.
+    let mut sim = Simulation::new(SimConfig::default().with_ranks(4));
+    let f = sim.posix_open_all("/w/hard").unwrap();
+    for i in 0..waves {
+        for rank in 0..4u32 {
+            sim.posix_write(rank, f, (i * 4 + u64::from(rank)) * record, record)
+                .unwrap();
+        }
+        sim.barrier();
+    }
+    sim.posix_close_all(f);
+    let posix_time = sim.finish().job.run_time();
+
+    // Collective two-phase.
+    let mut sim = Simulation::new(SimConfig::default().with_ranks(4));
+    let f = sim.mpi_file_open("/w/hard").unwrap();
+    for i in 0..waves {
+        let reqs: Vec<(u32, u64, u64)> = (0..4u32)
+            .map(|r| (r, (i * 4 + u64::from(r)) * record, record))
+            .collect();
+        sim.mpi_write_collective(f, &reqs).unwrap();
+    }
+    sim.mpi_file_close(f).unwrap();
+    let coll_time = sim.finish().job.run_time();
+
+    assert!(
+        posix_time / coll_time > 1.5,
+        "expected collective speedup, got {:.2}× ({posix_time:.3}s vs {coll_time:.3}s)",
+        posix_time / coll_time
+    );
+}
+
+#[test]
+fn random_writes_gain_nothing_from_reissuing() {
+    // The negative control: identical random patterns cost the same. What
+    // matters for ION's honesty is that random offsets do NOT benefit from
+    // larger client buffers (there is nothing adjacent to merge).
+    let run = |seed: u64| {
+        let mut sim = Simulation::new(SimConfig::default().with_ranks(4));
+        let f = sim.posix_open_all("/w/rnd").unwrap();
+        let mut rngs: Vec<SmallRng> = (0..4u32)
+            .map(|r| SmallRng::seed_from_u64(seed ^ u64::from(r)))
+            .collect();
+        for _ in 0..256u64 {
+            for rank in 0..4u32 {
+                let off = rngs[rank as usize].gen_range(0..4096u64) * 4096;
+                sim.posix_write(rank, f, off, 4096).unwrap();
+            }
+        }
+        sim.posix_close_all(f);
+        sim.finish().job.run_time()
+    };
+    let a = run(7);
+    let b = run(7);
+    assert!((a - b).abs() < 1e-12, "deterministic replay");
+}
+
+#[test]
+fn aligned_offsets_beat_misaligned_ones() {
+    let run = |shift: u64| {
+        let mut sim = Simulation::new(SimConfig::default().with_ranks(2));
+        let f = sim.posix_open_all("/w/align").unwrap();
+        for i in 0..64u64 {
+            for rank in 0..2u32 {
+                let base = u64::from(rank) * (256 << 20);
+                sim.posix_write(rank, f, base + i * (1 << 20) + shift, 1 << 20)
+                    .unwrap();
+            }
+        }
+        sim.posix_close_all(f);
+        sim.finish().job.run_time()
+    };
+    let misaligned = run(2688);
+    let aligned = run(0);
+    assert!(
+        misaligned > aligned,
+        "misaligned {misaligned} must cost more than aligned {aligned}"
+    );
+}
