@@ -33,7 +33,13 @@ fn main() {
         let report = IonPipeline::new().run(&log);
         let analyze_time = t1.elapsed();
 
-        println!("┌─ {} ({} traced ops; gen {:.2?}, analyze {:.2?})", w.name(), ops, gen_time, analyze_time);
+        println!(
+            "┌─ {} ({} traced ops; gen {:.2?}, analyze {:.2?})",
+            w.name(),
+            ops,
+            gen_time,
+            analyze_time
+        );
         println!("│ GROUND TRUTH: {}", truth.description);
         println!("│ ION OUTPUTS:");
         for d in &report.diagnoses {

@@ -71,59 +71,69 @@ fn main() {
     let scale = experiment_scale();
     println!("═══ Figure 3: ION vs Drishti on real applications (scale {scale}) ═══\n");
 
-    check_trace(&OpenPmd::scaled(OpenPmdVariant::Baseline, scale), |ion, dr| {
-        let small = ion.diagnosis("small-io");
-        let coll = ion.diagnosis("collective-io");
-        vec![
-            Claim {
-                text: "Drishti flags small reads, small writes and misalignment",
-                holds: dr.fired("small-reads") && dr.fired("small-writes") && dr.fired("misaligned-file"),
-            },
-            Claim {
-                text: "Drishti attributes small writes to the dominant shared file",
-                holds: dr.fired("small-writes-shared-file"),
-            },
-            Claim {
-                text: "ION detects the small+misaligned I/O too",
-                holds: small.is_some_and(ion::Diagnosis::is_detected)
-                    && ion.diagnosis("misaligned-io").is_some_and(ion::Diagnosis::is_detected),
-            },
-            Claim {
-                text: "ION adds that the small ops are consecutive → aggregatable",
-                holds: small.is_some_and(|d| d.raw.contains("consecutive")),
-            },
-            Claim {
-                text: "ION surfaces the collective-decomposition (HDF5 bug) signature",
-                holds: coll.is_some_and(|d| d.is_detected() && d.raw.contains("independent")),
-            },
-        ]
-    });
+    check_trace(
+        &OpenPmd::scaled(OpenPmdVariant::Baseline, scale),
+        |ion, dr| {
+            let small = ion.diagnosis("small-io");
+            let coll = ion.diagnosis("collective-io");
+            vec![
+                Claim {
+                    text: "Drishti flags small reads, small writes and misalignment",
+                    holds: dr.fired("small-reads")
+                        && dr.fired("small-writes")
+                        && dr.fired("misaligned-file"),
+                },
+                Claim {
+                    text: "Drishti attributes small writes to the dominant shared file",
+                    holds: dr.fired("small-writes-shared-file"),
+                },
+                Claim {
+                    text: "ION detects the small+misaligned I/O too",
+                    holds: small.is_some_and(ion::Diagnosis::is_detected)
+                        && ion
+                            .diagnosis("misaligned-io")
+                            .is_some_and(ion::Diagnosis::is_detected),
+                },
+                Claim {
+                    text: "ION adds that the small ops are consecutive → aggregatable",
+                    holds: small.is_some_and(|d| d.raw.contains("consecutive")),
+                },
+                Claim {
+                    text: "ION surfaces the collective-decomposition (HDF5 bug) signature",
+                    holds: coll.is_some_and(|d| d.is_detected() && d.raw.contains("independent")),
+                },
+            ]
+        },
+    );
 
-    check_trace(&OpenPmd::scaled(OpenPmdVariant::Optimized, scale), |ion, dr| {
-        let rnd = ion.diagnosis("random-access");
-        vec![
-            Claim {
-                text: "Drishti flags the random read operations",
-                holds: dr.fired("random-reads"),
-            },
-            Claim {
-                text: "ION detects the random accesses as well",
-                holds: rnd.is_some_and(ion::Diagnosis::is_detected),
-            },
-            Claim {
-                text: "ION contextualizes them: low per-rank count and volume → not a concern",
-                holds: rnd.is_some_and(|d| {
-                    d.detection == Some(ion::Detection::Mitigated) && d.raw.contains("per rank")
-                }),
-            },
-            Claim {
-                text: "small I/O is no longer a hard detection",
-                holds: ion
-                    .diagnosis("small-io")
-                    .is_none_or(|d| d.detection != Some(ion::Detection::Yes)),
-            },
-        ]
-    });
+    check_trace(
+        &OpenPmd::scaled(OpenPmdVariant::Optimized, scale),
+        |ion, dr| {
+            let rnd = ion.diagnosis("random-access");
+            vec![
+                Claim {
+                    text: "Drishti flags the random read operations",
+                    holds: dr.fired("random-reads"),
+                },
+                Claim {
+                    text: "ION detects the random accesses as well",
+                    holds: rnd.is_some_and(ion::Diagnosis::is_detected),
+                },
+                Claim {
+                    text: "ION contextualizes them: low per-rank count and volume → not a concern",
+                    holds: rnd.is_some_and(|d| {
+                        d.detection == Some(ion::Detection::Mitigated) && d.raw.contains("per rank")
+                    }),
+                },
+                Claim {
+                    text: "small I/O is no longer a hard detection",
+                    holds: ion
+                        .diagnosis("small-io")
+                        .is_none_or(|d| d.detection != Some(ion::Detection::Yes)),
+                },
+            ]
+        },
+    );
 
     check_trace(&E2e::scaled(E2eVariant::Baseline, scale), |ion, dr| {
         let imb = ion.diagnosis("load-imbalance");
@@ -137,9 +147,10 @@ fn main() {
             },
             Claim {
                 text: "ION detects misalignment (file and memory) and imbalance",
-                holds: ion.diagnosis("misaligned-io").is_some_and(|d| {
-                    d.is_detected() && d.raw.contains("memory")
-                }) && imb.is_some_and(ion::Diagnosis::is_detected),
+                holds: ion
+                    .diagnosis("misaligned-io")
+                    .is_some_and(|d| d.is_detected() && d.raw.contains("memory"))
+                    && imb.is_some_and(ion::Diagnosis::is_detected),
             },
             Claim {
                 text: "ION attributes the imbalance to rank 0 doing much more work",
@@ -154,7 +165,9 @@ fn main() {
             Claim {
                 text: "both tools still see pervasive misalignment",
                 holds: dr.fired("misaligned-file")
-                    && ion.diagnosis("misaligned-io").is_some_and(ion::Diagnosis::is_detected),
+                    && ion
+                        .diagnosis("misaligned-io")
+                        .is_some_and(ion::Diagnosis::is_detected),
             },
             Claim {
                 text: "ION recognizes the writer-subset pattern (not a rank-0 alarm)",

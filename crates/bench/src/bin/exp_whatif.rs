@@ -26,7 +26,8 @@ fn sequential_writer(transfer: u64) -> f64 {
     for i in 0..ops {
         for rank in 0..RANKS {
             let base = u64::from(rank) * VOLUME_PER_RANK;
-            sim.posix_write(rank, f, base + i * transfer, transfer).unwrap();
+            sim.posix_write(rank, f, base + i * transfer, transfer)
+                .unwrap();
         }
     }
     sim.posix_close_all(f);
@@ -107,7 +108,8 @@ fn misaligned_writer(aligned: bool) -> f64 {
     for i in 0..ops {
         for rank in 0..RANKS {
             let base = u64::from(rank) * 2 * VOLUME_PER_RANK;
-            sim.posix_write(rank, f, base + i * record + shift, record).unwrap();
+            sim.posix_write(rank, f, base + i * record + shift, record)
+                .unwrap();
         }
     }
     sim.posix_close_all(f);

@@ -36,10 +36,65 @@ use workloads::Workload;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: ion-cli <generate|parse|dxt|extract|analyze|drishti|qa> <args...>\n\
+        "usage: ion-cli [--profile] [--metrics-json <path>] \
+         <generate|parse|dxt|extract|analyze|drishti|compare|qa> <args...>\n\
+         a bare <log.darshan> after the flags is shorthand for `analyze`\n\
          see `cargo doc` or the README for details"
     );
     ExitCode::FAILURE
+}
+
+/// Observability flags, stripped from anywhere on the command line.
+#[derive(Debug, Default)]
+struct ObsFlags {
+    profile: bool,
+    metrics_json: Option<String>,
+}
+
+impl ObsFlags {
+    /// Extract `--profile` / `--metrics-json <path>` from `args`.
+    fn strip(args: &mut Vec<String>) -> Result<ObsFlags, String> {
+        let mut flags = ObsFlags::default();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--profile" => {
+                    flags.profile = true;
+                    args.remove(i);
+                }
+                "--metrics-json" => {
+                    if i + 1 >= args.len() {
+                        return Err("--metrics-json needs a <path>".into());
+                    }
+                    args.remove(i);
+                    flags.metrics_json = Some(args.remove(i));
+                }
+                _ => i += 1,
+            }
+        }
+        Ok(flags)
+    }
+
+    fn any(&self) -> bool {
+        self.profile || self.metrics_json.is_some()
+    }
+
+    /// Render whatever the run recorded: the profile tree to stderr (so it
+    /// never corrupts piped report output) and the JSON document to a file.
+    fn report(&self) -> Result<(), String> {
+        if !self.any() {
+            return Ok(());
+        }
+        let snap = ion_obs::snapshot();
+        if self.profile {
+            eprint!("{}", snap.render_profile());
+        }
+        if let Some(path) = &self.metrics_json {
+            fs::write(path, snap.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote metrics to {path}");
+        }
+        Ok(())
+    }
 }
 
 fn workload_by_name(name: &str, scale: f64) -> Option<Box<dyn Workload>> {
@@ -64,10 +119,34 @@ fn load(path: &str) -> Result<darshan::log::Log, String> {
 }
 
 fn run() -> Result<(), String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = ObsFlags::strip(&mut args)?;
+    if flags.any() {
+        ion_obs::enable();
+    }
+    let result = dispatch(&args);
+    flags.report()?;
+    result
+}
+
+const COMMANDS: [&str; 8] = [
+    "generate", "parse", "dxt", "extract", "analyze", "drishti", "compare", "qa",
+];
+
+fn dispatch(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
         return Err("missing command".into());
     };
+    // `ion-cli --profile trace.darshan` profiles the default full-pipeline
+    // command: a bare trace path means `analyze`.
+    let implicit_analyze = [String::from("analyze"), cmd.clone()];
+    let args: &[String] =
+        if !COMMANDS.contains(&cmd.as_str()) && std::path::Path::new(cmd).is_file() {
+            &implicit_analyze
+        } else {
+            args
+        };
+    let cmd = &args[0];
     match cmd.as_str() {
         "generate" => {
             let (name, out) = match (args.get(1), args.get(2)) {
@@ -75,9 +154,9 @@ fn run() -> Result<(), String> {
                 _ => return Err("generate needs <workload> <out.darshan>".into()),
             };
             let scale = experiment_scale();
-            let w = workload_by_name(name, scale)
-                .ok_or_else(|| format!("unknown workload {name}"))?;
-            let log = w.generate();
+            let w =
+                workload_by_name(name, scale).ok_or_else(|| format!("unknown workload {name}"))?;
+            let log = w.generate_traced();
             let bytes = LogWriter::from_log(log)
                 .finish()
                 .map_err(|e| e.to_string())?;
@@ -108,7 +187,11 @@ fn run() -> Result<(), String> {
         }
         "analyze" => {
             let path = args.get(1).ok_or("analyze needs <log.darshan>")?;
-            let report = IonPipeline::new().run(&load(path)?);
+            // Feed bytes so the decode span nests under the pipeline span.
+            let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let report = IonPipeline::new()
+                .run_bytes(&bytes)
+                .map_err(|e| format!("cannot decode {path}: {e}"))?;
             emit(&report.render_text());
             let problems = report.consistency();
             if problems.is_empty() {
@@ -136,7 +219,10 @@ fn run() -> Result<(), String> {
         }
         "qa" => {
             let path = args.get(1).ok_or("qa needs <log.darshan> [questions...]")?;
-            let report = IonPipeline::new().run(&load(path)?);
+            let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let report = IonPipeline::new()
+                .run_bytes(&bytes)
+                .map_err(|e| format!("cannot decode {path}: {e}"))?;
             emit(&format!("{}\n", report.summary));
             let mut session = report.session();
             for q in &args[2..] {

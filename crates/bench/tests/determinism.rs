@@ -1,0 +1,41 @@
+//! Determinism under parallelism: the analyzer must produce byte-identical
+//! results whether issue contexts run on one worker or on every core, and
+//! the metrics must show exactly one model run per issue context.
+
+use ion::analyzer::{Analyzer, SystemParams};
+use workloads::ior::ior_easy_2kb_shared;
+use workloads::Workload;
+
+#[test]
+fn parallel_analysis_is_byte_identical_and_runs_each_issue_once() {
+    let log = ior_easy_2kb_shared(0.02).generate();
+    let tables = extractor::extract_tables(&log);
+    let params = SystemParams::from_log(&log);
+
+    let sequential = Analyzer::new().sequential().analyze(&tables, &params);
+
+    ion_obs::reset();
+    ion_obs::enable();
+    let parallel = Analyzer::new().analyze(&tables, &params);
+    let snap = ion_obs::snapshot();
+    ion_obs::disable();
+    ion_obs::reset();
+
+    // Byte-identical output regardless of worker count.
+    assert_eq!(sequential, parallel);
+    assert_eq!(format!("{sequential:?}"), format!("{parallel:?}"));
+
+    // Exactly one model run per issue context, plus the summarization run.
+    let issues = parallel.diagnoses.len() as u64;
+    assert!(issues > 0);
+    assert_eq!(snap.counter("ion.issue_analyses"), issues);
+    assert_eq!(snap.counter("llm.runs"), issues + 1);
+    assert_eq!(snap.spans_named("issue").count() as u64, issues);
+
+    // The parallel issue spans really ran across threads when the host has
+    // them, but every one still parents to the single analyze span.
+    let analyze = snap.spans_named("analyze").next().unwrap();
+    for issue in snap.spans_named("issue") {
+        assert_eq!(issue.parent, Some(analyze.id));
+    }
+}

@@ -1,0 +1,161 @@
+//! End-to-end observability: run the quickstart pipeline on a small
+//! IOR-Easy trace with the global sink enabled and check the span tree,
+//! the timing invariants, and the machine-readable output.
+
+use ion::pipeline::IonPipeline;
+use ion_obs::render::Snapshot;
+use ion_obs::span::{SpanData, SpanId};
+use std::borrow::Cow;
+use workloads::ior::ior_easy_2kb_shared;
+use workloads::Workload;
+
+/// Capture one profiled pipeline run over a small IOR-Easy trace. The
+/// global sink is process-wide, so concurrent callers serialize here.
+fn profiled_run() -> (Snapshot, ion::pipeline::IonReport) {
+    static SINK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = SINK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let log = ior_easy_2kb_shared(0.02).generate();
+    let bytes = darshan::log::LogWriter::from_log(log).finish().unwrap();
+    ion_obs::reset();
+    ion_obs::enable();
+    let report = IonPipeline::new().run_bytes(&bytes).unwrap();
+    let snap = ion_obs::snapshot();
+    ion_obs::disable();
+    ion_obs::reset();
+    (snap, report)
+}
+
+#[test]
+fn pipeline_span_tree_covers_every_stage() {
+    let (snap, report) = profiled_run();
+
+    let roots = snap.roots();
+    assert_eq!(
+        roots.len(),
+        1,
+        "one pipeline root:\n{}",
+        snap.render_profile()
+    );
+    let pipeline = roots[0];
+    assert_eq!(pipeline.name, "pipeline");
+
+    let stage_names: Vec<&str> = snap
+        .children_of(pipeline.id)
+        .iter()
+        .map(|s| s.name.as_ref())
+        .collect();
+    assert_eq!(
+        stage_names,
+        vec!["decode", "extract", "analyze"],
+        "pipeline stages in order:\n{}",
+        snap.render_profile()
+    );
+
+    // The decode span breaks down into per-module region spans.
+    let decode = snap.spans_named("decode").next().unwrap();
+    assert!(
+        snap.children_of(decode.id)
+            .iter()
+            .any(|s| s.name == "decode.posix"),
+        "decode has per-module children:\n{}",
+        snap.render_profile()
+    );
+
+    // One issue span per analyzed context, plus the summarization span,
+    // all under analyze.
+    let analyze = snap.spans_named("analyze").next().unwrap();
+    let issue_count = snap
+        .children_of(analyze.id)
+        .iter()
+        .filter(|s| s.name == "issue")
+        .count();
+    assert_eq!(issue_count, report.diagnoses.len());
+    assert_eq!(
+        snap.children_of(analyze.id)
+            .iter()
+            .filter(|s| s.name == "summarize")
+            .count(),
+        1
+    );
+
+    // Every issue analysis ran the model, and the model drove the IQL
+    // interpreter at least once overall.
+    assert!(snap.spans_named("llm.run").count() >= issue_count);
+    assert_eq!(snap.counter("llm.runs"), issue_count as u64 + 1);
+    assert!(snap.counter("iql.queries_evaluated") > 0);
+    assert!(snap.counter("iql.rows_scanned") > 0);
+    assert!(snap.counter("darshan.decode.bytes") > 0);
+    assert!(snap.counter("darshan.decode.crc_checks") > 0);
+    assert!(snap.counter("ion.issue_analyses") == issue_count as u64);
+}
+
+#[test]
+fn stage_durations_sum_within_total() {
+    let (snap, _) = profiled_run();
+    let pipeline = snap.roots()[0];
+    let stage_sum: u64 = snap
+        .children_of(pipeline.id)
+        .iter()
+        .map(|s| s.duration_ns())
+        .sum();
+    assert!(
+        stage_sum <= pipeline.duration_ns(),
+        "stages ({stage_sum}ns) exceed pipeline ({}ns)",
+        pipeline.duration_ns()
+    );
+    assert!(pipeline.duration_ns() <= snap.total_ns());
+}
+
+#[test]
+fn metrics_json_is_well_formed() {
+    let (snap, _) = profiled_run();
+    let json = snap.to_json();
+    assert!(json.contains("\"schema\": \"ion-obs/1\""));
+    assert!(json.contains("\"pipeline\""));
+    assert!(json.contains("\"iql.query_ns\""));
+    assert!(!json.contains("\"total_ns\": 0,"), "timings are nonzero");
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+}
+
+#[test]
+fn golden_profile_tree_render() {
+    let span = |id: u64, parent: Option<u64>, name: &'static str, start: u64, end: u64| SpanData {
+        id: SpanId(id),
+        parent: parent.map(SpanId),
+        name: Cow::Borrowed(name),
+        thread: 0,
+        start_ns: start,
+        end_ns: end,
+        attrs: Vec::new(),
+    };
+    let mut extract = span(3, Some(1), "extract", 250_000, 600_000);
+    extract.attrs.push((Cow::Borrowed("tables"), "3".into()));
+    let mut snap = Snapshot {
+        spans: vec![
+            span(1, None, "pipeline", 0, 1_000_000),
+            span(2, Some(1), "decode", 0, 250_000),
+            extract,
+            span(4, Some(1), "analyze", 600_000, 1_000_000),
+            span(5, Some(4), "issue", 600_000, 800_000),
+            span(6, Some(4), "summarize", 800_000, 1_000_000),
+        ],
+        ..Snapshot::default()
+    };
+    snap.counters.insert("llm.runs".into(), 2);
+
+    let expected = "\
+profile · 6 spans · total 1.000ms
+└─ pipeline                                      1.000ms
+   ├─ decode                                   250.000µs
+   ├─ extract                                  350.000µs  [tables=3]
+   └─ analyze                                  400.000µs
+      ├─ issue                                 200.000µs
+      └─ summarize                             200.000µs
+counters:
+  llm.runs = 2
+";
+    assert_eq!(snap.render_profile(), expected);
+}

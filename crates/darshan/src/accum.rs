@@ -9,8 +9,7 @@
 //! variance counters.
 
 use crate::counters::{
-    size_bin, MpiioCounter, MpiioFCounter, PosixCounter, PosixFCounter, StdioCounter,
-    StdioFCounter,
+    size_bin, MpiioCounter, MpiioFCounter, PosixCounter, PosixFCounter, StdioCounter, StdioFCounter,
 };
 use crate::records::{MpiioRecord, PosixRecord, StdioRecord, SHARED_RANK};
 use std::collections::HashMap;
@@ -263,9 +262,7 @@ impl PosixAccumulator {
             self.record
                 .fset(PosixFCounter::POSIX_F_WRITE_START_TIMESTAMP, start);
         }
-        let prev = self
-            .record
-            .fget(PosixFCounter::POSIX_F_WRITE_END_TIMESTAMP);
+        let prev = self.record.fget(PosixFCounter::POSIX_F_WRITE_END_TIMESTAMP);
         if end > prev {
             self.record
                 .fset(PosixFCounter::POSIX_F_WRITE_END_TIMESTAMP, end);
@@ -386,7 +383,11 @@ impl MpiioAccumulator {
         }
         self.record
             .fadd(MpiioFCounter::MPIIO_F_META_TIME, (end - start).max(0.0));
-        if self.record.fget(MpiioFCounter::MPIIO_F_OPEN_START_TIMESTAMP) == 0.0 {
+        if self
+            .record
+            .fget(MpiioFCounter::MPIIO_F_OPEN_START_TIMESTAMP)
+            == 0.0
+        {
             self.record
                 .fset(MpiioFCounter::MPIIO_F_OPEN_START_TIMESTAMP, start);
         }
@@ -398,7 +399,11 @@ impl MpiioAccumulator {
     pub fn close(&mut self, start: f64, end: f64) {
         self.record
             .fadd(MpiioFCounter::MPIIO_F_META_TIME, (end - start).max(0.0));
-        if self.record.fget(MpiioFCounter::MPIIO_F_CLOSE_START_TIMESTAMP) == 0.0 {
+        if self
+            .record
+            .fget(MpiioFCounter::MPIIO_F_CLOSE_START_TIMESTAMP)
+            == 0.0
+        {
             self.record
                 .fset(MpiioFCounter::MPIIO_F_CLOSE_START_TIMESTAMP, start);
         }
@@ -459,9 +464,7 @@ impl MpiioAccumulator {
             self.record
                 .fset(MpiioFCounter::MPIIO_F_WRITE_START_TIMESTAMP, start);
         }
-        let prev = self
-            .record
-            .fget(MpiioFCounter::MPIIO_F_WRITE_END_TIMESTAMP);
+        let prev = self.record.fget(MpiioFCounter::MPIIO_F_WRITE_END_TIMESTAMP);
         if end > prev {
             self.record
                 .fset(MpiioFCounter::MPIIO_F_WRITE_END_TIMESTAMP, end);
@@ -533,7 +536,11 @@ impl StdioAccumulator {
         self.record.add(StdioCounter::STDIO_OPENS, 1);
         self.record
             .fadd(StdioFCounter::STDIO_F_META_TIME, (end - start).max(0.0));
-        if self.record.fget(StdioFCounter::STDIO_F_OPEN_START_TIMESTAMP) == 0.0 {
+        if self
+            .record
+            .fget(StdioFCounter::STDIO_F_OPEN_START_TIMESTAMP)
+            == 0.0
+        {
             self.record
                 .fset(StdioFCounter::STDIO_F_OPEN_START_TIMESTAMP, start);
         }
@@ -568,7 +575,11 @@ impl StdioAccumulator {
         }
         let dur = (end - start).max(0.0);
         self.record.fadd(StdioFCounter::STDIO_F_READ_TIME, dur);
-        if self.record.fget(StdioFCounter::STDIO_F_READ_START_TIMESTAMP) == 0.0 {
+        if self
+            .record
+            .fget(StdioFCounter::STDIO_F_READ_START_TIMESTAMP)
+            == 0.0
+        {
             self.record
                 .fset(StdioFCounter::STDIO_F_READ_START_TIMESTAMP, start);
         }

@@ -153,7 +153,13 @@ mod tests {
             let mut acc = PosixAccumulator::new(fid, rank);
             acc.open(0.0, 0.01);
             for i in 0..10u64 {
-                acc.write(i * 4096, 4096, 0.01 * i as f64, 0.01 * i as f64 + 0.005, true);
+                acc.write(
+                    i * 4096,
+                    4096,
+                    0.01 * i as f64,
+                    0.01 * i as f64 + 0.005,
+                    true,
+                );
             }
             acc.close(0.2, 0.21);
             writer.add_posix_record(acc.finish());

@@ -24,6 +24,9 @@ impl LogReader {
     /// bad magic, unsupported version, CRC mismatch, truncation, or a
     /// malformed record.
     pub fn read(bytes: &[u8]) -> Result<Log, DarshanError> {
+        let mut decode_span = ion_obs::span!("decode");
+        decode_span.attr("bytes", bytes.len());
+        ion_obs::counter("darshan.decode.bytes", bytes.len() as u64);
         let mut buf = bytes;
         if buf.len() < 8 {
             return Err(DarshanError::UnexpectedEof { decoding: "header" });
@@ -42,7 +45,9 @@ impl LogReader {
         let mut saw_job = false;
         loop {
             if buf.is_empty() {
-                return Err(DarshanError::UnexpectedEof { decoding: "region tag" });
+                return Err(DarshanError::UnexpectedEof {
+                    decoding: "region tag",
+                });
             }
             let tag = buf[0];
             buf = &buf[1..];
@@ -51,18 +56,20 @@ impl LogReader {
             }
             let len = get_uvarint(&mut buf)? as usize;
             if buf.len() < len + 4 {
-                return Err(DarshanError::UnexpectedEof { decoding: "region payload" });
+                return Err(DarshanError::UnexpectedEof {
+                    decoding: "region payload",
+                });
             }
             let payload = &buf[..len];
-            let stored_crc = u32::from_le_bytes([
-                buf[len],
-                buf[len + 1],
-                buf[len + 2],
-                buf[len + 3],
-            ]);
+            let stored_crc =
+                u32::from_le_bytes([buf[len], buf[len + 1], buf[len + 2], buf[len + 3]]);
             buf = &buf[len + 4..];
+            let mut region_span = ion_obs::span!(region_span_name(tag));
+            region_span.attr("bytes", len);
             let actual = crc32(payload);
+            ion_obs::counter("darshan.decode.crc_checks", 1);
             if actual != stored_crc {
+                ion_obs::counter("darshan.decode.crc_failures", 1);
                 return Err(DarshanError::ChecksumMismatch {
                     region: region_name(tag),
                     expected: stored_crc,
@@ -125,8 +132,19 @@ impl LogReader {
             }
         }
         if !saw_job {
-            return Err(DarshanError::UnexpectedEof { decoding: "job region" });
+            return Err(DarshanError::UnexpectedEof {
+                decoding: "job region",
+            });
         }
+        let records = log.names.len()
+            + log.posix.len()
+            + log.mpiio.len()
+            + log.stdio.len()
+            + log.lustre.len()
+            + log.dxt.len()
+            + log.heatmap.len();
+        ion_obs::counter("darshan.decode.records", records as u64);
+        decode_span.attr("records", records);
         Ok(log)
     }
 }
@@ -136,6 +154,23 @@ fn region_name(tag: u8) -> &'static str {
         TAG_JOB => "job",
         TAG_NAMES => "names",
         t => ModuleId::from_code(t).map_or("unknown", ModuleId::name),
+    }
+}
+
+/// Static span name for one region's decode timing (`decode.posix`, …).
+fn region_span_name(tag: u8) -> &'static str {
+    match tag {
+        TAG_JOB => "decode.job",
+        TAG_NAMES => "decode.names",
+        t => match ModuleId::from_code(t) {
+            Some(ModuleId::Posix) => "decode.posix",
+            Some(ModuleId::MpiIo) => "decode.mpiio",
+            Some(ModuleId::Stdio) => "decode.stdio",
+            Some(ModuleId::Lustre) => "decode.lustre",
+            Some(ModuleId::Dxt) => "decode.dxt",
+            Some(ModuleId::Heatmap) => "decode.heatmap",
+            None => "decode.unknown",
+        },
     }
 }
 
@@ -241,7 +276,9 @@ fn decode_lustre(p: &mut &[u8]) -> Result<LustreRecord, DarshanError> {
     }
     let no = get_uvarint(p)? as usize;
     if no > p.len() {
-        return Err(DarshanError::UnexpectedEof { decoding: "lustre ost ids" });
+        return Err(DarshanError::UnexpectedEof {
+            decoding: "lustre ost ids",
+        });
     }
     let mut ost_ids = Vec::with_capacity(no);
     for _ in 0..no {
@@ -261,7 +298,9 @@ fn decode_heatmap(p: &mut &[u8]) -> Result<HeatmapRecord, DarshanError> {
     let nbins = get_uvarint(p)? as usize;
     // A bin costs at least one byte each for reads and writes.
     if nbins > p.len() / 2 + 1 {
-        return Err(DarshanError::UnexpectedEof { decoding: "heatmap bins" });
+        return Err(DarshanError::UnexpectedEof {
+            decoding: "heatmap bins",
+        });
     }
     let mut read_bytes = Vec::with_capacity(nbins);
     for _ in 0..nbins {
@@ -283,7 +322,9 @@ fn decode_dxt(p: &mut &[u8]) -> Result<DxtRecord, DarshanError> {
     let file_id = get_uvarint(p)?;
     let rank = get_ivarint(p)? as i32;
     if p.is_empty() {
-        return Err(DarshanError::UnexpectedEof { decoding: "dxt layer" });
+        return Err(DarshanError::UnexpectedEof {
+            decoding: "dxt layer",
+        });
     }
     let layer = match p[0] {
         0 => DxtLayer::Posix,
@@ -298,7 +339,9 @@ fn decode_dxt(p: &mut &[u8]) -> Result<DxtRecord, DarshanError> {
         // A segment costs at least 18 bytes on the wire; reject counts that
         // cannot possibly fit so corrupt lengths fail fast instead of OOMing.
         if n > p.len() / 18 + 1 {
-            return Err(DarshanError::UnexpectedEof { decoding: "dxt segments" });
+            return Err(DarshanError::UnexpectedEof {
+                decoding: "dxt segments",
+            });
         }
         dest.reserve(n);
         let mut prev_offset: i64 = 0;

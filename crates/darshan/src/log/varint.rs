@@ -95,7 +95,10 @@ pub fn get_f64(buf: &mut impl Buf) -> Result<f64, DarshanError> {
 pub fn put_string(buf: &mut impl BufMut, s: &str) -> Result<(), DarshanError> {
     const MAX: usize = 65_536;
     if s.len() > MAX {
-        return Err(DarshanError::StringTooLong { len: s.len(), max: MAX });
+        return Err(DarshanError::StringTooLong {
+            len: s.len(),
+            max: MAX,
+        });
     }
     put_uvarint(buf, s.len() as u64);
     buf.put_slice(s.as_bytes());
@@ -171,7 +174,14 @@ mod tests {
 
     #[test]
     fn f64_round_trip_specials() {
-        for v in [0.0f64, -0.0, 1.5, f64::MAX, f64::MIN_POSITIVE, f64::INFINITY] {
+        for v in [
+            0.0f64,
+            -0.0,
+            1.5,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            f64::INFINITY,
+        ] {
             let mut buf = Vec::new();
             put_f64(&mut buf, v);
             assert_eq!(get_f64(&mut &buf[..]).unwrap().to_bits(), v.to_bits());

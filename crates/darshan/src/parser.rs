@@ -23,7 +23,11 @@ pub fn render_text(log: &Log) -> String {
     let names = log.name_map();
     let lookup = |id: u64| names.get(&id).copied().unwrap_or("<unknown>");
     let mut out = String::new();
-    let _ = writeln!(out, "# darshan log version: ion-repro {}", crate::log::VERSION);
+    let _ = writeln!(
+        out,
+        "# darshan log version: ion-repro {}",
+        crate::log::VERSION
+    );
     let _ = writeln!(out, "# exe: {}", log.job.exe);
     let _ = writeln!(out, "# uid: {}", log.job.uid);
     let _ = writeln!(out, "# jobid: {}", log.job.job_id);

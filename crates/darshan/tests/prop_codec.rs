@@ -49,18 +49,14 @@ proptest! {
 }
 
 fn arb_segment() -> impl Strategy<Value = DxtSegment> {
-    (
-        0u64..1 << 44,
-        0u64..1 << 30,
-        0.0f64..1e6,
-        0.0f64..1e6,
-    )
-        .prop_map(|(offset, length, a, b)| DxtSegment {
+    (0u64..1 << 44, 0u64..1 << 30, 0.0f64..1e6, 0.0f64..1e6).prop_map(|(offset, length, a, b)| {
+        DxtSegment {
             offset,
             length,
             start_time: a.min(b),
             end_time: a.max(b),
-        })
+        }
+    })
 }
 
 fn arb_dxt_record() -> impl Strategy<Value = DxtRecord> {

@@ -104,6 +104,7 @@ impl Ctx<'_> {
 /// Run the full trigger set against a log.
 #[must_use]
 pub fn analyze(log: &Log) -> Report {
+    let mut span = ion_obs::span!("drishti.analyze");
     let mut ctx = Ctx {
         log,
         insights: Vec::new(),
@@ -117,6 +118,9 @@ pub fn analyze(log: &Log) -> Report {
     metadata_triggers(&mut ctx);
     mpiio_triggers(&mut ctx);
     lustre_triggers(&mut ctx);
+    span.attr("triggers", ctx.evaluated);
+    span.attr("insights", ctx.insights.len());
+    ion_obs::counter("drishti.triggers_evaluated", ctx.evaluated as u64);
     Report {
         insights: ctx.insights,
         triggers_evaluated: ctx.evaluated,
@@ -208,8 +212,7 @@ fn posix_operation_triggers(ctx: &mut Ctx<'_>) {
     for &write in &[false, true] {
         let mut best: Option<(u64, i64)> = None;
         for f in &shared {
-            let recs: Vec<&PosixRecord> =
-                log.posix.iter().filter(|r| r.file_id == *f).collect();
+            let recs: Vec<&PosixRecord> = log.posix.iter().filter(|r| r.file_id == *f).collect();
             let s = small_ops(&recs, write);
             if best.is_none() || s > best.unwrap().1 {
                 best = Some((*f, s));
@@ -235,7 +238,9 @@ fn posix_operation_triggers(ctx: &mut Ctx<'_>) {
                         "({:.2}%) small {kind} requests are to \"{path}\"",
                         100.0 * s as f64 / total_small.max(1) as f64
                     ),
-                    Some("consider using collective I/O or aggregating requests to the shared file"),
+                    Some(
+                        "consider using collective I/O or aggregating requests to the shared file",
+                    ),
                     Some(path),
                 );
             }
@@ -386,8 +391,8 @@ fn balance_triggers(ctx: &mut Ctx<'_>) {
     let mut bytes_per_rank: HashMap<i32, i64> = HashMap::new();
     let mut time_per_rank: HashMap<i32, f64> = HashMap::new();
     for r in log.posix.iter().filter(|r| r.rank >= 0) {
-        *bytes_per_rank.entry(r.rank).or_insert(0) += r.get(PosixCounter::POSIX_BYTES_READ)
-            + r.get(PosixCounter::POSIX_BYTES_WRITTEN);
+        *bytes_per_rank.entry(r.rank).or_insert(0) +=
+            r.get(PosixCounter::POSIX_BYTES_READ) + r.get(PosixCounter::POSIX_BYTES_WRITTEN);
         *time_per_rank.entry(r.rank).or_insert(0.0) += r.fget(PosixFCounter::POSIX_F_READ_TIME)
             + r.fget(PosixFCounter::POSIX_F_WRITE_TIME)
             + r.fget(PosixFCounter::POSIX_F_META_TIME);
@@ -708,9 +713,12 @@ fn lustre_triggers(ctx: &mut Ctx<'_>) {
     }
 
     // 29. Stripe width far below rank count for shared files.
-    if ctx.check(log.job.nprocs >= 8 && log.lustre.iter().any(|l| {
-        shared.contains(&l.file_id) && (l.stripe_width() as u32) * 4 < log.job.nprocs
-    })) {
+    if ctx.check(
+        log.job.nprocs >= 8
+            && log.lustre.iter().any(|l| {
+                shared.contains(&l.file_id) && (l.stripe_width() as u32) * 4 < log.job.nprocs
+            }),
+    ) {
         ctx.emit(
             "lustre-narrow-stripe",
             Level::Warn,
@@ -730,10 +738,14 @@ fn lustre_triggers(ctx: &mut Ctx<'_>) {
         .map_or(1 << 20, |l| l.stripe_size().max(1)) as f64;
     let reads = psum(log, PosixCounter::POSIX_READS);
     let writes = psum(log, PosixCounter::POSIX_WRITES);
-    let bytes = psum(log, PosixCounter::POSIX_BYTES_READ)
-        + psum(log, PosixCounter::POSIX_BYTES_WRITTEN);
+    let bytes =
+        psum(log, PosixCounter::POSIX_BYTES_READ) + psum(log, PosixCounter::POSIX_BYTES_WRITTEN);
     let ops = reads + writes;
-    let mean = if ops > 0 { bytes as f64 / ops as f64 } else { 0.0 };
+    let mean = if ops > 0 {
+        bytes as f64 / ops as f64
+    } else {
+        0.0
+    };
     if ctx.check(ops > 0 && mean > 0.0 && mean * 16.0 < stripe) {
         ctx.emit(
             "lustre-stripe-vs-request",

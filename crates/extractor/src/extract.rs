@@ -49,11 +49,7 @@ impl TableSet {
 
     /// Iterate `(name, table)` pairs in sorted order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Table)> {
-        let mut v: Vec<(&str, &Table)> = self
-            .tables
-            .iter()
-            .map(|(k, t)| (k.as_str(), t))
-            .collect();
+        let mut v: Vec<(&str, &Table)> = self.tables.iter().map(|(k, t)| (k.as_str(), t)).collect();
         v.sort_by_key(|(k, _)| *k);
         v.into_iter()
     }
@@ -77,6 +73,7 @@ fn id_cells(log: &Log, file_id: u64, rank: i32) -> Vec<Value> {
 /// signal in itself.
 #[must_use]
 pub fn extract_tables(log: &Log) -> TableSet {
+    let mut span = ion_obs::span!("extract");
     let mut set = TableSet::default();
 
     if !log.posix.is_empty() {
@@ -194,6 +191,12 @@ pub fn extract_tables(log: &Log) -> TableSet {
         set.insert(t);
     }
 
+    span.attr("tables", set.len());
+    if ion_obs::enabled() {
+        for (name, table) in set.iter() {
+            ion_obs::counter(&format!("extract.rows.{name}"), table.len() as u64);
+        }
+    }
     set
 }
 

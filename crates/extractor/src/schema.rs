@@ -56,7 +56,9 @@ pub fn column_description(column: &str) -> Option<String> {
         "POSIX_RW_SWITCHES" => "times the access pattern alternated between read and write",
         "POSIX_MEM_NOT_ALIGNED" => "accesses from client buffers not meeting memory alignment",
         "POSIX_MEM_ALIGNMENT" => "memory alignment requirement in bytes",
-        "POSIX_FILE_NOT_ALIGNED" => "accesses whose file offset was not aligned to the file alignment",
+        "POSIX_FILE_NOT_ALIGNED" => {
+            "accesses whose file offset was not aligned to the file alignment"
+        }
         "POSIX_FILE_ALIGNMENT" => {
             "file alignment in bytes (the Lustre stripe size on Lustre systems)"
         }
@@ -66,7 +68,9 @@ pub fn column_description(column: &str) -> Option<String> {
         "POSIX_SLOWEST_RANK_BYTES" => "bytes moved by the slowest rank",
         "POSIX_F_READ_TIME" => "cumulative seconds spent in reads",
         "POSIX_F_WRITE_TIME" => "cumulative seconds spent in writes",
-        "POSIX_F_META_TIME" => "cumulative seconds spent in metadata operations (open/close/seek/stat/sync)",
+        "POSIX_F_META_TIME" => {
+            "cumulative seconds spent in metadata operations (open/close/seek/stat/sync)"
+        }
         "POSIX_F_MAX_READ_TIME" => "duration of the single slowest read",
         "POSIX_F_MAX_WRITE_TIME" => "duration of the single slowest write",
         "POSIX_F_VARIANCE_RANK_TIME" => "variance of total I/O time across ranks (shared records)",
@@ -122,10 +126,16 @@ fn derived_description(column: &str) -> Option<String> {
             .trim_start_matches("READ_")
             .trim_start_matches("WRITE_")
             .trim_start_matches("AGG_");
-        let dir = if column.contains("READ") { "read" } else { "write" };
+        let dir = if column.contains("READ") {
+            "read"
+        } else {
+            "write"
+        };
         if let Some((lo, hi)) = rest.split_once('_') {
             if hi == "PLUS" {
-                return Some(format!("number of {dir} operations of size {lo} bytes or larger"));
+                return Some(format!(
+                    "number of {dir} operations of size {lo} bytes or larger"
+                ));
             }
             return Some(format!(
                 "number of {dir} operations with size in [{lo}, {hi}) bytes"

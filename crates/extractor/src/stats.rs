@@ -79,7 +79,11 @@ pub fn column_percentile(table: &Table, column: &str, pct: f64) -> Option<f64> {
 ///
 /// Returns a sorted map so output is deterministic.
 #[must_use]
-pub fn group_sum(table: &Table, key_column: &str, value_column: &str) -> Option<BTreeMap<String, f64>> {
+pub fn group_sum(
+    table: &Table,
+    key_column: &str,
+    value_column: &str,
+) -> Option<BTreeMap<String, f64>> {
     let ki = table.column_index(key_column)?;
     let vi = table.column_index(value_column)?;
     let mut out = BTreeMap::new();

@@ -19,18 +19,15 @@ fn arb_value() -> impl Strategy<Value = Value> {
 fn arb_table() -> impl Strategy<Value = Table> {
     (1usize..6, 0usize..20).prop_flat_map(|(ncols, nrows)| {
         let cols: Vec<String> = (0..ncols).map(|i| format!("col{i}")).collect();
-        proptest::collection::vec(
-            proptest::collection::vec(arb_value(), ncols),
-            nrows..=nrows,
-        )
-        .prop_map(move |rows| {
-            let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
-            let mut t = Table::new("T", &col_refs);
-            for row in rows {
-                t.push_row(row);
-            }
-            t
-        })
+        proptest::collection::vec(proptest::collection::vec(arb_value(), ncols), nrows..=nrows)
+            .prop_map(move |rows| {
+                let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+                let mut t = Table::new("T", &col_refs);
+                for row in rows {
+                    t.push_row(row);
+                }
+                t
+            })
     })
 }
 
@@ -42,9 +39,7 @@ fn csv_equivalent(a: &Value, b: &Value) -> bool {
         (Value::Null, Value::Null) => true,
         (Value::Str(x), Value::Str(y)) => x == y,
         _ => match (a.as_f64(), b.as_f64()) {
-            (Some(x), Some(y)) => {
-                (x - y).abs() <= (x.abs().max(y.abs())) * 1e-12 + f64::EPSILON
-            }
+            (Some(x), Some(y)) => (x - y).abs() <= (x.abs().max(y.abs())) * 1e-12 + f64::EPSILON,
             _ => false,
         },
     }

@@ -218,10 +218,14 @@ impl<'a> Runtime<'a> {
     /// Returns [`RuntimeError::Budget`] if the model never produces a final
     /// message, or [`RuntimeError::UnknownTool`] on an unsupported tool.
     pub fn run(&self, mut thread: Thread) -> Result<Completion, RuntimeError> {
+        let mut run_span = ion_obs::span!("llm.run");
+        run_span.attr("model", self.model.model_id());
+        ion_obs::counter("llm.runs", 1);
         let mut tool_outputs = Vec::new();
         for step in 0..self.max_steps {
             match self.model.step(&thread) {
                 ModelAction::Final(text) => {
+                    run_span.attr("steps", step + 1);
                     return Ok(Completion {
                         text,
                         tool_outputs,
@@ -233,6 +237,8 @@ impl<'a> Runtime<'a> {
                     if call.tool != "code_interpreter" {
                         return Err(RuntimeError::UnknownTool { tool: call.tool });
                     }
+                    ion_obs::counter("llm.tool_calls", 1);
+                    let _tool_span = ion_obs::span!("llm.tool_call");
                     let output = execute_code(&call.input, self.tables);
                     let (text, is_error) = match output {
                         Ok(t) => (t, false),
@@ -356,7 +362,9 @@ mod tests {
         let tables = tables();
         let completion = Runtime::new(&model, &tables).run(Thread::new()).unwrap();
         assert!(completion.tool_outputs[0].is_error);
-        assert!(completion.tool_outputs[0].output.contains("no attached table"));
+        assert!(completion.tool_outputs[0]
+            .output
+            .contains("no attached table"));
     }
 
     #[test]
@@ -390,7 +398,9 @@ mod tests {
             }
         }
         let tables = tables();
-        let err = Runtime::new(&BadTool, &tables).run(Thread::new()).unwrap_err();
+        let err = Runtime::new(&BadTool, &tables)
+            .run(Thread::new())
+            .unwrap_err();
         assert!(matches!(err, RuntimeError::UnknownTool { .. }));
     }
 

@@ -22,10 +22,8 @@
 //! summarization prompt.
 
 use crate::api::{LanguageModel, Message, ModelAction, Role, Thread, ToolCall};
-use crate::knowledge::{
-    parse_context, render_template, ConcludeRule, IssueContextSpec, RuleKind,
-};
 use crate::iql::{eval_with_scalars, parse_expression};
+use crate::knowledge::{parse_context, render_template, ConcludeRule, IssueContextSpec, RuleKind};
 use extractor::Value;
 use std::collections::BTreeMap;
 
@@ -71,11 +69,7 @@ fn parse_metrics(output: &str) -> Vec<(String, Value)> {
     for line in output.lines() {
         if let Some((name, value)) = line.split_once(" = ") {
             let name = name.trim();
-            if name
-                .chars()
-                .all(|c| c.is_ascii_alphanumeric() || c == '_')
-                && !name.is_empty()
-            {
+            if name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') && !name.is_empty() {
                 out.push((name.to_owned(), Value::parse(value.trim())));
             }
         }
@@ -194,7 +188,11 @@ fn render_final(state: &RunState) -> String {
         .iter()
         .max_by_key(|(s, _)| severity_rank(s))
         .map(|(s, _)| s.as_str())
-        .unwrap_or(if mitigations.is_empty() { "none" } else { "low" })
+        .unwrap_or(if mitigations.is_empty() {
+            "none"
+        } else {
+            "low"
+        })
         .to_owned();
 
     let mut out = String::new();
@@ -327,9 +325,7 @@ fn render_summary(prompt: &str) -> String {
     let mut out = String::new();
     out.push_str("GLOBAL DIAGNOSIS SUMMARY\n");
     if high.is_empty() && medium.is_empty() && low.is_empty() {
-        out.push_str(
-            "No significant I/O performance issues were detected in this trace.\n",
-        );
+        out.push_str("No significant I/O performance issues were detected in this trace.\n");
     }
     if !high.is_empty() {
         out.push_str("Critical issues:\n");
@@ -367,7 +363,11 @@ impl LanguageModel for DeterministicExpert {
         let state = derive_state(thread);
         if state.completed_computes < state.spec.computes.len() {
             let compute = &state.spec.computes[state.completed_computes];
-            let program = format!("{}{}", preamble(&state.spec, &state.metrics), compute.source);
+            let program = format!(
+                "{}{}",
+                preamble(&state.spec, &state.metrics),
+                compute.source
+            );
             return ModelAction::Call(ToolCall {
                 tool: "code_interpreter".into(),
                 input: program,
@@ -469,9 +469,8 @@ NOTE IF total_ops == 0: "no operations traced"
 
     #[test]
     fn mitigation_flips_detected_to_mitigated() {
-        let ctx = format!(
-            "{SMALL_IO}\nMITIGATE IF small_pct > 50: \"operations are aggregatable\"\n"
-        );
+        let ctx =
+            format!("{SMALL_IO}\nMITIGATE IF small_pct > 50: \"operations are aggregatable\"\n");
         let tables = tables();
         let completion = run_expert(&prompt(&ctx), &tables).unwrap();
         assert!(completion.text.contains("DETECTED: mitigated"));
@@ -501,7 +500,11 @@ CONCLUDE IF ratio >= 1 SEVERITY low: "ratio is {ratio}"
         let tables = tables();
         let completion = run_expert(&prompt(ctx), &tables).unwrap();
         assert_eq!(completion.tool_outputs.len(), 2);
-        assert!(completion.text.contains("DETECTED: yes"), "{}", completion.text);
+        assert!(
+            completion.text.contains("DETECTED: yes"),
+            "{}",
+            completion.text
+        );
         assert!(completion.text.contains("ratio is 1"));
     }
 
@@ -541,7 +544,9 @@ CONCLUDE IF n > 1000000 SEVERITY high: "impossible"
         let tables = tables();
         let completion = run_expert(&prompt(ctx), &tables).unwrap();
         assert!(completion.text.contains("DETECTED: no"));
-        assert!(completion.text.contains("No evidence of the 'Ghost issue' issue"));
+        assert!(completion
+            .text
+            .contains("No evidence of the 'Ghost issue' issue"));
     }
 
     #[test]

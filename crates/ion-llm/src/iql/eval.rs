@@ -21,10 +21,7 @@ impl RunOutput {
     /// Look up an emitted scalar by name.
     #[must_use]
     pub fn get(&self, name: &str) -> Option<&Value> {
-        self.emitted
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| v)
+        self.emitted.iter().find(|(n, _)| n == name).map(|(_, v)| v)
     }
 
     /// Numeric view of an emitted scalar.
@@ -70,6 +67,21 @@ impl<'a> Interpreter<'a> {
     /// Returns an [`IqlError`] for unknown tables/columns/variables, bad
     /// function calls, or statements used before `LOAD`.
     pub fn run(&self, program: &Program) -> Result<RunOutput, IqlError> {
+        if !ion_obs::enabled() {
+            return self.run_inner(program);
+        }
+        let start = std::time::Instant::now();
+        let result = self.run_inner(program);
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        ion_obs::observe("iql.query_ns", ns);
+        ion_obs::counter("iql.queries_evaluated", 1);
+        if let Ok(out) = &result {
+            ion_obs::counter("iql.rows_scanned", out.rows_scanned as u64);
+        }
+        result
+    }
+
+    fn run_inner(&self, program: &Program) -> Result<RunOutput, IqlError> {
         // The working table starts as a borrow of the attached table;
         // transforming statements materialize an owned table. This keeps
         // `LOAD big_table` + aggregate-only programs zero-copy.
@@ -79,10 +91,9 @@ impl<'a> Interpreter<'a> {
         for stmt in &program.statements {
             match stmt {
                 Stmt::Load(name) => {
-                    let t = self
-                        .tables
-                        .get(name)
-                        .ok_or_else(|| IqlError::NoSuchTable { table: name.clone() })?;
+                    let t = self.tables.get(name).ok_or_else(|| IqlError::NoSuchTable {
+                        table: name.clone(),
+                    })?;
                     out.rows_scanned += t.len();
                     table = Some(Cow::Borrowed(t));
                 }
@@ -144,7 +155,9 @@ impl<'a> Interpreter<'a> {
                         let t: &Table = table.as_deref().ok_or(IqlError::NoTableLoaded)?;
                         let idx = t
                             .column_index(column)
-                            .ok_or_else(|| IqlError::NoSuchColumn { column: column.clone() })?;
+                            .ok_or_else(|| IqlError::NoSuchColumn {
+                                column: column.clone(),
+                            })?;
                         let names = t.column_names_owned();
                         let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
                         let mut rows: Vec<Vec<Value>> = t.rows().to_vec();
@@ -173,15 +186,18 @@ impl<'a> Interpreter<'a> {
                     };
                     table = Some(Cow::Owned(nt));
                 }
-                Stmt::Join { table: right_name, on } => {
+                Stmt::Join {
+                    table: right_name,
+                    on,
+                } => {
                     let nt = {
                         let left: &Table = table.as_deref().ok_or(IqlError::NoTableLoaded)?;
-                        let right = self
-                            .tables
-                            .get(right_name)
-                            .ok_or_else(|| IqlError::NoSuchTable {
-                                table: right_name.clone(),
-                            })?;
+                        let right =
+                            self.tables
+                                .get(right_name)
+                                .ok_or_else(|| IqlError::NoSuchTable {
+                                    table: right_name.clone(),
+                                })?;
                         out.rows_scanned += left.len() + right.len();
                         let li = left
                             .column_index(on)
@@ -199,8 +215,7 @@ impl<'a> Interpreter<'a> {
                             .filter(|(i, c)| *i != ri && !left_names.contains(&c.name))
                             .map(|(i, _)| i)
                             .collect();
-                        let mut names: Vec<&str> =
-                            left_names.iter().map(String::as_str).collect();
+                        let mut names: Vec<&str> = left_names.iter().map(String::as_str).collect();
                         for &i in &kept_right {
                             names.push(&right.columns[i].name);
                         }
@@ -388,7 +403,10 @@ fn binary(op: BinaryOp, l: Value, r: Value) -> Result<Value, IqlError> {
                 }
                 _ => unreachable!(),
             };
-            if v.fract() == 0.0 && v.abs() < 9e15 && matches!((l, r), (Value::Int(_), Value::Int(_))) {
+            if v.fract() == 0.0
+                && v.abs() < 9e15
+                && matches!((l, r), (Value::Int(_), Value::Int(_)))
+            {
                 Value::Int(v as i64)
             } else {
                 Value::Float(v)
@@ -637,10 +655,7 @@ mod tests {
     use super::*;
 
     fn dxt_tables() -> TableSet {
-        let mut t = Table::new(
-            "DXT",
-            &["rank", "op", "offset", "length"],
-        );
+        let mut t = Table::new("DXT", &["rank", "op", "offset", "length"]);
         // rank 0: two small sequential writes; rank 1: one large read.
         for (rank, op, offset, length) in [
             (0, "write", 0, 100),
@@ -706,7 +721,9 @@ mod tests {
 
     #[test]
     fn scalar_functions_in_let() {
-        let out = run("LOAD DXT\nAGG total = sum(length)\nLET r = max(total, 2_000_000) / 1000\nEMIT r\n");
+        let out = run(
+            "LOAD DXT\nAGG total = sum(length)\nLET r = max(total, 2_000_000) / 1000\nEMIT r\n",
+        );
         assert_eq!(out.get_f64("r"), Some(2000.0));
     }
 
@@ -726,7 +743,8 @@ mod tests {
 
     #[test]
     fn distinct_counts_unique_values() {
-        let out = run("LOAD DXT\nAGG ranks = distinct(rank), ops = distinct(op)\nEMIT ranks, ops\n");
+        let out =
+            run("LOAD DXT\nAGG ranks = distinct(rank), ops = distinct(op)\nEMIT ranks, ops\n");
         assert_eq!(out.get_f64("ranks"), Some(2.0));
         assert_eq!(out.get_f64("ops"), Some(2.0));
     }

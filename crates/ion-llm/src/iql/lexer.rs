@@ -102,9 +102,10 @@ pub fn tokenize(src: &str) -> Result<Vec<(Token, usize)>, IqlError> {
             c if c.is_ascii_digit() => {
                 let mut s = String::new();
                 while let Some(&c) = chars.peek() {
-                    let sign_after_exponent = (c == '+' || c == '-')
-                        && matches!(s.chars().last(), Some('e') | Some('E'));
-                    if c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' || sign_after_exponent {
+                    let sign_after_exponent =
+                        (c == '+' || c == '-') && matches!(s.chars().last(), Some('e') | Some('E'));
+                    if c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' || sign_after_exponent
+                    {
                         s.push(c);
                         chars.next();
                     } else if c == '_' {

@@ -96,7 +96,9 @@ pub enum IqlError {
 impl fmt::Display for IqlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            IqlError::BadChar { ch, line } => write!(f, "unexpected character {ch:?} on line {line}"),
+            IqlError::BadChar { ch, line } => {
+                write!(f, "unexpected character {ch:?} on line {line}")
+            }
             IqlError::UnterminatedString { line } => {
                 write!(f, "unterminated string literal on line {line}")
             }

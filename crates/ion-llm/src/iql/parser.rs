@@ -313,6 +313,7 @@ pub fn parse_expression(src: &str) -> Result<Expr, IqlError> {
 ///
 /// Returns the first lexical or syntactic error with its line number.
 pub fn parse_program(src: &str) -> Result<Program, IqlError> {
+    ion_obs::counter("iql.queries_parsed", 1);
     let tokens = tokenize(src)?;
     let mut p = Parser { tokens, pos: 0 };
     let mut statements = Vec::new();
@@ -348,7 +349,8 @@ EMIT pct, total
 
     #[test]
     fn parses_group_by() {
-        let p = parse_program("LOAD DXT\nGROUP rank AGG n = count(), bytes = sum(length)\n").unwrap();
+        let p =
+            parse_program("LOAD DXT\nGROUP rank AGG n = count(), bytes = sum(length)\n").unwrap();
         match &p.statements[1] {
             Stmt::Group { keys, aggs } => {
                 assert_eq!(keys, &["rank"]);
@@ -370,7 +372,8 @@ EMIT pct, total
 
     #[test]
     fn parses_sort_and_limit() {
-        let p = parse_program("LOAD DXT\nSORT length DESC\nLIMIT 10\nSELECT rank, length\n").unwrap();
+        let p =
+            parse_program("LOAD DXT\nSORT length DESC\nLIMIT 10\nSELECT rank, length\n").unwrap();
         assert!(matches!(
             p.statements[1],
             Stmt::Sort {

@@ -106,7 +106,11 @@ pub struct ContextParseError {
 
 impl fmt::Display for ContextParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "context parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "context parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -193,12 +197,15 @@ pub fn parse_context(text: &str) -> Result<IssueContextSpec, ContextParseError> 
                 message: "PARAM requires name = value".into(),
                 line: lineno,
             })?;
-            let value: f64 = value.trim().replace('_', "").parse().map_err(|_| {
-                ContextParseError {
-                    message: format!("bad PARAM value {}", value.trim()),
-                    line: lineno,
-                }
-            })?;
+            let value: f64 =
+                value
+                    .trim()
+                    .replace('_', "")
+                    .parse()
+                    .map_err(|_| ContextParseError {
+                        message: format!("bad PARAM value {}", value.trim()),
+                        line: lineno,
+                    })?;
             spec.params.push((name.trim().to_owned(), value));
         } else if let Some(v) = line.strip_prefix("COMPUTE ") {
             let name = v.trim().trim_end_matches(':').to_owned();
@@ -219,7 +226,9 @@ pub fn parse_context(text: &str) -> Result<IssueContextSpec, ContextParseError> 
                 });
             }
             spec.computes.push(ComputeBlock { name, source });
-        } else if line.starts_with("CONCLUDE ") || line.starts_with("MITIGATE ") || line.starts_with("NOTE ")
+        } else if line.starts_with("CONCLUDE ")
+            || line.starts_with("MITIGATE ")
+            || line.starts_with("NOTE ")
         {
             spec.rules.push(parse_rule(line, lineno)?);
         } else {

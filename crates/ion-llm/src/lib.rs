@@ -37,7 +37,9 @@ pub mod iql;
 pub mod knowledge;
 pub mod qa;
 
-pub use api::{Completion, LanguageModel, Message, ModelAction, Role, Runtime, Thread, ToolCall, ToolOutput};
+pub use api::{
+    Completion, LanguageModel, Message, ModelAction, Role, Runtime, Thread, ToolCall, ToolOutput,
+};
 pub use expert::DeterministicExpert;
 pub use iql::{Program, RunOutput};
 pub use knowledge::{ConcludeRule, IssueContextSpec, KnowledgeStatement};

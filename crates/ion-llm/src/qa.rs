@@ -87,12 +87,21 @@ impl QaSession {
     /// Whether a question reads like a follow-up on the previous topic
     /// rather than a fresh one.
     fn is_followup(q: &str) -> bool {
-        ["it", "that", "this", "why", "how", "more", "elaborate", "detail"]
-            .iter()
-            .any(|w| {
-                q.split(|c: char| !c.is_ascii_alphanumeric())
-                    .any(|t| t == *w)
-            })
+        [
+            "it",
+            "that",
+            "this",
+            "why",
+            "how",
+            "more",
+            "elaborate",
+            "detail",
+        ]
+        .iter()
+        .any(|w| {
+            q.split(|c: char| !c.is_ascii_alphanumeric())
+                .any(|t| t == *w)
+        })
     }
 
     /// Answer a question about the analyses. Never fails: follow-up

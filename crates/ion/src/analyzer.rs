@@ -151,7 +151,16 @@ impl<'m> Analyzer<'m> {
         &self.contexts
     }
 
-    fn run_one(&self, context: &IssueContext, tables: &TableSet, params: &SystemParams) -> Diagnosis {
+    fn run_one(
+        &self,
+        context: &IssueContext,
+        tables: &TableSet,
+        params: &SystemParams,
+        obs_parent: Option<ion_obs::SpanId>,
+    ) -> Diagnosis {
+        let mut issue_span = ion_obs::span_under(obs_parent, "issue");
+        issue_span.attr("issue", context.id);
+        ion_obs::counter("ion.issue_analyses", 1);
         let prompt = build_issue_prompt(context, tables, params);
         let runtime = Runtime::new(self.model, tables);
         match runtime.run(Thread::new().with(Message::user(prompt))) {
@@ -207,40 +216,52 @@ impl<'m> Analyzer<'m> {
         // transform large DXT tables, so oversubscribing cores only adds
         // memory pressure.
         let width = std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get);
+        let mut analyze_span = ion_obs::span!("analyze");
+        analyze_span.attr("issues", applicable.len());
+        analyze_span.attr("width", if self.parallel { width } else { 1 });
+        // Workers run on other threads, so the per-issue spans parent to the
+        // analyze span through an explicit hand-off.
+        let analyze_id = analyze_span.id();
         let diagnoses: Vec<Diagnosis> = if self.parallel && width > 1 {
             let mut slots: Vec<Option<Diagnosis>> = Vec::new();
             slots.resize_with(applicable.len(), || None);
-            for (chunk_start, chunk) in applicable.chunks(width).enumerate().map(|(ci, c)| (ci * width, c)) {
-                crossbeam::thread::scope(|scope| {
+            for (chunk_start, chunk) in applicable
+                .chunks(width)
+                .enumerate()
+                .map(|(ci, c)| (ci * width, c))
+            {
+                std::thread::scope(|scope| {
                     let mut handles = Vec::new();
                     for (i, context) in chunk.iter().enumerate() {
                         handles.push((
                             chunk_start + i,
-                            scope.spawn(move |_| self.run_one(context, tables, params)),
+                            scope.spawn(move || self.run_one(context, tables, params, analyze_id)),
                         ));
                     }
                     for (i, h) in handles {
                         slots[i] = Some(h.join().expect("analysis thread panicked"));
                     }
-                })
-                .expect("analysis scope panicked");
+                });
             }
             slots.into_iter().flatten().collect()
         } else {
             applicable
                 .iter()
-                .map(|c| self.run_one(c, tables, params))
+                .map(|c| self.run_one(c, tables, params, analyze_id))
                 .collect()
         };
 
         // Summarization pass over the per-issue completions.
-        let texts: Vec<String> = diagnoses.iter().map(|d| d.raw.clone()).collect();
-        let summary_prompt = build_summary_prompt(&texts);
-        let runtime = Runtime::new(self.model, tables);
-        let summary = runtime
-            .run(Thread::new().with(Message::user(summary_prompt)))
-            .map(|c| c.text)
-            .unwrap_or_else(|e| format!("summarization failed: {e}"));
+        let summary = {
+            let _summarize_span = ion_obs::span_under(analyze_id, "summarize");
+            let texts: Vec<String> = diagnoses.iter().map(|d| d.raw.clone()).collect();
+            let summary_prompt = build_summary_prompt(&texts);
+            let runtime = Runtime::new(self.model, tables);
+            runtime
+                .run(Thread::new().with(Message::user(summary_prompt)))
+                .map(|c| c.text)
+                .unwrap_or_else(|e| format!("summarization failed: {e}"))
+        };
 
         AnalysisResult {
             diagnoses,
@@ -289,7 +310,9 @@ mod tests {
             .find(|d| d.issue == "interface-usage")
             .expect("interface-usage analyzed");
         assert!(iface.is_detected(), "{}", iface.raw);
-        assert!(iface.raw.contains("not employing MPI-IO") || iface.raw.contains("only using POSIX"));
+        assert!(
+            iface.raw.contains("not employing MPI-IO") || iface.raw.contains("only using POSIX")
+        );
     }
 
     #[test]

@@ -212,7 +212,10 @@ mod tests {
             classify(Some(Detection::Yes), Some(Detection::No)),
             IssueChange::Resolved
         );
-        assert_eq!(classify(None, Some(Detection::Yes)), IssueChange::Introduced);
+        assert_eq!(
+            classify(None, Some(Detection::Yes)),
+            IssueChange::Introduced
+        );
         assert_eq!(
             classify(Some(Detection::Yes), Some(Detection::Mitigated)),
             IssueChange::Improved
@@ -221,10 +224,7 @@ mod tests {
             classify(Some(Detection::Mitigated), Some(Detection::Yes)),
             IssueChange::Regressed
         );
-        assert_eq!(
-            classify(Some(Detection::No), None),
-            IssueChange::Unchanged
-        );
+        assert_eq!(classify(Some(Detection::No), None), IssueChange::Unchanged);
     }
 
     #[test]

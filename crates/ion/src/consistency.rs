@@ -87,11 +87,11 @@ pub fn check(diagnoses: &[Diagnosis]) -> Vec<ConsistencyIssue> {
 
     // Cross-issue: "aggregatable because consecutive" contradicts a hard
     // random-access detection — random streams cannot be consecutive.
-    if let (Some(small), Some(random)) = (find(diagnoses, "small-io"), find(diagnoses, "random-access")) {
-        let aggregation_claim = small
-            .mitigations
-            .iter()
-            .any(|m| m.contains("consecutive"));
+    if let (Some(small), Some(random)) = (
+        find(diagnoses, "small-io"),
+        find(diagnoses, "random-access"),
+    ) {
+        let aggregation_claim = small.mitigations.iter().any(|m| m.contains("consecutive"));
         if aggregation_claim && random.detection == Some(Detection::Yes) {
             if let (Some(consec), Some(rand_pct)) =
                 (metric(small, "consec_pct"), metric(random, "random_pct"))
@@ -166,7 +166,10 @@ pub fn check(diagnoses: &[Diagnosis]) -> Vec<ConsistencyIssue> {
     // blamed on lock convoying only if contention was *also* reported.
     if let Some(shared) = find(diagnoses, "shared-file-contention") {
         if shared.detection == Some(Detection::Yes)
-            && shared.mitigations.iter().any(|m| m.contains("no stripe conflicts"))
+            && shared
+                .mitigations
+                .iter()
+                .any(|m| m.contains("no stripe conflicts"))
         {
             out.push(ConsistencyIssue {
                 level: ConsistencyLevel::Contradiction,
@@ -239,14 +242,18 @@ mod tests {
         small
             .mitigations
             .push("99% of operations are consecutive".into());
-        small.metrics.insert("consec_pct".into(), Value::Float(99.0));
+        small
+            .metrics
+            .insert("consec_pct".into(), Value::Float(99.0));
         let mut random = base("random-access");
         random.detection = Some(Detection::Yes);
         random.findings.push(Finding {
             severity: Severity::Medium,
             text: "random".into(),
         });
-        random.metrics.insert("random_pct".into(), Value::Float(95.0));
+        random
+            .metrics
+            .insert("random_pct".into(), Value::Float(95.0));
         let issues = check(&[small, random]);
         assert!(issues
             .iter()
@@ -260,7 +267,9 @@ mod tests {
         let mut small = base("small-io");
         small.detection = Some(Detection::Mitigated);
         small.mitigations.push("some consecutive".into());
-        small.metrics.insert("consec_pct".into(), Value::Float(40.0));
+        small
+            .metrics
+            .insert("consec_pct".into(), Value::Float(40.0));
         let mut random = base("random-access");
         random.detection = Some(Detection::Yes);
         random.severity = Severity::Medium;
@@ -268,7 +277,9 @@ mod tests {
             severity: Severity::Medium,
             text: "random".into(),
         });
-        random.metrics.insert("random_pct".into(), Value::Float(50.0));
+        random
+            .metrics
+            .insert("random_pct".into(), Value::Float(50.0));
         assert!(check(&[small, random]).is_empty());
     }
 

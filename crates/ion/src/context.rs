@@ -487,7 +487,11 @@ mod tests {
             assert_eq!(spec.issue, c.id, "ISSUE header mismatch in {}", c.id);
             assert!(!spec.title.is_empty(), "{} missing TITLE", c.id);
             assert!(!spec.modules.is_empty(), "{} missing MODULES", c.id);
-            assert!(!spec.knowledge.is_empty(), "{} has no prose knowledge", c.id);
+            assert!(
+                !spec.knowledge.is_empty(),
+                "{} has no prose knowledge",
+                c.id
+            );
         }
     }
 
@@ -497,9 +501,8 @@ mod tests {
             let spec = c.spec();
             assert!(!spec.computes.is_empty(), "{} has no computes", c.id);
             for comp in &spec.computes {
-                parse_program(&comp.source).unwrap_or_else(|e| {
-                    panic!("{}::{} fails to parse: {e}", c.id, comp.name)
-                });
+                parse_program(&comp.source)
+                    .unwrap_or_else(|e| panic!("{}::{} fails to parse: {e}", c.id, comp.name));
             }
         }
     }
@@ -518,12 +521,11 @@ mod tests {
     #[test]
     fn every_context_has_conclude_rule() {
         for c in builtin_contexts() {
-            let has_conclude = c.spec().rules.iter().any(|r| {
-                matches!(
-                    r.kind,
-                    ion_llm::knowledge::RuleKind::Conclude { .. }
-                )
-            });
+            let has_conclude = c
+                .spec()
+                .rules
+                .iter()
+                .any(|r| matches!(r.kind, ion_llm::knowledge::RuleKind::Conclude { .. }));
             assert!(has_conclude, "{} has no CONCLUDE rule", c.id);
         }
     }

@@ -44,8 +44,8 @@
 pub mod analyzer;
 pub mod compare;
 pub mod consistency;
-pub mod ensemble;
 pub mod context;
+pub mod ensemble;
 pub mod pipeline;
 pub mod prompt;
 pub mod report;

@@ -103,11 +103,8 @@ impl IonPipeline {
     /// Run on an in-memory log.
     #[must_use]
     pub fn run(&self, log: &Log) -> IonReport {
-        let tables = extract_tables(log);
-        let params = self
-            .params_override
-            .unwrap_or_else(|| SystemParams::from_log(log));
-        self.run_tables(&tables, &params)
+        let _pipeline_span = ion_obs::span!("pipeline");
+        self.run_log(log)
     }
 
     /// Run on serialized log bytes.
@@ -116,8 +113,19 @@ impl IonPipeline {
     ///
     /// Returns the decoding error if the bytes are not a valid log.
     pub fn run_bytes(&self, bytes: &[u8]) -> Result<IonReport, DarshanError> {
+        // One pipeline span covers decode through summarization, so the
+        // reader's decode span lands inside it.
+        let _pipeline_span = ion_obs::span!("pipeline");
         let log = LogReader::read(bytes)?;
-        Ok(self.run(&log))
+        Ok(self.run_log(&log))
+    }
+
+    fn run_log(&self, log: &Log) -> IonReport {
+        let tables = extract_tables(log);
+        let params = self
+            .params_override
+            .unwrap_or_else(|| SystemParams::from_log(log));
+        self.run_tables(&tables, &params)
     }
 
     /// Run on already-extracted tables.
@@ -125,11 +133,8 @@ impl IonPipeline {
     pub fn run_tables(&self, tables: &TableSet, params: &SystemParams) -> IonReport {
         let mut analyzer = Analyzer::new();
         if let Some(k) = self.retrieval_k {
-            let contexts = crate::retrieval::select_contexts(
-                crate::context::builtin_contexts(),
-                tables,
-                k,
-            );
+            let contexts =
+                crate::retrieval::select_contexts(crate::context::builtin_contexts(), tables, k);
             analyzer = analyzer.with_contexts(contexts);
         }
         let AnalysisResult {
@@ -158,7 +163,8 @@ mod tests {
             for rank in 0..2u32 {
                 // Offsets deliberately not stripe-aligned.
                 let base = u64::from(rank) * (32 << 20);
-                sim.posix_write(rank, f, base + i * 4096 + 17, 4096).unwrap();
+                sim.posix_write(rank, f, base + i * 4096 + 17, 4096)
+                    .unwrap();
             }
         }
         sim.posix_close_all(f);

@@ -317,7 +317,12 @@ CONCLUSION: Small operations dominate but aggregation mitigates them.
 
     #[test]
     fn severity_parse_round_trip() {
-        for s in [Severity::High, Severity::Medium, Severity::Low, Severity::None] {
+        for s in [
+            Severity::High,
+            Severity::Medium,
+            Severity::Low,
+            Severity::None,
+        ] {
             assert_eq!(Severity::parse(&s.to_string()), s);
         }
         assert_eq!(Severity::parse("bogus"), Severity::None);

@@ -159,8 +159,10 @@ pub fn rank_contexts(contexts: &[IssueContext], tables: &TableSet) -> Vec<Ranked
         .map(|(i, terms)| {
             // Sum matched terms in sorted order: float addition is not
             // associative and HashSet iteration order varies per process.
-            let mut matched: Vec<&String> =
-                terms.iter().filter(|t| profile_terms.contains(*t)).collect();
+            let mut matched: Vec<&String> = terms
+                .iter()
+                .filter(|t| profile_terms.contains(*t))
+                .collect();
             matched.sort();
             let score: f64 = matched
                 .iter()
@@ -183,10 +185,17 @@ pub fn rank_contexts(contexts: &[IssueContext], tables: &TableSet) -> Vec<Ranked
 
 /// Keep the `k` most relevant contexts for this trace.
 #[must_use]
-pub fn select_contexts(contexts: Vec<IssueContext>, tables: &TableSet, k: usize) -> Vec<IssueContext> {
+pub fn select_contexts(
+    contexts: Vec<IssueContext>,
+    tables: &TableSet,
+    k: usize,
+) -> Vec<IssueContext> {
     let ranking = rank_contexts(&contexts, tables);
     let keep: HashSet<&str> = ranking.iter().take(k).map(|r| r.id).collect();
-    contexts.into_iter().filter(|c| keep.contains(c.id)).collect()
+    contexts
+        .into_iter()
+        .filter(|c| keep.contains(c.id))
+        .collect()
 }
 
 #[cfg(test)]
@@ -238,7 +247,10 @@ mod tests {
     #[test]
     fn metadata_ranks_high_on_metadata_trace() {
         let ranking = rank_contexts(&builtin_contexts(), &metadata_trace());
-        let pos = ranking.iter().position(|r| r.id == "metadata-load").unwrap();
+        let pos = ranking
+            .iter()
+            .position(|r| r.id == "metadata-load")
+            .unwrap();
         let small_pos = ranking.iter().position(|r| r.id == "small-io").unwrap();
         assert!(pos < 5, "metadata-load ranked {pos}: {ranking:?}");
         // Both workloads have small ops, but the metadata trace should rank

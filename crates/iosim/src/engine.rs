@@ -109,6 +109,10 @@ pub struct Simulation {
     shim: DarshanShim,
     clocks: Vec<f64>,
     files: HashMap<FileHandle, OpenFile>,
+    /// Simulated operations issued so far (every POSIX/STDIO/MPI-IO call).
+    ops: u64,
+    /// Real wall-clock start, for the simulated-vs-real elapsed gauges.
+    started: std::time::Instant,
 }
 
 impl Simulation {
@@ -123,7 +127,11 @@ impl Simulation {
         for rank in 0..config.topology.nprocs {
             shim.register_host(rank as i32, &config.topology.hostname_of(rank));
         }
-        let fs = FileSystem::new(config.topology.ost_count, config.cost.clone(), config.layout);
+        let fs = FileSystem::new(
+            config.topology.ost_count,
+            config.cost.clone(),
+            config.layout,
+        );
         let clocks = vec![0.0; config.topology.nprocs as usize];
         Simulation {
             config,
@@ -131,7 +139,15 @@ impl Simulation {
             shim,
             clocks,
             files: HashMap::new(),
+            ops: 0,
+            started: std::time::Instant::now(),
         }
+    }
+
+    /// Simulated operations issued so far.
+    #[must_use]
+    pub fn ops_issued(&self) -> u64 {
+        self.ops
     }
 
     /// The configuration in force.
@@ -186,7 +202,9 @@ impl Simulation {
         self.files
             .get(&handle)
             .map(|f| f.record_id)
-            .ok_or(SimError::BadHandle { handle: handle.key() })
+            .ok_or(SimError::BadHandle {
+                handle: handle.key(),
+            })
     }
 
     // ------------------------------------------------------------------
@@ -205,6 +223,7 @@ impl Simulation {
             layout.stripe_size as i64,
             layout.ost_ids(self.config.topology.ost_count),
         );
+        self.ops += 1;
         self.shim.posix_open(rid, rank as i32, t, end);
         self.clocks[rank as usize] = end;
         self.files.insert(handle, OpenFile { record_id: rid });
@@ -245,6 +264,7 @@ impl Simulation {
         let rid = self.record_of(handle)?;
         let t = self.clocks[rank as usize];
         let out = self.fs.write(handle, rank, offset, len, t, mem_aligned)?;
+        self.ops += 1;
         self.shim
             .posix_write(rid, rank as i32, offset, len, t, out.end_time, mem_aligned);
         self.clocks[rank as usize] = out.end_time;
@@ -275,6 +295,7 @@ impl Simulation {
         let rid = self.record_of(handle)?;
         let t = self.clocks[rank as usize];
         let out = self.fs.read(handle, rank, offset, len, t, mem_aligned)?;
+        self.ops += 1;
         self.shim
             .posix_read(rid, rank as i32, offset, len, t, out.end_time, mem_aligned);
         self.clocks[rank as usize] = out.end_time;
@@ -287,6 +308,7 @@ impl Simulation {
         let rid = self.record_of(handle)?;
         let t = self.clocks[rank as usize];
         let end = t + 1e-6;
+        self.ops += 1;
         self.shim.posix_seek(rid, rank as i32, t, end);
         self.clocks[rank as usize] = end;
         Ok(())
@@ -298,6 +320,7 @@ impl Simulation {
         let t = self.clocks[rank as usize];
         let end = self.fs.stat(path, t)?;
         let rid = self.shim.register(path);
+        self.ops += 1;
         self.shim.posix_stat(rid, rank as i32, t, end);
         self.clocks[rank as usize] = end;
         Ok(())
@@ -310,6 +333,7 @@ impl Simulation {
         let t = self.clocks[rank as usize];
         // fsync flushes the client cache: charge one RPC latency.
         let end = t + self.config.cost.rpc_latency;
+        self.ops += 1;
         self.shim.posix_fsync(rid, rank as i32, t, end);
         self.clocks[rank as usize] = end;
         Ok(())
@@ -321,6 +345,7 @@ impl Simulation {
         let rid = self.record_of(handle)?;
         let t = self.clocks[rank as usize];
         let end = self.fs.close(handle, t);
+        self.ops += 1;
         self.shim.posix_close(rid, rank as i32, t, end);
         self.clocks[rank as usize] = end;
         Ok(())
@@ -351,6 +376,7 @@ impl Simulation {
         let t = self.clocks[rank as usize];
         let (handle, end) = self.fs.open(path, rank, t, true)?;
         let rid = self.shim.register(path);
+        self.ops += 1;
         self.shim.stdio_open(rid, rank as i32, t, end);
         self.clocks[rank as usize] = end;
         self.files.insert(handle, OpenFile { record_id: rid });
@@ -370,6 +396,7 @@ impl Simulation {
         let rid = self.record_of(handle)?;
         let t = self.clocks[rank as usize];
         let out = self.fs.write(handle, rank, offset, len, t, true)?;
+        self.ops += 1;
         self.shim
             .stdio_write(rid, rank as i32, offset, len, t, out.end_time);
         self.clocks[rank as usize] = out.end_time;
@@ -388,6 +415,7 @@ impl Simulation {
         let rid = self.record_of(handle)?;
         let t = self.clocks[rank as usize];
         let out = self.fs.read(handle, rank, offset, len, t, true)?;
+        self.ops += 1;
         self.shim
             .stdio_read(rid, rank as i32, offset, len, t, out.end_time);
         self.clocks[rank as usize] = out.end_time;
@@ -400,6 +428,7 @@ impl Simulation {
         let rid = self.record_of(handle)?;
         let t = self.clocks[rank as usize];
         let end = self.fs.close(handle, t);
+        self.ops += 1;
         self.shim.stdio_close(rid, rank as i32, t, end);
         self.clocks[rank as usize] = end;
         Ok(())
@@ -418,6 +447,7 @@ impl Simulation {
             let h = self.posix_open(rank, path)?;
             let rid = self.record_of(h)?;
             let t = self.clocks[rank as usize];
+            self.ops += 1;
             self.shim.mpiio_open(rid, rank as i32, true, t, t);
             handle = Some(h);
         }
@@ -439,7 +469,9 @@ impl Simulation {
         let t = self.clocks[rank as usize];
         self.posix_write(rank, handle, offset, len)?;
         let end = self.clocks[rank as usize];
-        self.shim.mpiio_write(rid, rank as i32, offset, len, false, t, end);
+        self.ops += 1;
+        self.shim
+            .mpiio_write(rid, rank as i32, offset, len, false, t, end);
         Ok(())
     }
 
@@ -456,7 +488,9 @@ impl Simulation {
         let t = self.clocks[rank as usize];
         self.posix_read(rank, handle, offset, len)?;
         let end = self.clocks[rank as usize];
-        self.shim.mpiio_read(rid, rank as i32, offset, len, false, t, end);
+        self.ops += 1;
+        self.shim
+            .mpiio_read(rid, rank as i32, offset, len, false, t, end);
         Ok(())
     }
 
@@ -514,7 +548,9 @@ impl Simulation {
         let stripe = self
             .fs
             .file(handle)
-            .ok_or(SimError::BadHandle { handle: handle.key() })?
+            .ok_or(SimError::BadHandle {
+                handle: handle.key(),
+            })?
             .layout
             .stripe_size;
         let plan = CollectivePlan::plan(&reqs, self.cb_nodes(), stripe);
@@ -535,6 +571,7 @@ impl Simulation {
                 &self.config.topology.hostname_of(a.aggregator),
             );
             if is_write {
+                self.ops += 1;
                 self.shim.posix_write(
                     rid,
                     a.aggregator as i32,
@@ -545,6 +582,7 @@ impl Simulation {
                     true,
                 );
             } else {
+                self.ops += 1;
                 self.shim.posix_read(
                     rid,
                     a.aggregator as i32,
@@ -561,9 +599,11 @@ impl Simulation {
         // whole collective.
         for r in &reqs {
             if is_write {
+                self.ops += 1;
                 self.shim
                     .mpiio_write(rid, r.rank as i32, r.offset, r.length, true, t0, latest);
             } else {
+                self.ops += 1;
                 self.shim
                     .mpiio_read(rid, r.rank as i32, r.offset, r.length, true, t0, latest);
             }
@@ -581,7 +621,9 @@ impl Simulation {
         for rank in 0..self.config.topology.nprocs {
             let t = self.clocks[rank as usize];
             let end = self.fs.close(handle, t);
+            self.ops += 1;
             self.shim.mpiio_close(rid, rank as i32, t, end);
+            self.ops += 1;
             self.shim.posix_close(rid, rank as i32, t, end);
             self.clocks[rank as usize] = end;
         }
@@ -592,12 +634,28 @@ impl Simulation {
     /// End the job and assemble the Darshan log.
     #[must_use]
     pub fn finish(self) -> Log {
-        let mut job = JobRecord::new(self.config.uid, self.config.job_id, self.config.topology.nprocs);
+        let mut job = JobRecord::new(
+            self.config.uid,
+            self.config.job_id,
+            self.config.topology.nprocs,
+        );
         job.exe = self.config.exe.clone();
         job.start_time = 0.0;
         job.end_time = self.clocks.iter().copied().fold(0.0f64, f64::max);
+        if ion_obs::enabled() {
+            // Simulated ops and time versus the real wall clock spent
+            // computing them — the simulator's speedup figure.
+            let mut span = ion_obs::span!("iosim.finish");
+            span.attr("ops", self.ops);
+            ion_obs::counter("iosim.ops", self.ops);
+            ion_obs::gauge("iosim.sim_seconds", job.end_time);
+            ion_obs::gauge("iosim.real_seconds", self.started.elapsed().as_secs_f64());
+        }
         let job = job
-            .with_metadata("lustre_stripe_size", &self.config.layout.stripe_size.to_string())
+            .with_metadata(
+                "lustre_stripe_size",
+                &self.config.layout.stripe_size.to_string(),
+            )
             .with_metadata("lustre_rpc_size", &self.config.cost.rpc_size.to_string())
             .with_metadata("ost_count", &self.config.topology.ost_count.to_string());
         self.shim.finish(job)
@@ -618,7 +676,8 @@ mod tests {
         let mut s = sim(4);
         let h = s.posix_open_all("/f").unwrap();
         for rank in 0..4 {
-            s.posix_write(rank, h, u64::from(rank) * 1024, 1024).unwrap();
+            s.posix_write(rank, h, u64::from(rank) * 1024, 1024)
+                .unwrap();
         }
         s.posix_close_all(h);
         let log = s.finish();

@@ -58,7 +58,9 @@ impl DarshanShim {
 
     /// Register the hostname a rank runs on (for DXT records).
     pub fn register_host(&mut self, rank: i32, hostname: &str) {
-        self.hostnames.entry(rank).or_insert_with(|| hostname.to_owned());
+        self.hostnames
+            .entry(rank)
+            .or_insert_with(|| hostname.to_owned());
     }
 
     /// Record Lustre striping for a file (captured at first open).
@@ -127,7 +129,16 @@ impl DarshanShim {
         self.posix_acc(file, rank)
             .read(offset, size, start, end, mem_aligned);
         self.heatmap_observe(rank, false, size, start, end);
-        self.dxt_push(file, rank, DxtLayer::Posix, OpKind::Read, offset, size, start, end);
+        self.dxt_push(
+            file,
+            rank,
+            DxtLayer::Posix,
+            OpKind::Read,
+            offset,
+            size,
+            start,
+            end,
+        );
     }
 
     /// Record a POSIX write, including its DXT segment when tracing is on.
@@ -145,7 +156,16 @@ impl DarshanShim {
         self.posix_acc(file, rank)
             .write(offset, size, start, end, mem_aligned);
         self.heatmap_observe(rank, true, size, start, end);
-        self.dxt_push(file, rank, DxtLayer::Posix, OpKind::Write, offset, size, start, end);
+        self.dxt_push(
+            file,
+            rank,
+            DxtLayer::Posix,
+            OpKind::Write,
+            offset,
+            size,
+            start,
+            end,
+        );
     }
 
     /// Record an MPI-IO open.
@@ -170,8 +190,18 @@ impl DarshanShim {
         start: f64,
         end: f64,
     ) {
-        self.mpiio_acc(file, rank).read(size, collective, start, end);
-        self.dxt_push(file, rank, DxtLayer::MpiIo, OpKind::Read, offset, size, start, end);
+        self.mpiio_acc(file, rank)
+            .read(size, collective, start, end);
+        self.dxt_push(
+            file,
+            rank,
+            DxtLayer::MpiIo,
+            OpKind::Read,
+            offset,
+            size,
+            start,
+            end,
+        );
     }
 
     /// Record an MPI-IO write at the MPI layer.
@@ -186,8 +216,18 @@ impl DarshanShim {
         start: f64,
         end: f64,
     ) {
-        self.mpiio_acc(file, rank).write(size, collective, start, end);
-        self.dxt_push(file, rank, DxtLayer::MpiIo, OpKind::Write, offset, size, start, end);
+        self.mpiio_acc(file, rank)
+            .write(size, collective, start, end);
+        self.dxt_push(
+            file,
+            rank,
+            DxtLayer::MpiIo,
+            OpKind::Write,
+            offset,
+            size,
+            start,
+            end,
+        );
     }
 
     /// Record an `MPI_File_set_view`.
@@ -201,13 +241,29 @@ impl DarshanShim {
     }
 
     /// Record a STDIO write.
-    pub fn stdio_write(&mut self, file: u64, rank: i32, offset: u64, size: u64, start: f64, end: f64) {
+    pub fn stdio_write(
+        &mut self,
+        file: u64,
+        rank: i32,
+        offset: u64,
+        size: u64,
+        start: f64,
+        end: f64,
+    ) {
         self.stdio_acc(file, rank).write(offset, size, start, end);
         self.heatmap_observe(rank, true, size, start, end);
     }
 
     /// Record a STDIO read.
-    pub fn stdio_read(&mut self, file: u64, rank: i32, offset: u64, size: u64, start: f64, end: f64) {
+    pub fn stdio_read(
+        &mut self,
+        file: u64,
+        rank: i32,
+        offset: u64,
+        size: u64,
+        start: f64,
+        end: f64,
+    ) {
         self.stdio_acc(file, rank).read(offset, size, start, end);
         self.heatmap_observe(rank, false, size, start, end);
     }

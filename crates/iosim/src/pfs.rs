@@ -185,7 +185,13 @@ impl FileSystem {
     /// Open `path` at virtual time `t` on behalf of `rank`, creating it with
     /// the default layout when absent. Returns the handle and completion
     /// time of the metadata operation.
-    pub fn open(&mut self, path: &str, _rank: u32, t: f64, create: bool) -> Result<(FileHandle, f64), SimError> {
+    pub fn open(
+        &mut self,
+        path: &str,
+        _rank: u32,
+        t: f64,
+        create: bool,
+    ) -> Result<(FileHandle, f64), SimError> {
         if let Some(&key) = self.by_path.get(path) {
             let end = self.mds.service(MetaOp::Open, t, self.cost.meta_latency);
             return Ok((FileHandle(key), end));
@@ -252,8 +258,8 @@ impl FileSystem {
     /// Release a handle at time `t` (close is a metadata op).
     pub fn close(&mut self, _handle: FileHandle, t: f64) -> f64 {
         self.mds.service(MetaOp::Close, t, self.cost.meta_latency)
-    // The handle's locks persist; Lustre clients cache extent locks past
-    // close. `unlink` is what releases them.
+        // The handle's locks persist; Lustre clients cache extent locks past
+        // close. `unlink` is what releases them.
     }
 
     /// Write `len` bytes at `offset` on behalf of `rank` starting at `t`.
@@ -502,9 +508,7 @@ mod tests {
         for rank in 0..4u32 {
             let base = u64::from(rank) * stripe;
             for i in 0..8u64 {
-                let out = f
-                    .write(h, rank, base + i * 1024, 1024, 0.0, true)
-                    .unwrap();
+                let out = f.write(h, rank, base + i * 1024, 1024, 0.0, true).unwrap();
                 conflicts += out.lock_conflicts;
             }
         }

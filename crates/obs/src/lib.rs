@@ -1,0 +1,251 @@
+//! `ion-obs` — observability for the ION pipeline.
+//!
+//! Three pieces, usable together or standalone:
+//!
+//! - **Hierarchical spans** ([`span!`], [`SpanGuard`]): RAII guards that
+//!   record wall time, parent/child structure (via a thread-local current
+//!   span, with explicit hand-off across threads through
+//!   [`current_span`] / [`span_under`]) and `key=value` attributes.
+//! - **Metrics registry** ([`Registry`]): thread-safe counters, gauges and
+//!   log₂-bucketed histograms. Hot-path updates are a single atomic RMW;
+//!   name resolution takes a `parking_lot` read lock.
+//! - **Renderers** ([`Snapshot::render_profile`], [`Snapshot::to_json`]):
+//!   a human-readable profile tree and a machine-readable JSON document
+//!   (the `BENCH_*.json` trajectory schema, `"schema": "ion-obs/1"`).
+//!
+//! The global sink is **off by default**. Instrumented code pays one
+//! relaxed atomic load per call site while disabled — no clock reads, no
+//! allocation, no locking:
+//!
+//! ```
+//! ion_obs::enable();
+//! {
+//!     let mut outer = ion_obs::span!("decode", bytes = 4096u64);
+//!     let _ = &mut outer;
+//!     let _inner = ion_obs::span!("decode.posix");
+//!     ion_obs::counter("records", 12);
+//! }
+//! let snap = ion_obs::snapshot();
+//! assert_eq!(snap.counter("records"), 12);
+//! assert_eq!(snap.spans.len(), 2);
+//! ion_obs::disable();
+//! ion_obs::reset();
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub mod metrics;
+pub mod render;
+pub mod span;
+
+pub use metrics::{HistogramSnapshot, Registry};
+pub use span::{SpanData, SpanGuard, SpanId, SpanStore};
+
+/// Whether the global sink records anything.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Is the global sink recording? One relaxed load — the only cost
+/// instrumented code pays when profiling is off.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Start recording into the global sink.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Stop recording. Already-captured data stays until [`reset`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Global span store + metrics registry.
+fn global() -> &'static (SpanStore, Registry) {
+    static GLOBAL: std::sync::OnceLock<(SpanStore, Registry)> = std::sync::OnceLock::new();
+    GLOBAL.get_or_init(|| (SpanStore::new(), Registry::new()))
+}
+
+/// Clear all recorded spans and metrics (keeps the enabled flag as-is).
+pub fn reset() {
+    let (spans, registry) = global();
+    spans.clear();
+    registry.clear();
+}
+
+/// Open a span under the calling thread's current span. No-op when the
+/// sink is disabled.
+#[must_use]
+pub fn span(name: impl Into<std::borrow::Cow<'static, str>>) -> SpanGuard<'static> {
+    if !enabled() {
+        return SpanGuard::noop();
+    }
+    global().0.open(name.into(), span::Parent::Current)
+}
+
+/// Open a span under an explicit parent (e.g. captured on another thread
+/// via [`current_span`] before spawning). No-op when the sink is disabled.
+#[must_use]
+pub fn span_under(
+    parent: Option<SpanId>,
+    name: impl Into<std::borrow::Cow<'static, str>>,
+) -> SpanGuard<'static> {
+    if !enabled() {
+        return SpanGuard::noop();
+    }
+    global().0.open(name.into(), span::Parent::Explicit(parent))
+}
+
+/// The calling thread's innermost open span, for cross-thread hand-off.
+#[must_use]
+pub fn current_span() -> Option<SpanId> {
+    if !enabled() {
+        return None;
+    }
+    global().0.current()
+}
+
+/// Add `delta` to the named global counter. No-op when disabled.
+pub fn counter(name: &str, delta: u64) {
+    if enabled() {
+        global().1.counter(name).add(delta);
+    }
+}
+
+/// Set the named global gauge. No-op when disabled.
+pub fn gauge(name: &str, value: f64) {
+    if enabled() {
+        global().1.gauge(name).set(value);
+    }
+}
+
+/// Record `value` into the named global log₂ histogram. No-op when
+/// disabled.
+pub fn observe(name: &str, value: u64) {
+    if enabled() {
+        global().1.histogram(name).observe(value);
+    }
+}
+
+/// Time `f` into the named histogram (nanoseconds) and return its output.
+/// When disabled this is just the call to `f`.
+pub fn timed<T>(name: &str, f: impl FnOnce() -> T) -> T {
+    if !enabled() {
+        return f();
+    }
+    let start = std::time::Instant::now();
+    let out = f();
+    let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    global().1.histogram(name).observe(ns);
+    out
+}
+
+/// Consistent point-in-time copy of all global spans and metrics.
+#[must_use]
+pub fn snapshot() -> render::Snapshot {
+    let (spans, registry) = global();
+    render::Snapshot::capture(spans, registry)
+}
+
+/// Open a span with optional `key = value` attributes:
+///
+/// ```
+/// ion_obs::enable();
+/// let _guard = ion_obs::span!("decode", bytes = 4096u64, module = "posix");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {{
+        let mut guard = $crate::span($name);
+        $(guard.attr(stringify!($key), $value);)+
+        guard
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global sink is process-wide state and `cargo test` runs tests on
+    // concurrent threads, so every test touching it serializes here.
+    fn with_global_sink(f: impl FnOnce()) {
+        static LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+        let _guard = LOCK.lock();
+        reset();
+        enable();
+        f();
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        with_global_sink(|| {
+            disable();
+            {
+                let _s = span!("ghost", tag = 1);
+                counter("ghost", 5);
+                observe("ghost_hist", 10);
+                gauge("ghost_gauge", 1.0);
+            }
+            let snap = snapshot();
+            assert!(snap.spans.is_empty());
+            assert_eq!(snap.counter("ghost"), 0);
+            assert!(snap.histograms.is_empty());
+            enable(); // restore for with_global_sink's teardown
+        });
+    }
+
+    #[test]
+    fn spans_nest_on_one_thread() {
+        with_global_sink(|| {
+            {
+                let _outer = span!("outer");
+                let _inner = span!("inner");
+            }
+            let snap = snapshot();
+            assert_eq!(snap.spans.len(), 2);
+            let outer = snap.spans.iter().find(|s| s.name == "outer").unwrap();
+            let inner = snap.spans.iter().find(|s| s.name == "inner").unwrap();
+            assert_eq!(inner.parent, Some(outer.id));
+            assert!(outer.start_ns <= inner.start_ns);
+            assert!(inner.end_ns <= outer.end_ns);
+        });
+    }
+
+    #[test]
+    fn explicit_parent_crosses_threads() {
+        with_global_sink(|| {
+            let parent_id = {
+                let parent = span!("dispatch");
+                let id = parent.id();
+                let captured = current_span();
+                assert_eq!(captured, id);
+                std::thread::scope(|scope| {
+                    scope.spawn(move || {
+                        let _child = span_under(captured, "worker");
+                    });
+                });
+                id.unwrap()
+            };
+            let snap = snapshot();
+            let worker = snap.spans.iter().find(|s| s.name == "worker").unwrap();
+            assert_eq!(worker.parent, Some(parent_id));
+        });
+    }
+
+    #[test]
+    fn timed_routes_to_histogram() {
+        with_global_sink(|| {
+            let v = timed("t", || 7);
+            assert_eq!(v, 7);
+            let snap = snapshot();
+            assert_eq!(snap.histograms["t"].count, 1);
+        });
+    }
+}

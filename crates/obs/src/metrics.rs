@@ -1,0 +1,337 @@
+//! Thread-safe metrics: counters, gauges, log₂-bucketed histograms.
+//!
+//! Handles returned by the [`Registry`] share atomics with the registry,
+//! so hot paths are one atomic RMW; only name resolution takes the
+//! `parking_lot` read lock (write lock on first registration).
+
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of log₂ buckets: index `i` holds values needing `i` significant
+/// bits, i.e. 0, then `[2^(i-1), 2^i)` for `i ≥ 1`, up to the full `u64`.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index for one observation.
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Monotonic counter handle.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `delta`.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins gauge handle (stores `f64` bits).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Shared histogram state.
+#[derive(Debug)]
+pub struct HistogramCore {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Log₂ histogram handle.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, value: u64) {
+        self.0.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.0.count.load(Ordering::Relaxed),
+            sum: self.0.sum.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Plain-data histogram copy; merging is elementwise addition, which makes
+/// it associative and commutative (property-tested in `tests/prop_obs.rs`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Per-log₂-bucket observation counts.
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Combine two snapshots (e.g. from per-shard registries). Addition is
+    /// wrapping, matching the atomics that produced the fields, so merging
+    /// stays associative and commutative even at the `u64` boundary.
+    #[must_use]
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.wrapping_add(other.count),
+            sum: self.sum.wrapping_add(other.sum),
+            buckets: std::array::from_fn(|i| self.buckets[i].wrapping_add(other.buckets[i])),
+        }
+    }
+
+    /// Mean observed value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (exclusive) of bucket `i`; saturates at `u64::MAX`.
+    #[must_use]
+    pub fn bucket_limit(i: usize) -> u64 {
+        if i >= 64 {
+            u64::MAX
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`) from the bucket counts: the
+    /// upper bound of the bucket holding the q-th observation.
+    #[must_use]
+    pub fn approx_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_limit(i);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Named metrics, safe to update from any number of threads.
+pub struct Registry {
+    counters: RwLock<HashMap<String, Counter>>,
+    gauges: RwLock<HashMap<String, Gauge>>,
+    histograms: RwLock<HashMap<String, Histogram>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// Empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry {
+            counters: RwLock::new(HashMap::new()),
+            gauges: RwLock::new(HashMap::new()),
+            histograms: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Handle for the named counter, registering it on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self.counters.read().get(name) {
+            return c.clone();
+        }
+        self.counters
+            .write()
+            .entry(name.to_owned())
+            .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    /// Handle for the named gauge, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(g) = self.gauges.read().get(name) {
+            return g.clone();
+        }
+        self.gauges
+            .write()
+            .entry(name.to_owned())
+            .or_insert_with(|| Gauge(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    /// Handle for the named histogram, registering it on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if let Some(h) = self.histograms.read().get(name) {
+            return h.clone();
+        }
+        self.histograms
+            .write()
+            .entry(name.to_owned())
+            .or_insert_with(|| Histogram(Arc::new(HistogramCore::new())))
+            .clone()
+    }
+
+    /// Sorted copies of every metric.
+    #[must_use]
+    pub fn snapshot(
+        &self,
+    ) -> (
+        BTreeMap<String, u64>,
+        BTreeMap<String, f64>,
+        BTreeMap<String, HistogramSnapshot>,
+    ) {
+        let counters = self
+            .counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        (counters, gauges, histograms)
+    }
+
+    /// Remove every metric (handles held elsewhere keep counting into
+    /// detached atomics).
+    pub fn clear(&self) {
+        self.counters.write().clear();
+        self.gauges.write().clear();
+        self.histograms.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let reg = Registry::new();
+        reg.counter("ops").add(3);
+        reg.counter("ops").add(4);
+        reg.gauge("depth").set(2.5);
+        let (counters, gauges, _) = reg.snapshot();
+        assert_eq!(counters["ops"], 7);
+        assert!((gauges["depth"] - 2.5).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn histogram_counts_and_quantiles() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat");
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 1106);
+        assert!(snap.approx_quantile(0.5) <= 4);
+        assert!(snap.approx_quantile(1.0) >= 1000);
+    }
+
+    #[test]
+    fn merge_is_elementwise() {
+        let a = HistogramSnapshot {
+            count: 1,
+            sum: 5,
+            buckets: {
+                let mut b = [0; BUCKETS];
+                b[3] = 1;
+                b
+            },
+        };
+        let b = HistogramSnapshot {
+            count: 2,
+            sum: 7,
+            buckets: {
+                let mut b = [0; BUCKETS];
+                b[3] = 1;
+                b[0] = 1;
+                b
+            },
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.count, 3);
+        assert_eq!(m.sum, 12);
+        assert_eq!(m.buckets[3], 2);
+        assert_eq!(m.buckets[0], 1);
+    }
+}

@@ -1,0 +1,287 @@
+//! Hierarchical spans: RAII guards over a thread-aware span store.
+
+use parking_lot::Mutex;
+use std::borrow::Cow;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::thread::ThreadId;
+use std::time::Instant;
+
+/// Identifier of one recorded span. Ids are assigned at open time, so a
+/// child's id is always greater than its parent's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanData {
+    /// Unique id (monotonic per store).
+    pub id: SpanId,
+    /// Enclosing span, if any.
+    pub parent: Option<SpanId>,
+    /// Stage name, e.g. `"decode"` or `"issue"`.
+    pub name: Cow<'static, str>,
+    /// Small per-store thread index (0 = first thread seen).
+    pub thread: u64,
+    /// Open time, nanoseconds since the store's epoch.
+    pub start_ns: u64,
+    /// Close time, nanoseconds since the store's epoch.
+    pub end_ns: u64,
+    /// `key=value` attributes in insertion order.
+    pub attrs: Vec<(Cow<'static, str>, String)>,
+}
+
+impl SpanData {
+    /// Wall time between open and close.
+    #[must_use]
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// How a new span picks its parent.
+#[derive(Debug, Clone, Copy)]
+pub enum Parent {
+    /// The calling thread's innermost open span.
+    Current,
+    /// An explicit parent (or a root when `None`) — the cross-thread path.
+    Explicit(Option<SpanId>),
+}
+
+#[derive(Default)]
+struct ThreadState {
+    /// Per-thread small index, for `SpanData::thread`.
+    index: u64,
+    /// Open spans on this thread, outermost first.
+    stack: Vec<SpanId>,
+}
+
+/// Collects spans; usually used through the crate-level globals but fully
+/// functional standalone (that is what the property tests drive).
+pub struct SpanStore {
+    next_id: AtomicU64,
+    epoch: OnceLock<Instant>,
+    finished: Mutex<Vec<SpanData>>,
+    threads: Mutex<HashMap<ThreadId, ThreadState>>,
+}
+
+impl Default for SpanStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpanStore {
+    /// Empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        SpanStore {
+            next_id: AtomicU64::new(1),
+            epoch: OnceLock::new(),
+            finished: Mutex::new(Vec::new()),
+            threads: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        let epoch = *self.epoch.get_or_init(Instant::now);
+        u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// The calling thread's innermost open span.
+    #[must_use]
+    pub fn current(&self) -> Option<SpanId> {
+        let threads = self.threads.lock();
+        threads
+            .get(&std::thread::current().id())
+            .and_then(|t| t.stack.last().copied())
+    }
+
+    /// Open a span; the returned guard records it when dropped.
+    pub fn open(&self, name: Cow<'static, str>, parent: Parent) -> SpanGuard<'_> {
+        let id = SpanId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let (parent, thread) = {
+            let mut threads = self.threads.lock();
+            let next_index = threads.len() as u64;
+            let state = threads
+                .entry(std::thread::current().id())
+                .or_insert_with(|| ThreadState {
+                    index: next_index,
+                    stack: Vec::new(),
+                });
+            let parent = match parent {
+                Parent::Current => state.stack.last().copied(),
+                Parent::Explicit(p) => p,
+            };
+            state.stack.push(id);
+            (parent, state.index)
+        };
+        SpanGuard {
+            inner: Some(ActiveSpan {
+                store: self,
+                id,
+                parent,
+                thread,
+                name,
+                start_ns: self.now_ns(),
+                attrs: Vec::new(),
+            }),
+        }
+    }
+
+    fn close(&self, span: &mut ActiveSpan<'_>) {
+        let end_ns = self.now_ns().max(span.start_ns + 1);
+        {
+            let mut threads = self.threads.lock();
+            if let Some(state) = threads.get_mut(&std::thread::current().id()) {
+                // Normal RAII drops pop the top; an out-of-order drop
+                // truncates the still-open descendants off the stack (their
+                // own guards will still record when they fall).
+                if let Some(pos) = state.stack.iter().rposition(|&open| open == span.id) {
+                    state.stack.truncate(pos);
+                }
+            }
+        }
+        self.finished.lock().push(SpanData {
+            id: span.id,
+            parent: span.parent,
+            name: std::mem::replace(&mut span.name, Cow::Borrowed("")),
+            thread: span.thread,
+            start_ns: span.start_ns,
+            end_ns,
+            attrs: std::mem::take(&mut span.attrs),
+        });
+    }
+
+    /// Copy out all finished spans, with every child interval clamped into
+    /// its parent's — the tree invariant renderers and tests rely on, kept
+    /// true even under out-of-order guard drops or cross-thread stragglers.
+    #[must_use]
+    pub fn finished(&self) -> Vec<SpanData> {
+        let mut spans = self.finished.lock().clone();
+        spans.sort_by_key(|s| s.id);
+        // Parents open before their children, so parent ids are smaller and
+        // one ascending pass clamps transitively.
+        let mut intervals: HashMap<SpanId, (u64, u64)> = HashMap::new();
+        for span in &mut spans {
+            if let Some((lo, hi)) = span.parent.and_then(|p| intervals.get(&p).copied()) {
+                span.start_ns = span.start_ns.clamp(lo, hi);
+                span.end_ns = span.end_ns.clamp(span.start_ns, hi);
+            }
+            intervals.insert(span.id, (span.start_ns, span.end_ns));
+        }
+        spans
+    }
+
+    /// Drop all recorded spans and per-thread stacks.
+    pub fn clear(&self) {
+        self.finished.lock().clear();
+        self.threads.lock().clear();
+    }
+}
+
+struct ActiveSpan<'s> {
+    store: &'s SpanStore,
+    id: SpanId,
+    parent: Option<SpanId>,
+    thread: u64,
+    name: Cow<'static, str>,
+    start_ns: u64,
+    attrs: Vec<(Cow<'static, str>, String)>,
+}
+
+/// RAII handle for an open span; records it into the store on drop.
+/// The no-op variant (sink disabled) carries no data and does no work.
+pub struct SpanGuard<'s> {
+    inner: Option<ActiveSpan<'s>>,
+}
+
+impl SpanGuard<'_> {
+    /// Guard that records nothing (profiling disabled).
+    #[must_use]
+    pub fn noop() -> SpanGuard<'static> {
+        SpanGuard { inner: None }
+    }
+
+    /// Attach a `key=value` attribute. No-op on a disabled guard.
+    pub fn attr(&mut self, key: impl Into<Cow<'static, str>>, value: impl std::fmt::Display) {
+        if let Some(active) = &mut self.inner {
+            active.attrs.push((key.into(), value.to_string()));
+        }
+    }
+
+    /// The span's id, for cross-thread parenting (`None` when disabled).
+    #[must_use]
+    pub fn id(&self) -> Option<SpanId> {
+        self.inner.as_ref().map(|a| a.id)
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(mut active) = self.inner.take() {
+            active.store.close(&mut active);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_drop_builds_a_chain() {
+        let store = SpanStore::new();
+        {
+            let _a = store.open(Cow::Borrowed("a"), Parent::Current);
+            let _b = store.open(Cow::Borrowed("b"), Parent::Current);
+            let _c = store.open(Cow::Borrowed("c"), Parent::Current);
+        }
+        let spans = store.finished();
+        assert_eq!(spans.len(), 3);
+        let by_name = |n: &str| spans.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(by_name("a").parent, None);
+        assert_eq!(by_name("b").parent, Some(by_name("a").id));
+        assert_eq!(by_name("c").parent, Some(by_name("b").id));
+    }
+
+    #[test]
+    fn out_of_order_drop_still_nests_intervals() {
+        let store = SpanStore::new();
+        let parent = store.open(Cow::Borrowed("parent"), Parent::Current);
+        let child = store.open(Cow::Borrowed("child"), Parent::Current);
+        drop(parent); // parent closes first — child now outlives it
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        drop(child);
+        let spans = store.finished();
+        let p = spans.iter().find(|s| s.name == "parent").unwrap();
+        let c = spans.iter().find(|s| s.name == "child").unwrap();
+        assert_eq!(c.parent, Some(p.id));
+        assert!(c.start_ns >= p.start_ns);
+        assert!(c.end_ns <= p.end_ns, "child clamped into parent");
+    }
+
+    #[test]
+    fn sibling_after_out_of_order_drop_is_not_reparented() {
+        let store = SpanStore::new();
+        let a = store.open(Cow::Borrowed("a"), Parent::Current);
+        let b = store.open(Cow::Borrowed("b"), Parent::Current);
+        drop(a); // truncates b off the stack too
+        let c = store.open(Cow::Borrowed("c"), Parent::Current);
+        drop(c);
+        drop(b);
+        let spans = store.finished();
+        let c = spans.iter().find(|s| s.name == "c").unwrap();
+        assert_eq!(c.parent, None, "stack was truncated at a's position");
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let store = SpanStore::new();
+        drop(store.open(Cow::Borrowed("x"), Parent::Current));
+        store.clear();
+        assert!(store.finished().is_empty());
+        assert_eq!(store.current(), None);
+    }
+}

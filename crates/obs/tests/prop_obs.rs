@@ -1,0 +1,103 @@
+//! Property tests for `ion-obs`: exact concurrent counting, histogram
+//! merge algebra, and span-tree well-formedness under arbitrary
+//! open/close orderings.
+
+use ion_obs::metrics::{HistogramSnapshot, Registry};
+use ion_obs::span::{Parent, SpanGuard, SpanStore};
+use proptest::prelude::*;
+use std::borrow::Cow;
+use std::collections::HashMap;
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let reg = Registry::new();
+    let h = reg.histogram("h");
+    for &v in values {
+        h.observe(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn concurrent_counter_sums_exactly(
+        threads in 1usize..8,
+        per_thread in 1u64..200,
+    ) {
+        let reg = Registry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let c = reg.counter("hits");
+                scope.spawn(move || {
+                    for _ in 0..per_thread {
+                        c.add(1);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(reg.counter("hits").get(), threads as u64 * per_thread);
+    }
+
+    #[test]
+    fn histogram_merge_commutative_and_associative(
+        a in proptest::collection::vec(0u64..=u64::MAX, 0..32),
+        b in proptest::collection::vec(0u64..=u64::MAX, 0..32),
+        c in proptest::collection::vec(0u64..=u64::MAX, 0..32),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), sa.merge(&sb.merge(&sc)));
+        // Merging is lossless for count and sum.
+        let m = sa.merge(&sb);
+        prop_assert_eq!(m.count, sa.count + sb.count);
+        prop_assert_eq!(m.sum, sa.sum.wrapping_add(sb.sum));
+    }
+
+    #[test]
+    fn histogram_buckets_account_for_every_observation(
+        values in proptest::collection::vec(0u64..=u64::MAX, 0..64),
+    ) {
+        let snap = snapshot_of(&values);
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), values.len() as u64);
+    }
+
+    #[test]
+    fn span_tree_well_formed_under_arbitrary_orderings(
+        ops in proptest::collection::vec(0u8..10, 1..48),
+    ) {
+        let store = SpanStore::new();
+        let mut open: Vec<SpanGuard<'_>> = Vec::new();
+        let mut opened = 0usize;
+        for op in ops {
+            // Bias toward opening so deep stacks occur; close a *random*
+            // open guard (often not the innermost) otherwise.
+            if open.is_empty() || op < 6 {
+                open.push(store.open(Cow::Borrowed("s"), Parent::Current));
+                opened += 1;
+            } else {
+                let idx = usize::from(op) % open.len();
+                drop(open.remove(idx));
+            }
+        }
+        drop(open);
+
+        let spans = store.finished();
+        prop_assert_eq!(spans.len(), opened, "every opened span is recorded");
+
+        let by_id: HashMap<_, _> = spans.iter().map(|s| (s.id, s)).collect();
+        prop_assert_eq!(by_id.len(), spans.len(), "ids are unique");
+        for span in &spans {
+            prop_assert!(span.start_ns <= span.end_ns);
+            if let Some(parent_id) = span.parent {
+                let parent = by_id.get(&parent_id).expect("parent recorded");
+                prop_assert!(parent_id < span.id, "parents open before children");
+                prop_assert!(
+                    parent.start_ns <= span.start_ns && span.end_ns <= parent.end_ns,
+                    "child interval nested in parent"
+                );
+            }
+        }
+    }
+}

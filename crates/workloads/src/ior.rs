@@ -91,8 +91,7 @@ impl IorConfig {
                 // this, scaled-down runs would artificially share boundary
                 // stripes between ranks.
                 const STRIPE: u64 = 1 << 20;
-                let region =
-                    (self.ops_per_rank * self.transfer_size).div_ceil(STRIPE) * STRIPE;
+                let region = (self.ops_per_rank * self.transfer_size).div_ceil(STRIPE) * STRIPE;
                 let base = match self.file_mode {
                     FileMode::Shared => u64::from(rank) * region,
                     FileMode::FilePerProcess => 0,
@@ -144,7 +143,8 @@ impl IorConfig {
                             (r, off, self.transfer_size)
                         })
                         .collect();
-                    sim.mpi_write_collective(handles[0], &reqs).expect("coll write");
+                    sim.mpi_write_collective(handles[0], &reqs)
+                        .expect("coll write");
                 }
                 _ => {
                     for rank in 0..self.nprocs {
@@ -182,14 +182,20 @@ impl IorConfig {
                                 (r, off, self.transfer_size)
                             })
                             .collect();
-                        sim.mpi_read_collective(handles[0], &reqs).expect("coll read");
+                        sim.mpi_read_collective(handles[0], &reqs)
+                            .expect("coll read");
                     }
                     _ => {
                         for rank in 0..self.nprocs {
                             let off = self.offset(rank, op, &mut read_rngs[rank as usize]);
                             match self.api {
                                 Api::Posix => sim
-                                    .posix_read(rank, handles[rank as usize], off, self.transfer_size)
+                                    .posix_read(
+                                        rank,
+                                        handles[rank as usize],
+                                        off,
+                                        self.transfer_size,
+                                    )
                                     .expect("read"),
                                 Api::MpiIoIndependent => sim
                                     .mpi_read_independent(
@@ -420,8 +426,7 @@ mod tests {
         let log = w.generate();
         assert_eq!(psum(&log, PosixCounter::POSIX_FILE_NOT_ALIGNED), 0);
         // Exactly one shared file.
-        let files: std::collections::HashSet<u64> =
-            log.posix.iter().map(|r| r.file_id).collect();
+        let files: std::collections::HashSet<u64> = log.posix.iter().map(|r| r.file_id).collect();
         assert_eq!(files.len(), 1);
     }
 
@@ -429,8 +434,7 @@ mod tests {
     fn fpp_creates_one_file_per_rank() {
         let w = ior_easy_1mb_fpp(0.05);
         let log = w.generate();
-        let files: std::collections::HashSet<u64> =
-            log.posix.iter().map(|r| r.file_id).collect();
+        let files: std::collections::HashSet<u64> = log.posix.iter().map(|r| r.file_id).collect();
         assert_eq!(files.len(), 4);
         // Each file has exactly one rank's records.
         for f in files {
@@ -455,8 +459,8 @@ mod tests {
         let consec = psum(&log, PosixCounter::POSIX_CONSEC_READS)
             + psum(&log, PosixCounter::POSIX_CONSEC_WRITES);
         assert_eq!(consec, 0);
-        let seq = psum(&log, PosixCounter::POSIX_SEQ_READS)
-            + psum(&log, PosixCounter::POSIX_SEQ_WRITES);
+        let seq =
+            psum(&log, PosixCounter::POSIX_SEQ_READS) + psum(&log, PosixCounter::POSIX_SEQ_WRITES);
         assert!(seq as f64 / ops as f64 > 0.99);
     }
 
@@ -470,8 +474,8 @@ mod tests {
         // 4 KiB-aligned random offsets against 1 MiB stripes: ≈ 99.61%.
         assert!((pct - 99.61).abs() < 0.4, "misaligned {pct}%");
         // Random: most ops are not sequential.
-        let seq = psum(&log, PosixCounter::POSIX_SEQ_READS)
-            + psum(&log, PosixCounter::POSIX_SEQ_WRITES);
+        let seq =
+            psum(&log, PosixCounter::POSIX_SEQ_READS) + psum(&log, PosixCounter::POSIX_SEQ_WRITES);
         assert!((seq as f64 / ops as f64) < 0.6);
     }
 

@@ -38,4 +38,12 @@ pub trait Workload {
     fn generate(&self) -> darshan::log::Log;
     /// The issues the trace is constructed to contain.
     fn ground_truth(&self) -> GroundTruth;
+
+    /// Generate the trace inside a `workload.generate` span tagged with the
+    /// workload's name (no-op overhead when profiling is off).
+    fn generate_traced(&self) -> darshan::log::Log {
+        let mut span = ion_obs::span!("workload.generate");
+        span.attr("workload", self.name());
+        self.generate()
+    }
 }

@@ -140,8 +140,7 @@ mod tests {
             .posix
             .iter()
             .map(|r| {
-                r.fget(PosixFCounter::POSIX_F_READ_TIME)
-                    + r.fget(PosixFCounter::POSIX_F_WRITE_TIME)
+                r.fget(PosixFCounter::POSIX_F_READ_TIME) + r.fget(PosixFCounter::POSIX_F_WRITE_TIME)
             })
             .sum();
         assert!(
@@ -153,8 +152,7 @@ mod tests {
     #[test]
     fn many_small_files_touched() {
         let log = MdWorkbench::scaled(0.25).generate();
-        let files: std::collections::HashSet<u64> =
-            log.posix.iter().map(|r| r.file_id).collect();
+        let files: std::collections::HashSet<u64> = log.posix.iter().map(|r| r.file_id).collect();
         assert!(files.len() >= 64, "{} files", files.len());
         // Every data op is small (object_size bytes).
         let small = psum(&log, PosixCounter::POSIX_SIZE_WRITE_1K_10K)

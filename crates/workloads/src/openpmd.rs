@@ -84,12 +84,9 @@ impl OpenPmd {
             // 64.38% of writes to the heavy file, the rest to the light one.
             let heavy_writes = (self.writes_per_rank as f64 * 0.6438) as u64;
             let light_writes = self.writes_per_rank - heavy_writes;
-            for (file, count, region) in [
-                (heavy, heavy_writes, 0u64),
-                (light, light_writes, 0u64),
-            ] {
-                let base =
-                    region + u64::from(rank) * (self.writes_per_rank * piece) + HEADER_SHIFT;
+            for (file, count, region) in [(heavy, heavy_writes, 0u64), (light, light_writes, 0u64)]
+            {
+                let base = region + u64::from(rank) * (self.writes_per_rank * piece) + HEADER_SHIFT;
                 for i in 0..count {
                     sim.mpi_write_independent(rank, file, base + i * piece, piece)
                         .expect("write");

@@ -73,10 +73,7 @@ fn main() {
             .find(|d| d.issue == "fsync-storm")
             .expect("custom issue analyzed");
         println!("── {label} ──");
-        println!(
-            "  detected: {:?}  severity: {}",
-            d.detection, d.severity
-        );
+        println!("  detected: {:?}  severity: {}", d.detection, d.severity);
         if let Some(f) = d.findings.first() {
             println!("  finding: {}", f.text);
         }

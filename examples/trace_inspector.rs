@@ -41,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tables = extract_tables(&log);
     println!("\n── extracted tables ──");
     for (name, table) in tables.iter() {
-        println!("{name}.csv: {} rows × {} columns", table.len(), table.columns.len());
+        println!(
+            "{name}.csv: {} rows × {} columns",
+            table.len(),
+            table.columns.len()
+        );
     }
     if let Some(dxt_table) = tables.get("DXT") {
         let csv = to_csv(dxt_table);

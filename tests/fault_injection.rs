@@ -63,11 +63,13 @@ fn drishti_also_sees_the_straggler_spread() {
 
 #[test]
 fn healthy_run_has_no_straggler() {
-    let config = SimConfig::default().with_ranks(4).with_layout(StripeLayout {
-        stripe_size: 1 << 20,
-        stripe_width: 1,
-        ost_offset: 0,
-    });
+    let config = SimConfig::default()
+        .with_ranks(4)
+        .with_layout(StripeLayout {
+            stripe_size: 1 << 20,
+            stripe_width: 1,
+            ost_offset: 0,
+        });
     let mut sim = Simulation::new(config);
     let handles: Vec<_> = (0..4u32)
         .map(|r| sim.posix_open(r, &format!("/out/part.{r}")).unwrap())

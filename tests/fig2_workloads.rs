@@ -49,7 +49,12 @@ fn ior_easy_2kb_shared_matches_ground_truth() {
     let small = report.diagnosis("small-io").unwrap();
     assert!(small.raw.contains("consecutive"), "{}", small.raw);
     let mis = report.diagnosis("misaligned-io").unwrap();
-    let pct = mis.metrics.get("file_misaligned_pct").unwrap().as_f64().unwrap();
+    let pct = mis
+        .metrics
+        .get("file_misaligned_pct")
+        .unwrap()
+        .as_f64()
+        .unwrap();
     assert!((pct - 99.8).abs() < 0.5, "misaligned {pct}%");
 }
 
@@ -110,7 +115,12 @@ fn ior_rnd4k_matches_ground_truth() {
     assert_eq!(acc, 1.0);
     // ~99.6% misalignment, random access detected hard.
     let mis = report.diagnosis("misaligned-io").unwrap();
-    let pct = mis.metrics.get("file_misaligned_pct").unwrap().as_f64().unwrap();
+    let pct = mis
+        .metrics
+        .get("file_misaligned_pct")
+        .unwrap()
+        .as_f64()
+        .unwrap();
     assert!((pct - 99.6).abs() < 0.6, "misaligned {pct}%");
     let rnd = report.diagnosis("random-access").unwrap();
     assert_eq!(rnd.detection, Some(ion::Detection::Yes));
@@ -123,11 +133,7 @@ fn md_workbench_matches_ground_truth() {
     assert_eq!(acc, 1.0);
     let meta = report.diagnosis("metadata-load").unwrap();
     assert!(meta.is_detected(), "{}", meta.raw);
-    assert!(
-        meta.raw.contains("metadata servers"),
-        "{}",
-        meta.raw
-    );
+    assert!(meta.raw.contains("metadata servers"), "{}", meta.raw);
 }
 
 #[test]

@@ -83,18 +83,18 @@ fn openpmd_optimized_drishti_still_flags_random_reads() {
     // context — at full-er scale the absolute threshold is crossed.
     let log = OpenPmd::scaled(OpenPmdVariant::Optimized, 0.7).generate();
     let drishti = drishti::analyze(&log);
-    assert!(
-        drishti.fired("random-reads"),
-        "{}",
-        drishti.render_text()
-    );
+    assert!(drishti.fired("random-reads"), "{}", drishti.render_text());
 }
 
 #[test]
 fn e2e_baseline_both_tools_catch_misalignment_and_imbalance() {
     let log = E2e::scaled(E2eVariant::Baseline, 0.03).generate();
     let drishti = drishti::analyze(&log);
-    assert!(drishti.fired("misaligned-file"), "{}", drishti.render_text());
+    assert!(
+        drishti.fired("misaligned-file"),
+        "{}",
+        drishti.render_text()
+    );
     assert!(drishti.fired("load-imbalance"));
     let insight = drishti.insight("load-imbalance").unwrap();
     assert!(
@@ -166,7 +166,11 @@ fn e2e_optimized_writer_share_matches_paper_shape() {
 fn ion_summaries_order_issues_by_severity() {
     let log = OpenPmd::scaled(OpenPmdVariant::Baseline, 0.02).generate();
     let report = IonPipeline::new().run(&log);
-    assert!(report.summary.contains("Critical issues:"), "{}", report.summary);
+    assert!(
+        report.summary.contains("Critical issues:"),
+        "{}",
+        report.summary
+    );
     let critical_pos = report.summary.find("Critical issues:").unwrap();
     if let Some(minor_pos) = report.summary.find("Minor observations:") {
         assert!(critical_pos < minor_pos);

@@ -19,7 +19,8 @@ fn checkpoint_app() -> darshan::log::Log {
         for rank in 0..4u32 {
             let base = (epoch * 4 + u64::from(rank)) * (8 << 20);
             for i in 0..8u64 {
-                sim.posix_write(rank, f, base + i * (1 << 20), 1 << 20).unwrap();
+                sim.posix_write(rank, f, base + i * (1 << 20), 1 << 20)
+                    .unwrap();
             }
         }
     }
@@ -34,7 +35,8 @@ fn streaming_app() -> darshan::log::Log {
     for i in 0..32u64 {
         for rank in 0..4u32 {
             let base = u64::from(rank) * (64 << 20);
-            sim.posix_write(rank, f, base + i * (1 << 20), 1 << 20).unwrap();
+            sim.posix_write(rank, f, base + i * (1 << 20), 1 << 20)
+                .unwrap();
             // Pace the writes so volume spreads across the run evenly.
             sim.advance(rank, 0.5);
         }
@@ -82,7 +84,10 @@ fn checkpoint_app_diagnosed_as_bursty() {
         .get("active_pct")
         .and_then(extractor::Value::as_f64)
         .unwrap();
-    assert!(active < 50.0, "checkpointing app active {active}% of runtime");
+    assert!(
+        active < 50.0,
+        "checkpointing app active {active}% of runtime"
+    );
 }
 
 #[test]

@@ -50,7 +50,9 @@ fn retrieval_pipeline_still_detects_primary_issue() {
 fn retrieval_selects_metadata_context_for_metadata_trace() {
     let log = MdWorkbench::scaled(0.25).generate();
     let rag = IonPipeline::new().with_retrieval(4).run(&log);
-    let meta = rag.diagnosis("metadata-load").expect("metadata-load retrieved");
+    let meta = rag
+        .diagnosis("metadata-load")
+        .expect("metadata-load retrieved");
     assert!(meta.is_detected(), "{}", meta.raw);
 }
 
@@ -102,5 +104,7 @@ fn skipped_issues_are_reported_not_silently_dropped() {
     let log = ior_easy_2kb_shared(0.02).generate(); // POSIX only
     let report = IonPipeline::new().run(&log);
     assert!(report.skipped.contains(&"collective-io".to_owned()));
-    assert!(report.render_text().contains("skipped for lack of module data"));
+    assert!(report
+        .render_text()
+        .contains("skipped for lack of module data"));
 }

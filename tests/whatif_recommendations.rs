@@ -12,7 +12,8 @@ fn sequential_run(transfer: u64, volume_per_rank: u64) -> f64 {
     for i in 0..volume_per_rank / transfer {
         for rank in 0..4u32 {
             let base = u64::from(rank) * volume_per_rank;
-            sim.posix_write(rank, f, base + i * transfer, transfer).unwrap();
+            sim.posix_write(rank, f, base + i * transfer, transfer)
+                .unwrap();
         }
     }
     sim.posix_close_all(f);

@@ -1,0 +1,127 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The container build has no access to crates.io, so the workspace vendors
+//! the tiny slice of the `bytes` API it actually uses: the [`Buf`] /
+//! [`BufMut`] cursor traits over `&[u8]` and `Vec<u8>`. Semantics match the
+//! real crate for the implemented subset (panics on under-run mirror
+//! `bytes`' own contract; callers bounds-check via `remaining()` first).
+
+/// Read cursor over a contiguous byte source.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// Consume and return one byte. Panics if empty.
+    fn get_u8(&mut self) -> u8;
+    /// Consume 8 bytes as a little-endian `u64`. Panics on under-run.
+    fn get_u64_le(&mut self) -> u64;
+    /// Consume `dst.len()` bytes into `dst`. Panics on under-run.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+}
+
+/// Append-only write cursor.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a `u64` in little-endian order.
+    fn put_u64_le(&mut self, v: u64);
+    /// Append a slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (first, rest) = self.split_first().expect("Buf::get_u8 on empty buffer");
+        *self = rest;
+        *first
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        let v = u64::from_le_bytes(head.try_into().expect("split_at(8) yields 8 bytes"));
+        *self = rest;
+        v
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let (head, rest) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = rest;
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl<T: Buf + ?Sized> Buf for &mut T {
+    fn remaining(&self) -> usize {
+        (**self).remaining()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        (**self).get_u8()
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        (**self).get_u64_le()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        (**self).copy_to_slice(dst);
+    }
+}
+
+impl<T: BufMut + ?Sized> BufMut for &mut T {
+    fn put_u8(&mut self, v: u8) {
+        (**self).put_u8(v);
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        (**self).put_u64_le(v);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        (**self).put_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_via_vec_and_slice() {
+        let mut buf = Vec::new();
+        buf.put_u8(0xab);
+        buf.put_u64_le(0x0102_0304_0506_0708);
+        buf.put_slice(b"xyz");
+
+        let mut r: &[u8] = &buf;
+        assert_eq!(r.remaining(), 12);
+        assert_eq!(r.get_u8(), 0xab);
+        assert_eq!(r.get_u64_le(), 0x0102_0304_0506_0708);
+        let mut three = [0u8; 3];
+        r.copy_to_slice(&mut three);
+        assert_eq!(&three, b"xyz");
+        assert!(!r.has_remaining());
+    }
+}

@@ -1,0 +1,250 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the bench-definition surface the workspace uses
+//! (`criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, throughput
+//! annotations) over a simple warmup-then-measure wall-clock harness.
+//! There is no statistical analysis — each benchmark reports the mean
+//! time per iteration and, when a throughput was declared, the implied
+//! rate. Good enough to rank hot paths and catch order-of-magnitude
+//! regressions without the real crate's dependency tree.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Per-benchmark measurement settings.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    /// Samples to average over (each sample auto-sizes its iteration count).
+    sample_size: usize,
+    /// Target measurement time across all samples.
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Top-level bench context handed to each `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            settings: Settings::default(),
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation: reported as a rate next to the mean time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier `group/function/parameter` for parameterised benches.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Id for `function_name` at `parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of samples averaged per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id, |b| f(b));
+        self
+    }
+
+    /// Run a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.name, |b| f(b, input));
+        self
+    }
+
+    /// End the group (spacing line, mirroring criterion's output rhythm).
+    pub fn finish(&mut self) {
+        println!();
+    }
+
+    fn run(&self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            settings: self.settings,
+            mean_ns: 0.0,
+        };
+        f(&mut bencher);
+        let mean_ns = bencher.mean_ns;
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(n) => {
+                format!(" ({:.3} Melem/s)", n as f64 / mean_ns * 1e3)
+            }
+            Throughput::Bytes(n) => {
+                format!(
+                    " ({:.3} MiB/s)",
+                    n as f64 / mean_ns * 1e9 / (1 << 20) as f64
+                )
+            }
+        });
+        println!(
+            "{}/{:<40} time: [{}]{}",
+            self.name,
+            id,
+            format_ns(mean_ns),
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Timing harness passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    settings: Settings,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Measure `routine`, recording the mean wall time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + auto-size: time one call, then pick an iteration count
+        // that fills the per-sample budget.
+        let warm_start = Instant::now();
+        std_black_box(routine());
+        let once = warm_start.elapsed().max(Duration::from_nanos(20));
+
+        let samples = self.settings.sample_size as u32;
+        let per_sample = self.settings.measurement_time / samples.max(1);
+        let iters_per_sample = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std_black_box(routine());
+            }
+            total += start.elapsed();
+            iters += iters_per_sample;
+            if total > self.settings.measurement_time * 2 {
+                break; // slow benchmark: don't overrun the budget hard
+            }
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// Define a bench group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_positive_mean() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(5);
+        let mut observed = 0.0;
+        group.bench_function("count", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            observed = b.mean_ns;
+        });
+        assert!(observed > 0.0);
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats_with_parameter() {
+        let id = BenchmarkId::new("encode", 4096);
+        assert_eq!(id.name, "encode/4096");
+    }
+}

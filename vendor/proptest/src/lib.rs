@@ -1,0 +1,356 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The container build cannot reach crates.io, so the workspace vendors a
+//! miniature property-testing framework with the same *spelling* as the
+//! subset of proptest it uses: the [`proptest!`] macro, `any::<T>()`,
+//! ranges and regex-literal strategies, tuples, [`collection::vec`],
+//! `prop_map` / `prop_flat_map` / [`prop_oneof!`], and the `prop_assert*`
+//! macros. Differences from the real crate:
+//!
+//! - generation is a pure function of the test name and case index, so
+//!   every run (local and CI) sees the same inputs;
+//! - there is no shrinking — on failure the harness prints the case index
+//!   and seed so the exact inputs can be replayed;
+//! - the regex-string strategy implements only the subset appearing in this
+//!   workspace: char classes (`[a-z0-9 ,._-]`, ranges, `\n`/`\"` escapes),
+//!   the `\PC` "any non-control char" class, and `{m,n}` repetition.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+
+/// Deterministic SplitMix64 stream driving all generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Stream determined entirely by `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Runner configuration — only the `cases` knob is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Matches real proptest's default; override per-block with
+        // `#![proptest_config(ProptestConfig::with_cases(n))]` or globally
+        // via the PROPTEST_CASES environment variable.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Effective case count: env override, else the config's.
+#[must_use]
+pub fn effective_cases(config: &ProptestConfig) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(config.cases)
+}
+
+/// Stable FNV-1a hash of the test name — the per-test base seed.
+#[must_use]
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+pub mod collection {
+    //! `vec` strategy, sized by an exact length or a `Range<usize>`.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::Range;
+
+    /// Length specification accepted by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                lo: exact,
+                hi: exact + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy yielding `Vec`s of `element` draws.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig, TestRng,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// assertion + harness macros
+// ---------------------------------------------------------------------------
+
+/// Property-scoped assertion (panics like `assert!` in this stub).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Property-scoped equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Property-scoped inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice among strategies sharing a `Value` type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Define `#[test]` functions that run a body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @config($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @config($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@config($config:expr) $(
+        #[test]
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config = $config;
+            let cases = $crate::effective_cases(&config);
+            let base = $crate::seed_for(stringify!($name));
+            for case in 0..u64::from(cases) {
+                let seed = base ^ case.wrapping_mul(0x2545_f491_4f6c_dd1d);
+                let mut rng = $crate::TestRng::new(seed);
+                let ($($arg,)+) = ($($crate::Strategy::generate(&($strategy), &mut rng),)+);
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| $body));
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest {}: failed at case {case}/{cases} (seed {seed:#018x})",
+                        stringify!($name),
+                    );
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}
+
+// ---------------------------------------------------------------------------
+// numeric range strategies (live at crate root so `0u64..n` "just works")
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end.abs_diff(self.start) as u128;
+                let draw = ((u128::from(rng.next_u64()) * span) >> 64) as u64;
+                // Wrapping add in the unsigned domain then cast back covers
+                // signed ranges like -1000..1000 without overflow.
+                #[allow(clippy::cast_possible_wrap, clippy::cast_possible_truncation)]
+                {
+                    self.start.wrapping_add(draw as $t)
+                }
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive range strategy");
+                let span = (hi.abs_diff(lo) as u128) + 1;
+                let draw = ((u128::from(rng.next_u64()) * span) >> 64) as u64;
+                #[allow(clippy::cast_possible_wrap, clippy::cast_possible_truncation)]
+                {
+                    lo.wrapping_add(draw as $t)
+                }
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty f32 range strategy");
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn determinism_same_name_same_stream() {
+        let mut a = TestRng::new(crate::seed_for("x"));
+        let mut b = TestRng::new(crate::seed_for("x"));
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(v in 10u64..20, s in -5i64..=5, f in 0.25f64..0.75) {
+            prop_assert!((10..20).contains(&v));
+            prop_assert!((-5..=5).contains(&s));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_spec(
+            xs in crate::collection::vec(0u8..10, 2..5),
+            exact in crate::collection::vec(0u8..10, 3usize),
+        ) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 5);
+            prop_assert_eq!(exact.len(), 3);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![Just(1u8), (5u8..7).prop_map(|x| x)]) {
+            prop_assert!(v == 1 || v == 5 || v == 6);
+        }
+
+        #[test]
+        fn regex_classes_generate_members(s in "[a-c]{2,4}", p in "\\PC{0,8}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 4);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            prop_assert!(p.chars().all(|c| !c.is_control()));
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! Core [`Strategy`] trait and combinators.
+
+use crate::TestRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value from the deterministic stream.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build a dependent strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy always yielding a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies (built by [`crate::prop_oneof!`]).
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+        let idx = rng.below(self.0.len() as u64) as usize;
+        self.0[idx].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+/// Full-domain strategy for `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, spanning many magnitudes — close enough to
+        // real proptest's value-tree for the properties in this workspace.
+        let mag = (rng.unit_f64() * 2.0 - 1.0) * 1e15;
+        mag * rng.unit_f64()
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        char::from_u32(rng.below(0xD800) as u32).unwrap_or('\u{FFFD}')
+    }
+}
+
+// ---------------------------------------------------------------------------
+// tuple strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+// ---------------------------------------------------------------------------
+// regex-literal string strategy
+// ---------------------------------------------------------------------------
+
+/// One parsed regex atom: a set of candidate chars plus a repetition range.
+#[derive(Debug, Clone)]
+struct Atom {
+    chars: CharSet,
+    min: u32,
+    max: u32, // inclusive
+}
+
+#[derive(Debug, Clone)]
+enum CharSet {
+    /// Explicit members (from `[...]` classes or literal chars).
+    Explicit(Vec<char>),
+    /// `\PC`: any non-control character.
+    NonControl,
+}
+
+impl CharSet {
+    fn pick(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharSet::Explicit(chars) => chars[rng.below(chars.len() as u64) as usize],
+            CharSet::NonControl => {
+                // Mostly printable ASCII with an occasional multi-byte char
+                // so UTF-8 handling gets exercised.
+                if rng.below(8) == 0 {
+                    const WIDE: &[char] = &['é', 'ß', '中', '✓', '🦀', 'Ω', 'ж', '\u{2028}'];
+                    WIDE[rng.below(WIDE.len() as u64) as usize]
+                } else {
+                    char::from_u32(0x20 + rng.below(0x5f) as u32).expect("printable ASCII")
+                }
+            }
+        }
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let set = match c {
+            '[' => {
+                let mut members = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let Some(m) = chars.next() else {
+                        panic!("unterminated char class in pattern {pattern:?}");
+                    };
+                    match m {
+                        ']' => break,
+                        '\\' => {
+                            let esc = chars.next().expect("escape at end of class");
+                            let lit = match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                'r' => '\r',
+                                other => other,
+                            };
+                            members.push(lit);
+                            prev = Some(lit);
+                        }
+                        '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                            let hi = chars.next().expect("range end");
+                            let lo = prev.take().expect("range start");
+                            // `lo` is already in members; add (lo, hi].
+                            let (lo, hi) = (lo as u32, hi as u32);
+                            assert!(lo <= hi, "inverted class range in {pattern:?}");
+                            for cp in (lo + 1)..=hi {
+                                members.push(char::from_u32(cp).expect("valid class range"));
+                            }
+                        }
+                        other => {
+                            members.push(other);
+                            prev = Some(other);
+                        }
+                    }
+                }
+                assert!(!members.is_empty(), "empty char class in {pattern:?}");
+                CharSet::Explicit(members)
+            }
+            '\\' => match chars.next() {
+                Some('P') => {
+                    let class = chars.next();
+                    assert_eq!(class, Some('C'), "only \\PC is supported, got \\P{class:?}");
+                    CharSet::NonControl
+                }
+                Some('n') => CharSet::Explicit(vec!['\n']),
+                Some('t') => CharSet::Explicit(vec!['\t']),
+                Some(other) => CharSet::Explicit(vec![other]),
+                None => panic!("dangling escape in pattern {pattern:?}"),
+            },
+            literal => CharSet::Explicit(vec![literal]),
+        };
+
+        // Optional {m,n} / {n} quantifier; default exactly-once.
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for q in chars.by_ref() {
+                if q == '}' {
+                    break;
+                }
+                spec.push(q);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse().expect("quantifier lower bound"),
+                    hi.parse().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n = spec.parse().expect("exact quantifier");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom {
+            chars: set,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let span = u64::from(atom.max - atom.min) + 1;
+            let reps = atom.min + rng.below(span) as u32;
+            for _ in 0..reps {
+                out.push(atom.chars.pick(rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(0x1234)
+    }
+
+    #[test]
+    fn class_with_ranges_escapes_and_trailing_dash() {
+        let atoms = parse_pattern("[a-zA-Z0-9 ,\"\n/._-]{0,30}");
+        assert_eq!(atoms.len(), 1);
+        let CharSet::Explicit(members) = &atoms[0].chars else {
+            panic!("expected explicit class");
+        };
+        for c in ['a', 'z', 'M', '7', ' ', ',', '"', '\n', '/', '.', '_', '-'] {
+            assert!(members.contains(&c), "missing {c:?}");
+        }
+        assert!(!members.contains(&'{'));
+    }
+
+    #[test]
+    fn generated_strings_respect_length_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z0-9]{1,12}".generate(&mut r);
+            assert!((1..=12).contains(&s.chars().count()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn pc_class_avoids_control_chars() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "\\PC{0,20}".generate(&mut r);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn concatenated_atoms() {
+        let mut r = rng();
+        let s = "[a-c][0-2]{2}".generate(&mut r);
+        assert_eq!(s.len(), 3);
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types but
+//! never drives them through a serde serializer (all JSON/CSV output is
+//! hand-rolled). This stub keeps those derives compiling without network
+//! access to crates.io: the traits are empty markers and the derive macros
+//! (re-exported from the sibling `serde_derive` stub) expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
