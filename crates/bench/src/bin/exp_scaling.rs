@@ -16,7 +16,7 @@ use std::time::Instant;
 use workloads::openpmd::{OpenPmd, OpenPmdVariant};
 use workloads::Workload;
 
-fn main() {
+fn main() -> Result<(), darshan::DarshanError> {
     println!("═══ Scaling: OpenPMD baseline vs rank count ═══\n");
     println!(
         "{:<8} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}",
@@ -31,7 +31,7 @@ fn main() {
         let nprocs = log.job.nprocs;
 
         let t1 = Instant::now();
-        let bytes = LogWriter::from_log(log.clone()).finish().unwrap().len();
+        let bytes = LogWriter::from_log(log.clone()).finish()?.len();
         let encode_ms = t1.elapsed().as_secs_f64() * 1e3;
 
         let t2 = Instant::now();
@@ -51,4 +51,5 @@ fn main() {
         "\nbytes per traced op stay roughly constant (varint+delta DXT encoding);\n\
          extraction and analysis scale linearly with trace size."
     );
+    Ok(())
 }

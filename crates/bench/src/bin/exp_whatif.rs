@@ -12,37 +12,36 @@
 //! pattern makes the fix inapplicable (random offsets)?
 
 use ion::pipeline::IonPipeline;
-use iosim::{SimConfig, Simulation};
+use iosim::{SimConfig, SimError, Simulation};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 const RANKS: u32 = 4;
 const VOLUME_PER_RANK: u64 = 64 << 20; // 64 MiB
 
-fn sequential_writer(transfer: u64) -> f64 {
+fn sequential_writer(transfer: u64) -> Result<f64, SimError> {
     let mut sim = Simulation::new(SimConfig::default().with_ranks(RANKS));
-    let f = sim.posix_open_all("/whatif/seq").unwrap();
+    let f = sim.posix_open_all("/whatif/seq")?;
     let ops = VOLUME_PER_RANK / transfer;
     for i in 0..ops {
         for rank in 0..RANKS {
             let base = u64::from(rank) * VOLUME_PER_RANK;
-            sim.posix_write(rank, f, base + i * transfer, transfer)
-                .unwrap();
+            sim.posix_write(rank, f, base + i * transfer, transfer)?;
         }
     }
     sim.posix_close_all(f);
-    sim.finish().job.run_time()
+    Ok(sim.finish().job.run_time())
 }
 
-fn interleaved_posix() -> (darshan::log::Log, f64) {
+fn interleaved_posix() -> Result<(darshan::log::Log, f64), SimError> {
     let mut sim = Simulation::new(SimConfig::default().with_ranks(RANKS));
-    let f = sim.posix_open_all("/whatif/hard").unwrap();
+    let f = sim.posix_open_all("/whatif/hard")?;
     let record = 47_008u64;
     let ops = VOLUME_PER_RANK / record / 8;
     for i in 0..ops {
         for rank in 0..RANKS {
             let off = (i * u64::from(RANKS) + u64::from(rank)) * record;
-            sim.posix_write(rank, f, off, record).unwrap();
+            sim.posix_write(rank, f, off, record)?;
         }
         // ior-hard ranks proceed in lockstep (stonewalling): every wave
         // synchronizes, so conflicting requests really do collide.
@@ -51,12 +50,12 @@ fn interleaved_posix() -> (darshan::log::Log, f64) {
     sim.posix_close_all(f);
     let log = sim.finish();
     let t = log.job.run_time();
-    (log, t)
+    Ok((log, t))
 }
 
-fn interleaved_collective() -> f64 {
+fn interleaved_collective() -> Result<f64, SimError> {
     let mut sim = Simulation::new(SimConfig::default().with_ranks(RANKS));
-    let f = sim.mpi_file_open("/whatif/hard").unwrap();
+    let f = sim.mpi_file_open("/whatif/hard")?;
     let record = 47_008u64;
     let ops = VOLUME_PER_RANK / record / 8;
     for i in 0..ops {
@@ -69,15 +68,15 @@ fn interleaved_collective() -> f64 {
                 )
             })
             .collect();
-        sim.mpi_write_collective(f, &reqs).unwrap();
+        sim.mpi_write_collective(f, &reqs)?;
     }
-    sim.mpi_file_close(f).unwrap();
-    sim.finish().job.run_time()
+    sim.mpi_file_close(f)?;
+    Ok(sim.finish().job.run_time())
 }
 
-fn random_writer(buffered: bool) -> f64 {
+fn random_writer(buffered: bool) -> Result<f64, SimError> {
     let mut sim = Simulation::new(SimConfig::default().with_ranks(RANKS));
-    let f = sim.posix_open_all("/whatif/rnd").unwrap();
+    let f = sim.posix_open_all("/whatif/rnd")?;
     let transfer = 4096u64;
     let ops = VOLUME_PER_RANK / transfer / 16;
     let slots = ops * u64::from(RANKS) * 4;
@@ -92,28 +91,27 @@ fn random_writer(buffered: bool) -> f64 {
             // (futile) attempt as identical I/O — the point of the negative
             // control.
             let _ = buffered;
-            sim.posix_write(rank, f, off, transfer).unwrap();
+            sim.posix_write(rank, f, off, transfer)?;
         }
     }
     sim.posix_close_all(f);
-    sim.finish().job.run_time()
+    Ok(sim.finish().job.run_time())
 }
 
-fn misaligned_writer(aligned: bool) -> f64 {
+fn misaligned_writer(aligned: bool) -> Result<f64, SimError> {
     let mut sim = Simulation::new(SimConfig::default().with_ranks(RANKS));
-    let f = sim.posix_open_all("/whatif/align").unwrap();
+    let f = sim.posix_open_all("/whatif/align")?;
     let record = 1u64 << 20;
     let shift = if aligned { 0 } else { 2688 };
     let ops = VOLUME_PER_RANK / record;
     for i in 0..ops {
         for rank in 0..RANKS {
             let base = u64::from(rank) * 2 * VOLUME_PER_RANK;
-            sim.posix_write(rank, f, base + i * record + shift, record)
-                .unwrap();
+            sim.posix_write(rank, f, base + i * record + shift, record)?;
         }
     }
     sim.posix_close_all(f);
-    sim.finish().job.run_time()
+    Ok(sim.finish().job.run_time())
 }
 
 fn row(name: &str, recommendation: &str, before: f64, after: f64) {
@@ -123,12 +121,12 @@ fn row(name: &str, recommendation: &str, before: f64, after: f64) {
     );
 }
 
-fn main() {
+fn main() -> Result<(), SimError> {
     println!("═══ What-if: applying ION's recommendations in the simulator ═══\n");
 
     // 1. Small consecutive writes → aggregate into RPC-sized transfers.
-    let before = sequential_writer(2048);
-    let after = sequential_writer(4 << 20);
+    let before = sequential_writer(2048)?;
+    let after = sequential_writer(4 << 20)?;
     row(
         "small sequential writes",
         "aggregate consecutive 2 KiB ops into 4 MiB transfers",
@@ -137,8 +135,8 @@ fn main() {
     );
 
     // 2. Interleaved shared-file records → MPI-IO collective writes.
-    let (hard_log, before) = interleaved_posix();
-    let after = interleaved_collective();
+    let (hard_log, before) = interleaved_posix()?;
+    let after = interleaved_collective()?;
     row(
         "interleaved shared file",
         "switch to MPI-IO collective (two-phase) writes",
@@ -147,8 +145,8 @@ fn main() {
     );
 
     // 3. Negative control: random 4 KiB writes cannot be aggregated.
-    let before = random_writer(false);
-    let after = random_writer(true);
+    let before = random_writer(false)?;
+    let after = random_writer(true)?;
     row(
         "random 4 KiB writes",
         "aggregation inapplicable: non-adjacent offsets",
@@ -157,8 +155,8 @@ fn main() {
     );
 
     // 4. Misaligned streaming writes → pad offsets to the stripe grid.
-    let before = misaligned_writer(false);
-    let after = misaligned_writer(true);
+    let before = misaligned_writer(false)?;
+    let after = misaligned_writer(true)?;
     row(
         "misaligned 1 MiB writes",
         "align record offsets to the 1 MiB stripe boundary",
@@ -183,4 +181,5 @@ fn main() {
     println!("\nreading: the two fixes ION recommends (aggregation, collectives) yield real");
     println!("speedups; the negative control shows no change, matching ION's refusal to");
     println!("promise aggregation for random access patterns.");
+    Ok(())
 }

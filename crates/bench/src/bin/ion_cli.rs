@@ -6,10 +6,17 @@
 //! ion-cli dxt <log.darshan>                   darshan-dxt-parser output
 //! ion-cli extract <log.darshan> <out-dir>     write the per-module CSVs
 //! ion-cli analyze <log.darshan>               full ION diagnosis
+//! ion-cli batch <trace-dir>                   analyze every trace in a directory
 //! ion-cli drishti <log.darshan>               Drishti baseline report
 //! ion-cli compare <base> <optimized>          diff two diagnoses (resolved/introduced)
 //! ion-cli qa <log.darshan> "<question>" ...   diagnose then answer questions
+//! ion-cli store gc [--apply]                  prune unreferenced store artifacts
 //! ```
+//!
+//! `--store <dir>` (valid anywhere on the command line) backs `analyze`,
+//! `batch` and `qa` with the content-addressed incremental store: stages
+//! whose inputs did not change are served from cache instead of being
+//! recomputed. `batch` additionally accepts `--jobs <n>`.
 //!
 //! Workloads: `ior-easy-2k`, `ior-easy-1m`, `ior-easy-fpp`, `ior-hard`,
 //! `ior-rnd4k`, `mdworkbench`, `openpmd`, `openpmd-opt`, `e2e`, `e2e-opt`.
@@ -36,23 +43,26 @@ use workloads::Workload;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: ion-cli [--profile] [--metrics-json <path>] \
-         <generate|parse|dxt|extract|analyze|drishti|compare|qa> <args...>\n\
+        "usage: ion-cli [--profile] [--metrics-json <path>] [--store <dir>] [--jobs <n>] \
+         <generate|parse|dxt|extract|analyze|batch|drishti|compare|qa|store> <args...>\n\
          a bare <log.darshan> after the flags is shorthand for `analyze`\n\
          see `cargo doc` or the README for details"
     );
     ExitCode::FAILURE
 }
 
-/// Observability flags, stripped from anywhere on the command line.
+/// Global flags, stripped from anywhere on the command line.
 #[derive(Debug, Default)]
 struct ObsFlags {
     profile: bool,
     metrics_json: Option<String>,
+    store: Option<String>,
+    jobs: usize,
 }
 
 impl ObsFlags {
-    /// Extract `--profile` / `--metrics-json <path>` from `args`.
+    /// Extract `--profile` / `--metrics-json <path>` / `--store <dir>` /
+    /// `--jobs <n>` from `args`.
     fn strip(args: &mut Vec<String>) -> Result<ObsFlags, String> {
         let mut flags = ObsFlags::default();
         let mut i = 0;
@@ -69,6 +79,23 @@ impl ObsFlags {
                     args.remove(i);
                     flags.metrics_json = Some(args.remove(i));
                 }
+                "--store" => {
+                    if i + 1 >= args.len() {
+                        return Err("--store needs a <dir>".into());
+                    }
+                    args.remove(i);
+                    flags.store = Some(args.remove(i));
+                }
+                "--jobs" => {
+                    if i + 1 >= args.len() {
+                        return Err("--jobs needs a <n>".into());
+                    }
+                    args.remove(i);
+                    let n = args.remove(i);
+                    flags.jobs = n
+                        .parse()
+                        .map_err(|_| format!("--jobs needs a number, got {n}"))?;
+                }
                 _ => i += 1,
             }
         }
@@ -77,6 +104,18 @@ impl ObsFlags {
 
     fn any(&self) -> bool {
         self.profile || self.metrics_json.is_some()
+    }
+
+    /// Open the store named by `--store`, or explain which command
+    /// needed it.
+    fn open_store(&self, needed_by: &str) -> Result<std::sync::Arc<ion_store::Store>, String> {
+        let dir = self
+            .store
+            .as_ref()
+            .ok_or_else(|| format!("{needed_by} needs --store <dir>"))?;
+        ion_store::Store::open(dir)
+            .map(std::sync::Arc::new)
+            .map_err(|e| format!("cannot open store {dir}: {e}"))
     }
 
     /// Render whatever the run recorded: the profile tree to stderr (so it
@@ -118,22 +157,37 @@ fn load(path: &str) -> Result<darshan::log::Log, String> {
     LogReader::read(&bytes).map_err(|e| format!("cannot decode {path}: {e}"))
 }
 
+/// Full diagnosis of trace bytes — incremental when `--store` is given,
+/// the plain pipeline otherwise.
+fn analyze_bytes(bytes: &[u8], flags: &ObsFlags) -> Result<ion::pipeline::IonReport, String> {
+    if flags.store.is_some() {
+        let store = flags.open_store("analyze")?;
+        ion_store::StoredPipeline::new(store)
+            .analyze_bytes(bytes)
+            .map_err(|e| e.to_string())
+    } else {
+        IonPipeline::new()
+            .run_bytes(bytes)
+            .map_err(|e| format!("cannot decode trace: {e}"))
+    }
+}
+
 fn run() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let flags = ObsFlags::strip(&mut args)?;
     if flags.any() {
         ion_obs::enable();
     }
-    let result = dispatch(&args);
+    let result = dispatch(&args, &flags);
     flags.report()?;
     result
 }
 
-const COMMANDS: [&str; 8] = [
-    "generate", "parse", "dxt", "extract", "analyze", "drishti", "compare", "qa",
+const COMMANDS: [&str; 10] = [
+    "generate", "parse", "dxt", "extract", "analyze", "batch", "drishti", "compare", "qa", "store",
 ];
 
-fn dispatch(args: &[String]) -> Result<(), String> {
+fn dispatch(args: &[String], flags: &ObsFlags) -> Result<(), String> {
     let Some(cmd) = args.first() else {
         return Err("missing command".into());
     };
@@ -189,9 +243,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             let path = args.get(1).ok_or("analyze needs <log.darshan>")?;
             // Feed bytes so the decode span nests under the pipeline span.
             let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            let report = IonPipeline::new()
-                .run_bytes(&bytes)
-                .map_err(|e| format!("cannot decode {path}: {e}"))?;
+            let report = analyze_bytes(&bytes, flags).map_err(|e| format!("{path}: {e}"))?;
             emit(&report.render_text());
             let problems = report.consistency();
             if problems.is_empty() {
@@ -203,6 +255,44 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                 }
             }
         }
+        "batch" => {
+            let dir = args.get(1).ok_or("batch needs <trace-dir>")?;
+            let store = flags.open_store("batch")?;
+            let driver = ion_store::StoredPipeline::new(store);
+            let report = ion_store::analyze_dir(&driver, std::path::Path::new(dir), flags.jobs)
+                .map_err(|e| e.to_string())?;
+            emit(&report.render_text());
+            if report.failed() > 0 {
+                return Err(format!("{} trace(s) failed", report.failed()));
+            }
+        }
+        "store" => match args.get(1).map(String::as_str) {
+            Some("gc") => {
+                let apply = args.get(2).map(String::as_str) == Some("--apply");
+                let store = flags.open_store("store gc")?;
+                let report = store.gc(!apply).map_err(|e| e.to_string())?;
+                println!(
+                    "{} live object(s), {} unreferenced",
+                    report.live,
+                    report.unreferenced.len()
+                );
+                for digest in &report.unreferenced {
+                    println!(
+                        "  {} {}",
+                        if report.deleted {
+                            "pruned"
+                        } else {
+                            "would prune"
+                        },
+                        digest.hex()
+                    );
+                }
+                if !report.deleted && !report.unreferenced.is_empty() {
+                    println!("(dry run; pass --apply to prune)");
+                }
+            }
+            _ => return Err("store needs a subcommand: store gc [--apply]".into()),
+        },
         "drishti" => {
             let path = args.get(1).ok_or("drishti needs <log.darshan>")?;
             emit(&drishti::analyze(&load(path)?).render_text());
@@ -220,14 +310,12 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "qa" => {
             let path = args.get(1).ok_or("qa needs <log.darshan> [questions...]")?;
             let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            let report = IonPipeline::new()
-                .run_bytes(&bytes)
-                .map_err(|e| format!("cannot decode {path}: {e}"))?;
+            let report = analyze_bytes(&bytes, flags).map_err(|e| format!("{path}: {e}"))?;
             emit(&format!("{}\n", report.summary));
             let mut session = report.session();
             for q in &args[2..] {
-                println!("\nQ: {q}");
-                println!("A: {}", session.ask(q));
+                emit(&format!("\nQ: {q}\n"));
+                emit(&format!("A: {}\n", session.ask(q)));
             }
         }
         other => return Err(format!("unknown command {other}")),

@@ -74,6 +74,9 @@ fn id_cells(log: &Log, file_id: u64, rank: i32) -> Vec<Value> {
 #[must_use]
 pub fn extract_tables(log: &Log) -> TableSet {
     let mut span = ion_obs::span!("extract");
+    // Counted (not just spanned) so cache layers can prove "zero
+    // extractions happened" from a metrics snapshot alone.
+    ion_obs::counter("extract.runs", 1);
     let mut set = TableSet::default();
 
     if !log.posix.is_empty() {

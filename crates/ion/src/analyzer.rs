@@ -184,14 +184,43 @@ impl<'m> Analyzer<'m> {
                 if d.issue.is_empty() {
                     d.issue = context.id.to_owned();
                 }
+                d.context_revision = context.revision().hex();
                 d
             }
             Err(e) => Diagnosis {
                 issue: context.id.to_owned(),
                 conclusion: format!("analysis failed: {e}"),
+                context_revision: context.revision().hex(),
                 ..Diagnosis::default()
             },
         }
+    }
+
+    /// Analyze a single issue context against `tables` — the unit of work
+    /// the incremental store memoizes. The resulting diagnosis is a pure
+    /// function of `(tables, context, params, model)` and carries the
+    /// context revision that produced it.
+    #[must_use]
+    pub fn analyze_issue(
+        &self,
+        context: &IssueContext,
+        tables: &TableSet,
+        params: &SystemParams,
+    ) -> Diagnosis {
+        self.run_one(context, tables, params, ion_obs::current_span())
+    }
+
+    /// Run the summarization pass over per-issue diagnoses.
+    #[must_use]
+    pub fn summarize(&self, diagnoses: &[Diagnosis], tables: &TableSet) -> String {
+        let _summarize_span = ion_obs::span!("summarize");
+        let texts: Vec<String> = diagnoses.iter().map(|d| d.raw.clone()).collect();
+        let summary_prompt = build_summary_prompt(&texts);
+        let runtime = Runtime::new(self.model, tables);
+        runtime
+            .run(Thread::new().with(Message::user(summary_prompt)))
+            .map(|c| c.text)
+            .unwrap_or_else(|e| format!("summarization failed: {e}"))
     }
 
     /// Analyze a set of extracted tables.
@@ -202,15 +231,7 @@ impl<'m> Analyzer<'m> {
     /// [`AnalysisResult::skipped`].
     #[must_use]
     pub fn analyze(&self, tables: &TableSet, params: &SystemParams) -> AnalysisResult {
-        let mut applicable: Vec<&IssueContext> = Vec::new();
-        let mut skipped = Vec::new();
-        for c in &self.contexts {
-            if c.modules().iter().any(|m| tables.get(m).is_some()) {
-                applicable.push(c);
-            } else {
-                skipped.push(c.id.to_owned());
-            }
-        }
+        let (applicable, skipped) = applicable_contexts(&self.contexts, tables);
 
         // Dispatch width follows the hardware: per-issue analyses clone and
         // transform large DXT tables, so oversubscribing cores only adds
@@ -252,16 +273,7 @@ impl<'m> Analyzer<'m> {
         };
 
         // Summarization pass over the per-issue completions.
-        let summary = {
-            let _summarize_span = ion_obs::span_under(analyze_id, "summarize");
-            let texts: Vec<String> = diagnoses.iter().map(|d| d.raw.clone()).collect();
-            let summary_prompt = build_summary_prompt(&texts);
-            let runtime = Runtime::new(self.model, tables);
-            runtime
-                .run(Thread::new().with(Message::user(summary_prompt)))
-                .map(|c| c.text)
-                .unwrap_or_else(|e| format!("summarization failed: {e}"))
-        };
+        let summary = self.summarize(&diagnoses, tables);
 
         AnalysisResult {
             diagnoses,
@@ -269,6 +281,27 @@ impl<'m> Analyzer<'m> {
             skipped,
         }
     }
+}
+
+/// Partition `contexts` by ION's module mapping: those with at least one
+/// recorded module are applicable; the rest are skipped (by id). Shared
+/// between [`Analyzer::analyze`] and the incremental store driver so both
+/// agree on what "applicable" means.
+#[must_use]
+pub fn applicable_contexts<'c>(
+    contexts: &'c [IssueContext],
+    tables: &TableSet,
+) -> (Vec<&'c IssueContext>, Vec<String>) {
+    let mut applicable = Vec::new();
+    let mut skipped = Vec::new();
+    for c in contexts {
+        if c.modules().iter().any(|m| tables.get(m).is_some()) {
+            applicable.push(c);
+        } else {
+            skipped.push(c.id.to_owned());
+        }
+    }
+    (applicable, skipped)
 }
 
 #[cfg(test)]

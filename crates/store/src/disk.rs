@@ -1,0 +1,347 @@
+//! On-disk layout: content-addressed objects plus a versioned manifest.
+//!
+//! ```text
+//! <root>/
+//!   MANIFEST              versioned key → object-digest map
+//!   objects/ab/cdef…      artifact bytes, named by their SHA-256
+//! ```
+//!
+//! Objects are immutable once written (their name *is* their content
+//! hash), so a half-written object is the only corruption mode that
+//! matters — both objects and the manifest are therefore written to a
+//! temp file in the same directory and atomically renamed into place.
+//! Concurrent writers racing on one object both produce identical bytes,
+//! so whichever rename lands last is harmless.
+
+use crate::digest::{digest_bytes, Digest};
+use crate::StoreError;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Unique-enough temp suffix: pid + process-wide counter.
+fn temp_name(tag: &str) -> String {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    format!(
+        ".tmp-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
+fn io_err(action: &str, path: &Path, e: std::io::Error) -> StoreError {
+    StoreError::Io {
+        action: action.to_owned(),
+        path: path.display().to_string(),
+        message: e.to_string(),
+    }
+}
+
+/// Write `bytes` to `path` atomically (temp file + rename).
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let dir = path
+        .parent()
+        .ok_or_else(|| StoreError::Corrupt(format!("{} has no parent", path.display())))?;
+    fs::create_dir_all(dir).map_err(|e| io_err("create dir", dir, e))?;
+    let tmp = dir.join(temp_name("obj"));
+    fs::write(&tmp, bytes).map_err(|e| io_err("write", &tmp, e))?;
+    fs::rename(&tmp, path).map_err(|e| {
+        let _ = fs::remove_file(&tmp);
+        io_err("rename", path, e)
+    })
+}
+
+/// The content-addressed object directory.
+#[derive(Debug, Clone)]
+pub struct ObjectDir {
+    root: PathBuf,
+}
+
+impl ObjectDir {
+    /// Object directory under `root` (created lazily on first write).
+    #[must_use]
+    pub fn new(root: &Path) -> ObjectDir {
+        ObjectDir {
+            root: root.join("objects"),
+        }
+    }
+
+    /// Path of the object holding `digest`.
+    #[must_use]
+    pub fn path_of(&self, digest: &Digest) -> PathBuf {
+        let hex = digest.hex();
+        self.root.join(&hex[..2]).join(&hex[2..])
+    }
+
+    /// Store `bytes`, returning their digest. Skips the write if the
+    /// object already exists.
+    pub fn put(&self, bytes: &[u8]) -> Result<Digest, StoreError> {
+        let digest = digest_bytes(bytes);
+        let path = self.path_of(&digest);
+        if !path.exists() {
+            atomic_write(&path, bytes)?;
+        }
+        Ok(digest)
+    }
+
+    /// Load the object with `digest`, verifying its content hash.
+    pub fn get(&self, digest: &Digest) -> Result<Option<Vec<u8>>, StoreError> {
+        let path = self.path_of(digest);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(io_err("read", &path, e)),
+        };
+        if digest_bytes(&bytes) != *digest {
+            return Err(StoreError::Corrupt(format!(
+                "object {} fails content verification",
+                digest.short()
+            )));
+        }
+        Ok(Some(bytes))
+    }
+
+    /// Every object digest present on disk (sorted).
+    pub fn list(&self) -> Result<Vec<Digest>, StoreError> {
+        let mut out = Vec::new();
+        let shards = match fs::read_dir(&self.root) {
+            Ok(d) => d,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(io_err("list", &self.root, e)),
+        };
+        for shard in shards {
+            let shard = shard.map_err(|e| io_err("list", &self.root, e))?;
+            if !shard
+                .file_type()
+                .map_err(|e| io_err("stat", &shard.path(), e))?
+                .is_dir()
+            {
+                continue;
+            }
+            let prefix = shard.file_name().to_string_lossy().into_owned();
+            for entry in fs::read_dir(shard.path()).map_err(|e| io_err("list", &shard.path(), e))? {
+                let entry = entry.map_err(|e| io_err("list", &shard.path(), e))?;
+                let rest = entry.file_name().to_string_lossy().into_owned();
+                if rest.starts_with(".tmp-") {
+                    continue;
+                }
+                if let Some(d) = Digest::from_hex(&format!("{prefix}{rest}")) {
+                    out.push(d);
+                }
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Delete the object with `digest` (idempotent).
+    pub fn remove(&self, digest: &Digest) -> Result<(), StoreError> {
+        let path = self.path_of(digest);
+        match fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err("remove", &path, e)),
+        }
+    }
+}
+
+/// Current manifest format version.
+pub const MANIFEST_VERSION: u32 = 1;
+
+const MANIFEST_MAGIC: &str = "ion-store-manifest";
+
+/// The dependency-key map: stage key → digest of the artifact object.
+///
+/// Keys are structured strings (see the crate docs for the scheme); a
+/// manifest from a future format version is rejected rather than
+/// silently misread.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    entries: BTreeMap<String, Digest>,
+}
+
+impl Manifest {
+    /// Empty manifest.
+    #[must_use]
+    pub fn new() -> Manifest {
+        Manifest::default()
+    }
+
+    /// Look a key up.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Digest> {
+        self.entries.get(key)
+    }
+
+    /// Bind `key` to `digest`, returning the previous binding.
+    pub fn insert(&mut self, key: &str, digest: Digest) -> Option<Digest> {
+        self.entries.insert(key.to_owned(), digest)
+    }
+
+    /// Remove a binding.
+    pub fn remove(&mut self, key: &str) -> Option<Digest> {
+        self.entries.remove(key)
+    }
+
+    /// Number of bindings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether there are no bindings.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate `(key, digest)` pairs in sorted key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Digest)> {
+        self.entries.iter().map(|(k, d)| (k.as_str(), d))
+    }
+
+    /// Every digest referenced by some key.
+    #[must_use]
+    pub fn referenced(&self) -> std::collections::BTreeSet<Digest> {
+        self.entries.values().copied().collect()
+    }
+
+    /// Serialize to the on-disk text format.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = format!("{MANIFEST_MAGIC} v{MANIFEST_VERSION}\n");
+        for (k, d) in &self.entries {
+            out.push_str(k);
+            out.push('\t');
+            out.push_str(&d.hex());
+            out.push('\n');
+        }
+        out.into_bytes()
+    }
+
+    /// Parse the on-disk text format.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Manifest, StoreError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| StoreError::Corrupt("manifest is not UTF-8".into()))?;
+        let mut lines = text.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| StoreError::Corrupt("empty manifest".into()))?;
+        let version = header
+            .strip_prefix(MANIFEST_MAGIC)
+            .and_then(|rest| rest.trim().strip_prefix('v'))
+            .and_then(|v| v.parse::<u32>().ok())
+            .ok_or_else(|| StoreError::Corrupt(format!("bad manifest header `{header}`")))?;
+        if version != MANIFEST_VERSION {
+            return Err(StoreError::Version {
+                found: version,
+                supported: MANIFEST_VERSION,
+            });
+        }
+        let mut m = Manifest::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (key, hex) = line.split_once('\t').ok_or_else(|| {
+                StoreError::Corrupt(format!("manifest line without tab: `{line}`"))
+            })?;
+            let digest = Digest::from_hex(hex)
+                .ok_or_else(|| StoreError::Corrupt(format!("bad digest for key `{key}`")))?;
+            m.entries.insert(key.to_owned(), digest);
+        }
+        Ok(m)
+    }
+
+    /// Load the manifest at `root` (empty if none exists yet).
+    pub fn load(root: &Path) -> Result<Manifest, StoreError> {
+        let path = root.join("MANIFEST");
+        match fs::read(&path) {
+            Ok(bytes) => Manifest::from_bytes(&bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Manifest::new()),
+            Err(e) => Err(io_err("read", &path, e)),
+        }
+    }
+
+    /// Persist the manifest at `root` atomically.
+    pub fn save(&self, root: &Path) -> Result<(), StoreError> {
+        atomic_write(&root.join("MANIFEST"), &self.to_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ion-store-disk-{tag}-{}", temp_name("t")));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn object_round_trip_and_dedup() {
+        let dir = tmpdir("rt");
+        let objects = ObjectDir::new(&dir);
+        let d1 = objects.put(b"hello").unwrap();
+        let d2 = objects.put(b"hello").unwrap();
+        assert_eq!(d1, d2);
+        assert_eq!(objects.get(&d1).unwrap().unwrap(), b"hello");
+        assert_eq!(objects.list().unwrap(), vec![d1]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_object_is_none() {
+        let dir = tmpdir("miss");
+        let objects = ObjectDir::new(&dir);
+        assert!(objects.get(&digest_bytes(b"nope")).unwrap().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_object_is_detected() {
+        let dir = tmpdir("corrupt");
+        let objects = ObjectDir::new(&dir);
+        let d = objects.put(b"payload").unwrap();
+        fs::write(objects.path_of(&d), b"tampered").unwrap();
+        assert!(matches!(objects.get(&d), Err(StoreError::Corrupt(_))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_round_trip() {
+        let mut m = Manifest::new();
+        m.insert("trace/abc", digest_bytes(b"x"));
+        m.insert("issue/small-io/k", digest_bytes(b"y"));
+        let parsed = Manifest::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn future_manifest_version_is_rejected() {
+        let bytes = b"ion-store-manifest v99\nk\t0000\n";
+        assert!(matches!(
+            Manifest::from_bytes(bytes),
+            Err(StoreError::Version { found: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn manifest_load_save() {
+        let dir = tmpdir("manifest");
+        let mut m = Manifest::new();
+        m.insert("k", digest_bytes(b"v"));
+        m.save(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), m);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_root_loads_empty_manifest() {
+        let dir = tmpdir("empty");
+        assert!(Manifest::load(&dir).unwrap().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

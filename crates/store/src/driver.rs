@@ -1,0 +1,291 @@
+//! The incremental driver: the ION pipeline with every stage memoized
+//! through the store.
+//!
+//! Dependency keys (salsa-style, one per stage, each a digest of that
+//! stage's *true* inputs):
+//!
+//! ```text
+//! trace/<sha256(trace bytes)>
+//!     → tables artifact (extracted TableSet + derived SystemParams)
+//! issue/<id>/<tables digest>/<params digest>/<context revision>/<model>
+//!     → diagnosis artifact
+//! summary/<sha256(diagnosis raws…, model)>
+//!     → summary text
+//! ```
+//!
+//! Invalidation falls out of the keys: re-analyzing an unchanged trace
+//! hits every stage; editing one issue context changes only that
+//! context's revision, so exactly one issue key misses while every other
+//! diagnosis (and usually the summary) is served from cache; changing
+//! the model id or system parameters invalidates all analyses but not
+//! the extraction.
+
+use crate::codec::{
+    decode_diagnosis, decode_tables, encode_diagnosis, encode_tables, params_digest, tables_digest,
+};
+use crate::digest::{digest_bytes, Hasher};
+use crate::store::Store;
+use crate::StoreError;
+use darshan::log::LogReader;
+use extractor::extract_tables;
+use ion::analyzer::{applicable_contexts, Analyzer, SystemParams};
+use ion::pipeline::{IonPipeline, IonReport};
+use ion::report::Diagnosis;
+use ion_llm::{DeterministicExpert, LanguageModel};
+use std::path::Path;
+use std::sync::Arc;
+
+static DEFAULT_MODEL: DeterministicExpert = DeterministicExpert;
+
+/// Model ids become key segments; forbid separator bytes.
+fn key_safe(id: &str) -> String {
+    id.replace(['/', '\t', '\n', ' '], "_")
+}
+
+/// The store-backed ION pipeline.
+///
+/// Configuration (parameter overrides, retrieval) is carried by an inner
+/// [`IonPipeline`], so a stored run analyzes exactly what the plain
+/// pipeline would — the store only decides what *not* to recompute.
+pub struct StoredPipeline<'m> {
+    store: Arc<Store>,
+    pipeline: IonPipeline,
+    model: &'m dyn LanguageModel,
+}
+
+impl std::fmt::Debug for StoredPipeline<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoredPipeline")
+            .field("store", &self.store.root())
+            .field("model", &self.model.model_id())
+            .finish()
+    }
+}
+
+impl StoredPipeline<'static> {
+    /// Store-backed pipeline with default configuration and the
+    /// deterministic expert model.
+    #[must_use]
+    pub fn new(store: Arc<Store>) -> Self {
+        StoredPipeline {
+            store,
+            pipeline: IonPipeline::new(),
+            model: &DEFAULT_MODEL,
+        }
+    }
+}
+
+impl<'m> StoredPipeline<'m> {
+    /// Replace the pipeline configuration (parameters, retrieval).
+    #[must_use]
+    pub fn with_pipeline(mut self, pipeline: IonPipeline) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Use a custom model backend (its `model_id` keys the cache).
+    #[must_use]
+    pub fn with_model<'n>(self, model: &'n dyn LanguageModel) -> StoredPipeline<'n> {
+        StoredPipeline {
+            store: self.store,
+            pipeline: self.pipeline,
+            model,
+        }
+    }
+
+    /// The underlying store.
+    #[must_use]
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+
+    /// Analyze serialized trace bytes, reusing every cached stage.
+    pub fn analyze_bytes(&self, bytes: &[u8]) -> Result<IonReport, StoreError> {
+        let mut run_span = ion_obs::span!("store.pipeline");
+        let trace_digest = digest_bytes(bytes);
+        run_span.attr("trace", trace_digest.short());
+
+        // Stage 1 — decode + extract, keyed by the raw trace bytes.
+        let trace_key = format!("trace/{}", trace_digest.hex());
+        let tables_artifact = self.store.get_or_compute(&trace_key, || {
+            ion_obs::counter("store.recompute.trace", 1);
+            let mut span = ion_obs::span!("store.recompute", stage = "trace");
+            span.attr("trace", trace_digest.short());
+            let log = LogReader::read(bytes)
+                .map_err(|e| StoreError::Pipeline(format!("cannot decode trace: {e}")))?;
+            let tables = extract_tables(&log);
+            let derived = SystemParams::from_log(&log);
+            Ok(encode_tables(&tables, &derived))
+        })?;
+        let (tables, derived_params) = decode_tables(&tables_artifact)?;
+        let params = self.pipeline.params_override().unwrap_or(derived_params);
+
+        // Stage 2 — per-issue analyses, keyed by extracted content (not
+        // trace bytes: two logs extracting identical tables share
+        // analyses), parameters, context revision and model.
+        let contexts = self.pipeline.contexts_for(&tables);
+        let (applicable, skipped) = applicable_contexts(&contexts, &tables);
+        let tables_d = tables_digest(&tables).hex();
+        let params_d = params_digest(&params).hex();
+        let model_id = key_safe(self.model.model_id());
+        let analyzer = Analyzer::with_model(self.model);
+
+        let width = std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get);
+        let parent = run_span.id();
+        let mut slots: Vec<Option<Result<Diagnosis, StoreError>>> = Vec::new();
+        slots.resize_with(applicable.len(), || None);
+        for (chunk_start, chunk) in applicable
+            .chunks(width)
+            .enumerate()
+            .map(|(ci, c)| (ci * width, c))
+        {
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (i, context) in chunk.iter().enumerate() {
+                    let key = format!(
+                        "issue/{}/{}/{}/{}/{}",
+                        context.id,
+                        tables_d,
+                        params_d,
+                        context.revision().hex(),
+                        model_id
+                    );
+                    let (tables, params, analyzer) = (&tables, &params, &analyzer);
+                    handles.push((
+                        chunk_start + i,
+                        scope.spawn(move || {
+                            let artifact = self.store.get_or_compute(&key, || {
+                                ion_obs::counter("store.recompute.issue", 1);
+                                let mut span = ion_obs::span_under(parent, "store.recompute");
+                                span.attr("stage", "issue");
+                                span.attr("issue", context.id);
+                                Ok(encode_diagnosis(
+                                    &analyzer.analyze_issue(context, tables, params),
+                                ))
+                            })?;
+                            decode_diagnosis(&artifact)
+                        }),
+                    ));
+                }
+                for (i, h) in handles {
+                    slots[i] = Some(h.join().unwrap_or_else(|_| {
+                        Err(StoreError::Pipeline("analysis worker panicked".into()))
+                    }));
+                }
+            });
+        }
+        let mut diagnoses = Vec::with_capacity(applicable.len());
+        for slot in slots.into_iter().flatten() {
+            diagnoses.push(slot?);
+        }
+
+        // Stage 3 — summarization, keyed by what it actually reads: the
+        // per-issue completions (not their revisions — a context edit
+        // that leaves every diagnosis unchanged keeps the summary warm).
+        let summary_key = {
+            let mut h = Hasher::new();
+            h.update(b"ion-store/summary/1");
+            for d in &diagnoses {
+                h.field(d.raw.as_bytes());
+            }
+            h.field(model_id.as_bytes());
+            format!("summary/{}", h.finish().hex())
+        };
+        let summary_artifact = self.store.get_or_compute(&summary_key, || {
+            ion_obs::counter("store.recompute.summary", 1);
+            let mut span = ion_obs::span_under(parent, "store.recompute");
+            span.attr("stage", "summary");
+            Ok(analyzer.summarize(&diagnoses, &tables).into_bytes())
+        })?;
+        let summary = String::from_utf8(summary_artifact.to_vec())
+            .map_err(|_| StoreError::Corrupt("summary artifact is not UTF-8".into()))?;
+
+        Ok(IonReport {
+            diagnoses,
+            summary,
+            skipped,
+            params: Some(params),
+        })
+    }
+
+    /// Analyze a trace file on disk.
+    pub fn analyze_file(&self, path: impl AsRef<Path>) -> Result<IonReport, StoreError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|e| StoreError::Io {
+            action: "read trace".into(),
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        self.analyze_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darshan::log::LogWriter;
+    use iosim::{SimConfig, Simulation};
+
+    fn trace_bytes() -> Vec<u8> {
+        let mut sim = Simulation::new(SimConfig::default().with_ranks(2).with_exe("drv"));
+        let f = sim.posix_open_all("/scratch/drv.dat").unwrap();
+        for i in 0..16u64 {
+            for rank in 0..2u32 {
+                let base = u64::from(rank) * (8 << 20);
+                sim.posix_write(rank, f, base + i * 1024, 1024).unwrap();
+            }
+        }
+        sim.posix_close_all(f);
+        LogWriter::from_log(sim.finish()).finish().unwrap()
+    }
+
+    fn tmp_store(tag: &str) -> Arc<Store> {
+        let dir =
+            std::env::temp_dir().join(format!("ion-store-driver-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Arc::new(Store::open(dir).unwrap())
+    }
+
+    #[test]
+    fn stored_report_matches_plain_pipeline() {
+        let bytes = trace_bytes();
+        let store = tmp_store("match");
+        let driver = StoredPipeline::new(Arc::clone(&store));
+        let cold = driver.analyze_bytes(&bytes).unwrap();
+        let plain = IonPipeline::new().run_bytes(&bytes).unwrap();
+        assert_eq!(cold.summary, plain.summary);
+        assert_eq!(cold.skipped, plain.skipped);
+        assert_eq!(cold.diagnoses, plain.diagnoses);
+        // Warm run returns the identical report.
+        let warm = driver.analyze_bytes(&bytes).unwrap();
+        assert_eq!(warm, cold);
+        let root = store.root().to_path_buf();
+        drop((driver, store));
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn warm_store_survives_reopen() {
+        let bytes = trace_bytes();
+        let store = tmp_store("reopen");
+        let root = store.root().to_path_buf();
+        let cold = StoredPipeline::new(Arc::clone(&store))
+            .analyze_bytes(&bytes)
+            .unwrap();
+        drop(store);
+        let reopened = Arc::new(Store::open(&root).unwrap());
+        let warm = StoredPipeline::new(reopened).analyze_bytes(&bytes).unwrap();
+        assert_eq!(warm, cold);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn bad_trace_bytes_error_cleanly() {
+        let store = tmp_store("bad");
+        let driver = StoredPipeline::new(Arc::clone(&store));
+        assert!(driver.analyze_bytes(&[0u8; 16]).is_err());
+        let root = store.root().to_path_buf();
+        drop((driver, store));
+        let _ = std::fs::remove_dir_all(root);
+    }
+}

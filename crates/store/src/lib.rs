@@ -1,0 +1,96 @@
+//! `ion-store` — content-addressed analysis store with salsa-style
+//! incremental re-analysis and a batch serving front-end.
+//!
+//! ION's diagnosis is a pure function of `(trace, issue context,
+//! parameters, model)`; this crate makes the pipeline stop paying for
+//! work whose inputs did not change. Every pipeline artifact lives in a
+//! content-addressed object store under one `--store` directory, and
+//! every stage is memoized under a dependency key — a digest of that
+//! stage's true inputs, in the spirit of salsa's dependency-keyed
+//! memoization for compilers:
+//!
+//! * `trace/<digest of trace bytes>` → extracted tables + derived
+//!   parameters (memoizes Darshan decode + extraction);
+//! * `issue/<id>/<tables digest>/<params digest>/<context
+//!   revision>/<model>` → one diagnosis (memoizes a model run);
+//! * `summary/<digest of diagnosis texts + model>` → the global summary.
+//!
+//! Re-analyzing an unchanged trace therefore performs zero extractions
+//! and zero model runs; editing one issue context re-runs exactly that
+//! issue's analysis while every other diagnosis is a cache hit.
+//!
+//! Layered storage: a byte-capped in-memory LRU ([`lru::ByteLru`]) over
+//! atomic-rename on-disk objects and a versioned manifest ([`disk`]),
+//! with singleflight deduplication ([`singleflight`]) so concurrent
+//! identical requests — the batch front-end ([`batch`]) analyzing
+//! duplicate traces, say — share one computation. All layers emit
+//! `ion-obs` metrics (`store.hit` / `store.miss` / `store.evict` /
+//! `store.recompute.*`) and spans, so cache behavior is provable from a
+//! metrics snapshot.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod codec;
+pub mod digest;
+pub mod disk;
+pub mod driver;
+pub mod lru;
+pub mod singleflight;
+pub mod store;
+
+pub use batch::{analyze_dir, BatchReport};
+pub use digest::{digest_bytes, Digest};
+pub use driver::StoredPipeline;
+pub use store::{GcReport, Store};
+
+use std::fmt;
+
+/// Errors from the store and its drivers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An I/O operation failed.
+    Io {
+        /// What the store was doing.
+        action: String,
+        /// The path involved.
+        path: String,
+        /// The underlying error text.
+        message: String,
+    },
+    /// On-disk state failed validation (bad framing, hash mismatch…).
+    Corrupt(String),
+    /// The manifest was written by an unsupported format version.
+    Version {
+        /// Version found on disk.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// A pipeline stage failed (undecodable trace, empty batch…).
+    Pipeline(String),
+    /// A memoized computation failed (stringified through singleflight).
+    Compute(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io {
+                action,
+                path,
+                message,
+            } => write!(f, "cannot {action} {path}: {message}"),
+            StoreError::Corrupt(msg) => write!(f, "store corruption: {msg}"),
+            StoreError::Version { found, supported } => write!(
+                f,
+                "manifest version v{found} is newer than supported v{supported}"
+            ),
+            StoreError::Pipeline(msg) => f.write_str(msg),
+            StoreError::Compute(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

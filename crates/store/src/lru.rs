@@ -1,0 +1,162 @@
+//! Byte-capped LRU cache for hot artifacts.
+//!
+//! The store keeps recently used artifact bytes in memory so repeated
+//! lookups (the batch front-end hammering one tables artifact, say) skip
+//! the disk entirely. Capacity is measured in payload *bytes*, not entry
+//! count, because artifacts range from a 40-byte params record to a
+//! multi-megabyte DXT table.
+//!
+//! Recency is tracked with a monotonically increasing tick per access;
+//! eviction scans for the minimum tick. The scan is O(entries), which is
+//! fine at the store's working-set sizes (hundreds of artifacts) and
+//! keeps the structure obviously correct — no unsafe, no intrusive
+//! lists.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A byte-capped least-recently-used cache.
+#[derive(Debug)]
+pub struct ByteLru {
+    entries: HashMap<String, Entry>,
+    capacity: usize,
+    used: usize,
+    tick: u64,
+    evictions: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    bytes: Arc<[u8]>,
+    last_used: u64,
+}
+
+impl ByteLru {
+    /// Cache holding at most `capacity` payload bytes.
+    #[must_use]
+    pub fn new(capacity: usize) -> ByteLru {
+        ByteLru {
+            entries: HashMap::new(),
+            capacity,
+            used: 0,
+            tick: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Fetch and touch an entry.
+    pub fn get(&mut self, key: &str) -> Option<Arc<[u8]>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let e = self.entries.get_mut(key)?;
+        e.last_used = tick;
+        Some(Arc::clone(&e.bytes))
+    }
+
+    /// Insert an entry, evicting least-recently-used entries as needed.
+    /// Payloads larger than the whole capacity are not cached at all.
+    pub fn put(&mut self, key: &str, bytes: Arc<[u8]>) {
+        if bytes.len() > self.capacity {
+            return;
+        }
+        self.tick += 1;
+        if let Some(old) = self.entries.remove(key) {
+            self.used -= old.bytes.len();
+        }
+        while self.used + bytes.len() > self.capacity {
+            let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            if let Some(e) = self.entries.remove(&victim) {
+                self.used -= e.bytes.len();
+                self.evictions += 1;
+            }
+        }
+        self.used += bytes.len();
+        self.entries.insert(
+            key.to_owned(),
+            Entry {
+                bytes,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Payload bytes currently cached.
+    #[must_use]
+    pub fn used_bytes(&self) -> usize {
+        self.used
+    }
+
+    /// Number of cached entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total evictions since creation.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bytes(n: usize) -> Arc<[u8]> {
+        vec![0u8; n].into()
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let mut lru = ByteLru::new(100);
+        lru.put("a", bytes(40));
+        lru.put("b", bytes(40));
+        let _ = lru.get("a"); // b is now the LRU entry
+        lru.put("c", bytes(40));
+        assert!(lru.get("a").is_some());
+        assert!(lru.get("b").is_none());
+        assert!(lru.get("c").is_some());
+        assert_eq!(lru.evictions(), 1);
+    }
+
+    #[test]
+    fn byte_cap_is_respected() {
+        let mut lru = ByteLru::new(100);
+        for i in 0..50 {
+            lru.put(&format!("k{i}"), bytes(30));
+            assert!(lru.used_bytes() <= 100);
+        }
+        assert_eq!(lru.len(), 3);
+    }
+
+    #[test]
+    fn oversized_payloads_are_not_cached() {
+        let mut lru = ByteLru::new(10);
+        lru.put("big", bytes(11));
+        assert!(lru.get("big").is_none());
+        assert_eq!(lru.used_bytes(), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_counting() {
+        let mut lru = ByteLru::new(100);
+        lru.put("a", bytes(60));
+        lru.put("a", bytes(30));
+        assert_eq!(lru.used_bytes(), 30);
+        assert_eq!(lru.len(), 1);
+    }
+}

@@ -1,0 +1,216 @@
+//! Singleflight deduplication of concurrent identical computations.
+//!
+//! When the batch front-end analyzes a directory containing the same
+//! trace twice (or many clients request the same artifact at once), only
+//! one worker should pay for the computation; the rest block until the
+//! leader finishes and then share its result. This is the classic
+//! `singleflight` pattern: a map from key to an in-flight slot, a leader
+//! that computes, and followers that wait on a condvar.
+//!
+//! Locks here use [`std::sync::Mutex`] deliberately: a panic in a
+//! leader's computation poisons the slot lock, and followers *recover*
+//! the poisoned lock (via [`std::sync::PoisonError::into_inner`]) and
+//! observe the `Failed` state instead of propagating the panic — one
+//! crashed request must not take down every request that happened to
+//! share its key.
+
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Outcome of a [`Singleflight::run`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightRole {
+    /// This caller executed the computation.
+    Leader,
+    /// This caller waited and shared the leader's result.
+    Follower,
+}
+
+enum SlotState<T> {
+    Running,
+    Done(T),
+    /// The leader panicked; followers recompute for themselves.
+    Failed,
+}
+
+struct Slot<T> {
+    state: Mutex<SlotState<T>>,
+    cv: Condvar,
+}
+
+/// Deduplicates concurrent computations by key.
+pub struct Singleflight<T> {
+    flights: Mutex<HashMap<String, std::sync::Arc<Slot<T>>>>,
+}
+
+impl<T> std::fmt::Debug for Singleflight<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Singleflight").finish_non_exhaustive()
+    }
+}
+
+impl<T: Clone> Default for Singleflight<T> {
+    fn default() -> Self {
+        Singleflight::new()
+    }
+}
+
+fn recover<'a, T>(
+    r: Result<MutexGuard<'a, T>, std::sync::PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl<T: Clone> Singleflight<T> {
+    /// Empty group.
+    #[must_use]
+    pub fn new() -> Singleflight<T> {
+        Singleflight {
+            flights: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Run `compute` for `key`, or wait for an identical in-flight call
+    /// and share its result. Returns the value and whether this caller
+    /// led or followed.
+    pub fn run(&self, key: &str, compute: impl FnOnce() -> T) -> (T, FlightRole) {
+        let slot = {
+            let mut flights = recover(self.flights.lock());
+            if let Some(slot) = flights.get(key) {
+                std::sync::Arc::clone(slot)
+            } else {
+                let slot = std::sync::Arc::new(Slot {
+                    state: Mutex::new(SlotState::Running),
+                    cv: Condvar::new(),
+                });
+                flights.insert(key.to_owned(), std::sync::Arc::clone(&slot));
+                drop(flights);
+                // Leader path: compute outside every lock. A guard marks
+                // the slot failed and retires it if `compute` unwinds, so
+                // followers are released rather than deadlocked and later
+                // callers start a fresh flight.
+                struct Bail<'s, T> {
+                    group: &'s Singleflight<T>,
+                    slot: &'s Slot<T>,
+                    key: &'s str,
+                    armed: bool,
+                }
+                impl<T> Drop for Bail<'_, T> {
+                    fn drop(&mut self) {
+                        if self.armed {
+                            *recover(self.slot.state.lock()) = SlotState::Failed;
+                            self.slot.cv.notify_all();
+                            recover(self.group.flights.lock()).remove(self.key);
+                        }
+                    }
+                }
+                let mut bail = Bail {
+                    group: self,
+                    slot: &slot,
+                    key,
+                    armed: true,
+                };
+                let value = compute();
+                bail.armed = false;
+                *recover(slot.state.lock()) = SlotState::Done(value.clone());
+                slot.cv.notify_all();
+                recover(self.flights.lock()).remove(key);
+                return (value, FlightRole::Leader);
+            }
+        };
+        // Follower path: wait for the leader to finish.
+        let mut state = recover(slot.state.lock());
+        loop {
+            match &*state {
+                SlotState::Running => state = recover(slot.cv.wait(state)),
+                SlotState::Done(v) => return (v.clone(), FlightRole::Follower),
+                SlotState::Failed => {
+                    drop(state);
+                    // Leader crashed: compute independently rather than
+                    // propagating a panic that was not ours.
+                    return (compute(), FlightRole::Leader);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Barrier};
+
+    #[test]
+    fn concurrent_identical_keys_compute_once() {
+        let group: Arc<Singleflight<u64>> = Arc::new(Singleflight::new());
+        let computed = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(8));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let group = Arc::clone(&group);
+            let computed = Arc::clone(&computed);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                let (v, _role) = group.run("k", || {
+                    computed.fetch_add(1, Ordering::SeqCst);
+                    // Hold the flight open long enough for peers to join.
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    42u64
+                });
+                v
+            }));
+        }
+        let values: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(values.iter().all(|&v| v == 42));
+        // At least one flight shared the leader's work; with the barrier
+        // and sleep, typically all eight collapse into one computation.
+        assert!(computed.load(Ordering::SeqCst) < 8);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_share() {
+        let group: Singleflight<String> = Singleflight::new();
+        let (a, _) = group.run("a", || "va".to_owned());
+        let (b, _) = group.run("b", || "vb".to_owned());
+        assert_eq!((a.as_str(), b.as_str()), ("va", "vb"));
+    }
+
+    #[test]
+    fn sequential_same_key_recomputes() {
+        let group: Singleflight<u32> = Singleflight::new();
+        let (v1, r1) = group.run("k", || 1);
+        let (v2, r2) = group.run("k", || 2);
+        assert_eq!((v1, v2), (1, 2));
+        assert_eq!((r1, r2), (FlightRole::Leader, FlightRole::Leader));
+    }
+
+    #[test]
+    fn leader_panic_releases_followers() {
+        let group: Arc<Singleflight<u32>> = Arc::new(Singleflight::new());
+        let barrier = Arc::new(Barrier::new(2));
+        let leader = {
+            let group = Arc::clone(&group);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let _ = group.run("k", || {
+                    barrier.wait();
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    panic!("leader crashed")
+                });
+            })
+        };
+        let follower = {
+            let group = Arc::clone(&group);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                group.run("k", || 7).0
+            })
+        };
+        assert!(leader.join().is_err());
+        assert_eq!(follower.join().unwrap(), 7);
+    }
+}

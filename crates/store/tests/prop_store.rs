@@ -1,0 +1,146 @@
+//! Property-based tests for the store's keying primitives: dependency
+//! digests must ignore what the pipeline is allowed to vary (row order
+//! from parallel extraction) and notice everything else (any visible
+//! byte of a context, any byte of an artifact).
+
+use extractor::{Table, Value};
+use ion::context::ContextRevision;
+use ion_store::codec::table_digest;
+use ion_store::digest::{digest_bytes, UnorderedDigest};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        (-1e15f64..1e15).prop_map(Value::Float),
+        "[a-zA-Z][a-zA-Z0-9 /._-]{0,16}".prop_map(|s: String| Value::Str(s.into())),
+        Just(Value::Null),
+    ]
+}
+
+fn arb_rows() -> impl Strategy<Value = Vec<Vec<Value>>> {
+    (1usize..5).prop_flat_map(|ncols| {
+        proptest::collection::vec(proptest::collection::vec(arb_value(), ncols), 0..12)
+    })
+}
+
+fn table_from(rows: &[Vec<Value>]) -> Table {
+    let ncols = rows.first().map_or(1, Vec::len);
+    let cols: Vec<String> = (0..ncols).map(|i| format!("col{i}")).collect();
+    let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+    let mut t = Table::new("T", &col_refs);
+    for row in rows {
+        t.push_row(row.clone());
+    }
+    t
+}
+
+proptest! {
+    // Parallel extraction may materialize rows in any order; the table
+    // digest must not care. Rotations and reversals cover arbitrary
+    // permutations (they generate the symmetric group).
+    #[test]
+    fn table_digest_ignores_row_order(rows in arb_rows(), rot in 0usize..12) {
+        let base = table_digest(&table_from(&rows));
+        let mut reversed = rows.clone();
+        reversed.reverse();
+        prop_assert_eq!(table_digest(&table_from(&reversed)), base);
+        if !rows.is_empty() {
+            let mut rotated = rows.clone();
+            rotated.rotate_left(rot % rows.len());
+            prop_assert_eq!(table_digest(&table_from(&rotated)), base);
+        }
+    }
+
+    // Dropping a row always changes the digest (multiplicity matters:
+    // a missing duplicate is a different table).
+    #[test]
+    fn table_digest_sees_a_dropped_row(
+        first in proptest::collection::vec(arb_value(), 1..5),
+        rest in arb_rows(),
+        at in 0usize..12,
+    ) {
+        // At least one row, all the same width as `first`.
+        let mut rows = vec![first.clone()];
+        rows.extend(
+            rest.into_iter()
+                .map(|r| (0..first.len()).map(|i| r.get(i).cloned().unwrap_or(Value::Null)).collect()),
+        );
+        let base = table_digest(&table_from(&rows));
+        let mut fewer = rows.clone();
+        fewer.remove(at % rows.len());
+        prop_assert_ne!(table_digest(&table_from(&fewer)), base);
+    }
+
+    // Any visible insertion into a context text changes its revision —
+    // this is what invalidates exactly the edited issue's analyses.
+    #[test]
+    fn context_revision_sees_any_visible_edit(
+        text in "[ -~\n]{0,120}",
+        at in 0usize..121,
+        ch in 0u8..26,
+    ) {
+        let mut edited = text.clone();
+        edited.insert(at.min(text.len()), (b'a' + ch) as char);
+        prop_assert_ne!(ContextRevision::of(&edited), ContextRevision::of(&text));
+    }
+
+    // Cosmetic whitespace (trailing spaces, CRLF, surrounding blank
+    // lines) never changes a revision: formatting a context file must
+    // not invalidate its cached analyses.
+    #[test]
+    fn context_revision_ignores_cosmetic_whitespace(
+        lines in proptest::collection::vec("[ -~]{0,24}", 1..6),
+        pad in 0usize..3,
+    ) {
+        let clean = lines.join("\n");
+        let messy = format!(
+            "{}{}{}",
+            "\n".repeat(pad),
+            lines.iter().map(|l| format!("{l}   \r\n")).collect::<String>(),
+            "\n".repeat(pad)
+        );
+        prop_assert_eq!(ContextRevision::of(&messy), ContextRevision::of(&clean));
+    }
+
+    // Content addressing: flipping any byte of an artifact changes its
+    // object digest.
+    #[test]
+    fn byte_flip_changes_digest(bytes in proptest::collection::vec(any::<u8>(), 1..256),
+                                at in 0usize..256, bit in 0u8..8) {
+        let mut flipped = bytes.clone();
+        let i = at % bytes.len();
+        flipped[i] ^= 1 << bit;
+        prop_assert_ne!(digest_bytes(&flipped), digest_bytes(&bytes));
+    }
+
+    // The unordered fold is insensitive to absorption order and to how
+    // items are split across worker-local accumulators.
+    #[test]
+    fn unordered_fold_is_order_and_split_insensitive(
+        items in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..24), 0..12),
+        split in 0usize..12,
+    ) {
+        let mut forward = UnorderedDigest::new();
+        for item in &items {
+            forward.absorb(item);
+        }
+        let mut backward = UnorderedDigest::new();
+        for item in items.iter().rev() {
+            backward.absorb(item);
+        }
+        prop_assert_eq!(forward.finish(), backward.finish());
+
+        let cut = split.min(items.len());
+        let mut left = UnorderedDigest::new();
+        for item in &items[..cut] {
+            left.absorb(item);
+        }
+        let mut right = UnorderedDigest::new();
+        for item in &items[cut..] {
+            right.absorb(item);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.finish(), forward.finish());
+    }
+}
