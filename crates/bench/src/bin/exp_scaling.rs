@@ -3,11 +3,19 @@
 //!
 //! ```sh
 //! cargo run --release -p ion-bench --bin exp_scaling
+//! cargo run --release -p ion-bench --bin exp_scaling -- \
+//!     --bench-out BENCH_scaling.json
 //! ```
 //!
 //! Not a paper figure; this quantifies the reproduction's own substrate so
 //! EXPERIMENTS.md can speak to feasibility at paper scale (the OpenPMD
 //! baseline has ~700k traced operations).
+//!
+//! `--bench-out <path>` records the run into an `ion-obs/1` snapshot (one
+//! `scaling.run` span per scale, stage histograms in nanoseconds) so the
+//! perf trajectory is machine-comparable across commits — `ion_cli obs
+//! diff` gates on exactly this document. `--quick` runs only the smallest
+//! scale (CI smoke).
 
 use darshan::log::LogWriter;
 use ion::analyzer::SystemParams;
@@ -17,31 +25,61 @@ use workloads::openpmd::{OpenPmd, OpenPmdVariant};
 use workloads::Workload;
 
 fn main() -> Result<(), darshan::DarshanError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bench_out = args
+        .iter()
+        .position(|a| a == "--bench-out")
+        .map(|i| args.get(i + 1).cloned().unwrap_or_default());
+    if bench_out.as_deref() == Some("") {
+        eprintln!("error: --bench-out needs a <path>");
+        std::process::exit(1);
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    if bench_out.is_some() {
+        ion_obs::enable();
+    }
+
     println!("═══ Scaling: OpenPMD baseline vs rank count ═══\n");
     println!(
         "{:<8} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}",
         "ranks", "traced ops", "log bytes", "gen (ms)", "encode (ms)", "extract (ms)", "ion (ms)"
     );
-    for scale in [0.02, 0.05, 0.1, 0.2] {
+    let scales: &[f64] = if quick {
+        &[0.02]
+    } else {
+        &[0.02, 0.05, 0.1, 0.2]
+    };
+    for &scale in scales {
+        let mut run_span = ion_obs::span!("scaling.run");
+        run_span.attr("scale", scale);
         let w = OpenPmd::scaled(OpenPmdVariant::Baseline, scale);
         let t0 = Instant::now();
         let log = w.generate();
         let gen_ms = t0.elapsed().as_secs_f64() * 1e3;
         let ops: usize = log.dxt.iter().map(darshan::dxt::DxtRecord::len).sum();
         let nprocs = log.job.nprocs;
+        run_span.attr("ranks", nprocs);
+        run_span.attr("ops", ops);
 
         let t1 = Instant::now();
-        let bytes = LogWriter::from_log(log.clone()).finish()?.len();
+        let bytes = ion_obs::timed("scaling.encode_ns", || {
+            LogWriter::from_log(log.clone()).finish()
+        })?
+        .len();
         let encode_ms = t1.elapsed().as_secs_f64() * 1e3;
 
         let t2 = Instant::now();
-        let tables = extractor::extract_tables(&log);
+        let tables = ion_obs::timed("scaling.extract_ns", || extractor::extract_tables(&log));
         let extract_ms = t2.elapsed().as_secs_f64() * 1e3;
 
         let t3 = Instant::now();
-        let report = IonPipeline::new().run_tables(&tables, &SystemParams::from_log(&log));
+        let report = ion_obs::timed("scaling.analyze_ns", || {
+            IonPipeline::new().run_tables(&tables, &SystemParams::from_log(&log))
+        });
         let ion_ms = t3.elapsed().as_secs_f64() * 1e3;
         assert!(!report.diagnoses.is_empty());
+        ion_obs::counter("scaling.traced_ops", ops as u64);
+        ion_obs::counter("scaling.log_bytes", bytes as u64);
 
         println!(
             "{nprocs:<8} {ops:>10} {bytes:>12} {gen_ms:>12.1} {encode_ms:>12.1} {extract_ms:>12.1} {ion_ms:>12.1}"
@@ -51,5 +89,13 @@ fn main() -> Result<(), darshan::DarshanError> {
         "\nbytes per traced op stay roughly constant (varint+delta DXT encoding);\n\
          extraction and analysis scale linearly with trace size."
     );
+    if let Some(path) = bench_out {
+        let json = ion_obs::snapshot().to_json();
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote scaling trajectory to {path}");
+    }
     Ok(())
 }

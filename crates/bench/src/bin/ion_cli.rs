@@ -11,12 +11,26 @@
 //! ion-cli compare <base> <optimized>          diff two diagnoses (resolved/introduced)
 //! ion-cli qa <log.darshan> "<question>" ...   diagnose then answer questions
 //! ion-cli store gc [--apply]                  prune unreferenced store artifacts
+//! ion-cli obs serve [addr]                    standalone live-telemetry endpoint
+//! ion-cli obs diff <base.json> <new.json>     snapshot-diff regression gate
 //! ```
 //!
 //! `--store <dir>` (valid anywhere on the command line) backs `analyze`,
 //! `batch` and `qa` with the content-addressed incremental store: stages
 //! whose inputs did not change are served from cache instead of being
 //! recomputed. `batch` additionally accepts `--jobs <n>`.
+//!
+//! Live telemetry (valid anywhere on the command line):
+//!
+//! - `--events <path>` streams structured events (span open/close, counter
+//!   deltas, model-run lifecycle, store hit/miss, per-trace batch
+//!   outcomes) to `<path>` as `ion-obs/events/1` JSONL while the command
+//!   runs.
+//! - `--serve <addr>` serves `/metrics` (Prometheus text format),
+//!   `/progress` and `/healthz` on `<addr>` for the duration of the
+//!   command; `--serve-hold-ms <n>` keeps the endpoint up `n` ms after the
+//!   command finishes so a final scrape can land (short-lived jobs would
+//!   otherwise vanish between scrape intervals).
 //!
 //! Workloads: `ior-easy-2k`, `ior-easy-1m`, `ior-easy-fpp`, `ior-hard`,
 //! `ior-rnd4k`, `mdworkbench`, `openpmd`, `openpmd-opt`, `e2e`, `e2e-opt`.
@@ -43,12 +57,47 @@ use workloads::Workload;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: ion-cli [--profile] [--metrics-json <path>] [--store <dir>] [--jobs <n>] \
-         <generate|parse|dxt|extract|analyze|batch|drishti|compare|qa|store> <args...>\n\
+        "usage: ion-cli [--profile] [--metrics-json <path>] [--events <path>] \
+         [--serve <addr>] [--serve-hold-ms <n>] [--store <dir>] [--jobs <n>] \
+         <generate|parse|dxt|extract|analyze|batch|drishti|compare|qa|store|obs> <args...>\n\
          a bare <log.darshan> after the flags is shorthand for `analyze`\n\
          see `cargo doc` or the README for details"
     );
     ExitCode::FAILURE
+}
+
+/// A failed invocation. Argument mistakes get the usage text; *outcome*
+/// failures (a failed batch trace, a perf regression caught by `obs
+/// diff`) only set the exit code — dumping usage over a regression report
+/// would bury the signal.
+struct Failure {
+    message: String,
+    show_usage: bool,
+}
+
+impl Failure {
+    /// The command ran; its outcome is the failure.
+    fn outcome(message: impl Into<String>) -> Failure {
+        Failure {
+            message: message.into(),
+            show_usage: false,
+        }
+    }
+}
+
+impl From<String> for Failure {
+    fn from(message: String) -> Failure {
+        Failure {
+            message,
+            show_usage: true,
+        }
+    }
+}
+
+impl From<&str> for Failure {
+    fn from(message: &str) -> Failure {
+        Failure::from(message.to_owned())
+    }
 }
 
 /// Global flags, stripped from anywhere on the command line.
@@ -56,12 +105,16 @@ fn usage() -> ExitCode {
 struct ObsFlags {
     profile: bool,
     metrics_json: Option<String>,
+    events: Option<String>,
+    serve: Option<String>,
+    serve_hold_ms: u64,
     store: Option<String>,
     jobs: usize,
 }
 
 impl ObsFlags {
-    /// Extract `--profile` / `--metrics-json <path>` / `--store <dir>` /
+    /// Extract `--profile` / `--metrics-json <path>` / `--events <path>` /
+    /// `--serve <addr>` / `--serve-hold-ms <n>` / `--store <dir>` /
     /// `--jobs <n>` from `args`.
     fn strip(args: &mut Vec<String>) -> Result<ObsFlags, String> {
         let mut flags = ObsFlags::default();
@@ -78,6 +131,30 @@ impl ObsFlags {
                     }
                     args.remove(i);
                     flags.metrics_json = Some(args.remove(i));
+                }
+                "--events" => {
+                    if i + 1 >= args.len() {
+                        return Err("--events needs a <path>".into());
+                    }
+                    args.remove(i);
+                    flags.events = Some(args.remove(i));
+                }
+                "--serve" => {
+                    if i + 1 >= args.len() {
+                        return Err("--serve needs an <addr>".into());
+                    }
+                    args.remove(i);
+                    flags.serve = Some(args.remove(i));
+                }
+                "--serve-hold-ms" => {
+                    if i + 1 >= args.len() {
+                        return Err("--serve-hold-ms needs a <n>".into());
+                    }
+                    args.remove(i);
+                    let n = args.remove(i);
+                    flags.serve_hold_ms = n
+                        .parse()
+                        .map_err(|_| format!("--serve-hold-ms needs a number, got {n}"))?;
                 }
                 "--store" => {
                     if i + 1 >= args.len() {
@@ -103,7 +180,7 @@ impl ObsFlags {
     }
 
     fn any(&self) -> bool {
-        self.profile || self.metrics_json.is_some()
+        self.profile || self.metrics_json.is_some() || self.events.is_some() || self.serve.is_some()
     }
 
     /// Open the store named by `--store`, or explain which command
@@ -172,22 +249,63 @@ fn analyze_bytes(bytes: &[u8], flags: &ObsFlags) -> Result<ion::pipeline::IonRep
     }
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<(), Failure> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let flags = ObsFlags::strip(&mut args)?;
     if flags.any() {
         ion_obs::enable();
     }
+    // Start streaming and serving *before* dispatch so the whole run is
+    // covered; tear both down after so the last events and a final scrape
+    // window are not lost.
+    let events_writer = match &flags.events {
+        Some(path) => {
+            let ring = std::sync::Arc::new(ion_obs::events::EventRing::new(
+                ion_obs::events::DEFAULT_CAPACITY,
+            ));
+            ion_obs::events::install(std::sync::Arc::clone(&ring));
+            let writer = ion_obs::events::EventWriter::spawn(ring, std::path::Path::new(path))
+                .map_err(|e| format!("cannot stream events to {path}: {e}"))?;
+            Some(writer)
+        }
+        None => None,
+    };
+    let server = match &flags.serve {
+        Some(addr) => {
+            let server = ion_obs::serve::MetricsServer::bind(addr.as_str())
+                .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+            eprintln!("serving telemetry on http://{}", server.local_addr());
+            Some(server)
+        }
+        None => None,
+    };
     let result = dispatch(&args, &flags);
     flags.report()?;
+    if let Some(server) = server {
+        if flags.serve_hold_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(flags.serve_hold_ms));
+        }
+        server.shutdown();
+    }
+    if let Some(writer) = events_writer {
+        ion_obs::events::uninstall();
+        let stats = writer.finish().map_err(|e| format!("event writer: {e}"))?;
+        eprintln!(
+            "wrote {} event(s) to {} ({} dropped)",
+            stats.written,
+            flags.events.as_deref().unwrap_or("?"),
+            stats.dropped
+        );
+    }
     result
 }
 
-const COMMANDS: [&str; 10] = [
+const COMMANDS: [&str; 11] = [
     "generate", "parse", "dxt", "extract", "analyze", "batch", "drishti", "compare", "qa", "store",
+    "obs",
 ];
 
-fn dispatch(args: &[String], flags: &ObsFlags) -> Result<(), String> {
+fn dispatch(args: &[String], flags: &ObsFlags) -> Result<(), Failure> {
     let Some(cmd) = args.first() else {
         return Err("missing command".into());
     };
@@ -263,7 +381,10 @@ fn dispatch(args: &[String], flags: &ObsFlags) -> Result<(), String> {
                 .map_err(|e| e.to_string())?;
             emit(&report.render_text());
             if report.failed() > 0 {
-                return Err(format!("{} trace(s) failed", report.failed()));
+                return Err(Failure::outcome(format!(
+                    "{} trace(s) failed",
+                    report.failed()
+                )));
             }
         }
         "store" => match args.get(1).map(String::as_str) {
@@ -293,6 +414,57 @@ fn dispatch(args: &[String], flags: &ObsFlags) -> Result<(), String> {
             }
             _ => return Err("store needs a subcommand: store gc [--apply]".into()),
         },
+        "obs" => {
+            match args.get(1).map(String::as_str) {
+                Some("serve") => {
+                    let addr = args.get(2).map_or("127.0.0.1:9188", String::as_str);
+                    ion_obs::enable();
+                    let server = ion_obs::serve::MetricsServer::bind(addr)
+                        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+                    eprintln!(
+                        "serving telemetry on http://{} (Ctrl-C to stop)",
+                        server.local_addr()
+                    );
+                    loop {
+                        std::thread::sleep(std::time::Duration::from_secs(3600));
+                    }
+                }
+                Some("diff") => {
+                    let (base, new) = match (args.get(2), args.get(3)) {
+                        (Some(b), Some(n)) => (b, n),
+                        _ => return Err("obs diff needs <base.json> <new.json>".into()),
+                    };
+                    let tolerance = match args.iter().position(|a| a == "--tolerance") {
+                        Some(at) => {
+                            let frac = args
+                                .get(at + 1)
+                                .ok_or("--tolerance needs a <frac>")?
+                                .parse::<f64>()
+                                .map_err(|_| "--tolerance needs a number, e.g. 0.25")?;
+                            ion_obs::diff::Tolerance::with_frac(frac)
+                        }
+                        None => ion_obs::diff::Tolerance::default(),
+                    };
+                    let base_text =
+                        fs::read_to_string(base).map_err(|e| format!("cannot read {base}: {e}"))?;
+                    let new_text =
+                        fs::read_to_string(new).map_err(|e| format!("cannot read {new}: {e}"))?;
+                    let report = ion_obs::diff::diff_documents(&base_text, &new_text, &tolerance)?;
+                    emit(&report.render_text());
+                    if report.has_regressions() {
+                        return Err(Failure::outcome(format!(
+                            "{} regression(s) beyond tolerance",
+                            report.regressions.len()
+                        )));
+                    }
+                }
+                _ => return Err(
+                    "obs needs a subcommand: obs serve [addr] | obs diff <base.json> <new.json> \
+                     [--tolerance <frac>]"
+                        .into(),
+                ),
+            }
+        }
         "drishti" => {
             let path = args.get(1).ok_or("drishti needs <log.darshan>")?;
             emit(&drishti::analyze(&load(path)?).render_text());
@@ -318,7 +490,7 @@ fn dispatch(args: &[String], flags: &ObsFlags) -> Result<(), String> {
                 emit(&format!("A: {}\n", session.ask(q)));
             }
         }
-        other => return Err(format!("unknown command {other}")),
+        other => return Err(format!("unknown command {other}").into()),
     }
     Ok(())
 }
@@ -327,8 +499,12 @@ fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            usage()
+            eprintln!("error: {}", e.message);
+            if e.show_usage {
+                usage()
+            } else {
+                ExitCode::FAILURE
+            }
         }
     }
 }

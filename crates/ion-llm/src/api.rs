@@ -74,6 +74,7 @@ impl Thread {
     /// Create an empty thread.
     #[must_use]
     pub fn new() -> Self {
+        ion_obs::event!("llm.thread.created");
         Self::default()
     }
 
@@ -221,11 +222,22 @@ impl<'a> Runtime<'a> {
         let mut run_span = ion_obs::span!("llm.run");
         run_span.attr("model", self.model.model_id());
         ion_obs::counter("llm.runs", 1);
+        ion_obs::event!(
+            "llm.run.started",
+            model = self.model.model_id(),
+            messages = thread.messages.len(),
+        );
         let mut tool_outputs = Vec::new();
         for step in 0..self.max_steps {
             match self.model.step(&thread) {
                 ModelAction::Final(text) => {
                     run_span.attr("steps", step + 1);
+                    ion_obs::event!(
+                        "llm.run.completed",
+                        model = self.model.model_id(),
+                        steps = step + 1,
+                        tool_calls = tool_outputs.len(),
+                    );
                     return Ok(Completion {
                         text,
                         tool_outputs,
@@ -235,6 +247,7 @@ impl<'a> Runtime<'a> {
                 }
                 ModelAction::Call(call) => {
                     if call.tool != "code_interpreter" {
+                        ion_obs::event!("llm.run.failed", reason = "unknown tool");
                         return Err(RuntimeError::UnknownTool { tool: call.tool });
                     }
                     ion_obs::counter("llm.tool_calls", 1);
@@ -244,6 +257,7 @@ impl<'a> Runtime<'a> {
                         Ok(t) => (t, false),
                         Err(e) => (format!("ERROR: {e}"), true),
                     };
+                    ion_obs::event!("llm.tool_call", tool = call.tool.as_str(), error = is_error,);
                     thread.push(Message {
                         role: Role::Tool,
                         content: text.clone(),
@@ -256,6 +270,7 @@ impl<'a> Runtime<'a> {
                 }
             }
         }
+        ion_obs::event!("llm.run.failed", reason = "step budget exceeded");
         Err(RuntimeError::Budget {
             max_steps: self.max_steps,
         })

@@ -183,12 +183,19 @@ impl IonPipeline {
             summary,
             skipped,
         } = analyzer.analyze(tables, params);
-        IonReport {
+        let report = IonReport {
             diagnoses,
             summary,
             skipped,
             params: Some(*params),
-        }
+        };
+        ion_obs::event!(
+            "pipeline.completed",
+            diagnoses = report.diagnoses.len(),
+            detected = report.detected().len(),
+            skipped = report.skipped.len(),
+        );
+        report
     }
 }
 

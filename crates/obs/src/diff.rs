@@ -1,0 +1,392 @@
+//! Snapshot-diff regression gate: compare two `ion-obs/1` JSON documents
+//! and flag performance regressions.
+//!
+//! `ion_cli obs diff BENCH_base.json BENCH_new.json` feeds CI: a run that
+//! got slower than the recorded baseline (beyond tolerance) exits
+//! non-zero, so the perf trajectory can only drift downward deliberately.
+//!
+//! Three checks, all tolerance-gated (rules documented in DESIGN.md):
+//!
+//! 1. **Stage wall time** — per-span-name `total_ns` from the `stages`
+//!    map. A stage regresses when it is *both* `wall_frac` slower
+//!    relatively *and* `wall_floor_ns` slower absolutely (the floor keeps
+//!    micro-stage jitter out of CI).
+//! 2. **Work counters** — model runs, tool calls and store recomputes
+//!    ([`WORK_COUNTERS`]). More work than baseline means incrementality
+//!    broke, which no wall-time floor should excuse; any increase beyond
+//!    `counter_frac` regresses.
+//! 3. **Store hit rate** — `store.hit / (store.hit + store.miss)`. A drop
+//!    of more than `hit_rate_drop` (absolute) regresses.
+//!
+//! Identical documents always produce an empty report (every comparison
+//! is a strict inequality), so `obs diff snap.json snap.json` is the CI
+//! self-check.
+
+use crate::json::{parse, Json};
+use std::fmt;
+
+/// Counters where *more* is a regression regardless of wall time: each
+/// unit is recomputed work the cache should have absorbed.
+pub const WORK_COUNTERS: [&str; 5] = [
+    "llm.runs",
+    "llm.tool_calls",
+    "store.recompute.trace",
+    "store.recompute.issue",
+    "store.recompute.summary",
+];
+
+/// Tolerances for [`diff_snapshots`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Relative slowdown a stage must exceed to regress (0.25 = 25%).
+    pub wall_frac: f64,
+    /// Absolute slowdown (ns) a stage must also exceed to regress.
+    pub wall_floor_ns: u64,
+    /// Relative growth a work counter must exceed to regress (0 = any
+    /// strict increase).
+    pub counter_frac: f64,
+    /// Absolute store-hit-rate drop that regresses (0.05 = 5 points).
+    pub hit_rate_drop: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance {
+            wall_frac: 0.25,
+            wall_floor_ns: 5_000_000,
+            counter_frac: 0.0,
+            hit_rate_drop: 0.05,
+        }
+    }
+}
+
+impl Tolerance {
+    /// Default tolerances with `wall_frac` (and `counter_frac`) replaced
+    /// by `frac` — what `obs diff --tolerance <frac>` applies.
+    #[must_use]
+    pub fn with_frac(frac: f64) -> Self {
+        Tolerance {
+            wall_frac: frac,
+            counter_frac: frac,
+            ..Tolerance::default()
+        }
+    }
+}
+
+/// One detected regression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Regression {
+    /// A stage's summed wall time grew beyond tolerance.
+    Stage {
+        /// Span name.
+        name: String,
+        /// Baseline total nanoseconds.
+        base_ns: u64,
+        /// New total nanoseconds.
+        new_ns: u64,
+    },
+    /// A work counter grew beyond tolerance.
+    Counter {
+        /// Counter name.
+        name: String,
+        /// Baseline value.
+        base: u64,
+        /// New value.
+        new: u64,
+    },
+    /// The store hit rate dropped beyond tolerance.
+    HitRate {
+        /// Baseline hit rate in `[0, 1]`.
+        base: f64,
+        /// New hit rate in `[0, 1]`.
+        new: f64,
+    },
+}
+
+impl fmt::Display for Regression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Regression::Stage {
+                name,
+                base_ns,
+                new_ns,
+            } => write!(
+                f,
+                "stage `{name}`: {} -> {} (+{:.1}%)",
+                crate::render::format_ns(*base_ns),
+                crate::render::format_ns(*new_ns),
+                relative_growth(*base_ns as f64, *new_ns as f64) * 100.0,
+            ),
+            Regression::Counter { name, base, new } => {
+                write!(
+                    f,
+                    "counter `{name}`: {base} -> {new} (more recomputed work)"
+                )
+            }
+            Regression::HitRate { base, new } => {
+                write!(
+                    f,
+                    "store hit rate: {:.1}% -> {:.1}%",
+                    base * 100.0,
+                    new * 100.0
+                )
+            }
+        }
+    }
+}
+
+/// Outcome of comparing two snapshots.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffReport {
+    /// Regressions beyond tolerance (non-empty ⇒ gate fails).
+    pub regressions: Vec<Regression>,
+    /// Informational notes: improvements and skipped comparisons.
+    pub notes: Vec<String>,
+    /// Number of stages compared.
+    pub stages_compared: usize,
+}
+
+impl DiffReport {
+    /// Whether the gate should fail.
+    #[must_use]
+    pub fn has_regressions(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+
+    /// Human-readable report.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "obs diff: {} stage(s) compared, {} regression(s)\n",
+            self.stages_compared,
+            self.regressions.len()
+        ));
+        for r in &self.regressions {
+            out.push_str(&format!("  REGRESSION {r}\n"));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        out
+    }
+}
+
+fn relative_growth(base: f64, new: f64) -> f64 {
+    if base <= 0.0 {
+        if new > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    } else {
+        (new - base) / base
+    }
+}
+
+fn schema_check(doc: &Json, which: &str) -> Result<(), String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("ion-obs/1") => Ok(()),
+        Some(other) => Err(format!("{which}: unsupported schema `{other}`")),
+        None => Err(format!(
+            "{which}: not an ion-obs snapshot (no schema field)"
+        )),
+    }
+}
+
+fn stage_ns(doc: &Json) -> Vec<(String, u64)> {
+    let Some(Json::Obj(stages)) = doc.get("stages") else {
+        return Vec::new();
+    };
+    stages
+        .iter()
+        .filter_map(|(name, v)| Some((name.clone(), v.get("total_ns")?.as_u64()?)))
+        .collect()
+}
+
+fn counter_value(doc: &Json, name: &str) -> u64 {
+    doc.get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+}
+
+fn hit_rate(doc: &Json) -> Option<f64> {
+    let hits = counter_value(doc, "store.hit");
+    let misses = counter_value(doc, "store.miss");
+    let lookups = hits + misses;
+    if lookups == 0 {
+        return None;
+    }
+    #[allow(clippy::cast_precision_loss)]
+    Some(hits as f64 / lookups as f64)
+}
+
+/// Compare two parsed `ion-obs/1` documents.
+///
+/// # Errors
+///
+/// Returns a description when either document is not an `ion-obs/1`
+/// snapshot.
+pub fn diff_snapshots(base: &Json, new: &Json, tol: &Tolerance) -> Result<DiffReport, String> {
+    schema_check(base, "baseline")?;
+    schema_check(new, "new")?;
+    let mut report = DiffReport::default();
+
+    // 1. Per-stage wall time.
+    let new_stages = stage_ns(new);
+    for (name, base_ns) in stage_ns(base) {
+        let Some(&(_, new_ns)) = new_stages.iter().find(|(n, _)| *n == name) else {
+            report.notes.push(format!("stage `{name}` gone in new run"));
+            continue;
+        };
+        report.stages_compared += 1;
+        #[allow(clippy::cast_precision_loss)]
+        let relative_excess = relative_growth(base_ns as f64, new_ns as f64) > tol.wall_frac;
+        let absolute_excess = new_ns.saturating_sub(base_ns) > tol.wall_floor_ns;
+        if relative_excess && absolute_excess {
+            report.regressions.push(Regression::Stage {
+                name,
+                base_ns,
+                new_ns,
+            });
+        } else if base_ns > new_ns && base_ns - new_ns > tol.wall_floor_ns {
+            report.notes.push(format!(
+                "stage `{name}` improved: {} -> {}",
+                crate::render::format_ns(base_ns),
+                crate::render::format_ns(new_ns)
+            ));
+        }
+    }
+
+    // 2. Work counters.
+    for name in WORK_COUNTERS {
+        let base_v = counter_value(base, name);
+        let new_v = counter_value(new, name);
+        #[allow(clippy::cast_precision_loss)]
+        if relative_growth(base_v as f64, new_v as f64) > tol.counter_frac {
+            report.regressions.push(Regression::Counter {
+                name: name.to_owned(),
+                base: base_v,
+                new: new_v,
+            });
+        }
+    }
+
+    // 3. Store hit rate.
+    match (hit_rate(base), hit_rate(new)) {
+        (Some(base_rate), Some(new_rate)) if base_rate - new_rate > tol.hit_rate_drop => {
+            report.regressions.push(Regression::HitRate {
+                base: base_rate,
+                new: new_rate,
+            });
+        }
+        (Some(_), None) => report
+            .notes
+            .push("new run performed no store lookups".to_owned()),
+        _ => {}
+    }
+
+    Ok(report)
+}
+
+/// Parse and compare two `ion-obs/1` documents from their JSON text.
+///
+/// # Errors
+///
+/// Returns a description when either text fails to parse or is not a
+/// snapshot document.
+pub fn diff_documents(base: &str, new: &str, tol: &Tolerance) -> Result<DiffReport, String> {
+    let base = parse(base).map_err(|e| format!("baseline: {e}"))?;
+    let new = parse(new).map_err(|e| format!("new: {e}"))?;
+    diff_snapshots(&base, &new, tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(stage_ns: u64, llm_runs: u64, hits: u64, misses: u64) -> String {
+        format!(
+            "{{\"schema\": \"ion-obs/1\", \"total_ns\": {stage_ns}, \
+             \"stages\": {{\"pipeline\": {{\"total_ns\": {stage_ns}, \"count\": 1}}}}, \
+             \"counters\": {{\"llm.runs\": {llm_runs}, \"store.hit\": {hits}, \
+             \"store.miss\": {misses}}}, \"gauges\": {{}}, \"histograms\": {{}}, \"spans\": []}}"
+        )
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let d = doc(100_000_000, 5, 8, 2);
+        let report = diff_documents(&d, &d, &Tolerance::default()).unwrap();
+        assert!(!report.has_regressions(), "{}", report.render_text());
+        assert_eq!(report.stages_compared, 1);
+    }
+
+    #[test]
+    fn wall_time_regression_is_flagged() {
+        let base = doc(100_000_000, 5, 8, 2);
+        let slow = doc(200_000_000, 5, 8, 2);
+        let report = diff_documents(&base, &slow, &Tolerance::default()).unwrap();
+        assert!(matches!(
+            report.regressions.as_slice(),
+            [Regression::Stage { name, .. }] if name == "pipeline"
+        ));
+    }
+
+    #[test]
+    fn small_or_subfloor_slowdowns_pass() {
+        let base = doc(100_000_000, 5, 8, 2);
+        // +10% is inside the 25% default tolerance.
+        let within = doc(110_000_000, 5, 8, 2);
+        assert!(!diff_documents(&base, &within, &Tolerance::default())
+            .unwrap()
+            .has_regressions());
+        // +100% but only 2ms absolute — under the 5ms floor.
+        let tiny_base = doc(2_000_000, 5, 8, 2);
+        let tiny_slow = doc(4_000_000, 5, 8, 2);
+        assert!(
+            !diff_documents(&tiny_base, &tiny_slow, &Tolerance::default())
+                .unwrap()
+                .has_regressions()
+        );
+    }
+
+    #[test]
+    fn model_run_increase_is_flagged() {
+        let base = doc(100_000_000, 5, 8, 2);
+        let more_runs = doc(100_000_000, 6, 8, 2);
+        let report = diff_documents(&base, &more_runs, &Tolerance::default()).unwrap();
+        assert!(matches!(
+            report.regressions.as_slice(),
+            [Regression::Counter { name, base: 5, new: 6 }] if name == "llm.runs"
+        ));
+    }
+
+    #[test]
+    fn hit_rate_drop_is_flagged() {
+        let base = doc(100_000_000, 5, 9, 1); // 90%
+        let cold = doc(100_000_000, 5, 5, 5); // 50%
+        let report = diff_documents(&base, &cold, &Tolerance::default()).unwrap();
+        assert!(report
+            .regressions
+            .iter()
+            .any(|r| matches!(r, Regression::HitRate { .. })));
+    }
+
+    #[test]
+    fn custom_tolerance_loosens_the_gate() {
+        let base = doc(100_000_000, 5, 8, 2);
+        let slow = doc(200_000_000, 5, 8, 2);
+        let report = diff_documents(&base, &slow, &Tolerance::with_frac(1.5)).unwrap();
+        assert!(!report.has_regressions());
+    }
+
+    #[test]
+    fn non_snapshot_documents_are_rejected() {
+        assert!(diff_documents("{}", "{}", &Tolerance::default()).is_err());
+        assert!(diff_documents("not json", "{}", &Tolerance::default()).is_err());
+        let events_line = "{\"schema\": \"ion-obs/events/1\"}";
+        assert!(diff_documents(events_line, events_line, &Tolerance::default()).is_err());
+    }
+}

@@ -1,0 +1,490 @@
+//! Structured event stream: a bounded MPSC ring buffer drained by a
+//! background JSONL writer.
+//!
+//! Where spans and metrics answer "how long did the run take, in
+//! aggregate", the event stream answers "what is the pipeline doing *right
+//! now*": span open/close, counter deltas, model-run lifecycle, store
+//! hit/miss and per-trace batch outcomes flow through one ordered stream
+//! that tools can tail while a long batch is still running.
+//!
+//! Design contract (the same one the rest of `ion-obs` keeps):
+//!
+//! - **Zero cost when disabled** — every emit site is guarded by one
+//!   relaxed atomic load ([`enabled`]); field construction happens only
+//!   behind the guard (use the [`event!`](crate::event) macro).
+//! - **Never blocks the hot path** — producers never wait on file I/O or
+//!   on a full buffer. The ring holds a `parking_lot` mutex only for an
+//!   O(1) push or an O(1) buffer swap; when the ring is full the event is
+//!   *dropped and counted* ([`EventRing::dropped`], surfaced as the
+//!   `obs.events.dropped` counter by the writer), never enqueued-with-wait.
+//! - **Ordered** — sequence numbers are assigned under the same lock that
+//!   enqueues, so JSONL lines come out in `seq` order.
+//!
+//! The on-disk format is one JSON object per line (`ion-obs/events/1`,
+//! documented in DESIGN.md): a header line
+//! `{"schema":"ion-obs/events/1","capacity":N}` followed by event lines
+//! `{"seq":..,"ts_ns":..,"kind":"..","fields":{..}}`.
+
+use crate::json::{self, Json};
+use parking_lot::{Mutex, RwLock};
+use std::borrow::Cow;
+use std::collections::VecDeque;
+use std::io::{self, BufWriter, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Schema identifier written on the JSONL header line.
+pub const SCHEMA: &str = "ion-obs/events/1";
+
+/// Default global ring capacity (events, not bytes) used by the CLI.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// A typed event field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, ids, durations in ns).
+    U64(u64),
+    /// Floating point (gauges).
+    F64(f64),
+    /// Text (names, paths, outcomes).
+    Str(String),
+    /// Boolean (hit/miss, error flags).
+    Bool(bool),
+}
+
+impl Value {
+    fn to_json_fragment(&self) -> String {
+        match self {
+            Value::U64(v) => v.to_string(),
+            Value::F64(v) => {
+                if v.is_finite() {
+                    format!("{v}")
+                } else {
+                    "null".to_owned()
+                }
+            }
+            Value::Str(s) => json::escape(s),
+            Value::Bool(b) => b.to_string(),
+        }
+    }
+
+    fn from_json(j: &Json) -> Option<Value> {
+        match j {
+            Json::Bool(b) => Some(Value::Bool(*b)),
+            Json::Str(s) => Some(Value::Str(s.clone())),
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            Json::Num(n) => {
+                // Integers survive the round trip as U64 when exact.
+                if n.fract() == 0.0 && *n >= 0.0 && *n <= 2f64.powi(53) {
+                    Some(Value::U64(*n as u64))
+                } else {
+                    Some(Value::F64(*n))
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// One structured event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Stream-wide sequence number (1-based, gap-free except for drops).
+    pub seq: u64,
+    /// Nanoseconds since the ring's first event.
+    pub ts_ns: u64,
+    /// Event kind, e.g. `span.close` or `llm.run.started`.
+    pub kind: Cow<'static, str>,
+    /// `key → value` payload in insertion order.
+    pub fields: Vec<(Cow<'static, str>, Value)>,
+}
+
+impl Event {
+    /// Render as one JSONL line (no trailing newline).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(64);
+        out.push_str("{\"seq\":");
+        out.push_str(&self.seq.to_string());
+        out.push_str(",\"ts_ns\":");
+        out.push_str(&self.ts_ns.to_string());
+        out.push_str(",\"kind\":");
+        out.push_str(&json::escape(&self.kind));
+        out.push_str(",\"fields\":{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json::escape(k));
+            out.push(':');
+            out.push_str(&v.to_json_fragment());
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parse back from a parsed JSONL line. Returns `None` when the
+    /// document is not an `ion-obs/events/1` event object.
+    #[must_use]
+    pub fn from_json(doc: &Json) -> Option<Event> {
+        let seq = doc.get("seq")?.as_u64()?;
+        let ts_ns = doc.get("ts_ns")?.as_u64()?;
+        let kind = doc.get("kind")?.as_str()?.to_owned();
+        let Json::Obj(raw_fields) = doc.get("fields")? else {
+            return None;
+        };
+        let mut fields = Vec::with_capacity(raw_fields.len());
+        for (k, v) in raw_fields {
+            fields.push((Cow::Owned(k.clone()), Value::from_json(v)?));
+        }
+        Some(Event {
+            seq,
+            ts_ns,
+            kind: Cow::Owned(kind),
+            fields,
+        })
+    }
+
+    /// Field value by key, if present.
+    #[must_use]
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// Bounded multi-producer ring buffer. Full ring ⇒ new events are dropped
+/// and counted — producers never wait for the consumer.
+pub struct EventRing {
+    queue: Mutex<VecDeque<Event>>,
+    capacity: usize,
+    epoch: OnceLock<Instant>,
+    next_seq: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl EventRing {
+    /// Ring holding at most `capacity` undrained events.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventRing {
+            queue: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+            epoch: OnceLock::new(),
+            next_seq: AtomicU64::new(1),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of undrained events.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn now_ns(&self) -> u64 {
+        let epoch = *self.epoch.get_or_init(Instant::now);
+        u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Enqueue one event. Returns `false` (and counts the drop) when the
+    /// ring is full; never blocks beyond the O(1) critical section.
+    pub fn push(
+        &self,
+        kind: impl Into<Cow<'static, str>>,
+        fields: Vec<(Cow<'static, str>, Value)>,
+    ) -> bool {
+        let ts_ns = self.now_ns();
+        let mut queue = self.queue.lock();
+        if queue.len() >= self.capacity {
+            drop(queue);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        // Sequence assignment happens under the queue lock so drained
+        // batches come out strictly seq-ordered.
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        queue.push_back(Event {
+            seq,
+            ts_ns,
+            kind: kind.into(),
+            fields,
+        });
+        true
+    }
+
+    /// Take every queued event (FIFO). The swap is O(1); JSONL encoding
+    /// and file I/O happen on the caller's (writer's) time.
+    #[must_use]
+    pub fn drain(&self) -> Vec<Event> {
+        let mut queue = self.queue.lock();
+        if queue.is_empty() {
+            return Vec::new();
+        }
+        let taken = std::mem::replace(&mut *queue, VecDeque::with_capacity(self.capacity));
+        drop(queue);
+        taken.into()
+    }
+
+    /// Number of currently queued (undrained) events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Whether the ring has no queued events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().is_empty()
+    }
+
+    /// Total events dropped because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Drops accumulated since the last call (the writer's accounting
+    /// hook: the delta feeds the `obs.events.dropped` counter).
+    pub fn take_dropped(&self) -> u64 {
+        self.dropped.swap(0, Ordering::Relaxed)
+    }
+}
+
+/// Final accounting from a finished [`EventWriter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventWriterStats {
+    /// Events written to the JSONL file.
+    pub written: u64,
+    /// Events dropped under backpressure over the writer's lifetime.
+    pub dropped: u64,
+}
+
+/// Background thread that drains an [`EventRing`] to a JSONL file.
+pub struct EventWriter {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<io::Result<EventWriterStats>>,
+}
+
+impl EventWriter {
+    /// Create `path`, write the schema header line, and start draining
+    /// `ring` every few milliseconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the file cannot be created or the header
+    /// cannot be written.
+    pub fn spawn(ring: Arc<EventRing>, path: &Path) -> io::Result<EventWriter> {
+        let mut file = BufWriter::new(std::fs::File::create(path)?);
+        writeln!(
+            file,
+            "{{\"schema\":{},\"capacity\":{}}}",
+            json::escape(SCHEMA),
+            ring.capacity()
+        )?;
+        file.flush()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("ion-obs-events".into())
+            .spawn(move || {
+                let mut written = 0u64;
+                let mut dropped = 0u64;
+                loop {
+                    let stopping = thread_stop.load(Ordering::Acquire);
+                    written += Self::write_batch(&ring, &mut file)?;
+                    let newly_dropped = ring.take_dropped();
+                    if newly_dropped > 0 {
+                        dropped += newly_dropped;
+                        crate::counter("obs.events.dropped", newly_dropped);
+                    }
+                    if stopping {
+                        // The stop flag was seen *before* this final drain,
+                        // so everything enqueued before `finish()` is on
+                        // disk when it returns.
+                        file.flush()?;
+                        return Ok(EventWriterStats { written, dropped });
+                    }
+                    file.flush()?;
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            })?;
+        Ok(EventWriter { stop, handle })
+    }
+
+    fn write_batch(ring: &EventRing, file: &mut BufWriter<std::fs::File>) -> io::Result<u64> {
+        let batch = ring.drain();
+        let n = batch.len() as u64;
+        for event in batch {
+            file.write_all(event.to_jsonl().as_bytes())?;
+            file.write_all(b"\n")?;
+        }
+        Ok(n)
+    }
+
+    /// Stop the writer, flush everything still queued, and return the
+    /// final accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error the writer thread hit.
+    pub fn finish(self) -> io::Result<EventWriterStats> {
+        self.stop.store(true, Ordering::Release);
+        self.handle
+            .join()
+            .unwrap_or_else(|_| Err(io::Error::other("event writer thread panicked")))
+    }
+}
+
+/// Whether the global event stream records anything. One relaxed load —
+/// the only cost instrumented code pays when streaming is off.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    STREAM_ENABLED.load(Ordering::Relaxed)
+}
+
+static STREAM_ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn global_ring() -> &'static RwLock<Option<Arc<EventRing>>> {
+    static RING: OnceLock<RwLock<Option<Arc<EventRing>>>> = OnceLock::new();
+    RING.get_or_init(|| RwLock::new(None))
+}
+
+/// Install `ring` as the global event sink and start streaming into it.
+pub fn install(ring: Arc<EventRing>) {
+    *global_ring().write() = Some(ring);
+    STREAM_ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Stop streaming and detach the global ring, returning it (events still
+/// queued inside stay drainable by a writer that holds its own `Arc`).
+pub fn uninstall() -> Option<Arc<EventRing>> {
+    STREAM_ENABLED.store(false, Ordering::Relaxed);
+    global_ring().write().take()
+}
+
+/// Emit one event into the global stream (no-op when no ring is
+/// installed). Prefer the [`event!`](crate::event) macro, which skips
+/// field construction entirely while the stream is disabled.
+pub fn emit(kind: impl Into<Cow<'static, str>>, fields: Vec<(Cow<'static, str>, Value)>) {
+    if !enabled() {
+        return;
+    }
+    let ring = global_ring().read().clone();
+    if let Some(ring) = ring {
+        let _ = ring.push(kind, fields);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_drain_preserves_fifo_and_seq() {
+        let ring = EventRing::new(16);
+        for i in 0..5u64 {
+            assert!(ring.push("tick", vec![(Cow::Borrowed("i"), Value::U64(i))]));
+        }
+        let batch = ring.drain();
+        assert_eq!(batch.len(), 5);
+        for (i, e) in batch.iter().enumerate() {
+            assert_eq!(e.seq, i as u64 + 1);
+            assert_eq!(e.field("i"), Some(&Value::U64(i as u64)));
+        }
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn full_ring_drops_and_counts() {
+        let ring = EventRing::new(2);
+        assert!(ring.push("a", Vec::new()));
+        assert!(ring.push("b", Vec::new()));
+        assert!(!ring.push("c", Vec::new()));
+        assert!(!ring.push("d", Vec::new()));
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(ring.len(), 2);
+        // Draining frees capacity again.
+        assert_eq!(ring.drain().len(), 2);
+        assert!(ring.push("e", Vec::new()));
+        assert_eq!(ring.take_dropped(), 2);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn jsonl_line_round_trips() {
+        let event = Event {
+            seq: 7,
+            ts_ns: 1234,
+            kind: Cow::Borrowed("store.lookup"),
+            fields: vec![
+                (Cow::Borrowed("key"), Value::Str("trace/ab\"c".into())),
+                (Cow::Borrowed("hit"), Value::Bool(true)),
+                (Cow::Borrowed("bytes"), Value::U64(4096)),
+                (Cow::Borrowed("rate"), Value::F64(0.5)),
+            ],
+        };
+        let line = event.to_jsonl();
+        let parsed = Event::from_json(&json::parse(&line).unwrap()).unwrap();
+        assert_eq!(parsed.seq, event.seq);
+        assert_eq!(parsed.ts_ns, event.ts_ns);
+        assert_eq!(parsed.kind, event.kind);
+        // Parsed fields come back key-sorted (JSON objects are unordered);
+        // every key/value pair must survive exactly.
+        assert_eq!(parsed.fields.len(), event.fields.len());
+        for (key, value) in &event.fields {
+            assert_eq!(parsed.field(key), Some(value), "field {key}");
+        }
+    }
+
+    #[test]
+    fn emit_without_install_is_noop() {
+        // Not installed (or torn down by another test) — must not panic.
+        emit("ghost", Vec::new());
+    }
+}

@@ -34,8 +34,12 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
+pub mod diff;
+pub mod events;
+pub mod json;
 pub mod metrics;
 pub mod render;
+pub mod serve;
 pub mod span;
 
 pub use metrics::{HistogramSnapshot, Registry};
@@ -62,10 +66,18 @@ pub fn disable() {
     ENABLED.store(false, Ordering::Relaxed);
 }
 
+static GLOBAL: std::sync::OnceLock<(SpanStore, Registry)> = std::sync::OnceLock::new();
+
 /// Global span store + metrics registry.
 fn global() -> &'static (SpanStore, Registry) {
-    static GLOBAL: std::sync::OnceLock<(SpanStore, Registry)> = std::sync::OnceLock::new();
     GLOBAL.get_or_init(|| (SpanStore::new(), Registry::new()))
+}
+
+/// Whether `store` is the global span store — span open/close events go to
+/// the global event stream only for the global store, so standalone stores
+/// (property tests, embedders) stay silent.
+pub(crate) fn is_global_span_store(store: &SpanStore) -> bool {
+    GLOBAL.get().is_some_and(|(s, _)| std::ptr::eq(s, store))
 }
 
 /// Clear all recorded spans and metrics (keeps the enabled flag as-is).
@@ -107,17 +119,37 @@ pub fn current_span() -> Option<SpanId> {
     global().0.current()
 }
 
-/// Add `delta` to the named global counter. No-op when disabled.
+/// Add `delta` to the named global counter. No-op when disabled. With the
+/// event stream on, the delta also flows out as a `counter.add` event.
 pub fn counter(name: &str, delta: u64) {
     if enabled() {
         global().1.counter(name).add(delta);
+        if events::enabled() {
+            events::emit(
+                "counter.add",
+                vec![
+                    ("name".into(), events::Value::from(name)),
+                    ("delta".into(), events::Value::from(delta)),
+                ],
+            );
+        }
     }
 }
 
-/// Set the named global gauge. No-op when disabled.
+/// Set the named global gauge. No-op when disabled. With the event stream
+/// on, the new value also flows out as a `gauge.set` event.
 pub fn gauge(name: &str, value: f64) {
     if enabled() {
         global().1.gauge(name).set(value);
+        if events::enabled() {
+            events::emit(
+                "gauge.set",
+                vec![
+                    ("name".into(), events::Value::from(name)),
+                    ("value".into(), events::Value::from(value)),
+                ],
+            );
+        }
     }
 }
 
@@ -165,6 +197,32 @@ macro_rules! span {
         $(guard.attr(stringify!($key), $value);)+
         guard
     }};
+}
+
+/// Emit a structured event into the global stream with optional
+/// `key = value` fields. While the stream is disabled this is one relaxed
+/// atomic load — field values are not even constructed:
+///
+/// ```
+/// let ring = std::sync::Arc::new(ion_obs::events::EventRing::new(8));
+/// ion_obs::events::install(ring.clone());
+/// ion_obs::event!("llm.run.started", model = "expert-v1", steps = 0u64);
+/// assert_eq!(ring.drain().len(), 1);
+/// ion_obs::events::uninstall();
+/// ```
+#[macro_export]
+macro_rules! event {
+    ($kind:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::events::enabled() {
+            $crate::events::emit(
+                $kind,
+                vec![$((
+                    ::std::borrow::Cow::Borrowed(stringify!($key)),
+                    $crate::events::Value::from($value),
+                )),*],
+            );
+        }
+    };
 }
 
 #[cfg(test)]

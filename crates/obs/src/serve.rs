@@ -1,0 +1,309 @@
+//! Live telemetry endpoint: a dependency-free `std::net` HTTP server
+//! exposing the global sink while a run is still in flight.
+//!
+//! Three routes, all `GET`:
+//!
+//! - **`/metrics`** — Prometheus text exposition format (version 0.0.4):
+//!   every counter, gauge and log₂ histogram in the registry, histogram
+//!   quantile gauges (`_p50`/`_p95`/`_p99` from
+//!   [`HistogramSnapshot::approx_quantile`]) included. Metric names are
+//!   the registry names prefixed `ion_` with non-identifier characters
+//!   mapped to `_` (`store.hit` → `ion_store_hit`).
+//! - **`/progress`** — batch progress as JSON
+//!   (`ion-obs/progress/1`), read from the `batch.*` gauges that
+//!   `ion-store`'s batch front-end maintains.
+//! - **`/healthz`** — liveness probe, plain `ok`.
+//!
+//! The server is deliberately minimal: one accept thread, one short-lived
+//! request per connection, `Connection: close`. It exists so `ion_cli
+//! batch --serve` can be scraped, not to serve the paper's millions of
+//! users — that is what a real ingress in front of many `ion_cli`
+//! processes would do.
+
+use crate::metrics::HistogramSnapshot;
+use crate::render::Snapshot;
+use std::io::{self, Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Produces the snapshot a request is rendered from. The default server
+/// uses the global sink; tests inject synthetic snapshots.
+pub type SnapshotFn = Arc<dyn Fn() -> Snapshot + Send + Sync>;
+
+/// A running telemetry server. Dropping it (or calling
+/// [`MetricsServer::shutdown`]) stops the accept loop.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serve
+    /// the global sink's snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the address cannot be bound.
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<MetricsServer> {
+        Self::bind_with(addr, Arc::new(crate::snapshot))
+    }
+
+    /// Bind `addr` and serve snapshots produced by `provider`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the address cannot be bound.
+    pub fn bind_with(addr: impl ToSocketAddrs, provider: SnapshotFn) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("ion-obs-serve".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if thread_stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    // Requests are tiny; handle inline with a short
+                    // deadline so one stuck client can't wedge the loop.
+                    let _ = handle_connection(stream, &provider);
+                }
+            })?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves the port when bound to `:0`).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Release);
+        // Wake the blocking accept with one last connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, provider: &SnapshotFn) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let path = read_request_path(&mut stream)?;
+    let (status, content_type, body) = match path.as_str() {
+        "/metrics" => {
+            let snap = provider();
+            (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                render_prometheus(&snap),
+            )
+        }
+        "/progress" => {
+            let snap = provider();
+            ("200 OK", "application/json", render_progress(&snap))
+        }
+        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_owned()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            format!("no route {path}\n"),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Read enough of an HTTP/1.x request to extract the path; headers and
+/// body (there is none on GET) are discarded.
+fn read_request_path(stream: &mut TcpStream) -> io::Result<String> {
+    let mut buf = [0u8; 2048];
+    let mut filled = 0;
+    loop {
+        if filled == buf.len() {
+            break; // Request line is certainly complete (or garbage).
+        }
+        let n = stream.read(&mut buf[filled..])?;
+        if n == 0 {
+            break;
+        }
+        filled += n;
+        if buf[..filled].windows(2).any(|w| w == b"\r\n") {
+            break;
+        }
+    }
+    let text = String::from_utf8_lossy(&buf[..filled]);
+    let request_line = text.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let _method = parts.next();
+    Ok(parts.next().unwrap_or("/").to_owned())
+}
+
+/// A registry name as a Prometheus metric name: `ion_` prefix,
+/// non-`[a-zA-Z0-9_:]` characters mapped to `_`.
+#[must_use]
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("ion_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else if v.is_nan() {
+        "NaN".to_owned()
+    } else if v > 0.0 {
+        "+Inf".to_owned()
+    } else {
+        "-Inf".to_owned()
+    }
+}
+
+/// Render `snap` in Prometheus text exposition format. Output ordering is
+/// stable (name-sorted within each metric class) — the golden test pins
+/// it.
+#[must_use]
+pub fn render_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let pname = prometheus_name(name);
+        out.push_str(&format!("# TYPE {pname} counter\n{pname} {value}\n"));
+    }
+    for (name, value) in &snap.gauges {
+        let pname = prometheus_name(name);
+        out.push_str(&format!(
+            "# TYPE {pname} gauge\n{pname} {}\n",
+            fmt_f64(*value)
+        ));
+    }
+    for (name, h) in &snap.histograms {
+        let pname = prometheus_name(name);
+        out.push_str(&format!("# TYPE {pname} histogram\n"));
+        let mut cumulative = 0u64;
+        for (i, &n) in h.buckets.iter().enumerate() {
+            if n == 0 {
+                continue; // Only materialized buckets; +Inf closes the set.
+            }
+            cumulative += n;
+            out.push_str(&format!(
+                "{pname}_bucket{{le=\"{}\"}} {cumulative}\n",
+                HistogramSnapshot::bucket_limit(i)
+            ));
+        }
+        out.push_str(&format!("{pname}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+        out.push_str(&format!("{pname}_sum {}\n", h.sum));
+        out.push_str(&format!("{pname}_count {}\n", h.count));
+        for (suffix, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+            out.push_str(&format!(
+                "# TYPE {pname}_{suffix} gauge\n{pname}_{suffix} {}\n",
+                h.approx_quantile(q)
+            ));
+        }
+    }
+    out
+}
+
+/// Render batch progress (`ion-obs/progress/1`) from the `batch.*` gauges
+/// maintained by `ion-store`'s batch front-end. All zeros when no batch
+/// has run.
+#[must_use]
+pub fn render_progress(snap: &Snapshot) -> String {
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let gauge = |name: &str| -> u64 {
+        let v = snap.gauges.get(name).copied().unwrap_or(0.0);
+        if v.is_finite() && v > 0.0 {
+            v.round() as u64
+        } else {
+            0
+        }
+    };
+    format!(
+        "{{\"schema\":\"ion-obs/progress/1\",\"total\":{},\"completed\":{},\"failed\":{},\"in_flight\":{}}}\n",
+        gauge("batch.total"),
+        gauge("batch.completed"),
+        gauge("batch.failed"),
+        gauge("batch.in_flight"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_sanitize() {
+        assert_eq!(prometheus_name("store.hit"), "ion_store_hit");
+        assert_eq!(prometheus_name("iql.query_ns"), "ion_iql_query_ns");
+        assert_eq!(prometheus_name("a-b c"), "ion_a_b_c");
+    }
+
+    #[test]
+    fn progress_defaults_to_zero() {
+        let body = render_progress(&Snapshot::default());
+        let doc = crate::json::parse(body.trim()).unwrap();
+        assert_eq!(doc.get("total").unwrap().as_u64(), Some(0));
+        assert_eq!(doc.get("in_flight").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let mut snap = Snapshot::default();
+        let mut buckets = [0u64; crate::metrics::BUCKETS];
+        buckets[crate::metrics::bucket_index(1)] += 1;
+        buckets[crate::metrics::bucket_index(2)] += 1;
+        buckets[crate::metrics::bucket_index(1000)] += 1;
+        let h = HistogramSnapshot {
+            count: 3,
+            sum: 1 + 2 + 1000,
+            buckets,
+        };
+        snap.histograms.insert("lat".into(), h);
+        let text = render_prometheus(&snap);
+        assert!(text.contains("ion_lat_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("ion_lat_sum 1003"));
+        assert!(text.contains("ion_lat_count 3"));
+        assert!(text.contains("ion_lat_p50 "));
+        // Cumulative counts never decrease.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket{le=")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "{line}");
+            last = v;
+        }
+    }
+}

@@ -117,6 +117,19 @@ impl SpanStore {
             state.stack.push(id);
             (parent, state.index)
         };
+        if crate::events::enabled() && crate::is_global_span_store(self) {
+            crate::events::emit(
+                "span.open",
+                vec![
+                    ("id".into(), crate::events::Value::U64(id.0)),
+                    (
+                        "parent".into(),
+                        crate::events::Value::U64(parent.map_or(0, |p| p.0)),
+                    ),
+                    ("name".into(), crate::events::Value::Str(name.to_string())),
+                ],
+            );
+        }
         SpanGuard {
             inner: Some(ActiveSpan {
                 store: self,
@@ -143,10 +156,24 @@ impl SpanStore {
                 }
             }
         }
+        let name = std::mem::replace(&mut span.name, Cow::Borrowed(""));
+        if crate::events::enabled() && crate::is_global_span_store(self) {
+            crate::events::emit(
+                "span.close",
+                vec![
+                    ("id".into(), crate::events::Value::U64(span.id.0)),
+                    ("name".into(), crate::events::Value::Str(name.to_string())),
+                    (
+                        "ns".into(),
+                        crate::events::Value::U64(end_ns.saturating_sub(span.start_ns)),
+                    ),
+                ],
+            );
+        }
         self.finished.lock().push(SpanData {
             id: span.id,
             parent: span.parent,
-            name: std::mem::replace(&mut span.name, Cow::Borrowed("")),
+            name,
             thread: span.thread,
             start_ns: span.start_ns,
             end_ns,

@@ -1,0 +1,186 @@
+//! Integration tests for the structured event stream: backpressure
+//! semantics, writer flush guarantees and JSONL round-trips.
+
+use ion_obs::events::{Event, EventRing, EventWriter, Value, DEFAULT_CAPACITY, SCHEMA};
+use ion_obs::json::{self, Json};
+use std::borrow::Cow;
+use std::sync::Arc;
+
+fn tmp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("ion-obs-events-{tag}-{}.jsonl", std::process::id()))
+}
+
+/// Producers hitting a full ring are never blocked: every push returns
+/// immediately, overflow is dropped and counted, and nothing queued is
+/// lost.
+#[test]
+fn backpressure_drops_are_counted_not_blocked() {
+    const CAPACITY: usize = 64;
+    const PRODUCERS: usize = 4;
+    const PER_PRODUCER: usize = 200;
+    let ring = Arc::new(EventRing::new(CAPACITY));
+    // No consumer runs during this burst, so the ring must saturate.
+    std::thread::scope(|scope| {
+        for p in 0..PRODUCERS {
+            let ring = Arc::clone(&ring);
+            scope.spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    // Either enqueued or dropped — push never waits.
+                    let _ = ring.push(
+                        "burst",
+                        vec![
+                            (Cow::Borrowed("producer"), Value::U64(p as u64)),
+                            (Cow::Borrowed("i"), Value::U64(i as u64)),
+                        ],
+                    );
+                }
+            });
+        }
+    });
+    let queued = ring.drain();
+    let dropped = ring.dropped();
+    assert_eq!(queued.len(), CAPACITY, "ring saturated exactly at capacity");
+    assert_eq!(
+        queued.len() + dropped as usize,
+        PRODUCERS * PER_PRODUCER,
+        "every push is accounted: enqueued or dropped"
+    );
+    // Drained batches come out strictly seq-ordered.
+    for pair in queued.windows(2) {
+        assert!(pair[0].seq < pair[1].seq);
+    }
+}
+
+/// With the ring large enough to never overflow, `finish()` flushes every
+/// event produced before it — concurrent producers included — and the file
+/// parses back line for line.
+#[test]
+fn writer_flushes_everything_under_capacity() {
+    const PRODUCERS: usize = 4;
+    const PER_PRODUCER: usize = 500;
+    let path = tmp_path("flush");
+    let ring = Arc::new(EventRing::new(DEFAULT_CAPACITY));
+    let writer = EventWriter::spawn(Arc::clone(&ring), &path).unwrap();
+    std::thread::scope(|scope| {
+        for p in 0..PRODUCERS {
+            let ring = Arc::clone(&ring);
+            scope.spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    assert!(ring.push(
+                        "work",
+                        vec![
+                            (Cow::Borrowed("producer"), Value::U64(p as u64)),
+                            (Cow::Borrowed("i"), Value::U64(i as u64)),
+                        ],
+                    ));
+                }
+            });
+        }
+    });
+    let stats = writer.finish().unwrap();
+    assert_eq!(stats.written, (PRODUCERS * PER_PRODUCER) as u64);
+    assert_eq!(stats.dropped, 0);
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut lines = text.lines();
+    let header = json::parse(lines.next().unwrap()).unwrap();
+    assert_eq!(header.get("schema").unwrap().as_str(), Some(SCHEMA));
+    assert_eq!(
+        header.get("capacity").unwrap().as_u64(),
+        Some(DEFAULT_CAPACITY as u64)
+    );
+    let events: Vec<Event> = lines
+        .map(|line| Event::from_json(&json::parse(line).unwrap()).unwrap())
+        .collect();
+    assert_eq!(events.len(), PRODUCERS * PER_PRODUCER);
+    // seq strictly increases and is gap-free (no drops happened).
+    for (i, e) in events.iter().enumerate() {
+        assert_eq!(e.seq, i as u64 + 1);
+        assert_eq!(e.kind, "work");
+    }
+    // Every (producer, i) pair made it out exactly once.
+    let mut seen = vec![[false; PER_PRODUCER]; PRODUCERS];
+    for e in &events {
+        let Some(&Value::U64(p)) = e.field("producer") else {
+            panic!("missing producer field");
+        };
+        let Some(&Value::U64(i)) = e.field("i") else {
+            panic!("missing i field");
+        };
+        assert!(!seen[p as usize][i as usize], "duplicate event {p}/{i}");
+        seen[p as usize][i as usize] = true;
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Under deliberate overflow the writer stays correct: written + dropped
+/// covers every push, the file parses, and drops surface in the stats.
+#[test]
+fn writer_accounts_drops_under_overflow() {
+    let path = tmp_path("overflow");
+    let ring = Arc::new(EventRing::new(8));
+    let writer = EventWriter::spawn(Arc::clone(&ring), &path).unwrap();
+    const TOTAL: usize = 50_000;
+    for i in 0..TOTAL {
+        let _ = ring.push("flood", vec![(Cow::Borrowed("i"), Value::U64(i as u64))]);
+    }
+    let stats = writer.finish().unwrap();
+    assert_eq!(stats.written + stats.dropped, TOTAL as u64);
+    assert!(stats.written >= 8, "at least one full ring was flushed");
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut lines = text.lines();
+    let header = json::parse(lines.next().unwrap()).unwrap();
+    assert_eq!(header.get("schema").unwrap().as_str(), Some(SCHEMA));
+    let mut last_seq = 0;
+    let mut written = 0u64;
+    for line in lines {
+        let event = Event::from_json(&json::parse(line).unwrap()).unwrap();
+        assert!(event.seq > last_seq, "seq order survives drops");
+        last_seq = event.seq;
+        written += 1;
+    }
+    assert_eq!(written, stats.written);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Events carrying every value type survive the file round trip.
+#[test]
+fn jsonl_file_round_trips_all_value_types() {
+    let path = tmp_path("types");
+    let ring = Arc::new(EventRing::new(16));
+    let writer = EventWriter::spawn(Arc::clone(&ring), &path).unwrap();
+    assert!(ring.push(
+        "typed",
+        vec![
+            (Cow::Borrowed("count"), Value::U64(u64::from(u32::MAX) + 1)),
+            (Cow::Borrowed("rate"), Value::F64(0.375)),
+            (
+                Cow::Borrowed("path"),
+                Value::Str("trace \"quoted\"\nwith\tescapes\\".into()),
+            ),
+            (Cow::Borrowed("hit"), Value::Bool(false)),
+        ],
+    ));
+    let stats = writer.finish().unwrap();
+    assert_eq!(stats.written, 1);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let line = text.lines().nth(1).unwrap();
+    let event = Event::from_json(&json::parse(line).unwrap()).unwrap();
+    assert_eq!(event.kind, "typed");
+    assert_eq!(
+        event.field("count"),
+        Some(&Value::U64(u64::from(u32::MAX) + 1))
+    );
+    assert_eq!(event.field("rate"), Some(&Value::F64(0.375)));
+    assert_eq!(
+        event.field("path"),
+        Some(&Value::Str("trace \"quoted\"\nwith\tescapes\\".into()))
+    );
+    assert_eq!(event.field("hit"), Some(&Value::Bool(false)));
+
+    // Non-event lines are rejected, not misparsed.
+    assert!(Event::from_json(&json::parse(text.lines().next().unwrap()).unwrap()).is_none());
+    assert!(Event::from_json(&Json::Null).is_none());
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,139 @@
+//! Integration tests for the live telemetry endpoint: a golden Prometheus
+//! exposition and real HTTP round trips on an ephemeral port.
+
+use ion_obs::json;
+use ion_obs::metrics::{bucket_index, BUCKETS};
+use ion_obs::render::Snapshot;
+use ion_obs::serve::{render_prometheus, MetricsServer};
+use ion_obs::HistogramSnapshot;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// A synthetic snapshot with one of everything, values chosen so bucket
+/// placement and quantiles are exact.
+fn synthetic_snapshot() -> Snapshot {
+    let mut snap = Snapshot::default();
+    snap.counters.insert("llm.runs".into(), 10);
+    snap.counters.insert("store.hit".into(), 7);
+    snap.gauges.insert("batch.total".into(), 5.0);
+    snap.gauges.insert("batch.completed".into(), 4.0);
+    // Observations 3, 3, 900: two land in the le=4 bucket, one in le=1024.
+    let mut buckets = [0u64; BUCKETS];
+    buckets[bucket_index(3)] += 2;
+    buckets[bucket_index(900)] += 1;
+    snap.histograms.insert(
+        "pipeline.ns".into(),
+        HistogramSnapshot {
+            count: 3,
+            sum: 906,
+            buckets,
+        },
+    );
+    snap
+}
+
+/// The exposition format is a contract with external scrapers — pin it
+/// byte for byte.
+#[test]
+fn prometheus_exposition_matches_golden() {
+    let golden = "\
+# TYPE ion_llm_runs counter
+ion_llm_runs 10
+# TYPE ion_store_hit counter
+ion_store_hit 7
+# TYPE ion_batch_completed gauge
+ion_batch_completed 4
+# TYPE ion_batch_total gauge
+ion_batch_total 5
+# TYPE ion_pipeline_ns histogram
+ion_pipeline_ns_bucket{le=\"4\"} 2
+ion_pipeline_ns_bucket{le=\"1024\"} 3
+ion_pipeline_ns_bucket{le=\"+Inf\"} 3
+ion_pipeline_ns_sum 906
+ion_pipeline_ns_count 3
+# TYPE ion_pipeline_ns_p50 gauge
+ion_pipeline_ns_p50 4
+# TYPE ion_pipeline_ns_p95 gauge
+ion_pipeline_ns_p95 1024
+# TYPE ion_pipeline_ns_p99 gauge
+ion_pipeline_ns_p99 1024
+";
+    assert_eq!(render_prometheus(&synthetic_snapshot()), golden);
+}
+
+/// One plain-std HTTP GET; returns (status line, body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let (head, body) = response.split_once("\r\n\r\n").unwrap();
+    (head.lines().next().unwrap().to_owned(), body.to_owned())
+}
+
+#[test]
+fn endpoints_serve_over_real_http() {
+    let server = MetricsServer::bind_with(
+        "127.0.0.1:0",
+        Arc::new(synthetic_snapshot) as ion_obs::serve::SnapshotFn,
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let (status, body) = http_get(addr, "/healthz");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(body, "ok\n");
+
+    let (status, body) = http_get(addr, "/metrics");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(body, render_prometheus(&synthetic_snapshot()));
+
+    let (status, body) = http_get(addr, "/progress");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let doc = json::parse(body.trim()).unwrap();
+    assert_eq!(
+        doc.get("schema").unwrap().as_str(),
+        Some("ion-obs/progress/1")
+    );
+    assert_eq!(doc.get("total").unwrap().as_u64(), Some(5));
+    assert_eq!(doc.get("completed").unwrap().as_u64(), Some(4));
+    assert_eq!(doc.get("failed").unwrap().as_u64(), Some(0));
+    assert_eq!(doc.get("in_flight").unwrap().as_u64(), Some(0));
+
+    let (status, _) = http_get(addr, "/no-such-route");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+
+    // Repeated scrapes keep working (one connection per request).
+    for _ in 0..3 {
+        let (status, _) = http_get(addr, "/metrics");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_stops_serving() {
+    let server = MetricsServer::bind_with(
+        "127.0.0.1:0",
+        Arc::new(Snapshot::default) as ion_obs::serve::SnapshotFn,
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let (status, _) = http_get(addr, "/healthz");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    server.shutdown();
+    // The accept loop is gone: a fresh request must not get an answer.
+    match TcpStream::connect(addr) {
+        Err(_) => {}
+        Ok(mut stream) => {
+            let _ = stream.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+            let mut out = String::new();
+            let n = stream.read_to_string(&mut out).unwrap_or(0);
+            assert_eq!(n, 0, "no response after shutdown, got {out:?}");
+        }
+    }
+}

@@ -11,6 +11,64 @@ use crate::driver::StoredPipeline;
 use crate::StoreError;
 use ion::pipeline::IonReport;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live progress gauges for one batch run, published to the global
+/// `ion-obs` registry (`batch.total` / `batch.completed` / `batch.failed`
+/// / `batch.in_flight`) so the `/progress` endpoint — and any `/metrics`
+/// scraper — can watch a run without poking at store internals.
+#[derive(Debug, Default)]
+struct BatchProgress {
+    completed: AtomicU64,
+    failed: AtomicU64,
+    in_flight: AtomicU64,
+}
+
+impl BatchProgress {
+    #[allow(clippy::cast_precision_loss)]
+    fn start(total: usize) -> Self {
+        ion_obs::gauge("batch.total", total as f64);
+        ion_obs::gauge("batch.completed", 0.0);
+        ion_obs::gauge("batch.failed", 0.0);
+        ion_obs::gauge("batch.in_flight", 0.0);
+        BatchProgress::default()
+    }
+
+    #[allow(clippy::cast_precision_loss)]
+    fn trace_started(&self) {
+        let now = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        ion_obs::gauge("batch.in_flight", now as f64);
+    }
+
+    #[allow(clippy::cast_precision_loss)]
+    fn trace_finished(&self, entry: &BatchEntry) {
+        let in_flight = self
+            .in_flight
+            .fetch_sub(1, Ordering::Relaxed)
+            .saturating_sub(1);
+        ion_obs::gauge("batch.in_flight", in_flight as f64);
+        match &entry.result {
+            Ok(report) => {
+                let done = self.completed.fetch_add(1, Ordering::Relaxed) + 1;
+                ion_obs::gauge("batch.completed", done as f64);
+                ion_obs::event!(
+                    "batch.trace.completed",
+                    path = entry.path.display().to_string(),
+                    detected = report.detected().len(),
+                );
+            }
+            Err(err) => {
+                let failed = self.failed.fetch_add(1, Ordering::Relaxed) + 1;
+                ion_obs::gauge("batch.failed", failed as f64);
+                ion_obs::event!(
+                    "batch.trace.failed",
+                    path = entry.path.display().to_string(),
+                    error = err.as_str(),
+                );
+            }
+        }
+    }
+}
 
 /// One trace's outcome in a batch run.
 #[derive(Debug)]
@@ -119,6 +177,7 @@ pub fn analyze_dir(
     };
     span.attr("jobs", width);
     let parent = span.id();
+    let progress = BatchProgress::start(files.len());
 
     let mut slots: Vec<Option<BatchEntry>> = Vec::new();
     slots.resize_with(files.len(), || None);
@@ -130,15 +189,19 @@ pub fn analyze_dir(
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (i, path) in chunk.iter().enumerate() {
+                let progress = &progress;
                 handles.push((
                     chunk_start + i,
                     scope.spawn(move || {
                         let mut span = ion_obs::span_under(parent, "store.batch.trace");
                         span.attr("path", path.display().to_string());
-                        BatchEntry {
+                        progress.trace_started();
+                        let entry = BatchEntry {
                             path: path.clone(),
                             result: driver.analyze_file(path).map_err(|e| e.to_string()),
-                        }
+                        };
+                        progress.trace_finished(&entry);
+                        entry
                     }),
                 ));
             }

@@ -98,7 +98,11 @@ impl Store {
     pub fn get(&self, key: &str) -> Result<Option<Arc<[u8]>>, StoreError> {
         let mut span = ion_obs::span!("store.get");
         span.attr("key", key);
-        self.lookup(key, true)
+        let out = self.lookup(key, true);
+        if let Ok(found) = &out {
+            ion_obs::event!("store.lookup", key = key, hit = found.is_some());
+        }
+        out
     }
 
     /// The lookup ladder. `counted` distinguishes a caller-visible
