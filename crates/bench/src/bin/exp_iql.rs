@@ -1,0 +1,201 @@
+//! Experiment: vectorized IQL engine vs the legacy tree-walker.
+//!
+//! ```sh
+//! cargo run --release -p ion-bench --bin exp_iql
+//! cargo run --release -p ion-bench --bin exp_iql -- --bench-out BENCH_iql.json
+//! cargo run --release -p ion-bench --bin exp_iql -- --quick
+//! ```
+//!
+//! Builds a synthetic 1M-row DXT-shaped table and runs the same IQL
+//! programs through both engines: the planned, columnar executor
+//! (`ion_llm::iql::Interpreter`) and the original row-cloning interpreter
+//! (`ion_llm::iql::legacy`, compiled in via the `legacy-eval` feature).
+//! Each case first checks the two engines agree on the emitted scalars
+//! and result-table size, then times repeated runs and reports rows/sec.
+//!
+//! `--bench-out <path>` records the run as an `ion-obs/1` snapshot (one
+//! `iql.bench.case` span per program, engine timings as histograms) for
+//! `ion_cli obs diff`. `--quick` shrinks the table to 100k rows and the
+//! gate to 1.2x (CI smoke); the full run must clear a 2x speedup on the
+//! scan+filter+aggregate case or the binary exits non-zero.
+
+use extractor::{Table, TableSet, Value};
+use ion_llm::iql::legacy::LegacyInterpreter;
+use ion_llm::iql::{parse_program, Interpreter};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// DXT-shaped synthetic trace: op/length skewed like an IOR write phase.
+fn synthetic_dxt(rows: usize) -> TableSet {
+    let mut rng = SmallRng::seed_from_u64(0x10_f1ab);
+    let read: Arc<str> = Arc::from("read");
+    let write: Arc<str> = Arc::from("write");
+    let mut t = Table::new(
+        "DXT",
+        &["rank", "op", "segment", "offset", "length", "start_time"],
+    );
+    for i in 0..rows {
+        let rank = rng.gen_range(0..64_i64);
+        let is_write = rng.gen_range(0..10_u8) < 7;
+        let length = 1_i64 << rng.gen_range(9..23_u32); // 512B..4MiB
+        t.push_row(vec![
+            Value::Int(rank),
+            Value::Str(Arc::clone(if is_write { &write } else { &read })),
+            Value::Int(i as i64),
+            Value::Int((i as i64) * 4096),
+            Value::Int(length),
+            Value::Float(i as f64 * 1e-6),
+        ]);
+    }
+    let mut set = TableSet::default();
+    set.insert(t);
+    set
+}
+
+struct Case {
+    name: &'static str,
+    src: &'static str,
+}
+
+const CASES: [Case; 4] = [
+    Case {
+        name: "scan_filter_agg",
+        src: "LOAD DXT\n\
+              FILTER op == \"write\" && length < 4194304\n\
+              AGG n = count(), total = sum(length), m = mean(length), p95 = pct(length, 95)\n\
+              EMIT n, total, m, p95",
+    },
+    Case {
+        name: "group_by",
+        src: "LOAD DXT\nGROUP rank AGG n = count(), total = sum(length)",
+    },
+    Case {
+        name: "sort_limit_select",
+        src: "LOAD DXT\nSORT length DESC\nLIMIT 100\nSELECT rank, offset, length",
+    },
+    Case {
+        name: "derive_chain",
+        src: "LOAD DXT\n\
+              DERIVE mb = length / 1048576\n\
+              DERIVE r = sqrt(mb)\n\
+              FILTER r > 0.5\n\
+              AGG n = count()\n\
+              EMIT n",
+    },
+];
+
+fn best_of<T>(iters: u32, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let out = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        last = Some(out);
+    }
+    (best, last.expect("at least one iteration"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bench_out = args
+        .iter()
+        .position(|a| a == "--bench-out")
+        .map(|i| args.get(i + 1).cloned().unwrap_or_default());
+    if bench_out.as_deref() == Some("") {
+        eprintln!("error: --bench-out needs a <path>");
+        std::process::exit(1);
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    if bench_out.is_some() {
+        ion_obs::enable();
+    }
+
+    let (rows, iters, required) = if quick {
+        (100_000, 2_u32, 1.2)
+    } else {
+        (1_000_000, 3_u32, 2.0)
+    };
+    println!("═══ IQL: vectorized engine vs legacy tree-walker ({rows} rows) ═══\n");
+    let tables = synthetic_dxt(rows);
+
+    println!(
+        "{:<20} {:>12} {:>12} {:>14} {:>14} {:>9}",
+        "case", "legacy (ms)", "vector (ms)", "legacy rows/s", "vector rows/s", "speedup"
+    );
+    let mut gate_ok = true;
+    for case in &CASES {
+        let mut span = ion_obs::span!("iql.bench.case");
+        span.attr("case", case.name);
+        span.attr("rows", rows);
+        let program = parse_program(case.src).expect("benchmark program parses");
+
+        // Correctness first: both engines must agree before we time them.
+        let fast = Interpreter::new(&tables)
+            .run(&program)
+            .expect("vectorized run");
+        let slow = LegacyInterpreter::new(&tables)
+            .run(&program)
+            .expect("legacy run");
+        assert_eq!(
+            fast.emitted, slow.emitted,
+            "{}: emitted diverged",
+            case.name
+        );
+        assert_eq!(
+            fast.table.as_ref().map(Table::len),
+            slow.table.as_ref().map(Table::len),
+            "{}: result size diverged",
+            case.name
+        );
+
+        let (legacy_s, _) = best_of(iters, || {
+            ion_obs::timed("iql.bench.legacy_ns", || {
+                LegacyInterpreter::new(&tables).run(&program).unwrap()
+            })
+        });
+        let (vector_s, _) = best_of(iters, || {
+            ion_obs::timed("iql.bench.vector_ns", || {
+                Interpreter::new(&tables).run(&program).unwrap()
+            })
+        });
+        let speedup = legacy_s / vector_s;
+        let legacy_rps = rows as f64 / legacy_s;
+        let vector_rps = rows as f64 / vector_s;
+        span.attr("speedup_x100", (speedup * 100.0) as u64);
+        ion_obs::counter("iql.bench.cases", 1);
+        println!(
+            "{:<20} {:>12.1} {:>12.1} {:>14.0} {:>14.0} {:>8.1}x",
+            case.name,
+            legacy_s * 1e3,
+            vector_s * 1e3,
+            legacy_rps,
+            vector_rps,
+            speedup
+        );
+        // The acceptance gate rides on the headline case; the others are
+        // reported for trend tracking but may be dominated by shared
+        // kernels (sort, percentile) where less headroom exists.
+        if case.name == "scan_filter_agg" && speedup < required {
+            gate_ok = false;
+            eprintln!(
+                "\nFAIL: {} speedup {speedup:.2}x is below the {required:.1}x floor",
+                case.name
+            );
+        }
+    }
+
+    if let Some(path) = bench_out {
+        let json = ion_obs::snapshot().to_json();
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("\nwrote IQL engine trajectory to {path}");
+    }
+    if !gate_ok {
+        std::process::exit(1);
+    }
+}

@@ -10,6 +10,8 @@
 //! ion-cli drishti <log.darshan>               Drishti baseline report
 //! ion-cli compare <base> <optimized>          diff two diagnoses (resolved/introduced)
 //! ion-cli qa <log.darshan> "<question>" ...   diagnose then answer questions
+//! ion-cli iql <log.darshan> <file.iql>        run an IQL program on a trace
+//!         [--explain]                         print the optimized plan instead
 //! ion-cli store gc [--apply]                  prune unreferenced store artifacts
 //! ion-cli obs serve [addr]                    standalone live-telemetry endpoint
 //! ion-cli obs diff <base.json> <new.json>     snapshot-diff regression gate
@@ -59,7 +61,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: ion-cli [--profile] [--metrics-json <path>] [--events <path>] \
          [--serve <addr>] [--serve-hold-ms <n>] [--store <dir>] [--jobs <n>] \
-         <generate|parse|dxt|extract|analyze|batch|drishti|compare|qa|store|obs> <args...>\n\
+         <generate|parse|dxt|extract|analyze|batch|drishti|compare|qa|iql|store|obs> <args...>\n\
          a bare <log.darshan> after the flags is shorthand for `analyze`\n\
          see `cargo doc` or the README for details"
     );
@@ -300,9 +302,9 @@ fn run() -> Result<(), Failure> {
     result
 }
 
-const COMMANDS: [&str; 11] = [
-    "generate", "parse", "dxt", "extract", "analyze", "batch", "drishti", "compare", "qa", "store",
-    "obs",
+const COMMANDS: [&str; 12] = [
+    "generate", "parse", "dxt", "extract", "analyze", "batch", "drishti", "compare", "qa", "iql",
+    "store", "obs",
 ];
 
 fn dispatch(args: &[String], flags: &ObsFlags) -> Result<(), Failure> {
@@ -478,6 +480,36 @@ fn dispatch(args: &[String], flags: &ObsFlags) -> Result<(), Failure> {
             let before = pipeline.run(&load(base)?);
             let after = pipeline.run(&load(opt)?);
             emit(&ion::compare::compare(&before, &after).render_text());
+        }
+        "iql" => {
+            let positional: Vec<&String> = args[1..].iter().filter(|a| *a != "--explain").collect();
+            let explain_flag = args[1..].iter().any(|a| a == "--explain");
+            let (path, src_path) = match (positional.first(), positional.get(1)) {
+                (Some(p), Some(s)) => (*p, *s),
+                _ => return Err("iql needs <log.darshan> <file.iql> [--explain]".into()),
+            };
+            let src = fs::read_to_string(src_path)
+                .map_err(|e| Failure::outcome(format!("cannot read {src_path}: {e}")))?;
+            let tables = extractor::extract_tables(&load(path)?);
+            let program =
+                ion_llm::iql::parse_program(&src).map_err(|e| Failure::outcome(e.to_string()))?;
+            let interp = ion_llm::iql::Interpreter::new(&tables);
+            if explain_flag || program.explain {
+                emit(&interp.explain(&program));
+            } else {
+                let out = interp
+                    .run(&program)
+                    .map_err(|e| Failure::outcome(e.to_string()))?;
+                for (name, value) in &out.emitted {
+                    println!("{name} = {value}");
+                }
+                if let Some(t) = &out.table {
+                    if out.emitted.is_empty() {
+                        emit(&extractor::csv::to_csv(t));
+                    }
+                }
+                eprintln!("({} rows scanned)", out.rows_scanned);
+            }
         }
         "qa" => {
             let path = args.get(1).ok_or("qa needs <log.darshan> [questions...]")?;

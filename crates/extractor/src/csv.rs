@@ -76,8 +76,8 @@ pub fn to_csv(table: &Table) -> String {
         write_field(&mut out, &c.name);
     }
     out.push('\n');
-    for row in table.rows() {
-        for (i, v) in row.iter().enumerate() {
+    for row in table.iter_rows() {
+        for (i, v) in row.values().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -213,24 +213,21 @@ mod tests {
         let text = to_csv(&t);
         let back = from_csv("T", &text).unwrap();
         assert_eq!(back.len(), 3);
-        assert_eq!(back.cell(1, "path"), Some(&Value::Str("has,comma".into())));
+        assert_eq!(back.cell(1, "path"), Some(Value::Str("has,comma".into())));
         assert_eq!(
             back.cell(1, "note"),
-            Some(&Value::Str("has \"quote\"".into()))
+            Some(Value::Str("has \"quote\"".into()))
         );
-        assert_eq!(
-            back.cell(2, "path"),
-            Some(&Value::Str("multi\nline".into()))
-        );
-        assert_eq!(back.cell(2, "id"), Some(&Value::Float(2.5)));
-        assert_eq!(back.cell(2, "note"), Some(&Value::Null));
+        assert_eq!(back.cell(2, "path"), Some(Value::Str("multi\nline".into())));
+        assert_eq!(back.cell(2, "id"), Some(Value::Float(2.5)));
+        assert_eq!(back.cell(2, "note"), Some(Value::Null));
     }
 
     #[test]
     fn crlf_line_endings_tolerated() {
         let t = from_csv("T", "a,b\r\n1,2\r\n3,4\r\n").unwrap();
         assert_eq!(t.len(), 2);
-        assert_eq!(t.cell(1, "b"), Some(&Value::Int(4)));
+        assert_eq!(t.cell(1, "b"), Some(Value::Int(4)));
     }
 
     #[test]

@@ -264,11 +264,11 @@ mod tests {
             t.columns.len(),
             3 + darshan::counters::PosixCounter::COUNT + darshan::counters::PosixFCounter::COUNT
         );
-        assert_eq!(t.cell(0, "POSIX_WRITES"), Some(&Value::Int(2)));
-        assert_eq!(t.cell(0, "POSIX_BYTES_WRITTEN"), Some(&Value::Int(2048)));
+        assert_eq!(t.cell(0, "POSIX_WRITES"), Some(Value::Int(2)));
+        assert_eq!(t.cell(0, "POSIX_BYTES_WRITTEN"), Some(Value::Int(2048)));
         assert_eq!(
             t.cell(0, "file_name"),
-            Some(&Value::Str("/scratch/x.h5".into()))
+            Some(Value::Str("/scratch/x.h5".into()))
         );
     }
 
@@ -278,18 +278,18 @@ mod tests {
         let t = set.get("DXT").unwrap();
         assert_eq!(t.len(), 2);
         // Writes come first (parser order).
-        assert_eq!(t.cell(0, "op"), Some(&Value::Str("write".into())));
-        assert_eq!(t.cell(1, "op"), Some(&Value::Str("read".into())));
-        assert_eq!(t.cell(0, "length"), Some(&Value::Int(1024)));
-        assert_eq!(t.cell(0, "module"), Some(&Value::Str("X_POSIX".into())));
+        assert_eq!(t.cell(0, "op"), Some(Value::Str("write".into())));
+        assert_eq!(t.cell(1, "op"), Some(Value::Str("read".into())));
+        assert_eq!(t.cell(0, "length"), Some(Value::Int(1024)));
+        assert_eq!(t.cell(0, "module"), Some(Value::Str("X_POSIX".into())));
     }
 
     #[test]
     fn lustre_table_carries_ost_list() {
         let set = extract_tables(&sample_log());
         let t = set.get("LUSTRE").unwrap();
-        assert_eq!(t.cell(0, "LUSTRE_OST_IDS"), Some(&Value::Str("2 4".into())));
-        assert_eq!(t.cell(0, "LUSTRE_STRIPE_SIZE"), Some(&Value::Int(1 << 20)));
+        assert_eq!(t.cell(0, "LUSTRE_OST_IDS"), Some(Value::Str("2 4".into())));
+        assert_eq!(t.cell(0, "LUSTRE_STRIPE_SIZE"), Some(Value::Int(1 << 20)));
     }
 
     #[test]
@@ -302,7 +302,7 @@ mod tests {
         let csv_total: i64 = t
             .column_values("POSIX_BYTES_WRITTEN")
             .unwrap()
-            .filter_map(Value::as_i64)
+            .filter_map(|v| v.as_i64())
             .sum();
         let log_total: i64 = log
             .posix

@@ -44,4 +44,4 @@ pub mod stats;
 pub mod table;
 
 pub use extract::{extract_tables, TableSet};
-pub use table::{Column, Table, Value};
+pub use table::{Bitmap, Column, ColumnData, RowView, Table, Value};

@@ -3,7 +3,9 @@
 //! Shared by the IQL evaluator's aggregate functions and by tests that
 //! assert statistical properties of extracted traces.
 
-use crate::table::{Table, Value};
+use crate::table::Table;
+#[cfg(test)]
+use crate::table::Value;
 use std::collections::BTreeMap;
 
 /// Summary statistics of a numeric column.
@@ -57,7 +59,7 @@ pub fn summarize(values: impl IntoIterator<Item = f64>) -> Summary {
 #[must_use]
 pub fn column_summary(table: &Table, column: &str) -> Option<Summary> {
     let values = table.column_values(column)?;
-    Some(summarize(values.filter_map(Value::as_f64)))
+    Some(summarize(values.filter_map(|v| v.as_f64())))
 }
 
 /// Percentile (0–100, nearest-rank) of a numeric column.
@@ -65,7 +67,7 @@ pub fn column_summary(table: &Table, column: &str) -> Option<Summary> {
 pub fn column_percentile(table: &Table, column: &str, pct: f64) -> Option<f64> {
     let mut vals: Vec<f64> = table
         .column_values(column)?
-        .filter_map(Value::as_f64)
+        .filter_map(|v| v.as_f64())
         .collect();
     if vals.is_empty() {
         return None;
@@ -86,10 +88,12 @@ pub fn group_sum(
 ) -> Option<BTreeMap<String, f64>> {
     let ki = table.column_index(key_column)?;
     let vi = table.column_index(value_column)?;
+    let keys = table.column(ki)?;
+    let vals = table.column(vi)?;
     let mut out = BTreeMap::new();
-    for row in table.rows() {
-        let key = row[ki].to_string();
-        let v = row[vi].as_f64().unwrap_or(0.0);
+    for i in 0..table.len() {
+        let key = keys.value(i).to_string();
+        let v = vals.f64_at(i).unwrap_or(0.0);
         *out.entry(key).or_insert(0.0) += v;
     }
     Some(out)
@@ -98,10 +102,10 @@ pub fn group_sum(
 /// Count rows grouped by the string rendering of `key_column`.
 #[must_use]
 pub fn group_count(table: &Table, key_column: &str) -> Option<BTreeMap<String, usize>> {
-    let ki = table.column_index(key_column)?;
+    let keys = table.column(table.column_index(key_column)?)?;
     let mut out = BTreeMap::new();
-    for row in table.rows() {
-        *out.entry(row[ki].to_string()).or_insert(0) += 1;
+    for i in 0..table.len() {
+        *out.entry(keys.value(i).to_string()).or_insert(0) += 1;
     }
     Some(out)
 }

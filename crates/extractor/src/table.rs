@@ -1,4 +1,39 @@
 //! Typed, column-oriented table model shared by the CSV codec and IQL.
+//!
+//! # Storage contract
+//!
+//! A [`Table`] stores one [`ColumnData`] per column: a typed vector
+//! (`Int`/`Float`/`Str`) plus an optional validity bitmap for nulls, with a
+//! [`ColumnData::Mixed`] fallback when a column holds heterogeneous cell
+//! types. Columns are `Arc`-shared, so cloning a table — or projecting a
+//! subset of its columns into a new table — copies pointers, not data.
+//!
+//! Row access is provided by a view adapter ([`Table::iter_rows`] /
+//! [`RowView`]) that materializes cells on demand; the observable cell
+//! values are identical to the old row-major representation, which keeps
+//! CSV round-trips and `ion-store` content digests byte-stable.
+//!
+//! ```
+//! use extractor::{Table, Value};
+//!
+//! let mut t = Table::new("T", &["a", "b"]);
+//! t.push_row(vec![Value::Int(1), Value::from("x")]);
+//! t.push_row(vec![Value::Null, Value::from("y")]);
+//!
+//! // Column access: typed, nulls tracked by a validity bitmap.
+//! let col = t.column(0).unwrap();
+//! assert_eq!(col.value(0), Value::Int(1));
+//! assert_eq!(col.value(1), Value::Null);
+//! assert_eq!(col.null_count(), 1);
+//!
+//! // Row access: a view that materializes cells on demand.
+//! let first: Vec<Value> = t.iter_rows().next().unwrap().to_vec();
+//! assert_eq!(first, vec![Value::Int(1), Value::from("x")]);
+//!
+//! // Column slices are zero-copy: the Arc is shared, not the data.
+//! let shared = t.column_arc(1).unwrap();
+//! assert_eq!(shared.value(1), Value::from("y"));
+//! ```
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -132,14 +167,369 @@ pub struct Column {
     pub name: String,
 }
 
-/// An in-memory table: header plus rows.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// Validity bitmap: one bit per row, `true` = the row holds a real value,
+/// `false` = null. Trailing bits of the last word are kept zero so the
+/// derived equality is semantic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// A bitmap of `len` bits, all set to `bit`.
+    #[must_use]
+    pub fn filled(len: usize, bit: bool) -> Self {
+        let mut b = Bitmap::default();
+        for _ in 0..len {
+            b.push(bit);
+        }
+        b
+    }
+
+    /// Append one bit.
+    pub fn push(&mut self, bit: bool) {
+        let word = self.len / 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Bit at `i` (`false` when out of range).
+    #[must_use]
+    pub fn get(&self, i: usize) -> bool {
+        i < self.len && self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of bits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of set (valid) bits.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Typed storage for one column.
+///
+/// `Int`/`Float`/`Str` keep a dense typed vector; rows whose validity bit
+/// is unset are null and their slot holds an ignored placeholder. A
+/// validity of `None` means every row is valid. `Mixed` is the fallback
+/// for columns whose cells do not share one type (e.g. an `Int` column
+/// that later receives a `Float` — the distinction is observable because
+/// `Int(1)` and `Float(1.0)` render differently).
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// 64-bit integers.
+    Int {
+        /// Cell payloads (placeholder `0` where invalid).
+        values: Vec<i64>,
+        /// `None` = all rows valid.
+        validity: Option<Bitmap>,
+    },
+    /// 64-bit floats.
+    Float {
+        /// Cell payloads (placeholder `0.0` where invalid).
+        values: Vec<f64>,
+        /// `None` = all rows valid.
+        validity: Option<Bitmap>,
+    },
+    /// Shared strings.
+    Str {
+        /// Cell payloads (placeholder `""` where invalid).
+        values: Vec<Arc<str>>,
+        /// `None` = all rows valid.
+        validity: Option<Bitmap>,
+    },
+    /// Heterogeneous fallback: one boxed [`Value`] per row.
+    Mixed(Vec<Value>),
+}
+
+impl Default for ColumnData {
+    fn default() -> Self {
+        ColumnData::Int {
+            values: Vec::new(),
+            validity: None,
+        }
+    }
+}
+
+impl ColumnData {
+    /// An empty column (untyped until the first non-null push).
+    #[must_use]
+    pub fn empty() -> Self {
+        ColumnData::default()
+    }
+
+    /// Build a column from cell values, inferring the densest
+    /// representation (same promotion rules as repeated [`push`]).
+    ///
+    /// [`push`]: ColumnData::push
+    #[must_use]
+    pub fn from_values<I: IntoIterator<Item = Value>>(values: I) -> Self {
+        let mut c = ColumnData::empty();
+        for v in values {
+            c.push(v);
+        }
+        c
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int { values, .. } => values.len(),
+            ColumnData::Float { values, .. } => values.len(),
+            ColumnData::Str { values, .. } => values.len(),
+            ColumnData::Mixed(values) => values.len(),
+        }
+    }
+
+    /// Whether the column has no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of null cells.
+    #[must_use]
+    pub fn null_count(&self) -> usize {
+        match self {
+            ColumnData::Int { validity, .. }
+            | ColumnData::Float { validity, .. }
+            | ColumnData::Str { validity, .. } => {
+                validity.as_ref().map_or(0, |b| b.len() - b.count_ones())
+            }
+            ColumnData::Mixed(values) => values.iter().filter(|v| v.is_null()).count(),
+        }
+    }
+
+    /// Whether row `i` holds a null.
+    #[must_use]
+    pub fn is_null(&self, i: usize) -> bool {
+        match self {
+            ColumnData::Int { validity, .. }
+            | ColumnData::Float { validity, .. }
+            | ColumnData::Str { validity, .. } => validity.as_ref().is_some_and(|b| !b.get(i)),
+            ColumnData::Mixed(values) => values[i].is_null(),
+        }
+    }
+
+    /// Materialize the cell at row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    #[must_use]
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            ColumnData::Int { values, validity } => {
+                if validity.as_ref().is_some_and(|b| !b.get(i)) {
+                    assert!(i < values.len(), "row {i} out of range");
+                    Value::Null
+                } else {
+                    Value::Int(values[i])
+                }
+            }
+            ColumnData::Float { values, validity } => {
+                if validity.as_ref().is_some_and(|b| !b.get(i)) {
+                    assert!(i < values.len(), "row {i} out of range");
+                    Value::Null
+                } else {
+                    Value::Float(values[i])
+                }
+            }
+            ColumnData::Str { values, validity } => {
+                if validity.as_ref().is_some_and(|b| !b.get(i)) {
+                    assert!(i < values.len(), "row {i} out of range");
+                    Value::Null
+                } else {
+                    Value::Str(values[i].clone())
+                }
+            }
+            ColumnData::Mixed(values) => values[i].clone(),
+        }
+    }
+
+    /// Numeric view of row `i` without materializing a [`Value`].
+    #[must_use]
+    pub fn f64_at(&self, i: usize) -> Option<f64> {
+        match self {
+            ColumnData::Int { values, validity } => {
+                if validity.as_ref().is_some_and(|b| !b.get(i)) {
+                    None
+                } else {
+                    Some(values[i] as f64)
+                }
+            }
+            ColumnData::Float { values, validity } => {
+                if validity.as_ref().is_some_and(|b| !b.get(i)) {
+                    None
+                } else {
+                    Some(values[i])
+                }
+            }
+            ColumnData::Str { .. } => None,
+            ColumnData::Mixed(values) => values[i].as_f64(),
+        }
+    }
+
+    /// Append a cell, promoting the representation when the type of `v`
+    /// does not match (`Mixed` once a column is genuinely heterogeneous).
+    pub fn push(&mut self, v: Value) {
+        match (&mut *self, v) {
+            (ColumnData::Int { values, validity }, Value::Int(i)) => {
+                values.push(i);
+                if let Some(b) = validity {
+                    b.push(true);
+                }
+            }
+            (ColumnData::Float { values, validity }, Value::Float(f)) => {
+                values.push(f);
+                if let Some(b) = validity {
+                    b.push(true);
+                }
+            }
+            (ColumnData::Str { values, validity }, Value::Str(s)) => {
+                values.push(s);
+                if let Some(b) = validity {
+                    b.push(true);
+                }
+            }
+            (ColumnData::Int { values, validity }, Value::Null) => {
+                let b = validity.get_or_insert_with(|| Bitmap::filled(values.len(), true));
+                values.push(0);
+                b.push(false);
+            }
+            (ColumnData::Float { values, validity }, Value::Null) => {
+                let b = validity.get_or_insert_with(|| Bitmap::filled(values.len(), true));
+                values.push(0.0);
+                b.push(false);
+            }
+            (ColumnData::Str { values, validity }, Value::Null) => {
+                let b = validity.get_or_insert_with(|| Bitmap::filled(values.len(), true));
+                values.push(Arc::from(""));
+                b.push(false);
+            }
+            (ColumnData::Mixed(values), v) => values.push(v),
+            (slot, v) => {
+                let old = std::mem::take(slot);
+                *slot = old.promoted(v);
+            }
+        }
+    }
+
+    /// Called on a type clash: if every existing cell is null the column
+    /// adopts the new value's type (the placeholders carried no payload);
+    /// otherwise it degrades to `Mixed`.
+    fn promoted(self, v: Value) -> ColumnData {
+        let n = self.len();
+        if self.null_count() == n {
+            let mut fresh = match &v {
+                Value::Int(_) => ColumnData::Int {
+                    values: Vec::new(),
+                    validity: None,
+                },
+                Value::Float(_) => ColumnData::Float {
+                    values: Vec::new(),
+                    validity: None,
+                },
+                Value::Str(_) => ColumnData::Str {
+                    values: Vec::new(),
+                    validity: None,
+                },
+                Value::Null => unreachable!("null never causes a type clash"),
+            };
+            for _ in 0..n {
+                fresh.push(Value::Null);
+            }
+            fresh.push(v);
+            fresh
+        } else {
+            let mut vals: Vec<Value> = (0..n).map(|i| self.value(i)).collect();
+            vals.push(v);
+            ColumnData::Mixed(vals)
+        }
+    }
+
+    /// Iterate the column's cells as materialized values.
+    pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.value(i))
+    }
+
+    /// New column holding `indices`-selected rows, in order. Keeps the
+    /// typed representation (canonicalizing away an all-true validity).
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of range.
+    #[must_use]
+    pub fn gather(&self, indices: &[u32]) -> ColumnData {
+        fn gathered_validity(validity: Option<&Bitmap>, indices: &[u32]) -> Option<Bitmap> {
+            let b = validity?;
+            if indices.iter().all(|&i| b.get(i as usize)) {
+                return None;
+            }
+            let mut out = Bitmap::default();
+            for &i in indices {
+                out.push(b.get(i as usize));
+            }
+            Some(out)
+        }
+        match self {
+            ColumnData::Int { values, validity } => ColumnData::Int {
+                values: indices.iter().map(|&i| values[i as usize]).collect(),
+                validity: gathered_validity(validity.as_ref(), indices),
+            },
+            ColumnData::Float { values, validity } => ColumnData::Float {
+                values: indices.iter().map(|&i| values[i as usize]).collect(),
+                validity: gathered_validity(validity.as_ref(), indices),
+            },
+            ColumnData::Str { values, validity } => ColumnData::Str {
+                values: indices
+                    .iter()
+                    .map(|&i| values[i as usize].clone())
+                    .collect(),
+                validity: gathered_validity(validity.as_ref(), indices),
+            },
+            ColumnData::Mixed(values) => {
+                ColumnData::from_values(indices.iter().map(|&i| values[i as usize].clone()))
+            }
+        }
+    }
+}
+
+impl PartialEq for ColumnData {
+    /// Semantic equality: same cell values, regardless of representation
+    /// (an all-`Int` `Mixed` column equals the dense `Int` column).
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && (0..self.len()).all(|i| self.value(i) == other.value(i))
+    }
+}
+
+/// An in-memory table: named, typed columns of equal length.
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Table name (e.g. `POSIX`); becomes the CSV file stem.
     pub name: String,
     /// Columns, in order.
     pub columns: Vec<Column>,
-    rows: Vec<Vec<Value>>,
+    cols: Vec<Arc<ColumnData>>,
+    nrows: usize,
 }
 
 impl Table {
@@ -163,7 +553,43 @@ impl Table {
                     name: (*c).to_owned(),
                 })
                 .collect(),
-            rows: Vec::new(),
+            cols: columns
+                .iter()
+                .map(|_| Arc::new(ColumnData::empty()))
+                .collect(),
+            nrows: 0,
+        }
+    }
+
+    /// Assemble a table directly from column data (zero-copy: the `Arc`s
+    /// are stored as-is). This is the constructor the vectorized IQL
+    /// executor uses to materialize results.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate column names or unequal column lengths.
+    #[must_use]
+    pub fn from_columns(name: &str, columns: Vec<(String, Arc<ColumnData>)>) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        for (c, _) in &columns {
+            assert!(seen.insert(c.as_str()), "duplicate column name {c}");
+        }
+        let nrows = columns.first().map_or(0, |(_, d)| d.len());
+        for (c, d) in &columns {
+            assert_eq!(
+                d.len(),
+                nrows,
+                "column {c} length {} != {} in table {name}",
+                d.len(),
+                nrows
+            );
+        }
+        let (names, cols): (Vec<_>, Vec<_>) = columns.into_iter().unzip();
+        Table {
+            name: name.to_owned(),
+            columns: names.into_iter().map(|name| Column { name }).collect(),
+            cols,
+            nrows,
         }
     }
 
@@ -181,19 +607,22 @@ impl Table {
             self.columns.len(),
             self.name
         );
-        self.rows.push(row);
+        for (col, v) in self.cols.iter_mut().zip(row) {
+            Arc::make_mut(col).push(v);
+        }
+        self.nrows += 1;
     }
 
     /// Number of rows.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.nrows
     }
 
     /// Whether the table has no rows.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.nrows == 0
     }
 
     /// Index of a column by name.
@@ -202,23 +631,44 @@ impl Table {
         self.columns.iter().position(|c| c.name == name)
     }
 
-    /// Borrow all rows.
+    /// Typed storage of column `idx`.
     #[must_use]
-    pub fn rows(&self) -> &[Vec<Value>] {
-        &self.rows
+    pub fn column(&self, idx: usize) -> Option<&ColumnData> {
+        self.cols.get(idx).map(Arc::as_ref)
     }
 
-    /// Cell at `(row, column name)`.
+    /// Zero-copy shared handle to column `idx` (pointer clone, no data
+    /// copy).
     #[must_use]
-    pub fn cell(&self, row: usize, column: &str) -> Option<&Value> {
+    pub fn column_arc(&self, idx: usize) -> Option<Arc<ColumnData>> {
+        self.cols.get(idx).cloned()
+    }
+
+    /// Materialize the cell at `(row, column idx)`.
+    #[must_use]
+    pub fn value(&self, row: usize, col: usize) -> Option<Value> {
+        if row >= self.nrows {
+            return None;
+        }
+        self.cols.get(col).map(|c| c.value(row))
+    }
+
+    /// Materialize the cell at `(row, column name)`.
+    #[must_use]
+    pub fn cell(&self, row: usize, column: &str) -> Option<Value> {
         let idx = self.column_index(column)?;
-        self.rows.get(row).and_then(|r| r.get(idx))
+        self.value(row, idx)
+    }
+
+    /// Iterate rows as on-demand views (no row materialization).
+    pub fn iter_rows(&self) -> impl Iterator<Item = RowView<'_>> {
+        (0..self.nrows).map(move |row| RowView { table: self, row })
     }
 
     /// Iterate one column's values.
-    pub fn column_values<'a>(&'a self, name: &str) -> Option<impl Iterator<Item = &'a Value>> {
+    pub fn column_values<'a>(&'a self, name: &str) -> Option<impl Iterator<Item = Value> + 'a> {
         let idx = self.column_index(name)?;
-        Some(self.rows.iter().map(move |r| &r[idx]))
+        Some(self.cols[idx].iter())
     }
 
     /// Column names as a `Vec<&str>`.
@@ -228,8 +678,76 @@ impl Table {
     }
 
     /// Keep only rows satisfying the predicate (used by tests and IQL).
-    pub fn retain_rows<F: FnMut(&[Value]) -> bool>(&mut self, mut f: F) {
-        self.rows.retain(|r| f(r));
+    pub fn retain_rows<F: FnMut(RowView<'_>) -> bool>(&mut self, mut f: F) {
+        let kept: Vec<u32> = (0..self.nrows)
+            .filter(|&row| f(RowView { table: self, row }))
+            .map(|row| u32::try_from(row).expect("row index fits u32"))
+            .collect();
+        self.cols = self
+            .cols
+            .iter()
+            .map(|c| Arc::new(c.gather(&kept)))
+            .collect();
+        self.nrows = kept.len();
+    }
+}
+
+impl PartialEq for Table {
+    /// Semantic equality: same name, headers, and cell values, regardless
+    /// of the physical column representation.
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.columns == other.columns
+            && self.nrows == other.nrows
+            && self.cols.iter().zip(&other.cols).all(|(a, b)| a == b)
+    }
+}
+
+/// On-demand view of one table row; cells materialize only when read.
+#[derive(Clone, Copy)]
+pub struct RowView<'a> {
+    table: &'a Table,
+    row: usize,
+}
+
+impl RowView<'_> {
+    /// Cell at column `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is out of range (like slice indexing did).
+    #[must_use]
+    pub fn get(&self, idx: usize) -> Value {
+        self.table.cols[idx].value(self.row)
+    }
+
+    /// Number of cells (== column count).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.table.cols.len()
+    }
+
+    /// Whether the row has no cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.table.cols.is_empty()
+    }
+
+    /// Row ordinal within the table.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.row
+    }
+
+    /// Iterate the row's cells.
+    pub fn values(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Materialize the row as a vector.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<Value> {
+        self.values().collect()
     }
 }
 
@@ -282,14 +800,14 @@ mod tests {
         t.push_row(vec![Value::Int(2), Value::Str("y".into())]);
         assert_eq!(t.len(), 2);
         assert_eq!(t.column_index("b"), Some(1));
-        assert_eq!(t.cell(0, "a"), Some(&Value::Int(1)));
-        assert_eq!(t.cell(1, "b"), Some(&Value::Str("y".into())));
+        assert_eq!(t.cell(0, "a"), Some(Value::Int(1)));
+        assert_eq!(t.cell(1, "b"), Some(Value::Str("y".into())));
         assert_eq!(t.cell(5, "a"), None);
         assert_eq!(t.cell(0, "nope"), None);
         let col: Vec<i64> = t
             .column_values("a")
             .unwrap()
-            .filter_map(Value::as_i64)
+            .filter_map(|v| v.as_i64())
             .collect();
         assert_eq!(col, vec![1, 2]);
     }
@@ -313,7 +831,88 @@ mod tests {
         for i in 0..10 {
             t.push_row(vec![Value::Int(i)]);
         }
-        t.retain_rows(|r| r[0].as_i64().unwrap() % 2 == 0);
+        t.retain_rows(|r| r.get(0).as_i64().unwrap() % 2 == 0);
         assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn typed_columns_promote_and_track_nulls() {
+        let mut c = ColumnData::empty();
+        c.push(Value::Int(1));
+        c.push(Value::Null);
+        c.push(Value::Int(3));
+        assert!(matches!(c, ColumnData::Int { .. }));
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.value(1), Value::Null);
+        assert_eq!(c.f64_at(2), Some(3.0));
+        assert_eq!(c.f64_at(1), None);
+
+        // A float lands in an int column -> Mixed (Display differs: 1 vs 1.0).
+        c.push(Value::Float(2.5));
+        assert!(matches!(c, ColumnData::Mixed(_)));
+        assert_eq!(c.value(0), Value::Int(1));
+        assert_eq!(c.value(3), Value::Float(2.5));
+    }
+
+    #[test]
+    fn all_null_column_adopts_first_real_type() {
+        let mut c = ColumnData::empty();
+        c.push(Value::Null);
+        c.push(Value::Null);
+        c.push(Value::Str("w".into()));
+        assert!(matches!(c, ColumnData::Str { .. }));
+        assert_eq!(c.value(0), Value::Null);
+        assert_eq!(c.value(2), Value::Str("w".into()));
+    }
+
+    #[test]
+    fn gather_keeps_values_and_canonicalizes_validity() {
+        let c = ColumnData::from_values(vec![
+            Value::Int(0),
+            Value::Null,
+            Value::Int(2),
+            Value::Int(3),
+        ]);
+        let no_nulls = c.gather(&[0, 2, 3]);
+        assert!(matches!(no_nulls, ColumnData::Int { validity: None, .. }));
+        let with_null = c.gather(&[1, 3]);
+        assert_eq!(with_null.value(0), Value::Null);
+        assert_eq!(with_null.value(1), Value::Int(3));
+        assert_eq!(with_null.null_count(), 1);
+    }
+
+    #[test]
+    fn semantic_equality_ignores_representation() {
+        let dense = ColumnData::from_values(vec![Value::Int(1), Value::Int(2)]);
+        let mixed = ColumnData::Mixed(vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(dense, mixed);
+    }
+
+    #[test]
+    fn column_slices_are_shared_not_copied() {
+        let mut t = Table::new("T", &["a"]);
+        for i in 0..4 {
+            t.push_row(vec![Value::Int(i)]);
+        }
+        let shared = t.column_arc(0).unwrap();
+        let t2 = t.clone();
+        assert!(Arc::ptr_eq(&shared, &t2.column_arc(0).unwrap()));
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn row_views_materialize_on_demand() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.push_row(vec![Value::Int(1), Value::Null]);
+        t.push_row(vec![Value::Int(2), Value::Float(0.5)]);
+        let rows: Vec<Vec<Value>> = t.iter_rows().map(|r| r.to_vec()).collect();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Int(1), Value::Null],
+                vec![Value::Int(2), Value::Float(0.5)],
+            ]
+        );
+        assert_eq!(t.iter_rows().nth(1).unwrap().index(), 1);
     }
 }

@@ -52,10 +52,10 @@ proptest! {
         let back = from_csv("T", &text).unwrap();
         prop_assert_eq!(back.len(), table.len());
         prop_assert_eq!(back.columns.len(), table.columns.len());
-        for (orig_row, new_row) in table.rows().iter().zip(back.rows()) {
-            for (a, b) in orig_row.iter().zip(new_row) {
+        for (orig_row, new_row) in table.iter_rows().zip(back.iter_rows()) {
+            for (a, b) in orig_row.values().zip(new_row.values()) {
                 prop_assert!(
-                    csv_equivalent(a, b),
+                    csv_equivalent(&a, &b),
                     "value changed across round trip: {:?} -> {:?}",
                     a,
                     b

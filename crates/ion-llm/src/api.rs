@@ -109,6 +109,12 @@ pub struct ToolOutput {
     pub output: String,
     /// Whether the tool failed.
     pub is_error: bool,
+    /// Rendered execution plan for code-interpreter calls (EXPLAIN view).
+    ///
+    /// Kept out of [`ToolOutput::output`] on purpose: the thread content
+    /// is what the model parses for `name = value` result lines, and plan
+    /// text would pollute it. Transcript renderers read this side-channel.
+    pub plan: Option<String>,
 }
 
 /// The model's next step in a run.
@@ -147,6 +153,37 @@ pub struct Completion {
     pub model_id: String,
     /// Number of model steps taken (tool calls + final).
     pub steps: usize,
+}
+
+impl Completion {
+    /// Render the full run as a human-readable transcript: each tool call
+    /// with its program, optimized execution plan, and output, then the
+    /// final assistant message.
+    #[must_use]
+    pub fn render_transcript(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, t) in self.tool_outputs.iter().enumerate() {
+            let _ = writeln!(out, "── tool call {} ({})", i + 1, t.call.tool);
+            for line in t.call.input.trim_end().lines() {
+                let _ = writeln!(out, "  | {line}");
+            }
+            if let Some(plan) = &t.plan {
+                let _ = writeln!(out, "  plan:");
+                for line in plan.trim_end().lines() {
+                    let _ = writeln!(out, "    {line}");
+                }
+            }
+            let _ = writeln!(out, "  {}:", if t.is_error { "error" } else { "output" });
+            for line in t.output.trim_end().lines() {
+                let _ = writeln!(out, "    {line}");
+            }
+        }
+        let _ = writeln!(out, "── final ({} steps, {})", self.steps, self.model_id);
+        out.push_str(self.text.trim_end());
+        out.push('\n');
+        out
+    }
 }
 
 /// Errors from the runtime itself.
@@ -253,9 +290,9 @@ impl<'a> Runtime<'a> {
                     ion_obs::counter("llm.tool_calls", 1);
                     let _tool_span = ion_obs::span!("llm.tool_call");
                     let output = execute_code(&call.input, self.tables);
-                    let (text, is_error) = match output {
-                        Ok(t) => (t, false),
-                        Err(e) => (format!("ERROR: {e}"), true),
+                    let (text, plan, is_error) = match output {
+                        Ok((t, plan)) => (t, plan, false),
+                        Err(e) => (format!("ERROR: {e}"), None, true),
                     };
                     ion_obs::event!("llm.tool_call", tool = call.tool.as_str(), error = is_error,);
                     thread.push(Message {
@@ -266,6 +303,7 @@ impl<'a> Runtime<'a> {
                         call,
                         output: text,
                         is_error,
+                        plan,
                     });
                 }
             }
@@ -279,10 +317,30 @@ impl<'a> Runtime<'a> {
 
 /// Execute one IQL program against the tables, rendering emitted scalars
 /// as `name = value` lines (what the model "sees" from the interpreter).
-fn execute_code(src: &str, tables: &TableSet) -> Result<String, IqlError> {
+///
+/// Returns the thread-visible text plus the rendered execution plan. An
+/// `EXPLAIN`-prefixed program is planned but not executed: the thread
+/// sees the one-line plan summary (safe against result-line parsing) and
+/// the full rendering rides the [`ToolOutput::plan`] side-channel.
+fn execute_code(src: &str, tables: &TableSet) -> Result<(String, Option<String>), IqlError> {
     let program = parse_program(src)?;
     let interp = Interpreter::new(tables);
-    let out = interp.run(&program)?;
+    if program.explain {
+        let plan = interp.plan(&program);
+        ion_obs::event!(
+            "iql.plan",
+            summary = plan.summary().as_str(),
+            explain = true,
+        );
+        return Ok((format!("{}\n", plan.summary()), Some(plan.render(tables))));
+    }
+    let (result, plan) = interp.run_with_plan(&program);
+    ion_obs::event!(
+        "iql.plan",
+        summary = plan.summary().as_str(),
+        explain = false,
+    );
+    let out = result?;
     let mut text = String::new();
     for (name, value) in &out.emitted {
         text.push_str(name);
@@ -299,15 +357,15 @@ fn execute_code(src: &str, tables: &TableSet) -> Result<String, IqlError> {
     if text.is_empty() {
         text.push_str("(no output)\n");
     }
-    Ok(text)
+    Ok((text, Some(plan.render(tables))))
 }
 
 fn render_table_preview(t: &extractor::Table, max_rows: usize) -> String {
     let mut out = String::new();
     out.push_str(&t.column_names().join(","));
     out.push('\n');
-    for row in t.rows().iter().take(max_rows) {
-        let cells: Vec<String> = row.iter().map(ToString::to_string).collect();
+    for row in t.iter_rows().take(max_rows) {
+        let cells: Vec<String> = row.values().map(|v| v.to_string()).collect();
         out.push_str(&cells.join(","));
         out.push('\n');
     }
@@ -421,9 +479,42 @@ mod tests {
 
     #[test]
     fn table_preview_rendered_when_no_scalars() {
-        let out = execute_code("LOAD DXT\nSORT length DESC\n", &tables()).unwrap();
+        let (out, plan) = execute_code("LOAD DXT\nSORT length DESC\n", &tables()).unwrap();
         assert!(out.starts_with("rank,length"));
         assert!(out.contains("1,300"));
+        assert!(plan.unwrap().contains("scan DXT"));
+    }
+
+    #[test]
+    fn explain_programs_plan_without_executing() {
+        let (out, plan) = execute_code(
+            "EXPLAIN\nLOAD DXT\nSORT length DESC\nFILTER rank == 0\n",
+            &tables(),
+        )
+        .unwrap();
+        let plan = plan.unwrap();
+        // Thread text is the compact summary; the full rendering (with
+        // schemas and optimizer stats) stays on the side-channel.
+        assert!(out.contains("scan DXT"), "summary line: {out}");
+        assert!(!out.contains("cols=["), "summary must stay compact: {out}");
+        assert!(plan.contains("cols=["), "full plan: {plan}");
+        assert!(plan.contains("optimizer:"), "full plan: {plan}");
+    }
+
+    #[test]
+    fn transcript_includes_plan_but_thread_does_not() {
+        let model = ScriptedModel {
+            program: "LOAD DXT\nAGG total = sum(length)\nEMIT total\n".into(),
+        };
+        let tables = tables();
+        let completion = Runtime::new(&model, &tables).run(Thread::new()).unwrap();
+        let transcript = completion.render_transcript();
+        assert!(transcript.contains("tool call 1"));
+        assert!(transcript.contains("plan:"));
+        assert!(transcript.contains("scan DXT"));
+        assert!(transcript.contains("total = 400"));
+        // The plan never leaks into the model-visible tool message.
+        assert!(!completion.tool_outputs[0].output.contains("plan:"));
     }
 
     #[test]

@@ -164,6 +164,9 @@ pub enum Stmt {
 pub struct Program {
     /// Statements in execution order.
     pub statements: Vec<Stmt>,
+    /// `EXPLAIN` prefix present: render the optimized plan instead of
+    /// (or alongside) executing the program.
+    pub explain: bool,
 }
 
 impl Program {
@@ -222,6 +225,7 @@ mod tests {
                 }]),
                 Stmt::Emit(vec!["n".into()]),
             ],
+            ..Program::default()
         };
         assert_eq!(p.emitted_names(), vec!["n"]);
         assert_eq!(p.loaded_tables(), vec!["POSIX"]);

@@ -1,9 +1,18 @@
-//! IQL evaluator: executes programs against extracted tables.
+//! IQL evaluation facade: lowers a program to a logical plan, optimizes
+//! it, and runs the vectorized columnar executor.
+//!
+//! The pipeline is `lower → optimize → execute` (see [`super::plan`] and
+//! `super::exec`). When the optimizer reordered row-visit order (a filter
+//! pushed below a sort) and execution errors, the unoptimized 1:1 plan is
+//! re-executed so the reported error is bit-for-bit the legacy one — the
+//! transforms preserve *whether* a program errors, but a reordered scan
+//! can surface a different failing row first.
 
-use super::ast::{BinaryOp, Expr, Program, Stmt, UnaryOp};
+use super::ast::Program;
+use super::exec;
+use super::plan::{lower, optimize, Plan};
 use super::IqlError;
 use extractor::{Table, TableSet, Value};
-use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 /// Result of running one IQL program.
@@ -37,20 +46,11 @@ impl RunOutput {
     }
 }
 
-const AGG_FNS: [&str; 8] = [
-    "sum", "count", "mean", "min", "max", "std", "distinct", "pct",
-];
-
 /// The IQL interpreter. Holds the attached tables; [`Interpreter::run`]
 /// executes one program.
 #[derive(Debug)]
 pub struct Interpreter<'a> {
     tables: &'a TableSet,
-}
-
-#[derive(Debug, Default)]
-struct Env {
-    scalars: BTreeMap<String, Value>,
 }
 
 impl<'a> Interpreter<'a> {
@@ -67,586 +67,60 @@ impl<'a> Interpreter<'a> {
     /// Returns an [`IqlError`] for unknown tables/columns/variables, bad
     /// function calls, or statements used before `LOAD`.
     pub fn run(&self, program: &Program) -> Result<RunOutput, IqlError> {
+        self.run_with_plan(program).0
+    }
+
+    /// Execute a program and also return the optimized plan it ran (for
+    /// transcript/EXPLAIN surfaces that want both without re-planning).
+    pub fn run_with_plan(&self, program: &Program) -> (Result<RunOutput, IqlError>, Plan) {
+        let plan = self.plan(program);
         if !ion_obs::enabled() {
-            return self.run_inner(program);
+            return (self.execute(&plan, program), plan);
         }
         let start = std::time::Instant::now();
-        let result = self.run_inner(program);
+        let result = self.execute(&plan, program);
         let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         ion_obs::observe("iql.query_ns", ns);
         ion_obs::counter("iql.queries_evaluated", 1);
         if let Ok(out) = &result {
             ion_obs::counter("iql.rows_scanned", out.rows_scanned as u64);
         }
-        result
+        (result, plan)
     }
 
-    fn run_inner(&self, program: &Program) -> Result<RunOutput, IqlError> {
-        // The working table starts as a borrow of the attached table;
-        // transforming statements materialize an owned table. This keeps
-        // `LOAD big_table` + aggregate-only programs zero-copy.
-        let mut table: Option<Cow<'_, Table>> = None;
-        let mut env = Env::default();
-        let mut out = RunOutput::default();
-        for stmt in &program.statements {
-            match stmt {
-                Stmt::Load(name) => {
-                    let t = self.tables.get(name).ok_or_else(|| IqlError::NoSuchTable {
-                        table: name.clone(),
-                    })?;
-                    out.rows_scanned += t.len();
-                    table = Some(Cow::Borrowed(t));
-                }
-                Stmt::Filter(expr) => {
-                    let nt = {
-                        let t: &Table = table.as_deref().ok_or(IqlError::NoTableLoaded)?;
-                        out.rows_scanned += t.len();
-                        let cols = t.column_names_owned();
-                        let name_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
-                        let mut nt = Table::new(&t.name, &name_refs);
-                        for row in t.rows() {
-                            if eval_row_expr(expr, &cols, row, &env)?.truthy() {
-                                nt.push_row(row.clone());
-                            }
-                        }
-                        nt
-                    };
-                    table = Some(Cow::Owned(nt));
-                }
-                Stmt::Derive(name, expr) => {
-                    let nt = {
-                        let t: &Table = table.as_deref().ok_or(IqlError::NoTableLoaded)?;
-                        out.rows_scanned += t.len();
-                        let cols = t.column_names_owned();
-                        let mut names: Vec<&str> = cols.iter().map(String::as_str).collect();
-                        names.push(name);
-                        let mut nt = Table::new(&t.name, &names);
-                        for row in t.rows() {
-                            let v = eval_row_expr(expr, &cols, row, &env)?;
-                            let mut nr = row.clone();
-                            nr.push(v);
-                            nt.push_row(nr);
-                        }
-                        nt
-                    };
-                    table = Some(Cow::Owned(nt));
-                }
-                Stmt::Select(names) => {
-                    let nt = {
-                        let t: &Table = table.as_deref().ok_or(IqlError::NoTableLoaded)?;
-                        let idxs: Vec<usize> = names
-                            .iter()
-                            .map(|n| {
-                                t.column_index(n)
-                                    .ok_or_else(|| IqlError::NoSuchColumn { column: n.clone() })
-                            })
-                            .collect::<Result<_, _>>()?;
-                        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
-                        let mut nt = Table::new(&t.name, &name_refs);
-                        for row in t.rows() {
-                            nt.push_row(idxs.iter().map(|&i| row[i].clone()).collect());
-                        }
-                        nt
-                    };
-                    table = Some(Cow::Owned(nt));
-                }
-                Stmt::Sort { column, descending } => {
-                    let nt = {
-                        let t: &Table = table.as_deref().ok_or(IqlError::NoTableLoaded)?;
-                        let idx = t
-                            .column_index(column)
-                            .ok_or_else(|| IqlError::NoSuchColumn {
-                                column: column.clone(),
-                            })?;
-                        let names = t.column_names_owned();
-                        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
-                        let mut rows: Vec<Vec<Value>> = t.rows().to_vec();
-                        rows.sort_by(|a, b| compare_values(&a[idx], &b[idx]));
-                        if *descending {
-                            rows.reverse();
-                        }
-                        let mut nt = Table::new(&t.name, &name_refs);
-                        for r in rows {
-                            nt.push_row(r);
-                        }
-                        nt
-                    };
-                    table = Some(Cow::Owned(nt));
-                }
-                Stmt::Limit(n) => {
-                    let nt = {
-                        let t: &Table = table.as_deref().ok_or(IqlError::NoTableLoaded)?;
-                        let names = t.column_names_owned();
-                        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
-                        let mut nt = Table::new(&t.name, &name_refs);
-                        for r in t.rows().iter().take(*n) {
-                            nt.push_row(r.clone());
-                        }
-                        nt
-                    };
-                    table = Some(Cow::Owned(nt));
-                }
-                Stmt::Join {
-                    table: right_name,
-                    on,
-                } => {
-                    let nt = {
-                        let left: &Table = table.as_deref().ok_or(IqlError::NoTableLoaded)?;
-                        let right =
-                            self.tables
-                                .get(right_name)
-                                .ok_or_else(|| IqlError::NoSuchTable {
-                                    table: right_name.clone(),
-                                })?;
-                        out.rows_scanned += left.len() + right.len();
-                        let li = left
-                            .column_index(on)
-                            .ok_or_else(|| IqlError::NoSuchColumn { column: on.clone() })?;
-                        let ri = right
-                            .column_index(on)
-                            .ok_or_else(|| IqlError::NoSuchColumn { column: on.clone() })?;
-                        // Right-side columns that collide with left names are
-                        // dropped (left wins), including the join column itself.
-                        let left_names = left.column_names_owned();
-                        let kept_right: Vec<usize> = right
-                            .columns
-                            .iter()
-                            .enumerate()
-                            .filter(|(i, c)| *i != ri && !left_names.contains(&c.name))
-                            .map(|(i, _)| i)
-                            .collect();
-                        let mut names: Vec<&str> = left_names.iter().map(String::as_str).collect();
-                        for &i in &kept_right {
-                            names.push(&right.columns[i].name);
-                        }
-                        let mut nt = Table::new(&left.name, &names);
-                        // Hash join on the stringified key.
-                        let mut index: BTreeMap<String, Vec<&Vec<Value>>> = BTreeMap::new();
-                        for row in right.rows() {
-                            index.entry(row[ri].to_string()).or_default().push(row);
-                        }
-                        for lrow in left.rows() {
-                            if let Some(matches) = index.get(&lrow[li].to_string()) {
-                                for rrow in matches {
-                                    let mut row = lrow.clone();
-                                    for &i in &kept_right {
-                                        row.push(rrow[i].clone());
-                                    }
-                                    nt.push_row(row);
-                                }
-                            }
-                        }
-                        nt
-                    };
-                    table = Some(Cow::Owned(nt));
-                }
-                Stmt::Group { keys, aggs } => {
-                    let nt = {
-                        let t: &Table = table.as_deref().ok_or(IqlError::NoTableLoaded)?;
-                        out.rows_scanned += t.len();
-                        let key_idxs: Vec<usize> = keys
-                            .iter()
-                            .map(|k| {
-                                t.column_index(k)
-                                    .ok_or_else(|| IqlError::NoSuchColumn { column: k.clone() })
-                            })
-                            .collect::<Result<_, _>>()?;
-                        let cols = t.column_names_owned();
-                        // Group rows by rendered key tuple; BTreeMap over the
-                        // tuple keeps output order deterministic.
-                        let mut groups: BTreeMap<Vec<String>, Vec<&Vec<Value>>> = BTreeMap::new();
-                        for row in t.rows() {
-                            let key: Vec<String> =
-                                key_idxs.iter().map(|&i| row[i].to_string()).collect();
-                            groups.entry(key).or_default().push(row);
-                        }
-                        let mut names: Vec<&str> = keys.iter().map(String::as_str).collect();
-                        for a in aggs {
-                            names.push(&a.name);
-                        }
-                        let mut nt = Table::new(&t.name, &names);
-                        for rows in groups.values() {
-                            let mut new_row: Vec<Value> =
-                                key_idxs.iter().map(|&i| rows[0][i].clone()).collect();
-                            for a in aggs {
-                                new_row.push(eval_agg_expr(&a.expr, &cols, rows, &env)?);
-                            }
-                            nt.push_row(new_row);
-                        }
-                        nt
-                    };
-                    table = Some(Cow::Owned(nt));
-                }
-                Stmt::Agg(aggs) => {
-                    let t: &Table = table.as_deref().ok_or(IqlError::NoTableLoaded)?;
-                    out.rows_scanned += t.len();
-                    let cols = t.column_names_owned();
-                    let rows: Vec<&Vec<Value>> = t.rows().iter().collect();
-                    for a in aggs {
-                        let v = eval_agg_expr(&a.expr, &cols, &rows, &env)?;
-                        env.scalars.insert(a.name.clone(), v);
-                    }
-                }
-                Stmt::Let(name, expr) => {
-                    let v = eval_scalar_expr(expr, &env)?;
-                    env.scalars.insert(name.clone(), v);
-                }
-                Stmt::Emit(names) => {
-                    for n in names {
-                        let v = env
-                            .scalars
-                            .get(n)
-                            .cloned()
-                            .ok_or_else(|| IqlError::NoSuchVariable { name: n.clone() })?;
-                        out.emitted.push((n.clone(), v));
-                    }
-                }
+    fn execute(&self, plan: &Plan, program: &Program) -> Result<RunOutput, IqlError> {
+        match exec::execute(plan, self.tables) {
+            Err(_) if plan.reordered => {
+                // Re-run without optimizations: same outcome kind, but the
+                // original row-visit order decides which error surfaces.
+                exec::execute(&lower(program), self.tables)
             }
-        }
-        // Materialize the final table only when the program produced one it
-        // transformed; a bare borrowed table is returned by clone (rare and
-        // only for preview-style programs).
-        out.table = table.map(Cow::into_owned);
-        Ok(out)
-    }
-}
-
-/// Evaluate a standalone expression against a scalar environment (used by
-/// the expert model for rule conditions).
-///
-/// # Errors
-///
-/// Returns [`IqlError::NoSuchVariable`] for unknown names or a type error.
-pub fn eval_with_scalars(
-    expr: &Expr,
-    scalars: &BTreeMap<String, Value>,
-) -> Result<Value, IqlError> {
-    let env = Env {
-        scalars: scalars.clone(),
-    };
-    eval_scalar_expr(expr, &env)
-}
-
-trait ColumnNamesOwned {
-    fn column_names_owned(&self) -> Vec<String>;
-}
-
-impl ColumnNamesOwned for Table {
-    fn column_names_owned(&self) -> Vec<String> {
-        self.columns.iter().map(|c| c.name.clone()).collect()
-    }
-}
-
-fn compare_values(a: &Value, b: &Value) -> std::cmp::Ordering {
-    use std::cmp::Ordering;
-    match (a.as_f64(), b.as_f64()) {
-        (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
-        _ => a.to_string().cmp(&b.to_string()),
-    }
-}
-
-fn num(v: &Value, what: &str) -> Result<f64, IqlError> {
-    v.as_f64().ok_or_else(|| IqlError::Type {
-        message: format!("{what} is not numeric (got {v:?})"),
-    })
-}
-
-fn binary(op: BinaryOp, l: Value, r: Value) -> Result<Value, IqlError> {
-    use BinaryOp::*;
-    Ok(match op {
-        And => Value::Int(i64::from(l.truthy() && r.truthy())),
-        Or => Value::Int(i64::from(l.truthy() || r.truthy())),
-        Eq | Ne => {
-            let equal = match (&l, &r) {
-                (Value::Str(a), Value::Str(b)) => a == b,
-                _ => match (l.as_f64(), r.as_f64()) {
-                    (Some(a), Some(b)) => a == b,
-                    _ => l.to_string() == r.to_string(),
-                },
-            };
-            Value::Int(i64::from(if op == Eq { equal } else { !equal }))
-        }
-        Lt | Le | Gt | Ge => {
-            let ord = compare_values(&l, &r);
-            let res = match op {
-                Lt => ord == std::cmp::Ordering::Less,
-                Le => ord != std::cmp::Ordering::Greater,
-                Gt => ord == std::cmp::Ordering::Greater,
-                Ge => ord != std::cmp::Ordering::Less,
-                _ => unreachable!(),
-            };
-            Value::Int(i64::from(res))
-        }
-        Add | Sub | Mul | Div | Rem => {
-            let a = num(&l, "left operand")?;
-            let b = num(&r, "right operand")?;
-            let v = match op {
-                Add => a + b,
-                Sub => a - b,
-                Mul => a * b,
-                // Division by zero yields 0 rather than NaN: diagnosis
-                // ratios over empty populations should read as "0%", not
-                // poison every downstream conclusion.
-                Div => {
-                    if b == 0.0 {
-                        0.0
-                    } else {
-                        a / b
-                    }
-                }
-                Rem => {
-                    if b == 0.0 {
-                        0.0
-                    } else {
-                        a % b
-                    }
-                }
-                _ => unreachable!(),
-            };
-            if v.fract() == 0.0
-                && v.abs() < 9e15
-                && matches!((l, r), (Value::Int(_), Value::Int(_)))
-            {
-                Value::Int(v as i64)
-            } else {
-                Value::Float(v)
-            }
-        }
-    })
-}
-
-fn scalar_call(name: &str, args: &[Value]) -> Result<Value, IqlError> {
-    let bad = |message: &str| IqlError::BadCall {
-        name: name.to_owned(),
-        message: message.to_owned(),
-    };
-    match (name, args.len()) {
-        ("abs", 1) => Ok(Value::Float(num(&args[0], "abs arg")?.abs())),
-        ("sqrt", 1) => Ok(Value::Float(num(&args[0], "sqrt arg")?.max(0.0).sqrt())),
-        ("floor", 1) => Ok(Value::Float(num(&args[0], "floor arg")?.floor())),
-        ("ceil", 1) => Ok(Value::Float(num(&args[0], "ceil arg")?.ceil())),
-        ("round", 1) => Ok(Value::Float(num(&args[0], "round arg")?.round())),
-        ("min", 2) => Ok(Value::Float(
-            num(&args[0], "min arg")?.min(num(&args[1], "min arg")?),
-        )),
-        ("max", 2) => Ok(Value::Float(
-            num(&args[0], "max arg")?.max(num(&args[1], "max arg")?),
-        )),
-        ("if", 3) => Ok(if args[0].truthy() {
-            args[1].clone()
-        } else {
-            args[2].clone()
-        }),
-        ("contains", 2) => match (&args[0], &args[1]) {
-            (Value::Str(h), Value::Str(n)) => Ok(Value::Int(i64::from(h.contains(&**n)))),
-            _ => Err(bad("contains expects two strings")),
-        },
-        ("min" | "max", n) => Err(bad(&format!("expected 2 args, got {n}"))),
-        _ => Err(bad("unknown function in this context")),
-    }
-}
-
-fn eval_row_expr(
-    expr: &Expr,
-    cols: &[String],
-    row: &[Value],
-    env: &Env,
-) -> Result<Value, IqlError> {
-    match expr {
-        Expr::Number(n) => Ok(Value::Float(*n)),
-        Expr::Str(s) => Ok(Value::Str(s.as_str().into())),
-        Expr::Ident(name) => {
-            if let Some(i) = cols.iter().position(|c| c == name) {
-                Ok(row[i].clone())
-            } else if let Some(v) = env.scalars.get(name) {
-                Ok(v.clone())
-            } else {
-                Err(IqlError::NoSuchColumn {
-                    column: name.clone(),
-                })
-            }
-        }
-        Expr::Unary(op, inner) => {
-            let v = eval_row_expr(inner, cols, row, env)?;
-            match op {
-                UnaryOp::Neg => Ok(Value::Float(-num(&v, "negation operand")?)),
-                UnaryOp::Not => Ok(Value::Int(i64::from(!v.truthy()))),
-            }
-        }
-        Expr::Binary(l, op, r) => {
-            let lv = eval_row_expr(l, cols, row, env)?;
-            let rv = eval_row_expr(r, cols, row, env)?;
-            binary(*op, lv, rv)
-        }
-        Expr::Call(name, args) => {
-            let vals: Vec<Value> = args
-                .iter()
-                .map(|a| eval_row_expr(a, cols, row, env))
-                .collect::<Result<_, _>>()?;
-            scalar_call(name, &vals)
+            result => result,
         }
     }
-}
 
-fn eval_scalar_expr(expr: &Expr, env: &Env) -> Result<Value, IqlError> {
-    match expr {
-        Expr::Number(n) => Ok(Value::Float(*n)),
-        Expr::Str(s) => Ok(Value::Str(s.as_str().into())),
-        Expr::Ident(name) => env
-            .scalars
-            .get(name)
-            .cloned()
-            .ok_or_else(|| IqlError::NoSuchVariable { name: name.clone() }),
-        Expr::Unary(op, inner) => {
-            let v = eval_scalar_expr(inner, env)?;
-            match op {
-                UnaryOp::Neg => Ok(Value::Float(-num(&v, "negation operand")?)),
-                UnaryOp::Not => Ok(Value::Int(i64::from(!v.truthy()))),
-            }
+    /// Lower and optimize a program into its execution [`Plan`].
+    #[must_use]
+    pub fn plan(&self, program: &Program) -> Plan {
+        let plan = optimize(lower(program), self.tables);
+        if ion_obs::enabled() {
+            ion_obs::counter("iql.plan.ops", plan.ops.len() as u64);
+            ion_obs::counter("iql.plan.folded", plan.stats.folded as u64);
+            ion_obs::counter("iql.plan.filters_pushed", plan.stats.filters_pushed as u64);
+            ion_obs::counter(
+                "iql.plan.projections_pushed",
+                plan.stats.projections_pushed as u64,
+            );
+            ion_obs::counter("iql.plan.cols_pruned", plan.stats.cols_pruned as u64);
         }
-        Expr::Binary(l, op, r) => {
-            let lv = eval_scalar_expr(l, env)?;
-            let rv = eval_scalar_expr(r, env)?;
-            binary(*op, lv, rv)
-        }
-        Expr::Call(name, args) => {
-            let vals: Vec<Value> = args
-                .iter()
-                .map(|a| eval_scalar_expr(a, env))
-                .collect::<Result<_, _>>()?;
-            scalar_call(name, &vals)
-        }
+        plan
     }
-}
 
-/// Evaluate an aggregate-context expression over a set of rows.
-///
-/// Aggregate function calls (`sum(expr)`, `count()`, …) reduce the rows;
-/// everything around them is scalar arithmetic. `max`/`min` with one
-/// argument aggregate; with two they are scalar.
-fn eval_agg_expr(
-    expr: &Expr,
-    cols: &[String],
-    rows: &[&Vec<Value>],
-    env: &Env,
-) -> Result<Value, IqlError> {
-    match expr {
-        Expr::Number(n) => Ok(Value::Float(*n)),
-        Expr::Str(s) => Ok(Value::Str(s.as_str().into())),
-        Expr::Ident(name) => {
-            // In aggregate context a bare identifier means "this scalar",
-            // or the column value of the first row (useful after GROUP for
-            // key columns).
-            if let Some(v) = env.scalars.get(name) {
-                return Ok(v.clone());
-            }
-            if let Some(i) = cols.iter().position(|c| c == name) {
-                return Ok(rows.first().map_or(Value::Null, |r| r[i].clone()));
-            }
-            Err(IqlError::NoSuchVariable { name: name.clone() })
-        }
-        Expr::Unary(op, inner) => {
-            let v = eval_agg_expr(inner, cols, rows, env)?;
-            match op {
-                UnaryOp::Neg => Ok(Value::Float(-num(&v, "negation operand")?)),
-                UnaryOp::Not => Ok(Value::Int(i64::from(!v.truthy()))),
-            }
-        }
-        Expr::Binary(l, op, r) => {
-            let lv = eval_agg_expr(l, cols, rows, env)?;
-            let rv = eval_agg_expr(r, cols, rows, env)?;
-            binary(*op, lv, rv)
-        }
-        Expr::Call(name, args) => {
-            let is_agg = AGG_FNS.contains(&name.as_str())
-                && matches!(
-                    (name.as_str(), args.len()),
-                    ("count", 0)
-                        | ("sum" | "mean" | "min" | "max" | "std" | "distinct", 1)
-                        | ("pct", 2)
-                );
-            if !is_agg {
-                let vals: Vec<Value> = args
-                    .iter()
-                    .map(|a| eval_agg_expr(a, cols, rows, env))
-                    .collect::<Result<_, _>>()?;
-                return scalar_call(name, &vals);
-            }
-            match name.as_str() {
-                "count" => Ok(Value::Int(rows.len() as i64)),
-                "distinct" => {
-                    let mut seen = std::collections::BTreeSet::new();
-                    for row in rows {
-                        let v = eval_row_expr(&args[0], cols, row, env)?;
-                        seen.insert(v.to_string());
-                    }
-                    Ok(Value::Int(seen.len() as i64))
-                }
-                "pct" => {
-                    let p = eval_scalar_or_number(&args[1], env)?;
-                    let mut vals = collect_numeric(&args[0], cols, rows, env)?;
-                    if vals.is_empty() {
-                        return Ok(Value::Float(0.0));
-                    }
-                    vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-                    let rank = ((p / 100.0) * vals.len() as f64).ceil().max(1.0) as usize;
-                    Ok(Value::Float(vals[rank.min(vals.len()) - 1]))
-                }
-                _ => {
-                    let vals = collect_numeric(&args[0], cols, rows, env)?;
-                    let n = vals.len();
-                    let v = match name.as_str() {
-                        "sum" => vals.iter().sum::<f64>(),
-                        "mean" => {
-                            if n == 0 {
-                                0.0
-                            } else {
-                                vals.iter().sum::<f64>() / n as f64
-                            }
-                        }
-                        "min" => vals.iter().copied().fold(f64::INFINITY, f64::min),
-                        "max" => vals.iter().copied().fold(f64::NEG_INFINITY, f64::max),
-                        "std" => {
-                            if n == 0 {
-                                0.0
-                            } else {
-                                let m = vals.iter().sum::<f64>() / n as f64;
-                                (vals.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / n as f64)
-                                    .sqrt()
-                            }
-                        }
-                        _ => unreachable!(),
-                    };
-                    let v = if n == 0 && (name == "min" || name == "max") {
-                        0.0
-                    } else {
-                        v
-                    };
-                    Ok(Value::Float(v))
-                }
-            }
-        }
+    /// Render the optimized plan for a program (`EXPLAIN` output).
+    #[must_use]
+    pub fn explain(&self, program: &Program) -> String {
+        self.plan(program).render(self.tables)
     }
-}
-
-fn eval_scalar_or_number(expr: &Expr, env: &Env) -> Result<f64, IqlError> {
-    num(&eval_scalar_expr(expr, env)?, "percentile rank")
-}
-
-fn collect_numeric(
-    expr: &Expr,
-    cols: &[String],
-    rows: &[&Vec<Value>],
-    env: &Env,
-) -> Result<Vec<f64>, IqlError> {
-    let mut out = Vec::with_capacity(rows.len());
-    for row in rows {
-        let v = eval_row_expr(expr, cols, row, env)?;
-        if let Some(f) = v.as_f64() {
-            out.push(f);
-        }
-    }
-    Ok(out)
 }
 
 #[cfg(test)]
@@ -707,8 +181,8 @@ mod tests {
         let out = run("LOAD DXT\nGROUP rank AGG n = count(), bytes = sum(length)\n");
         let t = out.table.unwrap();
         assert_eq!(t.len(), 2);
-        assert_eq!(t.cell(0, "n"), Some(&Value::Int(2)));
-        assert_eq!(t.cell(1, "bytes"), Some(&Value::Float(1_000_050.0)));
+        assert_eq!(t.cell(0, "n"), Some(Value::Int(2)));
+        assert_eq!(t.cell(1, "bytes"), Some(Value::Float(1_000_050.0)));
     }
 
     #[test]
@@ -716,7 +190,7 @@ mod tests {
         let out = run("LOAD DXT\nSORT length DESC\nLIMIT 1\nSELECT length\n");
         let t = out.table.unwrap();
         assert_eq!(t.len(), 1);
-        assert_eq!(t.cell(0, "length"), Some(&Value::Int(1_000_000)));
+        assert_eq!(t.cell(0, "length"), Some(Value::Int(1_000_000)));
     }
 
     #[test]
@@ -876,5 +350,54 @@ mod tests {
     fn contains_function_on_strings() {
         let out = run("LOAD DXT\nFILTER contains(op, 'rit')\nAGG n = count()\nEMIT n\n");
         assert_eq!(out.get_f64("n"), Some(3.0));
+    }
+
+    #[test]
+    fn explain_renders_the_optimized_plan() {
+        let tables = dxt_tables();
+        let program =
+            parse_program("LOAD DXT\nSORT length DESC\nFILTER rank == 0\nLIMIT 2\n").unwrap();
+        let text = Interpreter::new(&tables).explain(&program);
+        assert!(text.contains("scan DXT"), "plan text:\n{text}");
+        let filter_at = text.find("filter").unwrap();
+        let sort_at = text.find("sort").unwrap();
+        assert!(
+            filter_at < sort_at,
+            "filter should be pushed below sort:\n{text}"
+        );
+    }
+
+    #[test]
+    fn reordered_plan_falls_back_to_legacy_error() {
+        // Column `x` is Mixed; after SORT y the first failing row differs
+        // from pre-sort order, so the reordered (filter-first) plan must
+        // re-run unoptimized to report the legacy error.
+        let mut t = Table::new("T", &["y", "x"]);
+        t.push_row(vec![Value::Int(2), Value::Str("bbb".into())]);
+        t.push_row(vec![Value::Int(1), Value::Str("aaa".into())]);
+        let mut tables = TableSet::default();
+        tables.insert(t);
+        let program = parse_program("LOAD T\nSORT y\nFILTER x + 1 > 0\n").unwrap();
+        let err = Interpreter::new(&tables).run(&program).unwrap_err();
+        match err {
+            IqlError::Type { message } => {
+                assert!(
+                    message.contains("aaa"),
+                    "should fail on post-sort first row: {message}"
+                );
+            }
+            other => panic!("expected type error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn optimized_filter_pushdown_keeps_results_identical() {
+        // SELECT prunes `op`/`offset`; FILTER on `rank` pushes below both
+        // the sort and the projection. Results must match the naive order.
+        let out = run(
+            "LOAD DXT\nSORT length DESC\nSELECT rank, length\nFILTER rank == 0\nAGG n = count(), total = sum(length)\nEMIT n, total\n",
+        );
+        assert_eq!(out.get_f64("n"), Some(2.0));
+        assert_eq!(out.get_f64("total"), Some(200.0));
     }
 }

@@ -26,16 +26,32 @@
 //! Aggregate functions: `sum`, `count`, `mean`, `min`, `max`, `std`,
 //! `distinct`, `pct(col, p)` (percentile). Scalar functions: `abs`, `min`,
 //! `max`, `sqrt`, `if(cond, a, b)`.
+//!
+//! A program may start with `EXPLAIN`, which asks the engine to render
+//! the optimized execution plan instead of running the pipeline.
+//!
+//! Execution is planned and vectorized: programs lower to a logical
+//! [`Plan`] (`plan` module), the optimizer applies predicate pushdown,
+//! projection pruning and constant folding, and a columnar executor runs
+//! the result. The original tree-walking interpreter survives behind the
+//! `legacy-eval` feature purely as the oracle for differential tests.
 
 mod ast;
 mod eval;
+mod exec;
+#[cfg(feature = "legacy-eval")]
+pub mod legacy;
 mod lexer;
 mod parser;
+mod plan;
+mod value_ops;
 
 pub use ast::{AggCall, BinaryOp, Expr, Program, Stmt, UnaryOp};
-pub use eval::{eval_with_scalars, Interpreter, RunOutput};
+pub use eval::{Interpreter, RunOutput};
 pub use lexer::{tokenize, Token};
 pub use parser::{parse_expression, parse_program};
+pub use plan::{lower, optimize, Plan, PlanOp, PlanStats};
+pub use value_ops::eval_with_scalars;
 
 use std::fmt;
 

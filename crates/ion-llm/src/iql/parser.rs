@@ -317,6 +317,20 @@ pub fn parse_program(src: &str) -> Result<Program, IqlError> {
     let tokens = tokenize(src)?;
     let mut p = Parser { tokens, pos: 0 };
     let mut statements = Vec::new();
+    let mut explain = false;
+    // Optional leading EXPLAIN keyword before the first statement.
+    while p.at_newline() && p.peek().is_some() {
+        p.next();
+    }
+    if let Some(Token::Ident(kw)) = p.peek() {
+        if kw.eq_ignore_ascii_case("EXPLAIN") {
+            explain = true;
+            p.next();
+            if p.peek() == Some(&Token::Newline) {
+                p.next();
+            }
+        }
+    }
     while p.peek().is_some() {
         if p.at_newline() {
             p.next();
@@ -324,7 +338,10 @@ pub fn parse_program(src: &str) -> Result<Program, IqlError> {
         }
         statements.push(p.parse_stmt()?);
     }
-    Ok(Program { statements })
+    Ok(Program {
+        statements,
+        explain,
+    })
 }
 
 #[cfg(test)]
@@ -418,6 +435,21 @@ EMIT pct, total
     #[test]
     fn group_without_keys_rejected() {
         assert!(parse_program("LOAD DXT\nGROUP AGG n = count()\n").is_err());
+    }
+
+    #[test]
+    fn explain_prefix_sets_flag() {
+        let p = parse_program("EXPLAIN\nLOAD DXT\nFILTER rank == 0\n").unwrap();
+        assert!(p.explain);
+        assert_eq!(p.statements.len(), 2);
+        // Same line works too.
+        let p = parse_program("explain LOAD DXT\n").unwrap();
+        assert!(p.explain);
+        assert_eq!(p.statements.len(), 1);
+        // Plain programs stay unflagged; EXPLAIN is not a statement.
+        let p = parse_program("LOAD DXT\n").unwrap();
+        assert!(!p.explain);
+        assert!(parse_program("LOAD DXT\nEXPLAIN x\n").is_err());
     }
 
     #[test]

@@ -1,0 +1,708 @@
+//! IQL logical plan: the typed IR between the AST and the vectorized
+//! executor, plus the optimizer passes and `EXPLAIN` rendering.
+//!
+//! Lowering is 1:1 — one [`PlanOp`] per statement, in program order. The
+//! optimizer then applies three semantics-preserving rewrites:
+//!
+//! * **constant folding** — arithmetic over numeric literals collapses at
+//!   plan time. Only float-typed arithmetic and float-returning scalar
+//!   calls fold: comparisons and logic produce `Int` values, and folding
+//!   them into `Number` literals (which evaluate to `Float`) would change
+//!   the observable cell type.
+//! * **predicate pushdown** — a `FILTER` bubbles up past `SORT` (always)
+//!   and past a valid `SELECT` when every identifier it references is
+//!   either kept by the projection or was never a column at all.
+//! * **projection pushdown (pruning)** — a `SELECT` bubbles up past
+//!   `LIMIT` (always), past `SORT` when the sort key is kept, and past
+//!   `FILTER` under the same identifier condition, so downstream
+//!   operators touch fewer columns.
+//!
+//! Every rewrite is checked against error semantics, not just `Ok`
+//! results: an identifier that would have resolved to a column, a scalar,
+//! or an error must resolve the same way after the rewrite. The one
+//! transform that can change *which* error surfaces first — pushing a
+//! filter past a sort reorders the rows the predicate visits — sets
+//! [`Plan::reordered`], and the interpreter re-executes the unoptimized
+//! plan on any error so the surfaced error is bit-identical to the legacy
+//! tree-walker's.
+
+use super::ast::{AggCall, BinaryOp, Expr, Program, Stmt, UnaryOp};
+use super::value_ops::{arith_f64, scalar_call};
+use extractor::{TableSet, Value};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// One operator of the logical plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanOp {
+    /// Load an attached table as the working relation.
+    Scan {
+        /// Attached table name.
+        table: String,
+    },
+    /// Keep rows whose predicate is truthy.
+    Filter {
+        /// Row predicate.
+        pred: Expr,
+        /// Set when the optimizer moved this filter earlier.
+        pushed: bool,
+    },
+    /// Append a computed column.
+    Derive {
+        /// New column name.
+        name: String,
+        /// Row expression.
+        expr: Expr,
+    },
+    /// Project to the named columns, in order.
+    Project {
+        /// Kept columns.
+        columns: Vec<String>,
+        /// Set when the optimizer moved this projection earlier.
+        pushed: bool,
+    },
+    /// Stable sort by one column.
+    Sort {
+        /// Sort key column.
+        column: String,
+        /// Descending order when true.
+        descending: bool,
+    },
+    /// Keep the first `n` rows.
+    Limit(usize),
+    /// Inner hash join with another attached table.
+    Join {
+        /// Right-side attached table.
+        table: String,
+        /// Join column (present on both sides).
+        on: String,
+    },
+    /// Group-by aggregate producing a new relation.
+    Group {
+        /// Grouping key columns.
+        keys: Vec<String>,
+        /// Per-group aggregates.
+        aggs: Vec<AggCall>,
+    },
+    /// Whole-relation aggregates into scalars.
+    Agg(Vec<AggCall>),
+    /// Scalar binding.
+    Let {
+        /// Variable name.
+        name: String,
+        /// Scalar expression.
+        expr: Expr,
+    },
+    /// Declare program outputs.
+    Emit(Vec<String>),
+}
+
+/// What the optimizer did to a plan (surfaced as `iql.plan.*` counters
+/// and in `EXPLAIN` output).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Constant subexpressions folded.
+    pub folded: usize,
+    /// Filters moved earlier.
+    pub filters_pushed: usize,
+    /// Projections moved earlier.
+    pub projections_pushed: usize,
+    /// Columns dropped earlier than the program wrote them (summed over
+    /// moved projections: input width minus projected width).
+    pub cols_pruned: usize,
+}
+
+/// A lowered (and possibly optimized) IQL program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Operators in execution order.
+    pub ops: Vec<PlanOp>,
+    /// Optimizer activity.
+    pub stats: PlanStats,
+    /// True when a rewrite changed the order rows are visited in by some
+    /// fallible expression (filter pushed past sort). The interpreter
+    /// falls back to the unoptimized plan on error so error output stays
+    /// identical to the legacy engine.
+    pub reordered: bool,
+}
+
+/// Lower a program into the 1:1 unoptimized plan.
+#[must_use]
+pub fn lower(program: &Program) -> Plan {
+    let ops = program
+        .statements
+        .iter()
+        .map(|stmt| match stmt {
+            Stmt::Load(t) => PlanOp::Scan { table: t.clone() },
+            Stmt::Filter(e) => PlanOp::Filter {
+                pred: e.clone(),
+                pushed: false,
+            },
+            Stmt::Derive(n, e) => PlanOp::Derive {
+                name: n.clone(),
+                expr: e.clone(),
+            },
+            Stmt::Select(cols) => PlanOp::Project {
+                columns: cols.clone(),
+                pushed: false,
+            },
+            Stmt::Sort { column, descending } => PlanOp::Sort {
+                column: column.clone(),
+                descending: *descending,
+            },
+            Stmt::Limit(n) => PlanOp::Limit(*n),
+            Stmt::Join { table, on } => PlanOp::Join {
+                table: table.clone(),
+                on: on.clone(),
+            },
+            Stmt::Group { keys, aggs } => PlanOp::Group {
+                keys: keys.clone(),
+                aggs: aggs.clone(),
+            },
+            Stmt::Agg(aggs) => PlanOp::Agg(aggs.clone()),
+            Stmt::Let(n, e) => PlanOp::Let {
+                name: n.clone(),
+                expr: e.clone(),
+            },
+            Stmt::Emit(names) => PlanOp::Emit(names.clone()),
+        })
+        .collect();
+    Plan {
+        ops,
+        stats: PlanStats::default(),
+        reordered: false,
+    }
+}
+
+/// Run all optimizer passes.
+#[must_use]
+pub fn optimize(mut plan: Plan, tables: &TableSet) -> Plan {
+    fold_constants(&mut plan);
+    push_down_filters(&mut plan, tables);
+    push_down_projections(&mut plan, tables);
+    plan
+}
+
+// ---------------------------------------------------------------------------
+// Constant folding
+// ---------------------------------------------------------------------------
+
+fn fold_constants(plan: &mut Plan) {
+    let mut folded = 0usize;
+    for op in &mut plan.ops {
+        match op {
+            PlanOp::Filter { pred, .. } => fold_expr(pred, &mut folded),
+            PlanOp::Derive { expr, .. } | PlanOp::Let { expr, .. } => fold_expr(expr, &mut folded),
+            PlanOp::Group { aggs, .. } | PlanOp::Agg(aggs) => {
+                for a in aggs {
+                    fold_expr(&mut a.expr, &mut folded);
+                }
+            }
+            _ => {}
+        }
+    }
+    plan.stats.folded = folded;
+}
+
+/// Fold float-producing constant subexpressions in place. Legality: a
+/// `Number` literal evaluates to `Value::Float`, so only rewrites whose
+/// legacy result is *always* `Float` may become literals — arithmetic on
+/// numbers (operands are `Float`, so the `Int`-preserving rule never
+/// fires), negation, and the always-`Float` scalar calls. Comparison and
+/// logic operators yield `Value::Int` and must not fold.
+fn fold_expr(expr: &mut Expr, folded: &mut usize) {
+    match expr {
+        Expr::Number(_) | Expr::Str(_) | Expr::Ident(_) => {}
+        Expr::Unary(op, inner) => {
+            fold_expr(inner, folded);
+            if *op == UnaryOp::Neg {
+                if let Expr::Number(n) = **inner {
+                    *expr = Expr::Number(-n);
+                    *folded += 1;
+                }
+            }
+        }
+        Expr::Binary(l, op, r) => {
+            fold_expr(l, folded);
+            fold_expr(r, folded);
+            if matches!(
+                op,
+                BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Rem
+            ) {
+                if let (Expr::Number(a), Expr::Number(b)) = (&**l, &**r) {
+                    *expr = Expr::Number(arith_f64(*op, *a, *b));
+                    *folded += 1;
+                }
+            }
+        }
+        Expr::Call(name, args) => {
+            for a in args.iter_mut() {
+                fold_expr(a, folded);
+            }
+            // Only calls that are scalar in *every* context (never
+            // aggregates) and always return Float fold. `min`/`max` with
+            // one argument aggregate over rows, so only arity 2 folds.
+            let always_float_scalar = matches!(
+                (name.as_str(), args.len()),
+                ("abs" | "sqrt" | "floor" | "ceil" | "round", 1) | ("min" | "max", 2)
+            );
+            if always_float_scalar {
+                let consts: Option<Vec<Value>> = args
+                    .iter()
+                    .map(|a| match a {
+                        Expr::Number(n) => Some(Value::Float(*n)),
+                        _ => None,
+                    })
+                    .collect();
+                if let Some(consts) = consts {
+                    // Numeric args can't fail these calls; keep the call
+                    // on the (unreachable) error path anyway.
+                    if let Ok(Value::Float(v)) = scalar_call(name, &consts) {
+                        *expr = Expr::Number(v);
+                        *folded += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schema tracking
+// ---------------------------------------------------------------------------
+
+/// Column schema at a plan point; `None` = unknown (unknown table, an
+/// operator that will error, or no table loaded yet) — the optimizer
+/// never rewrites across an unknown schema.
+type Schema = Option<Vec<String>>;
+
+/// Schema of the working relation *before* each op (index `i` = input of
+/// `ops[i]`), plus one trailing entry for the final schema.
+fn schemas(ops: &[PlanOp], tables: &TableSet) -> Vec<Schema> {
+    let mut out = Vec::with_capacity(ops.len() + 1);
+    let mut cur: Schema = None;
+    for op in ops {
+        out.push(cur.clone());
+        cur = step_schema(cur, op, tables);
+    }
+    out.push(cur);
+    out
+}
+
+fn step_schema(cur: Schema, op: &PlanOp, tables: &TableSet) -> Schema {
+    match op {
+        PlanOp::Scan { table } => tables
+            .get(table)
+            .map(|t| t.columns.iter().map(|c| c.name.clone()).collect()),
+        PlanOp::Filter { .. } | PlanOp::Sort { .. } | PlanOp::Limit(_) => cur,
+        PlanOp::Derive { name, .. } => {
+            let mut s = cur?;
+            if s.iter().any(|c| c == name) {
+                return None; // duplicate column: legacy panics, do not optimize
+            }
+            s.push(name.clone());
+            Some(s)
+        }
+        PlanOp::Project { columns, .. } => {
+            let s = cur?;
+            if columns.iter().all(|c| s.contains(c)) {
+                Some(columns.clone())
+            } else {
+                None // projection will error at execution
+            }
+        }
+        PlanOp::Join { table, on } => {
+            let left = cur?;
+            let right = tables.get(table)?;
+            if !left.contains(on) || right.column_index(on).is_none() {
+                return None;
+            }
+            let ri = right.column_index(on);
+            let mut s = left.clone();
+            for (i, c) in right.columns.iter().enumerate() {
+                if Some(i) != ri && !left.contains(&c.name) {
+                    s.push(c.name.clone());
+                }
+            }
+            Some(s)
+        }
+        PlanOp::Group { keys, aggs } => {
+            let s = cur?;
+            if !keys.iter().all(|k| s.contains(k)) {
+                return None;
+            }
+            let mut out: Vec<String> = keys.clone();
+            out.extend(aggs.iter().map(|a| a.name.clone()));
+            Some(out)
+        }
+        PlanOp::Agg(_) | PlanOp::Let { .. } | PlanOp::Emit(_) => cur,
+    }
+}
+
+/// Collect every identifier referenced by an expression.
+fn idents(expr: &Expr, out: &mut BTreeSet<String>) {
+    match expr {
+        Expr::Number(_) | Expr::Str(_) => {}
+        Expr::Ident(name) => {
+            out.insert(name.clone());
+        }
+        Expr::Unary(_, inner) => idents(inner, out),
+        Expr::Binary(l, _, r) => {
+            idents(l, out);
+            idents(r, out);
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                idents(a, out);
+            }
+        }
+    }
+}
+
+/// Whether every identifier of `pred` resolves identically on both sides
+/// of a projection to `kept`: it is either kept, or was never a column of
+/// the wider schema (so it resolves as scalar-or-error either way).
+fn idents_survive_projection(pred: &Expr, wide: &[String], kept: &[String]) -> bool {
+    let mut names = BTreeSet::new();
+    idents(pred, &mut names);
+    names
+        .iter()
+        .all(|n| kept.contains(n) || !wide.iter().any(|c| c == n))
+}
+
+// ---------------------------------------------------------------------------
+// Predicate pushdown
+// ---------------------------------------------------------------------------
+
+fn push_down_filters(plan: &mut Plan, tables: &TableSet) {
+    loop {
+        let pre = schemas(&plan.ops, tables);
+        let mut moved = None;
+        'scan: for i in 1..plan.ops.len() {
+            if !matches!(plan.ops[i], PlanOp::Filter { .. }) {
+                continue;
+            }
+            let PlanOp::Filter { pred, .. } = &plan.ops[i] else {
+                unreachable!()
+            };
+            match &plan.ops[i - 1] {
+                // Sorting preserves the row set, so filtering first keeps
+                // the same rows — but the predicate now visits them in a
+                // different order (reordered => error fallback).
+                PlanOp::Sort { .. } => {
+                    moved = Some((i, true));
+                    break 'scan;
+                }
+                // A valid projection preserves rows and order; legality
+                // is per-identifier (see idents_survive_projection).
+                PlanOp::Project { columns, .. } => {
+                    if let Some(wide) = &pre[i - 1] {
+                        let valid = columns.iter().all(|c| wide.contains(c));
+                        if valid && idents_survive_projection(pred, wide, columns) {
+                            moved = Some((i, false));
+                            break 'scan;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some((i, reorders)) = moved else { break };
+        plan.ops.swap(i - 1, i);
+        if let PlanOp::Filter { pushed, .. } = &mut plan.ops[i - 1] {
+            if !*pushed {
+                plan.stats.filters_pushed += 1;
+            }
+            *pushed = true;
+        }
+        plan.reordered |= reorders;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Projection pushdown (pruning)
+// ---------------------------------------------------------------------------
+
+fn push_down_projections(plan: &mut Plan, tables: &TableSet) {
+    let mut moved_any: BTreeSet<usize> = BTreeSet::new(); // positions after all moves
+    loop {
+        let pre = schemas(&plan.ops, tables);
+        let mut moved = None;
+        for (i, input) in pre.iter().enumerate().take(plan.ops.len()).skip(1) {
+            let PlanOp::Project { columns, .. } = &plan.ops[i] else {
+                continue;
+            };
+            // The projection itself must be valid where it stands, or the
+            // eager NoSuchColumn error could fire in the wrong place.
+            let Some(wide) = input else { continue };
+            if !columns.iter().all(|c| wide.contains(c)) {
+                continue;
+            }
+            let swap = match &plan.ops[i - 1] {
+                PlanOp::Limit(_) => true,
+                PlanOp::Sort { column, .. } => columns.contains(column),
+                // Never undo predicate pushdown: a filter this pass's
+                // predecessor already hoisted (`pushed`) stays upstream.
+                PlanOp::Filter {
+                    pred,
+                    pushed: false,
+                } => idents_survive_projection(pred, wide, columns),
+                _ => false,
+            };
+            if swap {
+                moved = Some(i);
+                break;
+            }
+        }
+        let Some(i) = moved else { break };
+        plan.ops.swap(i - 1, i);
+        let was_new = !moved_any.remove(&i);
+        moved_any.insert(i - 1);
+        if was_new {
+            plan.stats.projections_pushed += 1;
+        }
+    }
+    // Width saved: input width at the projection's final position minus
+    // its output width, for every projection the pass actually moved.
+    let pre = schemas(&plan.ops, tables);
+    for &i in &moved_any {
+        if let (PlanOp::Project { columns, pushed }, Some(wide)) = (&mut plan.ops[i], &pre[i]) {
+            *pushed = true;
+            plan.stats.cols_pruned += wide.len().saturating_sub(columns.len());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+impl PlanOp {
+    /// Short operator mnemonic (used by the compact summary).
+    #[must_use]
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            PlanOp::Scan { .. } => "scan",
+            PlanOp::Filter { .. } => "filter",
+            PlanOp::Derive { .. } => "derive",
+            PlanOp::Project { .. } => "select",
+            PlanOp::Sort { .. } => "sort",
+            PlanOp::Limit(_) => "limit",
+            PlanOp::Join { .. } => "join",
+            PlanOp::Group { .. } => "group",
+            PlanOp::Agg(_) => "agg",
+            PlanOp::Let { .. } => "let",
+            PlanOp::Emit(_) => "emit",
+        }
+    }
+
+    fn render_line(&self) -> String {
+        fn aggs(list: &[AggCall]) -> String {
+            list.iter()
+                .map(|a| format!("{} = {}", a.name, a.expr))
+                .collect::<Vec<_>>()
+                .join(", ")
+        }
+        match self {
+            PlanOp::Scan { table } => format!("scan {table}"),
+            PlanOp::Filter { pred, pushed } => {
+                let tag = if *pushed { "  [pushed down]" } else { "" };
+                format!("filter {pred}{tag}")
+            }
+            PlanOp::Derive { name, expr } => format!("derive {name} = {expr}"),
+            PlanOp::Project { columns, pushed } => {
+                let tag = if *pushed { "  [pushed down]" } else { "" };
+                format!("select {}{tag}", columns.join(", "))
+            }
+            PlanOp::Sort { column, descending } => {
+                format!("sort {column} {}", if *descending { "desc" } else { "asc" })
+            }
+            PlanOp::Limit(n) => format!("limit {n}"),
+            PlanOp::Join { table, on } => format!("join {table} on {on}"),
+            PlanOp::Group { keys, aggs: a } => {
+                format!("group {} agg {}", keys.join(", "), aggs(a))
+            }
+            PlanOp::Agg(a) => format!("agg {}", aggs(a)),
+            PlanOp::Let { name, expr } => format!("let {name} = {expr}"),
+            PlanOp::Emit(names) => format!("emit {}", names.join(", ")),
+        }
+    }
+}
+
+impl Plan {
+    /// Multi-line `EXPLAIN` rendering of the plan with per-op schemas
+    /// (when resolvable against the attached tables) and optimizer
+    /// statistics.
+    #[must_use]
+    pub fn render(&self, tables: &TableSet) -> String {
+        let pre = schemas(&self.ops, tables);
+        let mut out = String::from("plan:\n");
+        for (i, op) in self.ops.iter().enumerate() {
+            let line = op.render_line();
+            let after = &pre[i + 1];
+            match after {
+                Some(cols)
+                    if !matches!(op, PlanOp::Let { .. } | PlanOp::Emit(_) | PlanOp::Agg(_)) =>
+                {
+                    let _ = writeln!(out, "  {line:<44} cols=[{}]", cols.join(", "));
+                }
+                _ => {
+                    let _ = writeln!(out, "  {line}");
+                }
+            }
+        }
+        let s = &self.stats;
+        let _ = writeln!(
+            out,
+            "optimizer: {} constant(s) folded, {} filter(s) pushed down, \
+             {} projection(s) pushed down, {} column(s) pruned early",
+            s.folded, s.filters_pushed, s.projections_pushed, s.cols_pruned
+        );
+        out
+    }
+
+    /// One-line plan summary for tool-call transcripts:
+    /// `scan DXT → filter → agg → emit  [1 filter pushed]`.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut parts: Vec<String> = Vec::with_capacity(self.ops.len());
+        for op in &self.ops {
+            match op {
+                PlanOp::Scan { table } => parts.push(format!("scan {table}")),
+                other => parts.push(other.mnemonic().to_owned()),
+            }
+        }
+        let mut line = parts.join(" → ");
+        let s = &self.stats;
+        let mut notes = Vec::new();
+        if s.folded > 0 {
+            notes.push(format!("{} folded", s.folded));
+        }
+        if s.filters_pushed > 0 {
+            notes.push(format!("{} filter pushed", s.filters_pushed));
+        }
+        if s.projections_pushed > 0 {
+            notes.push(format!("{} select pushed", s.projections_pushed));
+        }
+        if s.cols_pruned > 0 {
+            notes.push(format!("{} cols pruned", s.cols_pruned));
+        }
+        if !notes.is_empty() {
+            let _ = write!(line, "  [{}]", notes.join(", "));
+        }
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parser::parse_program;
+    use super::*;
+    use extractor::Table;
+
+    fn tables() -> TableSet {
+        let mut t = Table::new("DXT", &["rank", "op", "offset", "length"]);
+        t.push_row(vec![
+            Value::Int(0),
+            Value::from("write"),
+            Value::Int(0),
+            Value::Int(100),
+        ]);
+        let mut set = TableSet::default();
+        set.insert(t);
+        set
+    }
+
+    fn planned(src: &str) -> Plan {
+        optimize(lower(&parse_program(src).unwrap()), &tables())
+    }
+
+    fn mnemonics(plan: &Plan) -> Vec<&'static str> {
+        plan.ops.iter().map(PlanOp::mnemonic).collect()
+    }
+
+    #[test]
+    fn lowering_is_one_to_one() {
+        let p =
+            lower(&parse_program("LOAD DXT\nFILTER rank == 0\nAGG n = count()\nEMIT n\n").unwrap());
+        assert_eq!(mnemonics(&p), vec!["scan", "filter", "agg", "emit"]);
+        assert!(!p.reordered);
+    }
+
+    #[test]
+    fn folds_float_arithmetic_but_not_comparisons() {
+        let p =
+            planned("LOAD DXT\nFILTER length < 4 * 1024 && rank == 0\nDERIVE x = length > 1 + 1\n");
+        assert_eq!(p.stats.folded, 2);
+        let PlanOp::Filter { pred, .. } = &p.ops[1] else {
+            panic!("expected filter")
+        };
+        // 4 * 1024 folded to one literal; the comparison itself survives.
+        assert!(pred.to_string().contains("4096"));
+        assert!(pred.to_string().contains("&&"));
+    }
+
+    #[test]
+    fn folds_scalar_calls_on_constants() {
+        let p = planned("LOAD DXT\nLET x = max(2, 3) + floor(1.5)\n");
+        let PlanOp::Let { expr, .. } = &p.ops[1] else {
+            panic!("expected let")
+        };
+        assert_eq!(expr, &Expr::Number(4.0));
+        assert_eq!(p.stats.folded, 3);
+    }
+
+    #[test]
+    fn filter_pushes_past_sort_and_sets_reordered() {
+        let p = planned("LOAD DXT\nSORT length DESC\nFILTER rank == 0\n");
+        assert_eq!(mnemonics(&p), vec!["scan", "filter", "sort"]);
+        assert_eq!(p.stats.filters_pushed, 1);
+        assert!(p.reordered);
+    }
+
+    #[test]
+    fn filter_pushes_past_select_only_when_idents_survive() {
+        // rank is kept: push is legal.
+        let p = planned("LOAD DXT\nSELECT rank, length\nFILTER rank == 0\n");
+        assert_eq!(mnemonics(&p), vec!["scan", "filter", "select"]);
+        assert!(!p.reordered);
+        // op is dropped by the projection: in program order the filter
+        // sees a NoSuchColumn error; pushing it would silently bind the
+        // pre-projection column. Must not move.
+        let p = planned("LOAD DXT\nSELECT rank, length\nFILTER op == 'write'\n");
+        assert_eq!(mnemonics(&p), vec!["scan", "select", "filter"]);
+    }
+
+    #[test]
+    fn select_pushes_past_limit_and_matching_sort() {
+        let p = planned("LOAD DXT\nSORT length DESC\nLIMIT 5\nSELECT length\n");
+        assert_eq!(mnemonics(&p), vec!["scan", "select", "sort", "limit"]);
+        assert_eq!(p.stats.projections_pushed, 1);
+        assert_eq!(p.stats.cols_pruned, 3);
+        // Sort key not kept: projection must stay after the sort.
+        let p = planned("LOAD DXT\nSORT offset ASC\nSELECT length\n");
+        assert_eq!(mnemonics(&p), vec!["scan", "sort", "select"]);
+    }
+
+    #[test]
+    fn no_rewrites_across_unknown_tables() {
+        let p = planned("LOAD NOPE\nSORT length DESC\nFILTER rank == 0\n");
+        // Filter past sort never needs a schema; but select legality does.
+        assert_eq!(mnemonics(&p), vec!["scan", "filter", "sort"]);
+        let p = planned("LOAD NOPE\nSELECT rank\nFILTER rank == 0\n");
+        assert_eq!(mnemonics(&p), vec!["scan", "select", "filter"]);
+    }
+
+    #[test]
+    fn explain_renders_schemas_and_stats() {
+        let p = planned("LOAD DXT\nFILTER op == 'write'\nGROUP rank AGG n = count()\n");
+        let text = p.render(&tables());
+        assert!(text.contains("scan DXT"));
+        assert!(text.contains("cols=[rank, op, offset, length]"));
+        assert!(text.contains("group rank agg n = count()"));
+        assert!(text.contains("cols=[rank, n]"));
+        assert!(text.contains("optimizer:"));
+        let line = p.summary();
+        assert!(line.starts_with("scan DXT → filter → group"));
+    }
+}

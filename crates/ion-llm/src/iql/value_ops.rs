@@ -1,0 +1,248 @@
+//! Value-level IQL semantics shared by the vectorized executor and the
+//! legacy tree-walking oracle.
+//!
+//! Everything observable about IQL arithmetic lives here: comparison
+//! ordering, binary-operator coercions (including the `Int`-preserving
+//! rule and division-by-zero → 0), scalar function calls, and scalar
+//! expression evaluation. Both engines call these functions so they
+//! cannot drift apart on value semantics; the differential test in
+//! `tests/differential.rs` checks the rest.
+
+use super::ast::{BinaryOp, Expr, UnaryOp};
+use super::IqlError;
+use extractor::Value;
+use std::collections::BTreeMap;
+
+/// Functions that aggregate rows when called (with aggregate arity)
+/// inside an `AGG`/`GROUP … AGG` expression.
+pub(crate) const AGG_FNS: [&str; 8] = [
+    "sum", "count", "mean", "min", "max", "std", "distinct", "pct",
+];
+
+/// Whether `name(args)` is an aggregate call in aggregate context
+/// (`min`/`max` with two args stay scalar).
+pub(crate) fn is_agg_call(name: &str, argc: usize) -> bool {
+    AGG_FNS.contains(&name)
+        && matches!(
+            (name, argc),
+            ("count", 0) | ("sum" | "mean" | "min" | "max" | "std" | "distinct", 1) | ("pct", 2)
+        )
+}
+
+/// Scalar environment: variables bound by `LET` and `AGG`.
+#[derive(Debug, Default)]
+pub(crate) struct Env {
+    pub(crate) scalars: BTreeMap<String, Value>,
+}
+
+/// Total order used by `SORT` and the comparison operators: numeric when
+/// both sides coerce to `f64`, else lexicographic on the rendered text.
+pub(crate) fn compare_values(a: &Value, b: &Value) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
+        _ => a.to_string().cmp(&b.to_string()),
+    }
+}
+
+pub(crate) fn num(v: &Value, what: &str) -> Result<f64, IqlError> {
+    v.as_f64().ok_or_else(|| IqlError::Type {
+        message: format!("{what} is not numeric (got {v:?})"),
+    })
+}
+
+pub(crate) fn binary(op: BinaryOp, l: Value, r: Value) -> Result<Value, IqlError> {
+    use BinaryOp::*;
+    Ok(match op {
+        And => Value::Int(i64::from(l.truthy() && r.truthy())),
+        Or => Value::Int(i64::from(l.truthy() || r.truthy())),
+        Eq | Ne => {
+            let equal = match (&l, &r) {
+                (Value::Str(a), Value::Str(b)) => a == b,
+                _ => match (l.as_f64(), r.as_f64()) {
+                    (Some(a), Some(b)) => a == b,
+                    _ => l.to_string() == r.to_string(),
+                },
+            };
+            Value::Int(i64::from(if op == Eq { equal } else { !equal }))
+        }
+        Lt | Le | Gt | Ge => {
+            let ord = compare_values(&l, &r);
+            let res = match op {
+                Lt => ord == std::cmp::Ordering::Less,
+                Le => ord != std::cmp::Ordering::Greater,
+                Gt => ord == std::cmp::Ordering::Greater,
+                Ge => ord != std::cmp::Ordering::Less,
+                _ => unreachable!(),
+            };
+            Value::Int(i64::from(res))
+        }
+        Add | Sub | Mul | Div | Rem => {
+            let a = num(&l, "left operand")?;
+            let b = num(&r, "right operand")?;
+            let v = arith_f64(op, a, b);
+            if v.fract() == 0.0
+                && v.abs() < 9e15
+                && matches!((l, r), (Value::Int(_), Value::Int(_)))
+            {
+                Value::Int(v as i64)
+            } else {
+                Value::Float(v)
+            }
+        }
+    })
+}
+
+/// The `f64` arithmetic kernel behind [`binary`]; the vectorized executor
+/// calls it directly on unboxed columns.
+pub(crate) fn arith_f64(op: BinaryOp, a: f64, b: f64) -> f64 {
+    match op {
+        BinaryOp::Add => a + b,
+        BinaryOp::Sub => a - b,
+        BinaryOp::Mul => a * b,
+        // Division by zero yields 0 rather than NaN: diagnosis ratios over
+        // empty populations should read as "0%", not poison every
+        // downstream conclusion.
+        BinaryOp::Div => {
+            if b == 0.0 {
+                0.0
+            } else {
+                a / b
+            }
+        }
+        BinaryOp::Rem => {
+            if b == 0.0 {
+                0.0
+            } else {
+                a % b
+            }
+        }
+        _ => unreachable!("arith_f64 only handles arithmetic operators"),
+    }
+}
+
+pub(crate) fn scalar_call(name: &str, args: &[Value]) -> Result<Value, IqlError> {
+    let bad = |message: &str| IqlError::BadCall {
+        name: name.to_owned(),
+        message: message.to_owned(),
+    };
+    match (name, args.len()) {
+        ("abs", 1) => Ok(Value::Float(num(&args[0], "abs arg")?.abs())),
+        ("sqrt", 1) => Ok(Value::Float(num(&args[0], "sqrt arg")?.max(0.0).sqrt())),
+        ("floor", 1) => Ok(Value::Float(num(&args[0], "floor arg")?.floor())),
+        ("ceil", 1) => Ok(Value::Float(num(&args[0], "ceil arg")?.ceil())),
+        ("round", 1) => Ok(Value::Float(num(&args[0], "round arg")?.round())),
+        ("min", 2) => Ok(Value::Float(
+            num(&args[0], "min arg")?.min(num(&args[1], "min arg")?),
+        )),
+        ("max", 2) => Ok(Value::Float(
+            num(&args[0], "max arg")?.max(num(&args[1], "max arg")?),
+        )),
+        ("if", 3) => Ok(if args[0].truthy() {
+            args[1].clone()
+        } else {
+            args[2].clone()
+        }),
+        ("contains", 2) => match (&args[0], &args[1]) {
+            (Value::Str(h), Value::Str(n)) => Ok(Value::Int(i64::from(h.contains(&**n)))),
+            _ => Err(bad("contains expects two strings")),
+        },
+        ("min" | "max", n) => Err(bad(&format!("expected 2 args, got {n}"))),
+        _ => Err(bad("unknown function in this context")),
+    }
+}
+
+pub(crate) fn eval_scalar_expr(expr: &Expr, env: &Env) -> Result<Value, IqlError> {
+    match expr {
+        Expr::Number(n) => Ok(Value::Float(*n)),
+        Expr::Str(s) => Ok(Value::Str(s.as_str().into())),
+        Expr::Ident(name) => env
+            .scalars
+            .get(name)
+            .cloned()
+            .ok_or_else(|| IqlError::NoSuchVariable { name: name.clone() }),
+        Expr::Unary(op, inner) => {
+            let v = eval_scalar_expr(inner, env)?;
+            match op {
+                UnaryOp::Neg => Ok(Value::Float(-num(&v, "negation operand")?)),
+                UnaryOp::Not => Ok(Value::Int(i64::from(!v.truthy()))),
+            }
+        }
+        Expr::Binary(l, op, r) => {
+            let lv = eval_scalar_expr(l, env)?;
+            let rv = eval_scalar_expr(r, env)?;
+            binary(*op, lv, rv)
+        }
+        Expr::Call(name, args) => {
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval_scalar_expr(a, env))
+                .collect::<Result<_, _>>()?;
+            scalar_call(name, &vals)
+        }
+    }
+}
+
+pub(crate) fn eval_scalar_or_number(expr: &Expr, env: &Env) -> Result<f64, IqlError> {
+    num(&eval_scalar_expr(expr, env)?, "percentile rank")
+}
+
+/// Evaluate a standalone expression against a scalar environment (used by
+/// the expert model for rule conditions).
+///
+/// # Errors
+///
+/// Returns [`IqlError::NoSuchVariable`] for unknown names or a type error.
+pub fn eval_with_scalars(
+    expr: &Expr,
+    scalars: &BTreeMap<String, Value>,
+) -> Result<Value, IqlError> {
+    let env = Env {
+        scalars: scalars.clone(),
+    };
+    eval_scalar_expr(expr, &env)
+}
+
+/// Nearest-rank percentile over an already-collected numeric population;
+/// shared by both engines' `pct` aggregate.
+pub(crate) fn percentile(mut vals: Vec<f64>, p: f64) -> f64 {
+    if vals.is_empty() {
+        return 0.0;
+    }
+    vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((p / 100.0) * vals.len() as f64).ceil().max(1.0) as usize;
+    vals[rank.min(vals.len()) - 1]
+}
+
+/// Fold an already-collected numeric population with one of the numeric
+/// aggregate functions (`sum`/`mean`/`min`/`max`/`std`); shared by both
+/// engines so the floating-point evaluation order is identical.
+pub(crate) fn numeric_agg(name: &str, vals: &[f64]) -> f64 {
+    let n = vals.len();
+    let v = match name {
+        "sum" => vals.iter().sum::<f64>(),
+        "mean" => {
+            if n == 0 {
+                0.0
+            } else {
+                vals.iter().sum::<f64>() / n as f64
+            }
+        }
+        "min" => vals.iter().copied().fold(f64::INFINITY, f64::min),
+        "max" => vals.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        "std" => {
+            if n == 0 {
+                0.0
+            } else {
+                let m = vals.iter().sum::<f64>() / n as f64;
+                (vals.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / n as f64).sqrt()
+            }
+        }
+        _ => unreachable!("not a numeric aggregate: {name}"),
+    };
+    if n == 0 && (name == "min" || name == "max") {
+        0.0
+    } else {
+        v
+    }
+}

@@ -11,7 +11,7 @@
 //! top-k.
 
 use crate::context::IssueContext;
-use extractor::{TableSet, Value};
+use extractor::TableSet;
 use std::collections::{HashMap, HashSet};
 
 /// A scored context.
@@ -35,7 +35,7 @@ fn sum_col(tables: &TableSet, table: &str, col: &str) -> f64 {
     tables
         .get(table)
         .and_then(|t| t.column_values(col))
-        .map(|vals| vals.filter_map(Value::as_f64).sum())
+        .map(|vals| vals.filter_map(|v| v.as_f64()).sum())
         .unwrap_or(0.0)
 }
 
@@ -88,11 +88,11 @@ pub fn trace_profile(tables: &TableSet) -> String {
             ) else {
                 return parts.join(". ");
             };
-            for row in t.rows() {
-                let rank = row[ri].as_i64().unwrap_or(-1);
+            for row in t.iter_rows() {
+                let rank = row.get(ri).as_i64().unwrap_or(-1);
                 if rank >= 0 {
                     *per_rank.entry(rank).or_insert(0.0) +=
-                        row[bi].as_f64().unwrap_or(0.0) + row[wi].as_f64().unwrap_or(0.0);
+                        row.get(bi).as_f64().unwrap_or(0.0) + row.get(wi).as_f64().unwrap_or(0.0);
                 }
             }
             if per_rank.len() > 1 {

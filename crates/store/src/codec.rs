@@ -112,9 +112,9 @@ pub fn table_digest(table: &extractor::Table) -> Digest {
         h.field(c.name.as_bytes());
     }
     let mut rows = UnorderedDigest::new();
-    for row in table.rows() {
+    for row in table.iter_rows() {
         let mut rh = Hasher::new();
-        for v in row {
+        for v in row.values() {
             rh.field(v.to_string().as_bytes());
         }
         rows.absorb_digest(rh.finish());

@@ -107,7 +107,7 @@ fn heatmap_csv_table_extracted() {
     let total: i64 = t
         .column_values("write_bytes")
         .unwrap()
-        .filter_map(extractor::Value::as_i64)
+        .filter_map(|v| v.as_i64())
         .sum();
     assert_eq!(total as u64, 4 * 4 * 8 * (1u64 << 20));
 }
