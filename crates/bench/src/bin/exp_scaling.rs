@@ -16,13 +16,97 @@
 //! perf trajectory is machine-comparable across commits — `ion_cli obs
 //! diff` gates on exactly this document. `--quick` runs only the smallest
 //! scale (CI smoke).
+//!
+//! `--workers <w1,w2,...>` additionally sweeps the analyze stage across
+//! those `ion-exec` pool widths (gauges `scaling.analyze_ms.w<n>`).
+//!
+//! `--sched` runs the scheduler microbenchmark instead of the scaling
+//! table: skewed synthetic task durations dispatched through the old
+//! chunk-barrier pattern versus the `ion-exec` shared queue, at widths
+//! 1/2/4/8. The run *gates*: it exits non-zero unless the shared queue is
+//! at least 1.2x faster than the barrier at width 4 (`BENCH_sched.json`
+//! pins the trajectory; sleeps parallelize regardless of core count, so
+//! the gate is meaningful even on one-core CI runners).
 
 use darshan::log::LogWriter;
 use ion::analyzer::SystemParams;
 use ion::pipeline::IonPipeline;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use workloads::openpmd::{OpenPmd, OpenPmdVariant};
 use workloads::Workload;
+
+/// The old dispatch shape `ion-exec` replaced: split into width-sized
+/// chunks, join every chunk before starting the next — the slowest task
+/// in each chunk gates all of it.
+fn barrier_dispatch(tasks: &[u64], width: usize) {
+    for chunk in tasks.chunks(width) {
+        std::thread::scope(|scope| {
+            for &ms in chunk {
+                scope.spawn(move || std::thread::sleep(Duration::from_millis(ms)));
+            }
+        });
+    }
+}
+
+/// Skewed durations: every fourth task is 10x the rest, the worst case
+/// for chunk barriers (one straggler per chunk).
+fn sched_tasks(quick: bool) -> Vec<u64> {
+    let (long, short) = if quick { (10, 1) } else { (40, 4) };
+    (0..16u64)
+        .map(|i| if i % 4 == 0 { long } else { short })
+        .collect()
+}
+
+fn run_sched(quick: bool, bench_out: Option<&str>) {
+    let tasks = sched_tasks(quick);
+    println!("═══ Scheduler: chunk-barrier vs ion-exec shared queue ═══\n");
+    println!(
+        "{:<8} {:>14} {:>14} {:>10}",
+        "width", "barrier (ms)", "shared (ms)", "speedup"
+    );
+    let mut speedup_at_4 = 0.0f64;
+    for width in [1usize, 2, 4, 8] {
+        let mut span = ion_obs::span!("sched.run");
+        span.attr("width", width);
+        let t0 = Instant::now();
+        barrier_dispatch(&tasks, width);
+        let barrier_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let out = ion_exec::Batch::new()
+            .with_width(width)
+            .map_ordered(&tasks, |&ms, _| {
+                std::thread::sleep(Duration::from_millis(ms));
+            });
+        let shared_ms = t1.elapsed().as_secs_f64() * 1e3;
+        assert!(out.iter().all(ion_exec::TaskOutcome::is_ok));
+        let speedup = barrier_ms / shared_ms;
+        if width == 4 {
+            speedup_at_4 = speedup;
+        }
+        ion_obs::gauge(&format!("sched.barrier_ms.w{width}"), barrier_ms);
+        ion_obs::gauge(&format!("sched.shared_ms.w{width}"), shared_ms);
+        ion_obs::gauge(&format!("sched.speedup.w{width}"), speedup);
+        println!("{width:<8} {barrier_ms:>14.1} {shared_ms:>14.1} {speedup:>9.2}x");
+    }
+    println!(
+        "\nthe shared queue starts the next task the moment a worker frees up;\n\
+         the barrier waits for the slowest task in every chunk."
+    );
+    if let Some(path) = bench_out {
+        let json = ion_obs::snapshot().to_json();
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote scheduler comparison to {path}");
+    }
+    if speedup_at_4 < 1.2 {
+        eprintln!(
+            "error: shared-queue speedup at width 4 is {speedup_at_4:.2}x, below the 1.2x gate"
+        );
+        std::process::exit(1);
+    }
+}
 
 fn main() -> Result<(), darshan::DarshanError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,8 +119,27 @@ fn main() -> Result<(), darshan::DarshanError> {
         std::process::exit(1);
     }
     let quick = args.iter().any(|a| a == "--quick");
+    let workers_sweep: Vec<usize> = match args.iter().position(|a| a == "--workers") {
+        Some(i) => {
+            let list = args.get(i + 1).cloned().unwrap_or_default();
+            let parsed: Option<Vec<usize>> =
+                list.split(',').map(|w| w.parse::<usize>().ok()).collect();
+            match parsed {
+                Some(widths) if !widths.is_empty() => widths,
+                _ => {
+                    eprintln!("error: --workers needs a comma-separated width list, e.g. 1,2,4");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => Vec::new(),
+    };
     if bench_out.is_some() {
         ion_obs::enable();
+    }
+    if args.iter().any(|a| a == "--sched") {
+        run_sched(quick, bench_out.as_deref());
+        return Ok(());
     }
 
     println!("═══ Scaling: OpenPMD baseline vs rank count ═══\n");
@@ -89,6 +192,23 @@ fn main() -> Result<(), darshan::DarshanError> {
         "\nbytes per traced op stay roughly constant (varint+delta DXT encoding);\n\
          extraction and analysis scale linearly with trace size."
     );
+    if !workers_sweep.is_empty() {
+        println!("\n═══ Analyze stage vs ion-exec pool width ═══\n");
+        println!("{:<8} {:>12}", "workers", "ion (ms)");
+        let log = OpenPmd::scaled(OpenPmdVariant::Baseline, scales[0]).generate();
+        let tables = extractor::extract_tables(&log);
+        let params = SystemParams::from_log(&log);
+        for &w in &workers_sweep {
+            let t = Instant::now();
+            let report = IonPipeline::new()
+                .with_exec(ion_exec::Batch::new().with_width(w))
+                .run_tables(&tables, &params);
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            assert!(!report.diagnoses.is_empty());
+            ion_obs::gauge(&format!("scaling.analyze_ms.w{w}"), ms);
+            println!("{w:<8} {ms:>12.1}");
+        }
+    }
     if let Some(path) = bench_out {
         let json = ion_obs::snapshot().to_json();
         if let Err(e) = std::fs::write(&path, json) {

@@ -22,6 +22,14 @@
 //! whose inputs did not change are served from cache instead of being
 //! recomputed. `batch` additionally accepts `--jobs <n>`.
 //!
+//! Execution policy (valid anywhere on the command line, honored by
+//! `analyze`, `batch` and `qa`):
+//!
+//! - `--workers <n>` sets the analysis worker-pool width (`0` = one per
+//!   core; the `ION_WORKERS` env var sets the same default process-wide).
+//! - `--deadline-ms <n>` bounds the run: analyses that have not started
+//!   when the deadline passes are reported as failed instead of running.
+//!
 //! Live telemetry (valid anywhere on the command line):
 //!
 //! - `--events <path>` streams structured events (span open/close, counter
@@ -61,6 +69,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: ion-cli [--profile] [--metrics-json <path>] [--events <path>] \
          [--serve <addr>] [--serve-hold-ms <n>] [--store <dir>] [--jobs <n>] \
+         [--workers <n>] [--deadline-ms <n>] \
          <generate|parse|dxt|extract|analyze|batch|drishti|compare|qa|iql|store|obs> <args...>\n\
          a bare <log.darshan> after the flags is shorthand for `analyze`\n\
          see `cargo doc` or the README for details"
@@ -112,12 +121,14 @@ struct ObsFlags {
     serve_hold_ms: u64,
     store: Option<String>,
     jobs: usize,
+    workers: Option<usize>,
+    deadline_ms: u64,
 }
 
 impl ObsFlags {
     /// Extract `--profile` / `--metrics-json <path>` / `--events <path>` /
     /// `--serve <addr>` / `--serve-hold-ms <n>` / `--store <dir>` /
-    /// `--jobs <n>` from `args`.
+    /// `--jobs <n>` / `--workers <n>` / `--deadline-ms <n>` from `args`.
     fn strip(args: &mut Vec<String>) -> Result<ObsFlags, String> {
         let mut flags = ObsFlags::default();
         let mut i = 0;
@@ -175,6 +186,27 @@ impl ObsFlags {
                         .parse()
                         .map_err(|_| format!("--jobs needs a number, got {n}"))?;
                 }
+                "--workers" => {
+                    if i + 1 >= args.len() {
+                        return Err("--workers needs a <n>".into());
+                    }
+                    args.remove(i);
+                    let n = args.remove(i);
+                    flags.workers = Some(
+                        n.parse()
+                            .map_err(|_| format!("--workers needs a number, got {n}"))?,
+                    );
+                }
+                "--deadline-ms" => {
+                    if i + 1 >= args.len() {
+                        return Err("--deadline-ms needs a <n>".into());
+                    }
+                    args.remove(i);
+                    let n = args.remove(i);
+                    flags.deadline_ms = n
+                        .parse()
+                        .map_err(|_| format!("--deadline-ms needs a number, got {n}"))?;
+                }
                 _ => i += 1,
             }
         }
@@ -183,6 +215,17 @@ impl ObsFlags {
 
     fn any(&self) -> bool {
         self.profile || self.metrics_json.is_some() || self.events.is_some() || self.serve.is_some()
+    }
+
+    /// The execution policy `--workers` / `--deadline-ms` describe.
+    /// `fallback_width` covers `batch`, whose older `--jobs` flag keeps
+    /// working when `--workers` is absent.
+    fn exec_batch(&self, fallback_width: usize) -> ion_exec::Batch {
+        let mut exec = ion_exec::Batch::new().with_width(self.workers.unwrap_or(fallback_width));
+        if self.deadline_ms > 0 {
+            exec = exec.with_deadline(std::time::Duration::from_millis(self.deadline_ms));
+        }
+        exec
     }
 
     /// Open the store named by `--store`, or explain which command
@@ -239,13 +282,16 @@ fn load(path: &str) -> Result<darshan::log::Log, String> {
 /// Full diagnosis of trace bytes — incremental when `--store` is given,
 /// the plain pipeline otherwise.
 fn analyze_bytes(bytes: &[u8], flags: &ObsFlags) -> Result<ion::pipeline::IonReport, String> {
+    let exec = flags.exec_batch(0);
     if flags.store.is_some() {
         let store = flags.open_store("analyze")?;
         ion_store::StoredPipeline::new(store)
+            .with_exec(exec)
             .analyze_bytes(bytes)
             .map_err(|e| e.to_string())
     } else {
         IonPipeline::new()
+            .with_exec(exec)
             .run_bytes(bytes)
             .map_err(|e| format!("cannot decode trace: {e}"))
     }
@@ -379,7 +425,8 @@ fn dispatch(args: &[String], flags: &ObsFlags) -> Result<(), Failure> {
             let dir = args.get(1).ok_or("batch needs <trace-dir>")?;
             let store = flags.open_store("batch")?;
             let driver = ion_store::StoredPipeline::new(store);
-            let report = ion_store::analyze_dir(&driver, std::path::Path::new(dir), flags.jobs)
+            let exec = flags.exec_batch(flags.jobs);
+            let report = ion_store::analyze_dir_with(&driver, std::path::Path::new(dir), &exec)
                 .map_err(|e| e.to_string())?;
             emit(&report.render_text());
             if report.failed() > 0 {

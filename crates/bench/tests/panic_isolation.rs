@@ -1,0 +1,84 @@
+//! Regression test for the panic-abort bug: before `ion-exec`, a panic in
+//! one issue's analysis unwound through `thread::scope` and aborted the
+//! whole `Analyzer::analyze` call. Now the panic is caught per task and
+//! rendered as a failed diagnosis; every other issue still gets analyzed.
+//!
+//! Fault injection uses the `ION_PANIC_ISSUE` env var (honored by
+//! `Analyzer::run_one`), which is process-wide — this file stays the only
+//! test binary that sets it.
+
+use darshan::log::LogWriter;
+use ion::pipeline::IonPipeline;
+use iosim::{SimConfig, Simulation};
+
+/// A trace whose misaligned writes make `misaligned-io` (the issue we
+/// blow up) and several other issues applicable.
+fn misaligned_trace_bytes() -> Vec<u8> {
+    let mut sim = Simulation::new(SimConfig::default().with_ranks(2).with_exe("panic"));
+    let f = sim.posix_open_all("/scratch/out.nc4").unwrap();
+    for i in 0..64u64 {
+        for rank in 0..2u32 {
+            let base = u64::from(rank) * (32 << 20);
+            sim.posix_write(rank, f, base + i * 4096 + 17, 4096)
+                .unwrap();
+        }
+    }
+    sim.posix_close_all(f);
+    LogWriter::from_log(sim.finish()).finish().unwrap()
+}
+
+#[test]
+fn panicking_issue_fails_alone_and_the_report_survives() {
+    let bytes = misaligned_trace_bytes();
+    let healthy = IonPipeline::new().run_bytes(&bytes).unwrap();
+    assert!(healthy.diagnosis("misaligned-io").unwrap().is_detected());
+    let n = healthy.diagnoses.len();
+    assert!(n >= 2, "need other issues to prove they survive");
+
+    std::env::set_var("ION_PANIC_ISSUE", "misaligned-io");
+    let report = IonPipeline::new().run_bytes(&bytes).unwrap();
+    std::env::remove_var("ION_PANIC_ISSUE");
+
+    // Same issue set: the victim is present as a failed entry, not missing.
+    assert_eq!(report.diagnoses.len(), n);
+    let victim = report.diagnosis("misaligned-io").unwrap();
+    assert!(
+        victim.conclusion.contains("analysis panicked"),
+        "{}",
+        victim.conclusion
+    );
+    assert!(victim.raw.contains("ANALYSIS FAILED"), "{}", victim.raw);
+    // Every other diagnosis is byte-identical to the healthy run.
+    for d in &report.diagnoses {
+        if d.issue != "misaligned-io" {
+            assert_eq!(Some(d), healthy.diagnosis(&d.issue), "{}", d.issue);
+        }
+    }
+    assert!(!report.summary.is_empty());
+}
+
+#[test]
+fn cli_analyze_survives_a_panicking_issue() {
+    let dir = std::env::temp_dir().join(format!("ion-panic-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("t.darshan");
+    std::fs::write(&trace, misaligned_trace_bytes()).unwrap();
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_ion_cli"))
+        .arg("analyze")
+        .arg(&trace)
+        .env("ION_PANIC_ISSUE", "misaligned-io")
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "analyze exited {:?}: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("ANALYSIS FAILED"), "{stdout}");
+    assert!(stdout.contains("GLOBAL DIAGNOSIS SUMMARY"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -118,6 +118,14 @@ fn live_batch_is_observable_end_to_end() {
         "{metrics}"
     );
     assert!(metrics.contains("# TYPE ion_llm_runs counter"), "{metrics}");
+    // The batch dispatched through the ion-exec pool, whose gauges and
+    // counters surface on the same endpoint.
+    assert!(metrics.contains("ion_exec_width"), "{metrics}");
+    assert!(metrics.contains("ion_exec_queue_depth 0"), "{metrics}");
+    assert!(
+        metrics.contains("# TYPE ion_exec_tasks counter"),
+        "{metrics}"
+    );
 
     // The event stream saw the batch: per-trace outcomes, span lifecycle,
     // store lookups and model runs all flowed through one ordered ring.
@@ -418,5 +426,32 @@ fn exp_scaling_writes_bench_snapshot() {
         .output()
         .unwrap();
     assert!(out.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `exp_scaling --sched` compares chunk-barrier dispatch against the
+/// `ion-exec` shared queue and gates on the width-4 speedup; its snapshot
+/// is the `BENCH_sched.json` trajectory CI diffs against.
+#[test]
+fn exp_scaling_sched_gate_passes_and_writes_snapshot() {
+    let dir = tmp_dir("sched");
+    let bench = dir.join("BENCH_sched.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_exp_scaling"))
+        .args(["--sched", "--quick", "--bench-out", bench.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&bench).unwrap();
+    let doc = json::parse(&text).unwrap();
+    assert_eq!(doc.get("schema").unwrap().as_str(), Some("ion-obs/1"));
+    let stage = doc.get("stages").unwrap().get("sched.run").unwrap();
+    assert_eq!(stage.get("count").unwrap().as_u64(), Some(4), "four widths");
+    let gauges = doc.get("gauges").unwrap();
+    let speedup = gauges.get("sched.speedup.w4").unwrap().as_f64().unwrap();
+    assert!(speedup >= 1.2, "width-4 speedup {speedup} under the gate");
     let _ = std::fs::remove_dir_all(&dir);
 }

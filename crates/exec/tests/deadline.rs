@@ -1,0 +1,80 @@
+//! Deadline semantics: a deadlined batch returns promptly with partial
+//! results — completed items keep their values, un-started items resolve
+//! to `Deadlined`, and nothing blocks on the work that was never begun.
+
+use ion_exec::{Batch, CancelToken, Interrupt, TaskOutcome};
+use std::time::{Duration, Instant};
+
+#[test]
+fn deadlined_batch_returns_partial_results_within_tolerance() {
+    // 16 tasks × 40ms at width 2 would take ~320ms start to finish; a
+    // 60ms deadline must cut the queue off long before that.
+    let items: Vec<u32> = (0..16).collect();
+    let t0 = Instant::now();
+    let out = Batch::new()
+        .with_width(2)
+        .with_deadline(Duration::from_millis(60))
+        .map_ordered(&items, |&i, _| {
+            std::thread::sleep(Duration::from_millis(40));
+            i
+        });
+    let elapsed = t0.elapsed();
+
+    // Tolerance: the deadline plus one in-flight task per worker (tasks
+    // already running are finished, not killed), with generous slack for
+    // slow CI machines.
+    assert!(
+        elapsed < Duration::from_millis(60 + 40 + 400),
+        "deadlined batch took {elapsed:?}"
+    );
+
+    let done = out.iter().filter(|o| o.is_ok()).count();
+    let deadlined = out
+        .iter()
+        .filter(|o| matches!(o, TaskOutcome::Deadlined))
+        .count();
+    assert_eq!(done + deadlined, items.len());
+    // Both workers finish their first task before the 60ms mark, and the
+    // full batch can never finish inside it.
+    assert!(done >= 2, "outcomes: {out:?}");
+    assert!(deadlined >= 1, "outcomes: {out:?}");
+    // Completed slots hold the right values in the right positions.
+    for (i, o) in out.iter().enumerate() {
+        if let TaskOutcome::Ok(v) = o {
+            assert_eq!(*v, i as u32);
+        }
+    }
+}
+
+#[test]
+fn running_task_observes_deadline_at_its_safe_point() {
+    // One long task polls the interrupt mid-flight and stops itself.
+    let items = [()];
+    let out = Batch::new()
+        .with_width(1)
+        .with_deadline(Duration::from_millis(20))
+        .map_ordered(&items, |(), ctx| {
+            let mut polls = 0u32;
+            loop {
+                polls += 1;
+                if ctx.check().is_err() || polls > 10_000 {
+                    return polls;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+    match out[0] {
+        TaskOutcome::Ok(polls) => assert!(polls <= 10_000, "interrupt never fired"),
+        ref other => panic!("unexpected outcome {other:?}"),
+    }
+}
+
+#[test]
+fn interrupt_prefers_cancellation_over_deadline() {
+    let token = CancelToken::new();
+    token.cancel();
+    let interrupt = Interrupt::none()
+        .with_cancel(token)
+        .with_deadline_at(Instant::now() - Duration::from_secs(1));
+    assert_eq!(interrupt.check(), Err(ion_exec::Interrupted::Cancelled));
+}

@@ -1,0 +1,79 @@
+//! Property/stress tests for `ion-exec`: under random task durations,
+//! injected panics and every width from 1 to 8, `map_ordered` must
+//! return exactly the outcomes of sequential execution, in input order.
+
+use ion_exec::{Batch, TaskOutcome};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// One synthetic task: busy-ish duration plus whether it panics.
+#[derive(Debug, Clone)]
+struct Spec {
+    sleep_us: u64,
+    panics: bool,
+}
+
+/// What sequential execution of `spec` at index `i` must produce.
+fn expected(i: usize, spec: &Spec) -> TaskOutcome<usize> {
+    if spec.panics {
+        TaskOutcome::Panicked(format!("injected panic in task {i}"))
+    } else {
+        TaskOutcome::Ok(i * 7 + 1)
+    }
+}
+
+fn run_spec(i: usize, spec: &Spec) -> usize {
+    if spec.sleep_us > 0 {
+        std::thread::sleep(Duration::from_micros(spec.sleep_us));
+    }
+    assert!(!spec.panics, "injected panic in task {i}");
+    i * 7 + 1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_outcomes_match_sequential(
+        specs in proptest::collection::vec(
+            (0u64..400, 0u32..100)
+                .prop_map(|(sleep_us, p)| Spec { sleep_us, panics: p < 15 }),
+            0..24,
+        ),
+        width in 1usize..=8,
+    ) {
+        let want: Vec<TaskOutcome<usize>> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| expected(i, s))
+            .collect();
+        let got = Batch::new()
+            .with_width(width)
+            .map_ordered(&specs, |spec, ctx| run_spec(ctx.index(), spec));
+        prop_assert_eq!(got, want);
+    }
+}
+
+/// A fixed high-contention stress case run outside proptest so `--release`
+/// CI exercises it with many iterations: every width, panics sprinkled in,
+/// results always identical to the sequential oracle.
+#[test]
+fn stress_every_width_agrees_with_sequential() {
+    let specs: Vec<Spec> = (0u64..64)
+        .map(|i| Spec {
+            sleep_us: (i % 13) * 37,
+            panics: i % 11 == 4,
+        })
+        .collect();
+    let want: Vec<TaskOutcome<usize>> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| expected(i, s))
+        .collect();
+    for width in 1..=8 {
+        let got = Batch::new()
+            .with_width(width)
+            .map_ordered(&specs, |spec, ctx| run_spec(ctx.index(), spec));
+        assert_eq!(got, want, "width {width}");
+    }
+}

@@ -199,6 +199,9 @@ pub enum RuntimeError {
         /// Requested tool name.
         tool: String,
     },
+    /// The run was cancelled or deadlined between tool-call steps (see
+    /// [`Runtime::with_interrupt`]).
+    Interrupted(ion_exec::Interrupted),
 }
 
 impl fmt::Display for RuntimeError {
@@ -208,6 +211,7 @@ impl fmt::Display for RuntimeError {
                 write!(f, "model did not finish within {max_steps} steps")
             }
             RuntimeError::UnknownTool { tool } => write!(f, "unknown tool {tool}"),
+            RuntimeError::Interrupted(why) => write!(f, "run {why} between tool-call steps"),
         }
     }
 }
@@ -220,6 +224,7 @@ pub struct Runtime<'a> {
     model: &'a dyn LanguageModel,
     tables: &'a TableSet,
     max_steps: usize,
+    interrupt: ion_exec::Interrupt,
 }
 
 impl fmt::Debug for Runtime<'_> {
@@ -239,6 +244,7 @@ impl<'a> Runtime<'a> {
             model,
             tables,
             max_steps: 64,
+            interrupt: ion_exec::Interrupt::none(),
         }
     }
 
@@ -246,6 +252,16 @@ impl<'a> Runtime<'a> {
     #[must_use]
     pub fn with_max_steps(mut self, max_steps: usize) -> Self {
         self.max_steps = max_steps.max(1);
+        self
+    }
+
+    /// Stop the run cooperatively: the interrupt is polled before every
+    /// model step, so a cancelled or deadlined run ends between tool-call
+    /// steps (tool calls themselves are never killed mid-flight) with
+    /// [`RuntimeError::Interrupted`].
+    #[must_use]
+    pub fn with_interrupt(mut self, interrupt: ion_exec::Interrupt) -> Self {
+        self.interrupt = interrupt;
         self
     }
 
@@ -266,6 +282,17 @@ impl<'a> Runtime<'a> {
         );
         let mut tool_outputs = Vec::new();
         for step in 0..self.max_steps {
+            if let Err(why) = self.interrupt.check() {
+                ion_obs::event!(
+                    "llm.run.failed",
+                    reason = match why {
+                        ion_exec::Interrupted::Cancelled => "cancelled",
+                        ion_exec::Interrupted::Deadlined => "deadlined",
+                    },
+                    steps = step,
+                );
+                return Err(RuntimeError::Interrupted(why));
+            }
             match self.model.step(&thread) {
                 ModelAction::Final(text) => {
                     run_span.attr("steps", step + 1);
@@ -457,6 +484,45 @@ mod tests {
             .run(Thread::new())
             .unwrap_err();
         assert_eq!(err, RuntimeError::Budget { max_steps: 3 });
+    }
+
+    #[test]
+    fn deadlined_run_stops_between_steps() {
+        let model = ScriptedModel {
+            program: "LOAD DXT\nAGG total = sum(length)\nEMIT total\n".into(),
+        };
+        let tables = tables();
+        let expired = ion_exec::Interrupt::none()
+            .with_deadline_at(std::time::Instant::now() - std::time::Duration::from_millis(1));
+        let err = Runtime::new(&model, &tables)
+            .with_interrupt(expired)
+            .run(Thread::new())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RuntimeError::Interrupted(ion_exec::Interrupted::Deadlined)
+        );
+        assert!(err.to_string().contains("deadlined between tool-call"));
+    }
+
+    #[test]
+    fn cancelled_run_stops_between_steps() {
+        let model = ScriptedModel {
+            program: "LOAD DXT\nAGG total = sum(length)\nEMIT total\n".into(),
+        };
+        let tables = tables();
+        let token = ion_exec::CancelToken::new();
+        // An unfired token leaves the run untouched …
+        let runtime = Runtime::new(&model, &tables)
+            .with_interrupt(ion_exec::Interrupt::none().with_cancel(token.clone()));
+        assert!(runtime.run(Thread::new()).is_ok());
+        // … and a fired one stops it before the next model step.
+        token.cancel();
+        let err = runtime.run(Thread::new()).unwrap_err();
+        assert_eq!(
+            err,
+            RuntimeError::Interrupted(ion_exec::Interrupted::Cancelled)
+        );
     }
 
     #[test]

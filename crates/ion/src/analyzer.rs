@@ -81,13 +81,18 @@ pub struct AnalysisResult {
     pub summary: String,
     /// Issues that were skipped because none of their modules were present.
     pub skipped: Vec<String>,
+    /// Issues whose analysis did not complete (panicked, cancelled or
+    /// deadlined). Each still has a failed-diagnosis entry in
+    /// [`AnalysisResult::diagnoses`] — one bad issue degrades one
+    /// diagnosis, never the whole report.
+    pub failed: Vec<String>,
 }
 
 /// The Analyzer: holds the contexts and the model backend.
 pub struct Analyzer<'m> {
     contexts: Vec<IssueContext>,
     model: &'m dyn LanguageModel,
-    parallel: bool,
+    exec: ion_exec::Batch,
 }
 
 impl std::fmt::Debug for Analyzer<'_> {
@@ -95,7 +100,7 @@ impl std::fmt::Debug for Analyzer<'_> {
         f.debug_struct("Analyzer")
             .field("contexts", &self.contexts.len())
             .field("model", &self.model.model_id())
-            .field("parallel", &self.parallel)
+            .field("exec", &self.exec)
             .finish()
     }
 }
@@ -115,7 +120,7 @@ impl Analyzer<'static> {
         Analyzer {
             contexts: builtin_contexts(),
             model: &DEFAULT_MODEL,
-            parallel: true,
+            exec: ion_exec::Batch::new(),
         }
     }
 }
@@ -127,7 +132,7 @@ impl<'m> Analyzer<'m> {
         Analyzer {
             contexts: builtin_contexts(),
             model,
-            parallel: true,
+            exec: ion_exec::Batch::new(),
         }
     }
 
@@ -138,10 +143,19 @@ impl<'m> Analyzer<'m> {
         self
     }
 
+    /// Replace the execution policy: worker width, per-batch deadline,
+    /// cancellation token. Per-issue analyses run as one `ion-exec`
+    /// batch under it.
+    #[must_use]
+    pub fn with_exec(mut self, exec: ion_exec::Batch) -> Self {
+        self.exec = exec;
+        self
+    }
+
     /// Disable parallel dispatch (useful for deterministic profiling).
     #[must_use]
     pub fn sequential(mut self) -> Self {
-        self.parallel = false;
+        self.exec = self.exec.with_width(1);
         self
     }
 
@@ -157,12 +171,19 @@ impl<'m> Analyzer<'m> {
         tables: &TableSet,
         params: &SystemParams,
         obs_parent: Option<ion_obs::SpanId>,
+        interrupt: &ion_exec::Interrupt,
     ) -> Diagnosis {
+        // Fault injection for integration tests: `ION_PANIC_ISSUE=<id>`
+        // panics that one issue's analysis, exercising the pool's panic
+        // isolation through the real pipeline.
+        if std::env::var("ION_PANIC_ISSUE").as_deref() == Ok(context.id) {
+            panic!("injected panic for issue {}", context.id);
+        }
         let mut issue_span = ion_obs::span_under(obs_parent, "issue");
         issue_span.attr("issue", context.id);
         ion_obs::counter("ion.issue_analyses", 1);
         let prompt = build_issue_prompt(context, tables, params);
-        let runtime = Runtime::new(self.model, tables);
+        let runtime = Runtime::new(self.model, tables).with_interrupt(interrupt.clone());
         match runtime.run(Thread::new().with(Message::user(prompt))) {
             Ok(completion) => {
                 let mut d = Diagnosis::parse(&completion.text);
@@ -207,7 +228,21 @@ impl<'m> Analyzer<'m> {
         tables: &TableSet,
         params: &SystemParams,
     ) -> Diagnosis {
-        self.run_one(context, tables, params, ion_obs::current_span())
+        self.analyze_issue_interruptible(context, tables, params, &ion_exec::Interrupt::none())
+    }
+
+    /// [`Analyzer::analyze_issue`] with a cooperative interrupt threaded
+    /// into the model run loop, for callers dispatching through their own
+    /// `ion-exec` batch (the incremental store driver).
+    #[must_use]
+    pub fn analyze_issue_interruptible(
+        &self,
+        context: &IssueContext,
+        tables: &TableSet,
+        params: &SystemParams,
+        interrupt: &ion_exec::Interrupt,
+    ) -> Diagnosis {
+        self.run_one(context, tables, params, ion_obs::current_span(), interrupt)
     }
 
     /// Run the summarization pass over per-issue diagnoses.
@@ -233,44 +268,39 @@ impl<'m> Analyzer<'m> {
     pub fn analyze(&self, tables: &TableSet, params: &SystemParams) -> AnalysisResult {
         let (applicable, skipped) = applicable_contexts(&self.contexts, tables);
 
-        // Dispatch width follows the hardware: per-issue analyses clone and
-        // transform large DXT tables, so oversubscribing cores only adds
-        // memory pressure.
-        let width = std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get);
         let mut analyze_span = ion_obs::span!("analyze");
         analyze_span.attr("issues", applicable.len());
-        analyze_span.attr("width", if self.parallel { width } else { 1 });
+        analyze_span.attr("width", self.exec.effective_width(applicable.len()));
         // Workers run on other threads, so the per-issue spans parent to the
         // analyze span through an explicit hand-off.
         let analyze_id = analyze_span.id();
-        let diagnoses: Vec<Diagnosis> = if self.parallel && width > 1 {
-            let mut slots: Vec<Option<Diagnosis>> = Vec::new();
-            slots.resize_with(applicable.len(), || None);
-            for (chunk_start, chunk) in applicable
-                .chunks(width)
-                .enumerate()
-                .map(|(ci, c)| (ci * width, c))
-            {
-                std::thread::scope(|scope| {
-                    let mut handles = Vec::new();
-                    for (i, context) in chunk.iter().enumerate() {
-                        handles.push((
-                            chunk_start + i,
-                            scope.spawn(move || self.run_one(context, tables, params, analyze_id)),
-                        ));
-                    }
-                    for (i, h) in handles {
-                        slots[i] = Some(h.join().expect("analysis thread panicked"));
-                    }
-                });
-            }
-            slots.into_iter().flatten().collect()
-        } else {
-            applicable
-                .iter()
-                .map(|c| self.run_one(c, tables, params, analyze_id))
-                .collect()
-        };
+        // One shared-queue batch over the applicable issues: workers pull
+        // the next issue the moment they finish one (no chunk barriers),
+        // and a panicking analysis degrades to a failed diagnosis below
+        // instead of aborting the whole report.
+        let outcomes = self.exec.map_ordered(&applicable, |context, ctx| {
+            self.run_one(context, tables, params, analyze_id, ctx.interrupt())
+        });
+        let mut failed = Vec::new();
+        let diagnoses: Vec<Diagnosis> = outcomes
+            .into_iter()
+            .zip(&applicable)
+            .map(|(outcome, context)| match outcome {
+                ion_exec::TaskOutcome::Ok(d) => d,
+                ion_exec::TaskOutcome::Panicked(msg) => {
+                    failed.push(context.id.to_owned());
+                    failed_diagnosis(context, &format!("analysis panicked: {msg}"))
+                }
+                ion_exec::TaskOutcome::Cancelled => {
+                    failed.push(context.id.to_owned());
+                    failed_diagnosis(context, "analysis cancelled before it started")
+                }
+                ion_exec::TaskOutcome::Deadlined => {
+                    failed.push(context.id.to_owned());
+                    failed_diagnosis(context, "analysis deadlined before it started")
+                }
+            })
+            .collect();
 
         // Summarization pass over the per-issue completions.
         let summary = self.summarize(&diagnoses, tables);
@@ -279,7 +309,21 @@ impl<'m> Analyzer<'m> {
             diagnoses,
             summary,
             skipped,
+            failed,
         }
+    }
+}
+
+/// The diagnosis recorded for an issue whose analysis did not complete:
+/// detected-nothing, with the failure reason as conclusion and raw text so
+/// rendered reports show what happened to the slot.
+fn failed_diagnosis(context: &IssueContext, reason: &str) -> Diagnosis {
+    Diagnosis {
+        issue: context.id.to_owned(),
+        conclusion: reason.to_owned(),
+        raw: format!("ISSUE: {}\nANALYSIS FAILED: {reason}\n", context.id),
+        context_revision: context.revision().hex(),
+        ..Diagnosis::default()
     }
 }
 

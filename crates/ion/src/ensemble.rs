@@ -79,8 +79,12 @@ fn detection_label(d: Option<Detection>) -> String {
 /// reporting per-issue detection stability.
 ///
 /// `factors` scale the RPC and stripe sizes (e.g. `[0.75, 1.25]` for ±25%
-/// uncertainty). Runs are sequential per parameter set; each set uses the
-/// analyzer's own per-issue parallelism.
+/// uncertainty). Parameter sets are dispatched as one `ion-exec` batch
+/// (ensembles are small, so the outer width is capped by the set count);
+/// each set additionally uses the analyzer's own per-issue parallelism. A
+/// set whose analysis does not complete is dropped from the tally —
+/// [`EnsembleResult::runs`] counts completed runs — except the nominal
+/// set, without which there is nothing to vote on (empty result).
 #[must_use]
 pub fn ensemble_analyze(
     analyzer: &Analyzer<'_>,
@@ -89,7 +93,13 @@ pub fn ensemble_analyze(
     factors: &[f64],
 ) -> EnsembleResult {
     let sets = perturbations(nominal, factors);
-    let results: Vec<_> = sets.iter().map(|p| analyzer.analyze(tables, p)).collect();
+    let outcomes = ion_exec::Batch::new().map_ordered(&sets, |p, _ctx| analyzer.analyze(tables, p));
+    let mut outcomes = outcomes.into_iter();
+    let Some(ion_exec::TaskOutcome::Ok(nominal_run)) = outcomes.next() else {
+        return EnsembleResult::default();
+    };
+    let mut results = vec![nominal_run];
+    results.extend(outcomes.filter_map(ion_exec::TaskOutcome::ok));
     let nominal_result = &results[0];
     let mut votes = Vec::new();
     for d in &nominal_result.diagnoses {

@@ -78,6 +78,7 @@ pub struct IonPipeline {
     params_override: Option<SystemParams>,
     retrieval_k: Option<usize>,
     contexts_override: Option<Vec<crate::context::IssueContext>>,
+    exec: ion_exec::Batch,
 }
 
 impl IonPipeline {
@@ -88,7 +89,16 @@ impl IonPipeline {
             params_override: None,
             retrieval_k: None,
             contexts_override: None,
+            exec: ion_exec::Batch::new(),
         }
+    }
+
+    /// Replace the execution policy (worker width, deadline, cancellation)
+    /// the analyzer dispatches per-issue analyses under.
+    #[must_use]
+    pub fn with_exec(mut self, exec: ion_exec::Batch) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// Force specific system parameters instead of deriving them.
@@ -174,7 +184,7 @@ impl IonPipeline {
     /// Run on already-extracted tables.
     #[must_use]
     pub fn run_tables(&self, tables: &TableSet, params: &SystemParams) -> IonReport {
-        let mut analyzer = Analyzer::new();
+        let mut analyzer = Analyzer::new().with_exec(self.exec.clone());
         if self.retrieval_k.is_some() || self.contexts_override.is_some() {
             analyzer = analyzer.with_contexts(self.contexts_for(tables));
         }
@@ -182,6 +192,7 @@ impl IonPipeline {
             diagnoses,
             summary,
             skipped,
+            failed,
         } = analyzer.analyze(tables, params);
         let report = IonReport {
             diagnoses,
@@ -194,6 +205,7 @@ impl IonPipeline {
             diagnoses = report.diagnoses.len(),
             detected = report.detected().len(),
             skipped = report.skipped.len(),
+            failed = failed.len(),
         );
         report
     }

@@ -161,6 +161,18 @@ pub fn analyze_dir(
     dir: &Path,
     jobs: usize,
 ) -> Result<BatchReport, StoreError> {
+    analyze_dir_with(driver, dir, &ion_exec::Batch::new().with_width(jobs))
+}
+
+/// [`analyze_dir`] with an explicit execution policy: worker width,
+/// batch deadline, and cancellation all come from `exec`. A trace whose
+/// worker panics, or that is cancelled/deadlined before completing,
+/// becomes a failed [`BatchEntry`]; the rest of the batch proceeds.
+pub fn analyze_dir_with(
+    driver: &StoredPipeline<'_>,
+    dir: &Path,
+    exec: &ion_exec::Batch,
+) -> Result<BatchReport, StoreError> {
     let files = trace_files(dir)?;
     if files.is_empty() {
         return Err(StoreError::Pipeline(format!(
@@ -170,52 +182,41 @@ pub fn analyze_dir(
     }
     let mut span = ion_obs::span!("store.batch");
     span.attr("traces", files.len());
-    let width = if jobs == 0 {
-        std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get)
-    } else {
-        jobs
-    };
-    span.attr("jobs", width);
+    span.attr("jobs", exec.effective_width(files.len()));
     let parent = span.id();
     let progress = BatchProgress::start(files.len());
 
-    let mut slots: Vec<Option<BatchEntry>> = Vec::new();
-    slots.resize_with(files.len(), || None);
-    for (chunk_start, chunk) in files
-        .chunks(width)
-        .enumerate()
-        .map(|(ci, c)| (ci * width, c))
-    {
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (i, path) in chunk.iter().enumerate() {
-                let progress = &progress;
-                handles.push((
-                    chunk_start + i,
-                    scope.spawn(move || {
-                        let mut span = ion_obs::span_under(parent, "store.batch.trace");
-                        span.attr("path", path.display().to_string());
-                        progress.trace_started();
-                        let entry = BatchEntry {
-                            path: path.clone(),
-                            result: driver.analyze_file(path).map_err(|e| e.to_string()),
-                        };
-                        progress.trace_finished(&entry);
-                        entry
-                    }),
-                ));
-            }
-            for (i, h) in handles {
-                slots[i] = Some(h.join().unwrap_or_else(|_| BatchEntry {
-                    path: files[i].clone(),
-                    result: Err("batch worker panicked".into()),
-                }));
-            }
-        });
-    }
-    Ok(BatchReport {
-        entries: slots.into_iter().flatten().collect(),
-    })
+    let outcomes = exec.map_ordered(&files, |path, _ctx| {
+        let mut span = ion_obs::span_under(parent, "store.batch.trace");
+        span.attr("path", path.display().to_string());
+        progress.trace_started();
+        let entry = BatchEntry {
+            path: path.clone(),
+            result: driver.analyze_file(path).map_err(|e| e.to_string()),
+        };
+        progress.trace_finished(&entry);
+        entry
+    });
+    let entries = outcomes
+        .into_iter()
+        .zip(&files)
+        .map(|(outcome, path)| match outcome {
+            ion_exec::TaskOutcome::Ok(entry) => entry,
+            ion_exec::TaskOutcome::Panicked(_) => BatchEntry {
+                path: path.clone(),
+                result: Err("batch worker panicked".into()),
+            },
+            ion_exec::TaskOutcome::Cancelled => BatchEntry {
+                path: path.clone(),
+                result: Err("batch cancelled".into()),
+            },
+            ion_exec::TaskOutcome::Deadlined => BatchEntry {
+                path: path.clone(),
+                result: Err("batch deadlined".into()),
+            },
+        })
+        .collect();
+    Ok(BatchReport { entries })
 }
 
 #[cfg(test)]

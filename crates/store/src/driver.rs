@@ -51,6 +51,7 @@ pub struct StoredPipeline<'m> {
     store: Arc<Store>,
     pipeline: IonPipeline,
     model: &'m dyn LanguageModel,
+    exec: ion_exec::Batch,
 }
 
 impl std::fmt::Debug for StoredPipeline<'_> {
@@ -71,6 +72,7 @@ impl StoredPipeline<'static> {
             store,
             pipeline: IonPipeline::new(),
             model: &DEFAULT_MODEL,
+            exec: ion_exec::Batch::new(),
         }
     }
 }
@@ -83,6 +85,14 @@ impl<'m> StoredPipeline<'m> {
         self
     }
 
+    /// Replace the execution policy (worker width, deadline, cancellation)
+    /// for per-issue analysis dispatch.
+    #[must_use]
+    pub fn with_exec(mut self, exec: ion_exec::Batch) -> Self {
+        self.exec = exec;
+        self
+    }
+
     /// Use a custom model backend (its `model_id` keys the cache).
     #[must_use]
     pub fn with_model<'n>(self, model: &'n dyn LanguageModel) -> StoredPipeline<'n> {
@@ -90,6 +100,7 @@ impl<'m> StoredPipeline<'m> {
             store: self.store,
             pipeline: self.pipeline,
             model,
+            exec: self.exec,
         }
     }
 
@@ -130,53 +141,46 @@ impl<'m> StoredPipeline<'m> {
         let model_id = key_safe(self.model.model_id());
         let analyzer = Analyzer::with_model(self.model);
 
-        let width = std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get);
         let parent = run_span.id();
-        let mut slots: Vec<Option<Result<Diagnosis, StoreError>>> = Vec::new();
-        slots.resize_with(applicable.len(), || None);
-        for (chunk_start, chunk) in applicable
-            .chunks(width)
-            .enumerate()
-            .map(|(ci, c)| (ci * width, c))
-        {
-            std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for (i, context) in chunk.iter().enumerate() {
-                    let key = format!(
-                        "issue/{}/{}/{}/{}/{}",
-                        context.id,
-                        tables_d,
-                        params_d,
-                        context.revision().hex(),
-                        model_id
-                    );
-                    let (tables, params, analyzer) = (&tables, &params, &analyzer);
-                    handles.push((
-                        chunk_start + i,
-                        scope.spawn(move || {
-                            let artifact = self.store.get_or_compute(&key, || {
-                                ion_obs::counter("store.recompute.issue", 1);
-                                let mut span = ion_obs::span_under(parent, "store.recompute");
-                                span.attr("stage", "issue");
-                                span.attr("issue", context.id);
-                                Ok(encode_diagnosis(
-                                    &analyzer.analyze_issue(context, tables, params),
-                                ))
-                            })?;
-                            decode_diagnosis(&artifact)
-                        }),
-                    ));
+        let outcomes = self.exec.map_ordered(&applicable, |context, ctx| {
+            let key = format!(
+                "issue/{}/{}/{}/{}/{}",
+                context.id,
+                tables_d,
+                params_d,
+                context.revision().hex(),
+                model_id
+            );
+            let artifact = self.store.get_or_compute(&key, || {
+                ion_obs::counter("store.recompute.issue", 1);
+                let mut span = ion_obs::span_under(parent, "store.recompute");
+                span.attr("stage", "issue");
+                span.attr("issue", context.id);
+                Ok(encode_diagnosis(&analyzer.analyze_issue_interruptible(
+                    context,
+                    &tables,
+                    &params,
+                    ctx.interrupt(),
+                )))
+            })?;
+            decode_diagnosis(&artifact)
+        });
+        let mut diagnoses: Vec<Diagnosis> = Vec::with_capacity(applicable.len());
+        for outcome in outcomes {
+            diagnoses.push(match outcome {
+                ion_exec::TaskOutcome::Ok(slot) => slot?,
+                ion_exec::TaskOutcome::Panicked(msg) => {
+                    return Err(StoreError::Pipeline(format!(
+                        "analysis worker panicked: {msg}"
+                    )))
                 }
-                for (i, h) in handles {
-                    slots[i] = Some(h.join().unwrap_or_else(|_| {
-                        Err(StoreError::Pipeline("analysis worker panicked".into()))
-                    }));
+                ion_exec::TaskOutcome::Cancelled => {
+                    return Err(StoreError::Pipeline("analysis cancelled".into()))
+                }
+                ion_exec::TaskOutcome::Deadlined => {
+                    return Err(StoreError::Pipeline("analysis deadlined".into()))
                 }
             });
-        }
-        let mut diagnoses = Vec::with_capacity(applicable.len());
-        for slot in slots.into_iter().flatten() {
-            diagnoses.push(slot?);
         }
 
         // Stage 3 — summarization, keyed by what it actually reads: the

@@ -40,7 +40,7 @@ pub mod lru;
 pub mod singleflight;
 pub mod store;
 
-pub use batch::{analyze_dir, BatchReport};
+pub use batch::{analyze_dir, analyze_dir_with, BatchReport};
 pub use digest::{digest_bytes, Digest};
 pub use driver::StoredPipeline;
 pub use store::{GcReport, Store};

@@ -15,6 +15,7 @@
 //! share its key.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 
 /// Outcome of a [`Singleflight::run`] call.
@@ -41,6 +42,7 @@ struct Slot<T> {
 /// Deduplicates concurrent computations by key.
 pub struct Singleflight<T> {
     flights: Mutex<HashMap<String, std::sync::Arc<Slot<T>>>>,
+    follower_joins: AtomicUsize,
 }
 
 impl<T> std::fmt::Debug for Singleflight<T> {
@@ -67,7 +69,17 @@ impl<T: Clone> Singleflight<T> {
     pub fn new() -> Singleflight<T> {
         Singleflight {
             flights: Mutex::new(HashMap::new()),
+            follower_joins: AtomicUsize::new(0),
         }
+    }
+
+    /// Number of callers so far that attached to an already in-flight
+    /// computation (before learning its outcome). Monotonic; lets an
+    /// orchestrator — or a test — wait deterministically until peers
+    /// have joined a flight, instead of sleeping and hoping.
+    #[must_use]
+    pub fn follower_joins(&self) -> usize {
+        self.follower_joins.load(Ordering::SeqCst)
     }
 
     /// Run `compute` for `key`, or wait for an identical in-flight call
@@ -77,7 +89,9 @@ impl<T: Clone> Singleflight<T> {
         let slot = {
             let mut flights = recover(self.flights.lock());
             if let Some(slot) = flights.get(key) {
-                std::sync::Arc::clone(slot)
+                let slot = std::sync::Arc::clone(slot);
+                self.follower_joins.fetch_add(1, Ordering::SeqCst);
+                slot
             } else {
                 let slot = std::sync::Arc::new(Slot {
                     state: Mutex::new(SlotState::Running),
@@ -145,28 +159,42 @@ mod tests {
     fn concurrent_identical_keys_compute_once() {
         let group: Arc<Singleflight<u64>> = Arc::new(Singleflight::new());
         let computed = Arc::new(AtomicUsize::new(0));
-        let barrier = Arc::new(Barrier::new(8));
-        let mut handles = Vec::new();
-        for _ in 0..8 {
+        // The leader signals this barrier from *inside* its computation,
+        // so followers spawned afterwards are guaranteed to find the
+        // flight in progress; the leader then holds the flight open until
+        // every follower has attached. No sleeps, no races: exactly one
+        // computation, by construction.
+        let in_flight = Arc::new(Barrier::new(2));
+        let leader = {
             let group = Arc::clone(&group);
             let computed = Arc::clone(&computed);
-            let barrier = Arc::clone(&barrier);
+            let in_flight = Arc::clone(&in_flight);
+            std::thread::spawn(move || {
+                group
+                    .run("k", || {
+                        computed.fetch_add(1, Ordering::SeqCst);
+                        in_flight.wait();
+                        while group.follower_joins() < 7 {
+                            std::thread::yield_now();
+                        }
+                        42u64
+                    })
+                    .0
+            })
+        };
+        in_flight.wait();
+        let mut handles = vec![leader];
+        for _ in 0..7 {
+            let group = Arc::clone(&group);
             handles.push(std::thread::spawn(move || {
-                barrier.wait();
-                let (v, _role) = group.run("k", || {
-                    computed.fetch_add(1, Ordering::SeqCst);
-                    // Hold the flight open long enough for peers to join.
-                    std::thread::sleep(std::time::Duration::from_millis(30));
-                    42u64
-                });
+                let (v, role) = group.run("k", || unreachable!("flight is already in progress"));
+                assert_eq!(role, FlightRole::Follower);
                 v
             }));
         }
         let values: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         assert!(values.iter().all(|&v| v == 42));
-        // At least one flight shared the leader's work; with the barrier
-        // and sleep, typically all eight collapse into one computation.
-        assert!(computed.load(Ordering::SeqCst) < 8);
+        assert_eq!(computed.load(Ordering::SeqCst), 1);
     }
 
     #[test]
@@ -189,26 +217,27 @@ mod tests {
     #[test]
     fn leader_panic_releases_followers() {
         let group: Arc<Singleflight<u32>> = Arc::new(Singleflight::new());
-        let barrier = Arc::new(Barrier::new(2));
+        // Same handshake as above: the leader crashes only after the
+        // follower has provably attached to its flight, so the follower
+        // deterministically exercises the Failed → recompute path.
+        let in_flight = Arc::new(Barrier::new(2));
         let leader = {
             let group = Arc::clone(&group);
-            let barrier = Arc::clone(&barrier);
+            let in_flight = Arc::clone(&in_flight);
             std::thread::spawn(move || {
                 let _ = group.run("k", || {
-                    barrier.wait();
-                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    in_flight.wait();
+                    while group.follower_joins() < 1 {
+                        std::thread::yield_now();
+                    }
                     panic!("leader crashed")
                 });
             })
         };
+        in_flight.wait();
         let follower = {
             let group = Arc::clone(&group);
-            let barrier = Arc::clone(&barrier);
-            std::thread::spawn(move || {
-                barrier.wait();
-                std::thread::sleep(std::time::Duration::from_millis(5));
-                group.run("k", || 7).0
-            })
+            std::thread::spawn(move || group.run("k", || 7).0)
         };
         assert!(leader.join().is_err());
         assert_eq!(follower.join().unwrap(), 7);
