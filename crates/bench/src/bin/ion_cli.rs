@@ -12,6 +12,9 @@
 //! ion-cli qa <log.darshan> "<question>" ...   diagnose then answer questions
 //! ion-cli iql <log.darshan> <file.iql>        run an IQL program on a trace
 //!         [--explain]                         print the optimized plan instead
+//! ion-cli fuzz [--iters N] [--seed S]         hostile-input fuzz campaign
+//!         [--minimize] [--save-crashes <dir>] (crashes exit nonzero, bytes pinned)
+//!         [--replay <corpus-dir>]             replay pinned regression seeds
 //! ion-cli store gc [--apply]                  prune unreferenced store artifacts
 //! ion-cli obs serve [addr]                    standalone live-telemetry endpoint
 //! ion-cli obs diff <base.json> <new.json>     snapshot-diff regression gate
@@ -70,7 +73,8 @@ fn usage() -> ExitCode {
         "usage: ion-cli [--profile] [--metrics-json <path>] [--events <path>] \
          [--serve <addr>] [--serve-hold-ms <n>] [--store <dir>] [--jobs <n>] \
          [--workers <n>] [--deadline-ms <n>] \
-         <generate|parse|dxt|extract|analyze|batch|drishti|compare|qa|iql|store|obs> <args...>\n\
+         <generate|parse|dxt|extract|analyze|batch|drishti|compare|qa|iql|store|obs|fuzz> \
+         <args...>\n\
          a bare <log.darshan> after the flags is shorthand for `analyze`\n\
          see `cargo doc` or the README for details"
     );
@@ -348,9 +352,9 @@ fn run() -> Result<(), Failure> {
     result
 }
 
-const COMMANDS: [&str; 12] = [
+const COMMANDS: [&str; 13] = [
     "generate", "parse", "dxt", "extract", "analyze", "batch", "drishti", "compare", "qa", "iql",
-    "store", "obs",
+    "store", "obs", "fuzz",
 ];
 
 fn dispatch(args: &[String], flags: &ObsFlags) -> Result<(), Failure> {
@@ -433,6 +437,95 @@ fn dispatch(args: &[String], flags: &ObsFlags) -> Result<(), Failure> {
                 return Err(Failure::outcome(format!(
                     "{} trace(s) failed",
                     report.failed()
+                )));
+            }
+        }
+        "fuzz" => {
+            let mut iters: u64 = 1000;
+            let mut seed: u64 = 0;
+            let mut minimize = false;
+            let mut replay: Option<String> = None;
+            let mut save_crashes: Option<String> = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--iters" => {
+                        let n = args.get(i + 1).ok_or("--iters needs a <n>")?;
+                        iters = n
+                            .parse()
+                            .map_err(|_| format!("--iters needs a number, got {n}"))?;
+                        i += 2;
+                    }
+                    "--seed" => {
+                        let n = args.get(i + 1).ok_or("--seed needs a <n>")?;
+                        seed = n
+                            .parse()
+                            .map_err(|_| format!("--seed needs a number, got {n}"))?;
+                        i += 2;
+                    }
+                    "--minimize" => {
+                        minimize = true;
+                        i += 1;
+                    }
+                    "--replay" => {
+                        replay = Some(args.get(i + 1).ok_or("--replay needs a <dir>")?.clone());
+                        i += 2;
+                    }
+                    "--save-crashes" => {
+                        save_crashes = Some(
+                            args.get(i + 1)
+                                .ok_or("--save-crashes needs a <dir>")?
+                                .clone(),
+                        );
+                        i += 2;
+                    }
+                    other => return Err(format!("fuzz: unknown argument {other}").into()),
+                }
+            }
+            if let Some(dir) = replay {
+                let (count, failures) = ion_fuzz::corpus::replay_dir(std::path::Path::new(&dir))
+                    .map_err(|e| format!("cannot replay {dir}: {e}"))?;
+                println!("replayed {count} corpus seed(s) from {dir}");
+                if !failures.is_empty() {
+                    for f in &failures {
+                        println!("  {}: CRASH at {}: {}", f.name, f.stage, f.message);
+                        println!("    minimized seed (hex): {}", f.minimized_hex);
+                    }
+                    return Err(Failure::outcome(format!(
+                        "{} corpus seed(s) crash the pipeline",
+                        failures.len()
+                    )));
+                }
+                return Ok(());
+            }
+            let config = ion_fuzz::CampaignConfig {
+                iters,
+                seed,
+                minimize,
+                jobs: (flags.jobs > 0).then_some(flags.jobs),
+            };
+            let report = ion_fuzz::run_campaign(&config);
+            println!("{}", report.render_text());
+            for c in &report.crashes {
+                println!(
+                    "  iter {} [{}] CRASH at {}: {}",
+                    c.iter,
+                    c.corruption.map_or("valid", ion_fuzz::Corruption::name),
+                    c.stage.name(),
+                    c.message
+                );
+                if let Some(dir) = &save_crashes {
+                    match ion_fuzz::corpus::save(std::path::Path::new(dir), c) {
+                        Ok(path) => println!("    pinned: {}", path.display()),
+                        Err(e) => eprintln!("    cannot pin crash: {e}"),
+                    }
+                }
+            }
+            if !report.crashes.is_empty() {
+                return Err(Failure::outcome(format!(
+                    "{} uncaught panic(s) in {} iterations (seed {seed})",
+                    report.crashes.len(),
+                    iters
                 )));
             }
         }

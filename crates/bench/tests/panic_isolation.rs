@@ -10,6 +10,7 @@
 use darshan::log::LogWriter;
 use ion::pipeline::IonPipeline;
 use iosim::{SimConfig, Simulation};
+use std::io::{BufRead as _, BufReader, Read as _, Write as _};
 
 /// A trace whose misaligned writes make `misaligned-io` (the issue we
 /// blow up) and several other issues applicable.
@@ -80,5 +81,109 @@ fn cli_analyze_survives_a_panicking_issue() {
     );
     assert!(stdout.contains("ANALYSIS FAILED"), "{stdout}");
     assert!(stdout.contains("GLOBAL DIAGNOSIS SUMMARY"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Minimal HTTP GET against the telemetry endpoint (no client dep).
+fn http_get(addr: &str, path: &str) -> String {
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut body = String::new();
+    stream.read_to_string(&mut body).unwrap();
+    body
+}
+
+/// One trace panicking mid-batch must not take the others down: their
+/// reports stay intact, the victim is a failed entry, and the panic shows
+/// up as `exec.tasks.panicked == 1` on the live `/metrics` endpoint.
+///
+/// Runs `ion_cli batch` in a subprocess so the counter on `/metrics` is
+/// exactly this batch's — in-process tests in this binary also panic
+/// tasks and would pollute the global registry.
+#[test]
+fn batch_isolates_a_panicking_trace_and_counts_it_on_metrics() {
+    let dir = std::env::temp_dir().join(format!("ion-panic-batch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("traces")).unwrap();
+    std::fs::write(dir.join("traces/a.darshan"), misaligned_trace_bytes()).unwrap();
+    std::fs::write(dir.join("traces/b.darshan"), misaligned_trace_bytes()).unwrap();
+    std::fs::write(dir.join("traces/boom.darshan"), misaligned_trace_bytes()).unwrap();
+
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_ion_cli"))
+        .arg("batch")
+        .arg(dir.join("traces"))
+        .arg("--store")
+        .arg(dir.join("store"))
+        .arg("--jobs")
+        .arg("2")
+        .arg("--serve")
+        .arg("127.0.0.1:0")
+        .arg("--serve-hold-ms")
+        .arg("10000")
+        .env("ION_PANIC_TRACE", "boom.darshan")
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+
+    // The CLI prints the bound ephemeral address before dispatching.
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let addr = loop {
+        let mut line = String::new();
+        assert_ne!(stderr.read_line(&mut line).unwrap(), 0, "no serve line");
+        if let Some(rest) = line.trim().strip_prefix("serving telemetry on http://") {
+            break rest.to_owned();
+        }
+    };
+    // Keep draining stderr so the child never blocks on a full pipe.
+    let drain = std::thread::spawn(move || {
+        let mut rest = String::new();
+        let _ = stderr.read_to_string(&mut rest);
+        rest
+    });
+
+    // Poll /metrics until the batch finishes (success + failure = 3).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    let metrics = loop {
+        assert!(std::time::Instant::now() < deadline, "batch never finished");
+        let body = http_get(&addr, "/metrics");
+        let done = ["ion_batch_completed 2", "ion_batch_failed 1"]
+            .iter()
+            .all(|needle| body.contains(needle));
+        if done {
+            break body;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    };
+    assert!(
+        metrics.contains("ion_exec_tasks_panicked 1"),
+        "exactly one panicked task expected:\n{metrics}"
+    );
+
+    let mut stdout = String::new();
+    child
+        .stdout
+        .take()
+        .unwrap()
+        .read_to_string(&mut stdout)
+        .unwrap();
+    let status = child.wait().unwrap();
+    let _ = drain.join();
+    // One failed trace makes the batch exit nonzero — that is the outcome
+    // contract, not a crash (the report below proves the run completed).
+    assert!(!status.success(), "expected outcome failure, got success");
+    // The victim failed alone; both healthy traces produced reports.
+    assert!(
+        stdout.contains("boom.darshan: FAILED: batch worker panicked"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("2 analyzed, 1 failed"), "{stdout}");
+    for healthy in ["a.darshan", "b.darshan"] {
+        let line = stdout
+            .lines()
+            .find(|l| l.contains(healthy))
+            .unwrap_or_else(|| panic!("no line for {healthy}: {stdout}"));
+        assert!(line.contains("issue(s) detected"), "{line}");
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -88,6 +88,12 @@ fn live_batch_is_observable_end_to_end() {
             let (status, body) = http_get(&addr, "/progress");
             assert_eq!(status, "HTTP/1.1 200 OK");
             let doc = json::parse(body.trim()).unwrap();
+            // The batch thread may not have registered its totals yet;
+            // only assert once the run has actually started.
+            if doc.get("total").unwrap().as_u64() == Some(0) {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                continue;
+            }
             assert_eq!(doc.get("total").unwrap().as_u64(), Some(3));
             let done = doc.get("completed").unwrap().as_u64().unwrap()
                 + doc.get("failed").unwrap().as_u64().unwrap();

@@ -207,10 +207,10 @@ impl PosixAccumulator {
                 self.record.add(PosixCounter::POSIX_SEQ_READS, 1);
             }
         }
-        self.last_read_end = Some(offset + size);
+        self.last_read_end = Some(offset.saturating_add(size));
         self.common(offset, size, mem_aligned, LastOp::Read);
         let hist_base = PosixCounter::POSIX_SIZE_READ_0_100.index() + size_bin(size);
-        self.record.counters[hist_base] += 1;
+        self.record.counters[hist_base] = self.record.counters[hist_base].saturating_add(1);
         let dur = (end - start).max(0.0);
         self.record.fadd(PosixFCounter::POSIX_F_READ_TIME, dur);
         if dur > self.max_read_time {
@@ -247,10 +247,10 @@ impl PosixAccumulator {
                 self.record.add(PosixCounter::POSIX_SEQ_WRITES, 1);
             }
         }
-        self.last_write_end = Some(offset + size);
+        self.last_write_end = Some(offset.saturating_add(size));
         self.common(offset, size, mem_aligned, LastOp::Write);
         let hist_base = PosixCounter::POSIX_SIZE_WRITE_0_100.index() + size_bin(size);
-        self.record.counters[hist_base] += 1;
+        self.record.counters[hist_base] = self.record.counters[hist_base].saturating_add(1);
         let dur = (end - start).max(0.0);
         self.record.fadd(PosixFCounter::POSIX_F_WRITE_TIME, dur);
         if dur > self.max_write_time {
@@ -298,7 +298,9 @@ impl PosixAccumulator {
     /// Total read + write operations recorded so far.
     #[must_use]
     pub fn op_count(&self) -> i64 {
-        self.record.get(PosixCounter::POSIX_READS) + self.record.get(PosixCounter::POSIX_WRITES)
+        self.record
+            .get(PosixCounter::POSIX_READS)
+            .saturating_add(self.record.get(PosixCounter::POSIX_WRITES))
     }
 
     /// Finalize the record: fill in top-4 access sizes / strides and max
@@ -421,7 +423,7 @@ impl MpiioAccumulator {
         }
         self.record.add(MpiioCounter::MPIIO_BYTES_READ, size as i64);
         let hist = MpiioCounter::MPIIO_SIZE_READ_AGG_0_100.index() + size_bin(size);
-        self.record.counters[hist] += 1;
+        self.record.counters[hist] = self.record.counters[hist].saturating_add(1);
         self.rw_common(size, LastOp::Read);
         let dur = (end - start).max(0.0);
         self.record.fadd(MpiioFCounter::MPIIO_F_READ_TIME, dur);
@@ -451,7 +453,7 @@ impl MpiioAccumulator {
         self.record
             .add(MpiioCounter::MPIIO_BYTES_WRITTEN, size as i64);
         let hist = MpiioCounter::MPIIO_SIZE_WRITE_AGG_0_100.index() + size_bin(size);
-        self.record.counters[hist] += 1;
+        self.record.counters[hist] = self.record.counters[hist].saturating_add(1);
         self.rw_common(size, LastOp::Write);
         let dur = (end - start).max(0.0);
         self.record.fadd(MpiioFCounter::MPIIO_F_WRITE_TIME, dur);
@@ -645,10 +647,37 @@ fn variance(values: &[f64]) -> f64 {
 /// (`rank == -1`) with fastest/slowest-rank and variance counters, the way
 /// `darshan-core` reduces shared file records at shutdown.
 ///
+/// Counter sums saturate at the `i64` bounds, so records decoded from
+/// hostile logs (e.g. `i64::MAX` counters) reduce without panicking; use
+/// [`try_reduce_posix`] when the overflow itself must be reported.
+///
 /// Returns `None` when `records` is empty.
 #[must_use]
 pub fn reduce_posix(records: &[PosixRecord]) -> Option<PosixRecord> {
-    let first = records.first()?;
+    reduce_posix_impl(records, false).expect("saturating reduction cannot overflow")
+}
+
+/// [`reduce_posix`] with checked counter sums: the first overflowing
+/// counter aborts the reduction with a typed
+/// [`crate::DarshanError::Overflow`] naming the counter.
+///
+/// # Errors
+///
+/// Returns [`crate::DarshanError::Overflow`] when any summed counter
+/// (or the per-rank byte total) exceeds `i64::MAX` in magnitude.
+pub fn try_reduce_posix(
+    records: &[PosixRecord],
+) -> Result<Option<PosixRecord>, crate::DarshanError> {
+    reduce_posix_impl(records, true)
+}
+
+fn reduce_posix_impl(
+    records: &[PosixRecord],
+    checked: bool,
+) -> Result<Option<PosixRecord>, crate::DarshanError> {
+    let Some(first) = records.first() else {
+        return Ok(None);
+    };
     let mut out = PosixRecord::new(first.file_id, SHARED_RANK);
     use PosixCounter::*;
     // Counters that are summed across ranks.
@@ -689,7 +718,15 @@ pub fn reduce_posix(records: &[PosixRecord]) -> Option<PosixRecord> {
     let mut slowest: Option<(i32, f64, i64)> = None;
     for r in records {
         for &i in &summed {
-            out.counters[i] += r.counters[i];
+            out.counters[i] = if checked {
+                out.counters[i]
+                    .checked_add(r.counters[i])
+                    .ok_or(crate::DarshanError::Overflow {
+                        what: PosixCounter::ALL[i].name(),
+                    })?
+            } else {
+                out.counters[i].saturating_add(r.counters[i])
+            };
         }
         for c in [POSIX_MAX_BYTE_READ, POSIX_MAX_BYTE_WRITTEN] {
             if r.get(c) > out.get(c) {
@@ -699,7 +736,16 @@ pub fn reduce_posix(records: &[PosixRecord]) -> Option<PosixRecord> {
         let time = r.fget(PosixFCounter::POSIX_F_READ_TIME)
             + r.fget(PosixFCounter::POSIX_F_WRITE_TIME)
             + r.fget(PosixFCounter::POSIX_F_META_TIME);
-        let bytes = r.get(POSIX_BYTES_READ) + r.get(POSIX_BYTES_WRITTEN);
+        let bytes = if checked {
+            r.get(POSIX_BYTES_READ)
+                .checked_add(r.get(POSIX_BYTES_WRITTEN))
+                .ok_or(crate::DarshanError::Overflow {
+                    what: "per-rank byte total",
+                })?
+        } else {
+            r.get(POSIX_BYTES_READ)
+                .saturating_add(r.get(POSIX_BYTES_WRITTEN))
+        };
         rank_times.push(time);
         rank_bytes.push(bytes as f64);
         if fastest.is_none() || time < fastest.unwrap().1 {
@@ -759,7 +805,7 @@ pub fn reduce_posix(records: &[PosixRecord]) -> Option<PosixRecord> {
         PosixFCounter::POSIX_F_VARIANCE_RANK_BYTES,
         variance(&rank_bytes),
     );
-    Some(out)
+    Ok(Some(out))
 }
 
 #[cfg(test)]

@@ -154,7 +154,9 @@ impl DxtRecord {
     /// Total bytes moved by this record.
     #[must_use]
     pub fn total_bytes(&self) -> u64 {
-        self.iter().map(|(_, s)| s.length).sum()
+        // Hostile traces can carry u64::MAX lengths; saturate, don't panic.
+        self.iter()
+            .fold(0u64, |acc, (_, s)| acc.saturating_add(s.length))
     }
 }
 
@@ -212,5 +214,13 @@ mod tests {
     fn end_offset_saturates() {
         let s = seg(u64::MAX - 1, 10, 0.0, 0.0);
         assert_eq!(s.end_offset(), u64::MAX);
+    }
+
+    #[test]
+    fn total_bytes_saturates() {
+        let mut r = DxtRecord::new(1, 0, DxtLayer::Posix, "n0");
+        r.push(OpKind::Write, seg(0, u64::MAX, 0.0, 0.1));
+        r.push(OpKind::Read, seg(0, u64::MAX, 0.1, 0.2));
+        assert_eq!(r.total_bytes(), u64::MAX);
     }
 }

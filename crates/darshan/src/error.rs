@@ -28,6 +28,23 @@ pub enum DarshanError {
         /// What was being decoded when input ran out.
         decoding: &'static str,
     },
+    /// A region's frame (tag, declared length, or trailing CRC) extends
+    /// past the end of the log. Unlike [`DarshanError::UnexpectedEof`],
+    /// this carries where in the byte stream the truncation was detected,
+    /// so a corrupt artifact can be located and minimized.
+    Truncated {
+        /// Name of the region whose frame ran past EOF.
+        region: &'static str,
+        /// Byte offset (from the start of the log) where the region began.
+        offset: usize,
+    },
+    /// An arithmetic accumulation overflowed its integer type. Hostile
+    /// logs can carry `i64::MAX` counters or delta chains that no sum can
+    /// hold; decoding and analysis surface this instead of panicking.
+    Overflow {
+        /// What was being accumulated when the overflow occurred.
+        what: &'static str,
+    },
     /// A varint was longer than the maximum encodable width.
     VarintOverflow,
     /// A record referenced an unknown module id.
@@ -75,6 +92,15 @@ impl fmt::Display for DarshanError {
             DarshanError::UnexpectedEof { decoding } => {
                 write!(f, "unexpected end of input while decoding {decoding}")
             }
+            DarshanError::Truncated { region, offset } => {
+                write!(
+                    f,
+                    "log truncated: {region} region at byte offset {offset} extends past end of input"
+                )
+            }
+            DarshanError::Overflow { what } => {
+                write!(f, "arithmetic overflow while accumulating {what}")
+            }
             DarshanError::VarintOverflow => write!(f, "varint exceeds 64-bit range"),
             DarshanError::UnknownModule { id } => write!(f, "unknown module id {id}"),
             DarshanError::CounterCountMismatch {
@@ -110,6 +136,13 @@ mod tests {
                 actual: 2,
             },
             DarshanError::UnexpectedEof { decoding: "header" },
+            DarshanError::Truncated {
+                region: "posix",
+                offset: 42,
+            },
+            DarshanError::Overflow {
+                what: "dxt segment offset",
+            },
             DarshanError::VarintOverflow,
             DarshanError::UnknownModule { id: 200 },
             DarshanError::CounterCountMismatch {

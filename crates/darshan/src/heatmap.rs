@@ -34,7 +34,11 @@ impl HeatmapRecord {
     /// Total bytes captured.
     #[must_use]
     pub fn total_bytes(&self) -> u64 {
-        self.read_bytes.iter().sum::<u64>() + self.write_bytes.iter().sum::<u64>()
+        // Hostile logs can carry u64::MAX bins; saturate rather than panic.
+        self.read_bytes
+            .iter()
+            .chain(self.write_bytes.iter())
+            .fold(0u64, |acc, &b| acc.saturating_add(b))
     }
 }
 
@@ -66,11 +70,17 @@ impl HeatmapAccumulator {
     }
 
     fn ensure_covers(&mut self, time: f64) {
+        // An infinite timestamp would double forever (inf >= inf); hostile
+        // logs can encode one, so refuse to widen and let `observe` clamp
+        // the op into the last bin instead.
+        if !time.is_finite() {
+            return;
+        }
         while time >= self.bin_width * Self::NBINS as f64 {
             // Double the bin width by merging adjacent pairs.
             for v in [&mut self.read_bytes, &mut self.write_bytes] {
                 for i in 0..Self::NBINS / 2 {
-                    v[i] = v[2 * i] + v[2 * i + 1];
+                    v[i] = v[2 * i].saturating_add(v[2 * i + 1]);
                 }
                 for slot in v.iter_mut().skip(Self::NBINS / 2) {
                     *slot = 0;
@@ -98,8 +108,9 @@ impl HeatmapAccumulator {
             return;
         }
         let duration = end - start;
-        if duration <= 0.0 || first == last {
-            dest[first.min(Self::NBINS - 1)] += bytes;
+        if !duration.is_finite() || duration <= 0.0 || first == last {
+            let slot = first.min(Self::NBINS - 1);
+            dest[slot] = dest[slot].saturating_add(bytes);
             return;
         }
         let mut assigned = 0u64;
@@ -110,11 +121,11 @@ impl HeatmapAccumulator {
             let overlap = (end.min(bin_end) - start.max(bin_start)).max(0.0);
             let share = ((overlap / duration) * bytes as f64).round() as u64;
             let share = share.min(bytes - assigned);
-            dest[bin] += share;
+            dest[bin] = dest[bin].saturating_add(share);
             assigned += share;
         }
         // Rounding remainder goes to the final bin so totals are preserved.
-        dest[last] += bytes - assigned;
+        dest[last] = dest[last].saturating_add(bytes - assigned);
     }
 
     /// Finalize into a record.
@@ -182,5 +193,29 @@ mod tests {
         let mut h = HeatmapAccumulator::new(0);
         h.observe(true, 42, 0.5, 0.5);
         assert_eq!(h.finish().total_bytes(), 42);
+    }
+
+    #[test]
+    fn hostile_times_never_hang_or_panic() {
+        let mut h = HeatmapAccumulator::new(0);
+        h.observe(true, 10, 0.0, f64::INFINITY);
+        h.observe(false, 10, f64::INFINITY, f64::INFINITY);
+        h.observe(true, 10, f64::NAN, f64::NAN);
+        h.observe(false, 10, -1.0e308, 1.0e308);
+        h.observe(true, u64::MAX, 0.0, 0.001);
+        h.observe(true, u64::MAX, 0.0, 0.001);
+        let r = h.finish();
+        assert!(r.bin_width.is_finite());
+        assert_eq!(r.total_bytes(), u64::MAX); // saturated, not wrapped
+    }
+
+    #[test]
+    fn saturated_bins_merge_without_panicking() {
+        let mut h = HeatmapAccumulator::new(0);
+        h.observe(true, u64::MAX, 0.0, 0.001);
+        h.observe(true, u64::MAX, 0.011, 0.012);
+        // Force a merge of the two saturated adjacent bins.
+        h.observe(true, 1, 10.0, 10.001);
+        assert_eq!(h.finish().total_bytes(), u64::MAX);
     }
 }

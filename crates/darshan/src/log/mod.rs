@@ -21,7 +21,7 @@ mod varint;
 mod writer;
 
 pub use crc::{crc32, Crc32};
-pub use reader::LogReader;
+pub use reader::{LogReader, PartialLog};
 pub use varint::{
     get_f64, get_ivarint, get_string, get_uvarint, put_f64, put_ivarint, put_string, put_uvarint,
 };
@@ -204,9 +204,11 @@ mod tests {
                 err,
                 crate::DarshanError::ChecksumMismatch { .. }
                     | crate::DarshanError::UnexpectedEof { .. }
+                    | crate::DarshanError::Truncated { .. }
                     | crate::DarshanError::UnknownModule { .. }
                     | crate::DarshanError::InvalidName
                     | crate::DarshanError::VarintOverflow
+                    | crate::DarshanError::Overflow { .. }
             ),
             "unexpected error {err:?}"
         );
@@ -227,7 +229,10 @@ mod tests {
         let mut w = LogWriter::from_log(log);
         let bytes = w.finish().unwrap();
         let err = LogReader::read(&bytes[..bytes.len() - 10]).unwrap_err();
-        assert!(matches!(err, crate::DarshanError::UnexpectedEof { .. }));
+        assert!(matches!(
+            err,
+            crate::DarshanError::UnexpectedEof { .. } | crate::DarshanError::Truncated { .. }
+        ));
     }
 
     #[test]

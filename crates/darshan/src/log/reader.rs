@@ -15,6 +15,27 @@ use crate::DarshanError;
 #[derive(Debug)]
 pub struct LogReader;
 
+/// Result of a lenient decode: every region that survived framing, CRC and
+/// record validation, plus the typed error for each region that did not.
+///
+/// Truncated logs keep their valid prefix: regions before the cut decode
+/// normally and the truncation itself is reported as the final error.
+#[derive(Debug, Clone)]
+pub struct PartialLog {
+    /// Records from every region that decoded cleanly.
+    pub log: Log,
+    /// One typed error per region that failed (empty = fully clean log).
+    pub errors: Vec<DarshanError>,
+}
+
+impl PartialLog {
+    /// Whether every region decoded cleanly.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
 impl LogReader {
     /// Decode a complete log from bytes, verifying every region checksum.
     ///
@@ -22,8 +43,35 @@ impl LogReader {
     ///
     /// Returns a [`DarshanError`] describing the first structural problem:
     /// bad magic, unsupported version, CRC mismatch, truncation, or a
-    /// malformed record.
+    /// malformed record. Truncation at a region boundary is reported as
+    /// [`DarshanError::Truncated`] carrying the region name and the byte
+    /// offset where the doomed region began.
     pub fn read(bytes: &[u8]) -> Result<Log, DarshanError> {
+        let partial = Self::read_impl(bytes, false)?;
+        match partial.errors.into_iter().next() {
+            Some(err) => Err(err),
+            None => Ok(partial.log),
+        }
+    }
+
+    /// Decode as much of a log as possible: regions that fail framing,
+    /// CRC, or record validation are skipped (with a typed error recorded
+    /// per failure) and decoding continues at the next region boundary.
+    ///
+    /// A log truncated mid-region yields every region before the cut —
+    /// the "valid prefix still yields partial results" half of the
+    /// robustness contract.
+    ///
+    /// # Errors
+    ///
+    /// Only header-level problems (too short, bad magic, unsupported
+    /// version) are fatal: with no trustworthy framing there is nothing
+    /// to salvage.
+    pub fn read_lenient(bytes: &[u8]) -> Result<PartialLog, DarshanError> {
+        Self::read_impl(bytes, true)
+    }
+
+    fn read_impl(bytes: &[u8], lenient: bool) -> Result<PartialLog, DarshanError> {
         let mut decode_span = ion_obs::span!("decode");
         decode_span.attr("bytes", bytes.len());
         ion_obs::counter("darshan.decode.bytes", bytes.len() as u64);
@@ -40,113 +88,197 @@ impl LogReader {
             return Err(DarshanError::UnsupportedVersion { found: version });
         }
         buf = &buf[8..];
+        // Byte offset of the decode cursor within `bytes`, kept in sync
+        // with `buf` so truncation errors can report where a region began.
+        let mut pos = 8usize;
 
-        let mut log = Log::new(JobRecord::new(0, 0, 0));
+        let mut out = PartialLog {
+            log: Log::new(JobRecord::new(0, 0, 0)),
+            errors: Vec::new(),
+        };
         let mut saw_job = false;
         loop {
+            let region_start = pos;
             if buf.is_empty() {
-                return Err(DarshanError::UnexpectedEof {
-                    decoding: "region tag",
-                });
+                // The end tag itself is missing: the frame sequence was
+                // cut, not any one region's payload.
+                let err = DarshanError::Truncated {
+                    region: "frame",
+                    offset: region_start,
+                };
+                if lenient {
+                    out.errors.push(err);
+                    break;
+                }
+                return Err(err);
             }
             let tag = buf[0];
             buf = &buf[1..];
+            pos += 1;
             if tag == TAG_END {
                 break;
             }
-            let len = get_uvarint(&mut buf)? as usize;
-            if buf.len() < len + 4 {
-                return Err(DarshanError::UnexpectedEof {
-                    decoding: "region payload",
-                });
+            let before = buf.len();
+            let len = match get_uvarint(&mut buf) {
+                Ok(len) => len as usize,
+                Err(_) => {
+                    // The length varint ran past EOF (or was malformed):
+                    // the region header extends past the end of input.
+                    let err = DarshanError::Truncated {
+                        region: region_name(tag),
+                        offset: region_start,
+                    };
+                    if lenient {
+                        out.errors.push(err);
+                        break;
+                    }
+                    return Err(err);
+                }
+            };
+            pos += before - buf.len();
+            // `len + 4` must not wrap: a declared length near usize::MAX
+            // would otherwise pass the bounds check and panic on slicing.
+            let framed = len.checked_add(4);
+            if framed.is_none() || buf.len() < framed.unwrap() {
+                let err = DarshanError::Truncated {
+                    region: region_name(tag),
+                    offset: region_start,
+                };
+                if lenient {
+                    out.errors.push(err);
+                    break;
+                }
+                return Err(err);
             }
             let payload = &buf[..len];
             let stored_crc =
                 u32::from_le_bytes([buf[len], buf[len + 1], buf[len + 2], buf[len + 3]]);
             buf = &buf[len + 4..];
+            pos += len + 4;
             let mut region_span = ion_obs::span!(region_span_name(tag));
             region_span.attr("bytes", len);
             let actual = crc32(payload);
             ion_obs::counter("darshan.decode.crc_checks", 1);
             if actual != stored_crc {
                 ion_obs::counter("darshan.decode.crc_failures", 1);
-                return Err(DarshanError::ChecksumMismatch {
+                let err = DarshanError::ChecksumMismatch {
                     region: region_name(tag),
                     expected: stored_crc,
                     actual,
-                });
+                };
+                if lenient {
+                    out.errors.push(err);
+                    continue;
+                }
+                return Err(err);
             }
-            let mut p = payload;
-            match tag {
-                TAG_JOB => {
-                    log.job = decode_job(&mut p)?;
-                    saw_job = true;
+            match decode_region(&mut out.log, tag, payload) {
+                Ok(job_seen) => saw_job |= job_seen,
+                Err(err) => {
+                    if lenient {
+                        out.errors.push(err);
+                        continue;
+                    }
+                    return Err(err);
                 }
-                TAG_NAMES => {
-                    let n = get_uvarint(&mut p)? as usize;
-                    for _ in 0..n {
-                        let id = get_uvarint(&mut p)?;
-                        let path = get_string(&mut p)?;
-                        log.names.push(NameRecord { id, path });
-                    }
-                }
-                t => match ModuleId::from_code(t) {
-                    Some(ModuleId::Posix) => {
-                        let n = get_uvarint(&mut p)? as usize;
-                        for _ in 0..n {
-                            log.posix.push(decode_posix(&mut p)?);
-                        }
-                    }
-                    Some(ModuleId::MpiIo) => {
-                        let n = get_uvarint(&mut p)? as usize;
-                        for _ in 0..n {
-                            log.mpiio.push(decode_mpiio(&mut p)?);
-                        }
-                    }
-                    Some(ModuleId::Stdio) => {
-                        let n = get_uvarint(&mut p)? as usize;
-                        for _ in 0..n {
-                            log.stdio.push(decode_stdio(&mut p)?);
-                        }
-                    }
-                    Some(ModuleId::Lustre) => {
-                        let n = get_uvarint(&mut p)? as usize;
-                        for _ in 0..n {
-                            log.lustre.push(decode_lustre(&mut p)?);
-                        }
-                    }
-                    Some(ModuleId::Dxt) => {
-                        let n = get_uvarint(&mut p)? as usize;
-                        for _ in 0..n {
-                            log.dxt.push(decode_dxt(&mut p)?);
-                        }
-                    }
-                    Some(ModuleId::Heatmap) => {
-                        let n = get_uvarint(&mut p)? as usize;
-                        for _ in 0..n {
-                            log.heatmap.push(decode_heatmap(&mut p)?);
-                        }
-                    }
-                    None => return Err(DarshanError::UnknownModule { id: t }),
-                },
             }
         }
         if !saw_job {
-            return Err(DarshanError::UnexpectedEof {
+            let err = DarshanError::UnexpectedEof {
                 decoding: "job region",
-            });
+            };
+            if lenient {
+                out.errors.push(err);
+            } else {
+                return Err(err);
+            }
         }
-        let records = log.names.len()
-            + log.posix.len()
-            + log.mpiio.len()
-            + log.stdio.len()
-            + log.lustre.len()
-            + log.dxt.len()
-            + log.heatmap.len();
+        let records = out.log.names.len()
+            + out.log.posix.len()
+            + out.log.mpiio.len()
+            + out.log.stdio.len()
+            + out.log.lustre.len()
+            + out.log.dxt.len()
+            + out.log.heatmap.len();
         ion_obs::counter("darshan.decode.records", records as u64);
         decode_span.attr("records", records);
-        Ok(log)
+        Ok(out)
     }
+}
+
+/// Decode one CRC-verified region payload into `log`. Returns whether the
+/// region was the job record. Partially decoded records are discarded on
+/// error: the caller either aborts (strict) or skips the region (lenient).
+fn decode_region(log: &mut Log, tag: u8, payload: &[u8]) -> Result<bool, DarshanError> {
+    let mut p = payload;
+    match tag {
+        TAG_JOB => {
+            log.job = decode_job(&mut p)?;
+            return Ok(true);
+        }
+        TAG_NAMES => {
+            let n = get_uvarint(&mut p)? as usize;
+            let mut names = Vec::new();
+            for _ in 0..n {
+                let id = get_uvarint(&mut p)?;
+                let path = get_string(&mut p)?;
+                names.push(NameRecord { id, path });
+            }
+            log.names.extend(names);
+        }
+        t => match ModuleId::from_code(t) {
+            Some(ModuleId::Posix) => {
+                let n = get_uvarint(&mut p)? as usize;
+                let mut records = Vec::new();
+                for _ in 0..n {
+                    records.push(decode_posix(&mut p)?);
+                }
+                log.posix.extend(records);
+            }
+            Some(ModuleId::MpiIo) => {
+                let n = get_uvarint(&mut p)? as usize;
+                let mut records = Vec::new();
+                for _ in 0..n {
+                    records.push(decode_mpiio(&mut p)?);
+                }
+                log.mpiio.extend(records);
+            }
+            Some(ModuleId::Stdio) => {
+                let n = get_uvarint(&mut p)? as usize;
+                let mut records = Vec::new();
+                for _ in 0..n {
+                    records.push(decode_stdio(&mut p)?);
+                }
+                log.stdio.extend(records);
+            }
+            Some(ModuleId::Lustre) => {
+                let n = get_uvarint(&mut p)? as usize;
+                let mut records = Vec::new();
+                for _ in 0..n {
+                    records.push(decode_lustre(&mut p)?);
+                }
+                log.lustre.extend(records);
+            }
+            Some(ModuleId::Dxt) => {
+                let n = get_uvarint(&mut p)? as usize;
+                let mut records = Vec::new();
+                for _ in 0..n {
+                    records.push(decode_dxt(&mut p)?);
+                }
+                log.dxt.extend(records);
+            }
+            Some(ModuleId::Heatmap) => {
+                let n = get_uvarint(&mut p)? as usize;
+                let mut records = Vec::new();
+                for _ in 0..n {
+                    records.push(decode_heatmap(&mut p)?);
+                }
+                log.heatmap.extend(records);
+            }
+            None => return Err(DarshanError::UnknownModule { id: t }),
+        },
+    }
+    Ok(false)
 }
 
 fn region_name(tag: u8) -> &'static str {
@@ -347,7 +479,13 @@ fn decode_dxt(p: &mut &[u8]) -> Result<DxtRecord, DarshanError> {
         let mut prev_offset: i64 = 0;
         for _ in 0..n {
             let delta = get_ivarint(p)?;
-            let offset = prev_offset + delta;
+            // Hostile delta chains can push the running offset past
+            // i64::MAX; that is corrupt data, not a crash.
+            let offset = prev_offset
+                .checked_add(delta)
+                .ok_or(DarshanError::Overflow {
+                    what: "dxt segment offset",
+                })?;
             prev_offset = offset;
             let length = get_uvarint(p)?;
             let start_time = get_f64(p)?;

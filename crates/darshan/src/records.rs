@@ -55,9 +55,30 @@ macro_rules! counter_record {
                 self.counters[c.index()] = v;
             }
 
-            /// Add to an integer counter.
+            /// Add to an integer counter, saturating at the `i64` bounds.
+            ///
+            /// Records decoded from hostile logs can carry `i64::MAX`
+            /// counters; accumulation over them must degrade (saturate)
+            /// rather than abort the analysis with an overflow panic. Use
+            /// [`Self::try_add`] where the overflow itself must surface.
             pub fn add(&mut self, c: $cty, v: i64) {
-                self.counters[c.index()] += v;
+                let slot = &mut self.counters[c.index()];
+                *slot = slot.saturating_add(v);
+            }
+
+            /// Add to an integer counter, reporting overflow as a typed
+            /// error instead of saturating.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`crate::DarshanError::Overflow`] when the sum does
+            /// not fit in `i64`; the counter is left unchanged.
+            pub fn try_add(&mut self, c: $cty, v: i64) -> Result<(), crate::DarshanError> {
+                let slot = &mut self.counters[c.index()];
+                *slot = slot.checked_add(v).ok_or(crate::DarshanError::Overflow {
+                    what: c.name(),
+                })?;
+                Ok(())
             }
 
             /// Read a floating-point counter.
@@ -217,6 +238,32 @@ mod tests {
         assert!(r.is_well_formed());
         assert!(r.counters.iter().all(|&c| c == 0));
         assert!(r.fcounters.iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn add_saturates_at_extremes() {
+        let mut r = PosixRecord::new(1, 0);
+        r.set(PosixCounter::POSIX_READS, i64::MAX);
+        r.add(PosixCounter::POSIX_READS, 1);
+        assert_eq!(r.get(PosixCounter::POSIX_READS), i64::MAX);
+        r.set(PosixCounter::POSIX_WRITES, i64::MIN);
+        r.add(PosixCounter::POSIX_WRITES, -1);
+        assert_eq!(r.get(PosixCounter::POSIX_WRITES), i64::MIN);
+    }
+
+    #[test]
+    fn try_add_reports_overflow_and_leaves_counter_unchanged() {
+        let mut r = PosixRecord::new(1, 0);
+        r.set(PosixCounter::POSIX_BYTES_READ, i64::MAX - 1);
+        assert!(r.try_add(PosixCounter::POSIX_BYTES_READ, 1).is_ok());
+        let err = r.try_add(PosixCounter::POSIX_BYTES_READ, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::DarshanError::Overflow {
+                what: "POSIX_BYTES_READ"
+            }
+        ));
+        assert_eq!(r.get(PosixCounter::POSIX_BYTES_READ), i64::MAX);
     }
 
     #[test]

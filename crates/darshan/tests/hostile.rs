@@ -1,0 +1,240 @@
+//! Hostile-input tests for the binary log decoder: truncation at every
+//! region boundary must surface as a typed [`DarshanError::Truncated`]
+//! carrying the region name and offset, and lenient decoding must keep
+//! the valid prefix.
+
+use darshan::accum::{reduce_posix, try_reduce_posix, PosixAccumulator};
+use darshan::counters::{ModuleId, PosixCounter};
+use darshan::dxt::{DxtLayer, DxtRecord, DxtSegment, OpKind};
+use darshan::heatmap::HeatmapAccumulator;
+use darshan::log::{get_uvarint, LogReader, LogWriter};
+use darshan::records::{JobRecord, LustreRecord, MpiioRecord, PosixRecord, StdioRecord};
+use darshan::DarshanError;
+use proptest::prelude::*;
+
+/// A log exercising every region type: job, names, and all six modules.
+fn full_log_bytes() -> Vec<u8> {
+    let mut job = JobRecord::new(100, 42, 2).with_metadata("k", "v");
+    job.start_time = 10.0;
+    job.end_time = 20.0;
+    job.exe = "ior".into();
+    let mut w = LogWriter::new(job);
+    let fid = darshan::record_id("/scratch/a.dat");
+    w.register_name(fid, "/scratch/a.dat");
+
+    let mut acc = PosixAccumulator::new(fid, 0);
+    acc.open(0.0, 0.01);
+    acc.write(0, 4096, 0.01, 0.02, true);
+    acc.close(0.02, 0.03);
+    w.add_posix_record(acc.finish());
+
+    w.add_mpiio_record(MpiioRecord::new(fid, 0));
+    w.add_stdio_record(StdioRecord::new(fid, 0));
+    w.add_lustre_record(LustreRecord::new(fid, 0, 1 << 20, vec![0, 1]));
+
+    let mut dxt = DxtRecord::new(fid, 0, DxtLayer::Posix, "n0");
+    dxt.push(
+        OpKind::Write,
+        DxtSegment {
+            offset: 0,
+            length: 4096,
+            start_time: 0.01,
+            end_time: 0.02,
+        },
+    );
+    w.add_dxt_record(dxt);
+
+    let mut hm = HeatmapAccumulator::new(0);
+    hm.observe(true, 4096, 0.01, 0.02);
+    w.add_heatmap_record(hm.finish());
+
+    w.finish().unwrap()
+}
+
+/// Walk the serialized frame sequence, returning `(tag, frame_start)` for
+/// every region (frame_start is the byte offset of the tag byte).
+fn region_frames(bytes: &[u8]) -> Vec<(u8, usize)> {
+    let mut frames = Vec::new();
+    let mut pos = 8usize; // skip header
+    while pos < bytes.len() {
+        let tag = bytes[pos];
+        if tag == 0xff {
+            break;
+        }
+        let mut p = &bytes[pos + 1..];
+        let before = p.len();
+        let len = get_uvarint(&mut p).unwrap() as usize;
+        let varint_len = before - p.len();
+        frames.push((tag, pos));
+        pos += 1 + varint_len + len + 4;
+    }
+    frames
+}
+
+#[test]
+fn full_log_has_all_region_types() {
+    let bytes = full_log_bytes();
+    let tags: Vec<u8> = region_frames(&bytes).iter().map(|&(t, _)| t).collect();
+    assert!(tags.contains(&0x10), "job region present");
+    assert!(tags.contains(&0x11), "names region present");
+    for m in ModuleId::ALL {
+        assert!(tags.contains(&m.code()), "{} region present", m.name());
+    }
+}
+
+/// Truncating inside any region's frame yields `Truncated` naming that
+/// region and its start offset.
+#[test]
+fn truncation_in_each_region_is_typed_with_context() {
+    let bytes = full_log_bytes();
+    for (tag, start) in region_frames(&bytes) {
+        let expected_region = match tag {
+            0x10 => "job",
+            0x11 => "names",
+            t => ModuleId::from_code(t).unwrap().name(),
+        };
+        // Cut a few bytes into the frame: the tag survives but the
+        // declared payload extends past the new EOF.
+        let cut = start + 3;
+        let err = LogReader::read(&bytes[..cut]).unwrap_err();
+        match err {
+            DarshanError::Truncated { region, offset } => {
+                assert_eq!(region, expected_region, "cut at {cut}");
+                assert_eq!(offset, start, "cut at {cut}");
+            }
+            other => panic!("expected Truncated for {expected_region}, got {other:?}"),
+        }
+    }
+}
+
+/// Every possible truncation point decodes to a typed error, never a panic,
+/// and lenient decoding always succeeds past the header.
+#[test]
+fn every_truncation_point_is_survivable() {
+    let bytes = full_log_bytes();
+    for cut in 0..bytes.len() {
+        let prefix = &bytes[..cut];
+        // Strict: typed error (the log is incomplete by construction).
+        assert!(LogReader::read(prefix).is_err(), "cut at {cut}");
+        // Lenient: header intact ⇒ a partial log comes back.
+        if cut >= 8 {
+            let partial = LogReader::read_lenient(prefix).unwrap();
+            assert!(!partial.is_complete(), "cut at {cut}");
+        }
+    }
+}
+
+/// Lenient decode of a log cut after the POSIX region still yields the job
+/// record, names, and POSIX records — the valid prefix survives.
+#[test]
+fn lenient_decode_keeps_valid_prefix() {
+    let bytes = full_log_bytes();
+    let frames = region_frames(&bytes);
+    // Find where the POSIX region ends (= start of the next frame).
+    let posix_idx = frames
+        .iter()
+        .position(|&(t, _)| t == ModuleId::Posix.code())
+        .unwrap();
+    let cut = frames[posix_idx + 1].1 + 2; // a couple bytes into the next frame
+    let partial = LogReader::read_lenient(&bytes[..cut]).unwrap();
+    assert_eq!(partial.log.posix.len(), 1);
+    assert_eq!(partial.log.names.len(), 1);
+    assert_eq!(partial.log.job.job_id, 42);
+    assert!(partial
+        .errors
+        .iter()
+        .any(|e| matches!(e, DarshanError::Truncated { .. })));
+}
+
+/// A corrupt region in the middle is skipped leniently; later regions decode.
+#[test]
+fn lenient_decode_skips_corrupt_region_and_continues() {
+    let bytes = full_log_bytes();
+    let frames = region_frames(&bytes);
+    let posix_start = frames
+        .iter()
+        .find(|&&(t, _)| t == ModuleId::Posix.code())
+        .unwrap()
+        .1;
+    let mut corrupted = bytes.clone();
+    corrupted[posix_start + 4] ^= 0xff; // damage the POSIX payload
+    let partial = LogReader::read_lenient(&corrupted).unwrap();
+    assert!(partial.log.posix.is_empty(), "corrupt region skipped");
+    assert_eq!(partial.log.dxt.len(), 1, "later regions still decoded");
+    assert_eq!(partial.log.heatmap.len(), 1);
+    assert_eq!(partial.errors.len(), 1);
+}
+
+/// Declared region length near usize::MAX must not wrap the bounds check.
+#[test]
+fn huge_declared_length_is_truncation_not_panic() {
+    let mut bytes = vec![b'D', b'S', b'H', b'N', 1, 0, 0, 0];
+    bytes.push(0x10); // job tag
+    bytes.extend_from_slice(&[0xff; 10]); // uvarint ~ u64::MAX
+    let err = LogReader::read(&bytes).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            DarshanError::Truncated { .. } | DarshanError::VarintOverflow
+        ),
+        "got {err:?}"
+    );
+}
+
+proptest! {
+    // Random extreme counters: infallible reduction saturates, checked
+    // reduction reports a typed overflow — never a panic either way.
+    #[test]
+    fn reduction_of_extreme_counters_never_panics(
+        seeds in proptest::collection::vec(
+            proptest::collection::vec(
+                prop_oneof![
+                    Just(i64::MAX),
+                    Just(i64::MAX - 1),
+                    Just(i64::MIN),
+                    Just(0i64),
+                    any::<i64>(),
+                ],
+                PosixCounter::COUNT..=PosixCounter::COUNT,
+            ),
+            1..5,
+        ),
+    ) {
+        let records: Vec<PosixRecord> = seeds
+            .iter()
+            .enumerate()
+            .map(|(rank, counters)| {
+                let mut r = PosixRecord::new(7, rank as i32);
+                r.counters.clone_from(counters);
+                r
+            })
+            .collect();
+        // Saturating path: must always produce a record.
+        let reduced = reduce_posix(&records);
+        prop_assert!(reduced.is_some());
+        // Checked path: Ok or a typed Overflow, never a panic.
+        match try_reduce_posix(&records) {
+            Ok(r) => prop_assert!(r.is_some()),
+            Err(e) => prop_assert!(matches!(e, DarshanError::Overflow { .. })),
+        }
+    }
+
+    // Two maxed-out records always overflow the checked reducer on a
+    // summed counter, and the saturating reducer pins at i64::MAX.
+    #[test]
+    fn checked_reduction_reports_overflow(rank_count in 2usize..5) {
+        let records: Vec<PosixRecord> = (0..rank_count)
+            .map(|rank| {
+                let mut r = PosixRecord::new(7, rank as i32);
+                for c in &mut r.counters {
+                    *c = i64::MAX;
+                }
+                r
+            })
+            .collect();
+        let err = try_reduce_posix(&records).unwrap_err();
+        prop_assert!(matches!(err, DarshanError::Overflow { .. }));
+        let reduced = reduce_posix(&records).unwrap();
+        prop_assert_eq!(reduced.get(PosixCounter::POSIX_READS), i64::MAX);
+    }
+}

@@ -385,7 +385,7 @@ where
     match outcome {
         Ok(v) => TaskOutcome::Ok(v),
         Err(payload) => {
-            ion_obs::counter("exec.panics", 1);
+            ion_obs::counter("exec.tasks.panicked", 1);
             TaskOutcome::Panicked(panic_message(payload.as_ref()))
         }
     }

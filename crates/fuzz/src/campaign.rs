@@ -1,0 +1,280 @@
+//! Campaign orchestration: iterate generate → corrupt → drive, in
+//! parallel under `ion-exec`, collecting crash artifacts.
+//!
+//! Determinism contract: iteration `i` of a campaign with seed `S` is a
+//! pure function of `(S, i)` — its private RNG stream is derived from
+//! both — so any crash replays exactly from the `(seed, iter)` recorded
+//! in its artifact, regardless of worker count or scheduling.
+
+use crate::corrupt::Corruption;
+use crate::driver::{drive, Stage, Verdict};
+use crate::gen::generate_bytes;
+use crate::minimize::minimize;
+use crate::rng::FuzzRng;
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Number of artifacts to generate and drive.
+    pub iters: u64,
+    /// Master seed; every iteration derives its own stream from it.
+    pub seed: u64,
+    /// Delta-minimize each crash artifact.
+    pub minimize: bool,
+    /// Worker width for the ion-exec batch (`None` = default).
+    pub jobs: Option<usize>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            iters: 1000,
+            seed: 0,
+            minimize: false,
+            jobs: None,
+        }
+    }
+}
+
+/// One input that violated the robustness contract.
+#[derive(Debug, Clone)]
+pub struct CrashArtifact {
+    /// Campaign master seed.
+    pub seed: u64,
+    /// Iteration that produced the artifact.
+    pub iter: u64,
+    /// The corruption applied, `None` for a pure-valid iteration (a
+    /// crash there is a generator/codec round-trip bug).
+    pub corruption: Option<Corruption>,
+    /// Stage the panic escaped from.
+    pub stage: Stage,
+    /// Panic message.
+    pub message: String,
+    /// The crashing bytes.
+    pub artifact: Vec<u8>,
+    /// Delta-minimized bytes, when minimization ran.
+    pub minimized: Option<Vec<u8>>,
+}
+
+/// Aggregate campaign outcome.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignReport {
+    /// Iterations executed.
+    pub iters: u64,
+    /// Pure-valid artifacts (no corruption applied).
+    pub valid: u64,
+    /// Artifacts both decoders rejected with typed errors.
+    pub rejected: u64,
+    /// Artifacts analyzed end to end.
+    pub analyzed: u64,
+    /// Analyzed artifacts that went through the lenient (valid-prefix)
+    /// recovery path.
+    pub recovered: u64,
+    /// Contract violations.
+    pub crashes: Vec<CrashArtifact>,
+}
+
+impl CampaignReport {
+    /// One-line human summary.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        format!(
+            "fuzz: {} iters ({} valid), {} rejected, {} analyzed ({} recovered), {} crashes",
+            self.iters,
+            self.valid,
+            self.rejected,
+            self.analyzed,
+            self.recovered,
+            self.crashes.len()
+        )
+    }
+}
+
+struct IterResult {
+    corruption: Option<Corruption>,
+    verdict: Verdict,
+    bytes: Vec<u8>,
+}
+
+/// Generate one iteration's artifact: a valid log roughly a quarter of
+/// the time (keeping the happy path under continuous test), a corrupted
+/// one otherwise. Pure function of `(seed, iter)`.
+fn make_artifact(seed: u64, iter: u64) -> (Option<Corruption>, Vec<u8>) {
+    let mut rng = FuzzRng::new(seed ^ iter.wrapping_add(1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let valid = generate_bytes(&mut rng);
+    if rng.chance(25) {
+        return (None, valid);
+    }
+    // Walk the catalog from a random start until a strategy applies;
+    // TruncateRandom always applies, so the walk terminates.
+    let start = rng.index(Corruption::ALL.len());
+    for step in 0..Corruption::ALL.len() {
+        let c = Corruption::ALL[(start + step) % Corruption::ALL.len()];
+        if let Some(bytes) = c.apply(&valid, &mut rng) {
+            return (Some(c), bytes);
+        }
+    }
+    (Some(Corruption::TruncateRandom), valid)
+}
+
+/// Restores the previous panic hook on drop.
+struct QuietPanics;
+
+impl QuietPanics {
+    /// Panics that stages trap (and the analyzer's own contained
+    /// per-issue traps) would otherwise spam stderr through the default
+    /// hook; silence it for the campaign's duration.
+    fn install() -> QuietPanics {
+        std::panic::set_hook(Box::new(|_| {}));
+        QuietPanics
+    }
+}
+
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        let _ = std::panic::take_hook();
+    }
+}
+
+/// Run a fuzz campaign. Never panics; crashes found in the pipeline are
+/// returned (and counted on `fuzz.*` telemetry), not propagated.
+#[must_use]
+pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
+    let _quiet = QuietPanics::install();
+    let iters: Vec<u64> = (0..config.iters).collect();
+    let mut batch = ion_exec::Batch::new();
+    if let Some(jobs) = config.jobs {
+        batch = batch.with_width(jobs.max(1));
+    }
+    let outcomes = batch.map_ordered(&iters, |&iter, _ctx| {
+        let (corruption, bytes) = make_artifact(config.seed, iter);
+        let verdict = drive(&bytes);
+        ion_obs::counter("fuzz.iters", 1);
+        match &verdict {
+            Verdict::Rejected { .. } => ion_obs::counter("fuzz.rejected", 1),
+            Verdict::Analyzed { recovered, .. } => {
+                ion_obs::counter("fuzz.analyzed", 1);
+                if *recovered {
+                    ion_obs::counter("fuzz.recovered", 1);
+                }
+            }
+            Verdict::Crashed { .. } => ion_obs::counter("fuzz.crashes", 1),
+        }
+        IterResult {
+            corruption,
+            verdict,
+            bytes,
+        }
+    });
+
+    let mut report = CampaignReport {
+        iters: config.iters,
+        ..CampaignReport::default()
+    };
+    for (iter, outcome) in outcomes.into_iter().enumerate() {
+        let iter = iter as u64;
+        match outcome {
+            ion_exec::TaskOutcome::Ok(r) => {
+                if r.corruption.is_none() {
+                    report.valid += 1;
+                }
+                match r.verdict {
+                    Verdict::Rejected { .. } => report.rejected += 1,
+                    Verdict::Analyzed { recovered, .. } => {
+                        report.analyzed += 1;
+                        if recovered {
+                            report.recovered += 1;
+                        }
+                    }
+                    Verdict::Crashed { stage, message } => {
+                        let minimized = config.minimize.then(|| minimize(&r.bytes, stage));
+                        report.crashes.push(CrashArtifact {
+                            seed: config.seed,
+                            iter,
+                            corruption: r.corruption,
+                            stage,
+                            message,
+                            artifact: r.bytes,
+                            minimized,
+                        });
+                    }
+                }
+            }
+            // A panic in the harness itself (generator round-trip
+            // failure) — still a finding, pinned without bytes.
+            ion_exec::TaskOutcome::Panicked(message) => {
+                ion_obs::counter("fuzz.crashes", 1);
+                report.crashes.push(CrashArtifact {
+                    seed: config.seed,
+                    iter,
+                    corruption: None,
+                    stage: Stage::Decode,
+                    message: format!("harness panic: {message}"),
+                    artifact: Vec::new(),
+                    minimized: None,
+                });
+            }
+            ion_exec::TaskOutcome::Cancelled | ion_exec::TaskOutcome::Deadlined => {}
+        }
+    }
+    report
+}
+
+/// Re-drive a single recorded artifact, e.g. a corpus entry. Returns the
+/// verdict so callers can assert "no crash" (the regression gate) or
+/// inspect where the input lands after fixes.
+#[must_use]
+pub fn replay(bytes: &[u8]) -> Verdict {
+    let _quiet = QuietPanics::install();
+    drive(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_campaign_has_no_crashes() {
+        let report = run_campaign(&CampaignConfig {
+            iters: 60,
+            seed: 42,
+            minimize: true,
+            jobs: Some(4),
+        });
+        assert_eq!(report.iters, 60);
+        assert!(
+            report.crashes.is_empty(),
+            "contract violations: {:?}",
+            report
+                .crashes
+                .iter()
+                .map(|c| format!(
+                    "iter {} {:?} {}: {}",
+                    c.iter,
+                    c.corruption.map(Corruption::name),
+                    c.stage.name(),
+                    c.message
+                ))
+                .collect::<Vec<_>>()
+        );
+        // The mix must exercise both sides of the contract.
+        assert!(report.analyzed > 0, "nothing analyzed");
+        assert!(report.rejected > 0, "nothing rejected");
+        assert!(report.valid > 0, "no pure-valid iterations");
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let cfg = CampaignConfig {
+            iters: 20,
+            seed: 7,
+            minimize: false,
+            jobs: Some(3),
+        };
+        let a = run_campaign(&cfg);
+        let b = run_campaign(&cfg);
+        assert_eq!(a.rejected, b.rejected);
+        assert_eq!(a.analyzed, b.analyzed);
+        assert_eq!(a.valid, b.valid);
+    }
+}

@@ -1,0 +1,274 @@
+//! Pinned regression corpus: `.seed` files.
+//!
+//! Each file pins one artifact that once crashed the pipeline, with
+//! enough metadata to understand and reproduce it:
+//!
+//! ```text
+//! # ion-fuzz regression seed
+//! # seed: 42
+//! # iter: 17
+//! # corruption: bit-flip
+//! # stage: decode
+//! # message: index out of bounds: ...
+//! 4453484e01000000...
+//! ```
+//!
+//! `#` lines carry `key: value` metadata; the remaining lines are the
+//! artifact bytes in hex (wrapped for diff-ability). Replaying a corpus
+//! directory re-drives every entry and reports any that still crash —
+//! the PR-gate regression check.
+
+use crate::campaign::{replay, CrashArtifact};
+use crate::driver::Verdict;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One parsed `.seed` file.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// File stem the entry was loaded from.
+    pub name: String,
+    /// Campaign master seed that produced it.
+    pub seed: Option<u64>,
+    /// Iteration within that campaign.
+    pub iter: Option<u64>,
+    /// Corruption strategy name.
+    pub corruption: Option<String>,
+    /// Stage the original crash escaped from.
+    pub stage: Option<String>,
+    /// Original panic message.
+    pub message: Option<String>,
+    /// The artifact bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// A corpus entry that crashed on replay — a regression.
+#[derive(Debug, Clone)]
+pub struct ReplayFailure {
+    /// Entry name.
+    pub name: String,
+    /// Stage the replayed crash escaped from.
+    pub stage: String,
+    /// Replayed panic message.
+    pub message: String,
+    /// Minimized crasher, hex-encoded, ready for a bug report.
+    pub minimized_hex: String,
+}
+
+fn to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        let _ = write!(out, "{b:02x}");
+    }
+    out
+}
+
+fn from_hex(s: &str) -> Option<Vec<u8>> {
+    let digits: Vec<u8> = s.bytes().filter(|b| !b.is_ascii_whitespace()).collect();
+    if !digits.len().is_multiple_of(2) {
+        return None;
+    }
+    let nib = |d: u8| -> Option<u8> {
+        match d {
+            b'0'..=b'9' => Some(d - b'0'),
+            b'a'..=b'f' => Some(d - b'a' + 10),
+            b'A'..=b'F' => Some(d - b'A' + 10),
+            _ => None,
+        }
+    };
+    digits
+        .chunks(2)
+        .map(|p| Some(nib(p[0])? << 4 | nib(p[1])?))
+        .collect()
+}
+
+/// Render an artifact as `.seed` file contents. Pins the minimized bytes
+/// when available (they reproduce the same-stage crash by construction),
+/// keeping the corpus small and the replay gate fast.
+#[must_use]
+pub fn render(artifact: &CrashArtifact) -> String {
+    let bytes = artifact.minimized.as_ref().unwrap_or(&artifact.artifact);
+    let mut out = String::new();
+    out.push_str("# ion-fuzz regression seed\n");
+    let _ = writeln!(out, "# seed: {}", artifact.seed);
+    let _ = writeln!(out, "# iter: {}", artifact.iter);
+    if let Some(c) = artifact.corruption {
+        let _ = writeln!(out, "# corruption: {}", c.name());
+    }
+    let _ = writeln!(out, "# stage: {}", artifact.stage.name());
+    let _ = writeln!(out, "# message: {}", artifact.message.replace('\n', "\\n"));
+    let hex = to_hex(bytes);
+    for chunk in hex.as_bytes().chunks(64) {
+        out.push_str(std::str::from_utf8(chunk).unwrap_or_default());
+        out.push('\n');
+    }
+    out
+}
+
+/// Stable file name for an artifact.
+#[must_use]
+pub fn file_name(artifact: &CrashArtifact) -> String {
+    format!(
+        "{}-{}-s{}-i{}.seed",
+        artifact
+            .corruption
+            .map_or("valid", super::corrupt::Corruption::name),
+        artifact.stage.name(),
+        artifact.seed,
+        artifact.iter
+    )
+}
+
+/// Write an artifact into `dir`, creating it if needed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save(dir: &Path, artifact: &CrashArtifact) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(file_name(artifact));
+    std::fs::write(&path, render(artifact))?;
+    Ok(path)
+}
+
+/// Parse one `.seed` file.
+///
+/// # Errors
+///
+/// Fails on filesystem errors or undecodable hex payloads.
+pub fn load(path: &Path) -> io::Result<CorpusEntry> {
+    let text = std::fs::read_to_string(path)?;
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let mut entry = CorpusEntry {
+        name,
+        seed: None,
+        iter: None,
+        corruption: None,
+        stage: None,
+        message: None,
+        bytes: Vec::new(),
+    };
+    let mut hex = String::new();
+    for line in text.lines() {
+        if let Some(meta) = line.strip_prefix('#') {
+            if let Some((key, value)) = meta.split_once(':') {
+                let value = value.trim().to_string();
+                match key.trim() {
+                    "seed" => entry.seed = value.parse().ok(),
+                    "iter" => entry.iter = value.parse().ok(),
+                    "corruption" => entry.corruption = Some(value),
+                    "stage" => entry.stage = Some(value),
+                    "message" => entry.message = Some(value),
+                    _ => {}
+                }
+            }
+        } else {
+            hex.push_str(line.trim());
+        }
+    }
+    entry.bytes = from_hex(&hex).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: undecodable hex payload", path.display()),
+        )
+    })?;
+    Ok(entry)
+}
+
+/// Load every `.seed` file in `dir`, sorted by name for determinism.
+///
+/// # Errors
+///
+/// Propagates filesystem and parse errors.
+pub fn load_dir(dir: &Path) -> io::Result<Vec<CorpusEntry>> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "seed"))
+        .collect();
+    paths.sort();
+    paths.iter().map(|p| load(p)).collect()
+}
+
+/// Replay every corpus entry through the pipeline. Returns
+/// `(entries_replayed, failures)`; an empty failure list means every
+/// historical crasher now lands as a typed rejection or a contained
+/// analysis — the regression gate is green.
+///
+/// # Errors
+///
+/// Propagates filesystem and parse errors.
+pub fn replay_dir(dir: &Path) -> io::Result<(usize, Vec<ReplayFailure>)> {
+    let entries = load_dir(dir)?;
+    let mut failures = Vec::new();
+    for entry in &entries {
+        if let Verdict::Crashed { stage, message } = replay(&entry.bytes) {
+            let minimized = crate::minimize::minimize(&entry.bytes, stage);
+            failures.push(ReplayFailure {
+                name: entry.name.clone(),
+                stage: stage.name().to_string(),
+                message,
+                minimized_hex: to_hex(&minimized),
+            });
+        }
+    }
+    Ok((entries.len(), failures))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corrupt::Corruption;
+    use crate::driver::Stage;
+
+    fn artifact() -> CrashArtifact {
+        CrashArtifact {
+            seed: 42,
+            iter: 17,
+            corruption: Some(Corruption::BitFlip),
+            stage: Stage::Decode,
+            message: "index out of bounds:\nlen is 3".to_string(),
+            artifact: vec![0x44, 0x53, 0x48, 0x4e, 0x01, 0x00],
+            minimized: None,
+        }
+    }
+
+    #[test]
+    fn seed_files_round_trip() {
+        let dir = std::env::temp_dir().join(format!("ion-fuzz-corpus-{}", std::process::id()));
+        let path = save(&dir, &artifact()).unwrap();
+        let entry = load(&path).unwrap();
+        assert_eq!(entry.seed, Some(42));
+        assert_eq!(entry.iter, Some(17));
+        assert_eq!(entry.corruption.as_deref(), Some("bit-flip"));
+        assert_eq!(entry.stage.as_deref(), Some("decode"));
+        assert_eq!(entry.bytes, artifact().artifact);
+        let (count, failures) = replay_dir(&dir).unwrap();
+        assert_eq!(count, 1);
+        // 6 header-prefix bytes: typed rejection, not a crash.
+        assert!(failures.is_empty(), "{failures:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn minimized_bytes_are_preferred() {
+        let mut a = artifact();
+        a.minimized = Some(vec![0xab]);
+        let text = render(&a);
+        assert!(text.ends_with("ab\n"), "{text}");
+    }
+
+    #[test]
+    fn hex_is_total_on_valid_input() {
+        for len in 0..64 {
+            let bytes: Vec<u8> = (0..len).map(|i| (i * 37) as u8).collect();
+            assert_eq!(from_hex(&to_hex(&bytes)).unwrap(), bytes);
+        }
+        assert!(from_hex("abc").is_none());
+        assert!(from_hex("zz").is_none());
+    }
+}

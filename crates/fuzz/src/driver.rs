@@ -1,0 +1,194 @@
+//! Drives one artifact through the pipeline, stage by stage, with a
+//! panic trap around each stage.
+//!
+//! The stages mirror the production data path: strict decode, lenient
+//! (valid-prefix) decode, table extraction, analysis. A panic in *any*
+//! stage is a contract violation — the pipeline's own error handling
+//! (typed [`darshan::DarshanError`]s, per-issue failed diagnoses) must
+//! absorb everything hostile bytes can throw at it.
+
+use darshan::log::LogReader;
+use extractor::extract_tables;
+use ion::IonPipeline;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Pipeline stage an artifact reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Strict decode: `LogReader::read`.
+    Decode,
+    /// Lenient decode: `LogReader::read_lenient` (valid-prefix recovery).
+    LenientDecode,
+    /// Column extraction: `extractor::extract_tables`.
+    Extract,
+    /// Analysis: `IonPipeline::run_tables` (mock LLM).
+    Analyze,
+}
+
+impl Stage {
+    /// Stable machine-readable name, used in corpus metadata.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Decode => "decode",
+            Stage::LenientDecode => "lenient-decode",
+            Stage::Extract => "extract",
+            Stage::Analyze => "analyze",
+        }
+    }
+
+    /// Inverse of [`Stage::name`].
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Stage> {
+        [
+            Stage::Decode,
+            Stage::LenientDecode,
+            Stage::Extract,
+            Stage::Analyze,
+        ]
+        .into_iter()
+        .find(|s| s.name() == name)
+    }
+}
+
+/// Outcome of driving one artifact through the full pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Both strict and lenient decode rejected the bytes with a typed
+    /// error. The contract is satisfied: garbage in, typed error out.
+    Rejected {
+        /// The strict decoder's error.
+        strict: String,
+        /// The lenient decoder's (header-level) error.
+        lenient: String,
+    },
+    /// The artifact was analyzed end to end. `recovered` is true when
+    /// only the lenient decoder accepted it (valid-prefix path), and
+    /// `failed_diagnoses` counts per-issue analyses that failed in a
+    /// *contained* way.
+    Analyzed {
+        /// True when strict decode failed but the lenient path recovered
+        /// a usable prefix.
+        recovered: bool,
+        /// Issues diagnosed.
+        diagnoses: usize,
+        /// Issues whose analysis failed but was contained to the report.
+        failed_diagnoses: usize,
+    },
+    /// A panic escaped a pipeline stage: the bug the campaign exists to
+    /// find.
+    Crashed {
+        /// Stage the panic escaped from.
+        stage: Stage,
+        /// Panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl Verdict {
+    /// True when this verdict violates the total-robustness contract.
+    #[must_use]
+    pub fn is_crash(&self) -> bool {
+        matches!(self, Verdict::Crashed { .. })
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn trap<T>(stage: Stage, f: impl FnOnce() -> T) -> Result<T, Verdict> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| Verdict::Crashed {
+        stage,
+        message: panic_message(payload.as_ref()),
+    })
+}
+
+/// Drive raw bytes through decode → extract → analyze and report where
+/// they got and how. Never panics: every stage runs under a trap, and a
+/// trapped panic is returned as [`Verdict::Crashed`].
+#[must_use]
+pub fn drive(bytes: &[u8]) -> Verdict {
+    match drive_inner(bytes) {
+        Ok(v) | Err(v) => v,
+    }
+}
+
+fn drive_inner(bytes: &[u8]) -> Result<Verdict, Verdict> {
+    let strict = trap(Stage::Decode, || LogReader::read(bytes))?;
+    let (log, recovered) = match strict {
+        Ok(log) => (log, false),
+        Err(strict_err) => {
+            let lenient = trap(Stage::LenientDecode, || LogReader::read_lenient(bytes))?;
+            match lenient {
+                Ok(partial) => (partial.log, true),
+                Err(lenient_err) => {
+                    return Ok(Verdict::Rejected {
+                        strict: strict_err.to_string(),
+                        lenient: lenient_err.to_string(),
+                    });
+                }
+            }
+        }
+    };
+
+    let pipeline = IonPipeline::new();
+    let (tables, params) = trap(Stage::Extract, || {
+        (extract_tables(&log), pipeline.params_for(&log))
+    })?;
+    let report = trap(Stage::Analyze, || pipeline.run_tables(&tables, &params))?;
+
+    let failed_diagnoses = report
+        .diagnoses
+        .iter()
+        .filter(|d| d.detection.is_none())
+        .count();
+    Ok(Verdict::Analyzed {
+        recovered,
+        diagnoses: report.diagnoses.len(),
+        failed_diagnoses,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate_bytes;
+    use crate::rng::FuzzRng;
+
+    #[test]
+    fn valid_log_is_analyzed() {
+        let bytes = generate_bytes(&mut FuzzRng::new(11));
+        match drive(&bytes) {
+            Verdict::Analyzed { recovered, .. } => assert!(!recovered),
+            other => panic!("valid log should analyze, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_crashed() {
+        let verdict = drive(b"not a darshan log at all");
+        match verdict {
+            Verdict::Rejected { .. } => {}
+            other => panic!("garbage should be rejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_tail_recovers_via_lenient_path() {
+        let bytes = generate_bytes(&mut FuzzRng::new(11));
+        // Cut inside the final CRC: strict fails, lenient keeps prefix.
+        let cut = &bytes[..bytes.len() - 3];
+        match drive(cut) {
+            Verdict::Analyzed { recovered, .. } => assert!(recovered),
+            Verdict::Rejected { .. } => {} // acceptable if cut hit the job region
+            other => panic!("truncated log crashed: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Seed-driven generator of *valid* Darshan logs.
+//!
+//! Validity is defined operationally: everything this module emits must
+//! round-trip bit-exactly through [`LogWriter`] → [`LogReader`]. The
+//! generator randomizes the dimensions that matter structurally — module
+//! mix, record counts, DXT segment shapes, heatmap bin vectors, name
+//! tables, metadata — while keeping values inside the encodable envelope
+//! (finite floats, offsets within `i64`), because the job of *breaking*
+//! the envelope belongs to the corruption catalog.
+
+use crate::rng::FuzzRng;
+use darshan::dxt::{DxtLayer, DxtRecord, DxtSegment, OpKind};
+use darshan::heatmap::HeatmapRecord;
+use darshan::log::{Log, LogReader, LogWriter};
+use darshan::records::{JobRecord, LustreRecord, MpiioRecord, PosixRecord, StdioRecord};
+
+/// Counter magnitudes a valid log plausibly carries. Extremes (`i64::MAX`
+/// etc.) are still *encodable* — they appear here with low probability so
+/// the valid corpus also covers the saturation paths.
+fn plausible_counter(rng: &mut FuzzRng) -> i64 {
+    match rng.below(20) {
+        0 => 0,
+        1 => i64::from(u8::from(rng.chance(50))), // 0 or 1
+        2 => i64::MAX,
+        3 => -1,
+        _ => rng.below(1 << 40) as i64,
+    }
+}
+
+fn plausible_time(rng: &mut FuzzRng) -> f64 {
+    rng.unit_f64() * 1e4
+}
+
+fn random_path(rng: &mut FuzzRng) -> String {
+    let dirs = ["/scratch", "/project", "/tmp", "/gpfs/alpine"];
+    let exts = ["dat", "nc4", "h5", "bp", "out"];
+    format!(
+        "{}/f{}.{}",
+        rng.choose(&dirs),
+        rng.below(1000),
+        rng.choose(&exts)
+    )
+}
+
+/// Generate a random valid in-memory log.
+#[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+pub fn generate_log(rng: &mut FuzzRng) -> Log {
+    let nprocs = 1 + rng.below(64) as u32;
+    let mut job = JobRecord::new(rng.below(60000) as u32, rng.below(1 << 31), nprocs);
+    job.start_time = plausible_time(rng);
+    job.end_time = job.start_time + plausible_time(rng);
+    job.exe = format!("app-{}", rng.below(100));
+    for i in 0..rng.below(4) {
+        job = job.with_metadata(&format!("k{i}"), &format!("v{}", rng.below(100)));
+    }
+    let mut w = LogWriter::new(job);
+
+    // A small pool of files shared across modules, most registered in the
+    // name table (but not all — unnamed ids are legal and must not break
+    // extraction).
+    let nfiles = 1 + rng.index(4);
+    let file_ids: Vec<u64> = (0..nfiles)
+        .map(|_| {
+            let path = random_path(rng);
+            let id = darshan::record_id(&path);
+            if rng.chance(85) {
+                w.register_name(id, &path);
+            }
+            id
+        })
+        .collect();
+
+    let rank_of = |rng: &mut FuzzRng, nprocs: u32| -> i32 {
+        if rng.chance(10) {
+            -1 // shared record
+        } else {
+            rng.below(u64::from(nprocs)) as i32
+        }
+    };
+
+    // Random module mix: each module present with independent probability.
+    if rng.chance(70) {
+        for _ in 0..rng.below(6) {
+            let mut r = PosixRecord::new(*rng.choose(&file_ids), rank_of(rng, nprocs));
+            for c in &mut r.counters {
+                *c = plausible_counter(rng);
+            }
+            for f in &mut r.fcounters {
+                *f = plausible_time(rng);
+            }
+            w.add_posix_record(r);
+        }
+    }
+    if rng.chance(40) {
+        for _ in 0..rng.below(4) {
+            let mut r = MpiioRecord::new(*rng.choose(&file_ids), rank_of(rng, nprocs));
+            for c in &mut r.counters {
+                *c = plausible_counter(rng);
+            }
+            w.add_mpiio_record(r);
+        }
+    }
+    if rng.chance(30) {
+        for _ in 0..rng.below(3) {
+            let mut r = StdioRecord::new(*rng.choose(&file_ids), rank_of(rng, nprocs));
+            for c in &mut r.counters {
+                *c = plausible_counter(rng);
+            }
+            w.add_stdio_record(r);
+        }
+    }
+    if rng.chance(35) {
+        for _ in 0..rng.below(3) {
+            let width = 1 + rng.index(8);
+            let osts: Vec<i64> = (0..width).map(|_| rng.below(256) as i64).collect();
+            w.add_lustre_record(LustreRecord::new(
+                *rng.choose(&file_ids),
+                rank_of(rng, nprocs),
+                1 << (16 + rng.below(8)),
+                osts,
+            ));
+        }
+    }
+    if rng.chance(50) {
+        for _ in 0..rng.below(4) {
+            let layer = if rng.chance(50) {
+                DxtLayer::Posix
+            } else {
+                DxtLayer::MpiIo
+            };
+            let mut dxt = DxtRecord::new(
+                *rng.choose(&file_ids),
+                rank_of(rng, nprocs),
+                layer,
+                &format!("node{:02}", rng.below(32)),
+            );
+            // Segment shapes: sequential, strided, random, or zero-length.
+            let nsegs = rng.below(24);
+            let mut offset = rng.below(1 << 30);
+            for _ in 0..nsegs {
+                let length = match rng.below(10) {
+                    0 => 0,
+                    1 => rng.below(1 << 30),
+                    _ => rng.below(1 << 20),
+                };
+                let start = plausible_time(rng);
+                let kind = if rng.chance(60) {
+                    OpKind::Write
+                } else {
+                    OpKind::Read
+                };
+                dxt.push(
+                    kind,
+                    DxtSegment {
+                        offset,
+                        length,
+                        start_time: start,
+                        end_time: start + rng.unit_f64(),
+                    },
+                );
+                offset = match rng.below(3) {
+                    0 => offset.saturating_add(length), // sequential
+                    1 => offset.saturating_add(length + rng.below(1 << 16)), // strided
+                    _ => rng.below(1 << 40),            // random
+                };
+            }
+            w.add_dxt_record(dxt);
+        }
+    }
+    if rng.chance(40) {
+        for _ in 0..rng.below(3) {
+            let nbins = rng.index(129);
+            let bin = |rng: &mut FuzzRng| match rng.below(12) {
+                0 => 0,
+                1 => u64::MAX,
+                _ => rng.below(1 << 34),
+            };
+            w.add_heatmap_record(HeatmapRecord {
+                rank: rank_of(rng, nprocs),
+                bin_width: 0.01 * f64::from(1 << rng.below(10) as u32),
+                read_bytes: (0..nbins).map(|_| bin(rng)).collect(),
+                write_bytes: (0..nbins).map(|_| bin(rng)).collect(),
+            });
+        }
+    }
+
+    w.into_log()
+}
+
+/// Generate a random valid log, serialized, with the round-trip contract
+/// enforced: the bytes must decode back to exactly the generated log.
+///
+/// # Panics
+///
+/// Panics when the round-trip fails — that is a codec bug the fuzz
+/// campaign must surface, not swallow.
+#[must_use]
+pub fn generate_bytes(rng: &mut FuzzRng) -> Vec<u8> {
+    let log = generate_log(rng);
+    let bytes = LogWriter::from_log(log.clone())
+        .finish()
+        .expect("generated log must serialize");
+    let decoded = LogReader::read(&bytes).expect("generated log must decode");
+    assert_eq!(decoded, log, "generator round-trip mismatch");
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn many_seeds_round_trip() {
+        for seed in 0..200 {
+            let mut rng = FuzzRng::new(seed);
+            let bytes = generate_bytes(&mut rng); // asserts internally
+            assert!(bytes.len() >= 9);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_bytes(&mut FuzzRng::new(123));
+        let b = generate_bytes(&mut FuzzRng::new(123));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn module_mix_varies_across_seeds() {
+        let mut mixes = std::collections::HashSet::new();
+        for seed in 0..50 {
+            let log = generate_log(&mut FuzzRng::new(seed));
+            mixes.insert(log.modules_present());
+        }
+        assert!(mixes.len() > 5, "only {} distinct mixes", mixes.len());
+    }
+}

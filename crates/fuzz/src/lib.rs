@@ -1,0 +1,28 @@
+//! # ion-fuzz — deterministic, structure-aware fuzzing harness
+//!
+//! Drives hostile inputs through the full `decode → extract → IQL →
+//! analyze` pipeline and enforces the **total-robustness contract**:
+//!
+//! 1. No panic reaches the top of any pipeline entry point — every
+//!    failure is a typed [`darshan::DarshanError`] or a failed-diagnosis
+//!    entry in the report.
+//! 2. Valid-prefix data still yields partial results where the decoder
+//!    supports it (`LogReader::read_lenient`).
+//!
+//! The harness is deterministic end to end: a campaign is a pure function
+//! of `(seed, iters)`, every artifact is reproducible from the seed of
+//! the iteration that produced it, and crashes are pinned as `.seed`
+//! files in `crates/fuzz/corpus/` that replay as a fast regression gate.
+
+pub mod campaign;
+pub mod corpus;
+pub mod corrupt;
+pub mod driver;
+pub mod gen;
+pub mod minimize;
+pub mod rng;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport, CrashArtifact};
+pub use corrupt::Corruption;
+pub use driver::{drive, Stage, Verdict};
+pub use rng::FuzzRng;

@@ -1,0 +1,103 @@
+//! Delta-minimizer for crash artifacts.
+//!
+//! Greedy and deliberately simple: tail truncation (binary-search style)
+//! followed by chunk removal at halving granularities, accepting any
+//! candidate that still crashes at the *same stage*. Bounded by a fixed
+//! budget of pipeline executions so minimization never dominates a
+//! campaign.
+
+use crate::driver::{drive, Stage, Verdict};
+
+/// Maximum number of pipeline executions one minimization may spend.
+const BUDGET: usize = 600;
+
+/// Shrink `bytes` while `pred` holds. The generic core of [`minimize`],
+/// exposed for testing with synthetic predicates.
+pub fn minimize_with(bytes: &[u8], mut pred: impl FnMut(&[u8]) -> bool) -> Vec<u8> {
+    let mut budget = BUDGET;
+    let mut current = bytes.to_vec();
+    let mut check = |candidate: &[u8], budget: &mut usize| -> bool {
+        if *budget == 0 {
+            return false;
+        }
+        *budget -= 1;
+        pred(candidate)
+    };
+
+    // Phase 1: tail truncation, coarse to fine.
+    let mut step = current.len() / 2;
+    while step > 0 {
+        while current.len() > step {
+            let keep = current.len() - step;
+            if check(&current[..keep], &mut budget) {
+                current.truncate(keep);
+            } else {
+                break;
+            }
+        }
+        step /= 2;
+    }
+
+    // Phase 2: chunk removal, coarse to fine.
+    let mut chunk = (current.len() / 2).max(1);
+    loop {
+        let mut start = 0;
+        while start < current.len() && budget > 0 {
+            let end = (start + chunk).min(current.len());
+            let mut candidate = Vec::with_capacity(current.len() - (end - start));
+            candidate.extend_from_slice(&current[..start]);
+            candidate.extend_from_slice(&current[end..]);
+            if !candidate.is_empty() && check(&candidate, &mut budget) {
+                // The removed span's successor now sits at `start`;
+                // retry the same position.
+                current = candidate;
+            } else {
+                start += chunk;
+            }
+        }
+        if chunk == 1 || budget == 0 {
+            break;
+        }
+        chunk /= 2;
+    }
+    current
+}
+
+/// Minimize a crashing artifact, preserving a crash at the same stage.
+#[must_use]
+pub fn minimize(bytes: &[u8], stage: Stage) -> Vec<u8> {
+    minimize_with(
+        bytes,
+        |candidate| matches!(drive(candidate), Verdict::Crashed { stage: s, .. } if s == stage),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_load_bearing_byte() {
+        let mut input = vec![0u8; 300];
+        input[137] = 0x42;
+        let out = minimize_with(&input, |b| b.contains(&0x42));
+        assert_eq!(out, vec![0x42]);
+    }
+
+    #[test]
+    fn preserves_a_two_byte_interaction() {
+        let mut input = vec![0u8; 200];
+        input[10] = 0xaa;
+        input[150] = 0xbb;
+        let out = minimize_with(&input, |b| b.contains(&0xaa) && b.contains(&0xbb));
+        assert!(out.len() <= 4, "kept {} bytes", out.len());
+        assert!(out.contains(&0xaa) && out.contains(&0xbb));
+    }
+
+    #[test]
+    fn non_matching_input_is_returned_unchanged() {
+        let input = vec![1u8, 2, 3, 4];
+        let out = minimize_with(&input, |_| false);
+        assert_eq!(out, input);
+    }
+}

@@ -1,0 +1,203 @@
+//! The pinned-corpus regression gate.
+//!
+//! `crates/fuzz/corpus/*.seed` pins one artifact per corruption strategy,
+//! each targeting a panic class the pipeline historically had (slice past
+//! EOF, debug add-overflow in counter accumulation, the non-finite
+//! heatmap hang, …). Replaying them must produce zero crashes: every
+//! entry lands as a typed rejection or a contained analysis.
+//!
+//! To refresh the corpus after a format change, run the ignored
+//! regenerator: `cargo test -p ion-fuzz --test corpus_replay -- --ignored`.
+
+use ion_fuzz::campaign::CrashArtifact;
+use ion_fuzz::corpus;
+use ion_fuzz::{Corruption, FuzzRng, Stage};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+/// `(strategy, generator seed, stage of the historical crash, what used
+/// to go wrong)`. One entry per catalog strategy.
+fn pins() -> Vec<(Corruption, u64, Stage, &'static str)> {
+    use Corruption as C;
+    use Stage as S;
+    vec![
+        (
+            C::TruncateAtBoundary,
+            101,
+            S::Decode,
+            "pre-hardening: region header sliced past EOF; now Truncated{region,offset}",
+        ),
+        (
+            C::TruncateRandom,
+            102,
+            S::Decode,
+            "pre-hardening: mid-payload cut indexed out of bounds; now Truncated",
+        ),
+        (
+            C::BitFlip,
+            103,
+            S::Decode,
+            "pre-hardening: flipped varint length walked past EOF; now typed decode error",
+        ),
+        (
+            C::CrcDamage,
+            104,
+            S::LenientDecode,
+            "crc mismatch must be a typed error strict-side and a skipped region lenient-side",
+        ),
+        (
+            C::HugeDeclaredLen,
+            105,
+            S::Decode,
+            "pre-hardening: payload_len + 4 overflowed usize; now checked_add then Truncated",
+        ),
+        (
+            C::ShrunkDeclaredLen,
+            106,
+            S::Decode,
+            "overlapping regions: next frame parsed from inside this one must stay typed",
+        ),
+        (
+            C::UnknownTag,
+            107,
+            S::Decode,
+            "region tag no module owns must be a typed error, not an unreachable! panic",
+        ),
+        (
+            C::SwapRegions,
+            108,
+            S::Decode,
+            "module region ahead of the job region must not assume job state exists",
+        ),
+        (
+            C::DuplicateRegion,
+            109,
+            S::Decode,
+            "a region emitted twice must append or reject, never corrupt decoder state",
+        ),
+        (
+            C::ZeroRecordCount,
+            110,
+            S::Decode,
+            "zero declared records with trailing bytes behind a valid crc",
+        ),
+        (
+            C::HugeRecordCount,
+            111,
+            S::Decode,
+            "pre-hardening: absurd declared count looped past the buffer; now count-vs-bytes check",
+        ),
+        (
+            C::NonUtf8Name,
+            112,
+            S::Decode,
+            "pre-hardening: name-table utf-8 conversion unwrapped; now typed error",
+        ),
+        (
+            C::ExtremeCounters,
+            113,
+            S::Analyze,
+            "pre-hardening: i64::MAX counters tripped debug add-overflow in accumulation",
+        ),
+        (
+            C::OverflowingSums,
+            114,
+            S::Analyze,
+            "pre-hardening: summing i64::MAX across records overflowed; now Overflow{what}",
+        ),
+        (
+            C::OutOfOrderTimestamps,
+            115,
+            S::Analyze,
+            "negative job duration and reversed DXT stamps must not break rate math",
+        ),
+        (
+            C::EndBeforeStartSegments,
+            116,
+            S::Analyze,
+            "segments with end < start yield negative durations; division paths must survive",
+        ),
+        (
+            C::HostileFloats,
+            117,
+            S::Analyze,
+            "pre-hardening: non-finite heatmap time hung ensure_covers; now finite-guarded",
+        ),
+    ]
+}
+
+/// Deterministically rebuild the artifact a pin describes.
+fn build_pin(c: Corruption, seed: u64, stage: Stage, note: &str) -> CrashArtifact {
+    let mut rng = FuzzRng::new(seed);
+    let bytes = loop {
+        let valid = ion_fuzz::gen::generate_bytes(&mut rng);
+        if let Some(bytes) = c.apply(&valid, &mut rng) {
+            break bytes;
+        }
+    };
+    CrashArtifact {
+        seed,
+        iter: 0,
+        corruption: Some(c),
+        stage,
+        message: note.to_string(),
+        artifact: bytes,
+        minimized: None,
+    }
+}
+
+#[test]
+fn pinned_corpus_replays_clean() {
+    let dir = corpus_dir();
+    let (count, failures) = corpus::replay_dir(&dir).expect("corpus must load");
+    assert!(count >= 10, "corpus too small: {count} seeds");
+    assert!(
+        failures.is_empty(),
+        "regressions:\n{}",
+        failures
+            .iter()
+            .map(|f| format!(
+                "  {}: {} at {} (minimized: {})",
+                f.name, f.message, f.stage, f.minimized_hex
+            ))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn pinned_corpus_matches_its_generators() {
+    // Every committed seed must be reproducible from its recorded
+    // (corruption, seed) pair — the corpus carries no bytes that the
+    // deterministic generator cannot re-derive.
+    let entries = corpus::load_dir(&corpus_dir()).expect("corpus must load");
+    for (c, seed, stage, note) in pins() {
+        let expected = build_pin(c, seed, stage, note);
+        let name = corpus::file_name(&expected);
+        let stem = name.trim_end_matches(".seed");
+        let entry = entries
+            .iter()
+            .find(|e| e.name == stem)
+            .unwrap_or_else(|| panic!("missing corpus entry {name}"));
+        assert_eq!(
+            entry.bytes, expected.artifact,
+            "{name} drifted from its generator"
+        );
+        assert_eq!(entry.corruption.as_deref(), Some(c.name()));
+        assert_eq!(entry.stage.as_deref(), Some(stage.name()));
+    }
+}
+
+#[test]
+#[ignore = "writes crates/fuzz/corpus; run to regenerate after a format change"]
+fn regenerate_corpus() {
+    let dir = corpus_dir();
+    for (c, seed, stage, note) in pins() {
+        let artifact = build_pin(c, seed, stage, note);
+        let path = corpus::save(&dir, &artifact).expect("write seed");
+        println!("pinned {}", path.display());
+    }
+}

@@ -200,20 +200,30 @@ pub fn analyze_dir_with(
     let entries = outcomes
         .into_iter()
         .zip(&files)
-        .map(|(outcome, path)| match outcome {
-            ion_exec::TaskOutcome::Ok(entry) => entry,
-            ion_exec::TaskOutcome::Panicked(_) => BatchEntry {
-                path: path.clone(),
-                result: Err("batch worker panicked".into()),
-            },
-            ion_exec::TaskOutcome::Cancelled => BatchEntry {
-                path: path.clone(),
-                result: Err("batch cancelled".into()),
-            },
-            ion_exec::TaskOutcome::Deadlined => BatchEntry {
-                path: path.clone(),
-                result: Err("batch deadlined".into()),
-            },
+        .map(|(outcome, path)| {
+            // A panicked worker unwound before its own `trace_finished`
+            // call; account the synthesized failure entry here so the
+            // progress gauges stay truthful (no stuck in_flight, failures
+            // counted). Cancelled/deadlined tasks never started.
+            match outcome {
+                ion_exec::TaskOutcome::Ok(entry) => entry,
+                ion_exec::TaskOutcome::Panicked(_) => {
+                    let entry = BatchEntry {
+                        path: path.clone(),
+                        result: Err("batch worker panicked".into()),
+                    };
+                    progress.trace_finished(&entry);
+                    entry
+                }
+                ion_exec::TaskOutcome::Cancelled => BatchEntry {
+                    path: path.clone(),
+                    result: Err("batch cancelled".into()),
+                },
+                ion_exec::TaskOutcome::Deadlined => BatchEntry {
+                    path: path.clone(),
+                    result: Err("batch deadlined".into()),
+                },
+            }
         })
         .collect();
     Ok(BatchReport { entries })

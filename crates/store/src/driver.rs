@@ -215,6 +215,14 @@ impl<'m> StoredPipeline<'m> {
     /// Analyze a trace file on disk.
     pub fn analyze_file(&self, path: impl AsRef<Path>) -> Result<IonReport, StoreError> {
         let path = path.as_ref();
+        // Fault injection for integration tests: `ION_PANIC_TRACE=<name>`
+        // panics the whole analysis of one trace, exercising batch-level
+        // panic isolation (other traces must still produce reports).
+        if let Ok(victim) = std::env::var("ION_PANIC_TRACE") {
+            if path.file_name().is_some_and(|n| n == victim.as_str()) {
+                panic!("injected panic for trace {victim}");
+            }
+        }
         let bytes = std::fs::read(path).map_err(|e| StoreError::Io {
             action: "read trace".into(),
             path: path.display().to_string(),
