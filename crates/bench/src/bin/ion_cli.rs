@@ -16,14 +16,21 @@
 //!         [--minimize] [--save-crashes <dir>] (crashes exit nonzero, bytes pinned)
 //!         [--replay <corpus-dir>]             replay pinned regression seeds
 //! ion-cli store gc [--apply]                  prune unreferenced store artifacts
+//! ion-cli serve [addr]                        multi-tenant analysis daemon
 //! ion-cli obs serve [addr]                    standalone live-telemetry endpoint
 //! ion-cli obs diff <base.json> <new.json>     snapshot-diff regression gate
 //! ```
 //!
 //! `--store <dir>` (valid anywhere on the command line) backs `analyze`,
-//! `batch` and `qa` with the content-addressed incremental store: stages
-//! whose inputs did not change are served from cache instead of being
-//! recomputed. `batch` additionally accepts `--jobs <n>`.
+//! `batch`, `qa` and `serve` with the content-addressed incremental
+//! store: stages whose inputs did not change are served from cache
+//! instead of being recomputed. `batch` additionally accepts
+//! `--jobs <n>`.
+//!
+//! `serve` runs the always-on analysis daemon (`ion-serve/v1`): POST a
+//! trace to `/v1/jobs`, poll `/v1/jobs/<id>`, fetch `/report`, ask
+//! `/qa`. The first Ctrl-C drains gracefully (503 new submissions,
+//! finish in-flight work); a second one hard-cancels in-flight jobs.
 //!
 //! Execution policy (valid anywhere on the command line, honored by
 //! `analyze`, `batch` and `qa`):
@@ -73,7 +80,7 @@ fn usage() -> ExitCode {
         "usage: ion-cli [--profile] [--metrics-json <path>] [--events <path>] \
          [--serve <addr>] [--serve-hold-ms <n>] [--store <dir>] [--jobs <n>] \
          [--workers <n>] [--deadline-ms <n>] \
-         <generate|parse|dxt|extract|analyze|batch|drishti|compare|qa|iql|store|obs|fuzz> \
+         <generate|parse|dxt|extract|analyze|batch|drishti|compare|qa|iql|store|serve|obs|fuzz> \
          <args...>\n\
          a bare <log.darshan> after the flags is shorthand for `analyze`\n\
          see `cargo doc` or the README for details"
@@ -352,9 +359,9 @@ fn run() -> Result<(), Failure> {
     result
 }
 
-const COMMANDS: [&str; 13] = [
+const COMMANDS: [&str; 14] = [
     "generate", "parse", "dxt", "extract", "analyze", "batch", "drishti", "compare", "qa", "iql",
-    "store", "obs", "fuzz",
+    "store", "serve", "obs", "fuzz",
 ];
 
 fn dispatch(args: &[String], flags: &ObsFlags) -> Result<(), Failure> {
@@ -429,16 +436,69 @@ fn dispatch(args: &[String], flags: &ObsFlags) -> Result<(), Failure> {
             let dir = args.get(1).ok_or("batch needs <trace-dir>")?;
             let store = flags.open_store("batch")?;
             let driver = ion_store::StoredPipeline::new(store);
-            let exec = flags.exec_batch(flags.jobs);
+            let cancel = ion_exec::CancelToken::new();
+            ion_serve::signal::cancel_on_signal(cancel.clone());
+            let exec = flags.exec_batch(flags.jobs).with_cancel(cancel);
             let report = ion_store::analyze_dir_with(&driver, std::path::Path::new(dir), &exec)
                 .map_err(|e| e.to_string())?;
             emit(&report.render_text());
+            if ion_serve::signal::tripped() {
+                return Err(Failure::outcome("batch interrupted (Ctrl-C)"));
+            }
             if report.failed() > 0 {
                 return Err(Failure::outcome(format!(
                     "{} trace(s) failed",
                     report.failed()
                 )));
             }
+        }
+        "serve" => {
+            let addr = args.get(1).map_or("127.0.0.1:8080", String::as_str);
+            let store = flags.open_store("serve")?;
+            let mut config = ion_serve::ServeConfig::default();
+            if let Some(workers) = flags.workers {
+                config.workers = workers.max(1);
+            }
+            if flags.jobs > 0 {
+                config.issue_width = flags.jobs;
+            }
+            if flags.deadline_ms > 0 {
+                config.job_deadline = Some(std::time::Duration::from_millis(flags.deadline_ms));
+            }
+            let daemon = ion_serve::Daemon::bind(addr, store, config)
+                .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+            // The bound address goes to stderr so scripts (and the CI
+            // smoke test) can scrape the ephemeral port from `serve :0`.
+            eprintln!(
+                "ion-serve listening on http://{} (Ctrl-C drains; twice cancels in-flight)",
+                daemon.local_addr()
+            );
+            let stop = ion_exec::CancelToken::new();
+            ion_serve::signal::cancel_on_signal(stop.clone());
+            daemon.run_until(&stop);
+            // Escalation path: a second signal during the drain trips the
+            // daemon's hard-cancel token so stuck jobs cannot block exit.
+            let trips_at_drain = ion_serve::signal::trip_count();
+            let hard = daemon.cancel_token();
+            let _ = std::thread::Builder::new()
+                .name("ion-serve-escalate".to_owned())
+                .spawn(move || loop {
+                    if ion_serve::signal::trip_count() > trips_at_drain {
+                        hard.cancel();
+                        return;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                });
+            eprintln!("ion-serve draining...");
+            let summary = daemon.shutdown();
+            eprintln!(
+                "ion-serve stopped: {} done, {} failed, {} cancelled ({} never ran), {} deadlined",
+                summary.done,
+                summary.failed,
+                summary.cancelled,
+                summary.cancelled_queued,
+                summary.deadlined
+            );
         }
         "fuzz" => {
             let mut iters: u64 = 1000;
@@ -498,11 +558,14 @@ fn dispatch(args: &[String], flags: &ObsFlags) -> Result<(), Failure> {
                 }
                 return Ok(());
             }
+            let cancel = ion_exec::CancelToken::new();
+            ion_serve::signal::cancel_on_signal(cancel.clone());
             let config = ion_fuzz::CampaignConfig {
                 iters,
                 seed,
                 minimize,
                 jobs: (flags.jobs > 0).then_some(flags.jobs),
+                cancel: Some(cancel),
             };
             let report = ion_fuzz::run_campaign(&config);
             println!("{}", report.render_text());

@@ -1,0 +1,107 @@
+//! CLI smoke for the daemon: `ion_cli serve 127.0.0.1:0` binds an
+//! ephemeral port (scraped from the stderr banner), serves a full job
+//! round-trip over real TCP, and a SIGINT drains it to a clean exit with
+//! the drain summary on stderr.
+#![cfg(unix)]
+
+use darshan::log::LogWriter;
+use iosim::{SimConfig, Simulation};
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Command, Stdio};
+
+fn trace_bytes() -> Vec<u8> {
+    let mut sim = Simulation::new(
+        SimConfig::default()
+            .with_ranks(2)
+            .with_exe("serve-cli-smoke"),
+    );
+    let f = sim.posix_open_all("/scratch/smoke.dat").unwrap();
+    for i in 0..16u64 {
+        for rank in 0..2u32 {
+            let base = u64::from(rank) * (4 << 20);
+            sim.posix_write(rank, f, base + i * 1024, 1024).unwrap();
+        }
+    }
+    sim.posix_close_all(f);
+    LogWriter::from_log(sim.finish()).finish().unwrap()
+}
+
+#[test]
+fn serve_subcommand_round_trips_and_drains_on_sigint() {
+    let root = std::env::temp_dir().join(format!("ion-serve-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ion_cli"))
+        .arg("serve")
+        .arg("127.0.0.1:0")
+        .arg("--store")
+        .arg(root.join("store"))
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn ion_cli serve");
+    let stderr = child.stderr.take().unwrap();
+    let mut lines = BufReader::new(stderr).lines();
+    let banner = lines
+        .next()
+        .expect("daemon must print a listen banner")
+        .unwrap();
+    let addr: SocketAddr = banner
+        .split("http://")
+        .nth(1)
+        .unwrap_or_else(|| panic!("no address in banner: {banner}"))
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap_or_else(|e| panic!("bad address in banner ({e}): {banner}"));
+
+    let health = ion_serve::client::get(addr, "/healthz").unwrap();
+    assert_eq!(health.status, 200);
+
+    let submitted = ion_serve::client::post(
+        addr,
+        "/v1/jobs",
+        &[("X-Ion-Tenant", "smoke")],
+        &trace_bytes(),
+    )
+    .unwrap();
+    assert_eq!(submitted.status, 202, "{}", submitted.text());
+    let id = submitted
+        .json()
+        .unwrap()
+        .get("job")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_owned();
+
+    let done = ion_serve::client::get(addr, &format!("/v1/jobs/{id}?wait_ms=30000")).unwrap();
+    assert_eq!(
+        done.json().unwrap().get("state").unwrap().as_str(),
+        Some("done"),
+        "{}",
+        done.text()
+    );
+    let report = ion_serve::client::get(addr, &format!("/v1/jobs/{id}/report")).unwrap();
+    assert_eq!(report.status, 200);
+    assert!(!report.body.is_empty(), "report must be non-empty");
+
+    // First SIGINT: graceful drain, clean exit, summary on stderr.
+    let kill = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(kill.success());
+    let tail: Vec<String> = lines.map_while(Result::ok).collect();
+    let status = child.wait().unwrap();
+    assert!(
+        status.success(),
+        "daemon must exit cleanly, got {status}; stderr:\n{}",
+        tail.join("\n")
+    );
+    let tail = tail.join("\n");
+    assert!(tail.contains("ion-serve stopped"), "{tail}");
+    assert!(tail.contains("1 done"), "{tail}");
+    let _ = std::fs::remove_dir_all(&root);
+}

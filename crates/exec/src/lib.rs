@@ -35,6 +35,8 @@
 //! `ION_WORKERS` environment variable when set, hardware parallelism
 //! otherwise.
 
+pub mod fair;
+
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;

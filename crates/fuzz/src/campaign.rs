@@ -23,6 +23,10 @@ pub struct CampaignConfig {
     pub minimize: bool,
     /// Worker width for the ion-exec batch (`None` = default).
     pub jobs: Option<usize>,
+    /// Cooperative cancellation (Ctrl-C): iterations not yet started when
+    /// the token trips are skipped and counted as
+    /// [`CampaignReport::cancelled`].
+    pub cancel: Option<ion_exec::CancelToken>,
 }
 
 impl Default for CampaignConfig {
@@ -32,6 +36,7 @@ impl Default for CampaignConfig {
             seed: 0,
             minimize: false,
             jobs: None,
+            cancel: None,
         }
     }
 }
@@ -70,6 +75,8 @@ pub struct CampaignReport {
     /// Analyzed artifacts that went through the lenient (valid-prefix)
     /// recovery path.
     pub recovered: u64,
+    /// Iterations skipped by cooperative cancellation (Ctrl-C).
+    pub cancelled: u64,
     /// Contract violations.
     pub crashes: Vec<CrashArtifact>,
 }
@@ -78,7 +85,7 @@ impl CampaignReport {
     /// One-line human summary.
     #[must_use]
     pub fn render_text(&self) -> String {
-        format!(
+        let mut line = format!(
             "fuzz: {} iters ({} valid), {} rejected, {} analyzed ({} recovered), {} crashes",
             self.iters,
             self.valid,
@@ -86,7 +93,14 @@ impl CampaignReport {
             self.analyzed,
             self.recovered,
             self.crashes.len()
-        )
+        );
+        if self.cancelled > 0 {
+            line.push_str(&format!(
+                " — interrupted, {} iteration(s) skipped",
+                self.cancelled
+            ));
+        }
+        line
     }
 }
 
@@ -145,6 +159,9 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
     let mut batch = ion_exec::Batch::new();
     if let Some(jobs) = config.jobs {
         batch = batch.with_width(jobs.max(1));
+    }
+    if let Some(cancel) = &config.cancel {
+        batch = batch.with_cancel(cancel.clone());
     }
     let outcomes = batch.map_ordered(&iters, |&iter, _ctx| {
         let (corruption, bytes) = make_artifact(config.seed, iter);
@@ -214,7 +231,9 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
                     minimized: None,
                 });
             }
-            ion_exec::TaskOutcome::Cancelled | ion_exec::TaskOutcome::Deadlined => {}
+            ion_exec::TaskOutcome::Cancelled | ion_exec::TaskOutcome::Deadlined => {
+                report.cancelled += 1;
+            }
         }
     }
     report
@@ -240,6 +259,7 @@ mod tests {
             seed: 42,
             minimize: true,
             jobs: Some(4),
+            cancel: None,
         });
         assert_eq!(report.iters, 60);
         assert!(
@@ -270,6 +290,7 @@ mod tests {
             seed: 7,
             minimize: false,
             jobs: Some(3),
+            cancel: None,
         };
         let a = run_campaign(&cfg);
         let b = run_campaign(&cfg);

@@ -1,7 +1,15 @@
-//! Live telemetry endpoint: a dependency-free `std::net` HTTP server
-//! exposing the global sink while a run is still in flight.
+//! Dependency-free HTTP serving: a tiny request/response model, a
+//! [`Router`], and a multi-worker [`HttpServer`] over `std::net` — plus
+//! the telemetry routes (`/metrics`, `/progress`, `/healthz`) that the
+//! original single-purpose metrics endpoint exposed.
 //!
-//! Three routes, all `GET`:
+//! The plumbing is deliberately shared: [`MetricsServer`] is now a thin
+//! wrapper over [`HttpServer`] with the telemetry routes installed, and
+//! `ion-serve` mounts its job API *next to* those same routes on one
+//! listener — one port serves `/metrics`, `/progress`, `/healthz` and
+//! `/v1/jobs/...` together.
+//!
+//! Telemetry routes, all `GET`:
 //!
 //! - **`/metrics`** — Prometheus text exposition format (version 0.0.4):
 //!   every counter, gauge and log₂ histogram in the registry, histogram
@@ -14,11 +22,8 @@
 //!   `ion-store`'s batch front-end maintains.
 //! - **`/healthz`** — liveness probe, plain `ok`.
 //!
-//! The server is deliberately minimal: one accept thread, one short-lived
-//! request per connection, `Connection: close`. It exists so `ion_cli
-//! batch --serve` can be scraped, not to serve the paper's millions of
-//! users — that is what a real ingress in front of many `ion_cli`
-//! processes would do.
+//! The server model stays minimal: blocking accept loops (one per
+//! worker), one short-lived request per connection, `Connection: close`.
 
 use crate::metrics::HistogramSnapshot;
 use crate::render::Snapshot;
@@ -32,12 +37,330 @@ use std::time::Duration;
 /// uses the global sink; tests inject synthetic snapshots.
 pub type SnapshotFn = Arc<dyn Fn() -> Snapshot + Send + Sync>;
 
-/// A running telemetry server. Dropping it (or calling
-/// [`MetricsServer::shutdown`]) stops the accept loop.
-pub struct MetricsServer {
+/// Hard ceilings on request size: anything bigger is rejected with 400
+/// before allocation. Trace submissions are the largest legitimate
+/// payload; tens of MiB covers every bundled workload with headroom.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+const MAX_BODY_BYTES: usize = 64 << 20;
+
+/// One parsed HTTP request: method, split path/query, lowercased header
+/// names, and the (possibly empty) body.
+#[derive(Debug, Default, Clone)]
+pub struct Request {
+    /// Uppercased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path without the query string.
+    pub path: String,
+    /// Raw query string (empty when absent).
+    pub query: String,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with this (case-insensitive) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == lower)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Value of a `key=value` query parameter (no percent-decoding; the
+    /// callers only pass identifiers and integers).
+    #[must_use]
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (`200`, `429`, …).
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: String,
+    /// Extra headers (e.g. `Retry-After`), written verbatim.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A plain-text response.
+    #[must_use]
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8".into(),
+            headers: Vec::new(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// An `application/json` response.
+    #[must_use]
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "application/json".into(),
+            headers: Vec::new(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// Attach an extra header.
+    #[must_use]
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Status",
+        }
+    }
+}
+
+type HandlerFn = dyn Fn(&Request) -> Response + Send + Sync;
+
+struct Route {
+    method: &'static str,
+    path: String,
+    prefix: bool,
+    handler: Box<HandlerFn>,
+}
+
+/// An ordered route table: first match wins, exact paths or prefixes.
+/// Unmatched paths get 404; a matched path with the wrong method 405.
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<Route>,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let routes: Vec<String> = self
+            .routes
+            .iter()
+            .map(|r| format!("{} {}{}", r.method, r.path, if r.prefix { "*" } else { "" }))
+            .collect();
+        f.debug_struct("Router").field("routes", &routes).finish()
+    }
+}
+
+impl Router {
+    /// An empty router (every request 404s).
+    #[must_use]
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Mount a handler on an exact path.
+    #[must_use]
+    pub fn route(
+        mut self,
+        method: &'static str,
+        path: &str,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> Router {
+        self.routes.push(Route {
+            method,
+            path: path.to_owned(),
+            prefix: false,
+            handler: Box::new(handler),
+        });
+        self
+    }
+
+    /// Mount a handler on a path prefix (the handler inspects the rest
+    /// of `req.path` itself, e.g. `/v1/jobs/<id>/report`).
+    #[must_use]
+    pub fn prefix(
+        mut self,
+        method: &'static str,
+        path: &str,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> Router {
+        self.routes.push(Route {
+            method,
+            path: path.to_owned(),
+            prefix: true,
+            handler: Box::new(handler),
+        });
+        self
+    }
+
+    /// Add the telemetry routes (`/metrics`, `/progress`, `/healthz`)
+    /// rendered from `provider` snapshots. Routes already mounted win, so
+    /// a daemon can override `/healthz` with its own liveness logic.
+    #[must_use]
+    pub fn with_metrics_routes(self, provider: SnapshotFn) -> Router {
+        let metrics = Arc::clone(&provider);
+        self.route("GET", "/metrics", move |_| Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8".into(),
+            headers: Vec::new(),
+            body: render_prometheus(&metrics()).into_bytes(),
+        })
+        .route("GET", "/progress", move |_| {
+            Response::json(200, render_progress(&provider()))
+        })
+        .route("GET", "/healthz", |_| Response::text(200, "ok\n"))
+    }
+
+    /// Dispatch one request. Handler panics become 500s so one bad
+    /// request cannot take a serving worker down.
+    #[must_use]
+    pub fn handle(&self, req: &Request) -> Response {
+        let mut path_matched = false;
+        for route in &self.routes {
+            let hit = if route.prefix {
+                req.path.starts_with(&route.path)
+            } else {
+                req.path == route.path
+            };
+            if !hit {
+                continue;
+            }
+            path_matched = true;
+            if route.method != req.method {
+                continue;
+            }
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (route.handler)(req)));
+            return outcome.unwrap_or_else(|_| {
+                crate::counter("http.handler_panics", 1);
+                Response::text(500, "handler panicked\n")
+            });
+        }
+        if path_matched {
+            Response::text(405, format!("method {} not allowed\n", req.method))
+        } else {
+            Response::text(404, format!("no route {}\n", req.path))
+        }
+    }
+}
+
+/// A running HTTP server: `workers` blocking accept loops over one
+/// listener, each serving one request per connection through the shared
+/// [`Router`]. Dropping it (or calling [`HttpServer::shutdown`]) stops
+/// every loop.
+pub struct HttpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    handle: Option<std::thread::JoinHandle<()>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpServer")
+            .field("addr", &self.addr)
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+impl HttpServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serve
+    /// `router` on `workers.max(1)` accept threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the address cannot be bound.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        router: Arc<Router>,
+        workers: usize,
+    ) -> io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for n in 0..workers.max(1) {
+            let listener = listener.try_clone()?;
+            let stop = Arc::clone(&stop);
+            let router = Arc::clone(&router);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ion-obs-http-{n}"))
+                    .spawn(move || {
+                        for conn in listener.incoming() {
+                            if stop.load(Ordering::Acquire) {
+                                break;
+                            }
+                            let Ok(stream) = conn else { continue };
+                            let _ = handle_connection(stream, &router);
+                        }
+                    })?,
+            );
+        }
+        Ok(HttpServer {
+            addr,
+            stop,
+            handles,
+        })
+    }
+
+    /// The bound address (resolves the port when bound to `:0`).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join every worker.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.handles.is_empty() {
+            return;
+        }
+        self.stop.store(true, Ordering::Release);
+        // Wake blocked accepts. The kernel hands pending connections to
+        // whichever worker accepts first, so keep knocking until each
+        // worker has provably exited.
+        for handle in self.handles.drain(..) {
+            while !handle.is_finished() {
+                let _ = TcpStream::connect(self.addr);
+                std::thread::yield_now();
+            }
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// A running telemetry server: an [`HttpServer`] with exactly the
+/// telemetry routes. Dropping it (or calling [`MetricsServer::shutdown`])
+/// stops the accept loop.
+#[derive(Debug)]
+pub struct MetricsServer {
+    inner: HttpServer,
 }
 
 impl MetricsServer {
@@ -57,113 +380,135 @@ impl MetricsServer {
     ///
     /// Returns the I/O error if the address cannot be bound.
     pub fn bind_with(addr: impl ToSocketAddrs, provider: SnapshotFn) -> io::Result<MetricsServer> {
-        let listener = TcpListener::bind(addr)?;
-        let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let thread_stop = Arc::clone(&stop);
-        let handle = std::thread::Builder::new()
-            .name("ion-obs-serve".into())
-            .spawn(move || {
-                for conn in listener.incoming() {
-                    if thread_stop.load(Ordering::Acquire) {
-                        break;
-                    }
-                    let Ok(stream) = conn else { continue };
-                    // Requests are tiny; handle inline with a short
-                    // deadline so one stuck client can't wedge the loop.
-                    let _ = handle_connection(stream, &provider);
-                }
-            })?;
+        let router = Arc::new(Router::new().with_metrics_routes(provider));
         Ok(MetricsServer {
-            addr,
-            stop,
-            handle: Some(handle),
+            inner: HttpServer::bind(addr, router, 1)?,
         })
     }
 
     /// The bound address (resolves the port when bound to `:0`).
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
-        self.addr
+        self.inner.local_addr()
     }
 
     /// Stop accepting and join the server thread.
-    pub fn shutdown(mut self) {
-        self.stop_and_join();
-    }
-
-    fn stop_and_join(&mut self) {
-        let Some(handle) = self.handle.take() else {
-            return;
-        };
-        self.stop.store(true, Ordering::Release);
-        // Wake the blocking accept with one last connection.
-        let _ = TcpStream::connect(self.addr);
-        let _ = handle.join();
+    pub fn shutdown(self) {
+        self.inner.shutdown();
     }
 }
 
-impl Drop for MetricsServer {
-    fn drop(&mut self) {
-        self.stop_and_join();
-    }
-}
-
-fn handle_connection(mut stream: TcpStream, provider: &SnapshotFn) -> io::Result<()> {
+fn handle_connection(mut stream: TcpStream, router: &Router) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
-    let path = read_request_path(&mut stream)?;
-    let (status, content_type, body) = match path.as_str() {
-        "/metrics" => {
-            let snap = provider();
-            (
-                "200 OK",
-                "text/plain; version=0.0.4; charset=utf-8",
-                render_prometheus(&snap),
-            )
+    let started = std::time::Instant::now();
+    let response = match read_request(&mut stream) {
+        Ok(req) => router.handle(&req),
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            Response::text(400, format!("bad request: {e}\n"))
         }
-        "/progress" => {
-            let snap = provider();
-            ("200 OK", "application/json", render_progress(&snap))
-        }
-        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_owned()),
-        _ => (
-            "404 Not Found",
-            "text/plain; charset=utf-8",
-            format!("no route {path}\n"),
-        ),
+        Err(e) => return Err(e),
     };
-    let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len(),
-    );
-    stream.write_all(response.as_bytes())?;
-    stream.flush()
+    if crate::enabled() {
+        crate::counter("http.requests", 1);
+        let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        crate::observe("http.request_ns", ns);
+    }
+    write_response(&mut stream, &response)
 }
 
-/// Read enough of an HTTP/1.x request to extract the path; headers and
-/// body (there is none on GET) are discarded.
-fn read_request_path(stream: &mut TcpStream) -> io::Result<String> {
-    let mut buf = [0u8; 2048];
-    let mut filled = 0;
-    loop {
-        if filled == buf.len() {
-            break; // Request line is certainly complete (or garbage).
+fn bad(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+/// Read and parse one HTTP/1.x request, headers and `Content-Length`
+/// body included.
+fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    // Head: read until the blank line. Whatever body bytes arrive in the
+    // same packets are kept for the body phase.
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 2048];
+    let head_end = loop {
+        if let Some(at) = find_head_end(&buf) {
+            break at;
         }
-        let n = stream.read(&mut buf[filled..])?;
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(bad("header block too large"));
+        }
+        let n = stream.read(&mut chunk)?;
         if n == 0 {
-            break;
+            return Err(bad("connection closed mid-request"));
         }
-        filled += n;
-        if buf[..filled].windows(2).any(|w| w == b"\r\n") {
-            break;
-        }
-    }
-    let text = String::from_utf8_lossy(&buf[..filled]);
-    let request_line = text.lines().next().unwrap_or("");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split_whitespace();
-    let _method = parts.next();
-    Ok(parts.next().unwrap_or("/").to_owned())
+    let method = parts
+        .next()
+        .ok_or_else(|| bad("empty request line"))?
+        .to_ascii_uppercase();
+    let target = parts.next().ok_or_else(|| bad("missing request target"))?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (target.to_owned(), String::new()),
+    };
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad("malformed header"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    let content_length: usize = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v.parse().map_err(|_| bad("bad content-length"))?,
+        None => 0,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(bad("body too large"));
+    }
+    let mut body = buf.split_off((head_end + 4).min(buf.len()));
+    body.truncate(content_length);
+    while body.len() < content_length {
+        let want = (content_length - body.len()).min(chunk.len());
+        let n = stream.read(&mut chunk[..want])?;
+        if n == 0 {
+            return Err(bad("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        response.status,
+        response.reason(),
+        response.content_type,
+        response.body.len(),
+    );
+    for (name, value) in &response.headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
 }
 
 /// A registry name as a Prometheus metric name: `ion_` prefix,
@@ -305,5 +650,94 @@ mod tests {
             assert!(v >= last, "{line}");
             last = v;
         }
+    }
+
+    #[test]
+    fn router_dispatches_exact_prefix_and_misses() {
+        let router = Router::new()
+            .route("GET", "/ping", |_| Response::text(200, "pong"))
+            .prefix("GET", "/jobs/", |req: &Request| {
+                Response::text(200, format!("job {}", &req.path["/jobs/".len()..]))
+            })
+            .route("POST", "/submit", |req: &Request| {
+                Response::text(202, format!("{} bytes", req.body.len()))
+            });
+        let get = |path: &str| Request {
+            method: "GET".into(),
+            path: path.into(),
+            ..Request::default()
+        };
+        assert_eq!(router.handle(&get("/ping")).status, 200);
+        let r = router.handle(&get("/jobs/j7"));
+        assert_eq!(String::from_utf8(r.body).unwrap(), "job j7");
+        assert_eq!(router.handle(&get("/nowhere")).status, 404);
+        // Right path, wrong method.
+        assert_eq!(router.handle(&get("/submit")).status, 405);
+        let post = Request {
+            method: "POST".into(),
+            path: "/submit".into(),
+            body: vec![0u8; 10],
+            ..Request::default()
+        };
+        assert_eq!(router.handle(&post).status, 202);
+    }
+
+    #[test]
+    fn router_first_match_wins_over_metrics_routes() {
+        let router = Router::new()
+            .route("GET", "/healthz", |_| Response::text(200, "draining\n"))
+            .with_metrics_routes(Arc::new(Snapshot::default));
+        let req = Request {
+            method: "GET".into(),
+            path: "/healthz".into(),
+            ..Request::default()
+        };
+        assert_eq!(
+            String::from_utf8(router.handle(&req).body).unwrap(),
+            "draining\n"
+        );
+    }
+
+    #[test]
+    fn handler_panics_become_500() {
+        let router = Router::new().route("GET", "/boom", |_| panic!("kaboom"));
+        let req = Request {
+            method: "GET".into(),
+            path: "/boom".into(),
+            ..Request::default()
+        };
+        // Silence the default hook for the deliberate panic.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let resp = router.handle(&req);
+        std::panic::set_hook(prev);
+        assert_eq!(resp.status, 500);
+    }
+
+    #[test]
+    fn post_body_round_trips_over_real_http() {
+        let router = Arc::new(Router::new().route("POST", "/echo", |req: &Request| {
+            let tenant = req.header("x-ion-tenant").unwrap_or("?").to_owned();
+            Response::text(200, format!("{}:{}", tenant, req.body.len()))
+        }));
+        let server = HttpServer::bind("127.0.0.1:0", router, 2).unwrap();
+        let addr = server.local_addr();
+        let body = vec![7u8; 10_000];
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(
+                format!(
+                    "POST /echo HTTP/1.1\r\nHost: t\r\nX-Ion-Tenant: acme\r\nContent-Length: {}\r\n\r\n",
+                    body.len()
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        stream.write_all(&body).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 200 OK"), "{out}");
+        assert!(out.ends_with("acme:10000"), "{out}");
+        server.shutdown();
     }
 }

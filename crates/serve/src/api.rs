@@ -1,0 +1,276 @@
+//! The `ion-serve/v1` HTTP surface: route table and JSON rendering.
+//!
+//! Handlers translate between HTTP and [`Inner`](crate::Inner)'s domain
+//! operations; no business logic lives here. The daemon's own routes are
+//! mounted *before* the telemetry routes so `/healthz` reflects drain
+//! state while `/metrics` and `/progress` come along for free on the same
+//! listener.
+
+use crate::job::{JobEntry, JobState};
+use crate::{Inner, SubmitOutcome, RUNNING, SCHEMA};
+use ion_exec::fair::Rejected;
+use ion_obs::json::escape;
+use ion_obs::serve::{Request, Response, Router};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Longest supported `?wait_ms=` long-poll.
+const MAX_WAIT: Duration = Duration::from_secs(30);
+
+/// Build the daemon's router: job API first, telemetry routes after.
+pub(crate) fn router(inner: &Arc<Inner>) -> Router {
+    let health = Arc::clone(inner);
+    let submit = Arc::clone(inner);
+    let list = Arc::clone(inner);
+    let get = Arc::clone(inner);
+    let post = Arc::clone(inner);
+    let events = Arc::clone(inner);
+    Router::new()
+        .route("GET", "/healthz", move |_| {
+            if health.phase() == RUNNING {
+                Response::text(200, "ok\n")
+            } else {
+                Response::text(503, "draining\n")
+            }
+        })
+        .route("POST", "/v1/jobs", move |req| handle_submit(&submit, req))
+        .route("GET", "/v1/jobs", move |_| handle_list(&list))
+        .prefix("GET", "/v1/jobs/", move |req| handle_job_get(&get, req))
+        .prefix("POST", "/v1/jobs/", move |req| handle_qa(&post, req))
+        .route("GET", "/v1/events", move |req| handle_events(&events, req))
+        .with_metrics_routes(Arc::new(ion_obs::snapshot))
+}
+
+fn error_json(status: u16, message: &str) -> Response {
+    Response::json(
+        status,
+        format!(
+            "{{\"schema\":{},\"error\":{}}}",
+            escape(SCHEMA),
+            escape(message)
+        ),
+    )
+}
+
+fn handle_submit(inner: &Arc<Inner>, req: &Request) -> Response {
+    let tenant = crate::key_safe(req.header("x-ion-tenant").unwrap_or("default"));
+    let weight: u32 = req
+        .header("x-ion-weight")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .clamp(1, 16);
+    match inner.submit(&tenant, weight, req.body.clone()) {
+        SubmitOutcome::Queued { id, depth } => Response::json(
+            202,
+            format!(
+                "{{\"schema\":{},\"job\":{},\"state\":\"queued\",\"tenant\":{},\"deduped\":false,\"tenant_depth\":{depth}}}",
+                escape(SCHEMA),
+                escape(&id),
+                escape(&tenant),
+            ),
+        ),
+        SubmitOutcome::Joined { id, state } => Response::json(
+            200,
+            format!(
+                "{{\"schema\":{},\"job\":{},\"state\":{},\"tenant\":{},\"deduped\":true}}",
+                escape(SCHEMA),
+                escape(&id),
+                escape(state.as_str()),
+                escape(&tenant),
+            ),
+        ),
+        SubmitOutcome::Empty => error_json(400, "empty trace body"),
+        SubmitOutcome::Draining => {
+            error_json(503, "daemon is draining").with_header("Retry-After", "1")
+        }
+        SubmitOutcome::Rejected(rejected) => {
+            let retry = match &rejected {
+                // A saturated tenant should back off harder than one that
+                // merely hit a momentarily full global queue.
+                Rejected::TenantFull { .. } => "2",
+                _ => "1",
+            };
+            error_json(429, &rejected.to_string()).with_header("Retry-After", retry)
+        }
+    }
+}
+
+/// One job as a JSON object (status endpoint and listing).
+fn job_json(entry: &JobEntry, brief: bool) -> String {
+    let rec = entry.rec();
+    let state = rec.state;
+    if brief {
+        return format!(
+            "{{\"job\":{},\"tenant\":{},\"state\":{}}}",
+            escape(&entry.id),
+            escape(&entry.tenant),
+            escape(state.as_str()),
+        );
+    }
+    let now = Instant::now();
+    let queued_ms = rec
+        .started
+        .unwrap_or(now)
+        .duration_since(rec.submitted)
+        .as_millis();
+    let run_ms = rec.started.map_or(0, |started| {
+        rec.finished
+            .unwrap_or(now)
+            .duration_since(started)
+            .as_millis()
+    });
+    let detected = rec
+        .report
+        .as_ref()
+        .map_or(-1i64, |r| i64::try_from(r.detected().len()).unwrap_or(-1));
+    let error = rec
+        .error
+        .as_deref()
+        .map_or_else(|| "null".to_owned(), escape);
+    format!(
+        "{{\"schema\":{},\"job\":{},\"tenant\":{},\"state\":{},\"joins\":{},\"queued_ms\":{queued_ms},\"run_ms\":{run_ms},\"detected\":{detected},\"error\":{error}}}",
+        escape(SCHEMA),
+        escape(&entry.id),
+        escape(&entry.tenant),
+        escape(state.as_str()),
+        rec.joins,
+    )
+}
+
+fn handle_list(inner: &Arc<Inner>) -> Response {
+    let mut jobs = Vec::new();
+    for id in inner.job_ids() {
+        if let Some(entry) = inner.job(&id) {
+            jobs.push(job_json(&entry, true));
+        }
+    }
+    let tallies: Vec<String> = inner
+        .tallies()
+        .iter()
+        .map(|(name, value)| format!("{}:{value}", escape(name)))
+        .collect();
+    Response::json(
+        200,
+        format!(
+            "{{\"schema\":{},\"draining\":{},\"queued\":{},\"counts\":{{{}}},\"jobs\":[{}]}}",
+            escape(SCHEMA),
+            inner.phase() != RUNNING,
+            inner.queue_len(),
+            tallies.join(","),
+            jobs.join(","),
+        ),
+    )
+}
+
+fn handle_job_get(inner: &Arc<Inner>, req: &Request) -> Response {
+    let rest = &req.path["/v1/jobs/".len()..];
+    if let Some(id) = rest.strip_suffix("/report") {
+        return handle_report(inner, id);
+    }
+    if rest.contains('/') {
+        return Response::text(404, format!("no route {}\n", req.path));
+    }
+    let Some(entry) = inner.job(rest) else {
+        return error_json(404, &format!("unknown job {rest}"));
+    };
+    if let Some(wait_ms) = req.query_param("wait_ms").and_then(|v| v.parse().ok()) {
+        entry.wait_terminal(Duration::from_millis(wait_ms).min(MAX_WAIT));
+    }
+    Response::json(200, job_json(&entry, false))
+}
+
+fn handle_report(inner: &Arc<Inner>, id: &str) -> Response {
+    let Some(entry) = inner.job(id) else {
+        return error_json(404, &format!("unknown job {id}"));
+    };
+    let rec = entry.rec();
+    match (&rec.report, rec.state) {
+        (Some(report), JobState::Done) => Response::text(200, report.render_text()),
+        (_, state) if !state.is_terminal() => {
+            error_json(409, &format!("job {id} is {state}, not done"))
+        }
+        (_, state) => {
+            let detail = rec.error.as_deref().unwrap_or("no report");
+            error_json(409, &format!("job {id} ended {state}: {detail}"))
+        }
+    }
+}
+
+fn handle_qa(inner: &Arc<Inner>, req: &Request) -> Response {
+    let rest = &req.path["/v1/jobs/".len()..];
+    let Some(id) = rest.strip_suffix("/qa") else {
+        return Response::text(404, format!("no route {}\n", req.path));
+    };
+    let Ok(body) = std::str::from_utf8(&req.body) else {
+        return error_json(400, "question must be UTF-8");
+    };
+    // Either a raw-text question or {"question": "..."}.
+    let question = if body.trim_start().starts_with('{') {
+        match ion_obs::json::parse(body.trim()) {
+            Ok(doc) => match doc.get("question").and_then(|q| q.as_str()) {
+                Some(q) => q.to_owned(),
+                None => return error_json(400, "missing \"question\" field"),
+            },
+            Err(e) => return error_json(400, &format!("bad JSON body: {e}")),
+        }
+    } else {
+        body.trim().to_owned()
+    };
+    if question.is_empty() {
+        return error_json(400, "empty question");
+    }
+    let Some(entry) = inner.job(id) else {
+        return error_json(404, &format!("unknown job {id}"));
+    };
+    let mut rec = entry.rec();
+    if rec.state != JobState::Done {
+        let state = rec.state;
+        drop(rec);
+        return error_json(
+            409,
+            &format!("job {id} is {state}; Q&A needs a finished analysis"),
+        );
+    }
+    let Some(session) = rec.session.as_mut() else {
+        drop(rec);
+        return error_json(409, &format!("job {id} has no Q&A session"));
+    };
+    let answer = session.ask(&question);
+    drop(rec);
+    ion_obs::counter("serve.qa.asked", 1);
+    Response::json(
+        200,
+        format!(
+            "{{\"schema\":{},\"job\":{},\"question\":{},\"answer\":{}}}",
+            escape(SCHEMA),
+            escape(id),
+            escape(&question),
+            escape(&answer),
+        ),
+    )
+}
+
+fn handle_events(inner: &Arc<Inner>, req: &Request) -> Response {
+    let from = req.query_param("from").and_then(|v| v.parse().ok());
+    let Some((from, next, lines)) = inner.events_from(from) else {
+        return error_json(
+            409,
+            "event capture is disabled or the event stream is owned by another component",
+        );
+    };
+    let mut body = format!(
+        "{{\"schema\":{},\"kind\":\"events\",\"from\":{from},\"next\":{next},\"dropped\":{}}}\n",
+        escape(SCHEMA),
+        inner.events_dropped(),
+    );
+    for line in lines {
+        body.push_str(&line);
+        body.push('\n');
+    }
+    Response {
+        status: 200,
+        content_type: "application/jsonl".to_owned(),
+        headers: Vec::new(),
+        body: body.into_bytes(),
+    }
+}

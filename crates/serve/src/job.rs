@@ -1,0 +1,186 @@
+//! Job registry types: the lifecycle state machine and the per-job
+//! record that handlers and workers share.
+//!
+//! Lifecycle (`ion-serve/v1`):
+//!
+//! ```text
+//! queued ──► running ──► done
+//!    │          ├──────► failed
+//!    │          ├──────► cancelled   (hard cancel mid-run)
+//!    │          └──────► deadlined   (per-job deadline hit)
+//!    └────────────────► cancelled    (drained at shutdown, never ran)
+//! ```
+//!
+//! Every transition happens under the job's record mutex and notifies the
+//! condvar, so long-polling clients wake exactly when the state changes —
+//! no server-side sleeps.
+
+use ion::pipeline::IonReport;
+use ion::session::InteractiveSession;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted and waiting in the fair queue.
+    Queued,
+    /// An analysis worker is executing it.
+    Running,
+    /// Finished successfully; report and Q&A session are available.
+    Done,
+    /// The analysis errored (parse failure, worker panic, …).
+    Failed,
+    /// Cancelled — drained at shutdown before running, or hard-cancelled
+    /// mid-run.
+    Cancelled,
+    /// The per-job deadline expired mid-run.
+    Deadlined,
+}
+
+impl JobState {
+    /// The wire name (`ion-serve/v1` `state` field).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+            JobState::Deadlined => "deadlined",
+        }
+    }
+
+    /// Whether the job can no longer change state.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        !matches!(self, JobState::Queued | JobState::Running)
+    }
+}
+
+impl std::fmt::Display for JobState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The mutable half of a job, guarded by [`JobEntry::record`].
+#[derive(Debug)]
+pub(crate) struct JobRecord {
+    pub state: JobState,
+    pub submitted: Instant,
+    pub started: Option<Instant>,
+    pub finished: Option<Instant>,
+    pub report: Option<Arc<IonReport>>,
+    pub session: Option<InteractiveSession>,
+    pub error: Option<String>,
+    /// How many identical submits joined this job instead of queueing
+    /// their own (cross-client dedup).
+    pub joins: u64,
+}
+
+/// One job: immutable identity plus the state record and its condvar.
+#[derive(Debug)]
+pub(crate) struct JobEntry {
+    pub id: String,
+    pub tenant: String,
+    /// Dedup key: trace digest + context revision + model id.
+    pub key: String,
+    pub bytes: Arc<[u8]>,
+    record: Mutex<JobRecord>,
+    changed: Condvar,
+}
+
+impl JobEntry {
+    pub fn new(id: &str, tenant: &str, key: &str, bytes: Arc<[u8]>) -> Arc<JobEntry> {
+        Arc::new(JobEntry {
+            id: id.to_owned(),
+            tenant: tenant.to_owned(),
+            key: key.to_owned(),
+            bytes,
+            record: Mutex::new(JobRecord {
+                state: JobState::Queued,
+                submitted: Instant::now(),
+                started: None,
+                finished: None,
+                report: None,
+                session: None,
+                error: None,
+                joins: 0,
+            }),
+            changed: Condvar::new(),
+        })
+    }
+
+    /// Lock the record. A worker that panicked while holding the lock has
+    /// already been counted; the record itself stays readable.
+    pub fn rec(&self) -> MutexGuard<'_, JobRecord> {
+        self.record.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Wake every long-poller; call after a state transition.
+    pub fn notify(&self) {
+        self.changed.notify_all();
+    }
+
+    /// Block until the job reaches a terminal state or `timeout` passes
+    /// (condvar wait — no polling).
+    pub fn wait_terminal(&self, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        let mut rec = self.rec();
+        while !rec.state.is_terminal() {
+            let now = Instant::now();
+            if now >= deadline {
+                return;
+            }
+            rec = self
+                .changed
+                .wait_timeout(rec, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_states() {
+        assert!(!JobState::Queued.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        for s in [
+            JobState::Done,
+            JobState::Failed,
+            JobState::Cancelled,
+            JobState::Deadlined,
+        ] {
+            assert!(s.is_terminal(), "{s}");
+        }
+    }
+
+    #[test]
+    fn wait_terminal_wakes_on_transition_not_timeout() {
+        let entry = JobEntry::new("j1", "t", "k", Vec::new().into());
+        let waiter = Arc::clone(&entry);
+        let handle = std::thread::spawn(move || {
+            let started = Instant::now();
+            waiter.wait_terminal(Duration::from_secs(30));
+            started.elapsed()
+        });
+        // Let the waiter block, then flip the state.
+        while Arc::strong_count(&entry) < 2 {
+            std::thread::yield_now();
+        }
+        entry.rec().state = JobState::Done;
+        entry.notify();
+        let waited = handle.join().unwrap();
+        assert!(
+            waited < Duration::from_secs(10),
+            "woke via notify: {waited:?}"
+        );
+        assert!(entry.rec().state.is_terminal());
+    }
+}

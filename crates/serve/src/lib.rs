@@ -1,0 +1,696 @@
+//! `ion-serve`: the always-on multi-tenant analysis daemon.
+//!
+//! One HTTP listener (reusing `ion-obs`'s [`Router`]/[`HttpServer`])
+//! hosts both the telemetry routes (`/metrics`, `/progress`) and the
+//! `ion-serve/v1` job API:
+//!
+//! | Route | Purpose |
+//! |---|---|
+//! | `POST /v1/jobs` | submit a trace body for analysis (`X-Ion-Tenant`, `X-Ion-Weight`) |
+//! | `GET /v1/jobs` | list jobs and daemon counters |
+//! | `GET /v1/jobs/<id>` | job status; `?wait_ms=N` long-polls until terminal |
+//! | `GET /v1/jobs/<id>/report` | the finished report as text |
+//! | `POST /v1/jobs/<id>/qa` | ask the completed analysis a question |
+//! | `GET /v1/events` | structured event log (`ion-obs/events/1` lines) |
+//! | `GET /healthz` | `ok` while accepting, 503 `draining` during shutdown |
+//!
+//! Submissions flow through a bounded [`FairQueue`]: admission control
+//! turns a full queue into a typed rejection (HTTP 429 + `Retry-After`)
+//! instead of unbounded memory growth, and deficit-round-robin across
+//! tenants keeps one heavy client from starving the rest. Identical
+//! concurrent submissions (same trace digest, context revision and model)
+//! join the in-flight job instead of queueing a duplicate; when dedup is
+//! off, the content-addressed store's singleflight still collapses the
+//! duplicated work underneath.
+//!
+//! Shutdown is graceful by construction: the daemon flips to *draining*
+//! (503 for new submissions, `/healthz` flips), cancels everything still
+//! queued, lets in-flight analyses run to completion (HTTP stays up so
+//! clients can poll results out), flushes the event ring, then stops the
+//! listener. A hard [`CancelToken`] is threaded into every analysis for
+//! the second-Ctrl-C path.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod signal;
+
+mod api;
+mod job;
+
+pub use job::JobState;
+
+use ion_exec::fair::{FairQueue, Rejected};
+use ion_exec::{Batch, CancelToken};
+use ion_llm::{DeterministicExpert, LanguageModel};
+use ion_obs::events::{self, EventRing};
+use ion_obs::serve::HttpServer;
+use ion_store::digest::Hasher;
+use ion_store::driver::StoredPipeline;
+use ion_store::{digest_bytes, Store};
+use job::{JobEntry, JobRecord};
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Wire schema identifier stamped on every JSON response.
+pub const SCHEMA: &str = "ion-serve/v1";
+
+/// How long a worker sleeps between queue polls while idle.
+const POP_TICK: Duration = Duration::from_millis(50);
+
+/// Retained event-log lines served by `/v1/events` (older lines age out,
+/// `base` advances so cursors stay meaningful).
+const EVENT_LOG_CAP: usize = 8192;
+
+/// Daemon tuning knobs. `Default` is sized for a small shared box.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// HTTP accept threads.
+    pub http_workers: usize,
+    /// Analysis workers draining the fair queue.
+    pub workers: usize,
+    /// Global queued-job cap (admission control; 0 = unbounded).
+    pub queue_budget: usize,
+    /// Per-tenant queued-job cap (0 = unbounded).
+    pub tenant_budget: usize,
+    /// Wall-clock budget per job; exceeding it yields `deadlined`.
+    pub job_deadline: Option<Duration>,
+    /// Intra-job issue parallelism (width of the per-job `Batch`).
+    pub issue_width: usize,
+    /// Join identical concurrent submissions to one job.
+    pub dedup: bool,
+    /// Install an event ring at bind when none is installed, so
+    /// `/v1/events` has something to serve.
+    pub capture_events: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            http_workers: 4,
+            workers: 2,
+            queue_budget: 64,
+            tenant_budget: 16,
+            job_deadline: None,
+            issue_width: 1,
+            dedup: true,
+            capture_events: true,
+        }
+    }
+}
+
+/// What shutdown drained: jobs cancelled straight out of the queue plus
+/// the terminal tallies at the moment the daemon stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainSummary {
+    /// Jobs cancelled while still queued (never ran).
+    pub cancelled_queued: usize,
+    /// Jobs that finished successfully over the daemon's lifetime.
+    pub done: u64,
+    /// Jobs that failed.
+    pub failed: u64,
+    /// Jobs cancelled (queued-drain plus hard-cancelled mid-run).
+    pub cancelled: u64,
+    /// Jobs that hit their deadline.
+    pub deadlined: u64,
+}
+
+/// Daemon phase: accepting, draining, or stopped.
+const RUNNING: u8 = 0;
+const DRAINING: u8 = 1;
+const STOPPED: u8 = 2;
+
+/// Lifetime tallies, mirrored into `ion-obs` counters.
+#[derive(Debug, Default)]
+struct Counts {
+    submitted: AtomicU64,
+    deduped: AtomicU64,
+    rejected: AtomicU64,
+    done: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+    deadlined: AtomicU64,
+}
+
+/// Job maps guarded together so dedup lookups and completion removals
+/// can't interleave inconsistently.
+#[derive(Debug, Default)]
+struct JobMaps {
+    jobs: HashMap<String, Arc<JobEntry>>,
+    /// Dedup key → job id, for jobs not yet terminal.
+    inflight: HashMap<String, String>,
+    /// Submission order, for listing.
+    order: Vec<String>,
+}
+
+#[derive(Debug, Default)]
+struct EventLog {
+    /// Cursor of the first retained line.
+    base: u64,
+    lines: VecDeque<String>,
+}
+
+/// What `Inner::submit` decided.
+pub(crate) enum SubmitOutcome {
+    /// Queued as a new job; `depth` is the tenant's backlog afterwards.
+    Queued { id: String, depth: usize },
+    /// Joined an identical in-flight job.
+    Joined { id: String, state: JobState },
+    /// The daemon is draining; nothing new is accepted.
+    Draining,
+    /// Admission control refused it.
+    Rejected(Rejected),
+    /// Empty body.
+    Empty,
+}
+
+/// Shared daemon state: everything handlers and workers touch.
+pub(crate) struct Inner {
+    store: Arc<Store>,
+    model: Arc<dyn LanguageModel>,
+    config: ServeConfig,
+    queue: FairQueue<String>,
+    maps: Mutex<JobMaps>,
+    seq: AtomicU64,
+    phase: AtomicU8,
+    running: AtomicU64,
+    counts: Counts,
+    hard_cancel: CancelToken,
+    events: Option<Arc<EventRing>>,
+    log: Mutex<EventLog>,
+    /// `<context fingerprint>/<model id>` — the non-trace half of the
+    /// dedup key.
+    key_suffix: String,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Map a tenant or model identifier into key-safe characters.
+fn key_safe(s: &str) -> String {
+    let mapped: String = s
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    let mut out: String = mapped.chars().take(64).collect();
+    if out.is_empty() {
+        out.push_str("default");
+    }
+    out
+}
+
+impl Inner {
+    pub(crate) fn phase(&self) -> u8 {
+        self.phase.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub(crate) fn job(&self, id: &str) -> Option<Arc<JobEntry>> {
+        lock(&self.maps).jobs.get(id).cloned()
+    }
+
+    pub(crate) fn job_ids(&self) -> Vec<String> {
+        lock(&self.maps).order.clone()
+    }
+
+    pub(crate) fn tallies(&self) -> [(&'static str, u64); 7] {
+        [
+            ("submitted", self.counts.submitted.load(Ordering::Relaxed)),
+            ("deduped", self.counts.deduped.load(Ordering::Relaxed)),
+            ("rejected", self.counts.rejected.load(Ordering::Relaxed)),
+            ("done", self.counts.done.load(Ordering::Relaxed)),
+            ("failed", self.counts.failed.load(Ordering::Relaxed)),
+            ("cancelled", self.counts.cancelled.load(Ordering::Relaxed)),
+            ("deadlined", self.counts.deadlined.load(Ordering::Relaxed)),
+        ]
+    }
+
+    fn job_key(&self, bytes: &[u8]) -> String {
+        format!("{}/{}", digest_bytes(bytes).hex(), self.key_suffix)
+    }
+
+    fn update_queue_gauge(&self) {
+        #[allow(clippy::cast_precision_loss)]
+        ion_obs::gauge("serve.jobs.queued", self.queue.len() as f64);
+    }
+
+    /// Admission, dedup and enqueue — the whole submit path.
+    pub(crate) fn submit(&self, tenant: &str, weight: u32, bytes: Vec<u8>) -> SubmitOutcome {
+        if bytes.is_empty() {
+            return SubmitOutcome::Empty;
+        }
+        if self.phase() != RUNNING {
+            return SubmitOutcome::Draining;
+        }
+        let bytes: Arc<[u8]> = bytes.into();
+        let key = self.job_key(&bytes);
+        loop {
+            let mut maps = lock(&self.maps);
+            if self.config.dedup {
+                if let Some(id) = maps.inflight.get(&key).cloned() {
+                    if let Some(entry) = maps.jobs.get(&id).cloned() {
+                        drop(maps);
+                        let mut rec = entry.rec();
+                        if !rec.state.is_terminal() {
+                            rec.joins += 1;
+                            let state = rec.state;
+                            drop(rec);
+                            self.counts.deduped.fetch_add(1, Ordering::Relaxed);
+                            ion_obs::counter("serve.dedup.joined", 1);
+                            ion_obs::event!("serve.dedup", job = id.as_str(), tenant = tenant);
+                            return SubmitOutcome::Joined { id, state };
+                        }
+                        // The job went terminal between the map lookup and
+                        // the record lock. Completion removes the inflight
+                        // binding *before* flipping the state, so the next
+                        // iteration sees a clean map — no livelock.
+                        continue;
+                    }
+                }
+            }
+            let id = format!("j{}", self.seq.fetch_add(1, Ordering::Relaxed) + 1);
+            let entry = JobEntry::new(&id, tenant, &key, Arc::clone(&bytes));
+            maps.jobs.insert(id.clone(), entry);
+            maps.order.push(id.clone());
+            if self.config.dedup {
+                maps.inflight.insert(key.clone(), id.clone());
+            }
+            drop(maps);
+            match self.queue.push(tenant, weight, id.clone()) {
+                Ok(depth) => {
+                    self.counts.submitted.fetch_add(1, Ordering::Relaxed);
+                    ion_obs::counter("serve.jobs.submitted", 1);
+                    ion_obs::event!("serve.submit", job = id.as_str(), tenant = tenant);
+                    self.update_queue_gauge();
+                    return SubmitOutcome::Queued { id, depth };
+                }
+                Err(rejected) => {
+                    // Undo the registration; the job never existed.
+                    let mut maps = lock(&self.maps);
+                    maps.jobs.remove(&id);
+                    maps.order.retain(|j| j != &id);
+                    if maps.inflight.get(&key).map(String::as_str) == Some(id.as_str()) {
+                        maps.inflight.remove(&key);
+                    }
+                    drop(maps);
+                    self.counts.rejected.fetch_add(1, Ordering::Relaxed);
+                    ion_obs::counter("serve.admission.rejected", 1);
+                    return if rejected == Rejected::Closed {
+                        SubmitOutcome::Draining
+                    } else {
+                        SubmitOutcome::Rejected(rejected)
+                    };
+                }
+            }
+        }
+    }
+
+    /// Worker body: run one popped job to a terminal state.
+    fn execute(&self, tenant: &str, id: &str) {
+        let Some(entry) = self.job(id) else { return };
+        let wait_ns;
+        {
+            let mut rec = entry.rec();
+            if rec.state != JobState::Queued {
+                return; // Drained to `cancelled` while we popped it.
+            }
+            rec.state = JobState::Running;
+            let now = Instant::now();
+            rec.started = Some(now);
+            wait_ns = now.duration_since(rec.submitted).as_nanos();
+        }
+        entry.notify();
+        #[allow(clippy::cast_precision_loss)]
+        {
+            let running = self.running.fetch_add(1, Ordering::SeqCst) + 1;
+            ion_obs::gauge("serve.jobs.running", running as f64);
+        }
+        self.update_queue_gauge();
+        ion_obs::observe(
+            "serve.job.wait_ns",
+            u64::try_from(wait_ns).unwrap_or(u64::MAX),
+        );
+        ion_obs::event!("serve.start", job = id, tenant = tenant);
+
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_analysis(&entry)));
+        let result = outcome.unwrap_or_else(|_| {
+            ion_obs::counter("serve.worker.panics", 1);
+            Err("analysis worker panicked".to_owned())
+        });
+
+        #[allow(clippy::cast_precision_loss)]
+        {
+            let running = self.running.fetch_sub(1, Ordering::SeqCst) - 1;
+            ion_obs::gauge("serve.jobs.running", running as f64);
+        }
+        match result {
+            Ok(report) => {
+                let session = report.session();
+                let report = Arc::new(report);
+                self.finish(&entry, JobState::Done, move |rec| {
+                    rec.report = Some(report);
+                    rec.session = Some(session);
+                });
+            }
+            Err(message) => {
+                let state = if self.hard_cancel.is_cancelled() || message.contains("cancelled") {
+                    JobState::Cancelled
+                } else if message.contains("deadlined") {
+                    JobState::Deadlined
+                } else {
+                    JobState::Failed
+                };
+                self.finish(&entry, state, move |rec| rec.error = Some(message));
+            }
+        }
+    }
+
+    fn run_analysis(&self, entry: &JobEntry) -> Result<ion::pipeline::IonReport, String> {
+        let mut exec = Batch::new()
+            .with_width(self.config.issue_width.max(1))
+            .with_cancel(self.hard_cancel.clone());
+        if let Some(deadline) = self.config.job_deadline {
+            exec = exec.with_deadline(deadline);
+        }
+        let driver = StoredPipeline::new(Arc::clone(&self.store))
+            .with_exec(exec)
+            .with_model(&*self.model);
+        driver
+            .analyze_bytes(&entry.bytes)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Transition to a terminal state: drop the inflight binding first
+    /// (so dedup's retry loop converges), then record, notify, tally.
+    fn finish(&self, entry: &JobEntry, state: JobState, fill: impl FnOnce(&mut JobRecord)) {
+        {
+            let mut maps = lock(&self.maps);
+            if maps.inflight.get(&entry.key).map(String::as_str) == Some(entry.id.as_str()) {
+                maps.inflight.remove(&entry.key);
+            }
+        }
+        {
+            let mut rec = entry.rec();
+            rec.state = state;
+            rec.finished = Some(Instant::now());
+            fill(&mut rec);
+            if let (Some(started), Some(finished)) = (rec.started, rec.finished) {
+                let run_ns = finished.duration_since(started).as_nanos();
+                ion_obs::observe(
+                    "serve.job.run_ns",
+                    u64::try_from(run_ns).unwrap_or(u64::MAX),
+                );
+            }
+        }
+        // Tally before waking long-pollers, so a woken client never sees
+        // a terminal state the counters don't reflect yet.
+        let (name, tally) = match state {
+            JobState::Done => ("serve.jobs.done", &self.counts.done),
+            JobState::Failed => ("serve.jobs.failed", &self.counts.failed),
+            JobState::Deadlined => ("serve.jobs.deadlined", &self.counts.deadlined),
+            // `finish` is only called with terminal states.
+            JobState::Cancelled | JobState::Queued | JobState::Running => {
+                ("serve.jobs.cancelled", &self.counts.cancelled)
+            }
+        };
+        tally.fetch_add(1, Ordering::Relaxed);
+        ion_obs::counter(name, 1);
+        ion_obs::event!(
+            "serve.finish",
+            job = entry.id.as_str(),
+            state = state.as_str()
+        );
+        entry.notify();
+    }
+
+    /// Cancel a job that never ran (shutdown drain).
+    fn cancel_queued(&self, id: &str) {
+        let Some(entry) = self.job(id) else { return };
+        if entry.rec().state != JobState::Queued {
+            return;
+        }
+        self.finish(&entry, JobState::Cancelled, |rec| {
+            rec.error = Some("cancelled: daemon draining before the job started".to_owned());
+        });
+    }
+
+    /// Pull everything pending out of the event ring into the bounded
+    /// serving log.
+    pub(crate) fn flush_events(&self) {
+        let Some(ring) = &self.events else { return };
+        let mut log = lock(&self.log);
+        for event in ring.drain() {
+            log.lines.push_back(event.to_jsonl());
+            if log.lines.len() > EVENT_LOG_CAP {
+                log.lines.pop_front();
+                log.base += 1;
+            }
+        }
+    }
+
+    /// `(base, next, lines-from-cursor)` for `/v1/events?from=`.
+    pub(crate) fn events_from(&self, from: Option<u64>) -> Option<(u64, u64, Vec<String>)> {
+        self.events.as_ref()?;
+        self.flush_events();
+        let log = lock(&self.log);
+        let next = log.base + log.lines.len() as u64;
+        let from = from.unwrap_or(log.base).clamp(log.base, next);
+        #[allow(clippy::cast_possible_truncation)]
+        let skip = (from - log.base) as usize;
+        Some((from, next, log.lines.iter().skip(skip).cloned().collect()))
+    }
+
+    pub(crate) fn events_dropped(&self) -> u64 {
+        self.events.as_ref().map_or(0, |ring| ring.dropped())
+    }
+}
+
+/// The running daemon: HTTP listener + analysis workers over one
+/// [`Inner`]. Dropping it performs the same graceful drain as
+/// [`Daemon::shutdown`].
+pub struct Daemon {
+    inner: Arc<Inner>,
+    server: Option<HttpServer>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    installed_ring: bool,
+}
+
+impl std::fmt::Debug for Daemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Daemon")
+            .field("addr", &self.local_addr())
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl Daemon {
+    /// Bind `addr` and serve analyses of submitted traces with the
+    /// built-in [`DeterministicExpert`] model.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the address cannot be bound or a thread
+    /// cannot be spawned.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        store: Arc<Store>,
+        config: ServeConfig,
+    ) -> io::Result<Daemon> {
+        Daemon::bind_with_model(addr, store, Arc::new(DeterministicExpert::new()), config)
+    }
+
+    /// Bind `addr` with an explicit model (tests inject gated or counting
+    /// stubs here).
+    ///
+    /// Enables the global `ion-obs` sink: a daemon's `/metrics` endpoint
+    /// is its primary health surface, so serving zeros would be a bug.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the address cannot be bound or a thread
+    /// cannot be spawned.
+    pub fn bind_with_model(
+        addr: impl ToSocketAddrs,
+        store: Arc<Store>,
+        model: Arc<dyn LanguageModel>,
+        config: ServeConfig,
+    ) -> io::Result<Daemon> {
+        ion_obs::enable();
+        // Register the panic counter at zero so `/metrics` proves the
+        // absence of panics, not just their non-observation.
+        ion_obs::counter("serve.worker.panics", 0);
+        ion_obs::counter("serve.jobs.submitted", 0);
+        ion_obs::counter("serve.admission.rejected", 0);
+
+        let mut installed_ring = false;
+        let events = if config.capture_events && !events::enabled() {
+            let ring = Arc::new(EventRing::new(events::DEFAULT_CAPACITY));
+            events::install(Arc::clone(&ring));
+            installed_ring = true;
+            Some(ring)
+        } else {
+            None
+        };
+
+        let mut hasher = Hasher::new();
+        for context in ion::context::builtin_contexts() {
+            hasher.field(context.revision().hex().as_bytes());
+        }
+        let key_suffix = format!("{}/{}", hasher.finish().short(), key_safe(model.model_id()));
+
+        let inner = Arc::new(Inner {
+            store,
+            model,
+            queue: FairQueue::new(config.queue_budget, config.tenant_budget),
+            maps: Mutex::new(JobMaps::default()),
+            seq: AtomicU64::new(0),
+            phase: AtomicU8::new(RUNNING),
+            running: AtomicU64::new(0),
+            counts: Counts::default(),
+            hard_cancel: CancelToken::new(),
+            events,
+            log: Mutex::new(EventLog::default()),
+            key_suffix,
+            config,
+        });
+
+        let mut workers = Vec::new();
+        for n in 0..inner.config.workers.max(1) {
+            let inner = Arc::clone(&inner);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("ion-serve-worker-{n}"))
+                    .spawn(move || loop {
+                        match inner.queue.pop(POP_TICK) {
+                            Some((tenant, id)) => inner.execute(&tenant, &id),
+                            None => {
+                                if inner.queue.is_closed() {
+                                    break;
+                                }
+                            }
+                        }
+                    })?,
+            );
+        }
+
+        let router = Arc::new(api::router(&inner));
+        let server = HttpServer::bind(addr, router, inner.config.http_workers.max(1))?;
+        Ok(Daemon {
+            inner,
+            server: Some(server),
+            workers,
+            installed_ring,
+        })
+    }
+
+    /// The bound address (resolves the port when bound to `:0`).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server
+            .as_ref()
+            .map_or_else(|| ([0, 0, 0, 0], 0).into(), HttpServer::local_addr)
+    }
+
+    /// The hard-cancel token threaded into every analysis. Tripping it
+    /// aborts in-flight jobs (they finish `cancelled`); pair with
+    /// [`Daemon::shutdown`] for a fast exit.
+    #[must_use]
+    pub fn cancel_token(&self) -> CancelToken {
+        self.inner.hard_cancel.clone()
+    }
+
+    /// Block until `token` is cancelled (e.g. by
+    /// [`signal::cancel_on_signal`]), then return so the caller can
+    /// [`Daemon::shutdown`].
+    pub fn run_until(&self, token: &CancelToken) {
+        while !token.is_cancelled() {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    }
+
+    /// Graceful drain: stop admitting (503), cancel everything still
+    /// queued, let in-flight analyses finish (HTTP stays up so clients
+    /// can poll results), flush events, then stop the listener.
+    pub fn shutdown(mut self) -> DrainSummary {
+        self.teardown()
+    }
+
+    fn teardown(&mut self) -> DrainSummary {
+        let inner = &self.inner;
+        inner.phase.store(DRAINING, Ordering::SeqCst);
+        ion_obs::gauge("serve.draining", 1.0);
+        inner.queue.close();
+        let leftovers = inner.queue.drain();
+        let cancelled_queued = leftovers.len();
+        for (_tenant, id) in leftovers {
+            inner.cancel_queued(&id);
+        }
+        inner.update_queue_gauge();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        inner.phase.store(STOPPED, Ordering::SeqCst);
+        inner.flush_events();
+        if self.installed_ring {
+            let _ = events::uninstall();
+            self.installed_ring = false;
+        }
+        if let Some(server) = self.server.take() {
+            server.shutdown();
+        }
+        ion_obs::gauge("serve.draining", 0.0);
+        DrainSummary {
+            cancelled_queued,
+            done: inner.counts.done.load(Ordering::Relaxed),
+            failed: inner.counts.failed.load(Ordering::Relaxed),
+            cancelled: inner.counts.cancelled.load(Ordering::Relaxed),
+            deadlined: inner.counts.deadlined.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        if self.server.is_some() || !self.workers.is_empty() {
+            let _ = self.teardown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_safe_maps_and_bounds() {
+        assert_eq!(key_safe("expert-v1"), "expert-v1");
+        assert_eq!(key_safe("a b/c"), "a-b-c");
+        assert_eq!(key_safe(""), "default");
+        assert_eq!(key_safe(&"x".repeat(100)).len(), 64);
+    }
+
+    #[test]
+    fn default_config_is_bounded() {
+        let config = ServeConfig::default();
+        assert!(config.queue_budget > 0, "admission control must be on");
+        assert!(config.tenant_budget > 0);
+        assert!(config.dedup);
+    }
+}

@@ -1,0 +1,114 @@
+//! SIGINT/SIGTERM handling without any FFI crate: a raw `signal(2)`
+//! binding installs an async-signal-safe handler that only flips
+//! atomics; a watcher thread translates the flag into a [`CancelToken`]
+//! trip on the caller's behalf.
+//!
+//! The long-running `ion_cli` subcommands (`serve`, `batch`, `fuzz`) use
+//! this so Ctrl-C drains cleanly instead of killing the process mid-job:
+//! first signal → graceful drain, and callers can watch
+//! [`trip_count`] to escalate a second signal into a hard cancel.
+
+use ion_exec::CancelToken;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::time::Duration;
+
+static TRIPPED: AtomicBool = AtomicBool::new(false);
+static TRIPS: AtomicU32 = AtomicU32::new(0);
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod sys {
+    use std::os::raw::c_int;
+
+    const SIGINT: c_int = 2;
+    const SIGTERM: c_int = 15;
+
+    // Only atomics in here: the handler runs in signal context where
+    // almost nothing else (locks, allocation, I/O) is legal.
+    extern "C" fn on_signal(_signum: c_int) {
+        super::TRIPPED.store(true, std::sync::atomic::Ordering::SeqCst);
+        super::TRIPS.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    extern "C" {
+        // POSIX `signal(2)`; returns the previous disposition (ignored).
+        fn signal(signum: c_int, handler: usize) -> usize;
+    }
+
+    pub(super) fn install() {
+        // SAFETY: `on_signal` is async-signal-safe (atomic stores only)
+        // and stays alive for the program's lifetime; `signal` is the
+        // libc entry point every Rust program already links.
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
+
+/// Install the SIGINT/SIGTERM handler (idempotent). No-op on non-Unix
+/// platforms — [`tripped`] then only ever flips via [`trip_now`].
+pub fn install() {
+    #[cfg(unix)]
+    sys::install();
+}
+
+/// Whether a signal has arrived since installation (or [`reset`]).
+#[must_use]
+pub fn tripped() -> bool {
+    TRIPPED.load(Ordering::SeqCst)
+}
+
+/// How many signals have arrived in total. A caller that drains on the
+/// first can watch for a second to escalate to a hard cancel.
+#[must_use]
+pub fn trip_count() -> u32 {
+    TRIPS.load(Ordering::SeqCst)
+}
+
+/// Trip the flag programmatically — tests and non-Unix fallbacks.
+pub fn trip_now() {
+    TRIPPED.store(true, Ordering::SeqCst);
+    TRIPS.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Clear the flag and count (test isolation).
+pub fn reset() {
+    TRIPPED.store(false, Ordering::SeqCst);
+    TRIPS.store(0, Ordering::SeqCst);
+}
+
+/// Install the handler and spawn a watcher that cancels `token` when the
+/// first signal arrives. The watcher thread exits after tripping.
+pub fn cancel_on_signal(token: CancelToken) {
+    install();
+    let _ = std::thread::Builder::new()
+        .name("ion-serve-signal".to_owned())
+        .spawn(move || loop {
+            if tripped() {
+                token.cancel();
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trip_now_cancels_watched_token() {
+        reset();
+        let token = CancelToken::new();
+        cancel_on_signal(token.clone());
+        assert!(!token.is_cancelled());
+        trip_now();
+        while !token.is_cancelled() {
+            std::thread::yield_now();
+        }
+        assert!(tripped());
+        assert_eq!(trip_count(), 1);
+        reset();
+    }
+}

@@ -1,0 +1,188 @@
+//! End-to-end lifecycle over real HTTP: submit → long-poll → report →
+//! Q&A → listing → events → metrics, plus the error surface (bad
+//! submits, unknown jobs, premature Q&A).
+
+mod util;
+
+use ion_serve::{client, Daemon, ServeConfig};
+use ion_store::Store;
+use std::sync::Arc;
+use util::{obs_guard, tmp_dir, trace_bytes};
+
+#[test]
+fn full_job_lifecycle_over_http() {
+    let _sink = obs_guard();
+    let root = tmp_dir("lifecycle");
+    let store = Arc::new(Store::open(&root).unwrap());
+    let daemon = Daemon::bind("127.0.0.1:0", store, ServeConfig::default()).unwrap();
+    let addr = daemon.local_addr();
+
+    // Liveness first.
+    let health = client::get(addr, "/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    assert_eq!(health.text(), "ok\n");
+
+    // Submit a trace.
+    let trace = trace_bytes("lifecycle");
+    let submitted = client::post(addr, "/v1/jobs", &[("X-Ion-Tenant", "acme")], &trace).unwrap();
+    assert_eq!(submitted.status, 202, "{}", submitted.text());
+    let doc = submitted.json().unwrap();
+    assert_eq!(doc.get("schema").unwrap().as_str(), Some("ion-serve/v1"));
+    assert_eq!(doc.get("state").unwrap().as_str(), Some("queued"));
+    assert_eq!(doc.get("deduped").unwrap().as_bool(), Some(false));
+    let id = doc.get("job").unwrap().as_str().unwrap().to_owned();
+
+    // Long-poll to a terminal state (condvar wakeup, not server sleeps).
+    let status = client::get(addr, &format!("/v1/jobs/{id}?wait_ms=30000")).unwrap();
+    assert_eq!(status.status, 200);
+    let doc = status.json().unwrap();
+    assert_eq!(
+        doc.get("state").unwrap().as_str(),
+        Some("done"),
+        "{}",
+        status.text()
+    );
+    assert_eq!(doc.get("tenant").unwrap().as_str(), Some("acme"));
+    assert!(doc.get("detected").unwrap().as_u64().is_some());
+
+    // Fetch the report.
+    let report = client::get(addr, &format!("/v1/jobs/{id}/report")).unwrap();
+    assert_eq!(report.status, 200);
+    assert!(!report.body.is_empty(), "report must be non-empty");
+
+    // Interactive Q&A — both body forms.
+    let qa = client::post(
+        addr,
+        &format!("/v1/jobs/{id}/qa"),
+        &[],
+        b"what issues were detected?",
+    )
+    .unwrap();
+    assert_eq!(qa.status, 200, "{}", qa.text());
+    let answer = qa.json().unwrap();
+    assert!(!answer.get("answer").unwrap().as_str().unwrap().is_empty());
+    let qa_json = client::post(
+        addr,
+        &format!("/v1/jobs/{id}/qa"),
+        &[],
+        b"{\"question\":\"summarize the analysis\"}",
+    )
+    .unwrap();
+    assert_eq!(qa_json.status, 200, "{}", qa_json.text());
+
+    // Listing reflects the finished job and tallies.
+    let listing = client::get(addr, "/v1/jobs").unwrap();
+    assert_eq!(listing.status, 200);
+    let text = listing.text();
+    assert!(text.contains("\"done\":1"), "{text}");
+    assert!(text.contains(&format!("\"job\":\"{id}\"")), "{text}");
+
+    // The event stream saw the lifecycle.
+    let events = client::get(addr, "/v1/events").unwrap();
+    assert_eq!(events.status, 200, "{}", events.text());
+    let text = events.text();
+    assert!(text.contains("serve.submit"), "{text}");
+    assert!(text.contains("serve.finish"), "{text}");
+    // Cursored re-read from `next` replays nothing already seen (the
+    // stream is live — the read itself emits http.requests events — so
+    // only absence of old lines is asserted).
+    let next = events
+        .json()
+        .unwrap()
+        .get("next")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    let tail = client::get(addr, &format!("/v1/events?from={next}")).unwrap();
+    let tail_doc = tail.json().unwrap();
+    assert_eq!(tail_doc.get("from").unwrap().as_u64(), Some(next));
+    assert!(!tail.text().contains("serve.submit"), "{}", tail.text());
+
+    // Telemetry rides the same listener.
+    let metrics = client::get(addr, "/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let text = metrics.text();
+    assert!(text.contains("ion_serve_jobs_done 1"), "{text}");
+    assert!(text.contains("ion_serve_worker_panics 0"), "{text}");
+    let progress = client::get(addr, "/progress").unwrap();
+    assert_eq!(progress.status, 200);
+
+    let summary = daemon.shutdown();
+    assert_eq!(summary.done, 1);
+    assert_eq!(summary.cancelled_queued, 0);
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn error_surface_is_typed() {
+    let _sink = obs_guard();
+    let root = tmp_dir("errors");
+    let store = Arc::new(Store::open(&root).unwrap());
+    let daemon = Daemon::bind("127.0.0.1:0", store, ServeConfig::default()).unwrap();
+    let addr = daemon.local_addr();
+
+    // Empty body is a 400, not a queued no-op job.
+    let empty = client::post(addr, "/v1/jobs", &[], &[]).unwrap();
+    assert_eq!(empty.status, 400);
+
+    // Unknown job ids 404 on every job route.
+    assert_eq!(client::get(addr, "/v1/jobs/j999").unwrap().status, 404);
+    assert_eq!(
+        client::get(addr, "/v1/jobs/j999/report").unwrap().status,
+        404
+    );
+    assert_eq!(
+        client::post(addr, "/v1/jobs/j999/qa", &[], b"hello?")
+            .unwrap()
+            .status,
+        404
+    );
+
+    // Bad Q&A bodies are 400s.
+    let trace = trace_bytes("errors");
+    let submitted = client::post(addr, "/v1/jobs", &[], &trace).unwrap();
+    let id = submitted
+        .json()
+        .unwrap()
+        .get("job")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_owned();
+    let done = client::get(addr, &format!("/v1/jobs/{id}?wait_ms=30000")).unwrap();
+    assert_eq!(
+        done.json().unwrap().get("state").unwrap().as_str(),
+        Some("done")
+    );
+    assert_eq!(
+        client::post(addr, &format!("/v1/jobs/{id}/qa"), &[], b"")
+            .unwrap()
+            .status,
+        400
+    );
+    assert_eq!(
+        client::post(
+            addr,
+            &format!("/v1/jobs/{id}/qa"),
+            &[],
+            b"{\"not\":\"a question\"}"
+        )
+        .unwrap()
+        .status,
+        400
+    );
+
+    // Unknown routes and wrong methods are distinct.
+    assert_eq!(client::get(addr, "/v1/nope").unwrap().status, 404);
+    assert_eq!(
+        client::post(addr, "/v1/jobs/x/y/z", &[], b"x")
+            .unwrap()
+            .status,
+        404
+    );
+    let wrong_method = client::request(addr, "DELETE", "/v1/jobs", &[], &[]).unwrap();
+    assert_eq!(wrong_method.status, 405);
+
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(root);
+}

@@ -1,0 +1,172 @@
+//! Cross-client dedup: identical concurrent submissions run the model
+//! exactly once. Two layers are proven separately:
+//!
+//! 1. **Daemon-level singleflight** — with dedup on, the second submit
+//!    joins the in-flight job (same id, `deduped:true`) and the store
+//!    recomputes the trace exactly once.
+//! 2. **Store-level singleflight** — with daemon dedup off, two racing
+//!    jobs over the same trace still compute every stage exactly once,
+//!    observed through `Store::follower_joins()`.
+//!
+//! All coordination is gate/counter handshakes — no sleeps.
+
+mod util;
+
+use ion_serve::{client, Daemon, ServeConfig};
+use ion_store::Store;
+use std::sync::Arc;
+use util::{obs_guard, spin_until, tmp_dir, trace_bytes, Gate, GatedModel};
+
+fn submit(addr: std::net::SocketAddr, tenant: &str, trace: &[u8]) -> ion_obs::json::Json {
+    let reply = client::post(addr, "/v1/jobs", &[("X-Ion-Tenant", tenant)], trace).unwrap();
+    assert!(
+        reply.status == 202 || reply.status == 200,
+        "submit failed: {} {}",
+        reply.status,
+        reply.text()
+    );
+    reply.json().unwrap()
+}
+
+fn state_of(addr: std::net::SocketAddr, id: &str) -> String {
+    client::get(addr, &format!("/v1/jobs/{id}"))
+        .unwrap()
+        .json()
+        .unwrap()
+        .get("state")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_owned()
+}
+
+#[test]
+fn identical_concurrent_submits_share_one_job_and_one_model_run() {
+    let _sink = obs_guard();
+    let root = tmp_dir("dedup-join");
+    let store = Arc::new(Store::open(&root).unwrap());
+    let gate = Gate::new();
+    let model = GatedModel::new(gate.clone());
+    let dyn_model: Arc<dyn ion_llm::LanguageModel> = model.clone();
+    let daemon = Daemon::bind_with_model(
+        "127.0.0.1:0",
+        Arc::clone(&store),
+        dyn_model,
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = daemon.local_addr();
+    let trace = trace_bytes("dedup-join");
+
+    // First client submits; the worker picks it up and blocks at the
+    // model gate. "Running" proves it left the queue.
+    let first = submit(addr, "alice", &trace);
+    let id = first.get("job").unwrap().as_str().unwrap().to_owned();
+    assert_eq!(first.get("deduped").unwrap().as_bool(), Some(false));
+    spin_until("job running", || state_of(addr, &id) == "running");
+    spin_until("model entered", || model.steps() >= 1);
+
+    // Second client submits the identical trace: joins, no new job.
+    let second = submit(addr, "bob", &trace);
+    assert_eq!(second.get("deduped").unwrap().as_bool(), Some(true));
+    assert_eq!(second.get("job").unwrap().as_str(), Some(id.as_str()));
+
+    // Release the model; both clients converge on the same result.
+    gate.open();
+    let done = client::get(addr, &format!("/v1/jobs/{id}?wait_ms=30000")).unwrap();
+    let doc = done.json().unwrap();
+    assert_eq!(
+        doc.get("state").unwrap().as_str(),
+        Some("done"),
+        "{}",
+        done.text()
+    );
+    assert_eq!(
+        doc.get("joins").unwrap().as_u64(),
+        Some(1),
+        "{}",
+        done.text()
+    );
+
+    // Counter-exact: one trace extraction, one job, one dedup join.
+    let snap = ion_obs::snapshot();
+    assert_eq!(snap.counter("store.recompute.trace"), 1);
+    assert_eq!(snap.counter("serve.jobs.submitted"), 1);
+    assert_eq!(snap.counter("serve.dedup.joined"), 1);
+    assert_eq!(snap.counter("serve.jobs.done"), 1);
+    let report = client::get(addr, &format!("/v1/jobs/{id}/report")).unwrap();
+    assert_eq!(report.status, 200);
+
+    let summary = daemon.shutdown();
+    assert_eq!(summary.done, 1);
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn without_daemon_dedup_the_store_singleflight_still_collapses_work() {
+    let _sink = obs_guard();
+    let root = tmp_dir("dedup-store");
+    let store = Arc::new(Store::open(&root).unwrap());
+    let gate = Gate::new();
+    let model = GatedModel::new(gate.clone());
+    let dyn_model: Arc<dyn ion_llm::LanguageModel> = model.clone();
+    let daemon = Daemon::bind_with_model(
+        "127.0.0.1:0",
+        Arc::clone(&store),
+        dyn_model,
+        ServeConfig {
+            workers: 2,
+            dedup: false,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = daemon.local_addr();
+    let trace = trace_bytes("dedup-store");
+
+    // Two separate jobs over the same bytes, racing on two workers.
+    let a = submit(addr, "alice", &trace);
+    let b = submit(addr, "bob", &trace);
+    let id_a = a.get("job").unwrap().as_str().unwrap().to_owned();
+    let id_b = b.get("job").unwrap().as_str().unwrap().to_owned();
+    assert_ne!(id_a, id_b, "daemon dedup is off: two distinct jobs");
+
+    // Handshake: the loser of the issue-compute race attaches to the
+    // winner's in-flight computation before we release the model.
+    spin_until("singleflight follower attached", || {
+        store.follower_joins() >= 1
+    });
+    gate.open();
+
+    for id in [&id_a, &id_b] {
+        let done = client::get(addr, &format!("/v1/jobs/{id}?wait_ms=30000")).unwrap();
+        let doc = done.json().unwrap();
+        assert_eq!(
+            doc.get("state").unwrap().as_str(),
+            Some("done"),
+            "{}",
+            done.text()
+        );
+    }
+
+    // Counter-exact: every stage computed once despite two jobs.
+    let snap = ion_obs::snapshot();
+    let issues = snap.counter("store.recompute.issue");
+    assert!(issues > 0, "trace must exercise at least one issue context");
+    assert_eq!(snap.counter("store.recompute.trace"), 1);
+    assert_eq!(snap.counter("store.recompute.summary"), 1);
+    assert_eq!(
+        snap.counter("llm.runs"),
+        issues + 1,
+        "model ran once per issue plus the summary — no duplicated work:\n{}",
+        snap.render_profile()
+    );
+    assert_eq!(snap.counter("serve.jobs.done"), 2);
+
+    let summary = daemon.shutdown();
+    assert_eq!(summary.done, 2);
+    let _ = std::fs::remove_dir_all(root);
+}

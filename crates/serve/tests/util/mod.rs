@@ -1,0 +1,122 @@
+//! Shared helpers for the daemon integration tests: synthetic traces, a
+//! gate-controlled model for deterministic concurrency handshakes, and
+//! temp-store plumbing. No sleeps anywhere — tests coordinate through
+//! gates, condvars and monotonic counters.
+//!
+//! Not every test binary uses every helper.
+#![allow(dead_code)]
+
+use darshan::log::LogWriter;
+use ion_llm::{DeterministicExpert, LanguageModel, ModelAction, Thread};
+use iosim::{SimConfig, Simulation};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// The global obs sink is process-wide; tests in one binary serialize.
+pub static SINK: Mutex<()> = Mutex::new(());
+
+pub fn obs_guard() -> std::sync::MutexGuard<'static, ()> {
+    let guard = SINK.lock().unwrap_or_else(PoisonError::into_inner);
+    ion_obs::reset();
+    guard
+}
+
+/// A small but analyzable synthetic trace; `tag` varies the content so
+/// different jobs carry different digests.
+pub fn trace_bytes(tag: &str) -> Vec<u8> {
+    let mut sim = Simulation::new(SimConfig::default().with_ranks(2).with_exe(tag));
+    let f = sim.posix_open_all("/scratch/serve.dat").unwrap();
+    for i in 0..16u64 {
+        for rank in 0..2u32 {
+            let base = u64::from(rank) * (4 << 20);
+            sim.posix_write(rank, f, base + i * 1024, 1024).unwrap();
+        }
+    }
+    sim.posix_close_all(f);
+    LogWriter::from_log(sim.finish()).finish().unwrap()
+}
+
+pub fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ion-serve-test-{tag}-{}-{}",
+        std::process::id(),
+        std::thread::current()
+            .name()
+            .unwrap_or("t")
+            .replace("::", "-"),
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A latch the test opens once its handshake condition is met.
+#[derive(Clone, Default)]
+pub struct Gate(Arc<(Mutex<bool>, Condvar)>);
+
+impl Gate {
+    pub fn new() -> Gate {
+        Gate::default()
+    }
+
+    pub fn open(&self) {
+        let (flag, cv) = &*self.0;
+        *flag.lock().unwrap_or_else(PoisonError::into_inner) = true;
+        cv.notify_all();
+    }
+
+    pub fn wait(&self) {
+        let (flag, cv) = &*self.0;
+        let mut open = flag.lock().unwrap_or_else(PoisonError::into_inner);
+        while !*open {
+            open = cv.wait(open).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// [`DeterministicExpert`] behind a [`Gate`]: every model step blocks
+/// until the test opens the gate, and `steps` counts invocations — the
+/// barrier-handshake alternative to sleeping.
+pub struct GatedModel {
+    inner: DeterministicExpert,
+    pub gate: Gate,
+    pub steps: AtomicU64,
+}
+
+impl GatedModel {
+    pub fn new(gate: Gate) -> Arc<GatedModel> {
+        Arc::new(GatedModel {
+            inner: DeterministicExpert::new(),
+            gate,
+            steps: AtomicU64::new(0),
+        })
+    }
+
+    pub fn steps(&self) -> u64 {
+        self.steps.load(Ordering::SeqCst)
+    }
+}
+
+impl LanguageModel for GatedModel {
+    fn step(&self, thread: &Thread) -> ModelAction {
+        self.steps.fetch_add(1, Ordering::SeqCst);
+        self.gate.wait();
+        self.inner.step(thread)
+    }
+
+    fn model_id(&self) -> &str {
+        "gated-expert-v1"
+    }
+}
+
+/// Spin (yielding, no sleep) until `cond` holds; panics after ~30s so a
+/// broken handshake fails loudly instead of hanging CI.
+pub fn spin_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while !cond() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "timed out waiting for: {what}"
+        );
+        std::thread::yield_now();
+    }
+}

@@ -72,6 +72,16 @@ impl Store {
         })
     }
 
+    /// Number of callers so far that attached to an already in-flight
+    /// identical computation in [`Store::get_or_compute`] (cross-client
+    /// singleflight dedup). Monotonic — `ion-serve`'s dedup tests use it
+    /// for barrier-style handshakes instead of sleeping, and a daemon can
+    /// export it as a sharing-rate signal.
+    #[must_use]
+    pub fn follower_joins(&self) -> usize {
+        self.flights.follower_joins()
+    }
+
     /// The store's root directory.
     #[must_use]
     pub fn root(&self) -> &Path {
