@@ -23,13 +23,19 @@
 //! - **`/healthz`** — liveness probe, plain `ok`.
 //!
 //! The server model stays minimal: blocking accept loops (one per
-//! worker), one short-lived request per connection, `Connection: close`.
+//! worker), one request per connection, `Connection: close`. Each
+//! accepted connection is handed to its own short-lived handler thread,
+//! so a slow handler (e.g. a `?wait_ms=` long-poll) never stalls the
+//! accept loop or other requests — `/healthz` answers while long-polls
+//! are parked. Total live connections are capped
+//! ([`MAX_LIVE_CONNECTIONS`]); beyond the cap new connections get an
+//! immediate `503` + `Retry-After` instead of queueing unboundedly.
 
 use crate::metrics::HistogramSnapshot;
 use crate::render::Snapshot;
 use std::io::{self, Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -42,6 +48,11 @@ pub type SnapshotFn = Arc<dyn Fn() -> Snapshot + Send + Sync>;
 /// payload; tens of MiB covers every bundled workload with headroom.
 const MAX_HEAD_BYTES: usize = 16 * 1024;
 const MAX_BODY_BYTES: usize = 64 << 20;
+
+/// Cap on concurrently served connections (handler threads) per server.
+/// Sized so a swarm of long-polls cannot exhaust threads: beyond it, new
+/// connections are answered `503` with `Retry-After` and closed.
+pub const MAX_LIVE_CONNECTIONS: usize = 256;
 
 /// One parsed HTTP request: method, split path/query, lowercased header
 /// names, and the (possibly empty) body.
@@ -261,9 +272,11 @@ impl Router {
 }
 
 /// A running HTTP server: `workers` blocking accept loops over one
-/// listener, each serving one request per connection through the shared
-/// [`Router`]. Dropping it (or calling [`HttpServer::shutdown`]) stops
-/// every loop.
+/// listener, each dispatching accepted connections to per-connection
+/// handler threads that serve one request through the shared [`Router`].
+/// Dropping it (or calling [`HttpServer::shutdown`]) stops every accept
+/// loop; in-flight handler threads finish their (bounded) request on
+/// their own.
 pub struct HttpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
@@ -294,10 +307,12 @@ impl HttpServer {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let live = Arc::new(AtomicUsize::new(0));
         let mut handles = Vec::new();
         for n in 0..workers.max(1) {
             let listener = listener.try_clone()?;
             let stop = Arc::clone(&stop);
+            let live = Arc::clone(&live);
             let router = Arc::clone(&router);
             handles.push(
                 std::thread::Builder::new()
@@ -308,7 +323,7 @@ impl HttpServer {
                                 break;
                             }
                             let Ok(stream) = conn else { continue };
-                            let _ = handle_connection(stream, &router);
+                            dispatch_connection(stream, &live, &router);
                         }
                     })?,
             );
@@ -396,6 +411,47 @@ impl MetricsServer {
     pub fn shutdown(self) {
         self.inner.shutdown();
     }
+}
+
+/// Decrements the live-connection count when the handler thread finishes
+/// — or when a failed spawn drops the closure without ever running it.
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Hand an accepted connection to its own handler thread so a slow
+/// handler (e.g. a long-poll) never blocks the accept loop. Over the
+/// live cap the connection is answered `503` inline and closed.
+fn dispatch_connection(mut stream: TcpStream, live: &Arc<AtomicUsize>, router: &Arc<Router>) {
+    if live.load(Ordering::Acquire) >= MAX_LIVE_CONNECTIONS {
+        if crate::enabled() {
+            crate::counter("http.overloaded", 1);
+        }
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        let response =
+            Response::text(503, "server at connection capacity\n").with_header("Retry-After", "1");
+        let _ = write_response(&mut stream, &response);
+        return;
+    }
+    live.fetch_add(1, Ordering::AcqRel);
+    let guard = ConnGuard(Arc::clone(live));
+    let router = Arc::clone(router);
+    // Handler threads are detached: they end on their own once the
+    // request is served (reads and long-polls are both bounded), so
+    // shutdown never waits on an in-flight response.
+    let spawned = std::thread::Builder::new()
+        .name("ion-obs-conn".to_owned())
+        .spawn(move || {
+            let _guard = guard;
+            let _ = handle_connection(stream, &router);
+        });
+    // A failed spawn (resource exhaustion) drops the closure — and with
+    // it the guard (count restored) and the stream (connection closed).
+    drop(spawned);
 }
 
 fn handle_connection(mut stream: TcpStream, router: &Router) -> io::Result<()> {

@@ -115,6 +115,70 @@ fn endpoints_serve_over_real_http() {
     server.shutdown();
 }
 
+/// Slow handlers must not starve the listener: with a single accept
+/// worker, several requests parked inside a blocking handler (the shape
+/// of a `?wait_ms=` long-poll) may not delay an unrelated request.
+/// Under the old one-connection-per-worker model this test deadlocks;
+/// per-connection dispatch answers `/ping` while all blockers are parked.
+#[test]
+fn blocked_handlers_do_not_stall_other_requests() {
+    use ion_obs::serve::{HttpServer, Response, Router};
+    use std::sync::{Condvar, Mutex};
+
+    struct Gate {
+        open: Mutex<bool>,
+        entered: Mutex<usize>,
+        cv: Condvar,
+    }
+    let gate = Arc::new(Gate {
+        open: Mutex::new(false),
+        entered: Mutex::new(0),
+        cv: Condvar::new(),
+    });
+
+    let handler_gate = Arc::clone(&gate);
+    let router = Arc::new(
+        Router::new()
+            .route("GET", "/block", move |_| {
+                *handler_gate.entered.lock().unwrap() += 1;
+                handler_gate.cv.notify_all();
+                let mut open = handler_gate.open.lock().unwrap();
+                while !*open {
+                    open = handler_gate.cv.wait(open).unwrap();
+                }
+                Response::text(200, "unblocked\n")
+            })
+            .route("GET", "/ping", |_| Response::text(200, "pong\n")),
+    );
+    let server = HttpServer::bind("127.0.0.1:0", router, 1).unwrap();
+    let addr = server.local_addr();
+
+    // Park three requests inside the handler — more than the one accept
+    // worker could ever serve under a blocking model.
+    let blockers: Vec<_> = (0..3)
+        .map(|_| std::thread::spawn(move || http_get(addr, "/block")))
+        .collect();
+    {
+        let mut entered = gate.entered.lock().unwrap();
+        while *entered < 3 {
+            entered = gate.cv.wait(entered).unwrap();
+        }
+    }
+
+    // All three are provably parked; the listener must still answer.
+    let (status, body) = http_get(addr, "/ping");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(body, "pong\n");
+
+    *gate.open.lock().unwrap() = true;
+    gate.cv.notify_all();
+    for blocker in blockers {
+        let (status, _) = blocker.join().unwrap();
+        assert_eq!(status, "HTTP/1.1 200 OK");
+    }
+    server.shutdown();
+}
+
 #[test]
 fn shutdown_stops_serving() {
     let server = MetricsServer::bind_with(

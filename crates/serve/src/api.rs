@@ -222,21 +222,22 @@ fn handle_qa(inner: &Arc<Inner>, req: &Request) -> Response {
     let Some(entry) = inner.job(id) else {
         return error_json(404, &format!("unknown job {id}"));
     };
-    let mut rec = entry.rec();
-    if rec.state != JobState::Done {
-        let state = rec.state;
-        drop(rec);
+    let state = entry.rec().state;
+    if state != JobState::Done {
         return error_json(
             409,
             &format!("job {id} is {state}; Q&A needs a finished analysis"),
         );
     }
-    let Some(session) = rec.session.as_mut() else {
-        drop(rec);
+    // The session has its own mutex: concurrent questions on one job
+    // serialize here without blocking status reads or long-polls, which
+    // only touch the record mutex.
+    let mut slot = entry.session();
+    let Some(session) = slot.as_mut() else {
         return error_json(409, &format!("job {id} has no Q&A session"));
     };
     let answer = session.ask(&question);
-    drop(rec);
+    drop(slot);
     ion_obs::counter("serve.qa.asked", 1);
     Response::json(
         200,

@@ -72,8 +72,10 @@ pub(crate) struct JobRecord {
     pub submitted: Instant,
     pub started: Option<Instant>,
     pub finished: Option<Instant>,
+    /// The submitted trace. Dropped when the job goes terminal — a
+    /// finished job keeps its report, not its (potentially huge) input.
+    pub bytes: Option<Arc<[u8]>>,
     pub report: Option<Arc<IonReport>>,
-    pub session: Option<InteractiveSession>,
     pub error: Option<String>,
     /// How many identical submits joined this job instead of queueing
     /// their own (cross-client dedup).
@@ -81,14 +83,18 @@ pub(crate) struct JobRecord {
 }
 
 /// One job: immutable identity plus the state record and its condvar.
+///
+/// The Q&A session lives behind its own mutex so an in-flight
+/// `session.ask()` (which can take as long as a model turn) never blocks
+/// status reads or long-polls on the record mutex.
 #[derive(Debug)]
 pub(crate) struct JobEntry {
     pub id: String,
     pub tenant: String,
     /// Dedup key: trace digest + context revision + model id.
     pub key: String,
-    pub bytes: Arc<[u8]>,
     record: Mutex<JobRecord>,
+    session: Mutex<Option<InteractiveSession>>,
     changed: Condvar,
 }
 
@@ -98,19 +104,26 @@ impl JobEntry {
             id: id.to_owned(),
             tenant: tenant.to_owned(),
             key: key.to_owned(),
-            bytes,
             record: Mutex::new(JobRecord {
                 state: JobState::Queued,
                 submitted: Instant::now(),
                 started: None,
                 finished: None,
+                bytes: Some(bytes),
                 report: None,
-                session: None,
                 error: None,
                 joins: 0,
             }),
+            session: Mutex::new(None),
             changed: Condvar::new(),
         })
+    }
+
+    /// Lock the Q&A session slot. Separate from the record mutex: asking
+    /// the session a question serializes concurrent Q&A on this job but
+    /// leaves status reads and long-polls unblocked.
+    pub fn session(&self) -> MutexGuard<'_, Option<InteractiveSession>> {
+        self.session.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Lock the record. A worker that panicked while holding the lock has

@@ -23,6 +23,13 @@
 //! off, the content-addressed store's singleflight still collapses the
 //! duplicated work underneath.
 //!
+//! Memory stays bounded end to end: a job's trace bytes are dropped the
+//! moment it goes terminal, and once more than
+//! [`ServeConfig::retain_jobs`] jobs have finished the oldest-finished
+//! are evicted entirely (their ids 404) — clients are expected to fetch
+//! reports promptly or re-submit (a warm store makes re-analysis a cache
+//! hit).
+//!
 //! Shutdown is graceful by construction: the daemon flips to *draining*
 //! (503 for new submissions, `/healthz` flips), cancels everything still
 //! queued, lets in-flight analyses run to completion (HTTP stays up so
@@ -48,7 +55,7 @@ use ion_obs::events::{self, EventRing};
 use ion_obs::serve::HttpServer;
 use ion_store::digest::Hasher;
 use ion_store::driver::StoredPipeline;
-use ion_store::{digest_bytes, Store};
+use ion_store::{digest_bytes, Store, StoreError};
 use job::{JobEntry, JobRecord};
 use std::collections::{HashMap, VecDeque};
 use std::io;
@@ -84,6 +91,11 @@ pub struct ServeConfig {
     pub issue_width: usize,
     /// Join identical concurrent submissions to one job.
     pub dedup: bool,
+    /// Terminal jobs retained for polling, reports and Q&A. Once more
+    /// than this many jobs have finished, the oldest-finished are evicted
+    /// (their ids 404) so an always-on daemon's memory stays bounded.
+    /// `0` = retain forever.
+    pub retain_jobs: usize,
     /// Install an event ring at bind when none is installed, so
     /// `/v1/events` has something to serve.
     pub capture_events: bool,
@@ -99,6 +111,7 @@ impl Default for ServeConfig {
             job_deadline: None,
             issue_width: 1,
             dedup: true,
+            retain_jobs: 256,
             capture_events: true,
         }
     }
@@ -146,6 +159,9 @@ struct JobMaps {
     inflight: HashMap<String, String>,
     /// Submission order, for listing.
     order: Vec<String>,
+    /// Ids in the order they went terminal — the eviction queue that
+    /// keeps retained jobs bounded by `ServeConfig::retain_jobs`.
+    terminal: VecDeque<String>,
 }
 
 #[derive(Debug, Default)]
@@ -283,16 +299,20 @@ impl Inner {
                     }
                 }
             }
+            // Admission and publication happen under one critical section
+            // (the queue's own mutex is a leaf lock): a rejected push is
+            // never visible to concurrent identical submissions, so a
+            // `Joined` outcome always names a job that actually exists.
             let id = format!("j{}", self.seq.fetch_add(1, Ordering::Relaxed) + 1);
-            let entry = JobEntry::new(&id, tenant, &key, Arc::clone(&bytes));
-            maps.jobs.insert(id.clone(), entry);
-            maps.order.push(id.clone());
-            if self.config.dedup {
-                maps.inflight.insert(key.clone(), id.clone());
-            }
-            drop(maps);
             match self.queue.push(tenant, weight, id.clone()) {
                 Ok(depth) => {
+                    let entry = JobEntry::new(&id, tenant, &key, Arc::clone(&bytes));
+                    maps.jobs.insert(id.clone(), entry);
+                    maps.order.push(id.clone());
+                    if self.config.dedup {
+                        maps.inflight.insert(key.clone(), id.clone());
+                    }
+                    drop(maps);
                     self.counts.submitted.fetch_add(1, Ordering::Relaxed);
                     ion_obs::counter("serve.jobs.submitted", 1);
                     ion_obs::event!("serve.submit", job = id.as_str(), tenant = tenant);
@@ -300,13 +320,6 @@ impl Inner {
                     return SubmitOutcome::Queued { id, depth };
                 }
                 Err(rejected) => {
-                    // Undo the registration; the job never existed.
-                    let mut maps = lock(&self.maps);
-                    maps.jobs.remove(&id);
-                    maps.order.retain(|j| j != &id);
-                    if maps.inflight.get(&key).map(String::as_str) == Some(id.as_str()) {
-                        maps.inflight.remove(&key);
-                    }
                     drop(maps);
                     self.counts.rejected.fetch_add(1, Ordering::Relaxed);
                     ion_obs::counter("serve.admission.rejected", 1);
@@ -347,41 +360,51 @@ impl Inner {
         );
         ion_obs::event!("serve.start", job = id, tenant = tenant);
 
+        let bytes = entry
+            .rec()
+            .bytes
+            .clone()
+            .expect("a queued job retains its trace bytes");
         let outcome =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_analysis(&entry)));
-        let result = outcome.unwrap_or_else(|_| {
-            ion_obs::counter("serve.worker.panics", 1);
-            Err("analysis worker panicked".to_owned())
-        });
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_analysis(&bytes)));
 
         #[allow(clippy::cast_precision_loss)]
         {
             let running = self.running.fetch_sub(1, Ordering::SeqCst) - 1;
             ion_obs::gauge("serve.jobs.running", running as f64);
         }
-        match result {
-            Ok(report) => {
-                let session = report.session();
+        match outcome {
+            Ok(Ok(report)) => {
+                // Publish the Q&A session before the state flips so a
+                // long-poller woken by `done` can ask immediately.
+                *entry.session() = Some(report.session());
                 let report = Arc::new(report);
                 self.finish(&entry, JobState::Done, move |rec| {
                     rec.report = Some(report);
-                    rec.session = Some(session);
                 });
             }
-            Err(message) => {
-                let state = if self.hard_cancel.is_cancelled() || message.contains("cancelled") {
-                    JobState::Cancelled
-                } else if message.contains("deadlined") {
-                    JobState::Deadlined
-                } else {
-                    JobState::Failed
+            Ok(Err(err)) => {
+                // The driver reports cancellation and deadline expiry as
+                // typed errors; classification never parses message text.
+                let state = match err {
+                    StoreError::Cancelled => JobState::Cancelled,
+                    StoreError::Deadlined => JobState::Deadlined,
+                    _ if self.hard_cancel.is_cancelled() => JobState::Cancelled,
+                    _ => JobState::Failed,
                 };
+                let message = err.to_string();
                 self.finish(&entry, state, move |rec| rec.error = Some(message));
+            }
+            Err(_panic) => {
+                ion_obs::counter("serve.worker.panics", 1);
+                self.finish(&entry, JobState::Failed, |rec| {
+                    rec.error = Some("analysis worker panicked".to_owned());
+                });
             }
         }
     }
 
-    fn run_analysis(&self, entry: &JobEntry) -> Result<ion::pipeline::IonReport, String> {
+    fn run_analysis(&self, bytes: &[u8]) -> Result<ion::pipeline::IonReport, StoreError> {
         let mut exec = Batch::new()
             .with_width(self.config.issue_width.max(1))
             .with_cancel(self.hard_cancel.clone());
@@ -391,9 +414,7 @@ impl Inner {
         let driver = StoredPipeline::new(Arc::clone(&self.store))
             .with_exec(exec)
             .with_model(&*self.model);
-        driver
-            .analyze_bytes(&entry.bytes)
-            .map_err(|e| e.to_string())
+        driver.analyze_bytes(bytes)
     }
 
     /// Transition to a terminal state: drop the inflight binding first
@@ -409,6 +430,9 @@ impl Inner {
             let mut rec = entry.rec();
             rec.state = state;
             rec.finished = Some(Instant::now());
+            // The input trace is dead weight once the job is terminal;
+            // only the report (and session) need to stay resident.
+            rec.bytes = None;
             fill(&mut rec);
             if let (Some(started), Some(finished)) = (rec.started, rec.finished) {
                 let run_ns = finished.duration_since(started).as_nanos();
@@ -418,6 +442,10 @@ impl Inner {
                 );
             }
         }
+        // Retire before tallying and waking long-pollers: a woken client
+        // observes retention (and counters) already settled — never an
+        // old job that is about to vanish.
+        self.retire(&entry.id);
         // Tally before waking long-pollers, so a woken client never sees
         // a terminal state the counters don't reflect yet.
         let (name, tally) = match state {
@@ -437,6 +465,26 @@ impl Inner {
             state = state.as_str()
         );
         entry.notify();
+    }
+
+    /// Record `id` as terminal and evict the oldest-finished jobs beyond
+    /// [`ServeConfig::retain_jobs`], keeping an always-on daemon's memory
+    /// bounded. Evicted ids 404; clients already holding the entry (woken
+    /// long-pollers) are unaffected.
+    fn retire(&self, id: &str) {
+        let mut maps = lock(&self.maps);
+        maps.terminal.push_back(id.to_owned());
+        if self.config.retain_jobs == 0 {
+            return;
+        }
+        while maps.terminal.len() > self.config.retain_jobs {
+            let Some(old) = maps.terminal.pop_front() else {
+                break;
+            };
+            maps.jobs.remove(&old);
+            maps.order.retain(|j| j != &old);
+            ion_obs::counter("serve.jobs.evicted", 1);
+        }
     }
 
     /// Cancel a job that never ran (shutdown drain).
@@ -538,6 +586,7 @@ impl Daemon {
         ion_obs::counter("serve.worker.panics", 0);
         ion_obs::counter("serve.jobs.submitted", 0);
         ion_obs::counter("serve.admission.rejected", 0);
+        ion_obs::counter("serve.jobs.evicted", 0);
 
         let mut installed_ring = false;
         let events = if config.capture_events && !events::enabled() {
@@ -691,6 +740,32 @@ mod tests {
         let config = ServeConfig::default();
         assert!(config.queue_budget > 0, "admission control must be on");
         assert!(config.tenant_budget > 0);
+        assert!(config.retain_jobs > 0, "terminal jobs must not accrete");
         assert!(config.dedup);
+    }
+
+    #[test]
+    fn terminal_jobs_drop_trace_bytes_and_failures_classify_typed() {
+        let root = std::env::temp_dir().join(format!("ion-serve-unit-drop-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = Arc::new(Store::open(&root).unwrap());
+        let daemon = Daemon::bind("127.0.0.1:0", store, ServeConfig::default()).unwrap();
+        // Garbage bytes decode-fail; the error message is free-form but
+        // the state must classify as `failed` (typed, not text-matched).
+        let SubmitOutcome::Queued { id, .. } = daemon.inner.submit("t", 1, vec![0u8; 64]) else {
+            panic!("submit refused");
+        };
+        let entry = daemon.inner.job(&id).expect("job registered");
+        entry.wait_terminal(Duration::from_secs(30));
+        let rec = entry.rec();
+        assert_eq!(rec.state, JobState::Failed, "{:?}", rec.error);
+        assert!(
+            rec.bytes.is_none(),
+            "terminal jobs must not retain trace bytes"
+        );
+        assert!(rec.error.as_deref().unwrap_or("").contains("decode"));
+        drop(rec);
+        drop(daemon);
+        let _ = std::fs::remove_dir_all(root);
     }
 }

@@ -106,6 +106,83 @@ fn identical_concurrent_submits_share_one_job_and_one_model_run() {
 }
 
 #[test]
+fn rejected_submission_leaves_no_dedup_state_behind() {
+    let _sink = obs_guard();
+    let root = tmp_dir("dedup-reject");
+    let store = Arc::new(Store::open(&root).unwrap());
+    let gate = Gate::new();
+    let model = GatedModel::new(gate.clone());
+    let dyn_model: Arc<dyn ion_llm::LanguageModel> = model.clone();
+    let daemon = Daemon::bind_with_model(
+        "127.0.0.1:0",
+        Arc::clone(&store),
+        dyn_model,
+        ServeConfig {
+            workers: 1,
+            queue_budget: 1,
+            tenant_budget: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = daemon.local_addr();
+
+    // The worker blocks on trace A; trace B fills the only queue slot.
+    let blocker = submit(addr, "alice", &trace_bytes("reject-blocker"));
+    let blocker_id = blocker.get("job").unwrap().as_str().unwrap().to_owned();
+    spin_until("blocker running", || {
+        state_of(addr, &blocker_id) == "running"
+    });
+    let queued = submit(addr, "bob", &trace_bytes("reject-queued"));
+    let queued_id = queued.get("job").unwrap().as_str().unwrap().to_owned();
+
+    // Trace C is refused by admission control. Admission and dedup
+    // registration are one critical section, so the rejection leaves
+    // nothing behind: an immediate identical submit must see the same
+    // 429 — never a `deduped` join onto a job that does not exist.
+    let trace_c = trace_bytes("reject-victim");
+    let refused = client::post(addr, "/v1/jobs", &[("X-Ion-Tenant", "carol")], &trace_c).unwrap();
+    assert_eq!(refused.status, 429, "{}", refused.text());
+    let again = client::post(addr, "/v1/jobs", &[("X-Ion-Tenant", "carol")], &trace_c).unwrap();
+    assert_eq!(
+        again.status,
+        429,
+        "a rejected trace must not be joinable: {}",
+        again.text()
+    );
+
+    // Once capacity frees up, the same trace queues as a fresh job.
+    gate.open();
+    for id in [&blocker_id, &queued_id] {
+        let done = client::get(addr, &format!("/v1/jobs/{id}?wait_ms=30000")).unwrap();
+        assert_eq!(
+            done.json().unwrap().get("state").unwrap().as_str(),
+            Some("done"),
+            "{}",
+            done.text()
+        );
+    }
+    let fresh = submit(addr, "carol", &trace_c);
+    assert_eq!(
+        fresh.get("deduped").unwrap().as_bool(),
+        Some(false),
+        "no stale inflight binding may survive a rejection"
+    );
+    let fresh_id = fresh.get("job").unwrap().as_str().unwrap().to_owned();
+    let done = client::get(addr, &format!("/v1/jobs/{fresh_id}?wait_ms=30000")).unwrap();
+    assert_eq!(
+        done.json().unwrap().get("state").unwrap().as_str(),
+        Some("done"),
+        "{}",
+        done.text()
+    );
+
+    let summary = daemon.shutdown();
+    assert_eq!(summary.done, 3);
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
 fn without_daemon_dedup_the_store_singleflight_still_collapses_work() {
     let _sink = obs_guard();
     let root = tmp_dir("dedup-store");

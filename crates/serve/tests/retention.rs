@@ -1,0 +1,98 @@
+//! Terminal-job retention: an always-on daemon's memory stays bounded.
+//! Trace bytes drop the moment a job goes terminal, and once more than
+//! `retain_jobs` jobs have finished the oldest-finished are evicted —
+//! their ids 404 while newer jobs keep serving status and reports.
+
+mod util;
+
+use ion_serve::{client, Daemon, ServeConfig};
+use ion_store::Store;
+use std::sync::Arc;
+use util::{obs_guard, tmp_dir, trace_bytes};
+
+#[test]
+fn oldest_terminal_jobs_are_evicted_beyond_the_retention_cap() {
+    let _sink = obs_guard();
+    let root = tmp_dir("retention");
+    let store = Arc::new(Store::open(&root).unwrap());
+    let daemon = Daemon::bind(
+        "127.0.0.1:0",
+        store,
+        ServeConfig {
+            workers: 1,
+            retain_jobs: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = daemon.local_addr();
+
+    // Four distinct traces, each long-polled to `done` before the next is
+    // submitted, so the terminal order is exactly the submit order.
+    let mut ids = Vec::new();
+    for n in 0..4 {
+        let reply = client::post(addr, "/v1/jobs", &[], &trace_bytes(&format!("ret{n}"))).unwrap();
+        assert_eq!(reply.status, 202, "{}", reply.text());
+        let id = reply
+            .json()
+            .unwrap()
+            .get("job")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_owned();
+        let done = client::get(addr, &format!("/v1/jobs/{id}?wait_ms=30000")).unwrap();
+        assert_eq!(
+            done.json().unwrap().get("state").unwrap().as_str(),
+            Some("done"),
+            "{}",
+            done.text()
+        );
+        ids.push(id);
+    }
+
+    // The two oldest-finished are gone on every job route; the two newest
+    // still serve status and reports.
+    for id in &ids[..2] {
+        assert_eq!(
+            client::get(addr, &format!("/v1/jobs/{id}")).unwrap().status,
+            404,
+            "evicted job {id} must 404"
+        );
+        assert_eq!(
+            client::get(addr, &format!("/v1/jobs/{id}/report"))
+                .unwrap()
+                .status,
+            404
+        );
+    }
+    for id in &ids[2..] {
+        assert_eq!(
+            client::get(addr, &format!("/v1/jobs/{id}")).unwrap().status,
+            200,
+            "retained job {id} must keep serving"
+        );
+        let report = client::get(addr, &format!("/v1/jobs/{id}/report")).unwrap();
+        assert_eq!(report.status, 200);
+        assert!(!report.body.is_empty());
+    }
+
+    // The listing only shows retained jobs; the eviction counter matches.
+    let listing = client::get(addr, "/v1/jobs").unwrap().text();
+    assert!(!listing.contains(&format!("\"{}\"", ids[0])), "{listing}");
+    assert!(listing.contains(&format!("\"{}\"", ids[3])), "{listing}");
+    let metrics = client::get(addr, "/metrics").unwrap().text();
+    assert!(metrics.contains("ion_serve_jobs_evicted 2"), "{metrics}");
+
+    // An evicted trace can be resubmitted: dedup no longer joins it, so
+    // it queues as a fresh job (the warm store makes the re-run cheap).
+    let again = client::post(addr, "/v1/jobs", &[], &trace_bytes("ret0")).unwrap();
+    assert_eq!(again.status, 202, "{}", again.text());
+    assert_eq!(
+        again.json().unwrap().get("deduped").unwrap().as_bool(),
+        Some(false)
+    );
+
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(root);
+}

@@ -174,12 +174,8 @@ impl<'m> StoredPipeline<'m> {
                         "analysis worker panicked: {msg}"
                     )))
                 }
-                ion_exec::TaskOutcome::Cancelled => {
-                    return Err(StoreError::Pipeline("analysis cancelled".into()))
-                }
-                ion_exec::TaskOutcome::Deadlined => {
-                    return Err(StoreError::Pipeline("analysis deadlined".into()))
-                }
+                ion_exec::TaskOutcome::Cancelled => return Err(StoreError::Cancelled),
+                ion_exec::TaskOutcome::Deadlined => return Err(StoreError::Deadlined),
             });
         }
 

@@ -72,6 +72,11 @@ pub enum StoreError {
     Pipeline(String),
     /// A memoized computation failed (stringified through singleflight).
     Compute(String),
+    /// The analysis was cancelled before completing (typed so callers can
+    /// classify the terminal state without parsing message text).
+    Cancelled,
+    /// The analysis exceeded its execution deadline.
+    Deadlined,
 }
 
 impl fmt::Display for StoreError {
@@ -89,6 +94,8 @@ impl fmt::Display for StoreError {
             ),
             StoreError::Pipeline(msg) => f.write_str(msg),
             StoreError::Compute(msg) => f.write_str(msg),
+            StoreError::Cancelled => f.write_str("analysis cancelled"),
+            StoreError::Deadlined => f.write_str("analysis deadlined"),
         }
     }
 }
