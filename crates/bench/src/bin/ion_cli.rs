@@ -19,6 +19,8 @@
 //! ion-cli serve [addr]                        multi-tenant analysis daemon
 //! ion-cli obs serve [addr]                    standalone live-telemetry endpoint
 //! ion-cli obs diff <base.json> <new.json>     snapshot-diff regression gate
+//! ion-cli obs export --chrome <trace.json>    render an ion-trace/1 document as
+//!         [-o <out.json>]                     Chrome trace_event JSON (Perfetto)
 //! ```
 //!
 //! `--store <dir>` (valid anywhere on the command line) backs `analyze`,
@@ -29,8 +31,11 @@
 //!
 //! `serve` runs the always-on analysis daemon (`ion-serve/v1`): POST a
 //! trace to `/v1/jobs`, poll `/v1/jobs/<id>`, fetch `/report`, ask
-//! `/qa`. The first Ctrl-C drains gracefully (503 new submissions,
-//! finish in-flight work); a second one hard-cancels in-flight jobs.
+//! `/qa`, and fetch the finished job's span tree from `/trace`. Jobs
+//! slower than `--slow-job-ms <n>` (default 10 000, `0` disables) log a
+//! `serve.job.slow` event with a stage breakdown. The first Ctrl-C
+//! drains gracefully (503 new submissions, finish in-flight work); a
+//! second one hard-cancels in-flight jobs.
 //!
 //! Execution policy (valid anywhere on the command line, honored by
 //! `analyze`, `batch` and `qa`):
@@ -44,7 +49,7 @@
 //!
 //! - `--events <path>` streams structured events (span open/close, counter
 //!   deltas, model-run lifecycle, store hit/miss, per-trace batch
-//!   outcomes) to `<path>` as `ion-obs/events/1` JSONL while the command
+//!   outcomes) to `<path>` as `ion-obs/events/2` JSONL while the command
 //!   runs.
 //! - `--serve <addr>` serves `/metrics` (Prometheus text format),
 //!   `/progress` and `/healthz` on `<addr>` for the duration of the
@@ -79,7 +84,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: ion-cli [--profile] [--metrics-json <path>] [--events <path>] \
          [--serve <addr>] [--serve-hold-ms <n>] [--store <dir>] [--jobs <n>] \
-         [--workers <n>] [--deadline-ms <n>] \
+         [--workers <n>] [--deadline-ms <n>] [--slow-job-ms <n>] \
          <generate|parse|dxt|extract|analyze|batch|drishti|compare|qa|iql|store|serve|obs|fuzz> \
          <args...>\n\
          a bare <log.darshan> after the flags is shorthand for `analyze`\n\
@@ -134,12 +139,14 @@ struct ObsFlags {
     jobs: usize,
     workers: Option<usize>,
     deadline_ms: u64,
+    slow_job_ms: Option<u64>,
 }
 
 impl ObsFlags {
     /// Extract `--profile` / `--metrics-json <path>` / `--events <path>` /
     /// `--serve <addr>` / `--serve-hold-ms <n>` / `--store <dir>` /
-    /// `--jobs <n>` / `--workers <n>` / `--deadline-ms <n>` from `args`.
+    /// `--jobs <n>` / `--workers <n>` / `--deadline-ms <n>` /
+    /// `--slow-job-ms <n>` from `args`.
     fn strip(args: &mut Vec<String>) -> Result<ObsFlags, String> {
         let mut flags = ObsFlags::default();
         let mut i = 0;
@@ -217,6 +224,17 @@ impl ObsFlags {
                     flags.deadline_ms = n
                         .parse()
                         .map_err(|_| format!("--deadline-ms needs a number, got {n}"))?;
+                }
+                "--slow-job-ms" => {
+                    if i + 1 >= args.len() {
+                        return Err("--slow-job-ms needs a <n>".into());
+                    }
+                    args.remove(i);
+                    let n = args.remove(i);
+                    flags.slow_job_ms = Some(
+                        n.parse()
+                            .map_err(|_| format!("--slow-job-ms needs a number, got {n}"))?,
+                    );
                 }
                 _ => i += 1,
             }
@@ -465,12 +483,18 @@ fn dispatch(args: &[String], flags: &ObsFlags) -> Result<(), Failure> {
             if flags.deadline_ms > 0 {
                 config.job_deadline = Some(std::time::Duration::from_millis(flags.deadline_ms));
             }
+            if let Some(ms) = flags.slow_job_ms {
+                // `--slow-job-ms 0` turns the slow-job log off entirely.
+                config.slow_job_threshold = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+            }
             let daemon = ion_serve::Daemon::bind(addr, store, config)
                 .map_err(|e| format!("cannot bind {addr}: {e}"))?;
             // The bound address goes to stderr so scripts (and the CI
             // smoke test) can scrape the ephemeral port from `serve :0`.
             eprintln!(
-                "ion-serve listening on http://{} (Ctrl-C drains; twice cancels in-flight)",
+                "ion-serve {} ({}) listening on http://{} (Ctrl-C drains; twice cancels in-flight)",
+                env!("CARGO_PKG_VERSION"),
+                ion_obs::serve::build_profile(),
                 daemon.local_addr()
             );
             let stop = ion_exec::CancelToken::new();
@@ -634,6 +658,43 @@ fn dispatch(args: &[String], flags: &ObsFlags) -> Result<(), Failure> {
                         std::thread::sleep(std::time::Duration::from_secs(3600));
                     }
                 }
+                Some("export") => {
+                    let rest = &args[2..];
+                    if !rest.iter().any(|a| a == "--chrome") {
+                        return Err("obs export needs --chrome <trace.json> [-o <out.json>]".into());
+                    }
+                    let out = match rest.iter().position(|a| a == "-o") {
+                        Some(at) => Some(rest.get(at + 1).ok_or("-o needs a path")?.clone()),
+                        None => None,
+                    };
+                    // The input is the first operand that is neither a flag
+                    // nor the -o value.
+                    let input = rest
+                        .iter()
+                        .enumerate()
+                        .find(|(i, a)| {
+                            a.as_str() != "--chrome"
+                                && a.as_str() != "-o"
+                                && rest.get(i.wrapping_sub(1)).map(String::as_str) != Some("-o")
+                        })
+                        .map(|(_, a)| a)
+                        .ok_or("obs export needs --chrome <trace.json>")?;
+                    let text = fs::read_to_string(input)
+                        .map_err(|e| format!("cannot read {input}: {e}"))?;
+                    let doc = ion_obs::json::parse(&text).map_err(|e| format!("{input}: {e}"))?;
+                    let spans = ion_obs::trace::parse_spans(&doc).ok_or_else(|| {
+                        format!("{input}: no \"spans\" array (expected an ion-trace/1 document)")
+                    })?;
+                    let chrome = ion_obs::trace::chrome_trace(&spans);
+                    match out {
+                        Some(path) => {
+                            fs::write(&path, &chrome)
+                                .map_err(|e| format!("cannot write {path}: {e}"))?;
+                            println!("wrote {path} ({} spans)", spans.len());
+                        }
+                        None => emit(&chrome),
+                    }
+                }
                 Some("diff") => {
                     let (base, new) = match (args.get(2), args.get(3)) {
                         (Some(b), Some(n)) => (b, n),
@@ -665,7 +726,7 @@ fn dispatch(args: &[String], flags: &ObsFlags) -> Result<(), Failure> {
                 }
                 _ => return Err(
                     "obs needs a subcommand: obs serve [addr] | obs diff <base.json> <new.json> \
-                     [--tolerance <frac>]"
+                     [--tolerance <frac>] | obs export --chrome <trace.json> [-o <out.json>]"
                         .into(),
                 ),
             }

@@ -129,6 +129,7 @@ fn golden_profile_tree_render() {
         thread: 0,
         start_ns: start,
         end_ns: end,
+        trace: 0,
         attrs: Vec::new(),
     };
     let mut extract = span(3, Some(1), "extract", 250_000, 600_000);

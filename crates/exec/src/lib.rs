@@ -179,11 +179,14 @@ impl<T> TaskOutcome<T> {
 }
 
 /// Per-task context handed to the task body: the batch interrupt (for
-/// cooperative checks at safe points) and the task's input index.
+/// cooperative checks at safe points), the task's input index, and the
+/// request trace the task runs under (already installed on the worker
+/// thread — exposed for explicit hand-offs to further threads).
 #[derive(Debug)]
 pub struct TaskCtx {
     interrupt: Interrupt,
     index: usize,
+    trace: Option<ion_obs::TraceContext>,
 }
 
 impl TaskCtx {
@@ -203,6 +206,12 @@ impl TaskCtx {
     pub fn index(&self) -> usize {
         self.index
     }
+
+    /// The trace this task is attributed to, if any.
+    #[must_use]
+    pub fn trace(&self) -> Option<ion_obs::TraceContext> {
+        self.trace
+    }
 }
 
 /// Configuration for one batch of tasks: width, deadline, cancellation.
@@ -214,6 +223,7 @@ pub struct Batch {
     width: usize,
     deadline: Option<Duration>,
     cancel: Option<CancelToken>,
+    trace: Option<ion_obs::TraceContext>,
 }
 
 impl Batch {
@@ -242,6 +252,16 @@ impl Batch {
     #[must_use]
     pub fn with_cancel(mut self, token: CancelToken) -> Batch {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Attribute every task to `trace` explicitly. Without this, the
+    /// calling thread's installed trace (if any) is captured at
+    /// `map_ordered` time and propagated onto the workers, so spans and
+    /// events from worker threads land in the submitting request's tree.
+    #[must_use]
+    pub fn with_trace(mut self, trace: ion_obs::TraceContext) -> Batch {
+        self.trace = Some(trace);
         self
     }
 
@@ -284,6 +304,9 @@ impl Batch {
         interrupt.deadline = self.deadline.map(|d| started + d);
         let width = self.effective_width(items.len());
         let instrument = ion_obs::enabled();
+        // Capture the request trace once on the submitting thread; each
+        // worker installs it so spans/events attribute to the request.
+        let trace = self.trace.or_else(ion_obs::current_trace);
         if instrument {
             ion_obs::gauge("exec.width", width as f64);
             ion_obs::gauge("exec.queue_depth", items.len() as f64);
@@ -293,7 +316,9 @@ impl Batch {
         slots.resize_with(items.len(), || None);
         if width <= 1 {
             for (i, slot) in slots.iter_mut().enumerate() {
-                *slot = Some(run_task(&items[i], i, &interrupt, &f, started, instrument));
+                *slot = Some(run_task(
+                    &items[i], i, &interrupt, &f, started, instrument, trace,
+                ));
             }
         } else {
             let cursor = AtomicUsize::new(0);
@@ -314,7 +339,7 @@ impl Batch {
                             }
                             local.push((
                                 i,
-                                run_task(&items[i], i, interrupt, f, started, instrument),
+                                run_task(&items[i], i, interrupt, f, started, instrument, trace),
                             ));
                         }
                         local
@@ -354,10 +379,14 @@ fn run_task<I, T, F>(
     f: &F,
     batch_start: Instant,
     instrument: bool,
+    trace: Option<ion_obs::TraceContext>,
 ) -> TaskOutcome<T>
 where
     F: Fn(&I, &TaskCtx) -> T,
 {
+    // Install the request trace for the task's whole lifetime (restored
+    // on return), so even the exec.* bookkeeping attributes correctly.
+    let _trace_scope = trace.map(ion_obs::install_trace);
     match interrupt.check() {
         Err(Interrupted::Cancelled) => {
             ion_obs::counter("exec.cancelled", 1);
@@ -377,6 +406,7 @@ where
     let ctx = TaskCtx {
         interrupt: interrupt.clone(),
         index,
+        trace,
     };
     let run_start = Instant::now();
     let outcome = catch_unwind(AssertUnwindSafe(|| f(item, &ctx)));

@@ -280,6 +280,16 @@ impl<'a> Runtime<'a> {
             model = self.model.model_id(),
             messages = thread.messages.len(),
         );
+        // Token accounting (chars/4 heuristic, the usual ballpark for
+        // English-plus-code): the model re-reads the whole thread each
+        // step, so input tokens accumulate per step; output tokens are
+        // what the model itself produced (tool-call programs + the final
+        // message). Skipped entirely while the sink is off.
+        let instrument = ion_obs::enabled();
+        let mut tokens_in = 0u64;
+        let mut tokens_out = 0u64;
+        let mut thread_total = 0u64;
+        let mut counted = 0usize;
         let mut tool_outputs = Vec::new();
         for step in 0..self.max_steps {
             if let Err(why) = self.interrupt.check() {
@@ -293,14 +303,33 @@ impl<'a> Runtime<'a> {
                 );
                 return Err(RuntimeError::Interrupted(why));
             }
+            if instrument {
+                // The thread is append-only: count only messages added
+                // since the previous step, then charge the whole running
+                // total once per step (the model re-reads everything).
+                for msg in &thread.messages[counted..] {
+                    thread_total += approx_tokens(&msg.content);
+                }
+                counted = thread.messages.len();
+                tokens_in += thread_total;
+            }
             match self.model.step(&thread) {
                 ModelAction::Final(text) => {
                     run_span.attr("steps", step + 1);
+                    if instrument {
+                        tokens_out += approx_tokens(&text);
+                        run_span.attr("tokens_in", tokens_in);
+                        run_span.attr("tokens_out", tokens_out);
+                        ion_obs::counter("llm.tokens.in", tokens_in);
+                        ion_obs::counter("llm.tokens.out", tokens_out);
+                    }
                     ion_obs::event!(
                         "llm.run.completed",
                         model = self.model.model_id(),
                         steps = step + 1,
                         tool_calls = tool_outputs.len(),
+                        tokens_in = tokens_in,
+                        tokens_out = tokens_out,
                     );
                     return Ok(Completion {
                         text,
@@ -313,6 +342,9 @@ impl<'a> Runtime<'a> {
                     if call.tool != "code_interpreter" {
                         ion_obs::event!("llm.run.failed", reason = "unknown tool");
                         return Err(RuntimeError::UnknownTool { tool: call.tool });
+                    }
+                    if instrument {
+                        tokens_out += approx_tokens(&call.input);
                     }
                     ion_obs::counter("llm.tool_calls", 1);
                     let _tool_span = ion_obs::span!("llm.tool_call");
@@ -340,6 +372,11 @@ impl<'a> Runtime<'a> {
             max_steps: self.max_steps,
         })
     }
+}
+
+/// Rough token count for a piece of thread text (chars/4, rounded up).
+fn approx_tokens(text: &str) -> u64 {
+    (text.len() as u64).div_ceil(4)
 }
 
 /// Execute one IQL program against the tables, rendering emitted scalars

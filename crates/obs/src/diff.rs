@@ -386,7 +386,7 @@ mod tests {
     fn non_snapshot_documents_are_rejected() {
         assert!(diff_documents("{}", "{}", &Tolerance::default()).is_err());
         assert!(diff_documents("not json", "{}", &Tolerance::default()).is_err());
-        let events_line = "{\"schema\": \"ion-obs/events/1\"}";
+        let events_line = "{\"schema\": \"ion-obs/events/2\"}";
         assert!(diff_documents(events_line, events_line, &Tolerance::default()).is_err());
     }
 }

@@ -20,10 +20,14 @@
 //! - **Ordered** — sequence numbers are assigned under the same lock that
 //!   enqueues, so JSONL lines come out in `seq` order.
 //!
-//! The on-disk format is one JSON object per line (`ion-obs/events/1`,
+//! The on-disk format is one JSON object per line (`ion-obs/events/2`,
 //! documented in DESIGN.md): a header line
-//! `{"schema":"ion-obs/events/1","capacity":N}` followed by event lines
-//! `{"seq":..,"ts_ns":..,"kind":"..","fields":{..}}`.
+//! `{"schema":"ion-obs/events/2","capacity":N}` followed by event lines
+//! `{"seq":..,"ts_ns":..,"kind":"..","fields":{..}}`. Version 2 adds
+//! optional `trace`/`span` fields stamped onto every event emitted from a
+//! thread with an installed [`TraceContext`](crate::TraceContext) —
+//! readers of version 1 documents parse version 2 unchanged (the fields
+//! are additive).
 
 use crate::json::{self, Json};
 use parking_lot::{Mutex, RwLock};
@@ -36,7 +40,7 @@ use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Schema identifier written on the JSONL header line.
-pub const SCHEMA: &str = "ion-obs/events/1";
+pub const SCHEMA: &str = "ion-obs/events/2";
 
 /// Default global ring capacity (events, not bytes) used by the CLI.
 pub const DEFAULT_CAPACITY: usize = 65_536;
@@ -168,7 +172,8 @@ impl Event {
     }
 
     /// Parse back from a parsed JSONL line. Returns `None` when the
-    /// document is not an `ion-obs/events/1` event object.
+    /// document is not an `ion-obs/events/2` event object (the reader
+    /// also accepts `events/1` lines, which simply lack `trace`/`span`).
     #[must_use]
     pub fn from_json(doc: &Json) -> Option<Event> {
         let seq = doc.get("seq")?.as_u64()?;
@@ -417,6 +422,16 @@ pub fn emit(kind: impl Into<Cow<'static, str>>, fields: Vec<(Cow<'static, str>, 
     }
     let ring = global_ring().read().clone();
     if let Some(ring) = ring {
+        let mut fields = fields;
+        // Request attribution (ion-obs/events/2): events emitted from a
+        // thread working for a trace carry the trace id and the innermost
+        // open span, so a consumer can follow one job through the stream.
+        if let Some((trace, span)) = crate::thread_trace_ids() {
+            fields.push((Cow::Borrowed("trace"), Value::U64(trace)));
+            if let Some(span) = span {
+                fields.push((Cow::Borrowed("span"), Value::U64(span)));
+            }
+        }
         let _ = ring.push(kind, fields);
     }
 }

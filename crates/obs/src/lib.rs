@@ -41,9 +41,10 @@ pub mod metrics;
 pub mod render;
 pub mod serve;
 pub mod span;
+pub mod trace;
 
 pub use metrics::{HistogramSnapshot, Registry};
-pub use span::{SpanData, SpanGuard, SpanId, SpanStore};
+pub use span::{SpanData, SpanGuard, SpanId, SpanStore, TraceContext};
 
 /// Whether the global sink records anything.
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -119,6 +120,48 @@ pub fn current_span() -> Option<SpanId> {
     global().0.current()
 }
 
+/// Mint a fresh request-scoped trace id from the global span store.
+/// Usable even while the sink is disabled (ids are cheap and the caller
+/// may enable tracing later).
+#[must_use]
+pub fn mint_trace() -> TraceContext {
+    global().0.mint_trace()
+}
+
+/// Install `ctx` as the calling thread's trace for the guard's lifetime;
+/// every span and event the thread emits until the guard drops carries
+/// `ctx.trace`. No-op when the sink is disabled.
+#[must_use]
+pub fn install_trace(ctx: TraceContext) -> span::TraceScope<'static> {
+    if !enabled() {
+        return span::TraceScope::noop();
+    }
+    global().0.install_trace(ctx)
+}
+
+/// The calling thread's trace with `parent` advanced to the innermost
+/// open span — capture this before handing work to another thread.
+#[must_use]
+pub fn current_trace() -> Option<TraceContext> {
+    if !enabled() {
+        return None;
+    }
+    global().0.current_trace()
+}
+
+/// Remove and return every finished global span belonging to `trace`
+/// (clamped into a consistent tree). See [`SpanStore::take_trace`].
+#[must_use]
+pub fn take_trace(trace: u64) -> Vec<SpanData> {
+    global().0.take_trace(trace)
+}
+
+/// `(trace id, innermost span id)` for the calling thread, used by the
+/// event stream to stamp attribution fields onto every emitted event.
+pub(crate) fn thread_trace_ids() -> Option<(u64, Option<u64>)> {
+    GLOBAL.get().and_then(|(s, _)| s.thread_trace_ids())
+}
+
 /// Add `delta` to the named global counter. No-op when disabled. With the
 /// event stream on, the delta also flows out as a `counter.add` event.
 pub fn counter(name: &str, delta: u64) {
@@ -158,6 +201,25 @@ pub fn gauge(name: &str, value: f64) {
 pub fn observe(name: &str, value: u64) {
     if enabled() {
         global().1.histogram(name).observe(value);
+    }
+}
+
+/// Add `delta` to a labeled counter family, e.g.
+/// `counter_with("serve.jobs.submitted", &[("tenant", "acme")], 1)`.
+/// Cardinality is bounded per family: past the cap the delta degrades to
+/// the unlabeled family and `obs.labels.dropped` counts the overflow.
+/// No-op when disabled.
+pub fn counter_with(name: &str, labels: &[(&str, &str)], delta: u64) {
+    if enabled() {
+        global().1.counter_with(name, labels).add(delta);
+    }
+}
+
+/// Record `value` into a labeled histogram family (same cardinality
+/// policy as [`counter_with`]). No-op when disabled.
+pub fn observe_with(name: &str, labels: &[(&str, &str)], value: u64) {
+    if enabled() {
+        global().1.histogram_with(name, labels).observe(value);
     }
 }
 

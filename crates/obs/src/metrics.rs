@@ -169,11 +169,58 @@ impl HistogramSnapshot {
     }
 }
 
+/// Most label sets one metric family may hold. Past the cap, updates
+/// degrade to the unlabeled family and `obs.labels.dropped` counts the
+/// overflow — a hostile or buggy caller (e.g. unbounded tenant ids) can
+/// never grow the registry without bound.
+pub const MAX_LABEL_SETS: usize = 64;
+
+/// Overflow counter bumped when a label set is refused.
+pub const LABELS_DROPPED: &str = "obs.labels.dropped";
+
+/// Canonical text form of a label set: keys sorted, values escaped,
+/// rendered `k="v"` and joined with `,` — exactly the token that sits
+/// between `{` and `}` in Prometheus text exposition.
+#[must_use]
+pub fn labelset(labels: &[(&str, &str)]) -> String {
+    let mut pairs: Vec<(&str, &str)> = labels.to_vec();
+    pairs.sort_unstable();
+    let mut out = String::new();
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                other => out.push(other),
+            }
+        }
+        out.push('"');
+    }
+    out
+}
+
+/// Sorted copy of the labeled counter families:
+/// `family name → canonical labelset → value`.
+pub type LabeledCounters = BTreeMap<String, BTreeMap<String, u64>>;
+
+/// Sorted copy of the labeled histogram families:
+/// `family name → canonical labelset → snapshot`.
+pub type LabeledHistograms = BTreeMap<String, BTreeMap<String, HistogramSnapshot>>;
+
 /// Named metrics, safe to update from any number of threads.
 pub struct Registry {
     counters: RwLock<HashMap<String, Counter>>,
     gauges: RwLock<HashMap<String, Gauge>>,
     histograms: RwLock<HashMap<String, Histogram>>,
+    /// family name → labelset → handle; bounded per family.
+    labeled_counters: RwLock<HashMap<String, HashMap<String, Counter>>>,
+    labeled_histograms: RwLock<HashMap<String, HashMap<String, Histogram>>>,
 }
 
 impl Default for Registry {
@@ -190,6 +237,8 @@ impl Registry {
             counters: RwLock::new(HashMap::new()),
             gauges: RwLock::new(HashMap::new()),
             histograms: RwLock::new(HashMap::new()),
+            labeled_counters: RwLock::new(HashMap::new()),
+            labeled_histograms: RwLock::new(HashMap::new()),
         }
     }
 
@@ -229,6 +278,60 @@ impl Registry {
             .clone()
     }
 
+    /// Handle for one labeled counter in the family `name`, e.g.
+    /// `counter_with("serve.jobs.submitted", &[("tenant", "acme")])`.
+    /// Each family holds at most [`MAX_LABEL_SETS`] label sets; past the
+    /// cap new sets degrade to the unlabeled [`Registry::counter`] and
+    /// [`LABELS_DROPPED`] counts the refusal, so hostile label values
+    /// bound memory instead of growing it.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let set = labelset(labels);
+        if let Some(c) = self
+            .labeled_counters
+            .read()
+            .get(name)
+            .and_then(|family| family.get(&set))
+        {
+            return c.clone();
+        }
+        let mut families = self.labeled_counters.write();
+        let family = families.entry(name.to_owned()).or_default();
+        if family.len() >= MAX_LABEL_SETS && !family.contains_key(&set) {
+            drop(families);
+            self.counter(LABELS_DROPPED).add(1);
+            return self.counter(name);
+        }
+        family
+            .entry(set)
+            .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    /// Handle for one labeled histogram in the family `name`; same
+    /// cardinality policy as [`Registry::counter_with`].
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let set = labelset(labels);
+        if let Some(h) = self
+            .labeled_histograms
+            .read()
+            .get(name)
+            .and_then(|family| family.get(&set))
+        {
+            return h.clone();
+        }
+        let mut families = self.labeled_histograms.write();
+        let family = families.entry(name.to_owned()).or_default();
+        if family.len() >= MAX_LABEL_SETS && !family.contains_key(&set) {
+            drop(families);
+            self.counter(LABELS_DROPPED).add(1);
+            return self.histogram(name);
+        }
+        family
+            .entry(set)
+            .or_insert_with(|| Histogram(Arc::new(HistogramCore::new())))
+            .clone()
+    }
+
     /// Sorted copies of every metric.
     #[must_use]
     pub fn snapshot(
@@ -259,12 +362,46 @@ impl Registry {
         (counters, gauges, histograms)
     }
 
+    /// Sorted copies of every labeled family:
+    /// `family name → labelset → value`.
+    #[must_use]
+    pub fn snapshot_labeled(&self) -> (LabeledCounters, LabeledHistograms) {
+        let counters = self
+            .labeled_counters
+            .read()
+            .iter()
+            .map(|(name, family)| {
+                (
+                    name.clone(),
+                    family.iter().map(|(s, c)| (s.clone(), c.get())).collect(),
+                )
+            })
+            .collect();
+        let histograms = self
+            .labeled_histograms
+            .read()
+            .iter()
+            .map(|(name, family)| {
+                (
+                    name.clone(),
+                    family
+                        .iter()
+                        .map(|(s, h)| (s.clone(), h.snapshot()))
+                        .collect(),
+                )
+            })
+            .collect();
+        (counters, histograms)
+    }
+
     /// Remove every metric (handles held elsewhere keep counting into
     /// detached atomics).
     pub fn clear(&self) {
         self.counters.write().clear();
         self.gauges.write().clear();
         self.histograms.write().clear();
+        self.labeled_counters.write().clear();
+        self.labeled_histograms.write().clear();
     }
 }
 
@@ -305,6 +442,58 @@ mod tests {
         assert_eq!(snap.sum, 1106);
         assert!(snap.approx_quantile(0.5) <= 4);
         assert!(snap.approx_quantile(1.0) >= 1000);
+    }
+
+    #[test]
+    fn labeled_families_are_disjoint_and_canonical() {
+        let reg = Registry::new();
+        reg.counter_with("jobs", &[("tenant", "a")]).add(2);
+        reg.counter_with("jobs", &[("tenant", "b")]).add(5);
+        // Key order does not matter: same canonical labelset, same handle.
+        reg.counter_with("jobs", &[("zone", "z"), ("tenant", "a")])
+            .add(1);
+        reg.counter_with("jobs", &[("tenant", "a"), ("zone", "z")])
+            .add(1);
+        let (counters, _) = reg.snapshot_labeled();
+        let jobs = &counters["jobs"];
+        assert_eq!(jobs["tenant=\"a\""], 2);
+        assert_eq!(jobs["tenant=\"b\""], 5);
+        assert_eq!(jobs["tenant=\"a\",zone=\"z\""], 2);
+        // Label values are escaped for exposition.
+        reg.counter_with("jobs", &[("tenant", "he said \"hi\"\n")])
+            .add(1);
+        let (counters, _) = reg.snapshot_labeled();
+        assert!(counters["jobs"].contains_key("tenant=\"he said \\\"hi\\\"\\n\""));
+    }
+
+    #[test]
+    fn label_cardinality_overflow_degrades_to_unlabeled() {
+        let reg = Registry::new();
+        for i in 0..MAX_LABEL_SETS {
+            reg.counter_with("flood", &[("tenant", &format!("t{i}"))])
+                .add(1);
+        }
+        // The cap is reached: new sets fall back to the unlabeled family.
+        reg.counter_with("flood", &[("tenant", "overflow-1")])
+            .add(7);
+        reg.counter_with("flood", &[("tenant", "overflow-2")])
+            .add(3);
+        let (counters, _, _) = reg.snapshot();
+        assert_eq!(counters["flood"], 10, "overflow lands unlabeled");
+        assert_eq!(counters[LABELS_DROPPED], 2);
+        let (labeled, _) = reg.snapshot_labeled();
+        assert_eq!(labeled["flood"].len(), MAX_LABEL_SETS);
+        // Existing sets keep working at the cap.
+        reg.counter_with("flood", &[("tenant", "t0")]).add(1);
+        let (labeled, _) = reg.snapshot_labeled();
+        assert_eq!(labeled["flood"]["tenant=\"t0\""], 2);
+        // Histograms share the policy.
+        for i in 0..=MAX_LABEL_SETS {
+            reg.histogram_with("lat", &[("tenant", &format!("t{i}"))])
+                .observe(8);
+        }
+        let (_, _, hists) = reg.snapshot();
+        assert_eq!(hists["lat"].count, 1, "histogram overflow degraded");
     }
 
     #[test]

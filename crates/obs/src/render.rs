@@ -1,6 +1,6 @@
 //! Renderers: human-readable profile tree and `BENCH_*.json`-style JSON.
 
-use crate::metrics::{HistogramSnapshot, Registry};
+use crate::metrics::{HistogramSnapshot, LabeledCounters, LabeledHistograms, Registry};
 use crate::span::{SpanData, SpanId, SpanStore};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -18,6 +18,10 @@ pub struct Snapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Histogram snapshots by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Labeled counter families: name → labelset → value.
+    pub labeled_counters: LabeledCounters,
+    /// Labeled histogram families: name → labelset → snapshot.
+    pub labeled_histograms: LabeledHistograms,
 }
 
 impl Snapshot {
@@ -25,11 +29,14 @@ impl Snapshot {
     #[must_use]
     pub fn capture(spans: &SpanStore, registry: &Registry) -> Snapshot {
         let (counters, gauges, histograms) = registry.snapshot();
+        let (labeled_counters, labeled_histograms) = registry.snapshot_labeled();
         Snapshot {
             spans: spans.finished(),
             counters,
             gauges,
             histograms,
+            labeled_counters,
+            labeled_histograms,
         }
     }
 
@@ -196,6 +203,46 @@ impl Snapshot {
         });
         out.push_str("},\n");
 
+        // Labeled families are additive (absent when empty) so documents
+        // produced before labels existed stay byte-identical.
+        if !self.labeled_counters.is_empty() {
+            out.push_str("  \"labeled_counters\": {");
+            push_entries(
+                &mut out,
+                self.labeled_counters.iter(),
+                |out, (name, sets)| {
+                    let entries: Vec<String> = sets
+                        .iter()
+                        .map(|(set, value)| format!("{}: {value}", json_string(set)))
+                        .collect();
+                    let _ = write!(out, "    {}: {{{}}}", json_string(name), entries.join(", "));
+                },
+            );
+            out.push_str("},\n");
+        }
+        if !self.labeled_histograms.is_empty() {
+            out.push_str("  \"labeled_histograms\": {");
+            push_entries(
+                &mut out,
+                self.labeled_histograms.iter(),
+                |out, (name, sets)| {
+                    let entries: Vec<String> = sets
+                        .iter()
+                        .map(|(set, h)| {
+                            format!(
+                                "{}: {{\"count\": {}, \"sum\": {}}}",
+                                json_string(set),
+                                h.count,
+                                h.sum
+                            )
+                        })
+                        .collect();
+                    let _ = write!(out, "    {}: {{{}}}", json_string(name), entries.join(", "));
+                },
+            );
+            out.push_str("},\n");
+        }
+
         out.push_str("  \"spans\": [");
         push_entries(&mut out, self.spans.iter(), |out, span| {
             let parent = span
@@ -209,12 +256,13 @@ impl Snapshot {
             let _ = write!(
                 out,
                 "    {{\"id\": {}, \"parent\": {parent}, \"name\": {}, \"thread\": {}, \
-                 \"start_ns\": {}, \"end_ns\": {}, \"attrs\": {{{}}}}}",
+                 \"start_ns\": {}, \"end_ns\": {}, \"trace\": {}, \"attrs\": {{{}}}}}",
                 span.id.0,
                 json_string(&span.name),
                 span.thread,
                 span.start_ns,
                 span.end_ns,
+                span.trace,
                 attrs.join(", ")
             );
         });
@@ -299,6 +347,7 @@ mod tests {
                 thread: 0,
                 start_ns: start,
                 end_ns: end,
+                trace: 0,
                 attrs: Vec::new(),
             };
         Snapshot {

@@ -81,8 +81,9 @@ impl Request {
             .map(|(_, v)| v.as_str())
     }
 
-    /// Value of a `key=value` query parameter (no percent-decoding; the
-    /// callers only pass identifiers and integers).
+    /// Value of a `key=value` query parameter, raw (no percent-decoding;
+    /// for identifiers and integers). See [`Request::query_param_decoded`]
+    /// for values that may carry encoded characters.
     #[must_use]
     pub fn query_param(&self, key: &str) -> Option<&str> {
         self.query.split('&').find_map(|pair| {
@@ -90,6 +91,45 @@ impl Request {
             (k == key).then_some(v)
         })
     }
+
+    /// Percent-decoded value of a `key=value` query parameter, with `+`
+    /// mapped to space — the form tenant names and filter values arrive
+    /// in when a client URL-encodes them.
+    #[must_use]
+    pub fn query_param_decoded(&self, key: &str) -> Option<String> {
+        self.query_param(key)
+            .map(|v| percent_decode(&v.replace('+', " ")))
+    }
+}
+
+/// Decode `%XX` escapes (invalid or truncated escapes pass through
+/// verbatim rather than erroring — a filter that matches nothing beats a
+/// 400 on a log-tailing loop).
+#[must_use]
+pub fn percent_decode(s: &str) -> String {
+    fn hex(b: u8) -> Option<u8> {
+        match b {
+            b'0'..=b'9' => Some(b - b'0'),
+            b'a'..=b'f' => Some(b - b'a' + 10),
+            b'A'..=b'F' => Some(b - b'A' + 10),
+            _ => None,
+        }
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 2 < bytes.len() {
+            if let (Some(hi), Some(lo)) = (hex(bytes[i + 1]), hex(bytes[i + 2])) {
+                out.push(hi << 4 | lo);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
 }
 
 /// An HTTP response under construction.
@@ -236,6 +276,7 @@ impl Router {
             Response::json(200, render_progress(&provider()))
         })
         .route("GET", "/healthz", |_| Response::text(200, "ok\n"))
+        .route("GET", "/version", |_| Response::json(200, version_json()))
     }
 
     /// Dispatch one request. Handler panics become 500s so one bad
@@ -506,9 +547,13 @@ fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
         .ok_or_else(|| bad("empty request line"))?
         .to_ascii_uppercase();
     let target = parts.next().ok_or_else(|| bad("missing request target"))?;
+    // The path is percent-decoded here so routes and handlers see the
+    // logical path (`/v1/jobs/j%31` ≡ `/v1/jobs/j1`); the query string
+    // stays raw — `Request::query_param_decoded` decodes per value, so
+    // an encoded `&` in a value cannot split the pair list.
     let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p.to_owned(), q.to_owned()),
-        None => (target.to_owned(), String::new()),
+        Some((p, q)) => (percent_decode(p), q.to_owned()),
+        None => (percent_decode(target), String::new()),
     };
     let mut headers = Vec::new();
     for line in lines {
@@ -567,6 +612,27 @@ fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()>
     stream.flush()
 }
 
+/// Build profile the serving binary was compiled with.
+#[must_use]
+pub fn build_profile() -> &'static str {
+    if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    }
+}
+
+/// The `/version` document: crate version and build profile
+/// (`ion-obs/version/1`).
+#[must_use]
+pub fn version_json() -> String {
+    format!(
+        "{{\"schema\":\"ion-obs/version/1\",\"version\":{},\"profile\":\"{}\"}}",
+        crate::json::escape(env!("CARGO_PKG_VERSION")),
+        build_profile(),
+    )
+}
+
 /// A registry name as a Prometheus metric name: `ion_` prefix,
 /// non-`[a-zA-Z0-9_:]` characters mapped to `_`.
 #[must_use]
@@ -601,9 +667,21 @@ fn fmt_f64(v: f64) -> String {
 #[must_use]
 pub fn render_prometheus(snap: &Snapshot) -> String {
     let mut out = String::new();
-    for (name, value) in &snap.counters {
+    // Counters: one TYPE line per family covering the unlabeled series
+    // and any labeled series (labelsets are pre-rendered `k="v"` tokens).
+    let mut counter_names: std::collections::BTreeSet<&String> = snap.counters.keys().collect();
+    counter_names.extend(snap.labeled_counters.keys());
+    for name in counter_names {
         let pname = prometheus_name(name);
-        out.push_str(&format!("# TYPE {pname} counter\n{pname} {value}\n"));
+        out.push_str(&format!("# TYPE {pname} counter\n"));
+        if let Some(value) = snap.counters.get(name) {
+            out.push_str(&format!("{pname} {value}\n"));
+        }
+        if let Some(sets) = snap.labeled_counters.get(name) {
+            for (set, value) in sets {
+                out.push_str(&format!("{pname}{{{set}}} {value}\n"));
+            }
+        }
     }
     for (name, value) in &snap.gauges {
         let pname = prometheus_name(name);
@@ -612,31 +690,69 @@ pub fn render_prometheus(snap: &Snapshot) -> String {
             fmt_f64(*value)
         ));
     }
-    for (name, h) in &snap.histograms {
+    let mut hist_names: std::collections::BTreeSet<&String> = snap.histograms.keys().collect();
+    hist_names.extend(snap.labeled_histograms.keys());
+    for name in hist_names {
         let pname = prometheus_name(name);
         out.push_str(&format!("# TYPE {pname} histogram\n"));
-        let mut cumulative = 0u64;
-        for (i, &n) in h.buckets.iter().enumerate() {
-            if n == 0 {
-                continue; // Only materialized buckets; +Inf closes the set.
-            }
-            cumulative += n;
-            out.push_str(&format!(
-                "{pname}_bucket{{le=\"{}\"}} {cumulative}\n",
-                HistogramSnapshot::bucket_limit(i)
-            ));
+        if let Some(h) = snap.histograms.get(name) {
+            render_histogram_series(&mut out, &pname, "", h);
         }
-        out.push_str(&format!("{pname}_bucket{{le=\"+Inf\"}} {}\n", h.count));
-        out.push_str(&format!("{pname}_sum {}\n", h.sum));
-        out.push_str(&format!("{pname}_count {}\n", h.count));
+        let labeled = snap.labeled_histograms.get(name);
+        if let Some(sets) = labeled {
+            for (set, h) in sets {
+                render_histogram_series(&mut out, &pname, set, h);
+            }
+        }
         for (suffix, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
-            out.push_str(&format!(
-                "# TYPE {pname}_{suffix} gauge\n{pname}_{suffix} {}\n",
-                h.approx_quantile(q)
-            ));
+            out.push_str(&format!("# TYPE {pname}_{suffix} gauge\n"));
+            if let Some(h) = snap.histograms.get(name) {
+                out.push_str(&format!("{pname}_{suffix} {}\n", h.approx_quantile(q)));
+            }
+            if let Some(sets) = labeled {
+                for (set, h) in sets {
+                    out.push_str(&format!(
+                        "{pname}_{suffix}{{{set}}} {}\n",
+                        h.approx_quantile(q)
+                    ));
+                }
+            }
         }
     }
     out
+}
+
+/// One histogram series (bucket/sum/count lines), with `labels` (a
+/// pre-rendered `k="v",…` token or empty) merged into each line's label
+/// set alongside `le`.
+fn render_histogram_series(out: &mut String, pname: &str, labels: &str, h: &HistogramSnapshot) {
+    let le_prefix = if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{labels},")
+    };
+    let plain = if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    };
+    let mut cumulative = 0u64;
+    for (i, &n) in h.buckets.iter().enumerate() {
+        if n == 0 {
+            continue; // Only materialized buckets; +Inf closes the set.
+        }
+        cumulative += n;
+        out.push_str(&format!(
+            "{pname}_bucket{{{le_prefix}le=\"{}\"}} {cumulative}\n",
+            HistogramSnapshot::bucket_limit(i)
+        ));
+    }
+    out.push_str(&format!(
+        "{pname}_bucket{{{le_prefix}le=\"+Inf\"}} {}\n",
+        h.count
+    ));
+    out.push_str(&format!("{pname}_sum{plain} {}\n", h.sum));
+    out.push_str(&format!("{pname}_count{plain} {}\n", h.count));
 }
 
 /// Render batch progress (`ion-obs/progress/1`) from the `batch.*` gauges

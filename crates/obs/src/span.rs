@@ -2,7 +2,7 @@
 
 use parking_lot::Mutex;
 use std::borrow::Cow;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::thread::ThreadId;
@@ -12,6 +12,31 @@ use std::time::Instant;
 /// child's id is always greater than its parent's.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SpanId(pub u64);
+
+/// Request-scoped attribution: a trace id minted per logical request plus
+/// the span the request's work should hang under. Installed per thread
+/// with [`SpanStore::install_trace`] and captured for cross-thread
+/// hand-off with [`SpanStore::current_trace`] — every span and event the
+/// thread then emits carries the trace id, so concurrent requests stay
+/// disjoint even when they share a worker pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// Trace id (never 0 for minted traces; 0 means "no trace").
+    pub trace: u64,
+    /// Span new root-level work should parent under, if any.
+    pub parent: Option<SpanId>,
+}
+
+impl TraceContext {
+    /// A context with no parent span — the shape minted at request ingress.
+    #[must_use]
+    pub fn root(trace: u64) -> Self {
+        TraceContext {
+            trace,
+            parent: None,
+        }
+    }
+}
 
 /// One finished span.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +53,8 @@ pub struct SpanData {
     pub start_ns: u64,
     /// Close time, nanoseconds since the store's epoch.
     pub end_ns: u64,
+    /// Owning trace id (0 = emitted outside any installed trace).
+    pub trace: u64,
     /// `key=value` attributes in insertion order.
     pub attrs: Vec<(Cow<'static, str>, String)>,
 }
@@ -55,14 +82,26 @@ struct ThreadState {
     index: u64,
     /// Open spans on this thread, outermost first.
     stack: Vec<SpanId>,
+    /// Trace the thread is currently working for, if any.
+    trace: Option<TraceContext>,
 }
+
+/// Default bound on the finished-span ring. Generous enough for the
+/// deepest single-run profile we produce, small enough that an always-on
+/// daemon that forgets to drain cannot leak without bound.
+pub const DEFAULT_FINISHED_CAPACITY: usize = 65_536;
 
 /// Collects spans; usually used through the crate-level globals but fully
 /// functional standalone (that is what the property tests drive).
 pub struct SpanStore {
     next_id: AtomicU64,
+    next_trace: AtomicU64,
     epoch: OnceLock<Instant>,
-    finished: Mutex<Vec<SpanData>>,
+    /// Finished spans, oldest first — a bounded ring: when full the oldest
+    /// span is evicted and [`SpanStore::dropped`] counts the loss.
+    finished: Mutex<VecDeque<SpanData>>,
+    capacity: usize,
+    dropped: AtomicU64,
     threads: Mutex<HashMap<ThreadId, ThreadState>>,
 }
 
@@ -73,13 +112,22 @@ impl Default for SpanStore {
 }
 
 impl SpanStore {
-    /// Empty store.
+    /// Empty store with the default finished-span bound.
     #[must_use]
     pub fn new() -> Self {
+        Self::with_finished_capacity(DEFAULT_FINISHED_CAPACITY)
+    }
+
+    /// Empty store keeping at most `capacity` finished spans (min 1).
+    #[must_use]
+    pub fn with_finished_capacity(capacity: usize) -> Self {
         SpanStore {
             next_id: AtomicU64::new(1),
+            next_trace: AtomicU64::new(1),
             epoch: OnceLock::new(),
-            finished: Mutex::new(Vec::new()),
+            finished: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            dropped: AtomicU64::new(0),
             threads: Mutex::new(HashMap::new()),
         }
     }
@@ -98,24 +146,90 @@ impl SpanStore {
             .and_then(|t| t.stack.last().copied())
     }
 
+    /// Mint a fresh trace id (never reused within this store).
+    #[must_use]
+    pub fn mint_trace(&self) -> TraceContext {
+        TraceContext::root(self.next_trace.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Install `ctx` as the calling thread's trace for the guard's
+    /// lifetime; the previously installed context (if any) is restored on
+    /// drop, so nested installs behave like a stack.
+    #[must_use]
+    pub fn install_trace(&self, ctx: TraceContext) -> TraceScope<'_> {
+        let mut threads = self.threads.lock();
+        let next_index = threads.len() as u64;
+        let state = threads
+            .entry(std::thread::current().id())
+            .or_insert_with(|| ThreadState {
+                index: next_index,
+                ..ThreadState::default()
+            });
+        let prev = state.trace.replace(ctx);
+        drop(threads);
+        TraceScope {
+            store: Some(self),
+            prev,
+        }
+    }
+
+    /// The calling thread's trace, with `parent` advanced to the innermost
+    /// open span — the value to capture before handing work to another
+    /// thread so the receiver's spans nest under the sender's.
+    #[must_use]
+    pub fn current_trace(&self) -> Option<TraceContext> {
+        let threads = self.threads.lock();
+        let state = threads.get(&std::thread::current().id())?;
+        let ctx = state.trace?;
+        Some(TraceContext {
+            trace: ctx.trace,
+            parent: state.stack.last().copied().or(ctx.parent),
+        })
+    }
+
+    /// `(trace id, innermost open span id)` for the calling thread, or
+    /// `None` when no trace is installed — the cheap lookup the event
+    /// stream uses to stamp attribution fields.
+    #[must_use]
+    pub fn thread_trace_ids(&self) -> Option<(u64, Option<u64>)> {
+        let threads = self.threads.lock();
+        let state = threads.get(&std::thread::current().id())?;
+        let ctx = state.trace?;
+        Some((ctx.trace, state.stack.last().map(|s| s.0)))
+    }
+
+    /// Total finished spans evicted from the ring since construction.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
     /// Open a span; the returned guard records it when dropped.
     pub fn open(&self, name: Cow<'static, str>, parent: Parent) -> SpanGuard<'_> {
         let id = SpanId(self.next_id.fetch_add(1, Ordering::Relaxed));
-        let (parent, thread) = {
+        let (parent, thread, trace) = {
             let mut threads = self.threads.lock();
             let next_index = threads.len() as u64;
             let state = threads
                 .entry(std::thread::current().id())
                 .or_insert_with(|| ThreadState {
                     index: next_index,
-                    stack: Vec::new(),
+                    ..ThreadState::default()
                 });
+            let ctx = state.trace;
             let parent = match parent {
-                Parent::Current => state.stack.last().copied(),
+                Parent::Current => state
+                    .stack
+                    .last()
+                    .copied()
+                    // A root-level span on a thread working for a trace
+                    // hangs under the trace's hand-off parent, so worker
+                    // spans nest under the submitting span automatically.
+                    .or(ctx.and_then(|c| c.parent)),
                 Parent::Explicit(p) => p,
             };
             state.stack.push(id);
-            (parent, state.index)
+            (parent, state.index, ctx.map_or(0, |c| c.trace))
         };
         if crate::events::enabled() && crate::is_global_span_store(self) {
             crate::events::emit(
@@ -136,6 +250,7 @@ impl SpanStore {
                 id,
                 parent,
                 thread,
+                trace,
                 name,
                 start_ns: self.now_ns(),
                 attrs: Vec::new(),
@@ -170,15 +285,30 @@ impl SpanStore {
                 ],
             );
         }
-        self.finished.lock().push(SpanData {
-            id: span.id,
-            parent: span.parent,
-            name,
-            thread: span.thread,
-            start_ns: span.start_ns,
-            end_ns,
-            attrs: std::mem::take(&mut span.attrs),
-        });
+        let evicted = {
+            let mut finished = self.finished.lock();
+            finished.push_back(SpanData {
+                id: span.id,
+                parent: span.parent,
+                name,
+                thread: span.thread,
+                start_ns: span.start_ns,
+                end_ns,
+                trace: span.trace,
+                attrs: std::mem::take(&mut span.attrs),
+            });
+            let over = finished.len().saturating_sub(self.capacity);
+            for _ in 0..over {
+                finished.pop_front();
+            }
+            over as u64
+        };
+        if evicted > 0 {
+            self.dropped.fetch_add(evicted, Ordering::Relaxed);
+            if crate::is_global_span_store(self) {
+                crate::counter("obs.spans.dropped", evicted);
+            }
+        }
     }
 
     /// Copy out all finished spans, with every child interval clamped into
@@ -186,25 +316,83 @@ impl SpanStore {
     /// true even under out-of-order guard drops or cross-thread stragglers.
     #[must_use]
     pub fn finished(&self) -> Vec<SpanData> {
-        let mut spans = self.finished.lock().clone();
+        let mut spans: Vec<SpanData> = self.finished.lock().iter().cloned().collect();
+        Self::clamp_tree(&mut spans);
+        spans
+    }
+
+    /// Remove and return every finished span belonging to `trace`, clamped
+    /// like [`SpanStore::finished`]. Draining keeps the shared ring small
+    /// and makes trace assembly an ownership transfer: once a request's
+    /// spans are taken they cannot leak into another request's tree.
+    #[must_use]
+    pub fn take_trace(&self, trace: u64) -> Vec<SpanData> {
+        let mut taken = Vec::new();
+        {
+            let mut finished = self.finished.lock();
+            let mut keep = VecDeque::with_capacity(finished.len());
+            for span in finished.drain(..) {
+                if span.trace == trace {
+                    taken.push(span);
+                } else {
+                    keep.push_back(span);
+                }
+            }
+            *finished = keep;
+        }
+        Self::clamp_tree(&mut taken);
+        taken
+    }
+
+    /// Sort by id and clamp child intervals into their parents'. Parents
+    /// open before their children, so parent ids are smaller and one
+    /// ascending pass clamps transitively.
+    fn clamp_tree(spans: &mut [SpanData]) {
         spans.sort_by_key(|s| s.id);
-        // Parents open before their children, so parent ids are smaller and
-        // one ascending pass clamps transitively.
         let mut intervals: HashMap<SpanId, (u64, u64)> = HashMap::new();
-        for span in &mut spans {
+        for span in spans {
             if let Some((lo, hi)) = span.parent.and_then(|p| intervals.get(&p).copied()) {
                 span.start_ns = span.start_ns.clamp(lo, hi);
                 span.end_ns = span.end_ns.clamp(span.start_ns, hi);
             }
             intervals.insert(span.id, (span.start_ns, span.end_ns));
         }
-        spans
     }
 
     /// Drop all recorded spans and per-thread stacks.
     pub fn clear(&self) {
         self.finished.lock().clear();
         self.threads.lock().clear();
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+}
+
+/// RAII guard from [`SpanStore::install_trace`]: restores the previously
+/// installed trace context (or none) when dropped.
+pub struct TraceScope<'s> {
+    store: Option<&'s SpanStore>,
+    prev: Option<TraceContext>,
+}
+
+impl TraceScope<'_> {
+    /// Guard that installs and restores nothing (tracing disabled).
+    #[must_use]
+    pub fn noop() -> TraceScope<'static> {
+        TraceScope {
+            store: None,
+            prev: None,
+        }
+    }
+}
+
+impl Drop for TraceScope<'_> {
+    fn drop(&mut self) {
+        if let Some(store) = self.store.take() {
+            let mut threads = store.threads.lock();
+            if let Some(state) = threads.get_mut(&std::thread::current().id()) {
+                state.trace = self.prev.take();
+            }
+        }
     }
 }
 
@@ -213,6 +401,7 @@ struct ActiveSpan<'s> {
     id: SpanId,
     parent: Option<SpanId>,
     thread: u64,
+    trace: u64,
     name: Cow<'static, str>,
     start_ns: u64,
     attrs: Vec<(Cow<'static, str>, String)>,
@@ -310,5 +499,83 @@ mod tests {
         store.clear();
         assert!(store.finished().is_empty());
         assert_eq!(store.current(), None);
+    }
+
+    #[test]
+    fn installed_trace_stamps_spans_and_take_drains_them() {
+        let store = SpanStore::new();
+        let t1 = store.mint_trace();
+        let t2 = store.mint_trace();
+        assert_ne!(t1.trace, t2.trace);
+        {
+            let _scope = store.install_trace(t1);
+            drop(store.open(Cow::Borrowed("a"), Parent::Current));
+        }
+        {
+            let _scope = store.install_trace(t2);
+            drop(store.open(Cow::Borrowed("b"), Parent::Current));
+        }
+        drop(store.open(Cow::Borrowed("untraced"), Parent::Current));
+        let one = store.take_trace(t1.trace);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].name, "a");
+        assert_eq!(one[0].trace, t1.trace);
+        // t1's spans are gone; t2's and the untraced span remain.
+        assert!(store.take_trace(t1.trace).is_empty());
+        let rest = store.finished();
+        assert_eq!(rest.len(), 2);
+        assert!(rest.iter().any(|s| s.name == "b" && s.trace == t2.trace));
+        assert!(rest.iter().any(|s| s.name == "untraced" && s.trace == 0));
+    }
+
+    #[test]
+    fn trace_parent_adopts_root_spans_and_scopes_nest() {
+        let store = SpanStore::new();
+        let minted = store.mint_trace();
+        let submit = store.open(Cow::Borrowed("submit"), Parent::Current);
+        let handoff = TraceContext {
+            trace: minted.trace,
+            parent: submit.id(),
+        };
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _inner = store.install_trace(handoff);
+                // Root-level span on the worker hangs under the captured
+                // parent from the submitting thread.
+                drop(store.open(Cow::Borrowed("work"), Parent::Current));
+                assert_eq!(store.current_trace().unwrap().trace, minted.trace);
+            });
+        });
+        drop(submit);
+        let spans = store.take_trace(minted.trace);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].parent, store.finished()[0].id.into());
+        // Nested installs restore the outer context on drop.
+        let outer = store.install_trace(minted);
+        {
+            let other = store.mint_trace();
+            let _inner = store.install_trace(other);
+            assert_eq!(store.current_trace().unwrap().trace, other.trace);
+        }
+        assert_eq!(store.current_trace().unwrap().trace, minted.trace);
+        drop(outer);
+        assert!(store.current_trace().is_none());
+    }
+
+    #[test]
+    fn finished_ring_is_bounded_and_counts_drops() {
+        let store = SpanStore::with_finished_capacity(4);
+        for i in 0..10u64 {
+            let mut g = store.open(Cow::Borrowed("s"), Parent::Current);
+            g.attr("i", i);
+        }
+        let spans = store.finished();
+        assert_eq!(spans.len(), 4, "ring keeps only the newest spans");
+        assert_eq!(store.dropped(), 6);
+        // The survivors are the most recent closes.
+        assert_eq!(spans[0].attrs[0].1, "6");
+        assert_eq!(spans[3].attrs[0].1, "9");
+        store.clear();
+        assert_eq!(store.dropped(), 0);
     }
 }

@@ -1,0 +1,261 @@
+//! Per-request trace documents (`ion-trace/1`) and the Chrome
+//! `trace_event` export consumed by Perfetto / `chrome://tracing`.
+//!
+//! A trace document is the span tree one request produced, serialized as
+//! JSON: stage aggregates keyed by span name plus the raw span list (ids,
+//! parents, intervals, attrs). The daemon composes the envelope (job id,
+//! tenant, state) around the fragments rendered here; [`parse_spans`]
+//! reads the document back, and [`chrome_trace`] re-renders any parsed
+//! span list as a Chrome JSON timeline — the offline inspection path for
+//! "where did this job's time go".
+
+use crate::json::{escape, Json};
+use crate::span::{SpanData, SpanId};
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema identifier of a per-request trace document.
+pub const SCHEMA: &str = "ion-trace/1";
+
+/// `"stages": {name: {"total_ns": .., "count": ..}}` fragment — the same
+/// per-stage aggregation the `ion-obs/1` snapshot uses, restricted to one
+/// request's spans.
+#[must_use]
+pub fn stages_json(spans: &[SpanData]) -> String {
+    let mut stages: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    for span in spans {
+        let entry = stages.entry(span.name.as_ref()).or_insert((0, 0));
+        entry.0 += span.duration_ns();
+        entry.1 += 1;
+    }
+    let mut out = String::from("{");
+    for (i, (name, (ns, count))) in stages.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{}:{{\"total_ns\":{ns},\"count\":{count}}}",
+            escape(name)
+        );
+    }
+    out.push('}');
+    out
+}
+
+/// `"spans": [..]` array fragment: every span with id, parent, name,
+/// thread, interval, trace and attrs.
+#[must_use]
+pub fn spans_json(spans: &[SpanData]) -> String {
+    let mut out = String::from("[");
+    for (i, span) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let parent = span
+            .parent
+            .map_or_else(|| "null".to_owned(), |p| p.0.to_string());
+        let attrs: Vec<String> = span
+            .attrs
+            .iter()
+            .map(|(k, v)| format!("{}:{}", escape(k), escape(v)))
+            .collect();
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"parent\":{parent},\"name\":{},\"thread\":{},\"start_ns\":{},\"end_ns\":{},\"trace\":{},\"attrs\":{{{}}}}}",
+            span.id.0,
+            escape(&span.name),
+            span.thread,
+            span.start_ns,
+            span.end_ns,
+            span.trace,
+            attrs.join(",")
+        );
+    }
+    out.push(']');
+    out
+}
+
+/// Sum of a numeric attribute over spans named `span_name` — e.g. the
+/// request's LLM token totals (`llm.run` spans carry `tokens_in` /
+/// `tokens_out` attrs).
+#[must_use]
+pub fn sum_attr(spans: &[SpanData], span_name: &str, attr: &str) -> u64 {
+    spans
+        .iter()
+        .filter(|s| s.name == span_name)
+        .flat_map(|s| &s.attrs)
+        .filter(|(k, _)| k == attr)
+        .filter_map(|(_, v)| v.parse::<u64>().ok())
+        .sum()
+}
+
+/// Read the `"spans"` array back out of a parsed trace (or snapshot)
+/// document. Returns `None` when the key is missing or not an array;
+/// individual malformed spans are skipped rather than failing the batch.
+#[must_use]
+pub fn parse_spans(doc: &Json) -> Option<Vec<SpanData>> {
+    let Json::Arr(items) = doc.get("spans")? else {
+        return None;
+    };
+    let mut spans = Vec::with_capacity(items.len());
+    for item in items {
+        let Some(id) = item.get("id").and_then(Json::as_u64) else {
+            continue;
+        };
+        let Some(name) = item.get("name").and_then(Json::as_str) else {
+            continue;
+        };
+        let mut attrs: Vec<(Cow<'static, str>, String)> = Vec::new();
+        if let Some(Json::Obj(map)) = item.get("attrs") {
+            for (k, v) in map {
+                // Attrs are serialized as strings; tolerate bare scalars.
+                let value = match v {
+                    Json::Str(s) => s.clone(),
+                    Json::Num(n) => format!("{n}"),
+                    Json::Bool(b) => b.to_string(),
+                    _ => continue,
+                };
+                attrs.push((Cow::Owned(k.clone()), value));
+            }
+        }
+        spans.push(SpanData {
+            id: SpanId(id),
+            parent: item.get("parent").and_then(Json::as_u64).map(SpanId),
+            name: Cow::Owned(name.to_owned()),
+            thread: item.get("thread").and_then(Json::as_u64).unwrap_or(0),
+            start_ns: item.get("start_ns").and_then(Json::as_u64).unwrap_or(0),
+            end_ns: item.get("end_ns").and_then(Json::as_u64).unwrap_or(0),
+            trace: item.get("trace").and_then(Json::as_u64).unwrap_or(0),
+            attrs,
+        });
+    }
+    Some(spans)
+}
+
+/// Render spans as Chrome `trace_event` JSON (the "JSON Array Format"
+/// with complete `"ph":"X"` events), loadable in Perfetto or
+/// `chrome://tracing`. Timestamps and durations are microseconds; the
+/// trace id becomes the `pid` so multiple exported traces stay visually
+/// separate, and the recording thread index becomes the `tid` row.
+#[must_use]
+pub fn chrome_trace(spans: &[SpanData]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, span) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let mut args: Vec<String> = span
+            .attrs
+            .iter()
+            .map(|(k, v)| format!("{}:{}", escape(k), escape(v)))
+            .collect();
+        args.push(format!("\"span_id\":{}", span.id.0));
+        if let Some(parent) = span.parent {
+            args.push(format!("\"parent_id\":{}", parent.0));
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},\"args\":{{{}}}}}",
+            escape(&span.name),
+            micros(span.start_ns),
+            micros(span.duration_ns()),
+            span.trace,
+            span.thread,
+            args.join(",")
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Nanoseconds → microseconds with three decimal places (Chrome's `ts`
+/// unit), rendered without float formatting surprises.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn sample() -> Vec<SpanData> {
+        let span = |id: u64, parent: Option<u64>, name: &'static str| SpanData {
+            id: SpanId(id),
+            parent: parent.map(SpanId),
+            name: Cow::Borrowed(name),
+            thread: id % 2,
+            start_ns: id * 1_000,
+            end_ns: id * 1_000 + 500,
+            trace: 7,
+            attrs: vec![(Cow::Borrowed("k"), format!("v{id}"))],
+        };
+        vec![
+            span(1, None, "pipeline"),
+            span(2, Some(1), "decode"),
+            span(3, Some(1), "llm.run"),
+        ]
+    }
+
+    #[test]
+    fn spans_round_trip_through_the_parser() {
+        let spans = sample();
+        let doc = format!(
+            "{{\"schema\":{},\"trace\":7,\"stages\":{},\"spans\":{}}}",
+            escape(SCHEMA),
+            stages_json(&spans),
+            spans_json(&spans),
+        );
+        let parsed = parse(&doc).expect("trace document parses");
+        assert_eq!(parsed.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        let back = parse_spans(&parsed).expect("spans array present");
+        assert_eq!(back, spans, "byte-exact span round-trip");
+        assert_eq!(
+            parsed
+                .get("stages")
+                .and_then(|s| s.get("decode"))
+                .and_then(|d| d.get("count"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_one_event_per_span() {
+        let spans = sample();
+        let chrome = chrome_trace(&spans);
+        let parsed = parse(&chrome).expect("chrome trace parses");
+        let Some(Json::Arr(events)) = parsed.get("traceEvents") else {
+            panic!("traceEvents array missing");
+        };
+        assert_eq!(events.len(), spans.len());
+        let first = &events[0];
+        assert_eq!(first.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(first.get("pid").and_then(Json::as_u64), Some(7));
+        assert_eq!(first.get("ts").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(first.get("dur").and_then(Json::as_f64), Some(0.5));
+        assert_eq!(
+            first
+                .get("args")
+                .and_then(|a| a.get("span_id"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn sum_attr_totals_numeric_attrs() {
+        let mut spans = sample();
+        spans[2]
+            .attrs
+            .push((Cow::Borrowed("tokens_in"), "120".into()));
+        spans[2]
+            .attrs
+            .push((Cow::Borrowed("tokens_out"), "30".into()));
+        assert_eq!(sum_attr(&spans, "llm.run", "tokens_in"), 120);
+        assert_eq!(sum_attr(&spans, "llm.run", "tokens_out"), 30);
+        assert_eq!(sum_attr(&spans, "decode", "tokens_in"), 0);
+    }
+}

@@ -179,6 +179,116 @@ fn blocked_handlers_do_not_stall_other_requests() {
     server.shutdown();
 }
 
+/// Routing happens on the percent-decoded path: an escaped segment hits
+/// the route registered under its literal form, and a decoded `%2F`
+/// cannot escape a prefix mount because the decode runs before dispatch,
+/// not per segment.
+#[test]
+fn router_decodes_percent_escapes_before_dispatch() {
+    use ion_obs::serve::{HttpServer, Response, Router};
+
+    let router = Arc::new(
+        Router::new()
+            .route("GET", "/files/a b", |_| Response::text(200, "spaced\n"))
+            .prefix("GET", "/jobs/", |req: &ion_obs::serve::Request| {
+                Response::text(200, format!("rest={}\n", &req.path["/jobs/".len()..]))
+            }),
+    );
+    let server = HttpServer::bind("127.0.0.1:0", router, 1).unwrap();
+    let addr = server.local_addr();
+
+    let (status, body) = http_get(addr, "/files/a%20b");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(body, "spaced\n");
+
+    // An invalid escape passes through verbatim — no panic, and it does
+    // not accidentally match the decoded route.
+    let (status, _) = http_get(addr, "/files/a%2zb");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+
+    // `%2F` decodes to `/` before routing: the request still lands in the
+    // prefix handler, which sees the decoded remainder.
+    let (status, body) = http_get(addr, "/jobs/a%2Fb");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(body, "rest=a/b\n");
+
+    server.shutdown();
+}
+
+/// The route table is ordered and first match wins: a prefix mounted
+/// before an exact path under it shadows that path, and mounting the
+/// exact route first is the way to carve an exception out of a prefix.
+#[test]
+fn router_first_match_order_decides_prefix_vs_exact_shadowing() {
+    use ion_obs::serve::{HttpServer, Response, Router};
+
+    let router = Arc::new(
+        Router::new()
+            // Exact before prefix: the carve-out wins for its own path.
+            .route("GET", "/v1/jobs/stats", |_| Response::text(200, "stats\n"))
+            .prefix("GET", "/v1/jobs/", |_| Response::text(200, "by-id\n"))
+            // Exact after prefix: unreachable — the prefix shadows it.
+            .route("GET", "/v1/jobs/shadowed", |_| {
+                Response::text(200, "never\n")
+            }),
+    );
+    let server = HttpServer::bind("127.0.0.1:0", router, 1).unwrap();
+    let addr = server.local_addr();
+
+    let (_, body) = http_get(addr, "/v1/jobs/stats");
+    assert_eq!(body, "stats\n");
+    let (_, body) = http_get(addr, "/v1/jobs/abc123");
+    assert_eq!(body, "by-id\n");
+    let (_, body) = http_get(addr, "/v1/jobs/shadowed");
+    assert_eq!(body, "by-id\n", "ordered table: first match must win");
+
+    server.shutdown();
+}
+
+/// The query string stays raw on `Request` — `query_param` returns the
+/// raw value, `query_param_decoded` decodes `%XX` and `+` per value, and
+/// an encoded `&` inside a value cannot split the pair list (which it
+/// would if the whole target were decoded before parsing).
+#[test]
+fn router_query_parsing_keeps_raw_and_decodes_per_value() {
+    use ion_obs::serve::{HttpServer, Response, Router};
+
+    let router = Arc::new(
+        Router::new().route("GET", "/echo", |req: &ion_obs::serve::Request| {
+            Response::text(
+                200,
+                format!(
+                    "q={}|a={}|b={}|c={}\n",
+                    req.query,
+                    req.query_param("a").unwrap_or("-"),
+                    req.query_param_decoded("b").unwrap_or_else(|| "-".into()),
+                    req.query_param("c").unwrap_or("-"),
+                ),
+            )
+        }),
+    );
+    let server = HttpServer::bind("127.0.0.1:0", router, 1).unwrap();
+    let addr = server.local_addr();
+
+    let (status, body) = http_get(addr, "/echo?a=1&b=two%20words%26more+x");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(
+        body,
+        "q=a=1&b=two%20words%26more+x|a=1|b=two words&more x|c=-\n"
+    );
+
+    // No query string at all: `query` is empty, params absent.
+    let (_, body) = http_get(addr, "/echo");
+    assert_eq!(body, "q=|a=-|b=-|c=-\n");
+
+    // Duplicate keys: first occurrence wins; a key without `=` is not a
+    // pair and is skipped rather than matched with an empty value.
+    let (_, body) = http_get(addr, "/echo?a=first&a=second&c&b=%2B");
+    assert_eq!(body, "q=a=first&a=second&c&b=%2B|a=first|b=+|c=-\n");
+
+    server.shutdown();
+}
+
 #[test]
 fn shutdown_stops_serving() {
     let server = MetricsServer::bind_with(

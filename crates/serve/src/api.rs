@@ -128,11 +128,12 @@ fn job_json(entry: &JobEntry, brief: bool) -> String {
         .as_deref()
         .map_or_else(|| "null".to_owned(), escape);
     format!(
-        "{{\"schema\":{},\"job\":{},\"tenant\":{},\"state\":{},\"joins\":{},\"queued_ms\":{queued_ms},\"run_ms\":{run_ms},\"detected\":{detected},\"error\":{error}}}",
+        "{{\"schema\":{},\"job\":{},\"tenant\":{},\"state\":{},\"trace\":{},\"joins\":{},\"queued_ms\":{queued_ms},\"run_ms\":{run_ms},\"detected\":{detected},\"error\":{error}}}",
         escape(SCHEMA),
         escape(&entry.id),
         escape(&entry.tenant),
         escape(state.as_str()),
+        entry.trace,
         rec.joins,
     )
 }
@@ -167,6 +168,9 @@ fn handle_job_get(inner: &Arc<Inner>, req: &Request) -> Response {
     if let Some(id) = rest.strip_suffix("/report") {
         return handle_report(inner, id);
     }
+    if let Some(id) = rest.strip_suffix("/trace") {
+        return handle_trace(inner, id);
+    }
     if rest.contains('/') {
         return Response::text(404, format!("no route {}\n", req.path));
     }
@@ -194,6 +198,42 @@ fn handle_report(inner: &Arc<Inner>, id: &str) -> Response {
             error_json(409, &format!("job {id} ended {state}: {detail}"))
         }
     }
+}
+
+/// `GET /v1/jobs/<id>/trace` — the finished job's span tree as an
+/// `ion-trace/1` document: per-stage durations, LLM token totals, and the
+/// raw spans (the input to `ion_cli obs export --chrome`).
+fn handle_trace(inner: &Arc<Inner>, id: &str) -> Response {
+    let Some(entry) = inner.job(id) else {
+        return error_json(404, &format!("unknown job {id}"));
+    };
+    let rec = entry.rec();
+    let state = rec.state;
+    if !state.is_terminal() {
+        drop(rec);
+        return error_json(
+            409,
+            &format!("job {id} is {state}; trace follows completion"),
+        );
+    }
+    let spans = rec.trace_spans.clone();
+    drop(rec);
+    let spans: &[ion_obs::SpanData] = spans.as_deref().map_or(&[], Vec::as_slice);
+    let tokens_in = ion_obs::trace::sum_attr(spans, "llm.run", "tokens_in");
+    let tokens_out = ion_obs::trace::sum_attr(spans, "llm.run", "tokens_out");
+    Response::json(
+        200,
+        format!(
+            "{{\"schema\":{},\"job\":{},\"tenant\":{},\"state\":{},\"trace\":{},\"llm\":{{\"tokens_in\":{tokens_in},\"tokens_out\":{tokens_out}}},\"stages\":{},\"spans\":{}}}",
+            escape(ion_obs::trace::SCHEMA),
+            escape(id),
+            escape(&entry.tenant),
+            escape(state.as_str()),
+            entry.trace,
+            ion_obs::trace::stages_json(spans),
+            ion_obs::trace::spans_json(spans),
+        ),
+    )
 }
 
 fn handle_qa(inner: &Arc<Inner>, req: &Request) -> Response {
@@ -253,7 +293,9 @@ fn handle_qa(inner: &Arc<Inner>, req: &Request) -> Response {
 
 fn handle_events(inner: &Arc<Inner>, req: &Request) -> Response {
     let from = req.query_param("from").and_then(|v| v.parse().ok());
-    let Some((from, next, lines)) = inner.events_from(from) else {
+    let tenant = req.query_param_decoded("tenant");
+    let trace = req.query_param("trace").and_then(|v| v.parse().ok());
+    let Some((from, next, lines)) = inner.events_from(from, tenant.as_deref(), trace) else {
         return error_json(
             409,
             "event capture is disabled or the event stream is owned by another component",

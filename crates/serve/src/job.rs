@@ -80,6 +80,10 @@ pub(crate) struct JobRecord {
     /// How many identical submits joined this job instead of queueing
     /// their own (cross-client dedup).
     pub joins: u64,
+    /// The job's finished span tree, collected at the terminal transition
+    /// (`GET /v1/jobs/{id}/trace`). `None` until terminal, and for jobs
+    /// that never ran or ran with tracing disabled.
+    pub trace_spans: Option<Arc<Vec<ion_obs::SpanData>>>,
 }
 
 /// One job: immutable identity plus the state record and its condvar.
@@ -93,17 +97,21 @@ pub(crate) struct JobEntry {
     pub tenant: String,
     /// Dedup key: trace digest + context revision + model id.
     pub key: String,
+    /// Request trace id minted at submit; every span/event the job's
+    /// analysis emits is stamped with it.
+    pub trace: u64,
     record: Mutex<JobRecord>,
     session: Mutex<Option<InteractiveSession>>,
     changed: Condvar,
 }
 
 impl JobEntry {
-    pub fn new(id: &str, tenant: &str, key: &str, bytes: Arc<[u8]>) -> Arc<JobEntry> {
+    pub fn new(id: &str, tenant: &str, key: &str, trace: u64, bytes: Arc<[u8]>) -> Arc<JobEntry> {
         Arc::new(JobEntry {
             id: id.to_owned(),
             tenant: tenant.to_owned(),
             key: key.to_owned(),
+            trace,
             record: Mutex::new(JobRecord {
                 state: JobState::Queued,
                 submitted: Instant::now(),
@@ -113,6 +121,7 @@ impl JobEntry {
                 report: None,
                 error: None,
                 joins: 0,
+                trace_spans: None,
             }),
             session: Mutex::new(None),
             changed: Condvar::new(),
@@ -176,7 +185,7 @@ mod tests {
 
     #[test]
     fn wait_terminal_wakes_on_transition_not_timeout() {
-        let entry = JobEntry::new("j1", "t", "k", Vec::new().into());
+        let entry = JobEntry::new("j1", "t", "k", 0, Vec::new().into());
         let waiter = Arc::clone(&entry);
         let handle = std::thread::spawn(move || {
             let started = Instant::now();

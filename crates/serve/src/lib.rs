@@ -10,9 +10,16 @@
 //! | `GET /v1/jobs` | list jobs and daemon counters |
 //! | `GET /v1/jobs/<id>` | job status; `?wait_ms=N` long-polls until terminal |
 //! | `GET /v1/jobs/<id>/report` | the finished report as text |
+//! | `GET /v1/jobs/<id>/trace` | the finished job's span tree (`ion-trace/1`) |
 //! | `POST /v1/jobs/<id>/qa` | ask the completed analysis a question |
-//! | `GET /v1/events` | structured event log (`ion-obs/events/1` lines) |
+//! | `GET /v1/events` | structured event log (`ion-obs/events/2` lines); `?tenant=`/`?trace=` filter |
+//! | `GET /version` | crate version and build profile |
 //! | `GET /healthz` | `ok` while accepting, 503 `draining` during shutdown |
+//!
+//! Every accepted job gets a request-scoped trace id minted at submit and
+//! carried (via `ion-exec`) onto the worker threads that run its
+//! analysis, so the whole decode → extract → IQL → LLM → analyzer cascade
+//! lands in one per-job span tree, retrievable once the job is terminal.
 //!
 //! Submissions flow through a bounded [`FairQueue`]: admission control
 //! turns a full queue into a typed rejection (HTTP 429 + `Retry-After`)
@@ -99,6 +106,10 @@ pub struct ServeConfig {
     /// Install an event ring at bind when none is installed, so
     /// `/v1/events` has something to serve.
     pub capture_events: bool,
+    /// Jobs whose run time exceeds this emit a `serve.job.slow` event
+    /// with a one-line stage breakdown and bump `serve.jobs.slow`.
+    /// `None` disables the slow-job log.
+    pub slow_job_threshold: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -113,6 +124,7 @@ impl Default for ServeConfig {
             dedup: true,
             retain_jobs: 256,
             capture_events: true,
+            slow_job_threshold: Some(Duration::from_secs(10)),
         }
     }
 }
@@ -206,6 +218,57 @@ pub(crate) struct Inner {
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One-line stage breakdown for the slow-job log: summed span durations
+/// per stage name, heaviest first, capped at six stages.
+fn stage_breakdown(spans: &[ion_obs::SpanData]) -> String {
+    let mut totals: HashMap<&str, u64> = HashMap::new();
+    for span in spans {
+        *totals.entry(span.name.as_ref()).or_default() += span.end_ns.saturating_sub(span.start_ns);
+    }
+    let mut totals: Vec<(&str, u64)> = totals.into_iter().collect();
+    totals.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    totals.truncate(6);
+    totals
+        .iter()
+        .map(|(name, ns)| {
+            #[allow(clippy::cast_precision_loss)]
+            let ms = *ns as f64 / 1e6;
+            format!("{name}={ms:.1}ms")
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Whether a JSONL event line passes the `?tenant=`/`?trace=` filters.
+/// No filters → pass without parsing; a line that fails to parse never
+/// matches an active filter.
+fn event_line_matches(line: &str, tenant: Option<&str>, trace: Option<u64>) -> bool {
+    if tenant.is_none() && trace.is_none() {
+        return true;
+    }
+    let Ok(doc) = ion_obs::json::parse(line) else {
+        return false;
+    };
+    let fields = doc.get("fields");
+    if let Some(want) = tenant {
+        let got = fields
+            .and_then(|f| f.get("tenant"))
+            .and_then(ion_obs::json::Json::as_str);
+        if got != Some(want) {
+            return false;
+        }
+    }
+    if let Some(want) = trace {
+        let got = fields
+            .and_then(|f| f.get("trace"))
+            .and_then(ion_obs::json::Json::as_u64);
+        if got != Some(want) {
+            return false;
+        }
+    }
+    true
 }
 
 /// Map a tenant or model identifier into key-safe characters.
@@ -306,7 +369,10 @@ impl Inner {
             let id = format!("j{}", self.seq.fetch_add(1, Ordering::Relaxed) + 1);
             match self.queue.push(tenant, weight, id.clone()) {
                 Ok(depth) => {
-                    let entry = JobEntry::new(&id, tenant, &key, Arc::clone(&bytes));
+                    // Mint the request trace here: every span and event the
+                    // job's analysis emits downstream is stamped with it.
+                    let trace = ion_obs::mint_trace();
+                    let entry = JobEntry::new(&id, tenant, &key, trace.trace, Arc::clone(&bytes));
                     maps.jobs.insert(id.clone(), entry);
                     maps.order.push(id.clone());
                     if self.config.dedup {
@@ -315,6 +381,7 @@ impl Inner {
                     drop(maps);
                     self.counts.submitted.fetch_add(1, Ordering::Relaxed);
                     ion_obs::counter("serve.jobs.submitted", 1);
+                    ion_obs::counter_with("serve.jobs.submitted", &[("tenant", tenant)], 1);
                     ion_obs::event!("serve.submit", job = id.as_str(), tenant = tenant);
                     self.update_queue_gauge();
                     return SubmitOutcome::Queued { id, depth };
@@ -336,6 +403,10 @@ impl Inner {
     /// Worker body: run one popped job to a terminal state.
     fn execute(&self, tenant: &str, id: &str) {
         let Some(entry) = self.job(id) else { return };
+        // Install the job's trace on this worker thread: `ion-exec`
+        // forwards it onto its own workers, so the whole decode → extract
+        // → IQL → LLM → analyzer cascade lands in one span tree.
+        let _trace_scope = ion_obs::install_trace(ion_obs::TraceContext::root(entry.trace));
         let wait_ns;
         {
             let mut rec = entry.rec();
@@ -426,6 +497,17 @@ impl Inner {
                 maps.inflight.remove(&entry.key);
             }
         }
+        // Claim the job's finished spans before the record fills: once the
+        // state flips terminal, `GET /v1/jobs/{id}/trace` must already see
+        // the tree. `take_trace` transfers ownership out of the global
+        // ring, so spans never leak across requests.
+        let spans = ion_obs::take_trace(entry.trace);
+        let spans = if spans.is_empty() {
+            None
+        } else {
+            Some(Arc::new(spans))
+        };
+        let mut run_ns = None;
         {
             let mut rec = entry.rec();
             rec.state = state;
@@ -433,13 +515,14 @@ impl Inner {
             // The input trace is dead weight once the job is terminal;
             // only the report (and session) need to stay resident.
             rec.bytes = None;
+            rec.trace_spans = spans.clone();
             fill(&mut rec);
             if let (Some(started), Some(finished)) = (rec.started, rec.finished) {
-                let run_ns = finished.duration_since(started).as_nanos();
-                ion_obs::observe(
-                    "serve.job.run_ns",
-                    u64::try_from(run_ns).unwrap_or(u64::MAX),
-                );
+                let ns =
+                    u64::try_from(finished.duration_since(started).as_nanos()).unwrap_or(u64::MAX);
+                run_ns = Some(ns);
+                ion_obs::observe("serve.job.run_ns", ns);
+                ion_obs::observe_with("serve.job.run_ns", &[("tenant", &entry.tenant)], ns);
             }
         }
         // Retire before tallying and waking long-pollers: a woken client
@@ -459,6 +542,25 @@ impl Inner {
         };
         tally.fetch_add(1, Ordering::Relaxed);
         ion_obs::counter(name, 1);
+        ion_obs::counter_with(name, &[("tenant", &entry.tenant)], 1);
+        // Slow-job log: one line with the stage breakdown, so a pager
+        // alert carries the "where did the time go" answer inline.
+        if let (Some(ns), Some(threshold)) = (run_ns, self.config.slow_job_threshold) {
+            if u128::from(ns) >= threshold.as_nanos() {
+                ion_obs::counter("serve.jobs.slow", 1);
+                ion_obs::counter_with("serve.jobs.slow", &[("tenant", &entry.tenant)], 1);
+                let stages = spans
+                    .as_deref()
+                    .map_or_else(|| "none".to_owned(), |spans| stage_breakdown(spans));
+                ion_obs::event!(
+                    "serve.job.slow",
+                    job = entry.id.as_str(),
+                    tenant = entry.tenant.as_str(),
+                    run_ms = ns / 1_000_000,
+                    stages = stages.as_str()
+                );
+            }
+        }
         ion_obs::event!(
             "serve.finish",
             job = entry.id.as_str(),
@@ -513,7 +615,16 @@ impl Inner {
     }
 
     /// `(base, next, lines-from-cursor)` for `/v1/events?from=`.
-    pub(crate) fn events_from(&self, from: Option<u64>) -> Option<(u64, u64, Vec<String>)> {
+    ///
+    /// `tenant`/`trace` filter which lines are returned; the cursor keeps
+    /// counting over the unfiltered stream, so a client can flip filters
+    /// between polls without losing its place.
+    pub(crate) fn events_from(
+        &self,
+        from: Option<u64>,
+        tenant: Option<&str>,
+        trace: Option<u64>,
+    ) -> Option<(u64, u64, Vec<String>)> {
         self.events.as_ref()?;
         self.flush_events();
         let log = lock(&self.log);
@@ -521,7 +632,14 @@ impl Inner {
         let from = from.unwrap_or(log.base).clamp(log.base, next);
         #[allow(clippy::cast_possible_truncation)]
         let skip = (from - log.base) as usize;
-        Some((from, next, log.lines.iter().skip(skip).cloned().collect()))
+        let lines = log
+            .lines
+            .iter()
+            .skip(skip)
+            .filter(|line| event_line_matches(line, tenant, trace))
+            .cloned()
+            .collect();
+        Some((from, next, lines))
     }
 
     pub(crate) fn events_dropped(&self) -> u64 {
@@ -587,6 +705,7 @@ impl Daemon {
         ion_obs::counter("serve.jobs.submitted", 0);
         ion_obs::counter("serve.admission.rejected", 0);
         ion_obs::counter("serve.jobs.evicted", 0);
+        ion_obs::counter("serve.jobs.slow", 0);
 
         let mut installed_ring = false;
         let events = if config.capture_events && !events::enabled() {

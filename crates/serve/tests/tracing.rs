@@ -1,0 +1,361 @@
+//! Request-scoped tracing through the daemon: per-job span trees with
+//! zero cross-attribution under concurrency, the `/v1/jobs/{id}/trace`
+//! endpoint, the Chrome export round-trip, tenant-labeled metrics on
+//! `/metrics`, event-stream filters, `/version`, and the slow-job log.
+
+mod util;
+
+use ion_llm::DeterministicExpert;
+use ion_serve::{client, Daemon, ServeConfig};
+use ion_store::Store;
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+use util::{obs_guard, spin_until, tmp_dir, trace_bytes, Gate, GatedModel};
+
+/// A trace whose extracted tables differ per `writes`/`size` shape — two
+/// of these with different shapes share no store singleflight keys, so
+/// both jobs genuinely run the model (unlike same-content traces, where
+/// the second job would join the first's in-flight issue computation).
+fn distinct_trace(tag: &str, writes: u64, size: u64) -> Vec<u8> {
+    use darshan::log::LogWriter;
+    use iosim::{SimConfig, Simulation};
+    let mut sim = Simulation::new(SimConfig::default().with_ranks(2).with_exe(tag));
+    let f = sim.posix_open_all("/scratch/tracing.dat").unwrap();
+    for i in 0..writes {
+        for rank in 0..2u32 {
+            let base = u64::from(rank) * (4 << 20);
+            sim.posix_write(rank, f, base + i * size, size).unwrap();
+        }
+    }
+    sim.posix_close_all(f);
+    LogWriter::from_log(sim.finish()).finish().unwrap()
+}
+
+/// Opens the gate when dropped, so a failing assertion can't leave the
+/// daemon's workers parked behind the model gate during `Daemon::drop`.
+struct OpenOnDrop(Gate);
+
+impl Drop for OpenOnDrop {
+    fn drop(&mut self) {
+        self.0.open();
+    }
+}
+
+/// Submit `body` for `tenant` and return the job id.
+fn submit(addr: std::net::SocketAddr, tenant: &str, body: &[u8]) -> String {
+    let reply = client::post(addr, "/v1/jobs", &[("X-Ion-Tenant", tenant)], body).unwrap();
+    assert_eq!(reply.status, 202, "{}", reply.text());
+    reply
+        .json()
+        .unwrap()
+        .get("job")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_owned()
+}
+
+/// Wait for a terminal state and assert it is `done`.
+fn wait_done(addr: std::net::SocketAddr, id: &str) {
+    let status = client::get(addr, &format!("/v1/jobs/{id}?wait_ms=30000")).unwrap();
+    let doc = status.json().unwrap();
+    assert_eq!(
+        doc.get("state").unwrap().as_str(),
+        Some("done"),
+        "{}",
+        status.text()
+    );
+}
+
+#[test]
+fn concurrent_tenants_get_disjoint_span_trees_and_chrome_roundtrip() {
+    let _sink = obs_guard();
+    let root = tmp_dir("tracing-disjoint");
+    let store = Arc::new(Store::open(&root).unwrap());
+    let gate = Gate::new();
+    let _open_guard = OpenOnDrop(gate.clone());
+    let model = GatedModel::new(gate.clone());
+    let daemon = Daemon::bind_with_model(
+        "127.0.0.1:0",
+        store,
+        Arc::clone(&model) as _,
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = daemon.local_addr();
+
+    // Two different tenants, two structurally different traces submitted
+    // together; the gated model holds both analyses in flight
+    // simultaneously so their spans interleave in the global store.
+    let id_a = submit(addr, "acme", &distinct_trace("tenant-a", 16, 1024));
+    let id_b = submit(addr, "bravo", &distinct_trace("tenant-b", 24, 2048));
+    spin_until("both jobs reach the model concurrently", || {
+        model.steps() >= 2
+    });
+    gate.open();
+    wait_done(addr, &id_a);
+    wait_done(addr, &id_b);
+
+    let mut seen = Vec::new();
+    for (id, tenant) in [(&id_a, "acme"), (&id_b, "bravo")] {
+        let reply = client::get(addr, &format!("/v1/jobs/{id}/trace")).unwrap();
+        assert_eq!(reply.status, 200, "{}", reply.text());
+        let doc = reply.json().unwrap();
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some("ion-trace/1"));
+        assert_eq!(doc.get("job").unwrap().as_str(), Some(id.as_str()));
+        assert_eq!(doc.get("tenant").unwrap().as_str(), Some(tenant));
+        assert_eq!(doc.get("state").unwrap().as_str(), Some("done"));
+        let trace_id = doc.get("trace").unwrap().as_u64().unwrap();
+        assert_ne!(trace_id, 0);
+
+        let spans = ion_obs::trace::parse_spans(&doc).expect("spans array");
+        assert!(!spans.is_empty(), "a finished job must have spans");
+        // Zero cross-attribution: every span in this tree carries this
+        // job's trace id — counter-exact, not a sample.
+        let foreign = spans.iter().filter(|s| s.trace != trace_id).count();
+        assert_eq!(foreign, 0, "{foreign} foreign spans in job {id}");
+        // The tree is rooted at the trace: at least one root span, and
+        // every parent reference stays inside the tree.
+        let ids: HashSet<u64> = spans.iter().map(|s| s.id.0).collect();
+        assert_eq!(ids.len(), spans.len(), "span ids must be unique");
+        assert!(
+            spans.iter().any(|s| s.parent.is_none()),
+            "tree needs a root"
+        );
+        for span in &spans {
+            if let Some(parent) = span.parent {
+                assert!(ids.contains(&parent.0), "dangling parent {parent:?}");
+            }
+        }
+        // LLM attribution flows into the envelope.
+        let tokens_in = doc
+            .get("llm")
+            .and_then(|l| l.get("tokens_in"))
+            .and_then(ion_obs::json::Json::as_u64)
+            .unwrap();
+        assert!(tokens_in > 0, "the model ran, so tokens_in must be > 0");
+        assert!(
+            doc.get("stages")
+                .and_then(|s| s.get("store.pipeline"))
+                .is_some(),
+            "stage rollup must include the driver's pipeline span"
+        );
+
+        // Chrome export round-trips through the JSON parser with one
+        // event per span, all in this job's pid (= trace id) group.
+        let chrome = ion_obs::trace::chrome_trace(&spans);
+        let chrome_doc = ion_obs::json::parse(&chrome).expect("chrome JSON parses");
+        let events = match chrome_doc.get("traceEvents") {
+            Some(ion_obs::json::Json::Arr(events)) => events,
+            other => panic!("traceEvents must be an array, got {other:?}"),
+        };
+        assert_eq!(events.len(), spans.len());
+        for event in events {
+            assert_eq!(event.get("ph").unwrap().as_str(), Some("X"));
+            #[allow(clippy::cast_precision_loss)]
+            let want = trace_id as f64;
+            assert_eq!(event.get("pid").unwrap().as_f64(), Some(want));
+        }
+
+        seen.push((trace_id, ids));
+    }
+
+    // The two trees are fully disjoint: different trace ids, no shared
+    // span ids.
+    let (trace_a, ids_a) = &seen[0];
+    let (trace_b, ids_b) = &seen[1];
+    assert_ne!(trace_a, trace_b, "each job mints its own trace");
+    assert!(
+        ids_a.is_disjoint(ids_b),
+        "span trees must not share span ids"
+    );
+
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn metrics_expose_tenant_labels_and_version_route_answers() {
+    let _sink = obs_guard();
+    let root = tmp_dir("tracing-labels");
+    let store = Arc::new(Store::open(&root).unwrap());
+    let daemon = Daemon::bind_with_model(
+        "127.0.0.1:0",
+        store,
+        Arc::new(DeterministicExpert::new()) as _,
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let addr = daemon.local_addr();
+
+    for tenant in ["acme", "bravo"] {
+        let id = submit(addr, tenant, &trace_bytes(&format!("labels-{tenant}")));
+        wait_done(addr, &id);
+    }
+
+    // Live multi-tenant load must surface tenant-labeled series next to
+    // the unlabeled family on the Prometheus surface.
+    let metrics = client::get(addr, "/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let text = metrics.text();
+    for tenant in ["acme", "bravo"] {
+        assert!(
+            text.contains(&format!("serve_jobs_submitted{{tenant=\"{tenant}\"}} 1")),
+            "missing labeled submit counter for {tenant}: {text}"
+        );
+        assert!(
+            text.contains(&format!("serve_jobs_done{{tenant=\"{tenant}\"}} 1")),
+            "missing labeled done counter for {tenant}: {text}"
+        );
+        assert!(
+            text.contains(&format!("serve_job_run_ns_count{{tenant=\"{tenant}\"}} 1")),
+            "missing labeled run histogram for {tenant}: {text}"
+        );
+    }
+    assert!(text.contains("serve_jobs_submitted 2"), "{text}");
+
+    // `/version` rides the shared router.
+    let version = client::get(addr, "/version").unwrap();
+    assert_eq!(version.status, 200);
+    let doc = version.json().unwrap();
+    assert_eq!(
+        doc.get("schema").unwrap().as_str(),
+        Some("ion-obs/version/1")
+    );
+    assert_eq!(
+        doc.get("version").unwrap().as_str(),
+        Some(env!("CARGO_PKG_VERSION"))
+    );
+    let profile = doc.get("profile").unwrap().as_str().unwrap();
+    assert!(profile == "debug" || profile == "release");
+
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn event_filters_narrow_by_tenant_and_trace() {
+    let _sink = obs_guard();
+    let root = tmp_dir("tracing-filters");
+    let store = Arc::new(Store::open(&root).unwrap());
+    let daemon = Daemon::bind_with_model(
+        "127.0.0.1:0",
+        store,
+        Arc::new(DeterministicExpert::new()) as _,
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let addr = daemon.local_addr();
+
+    let id_a = submit(addr, "acme", &trace_bytes("filter-a"));
+    let id_b = submit(addr, "bravo", &trace_bytes("filter-b"));
+    wait_done(addr, &id_a);
+    wait_done(addr, &id_b);
+    let status = client::get(addr, &format!("/v1/jobs/{id_b}")).unwrap();
+    let trace_b = status
+        .json()
+        .unwrap()
+        .get("trace")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+
+    // `?tenant=` keeps only lines stamped with that tenant.
+    let filtered = client::get(addr, "/v1/events?tenant=acme").unwrap();
+    assert_eq!(filtered.status, 200);
+    let body = filtered.text();
+    let mut body_lines = body.lines();
+    let header = body_lines.next().unwrap();
+    assert!(header.contains("\"kind\":\"events\""), "{header}");
+    let mut saw_acme = false;
+    for line in body_lines {
+        let doc = ion_obs::json::parse(line).unwrap();
+        let tenant = doc
+            .get("fields")
+            .and_then(|f| f.get("tenant"))
+            .and_then(ion_obs::json::Json::as_str)
+            .map(str::to_owned);
+        assert_eq!(tenant.as_deref(), Some("acme"), "{line}");
+        saw_acme = true;
+    }
+    assert!(saw_acme, "acme submitted a job, so lines must match");
+
+    // `?trace=` follows one job through the stream: every line carries
+    // job B's trace id and no line mentions job A.
+    let filtered = client::get(addr, &format!("/v1/events?trace={trace_b}")).unwrap();
+    let text = filtered.text();
+    let mut saw_trace = false;
+    for line in text.lines().skip(1) {
+        let doc = ion_obs::json::parse(line).unwrap();
+        let trace = doc
+            .get("fields")
+            .and_then(|f| f.get("trace"))
+            .and_then(ion_obs::json::Json::as_u64);
+        assert_eq!(trace, Some(trace_b), "{line}");
+        assert!(!line.contains(&format!("\"{id_a}\"")), "{line}");
+        saw_trace = true;
+    }
+    assert!(saw_trace, "job B ran under its trace, so lines must match");
+
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn slow_job_threshold_logs_stage_breakdown() {
+    let _sink = obs_guard();
+    let root = tmp_dir("tracing-slow");
+    let store = Arc::new(Store::open(&root).unwrap());
+    let daemon = Daemon::bind_with_model(
+        "127.0.0.1:0",
+        store,
+        Arc::new(DeterministicExpert::new()) as _,
+        ServeConfig {
+            // Zero threshold: every finished job counts as slow, making
+            // the log deterministic without sleeping.
+            slow_job_threshold: Some(Duration::ZERO),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = daemon.local_addr();
+
+    let id = submit(addr, "acme", &trace_bytes("slow"));
+    wait_done(addr, &id);
+
+    let events = client::get(addr, "/v1/events").unwrap();
+    let text = events.text();
+    let slow_line = text
+        .lines()
+        .find(|l| l.contains("serve.job.slow"))
+        .unwrap_or_else(|| panic!("no slow-job event in: {text}"));
+    let doc = ion_obs::json::parse(slow_line).unwrap();
+    let fields = doc.get("fields").unwrap();
+    assert_eq!(
+        fields.get("tenant").and_then(ion_obs::json::Json::as_str),
+        Some("acme")
+    );
+    let stages = fields
+        .get("stages")
+        .and_then(ion_obs::json::Json::as_str)
+        .unwrap();
+    assert!(
+        stages.contains("pipeline="),
+        "breakdown must name the pipeline stage: {stages}"
+    );
+
+    let metrics = client::get(addr, "/metrics").unwrap();
+    let text = metrics.text();
+    assert!(text.contains("serve_jobs_slow 1"), "{text}");
+    assert!(
+        text.contains("serve_jobs_slow{tenant=\"acme\"} 1"),
+        "{text}"
+    );
+
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(root);
+}
