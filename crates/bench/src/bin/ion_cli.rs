@@ -85,6 +85,7 @@ fn usage() -> ExitCode {
         "usage: ion-cli [--profile] [--metrics-json <path>] [--events <path>] \
          [--serve <addr>] [--serve-hold-ms <n>] [--store <dir>] [--jobs <n>] \
          [--workers <n>] [--deadline-ms <n>] [--slow-job-ms <n>] \
+         [--chunk-rows <n>] [--spill-dir <dir>] \
          <generate|parse|dxt|extract|analyze|batch|drishti|compare|qa|iql|store|serve|obs|fuzz> \
          <args...>\n\
          a bare <log.darshan> after the flags is shorthand for `analyze`\n\
@@ -140,13 +141,16 @@ struct ObsFlags {
     workers: Option<usize>,
     deadline_ms: u64,
     slow_job_ms: Option<u64>,
+    chunk_rows: Option<usize>,
+    spill_dir: Option<String>,
 }
 
 impl ObsFlags {
     /// Extract `--profile` / `--metrics-json <path>` / `--events <path>` /
     /// `--serve <addr>` / `--serve-hold-ms <n>` / `--store <dir>` /
     /// `--jobs <n>` / `--workers <n>` / `--deadline-ms <n>` /
-    /// `--slow-job-ms <n>` from `args`.
+    /// `--slow-job-ms <n>` / `--chunk-rows <n>` / `--spill-dir <dir>`
+    /// from `args`.
     fn strip(args: &mut Vec<String>) -> Result<ObsFlags, String> {
         let mut flags = ObsFlags::default();
         let mut i = 0;
@@ -236,6 +240,27 @@ impl ObsFlags {
                             .map_err(|_| format!("--slow-job-ms needs a number, got {n}"))?,
                     );
                 }
+                "--chunk-rows" => {
+                    if i + 1 >= args.len() {
+                        return Err("--chunk-rows needs a <n>".into());
+                    }
+                    args.remove(i);
+                    let n = args.remove(i);
+                    let rows: usize = n
+                        .parse()
+                        .map_err(|_| format!("--chunk-rows needs a number, got {n}"))?;
+                    if rows == 0 {
+                        return Err("--chunk-rows must be at least 1".into());
+                    }
+                    flags.chunk_rows = Some(rows);
+                }
+                "--spill-dir" => {
+                    if i + 1 >= args.len() {
+                        return Err("--spill-dir needs a <dir>".into());
+                    }
+                    args.remove(i);
+                    flags.spill_dir = Some(args.remove(i));
+                }
                 _ => i += 1,
             }
         }
@@ -309,9 +334,28 @@ fn load(path: &str) -> Result<darshan::log::Log, String> {
 }
 
 /// Full diagnosis of trace bytes — incremental when `--store` is given,
+/// streaming out-of-core when `--chunk-rows` or `--spill-dir` is given,
 /// the plain pipeline otherwise.
 fn analyze_bytes(bytes: &[u8], flags: &ObsFlags) -> Result<ion::pipeline::IonReport, String> {
     let exec = flags.exec_batch(0);
+    if flags.chunk_rows.is_some() || flags.spill_dir.is_some() {
+        if flags.store.is_some() {
+            return Err(
+                "--chunk-rows/--spill-dir stream past the warm store; drop --store to use them"
+                    .into(),
+            );
+        }
+        let pager = flags.spill_dir.as_deref().map(|d| {
+            std::sync::Arc::new(ion_store::SpillDir::new(std::path::Path::new(d)))
+                as std::sync::Arc<dyn extractor::ChunkPager>
+        });
+        let chunk_rows = flags.chunk_rows.unwrap_or(extractor::DEFAULT_CHUNK_ROWS);
+        let extracted = extractor::extract_stream(bytes, chunk_rows, pager)
+            .map_err(|e| format!("cannot stream-decode trace: {e}"))?;
+        let pipeline = IonPipeline::new().with_exec(exec);
+        let params = pipeline.params_for(&extracted.skeleton);
+        return Ok(pipeline.run_tables(&extracted.tables, &params));
+    }
     if flags.store.is_some() {
         let store = flags.open_store("analyze")?;
         ion_store::StoredPipeline::new(store)

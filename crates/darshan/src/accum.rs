@@ -748,10 +748,10 @@ fn reduce_posix_impl(
         };
         rank_times.push(time);
         rank_bytes.push(bytes as f64);
-        if fastest.is_none() || time < fastest.unwrap().1 {
+        if fastest.is_none_or(|(_, t, _)| time < t) {
             fastest = Some((r.rank, time, bytes));
         }
-        if slowest.is_none() || time > slowest.unwrap().1 {
+        if slowest.is_none_or(|(_, t, _)| time > t) {
             slowest = Some((r.rank, time, bytes));
         }
         for (fc, agg_max) in [

@@ -70,6 +70,14 @@ pub enum DarshanError {
         /// Maximum permitted.
         max: usize,
     },
+    /// An underlying I/O source or sink failed during streaming decode
+    /// or encode. Never produced when decoding from an in-memory slice.
+    Io {
+        /// What the codec was doing when the I/O failed.
+        action: &'static str,
+        /// The underlying error text.
+        message: String,
+    },
 }
 
 impl fmt::Display for DarshanError {
@@ -115,6 +123,9 @@ impl fmt::Display for DarshanError {
             DarshanError::StringTooLong { len, max } => {
                 write!(f, "string of length {len} exceeds maximum {max}")
             }
+            DarshanError::Io { action, message } => {
+                write!(f, "i/o failure while trying to {action}: {message}")
+            }
         }
     }
 }
@@ -152,6 +163,10 @@ mod tests {
             },
             DarshanError::InvalidName,
             DarshanError::StringTooLong { len: 10, max: 4 },
+            DarshanError::Io {
+                action: "read region payload",
+                message: "pipe closed".into(),
+            },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

@@ -17,11 +17,13 @@
 
 mod crc;
 mod reader;
+mod stream;
 mod varint;
 mod writer;
 
 pub use crc::{crc32, Crc32};
 pub use reader::{LogReader, PartialLog};
+pub use stream::{RawRegion, StreamDecoder, StreamWriter};
 pub use varint::{
     get_f64, get_ivarint, get_string, get_uvarint, put_f64, put_ivarint, put_string, put_uvarint,
 };

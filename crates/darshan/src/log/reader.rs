@@ -1,7 +1,13 @@
 //! Log deserialization with checksum verification.
+//!
+//! [`LogReader::read`] / [`LogReader::read_lenient`] are eager drivers
+//! over the streaming frame reader ([`super::StreamDecoder`]): they pull
+//! every region and consume it immediately. Out-of-core consumers use
+//! the decoder directly and pay for only the regions they visit.
 
+use super::stream::StreamDecoder;
 use super::varint::{get_f64, get_ivarint, get_string, get_uvarint};
-use super::{crc32, Log, MAGIC, TAG_END, TAG_JOB, TAG_NAMES, VERSION};
+use super::{Log, TAG_JOB, TAG_NAMES};
 use crate::counters::{
     LustreCounter, ModuleId, MpiioCounter, MpiioFCounter, PosixCounter, PosixFCounter,
     StdioCounter, StdioFCounter,
@@ -75,22 +81,7 @@ impl LogReader {
         let mut decode_span = ion_obs::span!("decode");
         decode_span.attr("bytes", bytes.len());
         ion_obs::counter("darshan.decode.bytes", bytes.len() as u64);
-        let mut buf = bytes;
-        if buf.len() < 8 {
-            return Err(DarshanError::UnexpectedEof { decoding: "header" });
-        }
-        let magic = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
-        if magic != MAGIC {
-            return Err(DarshanError::BadMagic { found: magic });
-        }
-        let version = u16::from_le_bytes([buf[4], buf[5]]);
-        if version != VERSION {
-            return Err(DarshanError::UnsupportedVersion { found: version });
-        }
-        buf = &buf[8..];
-        // Byte offset of the decode cursor within `bytes`, kept in sync
-        // with `buf` so truncation errors can report where a region began.
-        let mut pos = 8usize;
+        let mut decoder = StreamDecoder::new(bytes)?;
 
         let mut out = PartialLog {
             log: Log::new(JobRecord::new(0, 0, 0)),
@@ -98,36 +89,12 @@ impl LogReader {
         };
         let mut saw_job = false;
         loop {
-            let region_start = pos;
-            if buf.is_empty() {
-                // The end tag itself is missing: the frame sequence was
-                // cut, not any one region's payload.
-                let err = DarshanError::Truncated {
-                    region: "frame",
-                    offset: region_start,
-                };
-                if lenient {
-                    out.errors.push(err);
-                    break;
-                }
-                return Err(err);
-            }
-            let tag = buf[0];
-            buf = &buf[1..];
-            pos += 1;
-            if tag == TAG_END {
-                break;
-            }
-            let before = buf.len();
-            let len = match get_uvarint(&mut buf) {
-                Ok(len) => len as usize,
-                Err(_) => {
-                    // The length varint ran past EOF (or was malformed):
-                    // the region header extends past the end of input.
-                    let err = DarshanError::Truncated {
-                        region: region_name(tag),
-                        offset: region_start,
-                    };
+            let region = match decoder.next_region() {
+                Ok(Some(region)) => region,
+                Ok(None) => break,
+                Err(err) => {
+                    // Framing failure: with no trustworthy frame boundary
+                    // there is no next region to resynchronize on.
                     if lenient {
                         out.errors.push(err);
                         break;
@@ -135,44 +102,7 @@ impl LogReader {
                     return Err(err);
                 }
             };
-            pos += before - buf.len();
-            // `len + 4` must not wrap: a declared length near usize::MAX
-            // would otherwise pass the bounds check and panic on slicing.
-            let framed = len.checked_add(4);
-            if framed.is_none() || buf.len() < framed.unwrap() {
-                let err = DarshanError::Truncated {
-                    region: region_name(tag),
-                    offset: region_start,
-                };
-                if lenient {
-                    out.errors.push(err);
-                    break;
-                }
-                return Err(err);
-            }
-            let payload = &buf[..len];
-            let stored_crc =
-                u32::from_le_bytes([buf[len], buf[len + 1], buf[len + 2], buf[len + 3]]);
-            buf = &buf[len + 4..];
-            pos += len + 4;
-            let mut region_span = ion_obs::span!(region_span_name(tag));
-            region_span.attr("bytes", len);
-            let actual = crc32(payload);
-            ion_obs::counter("darshan.decode.crc_checks", 1);
-            if actual != stored_crc {
-                ion_obs::counter("darshan.decode.crc_failures", 1);
-                let err = DarshanError::ChecksumMismatch {
-                    region: region_name(tag),
-                    expected: stored_crc,
-                    actual,
-                };
-                if lenient {
-                    out.errors.push(err);
-                    continue;
-                }
-                return Err(err);
-            }
-            match decode_region(&mut out.log, tag, payload) {
+            match region.decode_into(&mut out.log) {
                 Ok(job_seen) => saw_job |= job_seen,
                 Err(err) => {
                     if lenient {
@@ -209,7 +139,7 @@ impl LogReader {
 /// Decode one CRC-verified region payload into `log`. Returns whether the
 /// region was the job record. Partially decoded records are discarded on
 /// error: the caller either aborts (strict) or skips the region (lenient).
-fn decode_region(log: &mut Log, tag: u8, payload: &[u8]) -> Result<bool, DarshanError> {
+pub(super) fn decode_region(log: &mut Log, tag: u8, payload: &[u8]) -> Result<bool, DarshanError> {
     let mut p = payload;
     match tag {
         TAG_JOB => {
@@ -279,31 +209,6 @@ fn decode_region(log: &mut Log, tag: u8, payload: &[u8]) -> Result<bool, Darshan
         },
     }
     Ok(false)
-}
-
-fn region_name(tag: u8) -> &'static str {
-    match tag {
-        TAG_JOB => "job",
-        TAG_NAMES => "names",
-        t => ModuleId::from_code(t).map_or("unknown", ModuleId::name),
-    }
-}
-
-/// Static span name for one region's decode timing (`decode.posix`, …).
-fn region_span_name(tag: u8) -> &'static str {
-    match tag {
-        TAG_JOB => "decode.job",
-        TAG_NAMES => "decode.names",
-        t => match ModuleId::from_code(t) {
-            Some(ModuleId::Posix) => "decode.posix",
-            Some(ModuleId::MpiIo) => "decode.mpiio",
-            Some(ModuleId::Stdio) => "decode.stdio",
-            Some(ModuleId::Lustre) => "decode.lustre",
-            Some(ModuleId::Dxt) => "decode.dxt",
-            Some(ModuleId::Heatmap) => "decode.heatmap",
-            None => "decode.unknown",
-        },
-    }
 }
 
 fn decode_job(p: &mut &[u8]) -> Result<JobRecord, DarshanError> {

@@ -140,16 +140,7 @@ impl LogWriter {
             payload.clear();
             put_uvarint(&mut payload, self.log.lustre.len() as u64);
             for r in &self.log.lustre {
-                put_uvarint(&mut payload, r.file_id);
-                put_ivarint(&mut payload, i64::from(r.rank));
-                put_uvarint(&mut payload, r.counters.len() as u64);
-                for &c in &r.counters {
-                    put_ivarint(&mut payload, c);
-                }
-                put_uvarint(&mut payload, r.ost_ids.len() as u64);
-                for &o in &r.ost_ids {
-                    put_ivarint(&mut payload, o);
-                }
+                encode_lustre_record(&mut payload, r);
             }
             region(&mut out, ModuleId::Lustre.code(), &payload);
         }
@@ -166,15 +157,7 @@ impl LogWriter {
             payload.clear();
             put_uvarint(&mut payload, self.log.heatmap.len() as u64);
             for r in &self.log.heatmap {
-                put_ivarint(&mut payload, i64::from(r.rank));
-                put_f64(&mut payload, r.bin_width);
-                put_uvarint(&mut payload, r.read_bytes.len() as u64);
-                for &b in &r.read_bytes {
-                    put_uvarint(&mut payload, b);
-                }
-                for &b in &r.write_bytes {
-                    put_uvarint(&mut payload, b);
-                }
+                encode_heatmap_record(&mut payload, r);
             }
             region(&mut out, ModuleId::Heatmap.code(), &payload);
         }
@@ -184,14 +167,39 @@ impl LogWriter {
     }
 }
 
-fn region(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
+pub(super) fn region(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
     out.push(tag);
     put_uvarint(out, payload.len() as u64);
     out.extend_from_slice(payload);
     out.extend_from_slice(&crc32(payload).to_le_bytes());
 }
 
-fn encode_job(buf: &mut Vec<u8>, job: &JobRecord) -> Result<(), DarshanError> {
+pub(super) fn encode_lustre_record(payload: &mut Vec<u8>, r: &LustreRecord) {
+    put_uvarint(payload, r.file_id);
+    put_ivarint(payload, i64::from(r.rank));
+    put_uvarint(payload, r.counters.len() as u64);
+    for &c in &r.counters {
+        put_ivarint(payload, c);
+    }
+    put_uvarint(payload, r.ost_ids.len() as u64);
+    for &o in &r.ost_ids {
+        put_ivarint(payload, o);
+    }
+}
+
+pub(super) fn encode_heatmap_record(payload: &mut Vec<u8>, r: &HeatmapRecord) {
+    put_ivarint(payload, i64::from(r.rank));
+    put_f64(payload, r.bin_width);
+    put_uvarint(payload, r.read_bytes.len() as u64);
+    for &b in &r.read_bytes {
+        put_uvarint(payload, b);
+    }
+    for &b in &r.write_bytes {
+        put_uvarint(payload, b);
+    }
+}
+
+pub(super) fn encode_job(buf: &mut Vec<u8>, job: &JobRecord) -> Result<(), DarshanError> {
     put_uvarint(buf, u64::from(job.uid));
     put_uvarint(buf, job.job_id);
     put_uvarint(buf, u64::from(job.nprocs));
@@ -206,7 +214,7 @@ fn encode_job(buf: &mut Vec<u8>, job: &JobRecord) -> Result<(), DarshanError> {
     Ok(())
 }
 
-fn encode_counter_record(
+pub(super) fn encode_counter_record(
     buf: &mut Vec<u8>,
     file_id: u64,
     rank: i32,
@@ -225,7 +233,7 @@ fn encode_counter_record(
     }
 }
 
-fn encode_dxt_record(buf: &mut Vec<u8>, r: &DxtRecord) -> Result<(), DarshanError> {
+pub(super) fn encode_dxt_record(buf: &mut Vec<u8>, r: &DxtRecord) -> Result<(), DarshanError> {
     put_uvarint(buf, r.file_id);
     put_ivarint(buf, i64::from(r.rank));
     buf.push(match r.layer {

@@ -5,7 +5,10 @@ use darshan::counters::{
     LustreCounter, MpiioCounter, MpiioFCounter, PosixCounter, PosixFCounter, StdioCounter,
     StdioFCounter,
 };
+use darshan::dxt::{DxtRecord, DxtSegment, OpKind};
+use darshan::heatmap::HeatmapRecord;
 use darshan::log::Log;
+use darshan::records::LustreRecord;
 use std::collections::HashMap;
 
 /// The set of tables the extractor produces for one log.
@@ -58,11 +61,125 @@ impl TableSet {
 /// Column names common to every counter table.
 const ID_COLUMNS: [&str; 3] = ["file_id", "file_name", "rank"];
 
-fn id_cells(log: &Log, file_id: u64, rank: i32) -> Vec<Value> {
+/// `HEATMAP` table columns.
+pub(crate) const HEATMAP_COLUMNS: [&str; 6] = [
+    "rank",
+    "bin",
+    "bin_start",
+    "bin_end",
+    "read_bytes",
+    "write_bytes",
+];
+
+/// `DXT` table columns.
+pub(crate) const DXT_COLUMNS: [&str; 10] = [
+    "file_id",
+    "file_name",
+    "rank",
+    "module",
+    "op",
+    "segment",
+    "offset",
+    "length",
+    "start_time",
+    "end_time",
+];
+
+/// `POSIX` table columns.
+pub(crate) fn posix_columns() -> Vec<&'static str> {
+    let mut cols: Vec<&str> = ID_COLUMNS.to_vec();
+    cols.extend(PosixCounter::ALL.iter().map(|c| c.name()));
+    cols.extend(PosixFCounter::ALL.iter().map(|c| c.name()));
+    cols
+}
+
+/// `MPIIO` table columns.
+pub(crate) fn mpiio_columns() -> Vec<&'static str> {
+    let mut cols: Vec<&str> = ID_COLUMNS.to_vec();
+    cols.extend(MpiioCounter::ALL.iter().map(|c| c.name()));
+    cols.extend(MpiioFCounter::ALL.iter().map(|c| c.name()));
+    cols
+}
+
+/// `STDIO` table columns.
+pub(crate) fn stdio_columns() -> Vec<&'static str> {
+    let mut cols: Vec<&str> = ID_COLUMNS.to_vec();
+    cols.extend(StdioCounter::ALL.iter().map(|c| c.name()));
+    cols.extend(StdioFCounter::ALL.iter().map(|c| c.name()));
+    cols
+}
+
+/// `LUSTRE` table columns.
+pub(crate) fn lustre_columns() -> Vec<&'static str> {
+    let mut cols: Vec<&str> = ID_COLUMNS.to_vec();
+    cols.extend(LustreCounter::ALL.iter().map(|c| c.name()));
+    cols.push("LUSTRE_OST_IDS");
+    cols
+}
+
+fn id_cells(path: Option<&str>, file_id: u64, rank: i32) -> Vec<Value> {
     vec![
         Value::Int(file_id as i64),
-        Value::Str(log.path_for(file_id).unwrap_or("<unknown>").into()),
+        Value::Str(path.unwrap_or("<unknown>").into()),
         Value::Int(i64::from(rank)),
+    ]
+}
+
+/// One row of a counter table (`POSIX`/`MPIIO`/`STDIO`). Shared between
+/// the batch and streaming extractors so both produce identical cells.
+pub(crate) fn counter_row(
+    file_id: u64,
+    rank: i32,
+    path: Option<&str>,
+    counters: &[i64],
+    fcounters: &[f64],
+) -> Vec<Value> {
+    let mut row = id_cells(path, file_id, rank);
+    row.extend(counters.iter().map(|&c| Value::Int(c)));
+    row.extend(fcounters.iter().map(|&f| Value::Float(f)));
+    row
+}
+
+/// One `LUSTRE` table row.
+pub(crate) fn lustre_row(r: &LustreRecord, path: Option<&str>) -> Vec<Value> {
+    let mut row = id_cells(path, r.file_id, r.rank);
+    row.extend(r.counters.iter().map(|&c| Value::Int(c)));
+    let ids: Vec<String> = r.ost_ids.iter().map(ToString::to_string).collect();
+    row.push(Value::Str(ids.join(" ").into()));
+    row
+}
+
+/// One `HEATMAP` table row (one per time bin of a record).
+pub(crate) fn heatmap_row(r: &HeatmapRecord, bin: usize, rd: u64, wr: u64) -> Vec<Value> {
+    vec![
+        Value::Int(i64::from(r.rank)),
+        Value::Int(bin as i64),
+        Value::Float(bin as f64 * r.bin_width),
+        Value::Float((bin + 1) as f64 * r.bin_width),
+        Value::Int(rd as i64),
+        Value::Int(wr as i64),
+    ]
+}
+
+/// One `DXT` table row (one per traced operation of a record).
+pub(crate) fn dxt_row(
+    r: &DxtRecord,
+    path: Option<&str>,
+    seg_no: usize,
+    kind: OpKind,
+    s: &DxtSegment,
+) -> Vec<Value> {
+    vec![
+        Value::Int(r.file_id as i64),
+        Value::Str(path.unwrap_or("<unknown>").into()),
+        Value::Int(i64::from(r.rank)),
+        Value::Str(r.layer.name().into()),
+        Value::Str(kind.name().into()),
+        Value::Int(seg_no as i64),
+        Value::Int(s.offset as i64),
+        Value::Int(s.length as i64),
+        Value::Float(s.start_time),
+        Value::Float(s.end_time),
     ]
 }
 
@@ -80,115 +197,71 @@ pub fn extract_tables(log: &Log) -> TableSet {
     let mut set = TableSet::default();
 
     if !log.posix.is_empty() {
-        let mut cols: Vec<&str> = ID_COLUMNS.to_vec();
-        cols.extend(PosixCounter::ALL.iter().map(|c| c.name()));
-        cols.extend(PosixFCounter::ALL.iter().map(|c| c.name()));
-        let mut t = Table::new("POSIX", &cols);
+        let mut t = Table::new("POSIX", &posix_columns());
         for r in &log.posix {
-            let mut row = id_cells(log, r.file_id, r.rank);
-            row.extend(r.counters.iter().map(|&c| Value::Int(c)));
-            row.extend(r.fcounters.iter().map(|&f| Value::Float(f)));
-            t.push_row(row);
+            t.push_row(counter_row(
+                r.file_id,
+                r.rank,
+                log.path_for(r.file_id),
+                &r.counters,
+                &r.fcounters,
+            ));
         }
         set.insert(t);
     }
 
     if !log.mpiio.is_empty() {
-        let mut cols: Vec<&str> = ID_COLUMNS.to_vec();
-        cols.extend(MpiioCounter::ALL.iter().map(|c| c.name()));
-        cols.extend(MpiioFCounter::ALL.iter().map(|c| c.name()));
-        let mut t = Table::new("MPIIO", &cols);
+        let mut t = Table::new("MPIIO", &mpiio_columns());
         for r in &log.mpiio {
-            let mut row = id_cells(log, r.file_id, r.rank);
-            row.extend(r.counters.iter().map(|&c| Value::Int(c)));
-            row.extend(r.fcounters.iter().map(|&f| Value::Float(f)));
-            t.push_row(row);
+            t.push_row(counter_row(
+                r.file_id,
+                r.rank,
+                log.path_for(r.file_id),
+                &r.counters,
+                &r.fcounters,
+            ));
         }
         set.insert(t);
     }
 
     if !log.stdio.is_empty() {
-        let mut cols: Vec<&str> = ID_COLUMNS.to_vec();
-        cols.extend(StdioCounter::ALL.iter().map(|c| c.name()));
-        cols.extend(StdioFCounter::ALL.iter().map(|c| c.name()));
-        let mut t = Table::new("STDIO", &cols);
+        let mut t = Table::new("STDIO", &stdio_columns());
         for r in &log.stdio {
-            let mut row = id_cells(log, r.file_id, r.rank);
-            row.extend(r.counters.iter().map(|&c| Value::Int(c)));
-            row.extend(r.fcounters.iter().map(|&f| Value::Float(f)));
-            t.push_row(row);
+            t.push_row(counter_row(
+                r.file_id,
+                r.rank,
+                log.path_for(r.file_id),
+                &r.counters,
+                &r.fcounters,
+            ));
         }
         set.insert(t);
     }
 
     if !log.lustre.is_empty() {
-        let mut cols: Vec<&str> = ID_COLUMNS.to_vec();
-        cols.extend(LustreCounter::ALL.iter().map(|c| c.name()));
-        cols.push("LUSTRE_OST_IDS");
-        let mut t = Table::new("LUSTRE", &cols);
+        let mut t = Table::new("LUSTRE", &lustre_columns());
         for r in &log.lustre {
-            let mut row = id_cells(log, r.file_id, r.rank);
-            row.extend(r.counters.iter().map(|&c| Value::Int(c)));
-            let ids: Vec<String> = r.ost_ids.iter().map(ToString::to_string).collect();
-            row.push(Value::Str(ids.join(" ").into()));
-            t.push_row(row);
+            t.push_row(lustre_row(r, log.path_for(r.file_id)));
         }
         set.insert(t);
     }
 
     if !log.heatmap.is_empty() {
-        let cols = [
-            "rank",
-            "bin",
-            "bin_start",
-            "bin_end",
-            "read_bytes",
-            "write_bytes",
-        ];
-        let mut t = Table::new("HEATMAP", &cols);
+        let mut t = Table::new("HEATMAP", &HEATMAP_COLUMNS);
         for r in &log.heatmap {
             for (bin, (rd, wr)) in r.read_bytes.iter().zip(&r.write_bytes).enumerate() {
-                t.push_row(vec![
-                    Value::Int(i64::from(r.rank)),
-                    Value::Int(bin as i64),
-                    Value::Float(bin as f64 * r.bin_width),
-                    Value::Float((bin + 1) as f64 * r.bin_width),
-                    Value::Int(*rd as i64),
-                    Value::Int(*wr as i64),
-                ]);
+                t.push_row(heatmap_row(r, bin, *rd, *wr));
             }
         }
         set.insert(t);
     }
 
     if !log.dxt.is_empty() {
-        let cols = [
-            "file_id",
-            "file_name",
-            "rank",
-            "module",
-            "op",
-            "segment",
-            "offset",
-            "length",
-            "start_time",
-            "end_time",
-        ];
-        let mut t = Table::new("DXT", &cols);
+        let mut t = Table::new("DXT", &DXT_COLUMNS);
         for r in &log.dxt {
+            let path = log.path_for(r.file_id);
             for (seg_no, (kind, s)) in r.iter().enumerate() {
-                t.push_row(vec![
-                    Value::Int(r.file_id as i64),
-                    Value::Str(log.path_for(r.file_id).unwrap_or("<unknown>").into()),
-                    Value::Int(i64::from(r.rank)),
-                    Value::Str(r.layer.name().into()),
-                    Value::Str(kind.name().into()),
-                    Value::Int(seg_no as i64),
-                    Value::Int(s.offset as i64),
-                    Value::Int(s.length as i64),
-                    Value::Float(s.start_time),
-                    Value::Float(s.end_time),
-                ]);
+                t.push_row(dxt_row(r, path, seg_no, kind, s));
             }
         }
         set.insert(t);

@@ -15,6 +15,10 @@
 //! * [`schema`] — prose descriptions of every column, used verbatim in ION
 //!   prompts ("a description of the columns in the associated CSV files").
 //! * [`extract`] — the extractor itself: [`extract::extract_tables`].
+//! * [`chunked`] — out-of-core table building: fixed-row chunks,
+//!   compressed column encodings, and the spill pager contract.
+//! * [`stream`] — streaming extraction ([`stream::extract_stream`])
+//!   that folds a lazily decoded log straight into chunked tables.
 //! * [`stats`] — descriptive statistics over table columns.
 //!
 //! # Example
@@ -37,11 +41,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chunked;
 pub mod csv;
 pub mod extract;
 pub mod schema;
 pub mod stats;
+pub mod stream;
 pub mod table;
 
+pub use chunked::{decode_chunk, encode_chunk, ChunkPager, ChunkTicket, ChunkedTableBuilder};
 pub use extract::{extract_tables, TableSet};
+pub use stream::{extract_stream, StreamExtractError, StreamExtracted, DEFAULT_CHUNK_ROWS};
 pub use table::{Bitmap, Column, ColumnData, RowView, Table, Value};

@@ -1,0 +1,375 @@
+//! Streaming extraction: Darshan bytes → chunked tables, one region at
+//! a time.
+//!
+//! [`extract_stream`] drives a [`StreamDecoder`] over any [`Read`]
+//! source and folds each decoded region straight into per-module
+//! [`ChunkedTableBuilder`]s, so the full record vectors of a large log
+//! (most importantly DXT traces) never exist in memory at once. The
+//! resulting [`TableSet`] is cell-for-cell identical to
+//! [`extract_tables`](crate::extract::extract_tables) over the eagerly
+//! decoded log — row builders are shared between the two paths — which
+//! keeps `ion-store` content digests byte-stable across ingest modes.
+//!
+//! Alongside the tables the extractor returns a *skeleton* [`Log`]:
+//! the job record, the name table, and the first Lustre record. That is
+//! exactly the subset `ion`'s `SystemParams::from_log` reads, so callers
+//! can derive analysis parameters without a full decode.
+
+use crate::chunked::{ChunkPager, ChunkedTableBuilder};
+use crate::extract::{
+    counter_row, dxt_row, heatmap_row, lustre_columns, lustre_row, mpiio_columns, posix_columns,
+    stdio_columns, TableSet, DXT_COLUMNS, HEATMAP_COLUMNS,
+};
+use darshan::log::{Log, StreamDecoder};
+use darshan::records::JobRecord;
+use darshan::DarshanError;
+use std::collections::HashMap;
+use std::io::{self, Read};
+use std::sync::Arc;
+
+/// Default rows per chunk: large enough that per-chunk overheads vanish,
+/// small enough that an open chunk of the widest table stays in the
+/// tens of megabytes.
+pub const DEFAULT_CHUNK_ROWS: usize = 65_536;
+
+/// Failure modes of [`extract_stream`].
+#[derive(Debug)]
+pub enum StreamExtractError {
+    /// The log itself failed to frame or decode.
+    Decode(DarshanError),
+    /// The chunk pager failed to spill or reload a chunk.
+    Spill(io::Error),
+}
+
+impl std::fmt::Display for StreamExtractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamExtractError::Decode(e) => write!(f, "decode failed: {e}"),
+            StreamExtractError::Spill(e) => write!(f, "chunk spill failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamExtractError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamExtractError::Decode(e) => Some(e),
+            StreamExtractError::Spill(e) => Some(e),
+        }
+    }
+}
+
+impl From<DarshanError> for StreamExtractError {
+    fn from(e: DarshanError) -> Self {
+        StreamExtractError::Decode(e)
+    }
+}
+
+impl From<io::Error> for StreamExtractError {
+    fn from(e: io::Error) -> Self {
+        StreamExtractError::Spill(e)
+    }
+}
+
+/// Everything [`extract_stream`] produces.
+#[derive(Debug)]
+pub struct StreamExtracted {
+    /// Per-module tables, identical to the batch extractor's output.
+    pub tables: TableSet,
+    /// Job record, name table, and first Lustre record — the subset of
+    /// the log that parameter derivation reads. Module record vectors
+    /// are intentionally left empty.
+    pub skeleton: Log,
+    /// Total table rows extracted.
+    pub rows: u64,
+    /// Bytes consumed from the source.
+    pub bytes_read: u64,
+}
+
+/// Per-module chunked builders, created lazily so absent modules yield
+/// absent tables (module absence is a signal downstream).
+#[derive(Default)]
+struct Builders {
+    posix: Option<ChunkedTableBuilder>,
+    mpiio: Option<ChunkedTableBuilder>,
+    stdio: Option<ChunkedTableBuilder>,
+    lustre: Option<ChunkedTableBuilder>,
+    dxt: Option<ChunkedTableBuilder>,
+    heatmap: Option<ChunkedTableBuilder>,
+}
+
+fn builder<'a>(
+    slot: &'a mut Option<ChunkedTableBuilder>,
+    name: &str,
+    columns: &[&str],
+    chunk_rows: usize,
+    pager: Option<&Arc<dyn ChunkPager>>,
+) -> &'a mut ChunkedTableBuilder {
+    slot.get_or_insert_with(|| match pager {
+        Some(p) => ChunkedTableBuilder::with_pager(name, columns, chunk_rows, Arc::clone(p)),
+        None => ChunkedTableBuilder::new(name, columns, chunk_rows),
+    })
+}
+
+/// Extract every module of a serialized log into tables without ever
+/// materializing the full record vectors.
+///
+/// `chunk_rows` bounds the rows held uncompressed per table; sealed
+/// chunks are compressed in place, and spill through `pager` when one
+/// is provided. Decoding is strict, like `LogReader::read`: the first
+/// framing, checksum, or record error aborts the extraction.
+///
+/// # Errors
+///
+/// [`StreamExtractError::Decode`] for log-level failures (including a
+/// missing job region), [`StreamExtractError::Spill`] when the pager
+/// fails.
+pub fn extract_stream<R: Read>(
+    src: R,
+    chunk_rows: usize,
+    pager: Option<Arc<dyn ChunkPager>>,
+) -> Result<StreamExtracted, StreamExtractError> {
+    let mut span = ion_obs::span!("extract.stream");
+    ion_obs::counter("extract.runs", 1);
+
+    let mut decoder = StreamDecoder::new(src)?;
+    let mut skeleton = Log::new(JobRecord::new(0, 0, 0));
+    let mut scratch = Log::new(JobRecord::new(0, 0, 0));
+    // Insert-if-absent mirrors `Log::path_for`'s first-match semantics.
+    let mut name_index: HashMap<u64, usize> = HashMap::new();
+    let mut builders = Builders::default();
+    let mut saw_job = false;
+
+    while let Some(region) = decoder.next_region()? {
+        let is_job = region.decode_into(&mut scratch)?;
+        if is_job {
+            skeleton.job = scratch.job.clone();
+            saw_job = true;
+            continue;
+        }
+        for n in scratch.names.drain(..) {
+            name_index.entry(n.id).or_insert(skeleton.names.len());
+            skeleton.names.push(n);
+        }
+        let path_of = |id: u64| -> Option<&str> {
+            name_index
+                .get(&id)
+                .map(|&i| skeleton.names[i].path.as_str())
+        };
+        for r in scratch.posix.drain(..) {
+            let b = builder(
+                &mut builders.posix,
+                "POSIX",
+                &posix_columns(),
+                chunk_rows,
+                pager.as_ref(),
+            );
+            b.push_row(counter_row(
+                r.file_id,
+                r.rank,
+                path_of(r.file_id),
+                &r.counters,
+                &r.fcounters,
+            ))?;
+        }
+        for r in scratch.mpiio.drain(..) {
+            let b = builder(
+                &mut builders.mpiio,
+                "MPIIO",
+                &mpiio_columns(),
+                chunk_rows,
+                pager.as_ref(),
+            );
+            b.push_row(counter_row(
+                r.file_id,
+                r.rank,
+                path_of(r.file_id),
+                &r.counters,
+                &r.fcounters,
+            ))?;
+        }
+        for r in scratch.stdio.drain(..) {
+            let b = builder(
+                &mut builders.stdio,
+                "STDIO",
+                &stdio_columns(),
+                chunk_rows,
+                pager.as_ref(),
+            );
+            b.push_row(counter_row(
+                r.file_id,
+                r.rank,
+                path_of(r.file_id),
+                &r.counters,
+                &r.fcounters,
+            ))?;
+        }
+        for r in scratch.lustre.drain(..) {
+            let b = builder(
+                &mut builders.lustre,
+                "LUSTRE",
+                &lustre_columns(),
+                chunk_rows,
+                pager.as_ref(),
+            );
+            b.push_row(lustre_row(&r, path_of(r.file_id)))?;
+            // Parameter derivation reads only the first Lustre record.
+            if skeleton.lustre.is_empty() {
+                skeleton.lustre.push(r);
+            }
+        }
+        for r in scratch.dxt.drain(..) {
+            let b = builder(
+                &mut builders.dxt,
+                "DXT",
+                &DXT_COLUMNS,
+                chunk_rows,
+                pager.as_ref(),
+            );
+            let path = name_index
+                .get(&r.file_id)
+                .map(|&i| skeleton.names[i].path.as_str());
+            for (seg_no, (kind, s)) in r.iter().enumerate() {
+                b.push_row(dxt_row(&r, path, seg_no, kind, s))?;
+            }
+        }
+        for r in scratch.heatmap.drain(..) {
+            let b = builder(
+                &mut builders.heatmap,
+                "HEATMAP",
+                &HEATMAP_COLUMNS,
+                chunk_rows,
+                pager.as_ref(),
+            );
+            for (bin, (rd, wr)) in r.read_bytes.iter().zip(&r.write_bytes).enumerate() {
+                b.push_row(heatmap_row(&r, bin, *rd, *wr))?;
+            }
+        }
+    }
+    if !saw_job {
+        return Err(DarshanError::UnexpectedEof {
+            decoding: "job region",
+        }
+        .into());
+    }
+
+    let mut tables = TableSet::default();
+    let mut rows = 0u64;
+    for b in [
+        builders.posix,
+        builders.mpiio,
+        builders.stdio,
+        builders.lustre,
+        builders.heatmap,
+        builders.dxt,
+    ]
+    .into_iter()
+    .flatten()
+    {
+        let t = b.finish()?;
+        rows += t.len() as u64;
+        tables.insert(t);
+    }
+    let bytes_read = decoder.bytes_read() as u64;
+
+    span.attr("tables", tables.len());
+    span.attr("rows", rows);
+    if ion_obs::enabled() {
+        for (name, table) in tables.iter() {
+            ion_obs::counter(&format!("extract.rows.{name}"), table.len() as u64);
+        }
+    }
+    Ok(StreamExtracted {
+        tables,
+        skeleton,
+        rows,
+        bytes_read,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract_tables;
+    use darshan::accum::PosixAccumulator;
+    use darshan::dxt::{DxtLayer, DxtRecord, DxtSegment, OpKind};
+    use darshan::heatmap::HeatmapAccumulator;
+    use darshan::log::LogWriter;
+    use darshan::record_id;
+    use darshan::records::{JobRecord, LustreRecord};
+
+    fn sample_log() -> Log {
+        let mut w = LogWriter::new(JobRecord::new(7, 42, 4));
+        let id = record_id("/scratch/big.h5");
+        w.register_name(id, "/scratch/big.h5");
+        for rank in 0..4 {
+            let mut acc = PosixAccumulator::new(id, rank);
+            acc.open(0.0, 0.01);
+            acc.write(0, 4096, 0.01, 0.02, true);
+            acc.close(0.03, 0.04);
+            w.add_posix_record(acc.finish());
+            let mut d = DxtRecord::new(id, rank, DxtLayer::Posix, "nid0");
+            for i in 0..10u64 {
+                d.push(
+                    OpKind::Write,
+                    DxtSegment {
+                        offset: i * 4096,
+                        length: 4096,
+                        start_time: 0.01 * i as f64,
+                        end_time: 0.01 * i as f64 + 0.004,
+                    },
+                );
+            }
+            w.add_dxt_record(d);
+        }
+        w.add_lustre_record(LustreRecord::new(id, 0, 1 << 20, vec![1, 3]));
+        let mut hm = HeatmapAccumulator::new(0);
+        hm.observe(true, 4096, 0.02, 0.03);
+        hm.observe(false, 512, 0.05, 0.06);
+        w.add_heatmap_record(hm.finish());
+        w.into_log()
+    }
+
+    #[test]
+    fn stream_extract_matches_batch_extract() {
+        let log = sample_log();
+        let bytes = LogWriter::from_log(log.clone()).finish().unwrap();
+        let batch = extract_tables(&log);
+        // Chunk budget smaller than the row count to force sealing.
+        let streamed = extract_stream(&bytes[..], 7, None).unwrap();
+        assert_eq!(streamed.tables.names(), batch.names());
+        for (name, t) in batch.iter() {
+            assert_eq!(streamed.tables.get(name).unwrap(), t, "table {name}");
+        }
+        assert_eq!(streamed.bytes_read as usize, bytes.len());
+    }
+
+    #[test]
+    fn skeleton_carries_params_inputs() {
+        let log = sample_log();
+        let bytes = LogWriter::from_log(log.clone()).finish().unwrap();
+        let s = extract_stream(&bytes[..], 1024, None).unwrap();
+        assert_eq!(s.skeleton.job, log.job);
+        assert_eq!(s.skeleton.names, log.names);
+        assert_eq!(s.skeleton.lustre.first(), log.lustre.first());
+        // Module vectors stay empty (except the single Lustre record).
+        assert!(s.skeleton.posix.is_empty());
+        assert!(s.skeleton.dxt.is_empty());
+    }
+
+    #[test]
+    fn missing_job_region_is_strict_error() {
+        let err = extract_stream(&b"DSHN\x01\x00\x00\x00\xff"[..], 16, None).unwrap_err();
+        assert!(matches!(
+            err,
+            StreamExtractError::Decode(DarshanError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_is_strict_error() {
+        let bytes = LogWriter::from_log(sample_log()).finish().unwrap();
+        let err = extract_stream(&bytes[..bytes.len() - 6], 16, None).unwrap_err();
+        assert!(matches!(err, StreamExtractError::Decode(_)));
+    }
+}

@@ -232,6 +232,12 @@ impl Bitmap {
 /// for columns whose cells do not share one type (e.g. an `Int` column
 /// that later receives a `Float` — the distinction is observable because
 /// `Int(1)` and `Float(1.0)` render differently).
+///
+/// `Dict`/`RleInt`/`RleFloat` are compressed encodings produced by
+/// [`ColumnData::compressed`]. They answer the same row-level API
+/// (`value`, `f64_at`, `push`, `gather`, …) as the dense variants and
+/// compare equal to their uncompressed form, so the rest of the pipeline
+/// never needs to know which physical representation a column uses.
 #[derive(Debug, Clone)]
 pub enum ColumnData {
     /// 64-bit integers.
@@ -255,8 +261,39 @@ pub enum ColumnData {
         /// `None` = all rows valid.
         validity: Option<Bitmap>,
     },
+    /// Dictionary-encoded strings: row `i` holds `dict[codes[i]]`.
+    Dict {
+        /// One dictionary index per row (placeholder `0` where invalid).
+        codes: Vec<u32>,
+        /// Distinct strings in first-occurrence order.
+        dict: Vec<Arc<str>>,
+        /// `None` = all rows valid.
+        validity: Option<Bitmap>,
+    },
+    /// Run-length-encoded integers. Only null-free columns use this
+    /// encoding, so there is no validity bitmap.
+    RleInt {
+        /// One payload per run.
+        values: Vec<i64>,
+        /// Cumulative row count at the end of each run; the last entry is
+        /// the column length. Strictly increasing.
+        ends: Vec<u64>,
+    },
+    /// Run-length-encoded floats (runs grouped by bit pattern, so NaN
+    /// runs compress and `-0.0`/`0.0` stay distinct). Null-free only.
+    RleFloat {
+        /// One payload per run.
+        values: Vec<f64>,
+        /// Cumulative row count at the end of each run.
+        ends: Vec<u64>,
+    },
     /// Heterogeneous fallback: one boxed [`Value`] per row.
     Mixed(Vec<Value>),
+}
+
+/// Index of the run containing row `i` (`ends` is cumulative).
+fn run_index(ends: &[u64], i: usize) -> usize {
+    ends.partition_point(|&e| e <= i as u64)
 }
 
 impl Default for ColumnData {
@@ -295,6 +332,10 @@ impl ColumnData {
             ColumnData::Int { values, .. } => values.len(),
             ColumnData::Float { values, .. } => values.len(),
             ColumnData::Str { values, .. } => values.len(),
+            ColumnData::Dict { codes, .. } => codes.len(),
+            ColumnData::RleInt { ends, .. } | ColumnData::RleFloat { ends, .. } => {
+                ends.last().map_or(0, |&e| e as usize)
+            }
             ColumnData::Mixed(values) => values.len(),
         }
     }
@@ -311,9 +352,11 @@ impl ColumnData {
         match self {
             ColumnData::Int { validity, .. }
             | ColumnData::Float { validity, .. }
-            | ColumnData::Str { validity, .. } => {
+            | ColumnData::Str { validity, .. }
+            | ColumnData::Dict { validity, .. } => {
                 validity.as_ref().map_or(0, |b| b.len() - b.count_ones())
             }
+            ColumnData::RleInt { .. } | ColumnData::RleFloat { .. } => 0,
             ColumnData::Mixed(values) => values.iter().filter(|v| v.is_null()).count(),
         }
     }
@@ -324,7 +367,9 @@ impl ColumnData {
         match self {
             ColumnData::Int { validity, .. }
             | ColumnData::Float { validity, .. }
-            | ColumnData::Str { validity, .. } => validity.as_ref().is_some_and(|b| !b.get(i)),
+            | ColumnData::Str { validity, .. }
+            | ColumnData::Dict { validity, .. } => validity.as_ref().is_some_and(|b| !b.get(i)),
+            ColumnData::RleInt { .. } | ColumnData::RleFloat { .. } => false,
             ColumnData::Mixed(values) => values[i].is_null(),
         }
     }
@@ -361,6 +406,20 @@ impl ColumnData {
                     Value::Str(values[i].clone())
                 }
             }
+            ColumnData::Dict {
+                codes,
+                dict,
+                validity,
+            } => {
+                if validity.as_ref().is_some_and(|b| !b.get(i)) {
+                    assert!(i < codes.len(), "row {i} out of range");
+                    Value::Null
+                } else {
+                    Value::Str(dict[codes[i] as usize].clone())
+                }
+            }
+            ColumnData::RleInt { values, ends } => Value::Int(values[run_index(ends, i)]),
+            ColumnData::RleFloat { values, ends } => Value::Float(values[run_index(ends, i)]),
             ColumnData::Mixed(values) => values[i].clone(),
         }
     }
@@ -383,7 +442,9 @@ impl ColumnData {
                     Some(values[i])
                 }
             }
-            ColumnData::Str { .. } => None,
+            ColumnData::Str { .. } | ColumnData::Dict { .. } => None,
+            ColumnData::RleInt { values, ends } => Some(values[run_index(ends, i)] as f64),
+            ColumnData::RleFloat { values, ends } => Some(values[run_index(ends, i)]),
             ColumnData::Mixed(values) => values[i].as_f64(),
         }
     }
@@ -424,6 +485,53 @@ impl ColumnData {
                 let b = validity.get_or_insert_with(|| Bitmap::filled(values.len(), true));
                 values.push(Arc::from(""));
                 b.push(false);
+            }
+            (
+                ColumnData::Dict {
+                    codes,
+                    dict,
+                    validity,
+                },
+                Value::Str(s),
+            ) => {
+                // Linear dictionary probe: pushes into an already-built
+                // Dict are rare (bulk building goes through `compressed`).
+                let code = dict.iter().position(|d| **d == *s).unwrap_or_else(|| {
+                    dict.push(s);
+                    dict.len() - 1
+                });
+                codes.push(u32::try_from(code).expect("dictionary fits u32"));
+                if let Some(b) = validity {
+                    b.push(true);
+                }
+            }
+            (
+                ColumnData::Dict {
+                    codes, validity, ..
+                },
+                Value::Null,
+            ) => {
+                let b = validity.get_or_insert_with(|| Bitmap::filled(codes.len(), true));
+                codes.push(0);
+                b.push(false);
+            }
+            (ColumnData::RleInt { values, ends }, Value::Int(i)) => {
+                if values.last() == Some(&i) {
+                    *ends.last_mut().expect("non-empty runs") += 1;
+                } else {
+                    let len = ends.last().copied().unwrap_or(0);
+                    values.push(i);
+                    ends.push(len + 1);
+                }
+            }
+            (ColumnData::RleFloat { values, ends }, Value::Float(f)) => {
+                if values.last().map(|v| v.to_bits()) == Some(f.to_bits()) {
+                    *ends.last_mut().expect("non-empty runs") += 1;
+                } else {
+                    let len = ends.last().copied().unwrap_or(0);
+                    values.push(f);
+                    ends.push(len + 1);
+                }
             }
             (ColumnData::Mixed(values), v) => values.push(v),
             (slot, v) => {
@@ -506,9 +614,329 @@ impl ColumnData {
                     .collect(),
                 validity: gathered_validity(validity.as_ref(), indices),
             },
+            ColumnData::Dict {
+                codes,
+                dict,
+                validity,
+            } => ColumnData::Dict {
+                codes: indices.iter().map(|&i| codes[i as usize]).collect(),
+                dict: dict.clone(),
+                validity: gathered_validity(validity.as_ref(), indices),
+            },
+            ColumnData::RleInt { values, ends } => ColumnData::Int {
+                values: indices
+                    .iter()
+                    .map(|&i| {
+                        assert!(
+                            (i as u64) < ends.last().copied().unwrap_or(0),
+                            "row {i} out of range"
+                        );
+                        values[run_index(ends, i as usize)]
+                    })
+                    .collect(),
+                validity: None,
+            },
+            ColumnData::RleFloat { values, ends } => ColumnData::Float {
+                values: indices
+                    .iter()
+                    .map(|&i| {
+                        assert!(
+                            (i as u64) < ends.last().copied().unwrap_or(0),
+                            "row {i} out of range"
+                        );
+                        values[run_index(ends, i as usize)]
+                    })
+                    .collect(),
+                validity: None,
+            },
             ColumnData::Mixed(values) => {
                 ColumnData::from_values(indices.iter().map(|&i| values[i as usize].clone()))
             }
+        }
+    }
+
+    /// Re-encode the column into the most compact representation this
+    /// model knows: strings dictionary-encode when the dictionary is at
+    /// most half the row count, and null-free `Int`/`Float` columns
+    /// run-length-encode when the run count is at most half the row
+    /// count. Columns that would not shrink are returned unchanged, and
+    /// every cell observable through [`value`](ColumnData::value) stays
+    /// identical — compression never changes table equality or digests.
+    #[must_use]
+    pub fn compressed(self) -> ColumnData {
+        match self {
+            ColumnData::Str { values, validity } => {
+                let mut dict: Vec<Arc<str>> = Vec::new();
+                let mut map: std::collections::HashMap<Arc<str>, u32> =
+                    std::collections::HashMap::new();
+                let codes: Vec<u32> = values
+                    .iter()
+                    .map(|s| {
+                        *map.entry(Arc::clone(s)).or_insert_with(|| {
+                            dict.push(Arc::clone(s));
+                            u32::try_from(dict.len() - 1).expect("dictionary fits u32")
+                        })
+                    })
+                    .collect();
+                if !values.is_empty() && dict.len() * 2 <= values.len() {
+                    ColumnData::Dict {
+                        codes,
+                        dict,
+                        validity,
+                    }
+                } else {
+                    ColumnData::Str { values, validity }
+                }
+            }
+            ColumnData::Int {
+                values,
+                validity: None,
+            } => {
+                let runs = count_runs(&values, |a, b| a == b);
+                if runs * 2 <= values.len() && !values.is_empty() {
+                    let (rv, ends) = encode_runs(&values, |a, b| a == b);
+                    ColumnData::RleInt { values: rv, ends }
+                } else {
+                    ColumnData::Int {
+                        values,
+                        validity: None,
+                    }
+                }
+            }
+            ColumnData::Float {
+                values,
+                validity: None,
+            } => {
+                let same = |a: &f64, b: &f64| a.to_bits() == b.to_bits();
+                let runs = count_runs(&values, same);
+                if runs * 2 <= values.len() && !values.is_empty() {
+                    let (rv, ends) = encode_runs(&values, same);
+                    ColumnData::RleFloat { values: rv, ends }
+                } else {
+                    ColumnData::Float {
+                        values,
+                        validity: None,
+                    }
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Expand a compressed encoding back into its dense typed form.
+    /// Identity for columns that are already dense.
+    #[must_use]
+    pub fn decompressed(self) -> ColumnData {
+        match self {
+            ColumnData::Dict {
+                codes,
+                dict,
+                validity,
+            } => ColumnData::Str {
+                values: codes
+                    .iter()
+                    .map(|&c| Arc::clone(&dict[c as usize]))
+                    .collect(),
+                validity,
+            },
+            ColumnData::RleInt { values, ends } => ColumnData::Int {
+                values: expand_runs(&values, &ends),
+                validity: None,
+            },
+            ColumnData::RleFloat { values, ends } => ColumnData::Float {
+                values: expand_runs(&values, &ends),
+                validity: None,
+            },
+            other => other,
+        }
+    }
+
+    /// Append every cell of `other` to this column, preserving compressed
+    /// representations when both sides share one (RLE runs merge across
+    /// the boundary; dictionary codes are remapped). Mismatched
+    /// representations fall back to cell-by-cell [`push`], which applies
+    /// the usual promotion rules.
+    ///
+    /// [`push`]: ColumnData::push
+    pub fn append(&mut self, other: ColumnData) {
+        if self.is_empty() {
+            *self = other;
+            return;
+        }
+        match (&mut *self, other) {
+            (
+                ColumnData::RleInt { values, ends },
+                ColumnData::RleInt {
+                    values: ov,
+                    ends: oe,
+                },
+            ) => {
+                let base = ends.last().copied().unwrap_or(0);
+                for (v, e) in ov.into_iter().zip(oe) {
+                    if values.last() == Some(&v) {
+                        *ends.last_mut().expect("non-empty runs") = base + e;
+                    } else {
+                        values.push(v);
+                        ends.push(base + e);
+                    }
+                }
+            }
+            (
+                ColumnData::RleFloat { values, ends },
+                ColumnData::RleFloat {
+                    values: ov,
+                    ends: oe,
+                },
+            ) => {
+                let base = ends.last().copied().unwrap_or(0);
+                for (v, e) in ov.into_iter().zip(oe) {
+                    if values.last().map(|p| p.to_bits()) == Some(v.to_bits()) {
+                        *ends.last_mut().expect("non-empty runs") = base + e;
+                    } else {
+                        values.push(v);
+                        ends.push(base + e);
+                    }
+                }
+            }
+            (
+                ColumnData::Dict {
+                    codes,
+                    dict,
+                    validity,
+                },
+                ColumnData::Dict {
+                    codes: oc,
+                    dict: od,
+                    validity: ov,
+                },
+            ) => {
+                let map: std::collections::HashMap<Arc<str>, u32> = dict
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (Arc::clone(s), i as u32))
+                    .collect();
+                let remap: Vec<u32> = od
+                    .iter()
+                    .map(|s| {
+                        map.get(&**s).copied().unwrap_or_else(|| {
+                            let code = u32::try_from(dict.len()).expect("dictionary fits u32");
+                            dict.push(Arc::clone(s));
+                            code
+                        })
+                    })
+                    .collect();
+                let before = codes.len();
+                codes.extend(oc.iter().map(|&c| remap[c as usize]));
+                merge_validity(validity, before, ov.as_ref(), oc.len());
+            }
+            (
+                ColumnData::Int { values, validity },
+                ColumnData::Int {
+                    values: ov,
+                    validity: o_validity,
+                },
+            ) => {
+                let before = values.len();
+                values.extend_from_slice(&ov);
+                merge_validity(validity, before, o_validity.as_ref(), ov.len());
+            }
+            (
+                ColumnData::Float { values, validity },
+                ColumnData::Float {
+                    values: ov,
+                    validity: o_validity,
+                },
+            ) => {
+                let before = values.len();
+                values.extend_from_slice(&ov);
+                merge_validity(validity, before, o_validity.as_ref(), ov.len());
+            }
+            (
+                ColumnData::Str { values, validity },
+                ColumnData::Str {
+                    values: ov,
+                    validity: o_validity,
+                },
+            ) => {
+                let before = values.len();
+                let added = ov.len();
+                values.extend(ov);
+                merge_validity(validity, before, o_validity.as_ref(), added);
+            }
+            (_, other) => {
+                for v in other.iter() {
+                    self.push(v);
+                }
+            }
+        }
+    }
+}
+
+/// Number of runs under the given equality.
+fn count_runs<T, F: Fn(&T, &T) -> bool>(values: &[T], same: F) -> usize {
+    let mut runs = 0;
+    let mut prev: Option<&T> = None;
+    for v in values {
+        if prev.is_none_or(|p| !same(p, v)) {
+            runs += 1;
+        }
+        prev = Some(v);
+    }
+    runs
+}
+
+/// Run-length encode `values` into (run payloads, cumulative ends).
+fn encode_runs<T: Copy, F: Fn(&T, &T) -> bool>(values: &[T], same: F) -> (Vec<T>, Vec<u64>) {
+    let mut rv = Vec::new();
+    let mut ends = Vec::new();
+    for (i, v) in values.iter().enumerate() {
+        if rv.last().is_none_or(|p| !same(p, v)) {
+            rv.push(*v);
+            ends.push(i as u64 + 1);
+        } else {
+            *ends.last_mut().expect("non-empty runs") = i as u64 + 1;
+        }
+    }
+    (rv, ends)
+}
+
+/// Expand (run payloads, cumulative ends) back into a dense vector.
+fn expand_runs<T: Copy>(values: &[T], ends: &[u64]) -> Vec<T> {
+    let total = ends.last().copied().unwrap_or(0) as usize;
+    let mut out = Vec::with_capacity(total);
+    let mut start = 0u64;
+    for (v, &e) in values.iter().zip(ends) {
+        out.extend(std::iter::repeat_n(*v, (e - start) as usize));
+        start = e;
+    }
+    out
+}
+
+/// Extend `validity` (covering `before` rows) with `added` rows whose
+/// validity comes from `other` (`None` = all valid), keeping the
+/// `None` ⇔ all-valid canonical form.
+fn merge_validity(
+    validity: &mut Option<Bitmap>,
+    before: usize,
+    other: Option<&Bitmap>,
+    added: usize,
+) {
+    match (validity.as_mut(), other) {
+        (None, None) => {}
+        (Some(b), o) => {
+            for i in 0..added {
+                b.push(o.is_none_or(|ob| ob.get(i)));
+            }
+        }
+        (None, Some(ob)) => {
+            if ob.count_ones() == ob.len() {
+                return;
+            }
+            let mut b = Bitmap::filled(before, true);
+            for i in 0..added {
+                b.push(ob.get(i));
+            }
+            *validity = Some(b);
         }
     }
 }
@@ -898,6 +1326,152 @@ mod tests {
         let t2 = t.clone();
         assert!(Arc::ptr_eq(&shared, &t2.column_arc(0).unwrap()));
         assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn compressed_round_trips_losslessly() {
+        let ints = ColumnData::from_values((0..100).map(|i| Value::Int(i / 10)));
+        let rle = ints.clone().compressed();
+        assert!(matches!(rle, ColumnData::RleInt { .. }));
+        assert_eq!(rle, ints);
+        assert_eq!(rle.clone().decompressed(), ints);
+
+        let floats = ColumnData::from_values((0..100).map(|i| Value::Float(f64::from(i / 25))));
+        let rle_f = floats.clone().compressed();
+        assert!(matches!(rle_f, ColumnData::RleFloat { .. }));
+        assert_eq!(rle_f, floats);
+
+        let strs =
+            ColumnData::from_values((0..100).map(|i| Value::Str(Arc::from(["a", "b"][i % 2]))));
+        let dict = strs.clone().compressed();
+        assert!(matches!(dict, ColumnData::Dict { .. }));
+        assert_eq!(dict, strs);
+        assert_eq!(dict.clone().decompressed(), strs);
+    }
+
+    #[test]
+    fn incompressible_columns_stay_dense() {
+        let ints = ColumnData::from_values((0..100).map(Value::Int));
+        assert!(matches!(ints.clone().compressed(), ColumnData::Int { .. }));
+        let strs = ColumnData::from_values((0..100).map(|i| Value::from(format!("s{i}"))));
+        assert!(matches!(strs.compressed(), ColumnData::Str { .. }));
+        // Nullable int columns never RLE-encode.
+        let mut nullable = ColumnData::from_values(vec![Value::Int(1); 10]);
+        nullable.push(Value::Null);
+        assert!(matches!(
+            nullable.compressed(),
+            ColumnData::Int {
+                validity: Some(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rle_float_runs_group_by_bit_pattern() {
+        let mut vals = vec![Value::Float(f64::NAN); 4];
+        vals.extend(vec![Value::Float(0.0); 4]);
+        vals.extend(vec![Value::Float(-0.0); 4]);
+        let c = ColumnData::from_values(vals).compressed();
+        let ColumnData::RleFloat { values, ends } = &c else {
+            panic!("expected RleFloat, got {c:?}");
+        };
+        assert_eq!(ends, &[4, 8, 12]);
+        assert!(values[0].is_nan());
+        assert!(values[1].is_sign_positive());
+        assert!(values[2].is_sign_negative());
+    }
+
+    #[test]
+    fn push_into_compressed_extends_or_promotes() {
+        let mut rle = ColumnData::from_values(vec![Value::Int(7); 8]).compressed();
+        rle.push(Value::Int(7));
+        rle.push(Value::Int(9));
+        assert!(matches!(&rle, ColumnData::RleInt { values, .. } if values.len() == 2));
+        assert_eq!(rle.len(), 10);
+        assert_eq!(rle.value(9), Value::Int(9));
+        // A type clash degrades exactly like the dense column would.
+        rle.push(Value::Float(1.5));
+        assert!(matches!(rle, ColumnData::Mixed(_)));
+        assert_eq!(rle.value(0), Value::Int(7));
+
+        let mut dict =
+            ColumnData::from_values((0..10).map(|i| Value::Str(Arc::from(["x", "y"][i % 2]))))
+                .compressed();
+        dict.push(Value::Str("z".into()));
+        dict.push(Value::Null);
+        assert_eq!(dict.value(10), Value::Str("z".into()));
+        assert_eq!(dict.value(11), Value::Null);
+        assert_eq!(dict.null_count(), 1);
+    }
+
+    #[test]
+    fn gather_on_compressed_matches_dense_gather() {
+        let dense = ColumnData::from_values((0..50).map(|i| Value::Int(i / 7)));
+        let rle = dense.clone().compressed();
+        let idx = [0u32, 13, 13, 49, 7];
+        assert_eq!(rle.gather(&idx), dense.gather(&idx));
+
+        let strs =
+            ColumnData::from_values((0..50).map(|i| Value::Str(Arc::from(["p", "q"][i % 2]))));
+        let dict = strs.clone().compressed();
+        let g = dict.gather(&idx);
+        assert!(matches!(g, ColumnData::Dict { .. }));
+        assert_eq!(g, strs.gather(&idx));
+    }
+
+    #[test]
+    fn append_merges_runs_and_remaps_dicts() {
+        let mut a = ColumnData::from_values(vec![Value::Int(1); 6]).compressed();
+        let b = ColumnData::from_values([1, 1, 2, 2, 2, 2].map(Value::Int).to_vec()).compressed();
+        a.append(b);
+        let ColumnData::RleInt { values, ends } = &a else {
+            panic!("expected RleInt, got {a:?}");
+        };
+        assert_eq!(values, &[1, 2]);
+        assert_eq!(ends, &[8, 12]);
+
+        let mut d1 =
+            ColumnData::from_values((0..8).map(|i| Value::Str(Arc::from(["a", "b"][i % 2]))))
+                .compressed();
+        let d2 = ColumnData::from_values((0..8).map(|i| Value::Str(Arc::from(["b", "c"][i % 2]))))
+            .compressed();
+        let expect = ColumnData::from_values(
+            (0..8)
+                .map(|i| Value::Str(Arc::from(["a", "b"][i % 2])))
+                .chain((0..8).map(|i| Value::Str(Arc::from(["b", "c"][i % 2])))),
+        );
+        d1.append(d2);
+        assert!(matches!(&d1, ColumnData::Dict { dict, .. } if dict.len() == 3));
+        assert_eq!(d1, expect);
+    }
+
+    #[test]
+    fn append_mismatched_representations_falls_back_to_push() {
+        let mut a = ColumnData::from_values(vec![Value::Int(1), Value::Int(2)]);
+        let b = ColumnData::from_values(vec![Value::Int(3); 4]).compressed();
+        a.append(b);
+        assert_eq!(
+            a,
+            ColumnData::from_values([1, 2, 3, 3, 3, 3].map(Value::Int).to_vec())
+        );
+        // Appending into an empty column adopts the incoming representation.
+        let mut e = ColumnData::empty();
+        e.append(ColumnData::from_values(vec![Value::Int(5); 4]).compressed());
+        assert!(matches!(e, ColumnData::RleInt { .. }));
+    }
+
+    #[test]
+    fn append_merges_validity() {
+        let mut a = ColumnData::from_values(vec![Value::Int(1), Value::Null]);
+        a.append(ColumnData::from_values(vec![Value::Int(2), Value::Null]));
+        assert_eq!(a.null_count(), 2);
+        assert_eq!(a.value(3), Value::Null);
+        let mut b = ColumnData::from_values(vec![Value::Int(1)]);
+        b.append(ColumnData::from_values(vec![Value::Null, Value::Int(4)]));
+        assert_eq!(b.null_count(), 1);
+        assert_eq!(b.value(1), Value::Null);
+        assert_eq!(b.value(2), Value::Int(4));
     }
 
     #[test]

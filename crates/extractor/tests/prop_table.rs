@@ -43,6 +43,30 @@ fn assert_bitmap_invariant(c: &ColumnData) {
                 assert_eq!(b.len(), values.len());
             }
         }
+        ColumnData::Dict {
+            codes,
+            dict,
+            validity,
+        } => {
+            if let Some(b) = validity {
+                assert_eq!(b.len(), codes.len());
+            }
+            for (&code, i) in codes.iter().zip(0..) {
+                assert!(
+                    c.is_null(i) || (code as usize) < dict.len(),
+                    "code {code} out of dictionary range {}",
+                    dict.len()
+                );
+            }
+        }
+        ColumnData::RleInt { values, ends } => {
+            assert_eq!(values.len(), ends.len());
+            assert!(ends.windows(2).all(|w| w[0] < w[1]), "ends not increasing");
+        }
+        ColumnData::RleFloat { values, ends } => {
+            assert_eq!(values.len(), ends.len());
+            assert!(ends.windows(2).all(|w| w[0] < w[1]), "ends not increasing");
+        }
         ColumnData::Mixed(_) => {}
     }
 }
@@ -108,6 +132,49 @@ proptest! {
         assert_bitmap_invariant(&gathered);
         for (out, &src) in indices.iter().enumerate() {
             prop_assert_eq!(gathered.value(out), col.value(src as usize));
+        }
+    }
+
+    // Compression is invisible: any column compares equal to its
+    // compressed form, reads back cell-for-cell, and decompresses to the
+    // original representation's cells.
+    #[test]
+    fn compression_round_trips(values in proptest::collection::vec(arb_value(), 0..60)) {
+        let col = ColumnData::from_values(values.clone());
+        let comp = col.clone().compressed();
+        prop_assert_eq!(&comp, &col);
+        assert_bitmap_invariant(&comp);
+        prop_assert_eq!(comp.null_count(), col.null_count());
+        for i in 0..values.len() {
+            prop_assert_eq!(comp.value(i), col.value(i), "cell {}", i);
+            prop_assert_eq!(comp.f64_at(i), col.f64_at(i), "f64 {}", i);
+            prop_assert_eq!(comp.is_null(i), col.is_null(i), "null {}", i);
+        }
+        prop_assert_eq!(comp.clone().decompressed(), col);
+    }
+
+    // Appending columns (in any mix of compressed/dense representations)
+    // equals building the concatenation by pushes.
+    #[test]
+    fn append_equals_concatenation(
+        a in proptest::collection::vec(arb_value(), 0..40),
+        b in proptest::collection::vec(arb_value(), 0..40),
+    ) {
+        let expect = ColumnData::from_values(a.iter().cloned().chain(b.iter().cloned()));
+        for (compress_left, compress_right) in
+            [(false, false), (true, false), (false, true), (true, true)]
+        {
+            let mut l = ColumnData::from_values(a.clone());
+            if compress_left {
+                l = l.compressed();
+            }
+            let mut r = ColumnData::from_values(b.clone());
+            if compress_right {
+                r = r.compressed();
+            }
+            l.append(r);
+            prop_assert_eq!(&l, &expect);
+            assert_bitmap_invariant(&l);
         }
     }
 

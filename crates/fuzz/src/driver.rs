@@ -7,8 +7,9 @@
 //! (typed [`darshan::DarshanError`]s, per-issue failed diagnoses) must
 //! absorb everything hostile bytes can throw at it.
 
-use darshan::log::LogReader;
-use extractor::extract_tables;
+use darshan::log::{Log, LogReader, StreamDecoder};
+use darshan::records::JobRecord;
+use extractor::{extract_stream, extract_tables};
 use ion::IonPipeline;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -17,6 +18,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 pub enum Stage {
     /// Strict decode: `LogReader::read`.
     Decode,
+    /// Streaming decode: `extractor::extract_stream` plus a lazy
+    /// region walk over `darshan::StreamDecoder`.
+    Stream,
     /// Lenient decode: `LogReader::read_lenient` (valid-prefix recovery).
     LenientDecode,
     /// Column extraction: `extractor::extract_tables`.
@@ -31,6 +35,7 @@ impl Stage {
     pub fn name(self) -> &'static str {
         match self {
             Stage::Decode => "decode",
+            Stage::Stream => "stream",
             Stage::LenientDecode => "lenient-decode",
             Stage::Extract => "extract",
             Stage::Analyze => "analyze",
@@ -42,6 +47,7 @@ impl Stage {
     pub fn from_name(name: &str) -> Option<Stage> {
         [
             Stage::Decode,
+            Stage::Stream,
             Stage::LenientDecode,
             Stage::Extract,
             Stage::Analyze,
@@ -120,8 +126,45 @@ pub fn drive(bytes: &[u8]) -> Verdict {
     }
 }
 
+/// Replay the bytes through the lazy streaming path.
+///
+/// Two probes: a full streaming extraction (chunk budget deliberately
+/// small and odd, so chunk boundaries land mid-record-group), and a
+/// region walk that rotates between verifying, decoding, and merely
+/// inspecting each frame — corruption in a block the walk never
+/// CRC-checks must surface as a typed error downstream or not at all,
+/// never as a panic. When the strict batch decoder accepted the bytes,
+/// the streaming extractor must accept them too (same CRC coverage).
+fn stream_check(bytes: &[u8], strict_ok: bool) {
+    let streamed = extract_stream(bytes, 61, None);
+    if strict_ok {
+        assert!(
+            streamed.is_ok(),
+            "strict decode accepted these bytes but streaming extract errored: {:?}",
+            streamed.err().map(|e| e.to_string())
+        );
+    }
+    let Ok(mut decoder) = StreamDecoder::new(bytes) else {
+        return;
+    };
+    let mut scratch = Log::new(JobRecord::new(0, 0, 0));
+    let mut i = 0_usize;
+    while let Ok(Some(region)) = decoder.next_region() {
+        match i % 3 {
+            0 => drop(region.verify()),
+            1 => drop(region.decode_into(&mut scratch)),
+            _ => {
+                let _ = (region.name(), region.payload_len());
+            }
+        }
+        i += 1;
+    }
+    let _ = decoder.bytes_read();
+}
+
 fn drive_inner(bytes: &[u8]) -> Result<Verdict, Verdict> {
     let strict = trap(Stage::Decode, || LogReader::read(bytes))?;
+    trap(Stage::Stream, || stream_check(bytes, strict.is_ok()))?;
     let (log, recovered) = match strict {
         Ok(log) => (log, false),
         Err(strict_err) => {

@@ -126,6 +126,18 @@ fn pins() -> Vec<(Corruption, u64, Stage, &'static str)> {
             S::Analyze,
             "pre-hardening: non-finite heatmap time hung ensure_covers; now finite-guarded",
         ),
+        (
+            C::CrcDamage,
+            118,
+            S::Stream,
+            "crc damage on a frame the lazy walk skips must not panic a later decode_into",
+        ),
+        (
+            C::SwapRegions,
+            119,
+            S::Stream,
+            "out-of-order regions stream-side: missing-job must be a typed error, never a panic",
+        ),
     ]
 }
 

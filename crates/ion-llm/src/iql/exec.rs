@@ -296,14 +296,22 @@ fn apply(
                         .partial_cmp(&keys[b as usize])
                         .unwrap_or(std::cmp::Ordering::Equal)
                 }),
-                SortKeys::Str => {
-                    let ColumnData::Str { values, .. } = col.data.as_ref() else {
-                        unreachable!()
-                    };
-                    perm.sort_by(|&a, &b| {
-                        values[col.phys(a as usize)].cmp(&values[col.phys(b as usize)])
-                    });
-                }
+                SortKeys::Str => match col.data.as_ref() {
+                    ColumnData::Str { values, .. } => {
+                        perm.sort_by(|&a, &b| {
+                            values[col.phys(a as usize)].cmp(&values[col.phys(b as usize)])
+                        });
+                    }
+                    ColumnData::Dict { codes, dict, .. } => {
+                        // Compare through the dictionary — codes are
+                        // first-occurrence ordinals, not sort order.
+                        perm.sort_by(|&a, &b| {
+                            dict[codes[col.phys(a as usize)] as usize]
+                                .cmp(&dict[codes[col.phys(b as usize)] as usize])
+                        });
+                    }
+                    _ => unreachable!(),
+                },
                 SortKeys::Generic => {
                     let keys: Vec<Value> = (0..r.len).map(|i| col.value(i)).collect();
                     perm.sort_by(|&a, &b| compare_values(&keys[a as usize], &keys[b as usize]));
@@ -582,6 +590,37 @@ fn collect_numeric(
     if let Expr::Ident(name) = expr {
         if let Some(c) = rel.col_idx(name) {
             let col = &rel.cols[c];
+            // Run-expansion fast path: a dense full-length RLE view
+            // expands sequentially in O(rows) instead of paying a
+            // per-row binary search. Emission order is identical to the
+            // per-row loop, so order-sensitive folds (sum/mean/std)
+            // stay bit-identical.
+            if col.sel.is_none() {
+                if let Rows::All(n) = rows {
+                    let expand = |ends: &[u64], get: &dyn Fn(usize) -> f64| -> Vec<f64> {
+                        let mut out = Vec::with_capacity(n);
+                        let mut start = 0usize;
+                        for (run, &e) in ends.iter().enumerate() {
+                            let end = (e as usize).min(n);
+                            out.extend(std::iter::repeat_n(get(run), end.saturating_sub(start)));
+                            start = end;
+                            if start >= n {
+                                break;
+                            }
+                        }
+                        out
+                    };
+                    match col.data.as_ref() {
+                        ColumnData::RleInt { values, ends } => {
+                            return Ok(expand(ends, &|run| values[run] as f64));
+                        }
+                        ColumnData::RleFloat { values, ends } => {
+                            return Ok(expand(ends, &|run| values[run]));
+                        }
+                        _ => {}
+                    }
+                }
+            }
             let mut out = Vec::with_capacity(rows.len());
             for i in rows.iter() {
                 if let Some(f) = col.f64_at(i) {
@@ -620,14 +659,21 @@ enum SortKeys {
 
 fn sort_keys(col: &ColRef, len: usize) -> SortKeys {
     match col.data.as_ref() {
-        ColumnData::Int { .. } | ColumnData::Float { .. } if col.data.null_count() == 0 => {
+        ColumnData::Int { .. }
+        | ColumnData::Float { .. }
+        | ColumnData::RleInt { .. }
+        | ColumnData::RleFloat { .. }
+            if col.data.null_count() == 0 =>
+        {
             SortKeys::F64(
                 (0..len)
                     .map(|i| col.f64_at(i).expect("non-null numeric"))
                     .collect(),
             )
         }
-        ColumnData::Str { .. } if col.data.null_count() == 0 => SortKeys::Str,
+        ColumnData::Str { .. } | ColumnData::Dict { .. } if col.data.null_count() == 0 => {
+            SortKeys::Str
+        }
         _ => SortKeys::Generic,
     }
 }
@@ -678,8 +724,12 @@ fn compile_num(expr: &Expr, rel: &Relation, env: &Env) -> Option<(NumNode, NumTy
                     return None;
                 }
                 match rel.cols[c].data.as_ref() {
-                    ColumnData::Int { .. } => Some((NumNode::Col(c), NumTy::Int)),
-                    ColumnData::Float { .. } => Some((NumNode::Col(c), NumTy::Float)),
+                    ColumnData::Int { .. } | ColumnData::RleInt { .. } => {
+                        Some((NumNode::Col(c), NumTy::Int))
+                    }
+                    ColumnData::Float { .. } | ColumnData::RleFloat { .. } => {
+                        Some((NumNode::Col(c), NumTy::Float))
+                    }
                     _ => None,
                 }
             } else {
@@ -821,8 +871,11 @@ fn cmp_side(e: &Expr, rel: &Relation, env: &Env) -> Option<CmpSide> {
                 return None;
             }
             return match data {
-                ColumnData::Int { .. } | ColumnData::Float { .. } => Some(CmpSide::NumCol(c)),
-                ColumnData::Str { .. } => Some(CmpSide::StrCol(c)),
+                ColumnData::Int { .. }
+                | ColumnData::Float { .. }
+                | ColumnData::RleInt { .. }
+                | ColumnData::RleFloat { .. } => Some(CmpSide::NumCol(c)),
+                ColumnData::Str { .. } | ColumnData::Dict { .. } => Some(CmpSide::StrCol(c)),
                 ColumnData::Mixed(_) => None,
             };
         }
@@ -855,10 +908,67 @@ fn cmp_f64(op: BinaryOp, x: f64, y: f64) -> bool {
     }
 }
 
+/// Run-fill comparison: a dense full-view RLE column against a numeric
+/// constant decides each *run* once and repeats the verdict, instead of
+/// paying a per-row binary search. Bit-identical to the per-row path —
+/// each row's verdict is exactly `cmp_f64` over the same operands.
+fn rle_const_mask(
+    col_side: &CmpSide,
+    const_side: &CmpSide,
+    op: BinaryOp,
+    rel: &Relation,
+    flipped: bool,
+) -> Option<Vec<bool>> {
+    let CmpSide::NumCol(c) = col_side else {
+        return None;
+    };
+    let CmpSide::Const(v) = const_side else {
+        return None;
+    };
+    let k = v.as_f64()?;
+    let col = &rel.cols[*c];
+    if col.sel.is_some() {
+        return None;
+    }
+    let n = rel.len;
+    let mut mask = Vec::with_capacity(n);
+    let mut fill = |runs: &mut dyn Iterator<Item = (f64, u64)>| {
+        let mut start = 0usize;
+        for (v, e) in runs {
+            let keep = if flipped {
+                cmp_f64(op, k, v)
+            } else {
+                cmp_f64(op, v, k)
+            };
+            let end = (e as usize).min(n);
+            mask.extend(std::iter::repeat_n(keep, end.saturating_sub(start)));
+            start = end;
+            if start >= n {
+                break;
+            }
+        }
+    };
+    match col.data.as_ref() {
+        ColumnData::RleInt { values, ends } => {
+            fill(&mut values.iter().zip(ends).map(|(&v, &e)| (v as f64, e)));
+        }
+        ColumnData::RleFloat { values, ends } => {
+            fill(&mut values.iter().zip(ends).map(|(&v, &e)| (v, e)));
+        }
+        _ => return None,
+    }
+    (mask.len() == n).then_some(mask)
+}
+
 fn cmp_mask(l: &Expr, op: BinaryOp, r: &Expr, rel: &Relation, env: &Env) -> Option<Vec<bool>> {
     let ls = cmp_side(l, rel, env)?;
     let rs = cmp_side(r, rel, env)?;
     let n = rel.len;
+    if let Some(mask) =
+        rle_const_mask(&ls, &rs, op, rel, false).or_else(|| rle_const_mask(&rs, &ls, op, rel, true))
+    {
+        return Some(mask);
+    }
     // f64 view of a side, when it is numeric for every row.
     let num_at = |s: &CmpSide, i: usize| -> Option<f64> {
         match s {
@@ -894,31 +1004,36 @@ fn cmp_mask(l: &Expr, op: BinaryOp, r: &Expr, rel: &Relation, env: &Env) -> Opti
         _ => None,
     };
     if let Some((c, konst, flipped)) = str_pair {
-        let ColumnData::Str { values, .. } = rel.cols[c].data.as_ref() else {
-            unreachable!()
+        let verdict = |cell: &str| {
+            let (x, y) = if flipped {
+                (konst.as_ref(), cell)
+            } else {
+                (cell, konst.as_ref())
+            };
+            match op {
+                BinaryOp::Eq => x == y,
+                BinaryOp::Ne => x != y,
+                BinaryOp::Lt => x < y,
+                BinaryOp::Le => x <= y,
+                BinaryOp::Gt => x > y,
+                BinaryOp::Ge => x >= y,
+                _ => unreachable!(),
+            }
         };
         let col = &rel.cols[c];
-        return Some(
-            (0..n)
-                .map(|i| {
-                    let cell = values[col.phys(i)].as_ref();
-                    let (x, y) = if flipped {
-                        (konst.as_ref(), cell)
-                    } else {
-                        (cell, konst.as_ref())
-                    };
-                    match op {
-                        BinaryOp::Eq => x == y,
-                        BinaryOp::Ne => x != y,
-                        BinaryOp::Lt => x < y,
-                        BinaryOp::Le => x <= y,
-                        BinaryOp::Gt => x > y,
-                        BinaryOp::Ge => x >= y,
-                        _ => unreachable!(),
-                    }
-                })
-                .collect(),
-        );
+        return Some(match col.data.as_ref() {
+            ColumnData::Str { values, .. } => {
+                (0..n).map(|i| verdict(&values[col.phys(i)])).collect()
+            }
+            ColumnData::Dict { codes, dict, .. } => {
+                // Decide once per dictionary entry, then map codes.
+                let per_entry: Vec<bool> = dict.iter().map(|d| verdict(d)).collect();
+                (0..n)
+                    .map(|i| per_entry[codes[col.phys(i)] as usize])
+                    .collect()
+            }
+            _ => unreachable!(),
+        });
     }
     // Constant-vs-constant: comparisons never error; evaluate once.
     if let (CmpSide::Const(a), CmpSide::Const(b)) = (&ls, &rs) {
@@ -940,17 +1055,26 @@ fn contains_mask(hay: &Expr, needle: &Expr, rel: &Relation, env: &Env) -> Option
     let Expr::Ident(name) = hay else { return None };
     let c = rel.col_idx(name)?;
     let col = &rel.cols[c];
-    let ColumnData::Str { values, .. } = col.data.as_ref() else {
-        return None;
-    };
     if col.data.null_count() > 0 {
         return None;
     }
-    Some(
-        (0..rel.len)
-            .map(|i| values[col.phys(i)].contains(needle.as_ref()))
-            .collect(),
-    )
+    match col.data.as_ref() {
+        ColumnData::Str { values, .. } => Some(
+            (0..rel.len)
+                .map(|i| values[col.phys(i)].contains(needle.as_ref()))
+                .collect(),
+        ),
+        ColumnData::Dict { codes, dict, .. } => {
+            // One substring scan per distinct string, not per row.
+            let per_entry: Vec<bool> = dict.iter().map(|d| d.contains(needle.as_ref())).collect();
+            Some(
+                (0..rel.len)
+                    .map(|i| per_entry[codes[col.phys(i)] as usize])
+                    .collect(),
+            )
+        }
+        _ => None,
+    }
 }
 
 /// Fast vectorized DERIVE: either a boolean-mask-shaped expression

@@ -9,11 +9,12 @@
 //! legacy semantics (division by zero, NULL handling, empty inputs,
 //! nearest-rank percentile, join column collisions) explicitly.
 
-use extractor::{Table, TableSet, Value};
+use extractor::{ChunkedTableBuilder, ColumnData, Table, TableSet, Value};
 use ion_llm::iql::legacy::LegacyInterpreter;
 use ion_llm::iql::{parse_program, Interpreter};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
 // Random generation
@@ -68,6 +69,71 @@ fn random_tables(rng: &mut SmallRng) -> TableSet {
     set.insert(random_table(rng, "T0"));
     set.insert(random_table(rng, "T1"));
     set
+}
+
+/// Like [`random_table`] but cells repeat in short runs, so the typed
+/// columns frequently clear the Dict/RLE compression thresholds.
+fn random_runs_table(rng: &mut SmallRng, name: &str) -> Table {
+    let rows = rng.gen_range(0..40_usize);
+    let cols = COLS
+        .iter()
+        .map(|c| {
+            let mut vals: Vec<Value> = Vec::with_capacity(rows);
+            while vals.len() < rows {
+                let v = random_cell(rng, c);
+                let run = rng.gen_range(1..6_usize).min(rows - vals.len());
+                for _ in 0..run {
+                    vals.push(v.clone());
+                }
+            }
+            ((*c).to_owned(), Arc::new(ColumnData::from_values(vals)))
+        })
+        .collect();
+    Table::from_columns(name, cols)
+}
+
+fn random_runs_tables(rng: &mut SmallRng) -> TableSet {
+    let mut set = TableSet::default();
+    set.insert(random_runs_table(rng, "T0"));
+    set.insert(random_runs_table(rng, "T1"));
+    set
+}
+
+/// Rebuild every table with each column passed through
+/// [`ColumnData::compressed`]: same logical cells, Dict/RLE storage
+/// wherever the thresholds allow.
+fn compress_tables(set: &TableSet) -> TableSet {
+    let mut out = TableSet::default();
+    for (_, t) in set.iter() {
+        let cols = t
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let data = t.column(i).expect("column index in range").clone();
+                (c.name.clone(), Arc::new(data.compressed()))
+            })
+            .collect();
+        out.insert(Table::from_columns(&t.name, cols));
+    }
+    out
+}
+
+/// Rebuild every table through [`ChunkedTableBuilder`] with a small row
+/// budget, exactly as the streaming extractor does: rows are sealed into
+/// compressed chunks and re-assembled via `ColumnData::append`.
+fn chunk_rebuild_tables(set: &TableSet, chunk_rows: usize) -> TableSet {
+    let mut out = TableSet::default();
+    for (_, t) in set.iter() {
+        let names: Vec<&str> = t.column_names();
+        let mut b = ChunkedTableBuilder::new(&t.name, &names, chunk_rows);
+        for row in t.iter_rows() {
+            b.push_row(row.to_vec())
+                .expect("in-memory builder is infallible");
+        }
+        out.insert(b.finish().expect("in-memory builder is infallible"));
+    }
+    out
 }
 
 /// Identifier pool for expressions: columns, a LET-bound scalar, and an
@@ -264,12 +330,19 @@ fn value_eq(a: &Value, b: &Value) -> bool {
 }
 
 fn assert_same_run(src: &str, tables: &TableSet, ctx: &str) {
+    assert_same_run_on(src, tables, tables, ctx);
+}
+
+/// Run the vectorized engine on `fast_tables` and the legacy oracle on
+/// `slow_tables` (logically identical relations, possibly in different
+/// physical encodings) and demand bit-for-bit agreement.
+fn assert_same_run_on(src: &str, fast_tables: &TableSet, slow_tables: &TableSet, ctx: &str) {
     let program = match parse_program(src) {
         Ok(p) => p,
         Err(_) => return, // both engines share the parser; nothing to compare
     };
-    let fast = Interpreter::new(tables).run(&program);
-    let slow = LegacyInterpreter::new(tables).run(&program);
+    let fast = Interpreter::new(fast_tables).run(&program);
+    let slow = LegacyInterpreter::new(slow_tables).run(&program);
     match (fast, slow) {
         (Err(a), Err(b)) => {
             assert_eq!(
@@ -335,6 +408,109 @@ fn random_programs_match_legacy_engine() {
         let tables = random_tables(&mut rng);
         let src = random_program(&mut rng);
         assert_same_run(&src, &tables, &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn random_programs_match_legacy_on_compressed_relations() {
+    for seed in 0..300_u64 {
+        let mut rng = SmallRng::seed_from_u64(0x1CE0_0000 ^ seed);
+        let plain = random_runs_tables(&mut rng);
+        let src = random_program(&mut rng);
+        let compressed = compress_tables(&plain);
+        assert_same_run_on(
+            &src,
+            &compressed,
+            &plain,
+            &format!("compressed seed {seed}"),
+        );
+        let chunked = chunk_rebuild_tables(&plain, 7);
+        assert_same_run_on(&src, &chunked, &plain, &format!("chunked seed {seed}"));
+    }
+}
+
+#[test]
+fn compressed_relation_corpus_matches_legacy_on_plain() {
+    // Run-heavy fixture: every typed column clears its compression
+    // threshold (asserted below), so these programs genuinely scan
+    // Dict/RLE storage in the vectorized engine while the legacy oracle
+    // sees the same cells in dense columns.
+    let mut t0 = Table::new("T0", &COLS);
+    for i in 0..24_i64 {
+        t0.push_row(vec![
+            Value::Int(i / 8),                                      // k: runs of 8
+            Value::Int(if i < 12 { 0 } else { 5 }),                 // a: two runs
+            Value::Float(0.25 * ((i / 6) as f64)),                  // x: runs of 6
+            Value::from(if i % 12 < 6 { "read" } else { "write" }), // s: 2-entry dict
+            if i % 7 == 0 {
+                Value::Null // n: nullable — must stay dense
+            } else {
+                Value::Int(i % 3)
+            },
+            Value::from("const"), // m: single-entry dict
+        ]);
+    }
+    let mut t1 = Table::new("T1", &COLS);
+    for i in 0..8_i64 {
+        t1.push_row(vec![
+            Value::Int(i / 4),
+            Value::Int(7),
+            Value::Float(2.0),
+            Value::from("bb"),
+            Value::Int(1),
+            Value::from("const"),
+        ]);
+    }
+    let mut plain = TableSet::default();
+    plain.insert(t0);
+    plain.insert(t1);
+
+    let compressed = compress_tables(&plain);
+    let ct = compressed.get("T0").unwrap();
+    assert!(matches!(ct.column(0), Some(ColumnData::RleInt { .. })));
+    assert!(matches!(ct.column(1), Some(ColumnData::RleInt { .. })));
+    assert!(matches!(ct.column(2), Some(ColumnData::RleFloat { .. })));
+    assert!(matches!(ct.column(3), Some(ColumnData::Dict { .. })));
+    assert!(matches!(ct.column(4), Some(ColumnData::Int { .. })));
+    assert!(matches!(ct.column(5), Some(ColumnData::Dict { .. })));
+    let chunked = chunk_rebuild_tables(&plain, 5);
+
+    let corpus: &[&str] = &[
+        // RLE column vs constant, both operand orders, every comparison.
+        "LOAD T0\nFILTER a > 2\nSELECT k, a",
+        "LOAD T0\nFILTER a <= 0\nSELECT k, a",
+        "LOAD T0\nFILTER 2 <= k\nSELECT k",
+        "LOAD T0\nFILTER a == 5 || a != 0\nSELECT k, a",
+        "LOAD T0\nFILTER x == 0.25\nSELECT k, x",
+        "LOAD T0\nFILTER x < 0.75 && x >= 0.25\nSELECT k, x",
+        // Dict column through the string mask and contains kernels.
+        "LOAD T0\nFILTER s == \"read\"\nAGG c = count()\nEMIT c",
+        "LOAD T0\nFILTER \"read\" <= s\nSELECT k, s",
+        "LOAD T0\nFILTER contains(s, \"ea\")\nAGG c = count()\nEMIT c",
+        // Sorting through dictionary order and RLE float keys.
+        "LOAD T0\nSORT s DESC\nSELECT s, k",
+        "LOAD T0\nSORT x\nSELECT x",
+        "LOAD T0\nSORT k DESC\nLIMIT 5",
+        // Order-sensitive numeric folds over run-expanded values.
+        "LOAD T0\nAGG t = sum(x), m = mean(x), sd = std(x), lo = min(a), hi = max(a)\nEMIT t, m, sd, lo, hi",
+        "LOAD T0\nAGG p = pct(x, 50), u = distinct(s)\nEMIT p, u",
+        // Grouping and joining on RLE keys.
+        "LOAD T0\nGROUP k AGG c = count(), t = sum(x)",
+        "LOAD T0\nGROUP s AGG c = count()",
+        "LOAD T0\nJOIN T1 ON k\nSORT a DESC\nLIMIT 6",
+        // Arithmetic compilation over RLE inputs.
+        "LOAD T0\nDERIVE d0 = a * 2 + k\nSELECT d0",
+        "LOAD T0\nDERIVE d0 = x / 0.5\nAGG t = sum(d0)\nEMIT t",
+        // Nullable column stays dense but must still agree.
+        "LOAD T0\nFILTER n == 1\nSELECT k, n",
+        "LOAD T0\nAGG c = count(n), t = sum(n)\nEMIT c, t",
+        // Single-entry dictionary passthrough.
+        "LOAD T0\nSELECT m\nLIMIT 3",
+        "LOAD T0\nFILTER m == \"const\"\nAGG c = count()\nEMIT c",
+    ];
+    for (i, src) in corpus.iter().enumerate() {
+        assert_same_run_on(src, &compressed, &plain, &format!("compressed corpus[{i}]"));
+        assert_same_run_on(src, &chunked, &plain, &format!("chunked corpus[{i}]"));
     }
 }
 
