@@ -105,6 +105,12 @@ fn live_batch_is_observable_end_to_end() {
     });
     assert_eq!(report.succeeded(), 3);
 
+    // Re-analyze one trace against the now-warm store: red-green
+    // revalidation serves everything from cache and its counters
+    // surface on the same endpoint.
+    let warm_trace = std::fs::read(dir.join("traces").join("a.darshan")).unwrap();
+    driver.analyze_bytes(&warm_trace).unwrap();
+
     // Final state through every route.
     let (status, body) = http_get(&addr, "/healthz");
     assert_eq!(
@@ -124,6 +130,24 @@ fn live_batch_is_observable_end_to_end() {
         "{metrics}"
     );
     assert!(metrics.contains("# TYPE ion_llm_runs counter"), "{metrics}");
+    // The warm re-run above revalidated every memoized issue green.
+    assert!(
+        metrics.contains("# TYPE ion_store_revalidate_green counter"),
+        "{metrics}"
+    );
+    let green = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("ion_store_revalidate_green "))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(0);
+    assert!(
+        green > 0,
+        "warm re-analysis must revalidate green:\n{metrics}"
+    );
+    assert!(
+        metrics.contains("# TYPE ion_store_revalidate_red counter"),
+        "registered at zero so absence of red runs is provable: {metrics}"
+    );
     // The batch dispatched through the ion-exec pool, whose gauges and
     // counters surface on the same endpoint.
     assert!(metrics.contains("ion_exec_width"), "{metrics}");

@@ -206,6 +206,49 @@ pub fn table_description(table: &str) -> &'static str {
     }
 }
 
+/// The module tables the extractor can produce, in stable order.
+pub const MODULE_TABLES: [&str; 6] = ["DXT", "HEATMAP", "LUSTRE", "MPIIO", "POSIX", "STDIO"];
+
+/// Environment variable carrying test-only extractor version bumps, as
+/// comma-separated `TABLE=N` pairs (`POSIX=2,DXT=3`). A bump simulates
+/// an extractor change scoped to those tables: incremental layers that
+/// key extraction per module re-extract, while tables whose content
+/// digests come out unchanged leave their dependents green.
+pub const VERSION_BUMP_ENV: &str = "ION_TABLE_VERSION_BUMP";
+
+/// Extraction-logic version of one module table. Bump the baseline when
+/// the rows or columns a module extracts change shape or meaning, so
+/// stores keyed per module dirty exactly the tables the change touches.
+#[must_use]
+pub fn module_version(table: &str) -> u32 {
+    let base = 1;
+    let bump = std::env::var(VERSION_BUMP_ENV)
+        .ok()
+        .and_then(|spec| {
+            spec.split(',').find_map(|pair| {
+                let (name, v) = pair.split_once('=')?;
+                (name.trim() == table).then(|| v.trim().parse::<u32>().ok())?
+            })
+        })
+        .unwrap_or(0);
+    base + bump
+}
+
+/// Combined fingerprint of every module's extraction version — the
+/// schema half of a per-trace extraction key. Changes whenever any
+/// module's version does.
+#[must_use]
+pub fn schema_fingerprint() -> String {
+    let mut out = String::new();
+    for (i, table) in MODULE_TABLES.iter().enumerate() {
+        if i > 0 {
+            out.push('.');
+        }
+        let _ = write!(out, "{}", module_version(table));
+    }
+    out
+}
+
 /// Render the prompt-ready description block for a table: the table
 /// description followed by one line per column.
 #[must_use]
@@ -302,5 +345,17 @@ mod tests {
     #[test]
     fn unknown_column_falls_back_to_none() {
         assert!(column_description("TOTALLY_UNKNOWN").is_none());
+    }
+
+    #[test]
+    fn schema_fingerprint_covers_every_module() {
+        // Default (no env bump): every module at its baseline version.
+        // Env-bump behavior is exercised by ion-store's incremental
+        // tests, which already serialize on a process-wide lock.
+        let fp = schema_fingerprint();
+        assert_eq!(fp.split('.').count(), MODULE_TABLES.len());
+        for table in MODULE_TABLES {
+            assert!(module_version(table) >= 1);
+        }
     }
 }

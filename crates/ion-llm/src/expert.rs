@@ -104,7 +104,16 @@ fn severity_rank(s: &str) -> u8 {
     }
 }
 
-fn rule_fires(rule: &ConcludeRule, metrics: &BTreeMap<String, Value>) -> Option<bool> {
+/// Evaluate a rule's condition against an environment of metrics and
+/// parameters, exactly as the expert does when rendering its completion.
+/// `None` means the condition failed to parse or evaluate (the expert
+/// treats that as "does not fire").
+///
+/// Public so dependency-tracking layers can re-derive which rule
+/// templates a completed run actually consulted: a template only
+/// influences the output when its rule fired.
+#[must_use]
+pub fn rule_fires(rule: &ConcludeRule, metrics: &BTreeMap<String, Value>) -> Option<bool> {
     let expr = parse_expression(&rule.condition).ok()?;
     let v = eval_with_scalars(&expr, metrics).ok()?;
     Some(v.truthy())

@@ -51,6 +51,7 @@ pub mod prompt;
 pub mod report;
 pub mod retrieval;
 pub mod session;
+pub mod statements;
 
 pub use analyzer::{Analyzer, SystemParams};
 pub use consistency::{check as check_consistency, ConsistencyIssue, ConsistencyLevel};
@@ -58,3 +59,4 @@ pub use context::{builtin_contexts, IssueContext};
 pub use pipeline::{IonPipeline, IonReport};
 pub use report::{Detection, Diagnosis, Severity};
 pub use session::InteractiveSession;
+pub use statements::{ContextStatements, Statement, StatementRevision};

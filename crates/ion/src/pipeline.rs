@@ -167,6 +167,25 @@ impl IonPipeline {
         self.params_override
     }
 
+    /// Whether retrieval-based context selection is configured.
+    /// Incremental drivers that avoid materializing tables on warm paths
+    /// must load them before selecting contexts when this is set
+    /// (retrieval scores contexts against table *contents*).
+    #[must_use]
+    pub fn retrieval_enabled(&self) -> bool {
+        self.retrieval_k.is_some()
+    }
+
+    /// Whether this pipeline analyzes with the builtin context library
+    /// (no [`IonPipeline::with_contexts`] override). Builtin contexts
+    /// are compiled into the binary, so incremental drivers may treat
+    /// them as high-durability inputs: their revisions cannot change
+    /// within a process, and revalidation can skip re-hashing them.
+    #[must_use]
+    pub fn uses_builtin_contexts(&self) -> bool {
+        self.contexts_override.is_none()
+    }
+
     /// The issue contexts this pipeline would analyze `tables` with,
     /// applying retrieval-based selection when configured.
     #[must_use]

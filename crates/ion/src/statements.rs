@@ -1,0 +1,414 @@
+//! Addressable knowledge statements — the fine-grained unit of context
+//! dependency tracking.
+//!
+//! [`ContextRevision`](crate::context::ContextRevision) stamps a whole
+//! context with one hash, so any visible edit invalidates every cached
+//! diagnosis that read the context. This module splits a context into its
+//! individually addressable statements — header, prose lines, `PARAM`s,
+//! `COMPUTE` blocks, rule conditions and rule templates — each carrying a
+//! stable [`StatementRevision`]. A cached analysis can then record
+//! *which* statements it actually consulted and stay valid when only
+//! unconsulted ones change (a template of a rule that never fired, say).
+//!
+//! Statement texts come from the parsed spec, whose lines are fully
+//! trimmed, so statement revisions are inert under *any* whitespace-only
+//! edit — including indentation, which the coarse `ContextRevision`
+//! deliberately treats as a visible change.
+//!
+//! Statements are keyed positionally (`prose/3`, `rule/1/text`) because
+//! the expert renders them positionally: reordering statements changes
+//! the completion, so reordering must change the keys' assignments.
+
+use crate::context::{ContextRevision, IssueContext};
+use extractor::Value;
+use ion_llm::expert::rule_fires;
+use ion_llm::knowledge::{parse_context, IssueContextSpec, RuleKind};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A stable fingerprint of one knowledge statement (or of a statement
+/// aggregate such as the context shape). Same FNV-1a/128 family as
+/// [`ContextRevision`], and like it safe to persist: the value depends
+/// only on the statement's canonical text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StatementRevision(u128);
+
+impl StatementRevision {
+    const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
+
+    /// Hash a sequence of canonical parts with explicit separators, so
+    /// `("ab","c")` and `("a","bc")` fingerprint differently.
+    #[must_use]
+    pub fn of_parts(parts: &[&str]) -> StatementRevision {
+        let mut hash = Self::FNV_OFFSET;
+        let mut absorb = |byte: u8| {
+            hash ^= u128::from(byte);
+            hash = hash.wrapping_mul(Self::FNV_PRIME);
+        };
+        for part in parts {
+            for b in part.bytes() {
+                absorb(b);
+            }
+            absorb(0x1f);
+        }
+        StatementRevision(hash)
+    }
+
+    /// Full 32-char hex rendering.
+    #[must_use]
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Abbreviated rendering (12 chars).
+    #[must_use]
+    pub fn short(&self) -> String {
+        self.hex()[..12].to_owned()
+    }
+}
+
+impl fmt::Display for StatementRevision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+/// One addressable statement of a context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Statement {
+    /// Positional key (`header`, `prose/0`, `param/0/rpc_size`,
+    /// `compute/1/posix_pattern`, `rule/2/cond`, `rule/2/text`).
+    pub key: String,
+    /// Revision of this statement's canonical text.
+    pub revision: StatementRevision,
+}
+
+/// A context split into addressable statements, with aggregate
+/// fingerprints.
+#[derive(Debug, Clone)]
+pub struct ContextStatements {
+    spec: Option<IssueContextSpec>,
+    statements: Vec<Statement>,
+    shape: StatementRevision,
+    fingerprint: StatementRevision,
+}
+
+/// Whether a statement key addresses a rule template — the only
+/// statement kind the expert consults *conditionally* (when its rule
+/// fires). Everything else is rendered into every completion.
+#[must_use]
+pub fn is_template_key(key: &str) -> bool {
+    key.starts_with("rule/") && key.ends_with("/text")
+}
+
+fn split_spec(spec: &IssueContextSpec) -> Vec<Statement> {
+    let mut out = Vec::new();
+    out.push(Statement {
+        key: "header".to_owned(),
+        revision: StatementRevision::of_parts(&[
+            "header",
+            &spec.issue,
+            &spec.title,
+            &spec.modules.join(","),
+        ]),
+    });
+    for (i, k) in spec.knowledge.iter().enumerate() {
+        out.push(Statement {
+            key: format!("prose/{i}"),
+            revision: StatementRevision::of_parts(&["prose", &k.text]),
+        });
+    }
+    for (i, (name, value)) in spec.params.iter().enumerate() {
+        out.push(Statement {
+            key: format!("param/{i}/{name}"),
+            revision: StatementRevision::of_parts(&[
+                "param",
+                name,
+                &format!("{:016x}", value.to_bits()),
+            ]),
+        });
+    }
+    for (i, c) in spec.computes.iter().enumerate() {
+        out.push(Statement {
+            key: format!("compute/{i}/{}", c.name),
+            revision: StatementRevision::of_parts(&["compute", &c.name, &c.source]),
+        });
+    }
+    for (i, rule) in spec.rules.iter().enumerate() {
+        let (kind, severity) = match &rule.kind {
+            RuleKind::Conclude { severity } => ("CONCLUDE", severity.as_str()),
+            RuleKind::Mitigate => ("MITIGATE", ""),
+            RuleKind::Note => ("NOTE", ""),
+        };
+        out.push(Statement {
+            key: format!("rule/{i}/cond"),
+            revision: StatementRevision::of_parts(&["rule-cond", kind, severity, &rule.condition]),
+        });
+        out.push(Statement {
+            key: format!("rule/{i}/text"),
+            revision: StatementRevision::of_parts(&["rule-text", &rule.template]),
+        });
+    }
+    out
+}
+
+impl ContextStatements {
+    /// Split a context's text into statements.
+    ///
+    /// A context whose directives fail to parse degrades to a single
+    /// `raw` statement fingerprinted like the coarse revision — the
+    /// pre-statement behavior, never a silent cache hit.
+    #[must_use]
+    pub fn of_text(text: &str) -> ContextStatements {
+        let (spec, statements) = match parse_context(text) {
+            Ok(spec) => {
+                let statements = split_spec(&spec);
+                (Some(spec), statements)
+            }
+            Err(_) => (
+                None,
+                vec![Statement {
+                    key: "raw".to_owned(),
+                    revision: StatementRevision::of_parts(&[
+                        "raw",
+                        &ContextRevision::of(text).hex(),
+                    ]),
+                }],
+            ),
+        };
+        let shape = StatementRevision::of_parts(
+            &statements
+                .iter()
+                .map(|s| s.key.as_str())
+                .collect::<Vec<_>>(),
+        );
+        let mut parts: Vec<String> = vec![shape.hex()];
+        for s in &statements {
+            parts.push(s.key.clone());
+            parts.push(s.revision.hex());
+        }
+        let fingerprint =
+            StatementRevision::of_parts(&parts.iter().map(String::as_str).collect::<Vec<_>>());
+        ContextStatements {
+            spec,
+            statements,
+            shape,
+            fingerprint,
+        }
+    }
+
+    /// Split a context into statements.
+    #[must_use]
+    pub fn of(context: &IssueContext) -> ContextStatements {
+        ContextStatements::of_text(&context.text)
+    }
+
+    /// The statements, in rendering order.
+    #[must_use]
+    pub fn statements(&self) -> &[Statement] {
+        &self.statements
+    }
+
+    /// Fingerprint of the ordered statement keys alone — changes when
+    /// statements are added, removed or reordered.
+    #[must_use]
+    pub fn shape(&self) -> StatementRevision {
+        self.shape
+    }
+
+    /// Fingerprint of the whole statement set (shape + every statement
+    /// revision): the fine-grained analogue of [`ContextRevision`],
+    /// inert under any whitespace-only edit.
+    #[must_use]
+    pub fn fingerprint(&self) -> StatementRevision {
+        self.fingerprint
+    }
+
+    /// Revision of a statement by key.
+    #[must_use]
+    pub fn revision_of(&self, key: &str) -> Option<StatementRevision> {
+        self.statements
+            .iter()
+            .find(|s| s.key == key)
+            .map(|s| s.revision)
+    }
+
+    /// The statement keys a completed expert run actually consulted.
+    ///
+    /// Every statement except rule templates is rendered into every
+    /// completion (prose and conditions appear in `STEPS`, computes in
+    /// `CODE`); a template is consulted only when its rule fired. Firing
+    /// is re-derived exactly as the expert derives it: context `PARAM`s
+    /// plus the prompt-appended system parameters form the environment,
+    /// shadowed by the metrics the run computed.
+    #[must_use]
+    pub fn consulted(
+        &self,
+        extra_params: &[(&str, f64)],
+        metrics: &BTreeMap<String, Value>,
+    ) -> Vec<String> {
+        let Some(spec) = &self.spec else {
+            return self.statements.iter().map(|s| s.key.clone()).collect();
+        };
+        let mut env: BTreeMap<String, Value> = spec
+            .params
+            .iter()
+            .map(|(n, v)| (n.clone(), Value::Float(*v)))
+            .collect();
+        for (n, v) in extra_params {
+            env.insert((*n).to_owned(), Value::Float(*v));
+        }
+        env.extend(metrics.iter().map(|(n, v)| (n.clone(), v.clone())));
+        self.statements
+            .iter()
+            .filter(|s| {
+                if !is_template_key(&s.key) {
+                    return true;
+                }
+                let idx: usize = s.key["rule/".len()..s.key.len() - "/text".len()]
+                    .parse()
+                    .unwrap_or(usize::MAX);
+                spec.rules
+                    .get(idx)
+                    .is_some_and(|rule| rule_fires(rule, &env).unwrap_or(false))
+            })
+            .map(|s| s.key.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::builtin_context;
+
+    const SAMPLE: &str = r#"
+ISSUE: demo
+TITLE: Demo issue
+MODULES: DXT
+
+Small requests underutilize round trips.
+
+PARAM rpc_size = 4194304
+
+COMPUTE stats:
+  LOAD DXT
+  AGG n = count()
+  EMIT n
+END
+
+CONCLUDE IF n > 10 SEVERITY high: "saw {n:int} ops"
+NOTE IF n <= 10: "few ops"
+"#;
+
+    #[test]
+    fn splits_into_positional_statements() {
+        let s = ContextStatements::of_text(SAMPLE);
+        let keys: Vec<&str> = s.statements().iter().map(|st| st.key.as_str()).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "header",
+                "prose/0",
+                "param/0/rpc_size",
+                "compute/0/stats",
+                "rule/0/cond",
+                "rule/0/text",
+                "rule/1/cond",
+                "rule/1/text",
+            ]
+        );
+    }
+
+    #[test]
+    fn whitespace_edits_leave_every_revision_unchanged() {
+        let base = ContextStatements::of_text(SAMPLE);
+        // Indent everything — the one cosmetic edit the coarse
+        // ContextRevision treats as a real change.
+        let indented: String = SAMPLE.lines().map(|l| format!("  {l}\n")).collect();
+        assert_ne!(
+            ContextRevision::of(SAMPLE),
+            ContextRevision::of(&indented),
+            "premise: the coarse revision sees indentation"
+        );
+        let edited = ContextStatements::of_text(&indented);
+        assert_eq!(base.fingerprint(), edited.fingerprint());
+        assert_eq!(base.shape(), edited.shape());
+        for (a, b) in base.statements().iter().zip(edited.statements()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn editing_one_statement_changes_only_its_revision() {
+        let base = ContextStatements::of_text(SAMPLE);
+        let edited = ContextStatements::of_text(&SAMPLE.replace("few ops", "very few ops"));
+        assert_ne!(base.fingerprint(), edited.fingerprint());
+        assert_eq!(base.shape(), edited.shape());
+        for (a, b) in base.statements().iter().zip(edited.statements()) {
+            if a.key == "rule/1/text" {
+                assert_ne!(a.revision, b.revision);
+            } else {
+                assert_eq!(a, b, "unrelated statement {} moved", a.key);
+            }
+        }
+    }
+
+    #[test]
+    fn adding_a_statement_changes_the_shape() {
+        let base = ContextStatements::of_text(SAMPLE);
+        let edited = ContextStatements::of_text(&format!("{SAMPLE}\nExtra prose line.\n"));
+        assert_ne!(base.shape(), edited.shape());
+        assert_ne!(base.fingerprint(), edited.fingerprint());
+    }
+
+    #[test]
+    fn consulted_excludes_unfired_templates_only() {
+        let s = ContextStatements::of_text(SAMPLE);
+        let mut metrics = BTreeMap::new();
+        metrics.insert("n".to_owned(), Value::Int(20));
+        let consulted = s.consulted(&[], &metrics);
+        assert!(consulted.contains(&"rule/0/text".to_owned()), "fired rule");
+        assert!(
+            !consulted.contains(&"rule/1/text".to_owned()),
+            "unfired NOTE template is not consulted"
+        );
+        assert!(consulted.contains(&"rule/1/cond".to_owned()));
+        assert!(consulted.contains(&"prose/0".to_owned()));
+        assert_eq!(consulted.len(), s.statements().len() - 1);
+    }
+
+    #[test]
+    fn extra_params_reach_rule_evaluation() {
+        let text = "ISSUE: p\nTITLE: P\nCONCLUDE IF nprocs > 1: \"parallel\"\n";
+        let s = ContextStatements::of_text(text);
+        let none = s.consulted(&[("nprocs", 1.0)], &BTreeMap::new());
+        assert!(!none.contains(&"rule/0/text".to_owned()));
+        let fired = s.consulted(&[("nprocs", 8.0)], &BTreeMap::new());
+        assert!(fired.contains(&"rule/0/text".to_owned()));
+    }
+
+    #[test]
+    fn malformed_context_degrades_to_raw_statement() {
+        let bad = "COMPUTE x:\nLOAD DXT\n"; // missing END
+        let s = ContextStatements::of_text(bad);
+        assert_eq!(s.statements().len(), 1);
+        assert_eq!(s.statements()[0].key, "raw");
+        // Any edit — even whitespace the coarse revision sees — dirties it.
+        let t = ContextStatements::of_text("  COMPUTE x:\nLOAD DXT\n");
+        assert_ne!(s.fingerprint(), t.fingerprint());
+        // All statements count as consulted.
+        assert_eq!(s.consulted(&[], &BTreeMap::new()), vec!["raw"]);
+    }
+
+    #[test]
+    fn builtin_fingerprints_are_distinct_and_stable() {
+        let a = ContextStatements::of(&builtin_context("small-io").unwrap());
+        let b = ContextStatements::of(&builtin_context("misaligned-io").unwrap());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let a2 = ContextStatements::of(&builtin_context("small-io").unwrap());
+        assert_eq!(a.fingerprint(), a2.fingerprint());
+        assert_eq!(a.fingerprint().hex().len(), 32);
+    }
+}

@@ -25,8 +25,9 @@
 //! turns a full queue into a typed rejection (HTTP 429 + `Retry-After`)
 //! instead of unbounded memory growth, and deficit-round-robin across
 //! tenants keeps one heavy client from starving the rest. Identical
-//! concurrent submissions (same trace digest, context revision and model)
-//! join the in-flight job instead of queueing a duplicate; when dedup is
+//! concurrent submissions (same trace digest, context *statement*
+//! fingerprints and model — whitespace-only context edits don't split
+//! the key) join the in-flight job instead of queueing a duplicate; when dedup is
 //! off, the content-addressed store's singleflight still collapses the
 //! duplicated work underneath.
 //!
@@ -55,6 +56,7 @@ mod job;
 
 pub use job::JobState;
 
+use ion::pipeline::IonPipeline;
 use ion_exec::fair::{FairQueue, Rejected};
 use ion_exec::{Batch, CancelToken};
 use ion_llm::{DeterministicExpert, LanguageModel};
@@ -110,6 +112,13 @@ pub struct ServeConfig {
     /// with a one-line stage breakdown and bump `serve.jobs.slow`.
     /// `None` disables the slow-job log.
     pub slow_job_threshold: Option<Duration>,
+    /// Analyze with these issue contexts instead of the builtin library
+    /// (edited or operator-authored knowledge). The dedup key folds the
+    /// contexts' *statement* fingerprints, not their raw bytes, so a
+    /// daemon restarted over a whitespace-only context edit keeps the
+    /// same job keys — and its warm store backdates instead of re-running
+    /// models.
+    pub contexts: Option<Vec<ion::IssueContext>>,
 }
 
 impl Default for ServeConfig {
@@ -125,6 +134,7 @@ impl Default for ServeConfig {
             retain_jobs: 256,
             capture_events: true,
             slow_job_threshold: Some(Duration::from_secs(10)),
+            contexts: None,
         }
     }
 }
@@ -269,6 +279,34 @@ fn event_line_matches(line: &str, tenant: Option<&str>, trace: Option<u64>) -> b
         }
     }
     true
+}
+
+/// The non-trace half of the dedup key: a digest of the *statement*
+/// fingerprints of the contexts jobs will be analyzed with (configured
+/// or builtin), plus the model id. Statement fingerprints are
+/// whitespace-inert, so two daemons whose context libraries differ only
+/// cosmetically produce identical job keys — matching the store layer,
+/// which backdates such edits without model runs.
+fn key_suffix_for(contexts: Option<&[ion::IssueContext]>, model: &dyn LanguageModel) -> String {
+    let builtin;
+    let contexts = match contexts {
+        Some(c) => c,
+        None => {
+            builtin = ion::context::builtin_contexts();
+            &builtin
+        }
+    };
+    let mut hasher = Hasher::new();
+    for context in contexts {
+        hasher.field(context.id.as_bytes());
+        hasher.field(
+            ion::ContextStatements::of(context)
+                .fingerprint()
+                .hex()
+                .as_bytes(),
+        );
+    }
+    format!("{}/{}", hasher.finish().short(), key_safe(model.model_id()))
 }
 
 /// Map a tenant or model identifier into key-safe characters.
@@ -482,9 +520,12 @@ impl Inner {
         if let Some(deadline) = self.config.job_deadline {
             exec = exec.with_deadline(deadline);
         }
-        let driver = StoredPipeline::new(Arc::clone(&self.store))
+        let mut driver = StoredPipeline::new(Arc::clone(&self.store))
             .with_exec(exec)
             .with_model(&*self.model);
+        if let Some(contexts) = &self.config.contexts {
+            driver = driver.with_pipeline(IonPipeline::new().with_contexts(contexts.clone()));
+        }
         driver.analyze_bytes(bytes)
     }
 
@@ -717,11 +758,7 @@ impl Daemon {
             None
         };
 
-        let mut hasher = Hasher::new();
-        for context in ion::context::builtin_contexts() {
-            hasher.field(context.revision().hex().as_bytes());
-        }
-        let key_suffix = format!("{}/{}", hasher.finish().short(), key_safe(model.model_id()));
+        let key_suffix = key_suffix_for(config.contexts.as_deref(), &*model);
 
         let inner = Arc::new(Inner {
             store,

@@ -7,6 +7,10 @@
 //! 2. **Store-level singleflight** — with daemon dedup off, two racing
 //!    jobs over the same trace still compute every stage exactly once,
 //!    observed through `Store::follower_joins()`.
+//! 3. **Statement-fingerprint keying** — a daemon restarted over a
+//!    whitespace-only context edit keeps the same job keys, and its warm
+//!    store serves the edited analysis by backdating: zero model runs
+//!    end to end through the HTTP surface.
 //!
 //! All coordination is gate/counter handshakes — no sleeps.
 
@@ -179,6 +183,86 @@ fn rejected_submission_leaves_no_dedup_state_behind() {
 
     let summary = daemon.shutdown();
     assert_eq!(summary.done, 3);
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn restart_over_a_whitespace_context_edit_reruns_no_models() {
+    let _sink = obs_guard();
+    let root = tmp_dir("dedup-ws-edit");
+    let store = Arc::new(Store::open(&root).unwrap());
+    let trace = trace_bytes("dedup-ws-edit");
+
+    // First daemon analyzes with the pristine builtin library.
+    let daemon = Daemon::bind(
+        "127.0.0.1:0",
+        Arc::clone(&store),
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = daemon.local_addr();
+    let first = submit(addr, "alice", &trace);
+    let id = first.get("job").unwrap().as_str().unwrap().to_owned();
+    let done = client::get(addr, &format!("/v1/jobs/{id}?wait_ms=30000")).unwrap();
+    assert_eq!(
+        done.json().unwrap().get("state").unwrap().as_str(),
+        Some("done"),
+        "{}",
+        done.text()
+    );
+    daemon.shutdown();
+
+    // An operator re-indents one context — a whitespace-only knowledge
+    // edit — and restarts the daemon over the same store.
+    let mut contexts = ion::context::builtin_contexts();
+    let target = contexts
+        .iter_mut()
+        .find(|c| c.id == "small-io")
+        .expect("small-io is builtin");
+    target.text = target.text.replacen("ISSUE:", "  ISSUE:", 1);
+    ion_obs::reset();
+    let daemon = Daemon::bind(
+        "127.0.0.1:0",
+        Arc::clone(&store),
+        ServeConfig {
+            workers: 1,
+            contexts: Some(contexts),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = daemon.local_addr();
+    let second = submit(addr, "bob", &trace);
+    let id = second.get("job").unwrap().as_str().unwrap().to_owned();
+    let done = client::get(addr, &format!("/v1/jobs/{id}?wait_ms=30000")).unwrap();
+    assert_eq!(
+        done.json().unwrap().get("state").unwrap().as_str(),
+        Some("done"),
+        "{}",
+        done.text()
+    );
+
+    // Counter-exact, end to end through the HTTP surface: the edit
+    // re-ran nothing. The edited context's diagnosis was backdated, the
+    // rest revalidated green, and no extraction or model run happened.
+    let snap = ion_obs::snapshot();
+    assert_eq!(
+        snap.counter("llm.runs"),
+        0,
+        "a whitespace context edit must not re-run any model:\n{}",
+        snap.render_profile()
+    );
+    assert_eq!(snap.counter("extract.runs"), 0);
+    assert_eq!(snap.counter("store.recompute.issue"), 0);
+    assert_eq!(snap.counter("store.recompute.summary"), 0);
+    assert_eq!(snap.counter("store.revalidate.backdated"), 1);
+    assert!(snap.counter("store.revalidate.green") >= 1);
+    assert_eq!(snap.counter("store.revalidate.red"), 0);
+
+    daemon.shutdown();
     let _ = std::fs::remove_dir_all(root);
 }
 

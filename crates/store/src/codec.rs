@@ -29,12 +29,12 @@ use extractor::Value;
 use ion::analyzer::SystemParams;
 use ion::report::Diagnosis;
 
-fn corrupt(what: &str) -> StoreError {
+pub(crate) fn corrupt(what: &str) -> StoreError {
     StoreError::Corrupt(format!("malformed artifact: {what}"))
 }
 
 /// Split one `\n`-terminated header line off `rest`.
-fn take_line<'a>(rest: &mut &'a [u8]) -> Result<&'a str, StoreError> {
+pub(crate) fn take_line<'a>(rest: &mut &'a [u8]) -> Result<&'a str, StoreError> {
     let pos = rest
         .iter()
         .position(|&b| b == b'\n')
@@ -45,7 +45,7 @@ fn take_line<'a>(rest: &mut &'a [u8]) -> Result<&'a str, StoreError> {
 }
 
 /// Split `len` payload bytes plus a trailing newline off `rest`.
-fn take_payload<'a>(rest: &mut &'a [u8], len: usize) -> Result<&'a [u8], StoreError> {
+pub(crate) fn take_payload<'a>(rest: &mut &'a [u8], len: usize) -> Result<&'a [u8], StoreError> {
     if rest.len() < len + 1 || rest[len] != b'\n' {
         return Err(corrupt("payload length mismatch"));
     }
@@ -179,6 +179,140 @@ pub fn decode_tables(bytes: &[u8]) -> Result<(TableSet, SystemParams), StoreErro
         tables.insert(table);
     }
     Ok((tables, params))
+}
+
+// ---------------------------------------------------------------------
+// Per-module table artifacts + trace meta (fine-grained stage 1)
+// ---------------------------------------------------------------------
+
+/// Serialize one extracted table on its own — the per-module stage-1
+/// artifact. Issues that read only `POSIX` need never touch the bytes of
+/// `DXT`, and a green revalidation pass needs no table bytes at all
+/// (digests live in the [`TraceMeta`]).
+#[must_use]
+pub fn encode_table(table: &extractor::Table) -> Vec<u8> {
+    let csv = to_csv(table);
+    let mut out = Vec::with_capacity(csv.len() + 64);
+    out.extend_from_slice(b"ion-table v1\n");
+    out.extend_from_slice(format!("table {} {}\n", table.name, csv.len()).as_bytes());
+    out.extend_from_slice(csv.as_bytes());
+    out.push(b'\n');
+    out
+}
+
+/// Decode a single-table artifact.
+pub fn decode_table(bytes: &[u8]) -> Result<extractor::Table, StoreError> {
+    let mut rest = bytes;
+    if take_line(&mut rest)? != "ion-table v1" {
+        return Err(corrupt("bad table header"));
+    }
+    let spec = take_line(&mut rest)?
+        .strip_prefix("table ")
+        .ok_or_else(|| corrupt("expected table line"))?;
+    let (name, len) = spec
+        .rsplit_once(' ')
+        .ok_or_else(|| corrupt("bad table line"))?;
+    let len: usize = len.parse().map_err(|_| corrupt("bad table length"))?;
+    let name = name.to_owned();
+    let csv = std::str::from_utf8(take_payload(&mut rest, len)?)
+        .map_err(|_| corrupt("non-UTF-8 table payload"))?;
+    from_csv(&name, csv).map_err(|e| corrupt(&format!("table {name}: {e}")))
+}
+
+/// One per-module table in a [`TraceMeta`]: the module name, the schema
+/// version it was extracted under, and the content digest of its rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableEntry {
+    /// Module/table name (`POSIX`, `DXT`, …).
+    pub name: String,
+    /// Extraction schema version ([`extractor::schema::module_version`]).
+    pub version: u32,
+    /// Content digest ([`table_digest`]) — what issue keys depend on.
+    pub digest: Digest,
+}
+
+/// The fine-grained extraction record for one trace: derived system
+/// parameters plus one [`TableEntry`] per recorded module. The table
+/// *bytes* live in separate per-module artifacts; the meta alone is
+/// enough to revalidate every downstream issue (digests compare equal →
+/// green) without decoding a single row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceMeta {
+    /// System parameters derived from the decoded log.
+    pub params: SystemParams,
+    /// Per-module entries, in sorted table-name order.
+    pub tables: Vec<TableEntry>,
+}
+
+impl TraceMeta {
+    /// Content digest of one module's table, if recorded.
+    #[must_use]
+    pub fn digest_of(&self, module: &str) -> Option<Digest> {
+        self.tables
+            .iter()
+            .find(|t| t.name == module)
+            .map(|t| t.digest)
+    }
+
+    /// Whether the trace recorded `module` at all.
+    #[must_use]
+    pub fn has_module(&self, module: &str) -> bool {
+        self.tables.iter().any(|t| t.name == module)
+    }
+}
+
+/// Serialize a [`TraceMeta`].
+#[must_use]
+pub fn encode_trace_meta(meta: &TraceMeta) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(b"ion-trace-meta v1\n");
+    out.extend_from_slice(format!("params {}\n", params_line(&meta.params)).as_bytes());
+    for t in &meta.tables {
+        out.extend_from_slice(
+            format!("table {} {} {}\n", t.name, t.version, t.digest.hex()).as_bytes(),
+        );
+    }
+    out
+}
+
+/// Decode a [`TraceMeta`].
+pub fn decode_trace_meta(bytes: &[u8]) -> Result<TraceMeta, StoreError> {
+    let mut rest = bytes;
+    if take_line(&mut rest)? != "ion-trace-meta v1" {
+        return Err(corrupt("bad trace-meta header"));
+    }
+    let params = parse_params(
+        take_line(&mut rest)?
+            .strip_prefix("params ")
+            .ok_or_else(|| corrupt("missing params line"))?,
+    )?;
+    let mut tables = Vec::new();
+    while !rest.is_empty() {
+        let line = take_line(&mut rest)?;
+        let spec = line
+            .strip_prefix("table ")
+            .ok_or_else(|| corrupt("expected meta table line"))?;
+        let mut it = spec.split(' ');
+        let name = it
+            .next()
+            .ok_or_else(|| corrupt("meta table name"))?
+            .to_owned();
+        let version: u32 = it
+            .next()
+            .ok_or_else(|| corrupt("meta table version"))?
+            .parse()
+            .map_err(|_| corrupt("meta table version"))?;
+        let digest = it
+            .next()
+            .and_then(Digest::from_hex)
+            .ok_or_else(|| corrupt("meta table digest"))?;
+        tables.push(TableEntry {
+            name,
+            version,
+            digest,
+        });
+    }
+    Ok(TraceMeta { params, tables })
 }
 
 // ---------------------------------------------------------------------
@@ -370,6 +504,60 @@ mod tests {
             .insert("note".into(), Value::Str("line1\nline2\tend\\".into()));
         let back = decode_diagnosis(&encode_diagnosis(&d)).unwrap();
         assert_eq!(back, d);
+    }
+
+    #[test]
+    fn single_table_round_trip() {
+        let tables = sample_tables();
+        let posix = tables.get("POSIX").unwrap();
+        let back = decode_table(&encode_table(posix)).unwrap();
+        assert_eq!(&back, posix);
+        assert_eq!(table_digest(&back), table_digest(posix));
+    }
+
+    #[test]
+    fn trace_meta_round_trip() {
+        let tables = sample_tables();
+        let meta = TraceMeta {
+            params: SystemParams {
+                rpc_size: 1 << 22,
+                stripe_size: 1 << 20,
+                nprocs: 8,
+                runtime_seconds: 0.1 + 0.2,
+            },
+            tables: tables
+                .iter()
+                .map(|(name, t)| TableEntry {
+                    name: (*name).to_owned(),
+                    version: 1,
+                    digest: table_digest(t),
+                })
+                .collect(),
+        };
+        let back = decode_trace_meta(&encode_trace_meta(&meta)).unwrap();
+        assert_eq!(back, meta);
+        assert_eq!(
+            back.digest_of("POSIX"),
+            Some(table_digest(tables.get("POSIX").unwrap()))
+        );
+        assert!(back.has_module("DXT"));
+        assert!(!back.has_module("MPIIO"));
+        assert_eq!(back.digest_of("MPIIO"), None);
+    }
+
+    #[test]
+    fn truncated_fine_artifacts_are_rejected() {
+        let tables = sample_tables();
+        let bytes = encode_table(tables.get("POSIX").unwrap());
+        for cut in [0, 5, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_table(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        assert!(decode_trace_meta(b"ion-trace-meta v2\n").is_err());
+        assert!(decode_trace_meta(b"ion-trace-meta v1\nparams 1 2 3 zz\n").is_err());
+        assert!(
+            decode_trace_meta(b"ion-trace-meta v1\nparams 1 2 3 0000000000000000\ntable X\n")
+                .is_err()
+        );
     }
 
     #[test]

@@ -9,15 +9,29 @@
 //! stage's true inputs, in the spirit of salsa's dependency-keyed
 //! memoization for compilers:
 //!
-//! * `trace/<digest of trace bytes>` → extracted tables + derived
-//!   parameters (memoizes Darshan decode + extraction);
-//! * `issue/<id>/<tables digest>/<params digest>/<context
-//!   revision>/<model>` → one diagnosis (memoizes a model run);
+//! * `trace/<digest>/meta/<schema fingerprint>` → per-module table
+//!   digests + derived parameters (memoizes Darshan decode +
+//!   extraction), with the table bytes in per-module
+//!   `trace/<digest>/table/<module>/…` artifacts;
+//! * `diag/<id>/<model>/<input fingerprint>` → one diagnosis (memoizes
+//!   a model run), where the fingerprint folds the parameters, the
+//!   per-module table digests the issue maps to, and the context's
+//!   *statement* fingerprint (whitespace-inert);
+//! * `memo/<id>/<trace digest>/<model>` → the analysis' recorded
+//!   dependency set ([`memo::IssueMemo`]) — which knowledge statements
+//!   it consulted, at which revisions;
 //! * `summary/<digest of diagnosis texts + model>` → the global summary.
 //!
+//! Lookups run a red-green revalidation pass over the memo instead of
+//! comparing one monolithic key: equal inputs are *green* (serve the
+//! cached diagnosis without touching table bytes); a context edit that
+//! leaves every consulted statement's revision unchanged — whitespace,
+//! comments, templates of rules that never fired — is *backdated* (the
+//! old diagnosis is rebound under the new fingerprint, still no model
+//! run); only a dirty consulted input goes *red* and re-runs the model.
 //! Re-analyzing an unchanged trace therefore performs zero extractions
-//! and zero model runs; editing one issue context re-runs exactly that
-//! issue's analysis while every other diagnosis is a cache hit.
+//! and zero model runs; editing one knowledge statement re-runs exactly
+//! the issues that consulted it.
 //!
 //! Layered storage: a byte-capped in-memory LRU ([`lru::ByteLru`]) over
 //! atomic-rename on-disk objects and a versioned manifest ([`disk`]),
@@ -37,6 +51,7 @@ pub mod digest;
 pub mod disk;
 pub mod driver;
 pub mod lru;
+pub mod memo;
 pub mod singleflight;
 pub mod spill;
 pub mod store;

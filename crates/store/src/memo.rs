@@ -1,0 +1,248 @@
+//! Per-issue memoization records — the dependency sets behind red-green
+//! revalidation.
+//!
+//! A memo is written after every issue analysis under an *identity*
+//! key (`memo/<issue>/<trace>/<model>`), so it is found again no matter
+//! how the context has been edited since. It records everything the run
+//! actually read:
+//!
+//! * the non-context inputs — system parameters digest, the `has_mpiio`
+//!   flag, and one content digest per module the context maps to;
+//! * the context, twice — the coarse whole-text revision (the green fast
+//!   path) and the statement-set fingerprint — plus the *consulted
+//!   statement* dependency list `(key, revision)`;
+//! * the content-addressed key of the diagnosis artifact the run
+//!   produced, and the [`Durability`] of its context input.
+//!
+//! On the next lookup the driver walks this record instead of re-running
+//! the model: equal inputs → green; changed coarse revision but equal
+//! consulted statements → backdate (rebind the old diagnosis, still no
+//! model run); a dirty consulted statement or non-context input → red.
+
+use crate::codec::{corrupt, take_line};
+use crate::digest::Digest;
+use crate::StoreError;
+
+/// How easily a memo's context input can be dirtied.
+///
+/// `High` marks analyses whose context was a pristine builtin: the text
+/// is compiled into the binary, so revalidation may short-circuit the
+/// context check against a process-wide cache of builtin revisions
+/// instead of splitting statements. Trace tables are always effectively
+/// high-durability — they are content-addressed under the trace digest,
+/// so their recorded digests can only change through an extractor schema
+/// bump, which the digest comparison itself detects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Durability {
+    /// Context is a pristine builtin (byte-identical to the compiled-in
+    /// library).
+    High,
+    /// Context is user-supplied or edited; validate through statements.
+    Low,
+}
+
+impl Durability {
+    fn as_str(self) -> &'static str {
+        match self {
+            Durability::High => "high",
+            Durability::Low => "low",
+        }
+    }
+}
+
+/// One consulted-statement dependency: the statement's positional key
+/// and the revision it had when the analysis ran.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatementDep {
+    /// Positional statement key (`prose/0`, `rule/2/text`, …).
+    pub key: String,
+    /// Statement revision hex at analysis time.
+    pub revision: String,
+}
+
+/// The persisted dependency record of one issue analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IssueMemo {
+    /// Issue id.
+    pub issue: String,
+    /// Model id (key-safe form).
+    pub model: String,
+    /// Durability of the context input.
+    pub durability: Durability,
+    /// Coarse whole-text context revision hex (green fast path).
+    pub raw_revision: String,
+    /// Statement-set fingerprint hex of the context.
+    pub ctx_fingerprint: String,
+    /// System-parameters digest hex.
+    pub params: String,
+    /// Whether the trace recorded MPI-IO (a prompt-level input that is
+    /// not part of any single table's content).
+    pub has_mpiio: bool,
+    /// Per-module content digests for the modules this issue maps to;
+    /// `None` records that the module was absent from the trace.
+    pub tables: Vec<(String, Option<Digest>)>,
+    /// Manifest key of the diagnosis artifact this analysis produced.
+    pub diag_key: String,
+    /// Consulted statements, in rendering order.
+    pub deps: Vec<StatementDep>,
+}
+
+/// Serialize an [`IssueMemo`].
+#[must_use]
+pub fn encode_memo(m: &IssueMemo) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(b"ion-memo v1\n");
+    out.extend_from_slice(format!("issue {}\n", m.issue).as_bytes());
+    out.extend_from_slice(format!("model {}\n", m.model).as_bytes());
+    out.extend_from_slice(format!("durability {}\n", m.durability.as_str()).as_bytes());
+    out.extend_from_slice(format!("revision {}\n", m.raw_revision).as_bytes());
+    out.extend_from_slice(format!("ctxfp {}\n", m.ctx_fingerprint).as_bytes());
+    out.extend_from_slice(format!("params {}\n", m.params).as_bytes());
+    out.extend_from_slice(format!("mpiio {}\n", u8::from(m.has_mpiio)).as_bytes());
+    out.extend_from_slice(format!("tables {}\n", m.tables.len()).as_bytes());
+    for (name, digest) in &m.tables {
+        let d = digest.map_or_else(|| "absent".to_owned(), |d| d.hex());
+        out.extend_from_slice(format!("{name} {d}\n").as_bytes());
+    }
+    out.extend_from_slice(format!("diag {}\n", m.diag_key).as_bytes());
+    out.extend_from_slice(format!("deps {}\n", m.deps.len()).as_bytes());
+    for dep in &m.deps {
+        out.extend_from_slice(format!("{}\t{}\n", dep.key, dep.revision).as_bytes());
+    }
+    out
+}
+
+/// Decode an [`IssueMemo`].
+pub fn decode_memo(bytes: &[u8]) -> Result<IssueMemo, StoreError> {
+    let mut rest = bytes;
+    if take_line(&mut rest)? != "ion-memo v1" {
+        return Err(corrupt("bad memo header"));
+    }
+    let mut field = |prefix: &str| -> Result<String, StoreError> {
+        take_line(&mut rest)?
+            .strip_prefix(prefix)
+            .map(ToOwned::to_owned)
+            .ok_or_else(|| corrupt(&format!("missing memo field {prefix}")))
+    };
+    let issue = field("issue ")?;
+    let model = field("model ")?;
+    let durability = match field("durability ")?.as_str() {
+        "high" => Durability::High,
+        "low" => Durability::Low,
+        _ => return Err(corrupt("memo durability")),
+    };
+    let raw_revision = field("revision ")?;
+    let ctx_fingerprint = field("ctxfp ")?;
+    let params = field("params ")?;
+    let has_mpiio = match field("mpiio ")?.as_str() {
+        "1" => true,
+        "0" => false,
+        _ => return Err(corrupt("memo mpiio flag")),
+    };
+    let n_tables: usize = field("tables ")?
+        .parse()
+        .map_err(|_| corrupt("memo tables count"))?;
+    let mut tables = Vec::with_capacity(n_tables);
+    for _ in 0..n_tables {
+        let line = take_line(&mut rest)?;
+        let (name, d) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| corrupt("memo table line"))?;
+        let digest = if d == "absent" {
+            None
+        } else {
+            Some(Digest::from_hex(d).ok_or_else(|| corrupt("memo table digest"))?)
+        };
+        tables.push((name.to_owned(), digest));
+    }
+    let diag_key = {
+        take_line(&mut rest)?
+            .strip_prefix("diag ")
+            .map(ToOwned::to_owned)
+            .ok_or_else(|| corrupt("missing memo field diag"))?
+    };
+    let n_deps: usize = take_line(&mut rest)?
+        .strip_prefix("deps ")
+        .ok_or_else(|| corrupt("missing memo field deps"))?
+        .parse()
+        .map_err(|_| corrupt("memo deps count"))?;
+    let mut deps = Vec::with_capacity(n_deps);
+    for _ in 0..n_deps {
+        let line = take_line(&mut rest)?;
+        let (key, revision) = line
+            .split_once('\t')
+            .ok_or_else(|| corrupt("memo dep line"))?;
+        deps.push(StatementDep {
+            key: key.to_owned(),
+            revision: revision.to_owned(),
+        });
+    }
+    Ok(IssueMemo {
+        issue,
+        model,
+        durability,
+        raw_revision,
+        ctx_fingerprint,
+        params,
+        has_mpiio,
+        tables,
+        diag_key,
+        deps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> IssueMemo {
+        IssueMemo {
+            issue: "small-io".into(),
+            model: "ion-deterministic-expert-v1".into(),
+            durability: Durability::High,
+            raw_revision: "a".repeat(32),
+            ctx_fingerprint: "b".repeat(32),
+            params: "c".repeat(64),
+            has_mpiio: false,
+            tables: vec![
+                ("POSIX".into(), Some(Digest([7; 32]))),
+                ("DXT".into(), None),
+            ],
+            diag_key: "diag/small-io/model/abcd".into(),
+            deps: vec![
+                StatementDep {
+                    key: "header".into(),
+                    revision: "d".repeat(32),
+                },
+                StatementDep {
+                    key: "rule/0/text".into(),
+                    revision: "e".repeat(32),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn memo_round_trip() {
+        let memo = sample();
+        assert_eq!(decode_memo(&encode_memo(&memo)).unwrap(), memo);
+        let mut low = sample();
+        low.durability = Durability::Low;
+        low.has_mpiio = true;
+        low.deps.clear();
+        assert_eq!(decode_memo(&encode_memo(&low)).unwrap(), low);
+    }
+
+    #[test]
+    fn corrupt_memos_are_rejected() {
+        let bytes = encode_memo(&sample());
+        for cut in [0, 12, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_memo(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        assert!(decode_memo(b"ion-memo v2\n").is_err());
+        let tampered = String::from_utf8(bytes)
+            .unwrap()
+            .replace("durability high", "durability medium");
+        assert!(decode_memo(tampered.as_bytes()).is_err());
+    }
+}

@@ -7,23 +7,49 @@
 //! single object on disk for free. Emits `store.chunks.spilled` and
 //! `store.chunks.loaded` counters so the serve/CLI layers can report
 //! how much of an ingest ran out of core.
+//!
+//! A spill directory can share a [`Store`]'s object directory
+//! ([`SpillDir::in_store`]). Spilled chunks have no manifest binding of
+//! their own, so without care `Store::gc` would see live chunks as
+//! unreferenced and delete them out from under their tickets. The
+//! store-backed mode therefore *pins* each spilled chunk under a
+//! session-scoped manifest key (`spill/<session>/<digest>`); dropping
+//! the spill (or calling [`SpillDir::release`]) removes the pins so the
+//! next gc can reclaim the dead chunks instead of leaking them.
 
 use crate::digest::Digest;
 use crate::disk::ObjectDir;
+use crate::store::Store;
 use crate::StoreError;
 use extractor::{ChunkPager, ChunkTicket};
 use std::io;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonic per-process spill session counter, so two concurrent
+/// spills into one store pin under distinct prefixes.
+static SPILL_SESSIONS: AtomicU64 = AtomicU64::new(0);
 
 /// A [`ChunkPager`] over a content-addressed object directory.
 ///
 /// Chunks are opaque blobs here; encoding and decoding stay in
 /// `extractor::chunked`. The directory may be shared with other spills
 /// (content addressing keeps writers from clobbering each other), and
-/// is typically a throwaway under the analysis scratch dir.
+/// is typically a throwaway under the analysis scratch dir — or, via
+/// [`SpillDir::in_store`], the store's own object directory with
+/// gc-visible pins.
 #[derive(Debug)]
 pub struct SpillDir {
     objects: ObjectDir,
+    pins: Option<SpillPins>,
+}
+
+#[derive(Debug)]
+struct SpillPins {
+    store: Arc<Store>,
+    prefix: String,
+    released: AtomicBool,
 }
 
 impl SpillDir {
@@ -33,6 +59,28 @@ impl SpillDir {
     pub fn new(root: &Path) -> SpillDir {
         SpillDir {
             objects: ObjectDir::new(root),
+            pins: None,
+        }
+    }
+
+    /// Spill into `store`'s object directory, pinning every spilled
+    /// chunk under a session-scoped manifest key so `Store::gc` treats
+    /// live spilled chunks as referenced. Pins are removed when the
+    /// spill is dropped or [`SpillDir::release`]d.
+    #[must_use]
+    pub fn in_store(store: &Arc<Store>) -> SpillDir {
+        let session = format!(
+            "{}-{}",
+            std::process::id(),
+            SPILL_SESSIONS.fetch_add(1, Ordering::Relaxed)
+        );
+        SpillDir {
+            objects: ObjectDir::new(store.root()),
+            pins: Some(SpillPins {
+                store: Arc::clone(store),
+                prefix: format!("spill/{session}/"),
+                released: AtomicBool::new(false),
+            }),
         }
     }
 
@@ -40,6 +88,27 @@ impl SpillDir {
     #[must_use]
     pub fn objects(&self) -> &ObjectDir {
         &self.objects
+    }
+
+    /// Drop this spill's gc pins (store-backed mode only): the chunks
+    /// become unreferenced and the next `Store::gc` reclaims them. Safe
+    /// to call more than once; a no-op for plain directory spills.
+    pub fn release(&self) -> Result<usize, StoreError> {
+        let Some(pins) = &self.pins else {
+            return Ok(0);
+        };
+        if pins.released.swap(true, Ordering::SeqCst) {
+            return Ok(0);
+        }
+        pins.store.unbind_prefix(&pins.prefix)
+    }
+}
+
+impl Drop for SpillDir {
+    fn drop(&mut self) {
+        // Best-effort: a pin left behind by a failed unbind only delays
+        // reclamation until a future session's gc, never corrupts.
+        let _ = self.release();
     }
 }
 
@@ -50,6 +119,11 @@ fn to_io(err: StoreError) -> io::Error {
 impl ChunkPager for SpillDir {
     fn spill(&self, _table: &str, _seq: usize, bytes: &[u8]) -> io::Result<ChunkTicket> {
         let digest = self.objects.put(bytes).map_err(to_io)?;
+        if let Some(pins) = &self.pins {
+            pins.store
+                .bind(&format!("{}{}", pins.prefix, digest.hex()), digest)
+                .map_err(to_io)?;
+        }
         ion_obs::counter("store.chunks.spilled", 1);
         Ok(ChunkTicket {
             key: digest.hex(),
@@ -152,6 +226,59 @@ mod tests {
             spill.load(&gone).unwrap_err().kind(),
             io::ErrorKind::NotFound
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_spares_live_spilled_chunks_and_reclaims_released_ones() {
+        // Regression: SpillDir sharing a store's object dir used to
+        // leave chunks unreferenced, so gc deleted them while tickets
+        // were still live (and, conversely, a throwaway binding would
+        // have leaked them forever).
+        let dir = scratch("gc-pins");
+        let store = Arc::new(Store::open(&dir).unwrap());
+        store.put("artifact", b"ordinary store artifact").unwrap();
+        let spill = SpillDir::in_store(&store);
+        let ticket = spill.spill("T", 0, b"paged-out chunk bytes").unwrap();
+
+        // Live spill: gc must not touch the chunk.
+        let report = store.gc(false).unwrap();
+        assert!(
+            report.unreferenced.is_empty(),
+            "gc stole live spilled chunks: {:?}",
+            report.unreferenced
+        );
+        assert_eq!(spill.load(&ticket).unwrap(), b"paged-out chunk bytes");
+
+        // Released spill: the pin is gone, gc reclaims the chunk, and
+        // ordinary artifacts survive.
+        let released = spill.release().unwrap();
+        assert_eq!(released, 1);
+        assert_eq!(spill.release().unwrap(), 0, "release is idempotent");
+        let report = store.gc(false).unwrap();
+        assert_eq!(report.unreferenced.len(), 1);
+        assert!(spill.load(&ticket).is_err(), "dead chunk reclaimed");
+        assert_eq!(
+            &*store.get("artifact").unwrap().unwrap(),
+            b"ordinary store artifact"
+        );
+        drop(spill);
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dropping_a_store_backed_spill_unpins_its_chunks() {
+        let dir = scratch("gc-drop");
+        let store = Arc::new(Store::open(&dir).unwrap());
+        {
+            let spill = SpillDir::in_store(&store);
+            spill.spill("T", 0, b"short-lived chunk").unwrap();
+            assert_eq!(store.gc(false).unwrap().unreferenced.len(), 0);
+        }
+        let report = store.gc(false).unwrap();
+        assert_eq!(report.unreferenced.len(), 1, "drop released the pins");
+        drop(store);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -35,14 +35,38 @@ pub struct GcReport {
     pub deleted: bool,
 }
 
+/// The manifest plus its persistence bookkeeping, guarded together: a
+/// positive `defer_depth` routes binding changes to the `dirty` flag
+/// instead of an immediate save (see [`Store::with_deferred_saves`]).
+#[derive(Debug)]
+struct ManifestState {
+    map: Manifest,
+    defer_depth: u32,
+    dirty: bool,
+}
+
 /// A shared, thread-safe artifact store rooted at one directory.
 #[derive(Debug)]
 pub struct Store {
     root: PathBuf,
     objects: ObjectDir,
-    manifest: Mutex<Manifest>,
+    manifest: Mutex<ManifestState>,
     memory: Mutex<ByteLru>,
     flights: Singleflight<Result<Arc<[u8]>, String>>,
+}
+
+/// Panic-safe depth decrement for [`Store::with_deferred_saves`]: if the
+/// scope unwinds, the store falls back to save-per-put rather than
+/// deferring forever, and any deferred-but-unsaved bindings are
+/// persisted best-effort by the next binding change.
+struct DeferGuard<'a> {
+    store: &'a Store,
+}
+
+impl Drop for DeferGuard<'_> {
+    fn drop(&mut self) {
+        self.store.manifest.lock().defer_depth -= 1;
+    }
 }
 
 impl Store {
@@ -65,11 +89,64 @@ impl Store {
         let manifest = Manifest::load(&root)?;
         Ok(Store {
             objects: ObjectDir::new(&root),
-            manifest: Mutex::new(manifest),
+            manifest: Mutex::new(ManifestState {
+                map: manifest,
+                defer_depth: 0,
+                dirty: false,
+            }),
             memory: Mutex::new(ByteLru::new(memory_capacity)),
             flights: Singleflight::new(),
             root,
         })
+    }
+
+    /// Run `f` with manifest persistence deferred: binding changes made
+    /// inside the scope (by this or any thread sharing the store) update
+    /// the in-memory manifest immediately — readers never see stale
+    /// bindings — but the on-disk `MANIFEST` is rewritten once at scope
+    /// exit instead of once per `put`. A driver analyzing one trace
+    /// touches a dozen keys; batching turns that from a dozen
+    /// whole-manifest rewrites into one.
+    ///
+    /// Durability: a process crash inside the scope loses the scope's
+    /// bindings (the objects themselves are already on disk and are
+    /// re-bound by recomputation), which widens the documented
+    /// crash-loss window from one binding to one scope. Scopes nest;
+    /// the save happens when the outermost scope exits.
+    pub fn with_deferred_saves<T>(
+        &self,
+        f: impl FnOnce() -> Result<T, StoreError>,
+    ) -> Result<T, StoreError> {
+        self.manifest.lock().defer_depth += 1;
+        let guard = DeferGuard { store: self };
+        let out = f()?;
+        // Flush before the depth drops so save errors surface to the
+        // caller; the guard's decrement then finds a clean state. An
+        // inner scope (depth still > 1 counting our own increment)
+        // leaves the dirty flag for the outermost scope to flush.
+        {
+            let mut state = self.manifest.lock();
+            if state.defer_depth == 1 && state.dirty {
+                state.map.save(&self.root)?;
+                state.dirty = false;
+                ion_obs::counter("store.manifest_save", 1);
+            }
+        }
+        drop(guard);
+        Ok(out)
+    }
+
+    /// Persist a binding change: immediately, or by marking the state
+    /// dirty when inside a [`Store::with_deferred_saves`] scope.
+    fn persist_manifest(&self, state: &mut ManifestState) -> Result<(), StoreError> {
+        if state.defer_depth > 0 {
+            state.dirty = true;
+            return Ok(());
+        }
+        state.map.save(&self.root)?;
+        state.dirty = false;
+        ion_obs::counter("store.manifest_save", 1);
+        Ok(())
     }
 
     /// Number of callers so far that attached to an already in-flight
@@ -91,13 +168,13 @@ impl Store {
     /// Number of manifest bindings.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.manifest.lock().len()
+        self.manifest.lock().map.len()
     }
 
     /// Whether the manifest has no bindings.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.manifest.lock().is_empty()
+        self.manifest.lock().map.is_empty()
     }
 
     /// Fetch the artifact bound to `key`, if present and readable.
@@ -124,7 +201,7 @@ impl Store {
                 ion_obs::counter(name, 1);
             }
         };
-        let Some(digest) = self.manifest.lock().get(key).copied() else {
+        let Some(digest) = self.manifest.lock().map.get(key).copied() else {
             tally("store.miss");
             return Ok(None);
         };
@@ -154,10 +231,10 @@ impl Store {
     pub fn put(&self, key: &str, bytes: &[u8]) -> Result<Digest, StoreError> {
         let digest = self.objects.put(bytes)?;
         {
-            let mut manifest = self.manifest.lock();
-            let changed = manifest.insert(key, digest) != Some(digest);
+            let mut state = self.manifest.lock();
+            let changed = state.map.insert(key, digest) != Some(digest);
             if changed {
-                manifest.save(&self.root)?;
+                self.persist_manifest(&mut state)?;
             }
         }
         let arc: Arc<[u8]> = bytes.to_vec().into();
@@ -195,11 +272,45 @@ impl Store {
         result.map_err(StoreError::Compute)
     }
 
+    /// Remove every manifest binding whose key starts with `prefix`,
+    /// returning how many were removed. The objects themselves stay on
+    /// disk until the next [`Store::gc`] — this only drops references
+    /// (e.g. a spill session releasing its chunk pins).
+    pub fn unbind_prefix(&self, prefix: &str) -> Result<usize, StoreError> {
+        let mut state = self.manifest.lock();
+        let doomed: Vec<String> = state
+            .map
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.to_owned())
+            .collect();
+        for key in &doomed {
+            state.map.remove(key);
+        }
+        if !doomed.is_empty() {
+            self.persist_manifest(&mut state)?;
+        }
+        Ok(doomed.len())
+    }
+
+    /// Bind `key` to an object that already exists in the object dir,
+    /// without re-writing bytes or promoting anything into memory (spill
+    /// pins reference chunks that were paged out precisely because
+    /// memory is tight).
+    pub(crate) fn bind(&self, key: &str, digest: Digest) -> Result<(), StoreError> {
+        let mut state = self.manifest.lock();
+        let changed = state.map.insert(key, digest) != Some(digest);
+        if changed {
+            self.persist_manifest(&mut state)?;
+        }
+        Ok(())
+    }
+
     /// Prune objects not referenced by the manifest. With `dry_run` the
     /// report lists what *would* be deleted and nothing is touched.
     pub fn gc(&self, dry_run: bool) -> Result<GcReport, StoreError> {
         let _span = ion_obs::span!("store.gc");
-        let referenced = self.manifest.lock().referenced();
+        let referenced = self.manifest.lock().map.referenced();
         let mut report = GcReport {
             live: 0,
             unreferenced: Vec::new(),
@@ -226,6 +337,7 @@ impl Store {
     pub fn bindings(&self) -> Vec<(String, Digest)> {
         self.manifest
             .lock()
+            .map
             .iter()
             .map(|(k, d)| (k.to_owned(), *d))
             .collect()

@@ -1,7 +1,9 @@
 //! Acceptance tests for incremental re-analysis, proven from `ion-obs`
 //! metrics alone: a warm store performs zero model runs and zero
-//! extractions, and editing one issue context re-runs exactly one model
-//! call while every other stage is served from cache.
+//! extractions; a cosmetic context edit (whitespace, or an edit to a
+//! rule template that never fired) is *backdated* — still zero model
+//! runs; only a substantive edit to consulted knowledge goes *red*, and
+//! re-runs exactly the one issue that consulted it.
 
 use darshan::log::LogWriter;
 use ion::context::builtin_contexts;
@@ -11,6 +13,8 @@ use iosim::{SimConfig, Simulation};
 use std::sync::Arc;
 
 /// The global obs sink is process-wide; tests in this binary serialize.
+/// (The schema-bump test also mutates process environment under this
+/// same lock — every driver run in this file happens while holding it.)
 static SINK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 fn obs_guard() -> std::sync::MutexGuard<'static, ()> {
@@ -83,8 +87,13 @@ fn warm_reanalysis_performs_zero_model_runs_and_zero_extractions() {
         warm_snap.render_profile()
     );
     assert_eq!(warm_snap.counter("store.miss"), 0);
-    // Trace artifact + per-issue diagnoses + summary, all from cache.
-    assert_eq!(warm_snap.counter("store.hit"), issues + 2);
+    // Trace meta + per-issue (memo + diagnosis) + summary, all from
+    // cache — table rows are never even decoded on a green re-serve.
+    assert_eq!(warm_snap.counter("store.hit"), 2 * issues + 2);
+    // Every issue revalidated green; nothing was backdated or re-run.
+    assert_eq!(warm_snap.counter("store.revalidate.green"), issues);
+    assert_eq!(warm_snap.counter("store.revalidate.backdated"), 0);
+    assert_eq!(warm_snap.counter("store.revalidate.red"), 0);
 
     let _ = std::fs::remove_dir_all(root);
 }
@@ -94,6 +103,7 @@ fn warm_reanalysis_performs_zero_model_runs_and_zero_extractions() {
 /// metrics, the edited issue id and the pre-edit revision.
 fn run_with_edited_context(
     tag: &str,
+    pick: impl Fn(&ion::pipeline::IonReport) -> String,
     edit: impl Fn(&mut String),
 ) -> (
     ion::pipeline::IonReport,
@@ -112,7 +122,7 @@ fn run_with_edited_context(
         cold.diagnoses.len() > 1,
         "need several issues to show selective invalidation"
     );
-    let edited_id = cold.diagnoses[0].issue.clone();
+    let edited_id = pick(&cold);
 
     let mut contexts = builtin_contexts();
     let target = contexts
@@ -135,34 +145,39 @@ fn run_with_edited_context(
 }
 
 #[test]
-fn editing_one_context_reruns_exactly_one_model_call() {
+fn whitespace_edit_is_backdated_with_zero_model_runs() {
     let _sink = obs_guard();
     // Indent one line of one context: the context bytes (and so its
-    // revision) change, the model's conclusions do not. Revision keying
-    // is deliberately conservative — it cannot know an edit is inert
-    // without re-running the model, so exactly one model call happens.
-    let (cold, edited, snap, edited_id, old_revision) =
-        run_with_edited_context("edit-inert", |text| {
+    // coarse revision) change, but every knowledge *statement* is
+    // whitespace-normalized, so each consulted statement revalidates
+    // equal. The old diagnosis is backdated under the new revision —
+    // zero model runs, end to end.
+    let (cold, edited, snap, edited_id, old_revision) = run_with_edited_context(
+        "edit-inert",
+        |cold| cold.diagnoses[0].issue.clone(),
+        |text| {
             *text = text.replacen("ISSUE:", "  ISSUE:", 1);
-        });
+        },
+    );
 
-    // Exactly the edited issue re-ran; extraction, every other issue and
-    // the summary (its input — the completion texts — is unchanged) were
-    // cache hits. This is the acceptance criterion, proven from metrics.
+    let issues = cold.diagnoses.len() as u64;
     assert_eq!(
         snap.counter("llm.runs"),
-        1,
-        "exactly one model re-run after a single-context edit:\n{}",
+        0,
+        "a whitespace edit must not re-run any model:\n{}",
         snap.render_profile()
     );
     assert_eq!(snap.counter("extract.runs"), 0);
-    assert_eq!(snap.counter("store.recompute.issue"), 1);
+    assert_eq!(snap.counter("store.recompute.issue"), 0);
     assert_eq!(snap.counter("store.recompute.summary"), 0);
-    assert_eq!(snap.counter("store.miss"), 1);
+    assert_eq!(snap.counter("store.miss"), 0);
+    assert_eq!(snap.counter("store.revalidate.backdated"), 1);
+    assert_eq!(snap.counter("store.revalidate.green"), issues - 1);
+    assert_eq!(snap.counter("store.revalidate.red"), 0);
 
-    // The report records the new revision for the edited issue, the
-    // diagnosis content itself is unchanged, and every untouched context
-    // kept its cached revision.
+    // The report is what a fresh run would produce: the edited issue
+    // carries the *new* revision over unchanged diagnosis content, and
+    // every untouched context kept its cached revision.
     let re = edited.diagnosis(&edited_id).unwrap();
     assert_ne!(re.context_revision, old_revision.hex());
     assert_eq!(re.raw, cold.diagnosis(&edited_id).unwrap().raw);
@@ -179,17 +194,95 @@ fn editing_one_context_reruns_exactly_one_model_call() {
 }
 
 #[test]
+fn backdated_edit_is_green_on_the_following_run() {
+    let _sink = obs_guard();
+    // Backdating rebinds the cached diagnosis under the edited context's
+    // fingerprint, so analyzing again with the *same* edited contexts is
+    // a pure green run — the edit is paid for exactly once.
+    let bytes = trace_bytes();
+    let root = tmp_dir("backdate-settles");
+    let store = Arc::new(Store::open(&root).unwrap());
+    let (cold, _) = counted(|| {
+        StoredPipeline::new(Arc::clone(&store))
+            .analyze_bytes(&bytes)
+            .unwrap()
+    });
+    let issues = cold.diagnoses.len() as u64;
+
+    let mut contexts = builtin_contexts();
+    let target = contexts
+        .iter_mut()
+        .find(|c| c.id == cold.diagnoses[0].issue)
+        .unwrap();
+    target.text = target.text.replacen("ISSUE:", "  ISSUE:", 1);
+    let driver = StoredPipeline::new(Arc::clone(&store))
+        .with_pipeline(IonPipeline::new().with_contexts(contexts));
+
+    let (first, first_snap) = counted(|| driver.analyze_bytes(&bytes).unwrap());
+    assert_eq!(first_snap.counter("store.revalidate.backdated"), 1);
+    let (second, second_snap) = counted(|| driver.analyze_bytes(&bytes).unwrap());
+    assert_eq!(second, first);
+    assert_eq!(second_snap.counter("llm.runs"), 0);
+    assert_eq!(second_snap.counter("store.revalidate.green"), issues);
+    assert_eq!(second_snap.counter("store.revalidate.backdated"), 0);
+    assert_eq!(second_snap.counter("store.miss"), 0);
+
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn editing_an_unfired_rule_template_is_backdated() {
+    let _sink = obs_guard();
+    // The trace's writes are all 2 KiB, so small-io concludes with
+    // small_pct = 100 and its "transfer sizes are healthy" NOTE (guarded
+    // by small_pct <= 50) never fires. Its template was never consulted,
+    // so rewording it cannot change any completion — the dependency walk
+    // proves that and backdates without a model run.
+    let (cold, edited, snap, edited_id, _old) = run_with_edited_context(
+        "edit-unfired",
+        |cold| {
+            assert!(cold.diagnosis("small-io").is_some());
+            "small-io".to_owned()
+        },
+        |text| {
+            assert!(text.contains("transfer sizes are healthy"));
+            *text = text.replace("transfer sizes are healthy", "transfer sizes look good");
+        },
+    );
+
+    assert_eq!(
+        snap.counter("llm.runs"),
+        0,
+        "an unconsulted template edit must not re-run any model:\n{}",
+        snap.render_profile()
+    );
+    assert_eq!(snap.counter("store.recompute.issue"), 0);
+    assert_eq!(snap.counter("store.revalidate.backdated"), 1);
+    assert_eq!(snap.counter("store.revalidate.red"), 0);
+    assert_eq!(
+        edited.diagnosis(&edited_id).unwrap().raw,
+        cold.diagnosis(&edited_id).unwrap().raw,
+        "the unfired template is invisible in the diagnosis"
+    );
+}
+
+#[test]
 fn substantive_edit_also_refreshes_the_summary_but_nothing_else() {
     let _sink = obs_guard();
     // Append a prose remark: the expert's completion echoes knowledge
     // statements, so the diagnosis text changes — and the summary, whose
     // key is the completion texts, must honestly recompute too. Still
-    // zero extractions and every other issue served from cache.
-    let (cold, edited, snap, edited_id, _old_revision) =
-        run_with_edited_context("edit-prose", |text| {
+    // zero extractions and every other issue served from cache: editing
+    // one statement re-runs exactly the one issue that consults it.
+    let (cold, edited, snap, edited_id, _old_revision) = run_with_edited_context(
+        "edit-prose",
+        |cold| cold.diagnoses[0].issue.clone(),
+        |text| {
             text.push_str("\nOperators report this issue most often on weekly runs.\n");
-        });
+        },
+    );
 
+    let issues = cold.diagnoses.len() as u64;
     assert_eq!(
         snap.counter("llm.runs"),
         2,
@@ -199,11 +292,48 @@ fn substantive_edit_also_refreshes_the_summary_but_nothing_else() {
     assert_eq!(snap.counter("extract.runs"), 0);
     assert_eq!(snap.counter("store.recompute.issue"), 1);
     assert_eq!(snap.counter("store.recompute.summary"), 1);
+    assert_eq!(snap.counter("store.revalidate.red"), 1);
+    assert_eq!(snap.counter("store.revalidate.green"), issues - 1);
+    assert_eq!(snap.counter("store.revalidate.backdated"), 0);
     assert_ne!(
         edited.diagnosis(&edited_id).unwrap().raw,
         cold.diagnosis(&edited_id).unwrap().raw,
         "the prose edit is visible in the diagnosis steps"
     );
+}
+
+#[test]
+fn schema_bump_reextracts_once_but_stays_green_downstream() {
+    let _sink = obs_guard();
+    // Bumping one module's extraction version re-keys stage 1, so the
+    // trace is re-extracted exactly once — but the re-extracted content
+    // digests come out equal, so every dependent diagnosis revalidates
+    // green through the early cutoff: zero model runs.
+    let bytes = trace_bytes();
+    let root = tmp_dir("schema-bump");
+    let store = Arc::new(Store::open(&root).unwrap());
+    let driver = StoredPipeline::new(Arc::clone(&store));
+    let (cold, _) = counted(|| driver.analyze_bytes(&bytes).unwrap());
+    let issues = cold.diagnoses.len() as u64;
+
+    std::env::set_var(extractor::schema::VERSION_BUMP_ENV, "POSIX=2");
+    let (bumped, snap) = counted(|| driver.analyze_bytes(&bytes).unwrap());
+    std::env::remove_var(extractor::schema::VERSION_BUMP_ENV);
+
+    assert_eq!(bumped, cold);
+    assert_eq!(snap.counter("store.recompute.trace"), 1);
+    assert_eq!(snap.counter("extract.runs"), 1);
+    assert_eq!(
+        snap.counter("llm.runs"),
+        0,
+        "equal content digests must keep every diagnosis green:\n{}",
+        snap.render_profile()
+    );
+    assert_eq!(snap.counter("store.recompute.issue"), 0);
+    assert_eq!(snap.counter("store.revalidate.green"), issues);
+    assert_eq!(snap.counter("store.revalidate.red"), 0);
+
+    let _ = std::fs::remove_dir_all(root);
 }
 
 #[test]
@@ -213,7 +343,7 @@ fn gc_removes_only_artifacts_orphaned_by_rebinding() {
     let root = tmp_dir("gc");
     let store = Arc::new(Store::open(&root).unwrap());
     let driver = StoredPipeline::new(Arc::clone(&store));
-    let report = driver.analyze_bytes(&bytes).unwrap();
+    driver.analyze_bytes(&bytes).unwrap();
 
     // A fully live store: dry-run gc finds nothing to prune.
     let clean = store.gc(true).unwrap();
@@ -226,7 +356,8 @@ fn gc_removes_only_artifacts_orphaned_by_rebinding() {
     store.put(&key, b"rebound artifact").unwrap();
     let pruned = store.gc(false).unwrap();
     assert_eq!(pruned.unreferenced.len(), 1);
-    assert_eq!(pruned.live, report.diagnoses.len() + 2);
+    // One object orphaned, one new object bound: the live count holds.
+    assert_eq!(pruned.live, clean.live);
     for (key, _) in store.bindings() {
         assert!(
             store.get(&key).unwrap().is_some(),
